@@ -1,0 +1,38 @@
+// Ablation: HtY bucket count (DESIGN.md §5.2). The separate-chaining
+// table degrades gracefully as the load factor grows; the auto sizing
+// (buckets ≈ nnz_Y) keeps chains near length 1.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/format.hpp"
+
+int main() {
+  using namespace sparta;
+  using namespace sparta::bench;
+  print_header("Ablation: HtY bucket count / load factor",
+               "auto sizing (load factor ~1) is near-optimal; undersized "
+               "tables degrade linearly with chain length");
+
+  const SpTCCase c = make_sptc_case("uracil", 2, scale_from_env());
+  std::printf("nnzY = %zu\n\n", c.y.nnz());
+  std::printf("%12s %12s %12s\n", "buckets", "load", "time");
+
+  for (std::size_t buckets = 64; buckets <= (1u << 18); buckets *= 8) {
+    ContractOptions o;
+    o.algorithm = Algorithm::kSparta;
+    o.hty_buckets = buckets;
+    const TimedRun run = time_contraction(c.x, c.y, c.cx, c.cy, o);
+    std::printf("%12zu %12.1f %12s\n", buckets,
+                static_cast<double>(run.stats.num_y_keys) /
+                    static_cast<double>(buckets),
+                format_seconds(run.seconds).c_str());
+  }
+  {
+    ContractOptions o;
+    o.algorithm = Algorithm::kSparta;  // auto
+    const TimedRun run = time_contraction(c.x, c.y, c.cx, c.cy, o);
+    std::printf("%12s %12s %12s\n", "auto", "~1",
+                format_seconds(run.seconds).c_str());
+  }
+  return 0;
+}

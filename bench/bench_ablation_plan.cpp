@@ -1,0 +1,67 @@
+// Ablation: reusable YPlan vs rebuilding HtY per contraction. Models
+// the "long sequence of tensor contractions" workload (§1) where the
+// same operator tensor is applied to a stream of states.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/format.hpp"
+#include "common/timer.hpp"
+#include "contraction/plan.hpp"
+#include "tensor/generators.hpp"
+
+int main() {
+  using namespace sparta;
+  using namespace sparta::bench;
+  print_header("Ablation: YPlan reuse vs per-call HtY rebuild",
+               "amortizing the O(nnz_Y) HtY build across a stream of X "
+               "operands");
+
+  const double scale = scale_from_env();
+  const auto ynnz = static_cast<std::size_t>(200'000 * scale);
+  GeneratorSpec yspec;
+  yspec.dims = {80, 80, 60, 40};
+  yspec.nnz = ynnz;
+  yspec.seed = 1;
+  const SparseTensor y = generate_random(yspec);
+  const Modes cy{0, 1};
+
+  constexpr int kStream = 16;
+  std::vector<SparseTensor> xs;
+  for (int i = 0; i < kStream; ++i) {
+    GeneratorSpec xspec;
+    xspec.dims = {80, 80, 30};
+    xspec.nnz = static_cast<std::size_t>(5'000 * scale);
+    xspec.seed = 100 + static_cast<std::uint64_t>(i);
+    xs.push_back(generate_random(xspec));
+  }
+  const Modes cx{0, 1};
+
+  // Per-call rebuild.
+  Timer t1;
+  std::size_t check1 = 0;
+  for (const auto& x : xs) {
+    check1 += contract_tensor(x, y, cx, cy, {}).nnz();
+  }
+  const double rebuild = t1.seconds();
+
+  // Plan reuse.
+  Timer t2;
+  const YPlan plan(y, cy);
+  const double build = t2.seconds();
+  std::size_t check2 = 0;
+  for (const auto& x : xs) {
+    check2 += contract(x, plan, cx).z.nnz();
+  }
+  const double reuse = t2.seconds();
+
+  std::printf("stream of %d contractions against nnzY=%zu:\n", kStream,
+              y.nnz());
+  std::printf("  rebuild HtY per call : %s\n",
+              format_seconds(rebuild).c_str());
+  std::printf("  YPlan (build %s)     : %s   -> %.2fx\n",
+              format_seconds(build).c_str(), format_seconds(reuse).c_str(),
+              rebuild / reuse);
+  std::printf("  outputs identical    : %s\n",
+              check1 == check2 ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation: frequency-based index reordering ([38]) before Sparta.
+// Relabeling hot indices to a dense low range improves the locality of
+// HtY probes and sort runs on skewed tensors.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/format.hpp"
+#include "common/timer.hpp"
+#include "tensor/reorder.hpp"
+
+int main() {
+  using namespace sparta;
+  using namespace sparta::bench;
+  print_header("Ablation: frequency reordering before Sparta",
+               "relabeling skewed indices improves probe/sort locality; "
+               "neutral on uniform data");
+
+  const double scale = scale_from_env();
+  const int reps = repeats_from_env();
+  std::printf("%-18s %12s %12s %9s %12s\n", "case", "original",
+              "reordered", "speedup", "reorder cost");
+
+  // Skewed datasets benefit; chicago (uniform) is the control.
+  const struct {
+    const char* dataset;
+    int modes;
+  } cases[] = {{"nell2", 2},     {"flickr", 2}, {"delicious", 2},
+               {"flickr", 3},    {"chicago", 2}};
+  for (const auto& cs : cases) {
+    const SpTCCase c = make_sptc_case(cs.dataset, cs.modes, scale);
+
+    ContractOptions o;
+    const double t_orig = time_contraction(c.x, c.y, c.cx, c.cy, o, reps).seconds;
+
+    Timer tr;
+    const RelabeledPair rp = reorder_pair(c.x, c.y, c.cx, c.cy);
+    const double reorder_cost = tr.seconds();
+    const double t_re =
+        time_contraction(rp.x, rp.y, c.cx, c.cy, o, reps).seconds;
+
+    std::printf("%-18s %12s %12s %8.2fx %12s\n", c.label.c_str(),
+                format_seconds(t_orig).c_str(),
+                format_seconds(t_re).c_str(), t_orig / t_re,
+                format_seconds(reorder_cost).c_str());
+  }
+  std::printf(
+      "\n(reordering is a one-time preprocessing cost, amortized across a\n"
+      "contraction sequence; the paper cites [38] for these schemes.\n"
+      "at laptop scale the working set is cache-resident and the effect is\n"
+      "neutral — the locality win needs memory-resident tensors; raise\n"
+      "SPARTA_SCALE to see it emerge)\n");
+  return 0;
+}

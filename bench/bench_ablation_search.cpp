@@ -1,0 +1,45 @@
+// Ablation: index-search strategy — the paper's linear scan (SpTC-SPA)
+// vs an O(log nnz_Y) binary search (this repo's extension) vs the HtY
+// hash probe. Separates "stop scanning linearly" from "hash + LN keys"
+// in Sparta's win.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/format.hpp"
+
+int main() {
+  using namespace sparta;
+  using namespace sparta::bench;
+  print_header("Ablation: linear vs binary vs hash index search",
+               "HtY's O(1) probe beats binary search's O(log n), which "
+               "beats the O(n) linear scan");
+
+  const double scale = scale_from_env();
+  std::printf("%-18s %12s %12s %12s | %9s %9s\n", "case", "linear",
+              "binary", "HtY", "bin/lin", "HtY/lin");
+
+  for (int modes : {1, 2, 3}) {
+    for (const auto& name : fig4_datasets()) {
+      const SpTCCase c = make_sptc_case(name, modes, 0.5 * scale);
+      double secs[3];
+      const Algorithm algs[] = {Algorithm::kCooHta, Algorithm::kCooBinary,
+                                Algorithm::kSparta};
+      for (int i = 0; i < 3; ++i) {
+        ContractOptions o;
+        o.algorithm = algs[i];
+        const int reps = algs[i] == Algorithm::kCooHta ? 1 : 2;
+        secs[i] = time_contraction(c.x, c.y, c.cx, c.cy, o, reps).seconds;
+      }
+      std::printf("%-18s %12s %12s %12s | %8.1fx %8.1fx\n", c.label.c_str(),
+                  format_seconds(secs[0]).c_str(),
+                  format_seconds(secs[1]).c_str(),
+                  format_seconds(secs[2]).c_str(), secs[0] / secs[1],
+                  secs[0] / secs[2]);
+    }
+  }
+  std::printf(
+      "\nbinary search removes most of the linear-scan cost; HtY's edge on\n"
+      "top of it comes from O(1) probes, LN integer keys and precomputed\n"
+      "free-index keys (no per-item conversion in accumulation).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation: the "treat the larger operand as Y" heuristic (§3.3).
+// Sweeps the size ratio between operands and compares contracting
+// big×small directly against the swapped orientation (HtY built from
+// the big tensor, few probes).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/format.hpp"
+#include "tensor/generators.hpp"
+
+int main() {
+  using namespace sparta;
+  using namespace sparta::bench;
+  print_header("Ablation: larger-operand-as-Y heuristic (paper §3.3)",
+               "probing the big tensor (few searches) beats iterating it; "
+               "the win grows with the size ratio");
+
+  const double scale = scale_from_env();
+  std::printf("%-8s %-10s %-10s %12s %12s %9s\n", "ratio", "nnz big",
+              "nnz small", "big as X", "big as Y", "benefit");
+
+  const auto base = static_cast<std::size_t>(100'000 * scale);
+  for (const std::size_t ratio : {1, 4, 16, 64}) {
+    PairedSpec ps;
+    ps.x.dims = {300, 200, 200};  // the big operand
+    ps.x.nnz = base;
+    ps.x.seed = 11;
+    ps.y.dims = {300, 200, 150};  // the small operand
+    ps.y.nnz = std::max<std::size_t>(base / ratio, 64);
+    ps.y.seed = 12;
+    ps.num_contract_modes = 2;
+    ps.match_fraction = 0.7;
+    const TensorPair pair = generate_contraction_pair(ps);
+    const Modes c{0, 1};
+
+    ContractOptions big_as_x;  // iterate big, probe small
+    big_as_x.algorithm = Algorithm::kSparta;
+    const double t_big_x =
+        time_contraction(pair.x, pair.y, c, c, big_as_x).seconds;
+    // Swapped orientation: big becomes Y (the hash table).
+    const double t_big_y =
+        time_contraction(pair.y, pair.x, c, c, big_as_x).seconds;
+
+    std::printf("%-8zu %-10zu %-10zu %12s %12s %8.2fx\n", ratio,
+                pair.x.nnz(), pair.y.nnz(), format_seconds(t_big_x).c_str(),
+                format_seconds(t_big_y).c_str(), t_big_x / t_big_y);
+  }
+  std::printf(
+      "\n('benefit' > 1 means the swapped orientation wins; "
+      "ContractOptions::swap_operands_if_larger_x applies it "
+      "automatically)\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 4: speedups of HtY+HtA (Sparta) and COOY+HtA over COOY+SPA
+// (SpTC-SPA) on five datasets × {1,2,3}-mode contractions.
+//
+// Paper shape to reproduce: HtY+HtA beats COOY+SPA by 28-576×;
+// COOY+HtA sits in between (1×-42× over SPA); HtY+HtA beats COOY+HtA
+// by 1.4-565×. The largest wins appear where index search dominates.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/format.hpp"
+
+int main() {
+  using namespace sparta;
+  using namespace sparta::bench;
+  print_header(
+      "Figure 4: speedup over COOY+SPA (higher is better)",
+      "HtY+HtA 28-576x over COOY+SPA; COOY+HtA 1-42x; HtY wins biggest "
+      "where index search dominates");
+
+  const double scale = scale_from_env();
+  const double spa_scale = 0.5 * scale;  // SPA baseline is O(nnzX*nnzY)
+
+  std::printf("%-18s %10s %10s %10s | %9s %9s\n", "case", "COOY+SPA",
+              "COOY+HtA", "HtY+HtA", "HtA/SPA", "Sparta/SPA");
+
+  double min_sparta = 1e300, max_sparta = 0, geo = 0;
+  int cases = 0;
+  for (int modes : {1, 2, 3}) {
+    for (const auto& name : fig4_datasets()) {
+      const SpTCCase c = make_sptc_case(name, modes, spa_scale);
+      double secs[3];
+      for (Algorithm alg :
+           {Algorithm::kSpa, Algorithm::kCooHta, Algorithm::kSparta}) {
+        ContractOptions o;
+        o.algorithm = alg;
+        const int reps = alg == Algorithm::kSpa ? 1 : repeats_from_env();
+        secs[static_cast<int>(alg)] =
+            time_contraction(c.x, c.y, c.cx, c.cy, o, reps).seconds;
+      }
+      const double s_hta = secs[0] / secs[1];
+      const double s_sparta = secs[0] / secs[2];
+      std::printf("%-18s %10s %10s %10s | %8.1fx %8.1fx\n", c.label.c_str(),
+                  format_seconds(secs[0]).c_str(),
+                  format_seconds(secs[1]).c_str(),
+                  format_seconds(secs[2]).c_str(), s_hta, s_sparta);
+      min_sparta = std::min(min_sparta, s_sparta);
+      max_sparta = std::max(max_sparta, s_sparta);
+      geo += std::log(s_sparta);
+      ++cases;
+    }
+  }
+  std::printf(
+      "\nmeasured: Sparta speedup over SpTC-SPA = %.0fx .. %.0fx "
+      "(geo-mean %.0fx); paper: 28x .. 576x\n",
+      min_sparta, max_sparta, std::exp(geo / cases));
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 8: DRAM and PMM bandwidth over the run (Vast, 1-mode) for
+// Sparta, IAL, Memory mode and PMM-only.
+//
+// Paper shape: IAL draws more PMM bandwidth than Sparta (wasted
+// migrations); Memory mode draws more DRAM bandwidth than Sparta
+// (cache fills); PMM-only never touches DRAM.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/format.hpp"
+#include "memsim/cost_model.hpp"
+#include "memsim/timeline.hpp"
+
+int main() {
+  using namespace sparta;
+  using namespace sparta::bench;
+  print_header("Figure 8: per-stage memory bandwidth (Vast, 1-mode)",
+               "IAL pulls more PMM bandwidth than Sparta; Memory mode "
+               "pulls more DRAM bandwidth than Sparta");
+
+  const double scale = scale_from_env();
+  const SpTCCase c = make_sptc_case("vast", 1, scale);
+  ContractOptions o;
+  o.algorithm = Algorithm::kSparta;
+  o.collect_access_profile = true;
+  const ContractResult res = contract(c.x, c.y, c.cx, c.cy, o);
+  const AccessProfile& p = res.profile;
+
+  MemoryParams params;
+  params.dram_capacity_bytes =
+      std::max<std::uint64_t>(p.total_footprint() / 3, 1);
+
+  struct Policy {
+    std::string name;
+    SimResult sim;
+  };
+  const Policy policies[] = {
+      {"Sparta", simulate_static(
+                     p, params, sparta_placement(p.footprint_bytes, params))},
+      {"IAL", simulate_ial(p, params)},
+      {"MemoryMode", simulate_memory_mode(p, params)},
+      {"PMM-only", simulate_static(p, params, Placement::all(Tier::kPmm))},
+  };
+
+  for (Tier tier : {Tier::kDram, Tier::kPmm}) {
+    std::printf("\n%s bandwidth (GB/s) per stage:\n",
+                std::string(tier_name(tier)).c_str());
+    std::printf("%-12s", "policy");
+    for (int s = 0; s < kNumStages; ++s) {
+      std::printf(" %-10s",
+                  std::string(stage_name(static_cast<Stage>(s))).c_str());
+    }
+    std::printf(" %-8s\n", "avg");
+    for (const Policy& pol : policies) {
+      std::printf("%-12s", pol.name.c_str());
+      double byte_sum = 0;
+      for (int s = 0; s < kNumStages; ++s) {
+        const auto stage = static_cast<Stage>(s);
+        std::printf(" %-10.2f", pol.sim.bandwidth_gbs(stage, tier));
+        byte_sum += static_cast<double>(
+            pol.sim.tier_bytes[s][static_cast<int>(tier)]);
+      }
+      std::printf(" %-8.2f\n", byte_sum / (pol.sim.total_seconds() * 1e9));
+    }
+  }
+
+  std::printf("\ntotal estimated time and migrated bytes:\n");
+  for (const Policy& pol : policies) {
+    std::printf("  %-12s %10s   migrated %s\n", pol.name.c_str(),
+                format_seconds(pol.sim.total_seconds()).c_str(),
+                format_bytes(pol.sim.migrated_bytes).c_str());
+  }
+
+  // Sampled time series (the form the paper's Fig. 8 plots). Each
+  // policy has its own time axis since stage durations differ.
+  std::printf("\ntime series (t in ms | DRAM GB/s | PMM GB/s):\n");
+  for (const Policy& pol : policies) {
+    std::printf("%-12s", pol.name.c_str());
+    for (const BandwidthSample& s : bandwidth_timeline(pol.sim, 2)) {
+      std::printf(" %5.1f|%4.1f|%4.1f", s.time_seconds * 1e3, s.dram_gbs,
+                  s.pmm_gbs);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 9: peak memory consumption of the 15 HM SpTC cases, split by
+// data object.
+//
+// Paper shape: consumption spans tens to hundreds of GB at their scale
+// and grows with contract-mode count & output size; at our synthetic
+// scale the absolute numbers are MBs but the per-object split and the
+// case-to-case ordering carry over.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/format.hpp"
+#include "memsim/cost_model.hpp"
+
+int main() {
+  using namespace sparta;
+  using namespace sparta::bench;
+  print_header("Figure 9: peak memory consumption per SpTC",
+               "input tensors + HtY + per-thread HtA/Z_local + Z; largest "
+               "case reaches 768 GB at paper scale");
+
+  const double scale = scale_from_env();
+  std::printf("%-18s %10s | %9s %9s %9s %9s %9s %9s\n", "case", "total", "X",
+              "Y", "HtY", "HtA", "Z_local", "Z");
+  for (const HmCase& hc : fig7_cases()) {
+    const SpTCCase c = make_sptc_case(hc.dataset, hc.modes, scale);
+    ContractOptions o;
+    o.algorithm = Algorithm::kSparta;
+    o.collect_access_profile = true;
+    const ContractResult res = contract(c.x, c.y, c.cx, c.cy, o);
+    const AccessProfile& p = res.profile;
+    std::printf("%-18s %10s |", c.label.c_str(),
+                format_bytes(p.total_footprint()).c_str());
+    for (DataObject obj : kAllDataObjects) {
+      std::printf(" %9s", format_bytes(p.footprint(obj)).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

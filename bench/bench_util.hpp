@@ -1,0 +1,97 @@
+// Shared helpers for the figure/table reproduction benchmarks.
+//
+// Every bench binary prints the same rows/series as the corresponding
+// paper figure. Workload scale is controlled by SPARTA_SCALE (default
+// 1.0): synthetic datasets are sized so the full suite runs in minutes
+// on a laptop; raise the scale for longer, more contrasted runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+#include "contraction/contract.hpp"
+#include "tensor/datasets.hpp"
+
+namespace sparta::bench {
+
+/// Reads SPARTA_SCALE (multiplies dataset nnz); default 1.0.
+inline double scale_from_env() {
+  if (const char* s = std::getenv("SPARTA_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+/// Reads SPARTA_REPEATS (timing repetitions per case); default 3.
+inline int repeats_from_env() {
+  if (const char* s = std::getenv("SPARTA_REPEATS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return 3;
+}
+
+/// Best-of-N contraction timing (seconds) plus the last run's result.
+struct TimedRun {
+  double seconds = 0.0;
+  StageTimes stages;
+  ContractStats stats;
+};
+
+inline TimedRun time_contraction(const SparseTensor& x, const SparseTensor& y,
+                                 const Modes& cx, const Modes& cy,
+                                 const ContractOptions& opts,
+                                 int repeats = repeats_from_env()) {
+  TimedRun best;
+  best.seconds = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    Timer t;
+    ContractResult res = contract(x, y, cx, cy, opts);
+    const double secs = t.seconds();
+    if (secs < best.seconds) {
+      best.seconds = secs;
+      best.stages = res.stage_times;
+      best.stats = res.stats;
+    }
+  }
+  return best;
+}
+
+inline void print_header(const char* fig, const char* claim) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", fig);
+  std::printf("paper: %s\n", claim);
+  std::printf("scale: SPARTA_SCALE=%.3g, repeats=%d, threads=%d\n",
+              scale_from_env(), repeats_from_env(), max_threads());
+  std::printf("==========================================================\n");
+}
+
+/// The five Fig. 2/4 datasets, in the paper's order.
+inline const std::vector<std::string>& fig4_datasets() {
+  static const std::vector<std::string> kNames = {"chicago", "nips", "uber",
+                                                  "vast", "uracil"};
+  return kNames;
+}
+
+/// The Fig. 7/9 HM cases: dataset × contract-mode count (order permits).
+struct HmCase {
+  std::string dataset;
+  int modes;
+};
+
+inline const std::vector<HmCase>& fig7_cases() {
+  static const std::vector<HmCase> kCases = {
+      {"chicago", 1}, {"nips", 1},      {"vast", 1},   {"flickr", 1},
+      {"chicago", 2}, {"nips", 2},      {"vast", 2},   {"flickr", 2},
+      {"delicious", 2}, {"nell2", 2},   {"chicago", 3}, {"nips", 3},
+      {"vast", 3},    {"flickr", 3},    {"delicious", 3},
+  };
+  return kCases;
+}
+
+}  // namespace sparta::bench

@@ -1,0 +1,79 @@
+// Quantum-chemistry scenario: contracting CCSD-style amplitude tensors
+// whose non-zeros cluster into quantum-number blocks that are sparse
+// inside once small values are cut off (the paper's Uracil / Hubbard-2D
+// motivation).
+//
+// Demonstrates:
+//   * generating block-structured operands,
+//   * running the same contraction element-wise (Sparta) and
+//     block-sparse (the ITensor-style engine),
+//   * verifying both agree, and
+//   * how the winner flips with within-block fill: element-wise wins on
+//     sparse blocks, block GEMM catches up as blocks fill in (the
+//     paper's "below ~5% density" guidance).
+#include <cstdio>
+
+#include "blocksparse/block_contract.hpp"
+#include "blocksparse/block_tensor.hpp"
+#include "blocksparse/hubbard.hpp"
+#include "common/format.hpp"
+#include "common/timer.hpp"
+#include "contraction/contract.hpp"
+
+int main() {
+  using namespace sparta;
+
+  // A T2-amplitude-like 4th-order tensor t[a,b,i,j] and an integral-like
+  // tensor v[i,j,c,d]; contract over the occupied indices (i, j).
+  BlockStructureSpec tspec;
+  tspec.dims = {64, 64, 32, 32};       // virtual × virtual × occ × occ
+  tspec.block_dims = {4, 4, 4, 4};
+  tspec.num_blocks = 1500;
+  tspec.seed = 42;
+  BlockStructureSpec vspec;
+  vspec.dims = {32, 32, 64, 64};
+  vspec.block_dims = {4, 4, 4, 4};
+  vspec.num_blocks = 1200;
+  vspec.seed = 43;
+  const Modes ct{2, 3};  // contract t's (i, j)
+  const Modes cv{0, 1};  // with v's (i, j)
+
+  std::printf("CCSD-like contraction  z[a,b,c,d] = Σ_ij t[a,b,i,j] v[i,j,c,d]\n\n");
+  std::printf("%-12s %12s %12s %9s %9s\n", "block fill", "element-wise",
+              "block-GEMM", "speedup", "agree");
+
+  for (const double fill : {0.02, 0.05, 0.15, 0.40}) {
+    const auto block_cells = 4u * 4 * 4 * 4;
+    tspec.nnz = static_cast<std::size_t>(fill * block_cells *
+                                         static_cast<double>(tspec.num_blocks));
+    vspec.nnz = static_cast<std::size_t>(fill * block_cells *
+                                         static_cast<double>(vspec.num_blocks));
+    const SparseTensor t = generate_block_structured(tspec);
+    const SparseTensor v = generate_block_structured(vspec);
+
+    Timer timer;
+    ContractOptions o;
+    o.algorithm = Algorithm::kSparta;
+    const SparseTensor z_elem = contract_tensor(t, v, ct, cv, o);
+    const double elem_secs = timer.seconds();
+
+    timer.reset();
+    const auto tb = BlockSparseTensor::from_sparse(t, tspec.block_dims);
+    const auto vb = BlockSparseTensor::from_sparse(v, vspec.block_dims);
+    const SparseTensor z_block =
+        contract_blocksparse(tb, vb, ct, cv).to_sparse(1e-14);
+    const double block_secs = timer.seconds();
+
+    const bool agree = SparseTensor::approx_equal(z_elem, z_block, 1e-9);
+    std::printf("%-12.0f%% %12s %12s %8.1fx %9s\n", fill * 100,
+                format_seconds(elem_secs).c_str(),
+                format_seconds(block_secs).c_str(), block_secs / elem_secs,
+                agree ? "yes" : "NO");
+  }
+
+  std::printf(
+      "\nelement-wise Sparta wins while blocks are internally sparse; the\n"
+      "dense block engine closes the gap as fill grows (paper §6: the\n"
+      "crossover sits around a few percent of non-zero density).\n");
+  return 0;
+}

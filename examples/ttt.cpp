@@ -1,0 +1,135 @@
+// ttt — tensor-times-tensor command-line tool, mirroring the interface
+// of the paper artifact's `ttt` binary (Appendix B.3):
+//
+//   ttt -X first.tns -Y second.tns [-Z out.tns] -m NUM_CONTRACT_MODES
+//       -x cx0,cx1,... -y cy0,cy1,... [-t NTHREADS] [-a spa|coohta|sparta]
+//
+// Contract modes are 0-based. Example (matrix multiply):
+//   ttt -X a.tns -Y b.tns -m 1 -x 1 -y 0
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/format.hpp"
+#include "contraction/contract.hpp"
+#include "tensor/io.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "Options:\n"
+      "  -X  FIRST INPUT TENSOR (.tns)\n"
+      "  -Y  SECOND INPUT TENSOR (.tns)\n"
+      "  -Z  OUTPUT TENSOR (optional)\n"
+      "  -m  NUMBER OF CONTRACT MODES\n"
+      "  -x  CONTRACT MODES FOR TENSOR X (0-based, comma separated)\n"
+      "  -y  CONTRACT MODES FOR TENSOR Y (0-based, comma separated)\n"
+      "  -t  NTHREADS (optional)\n"
+      "  -a  ALGORITHM: spa | coohta | sparta (default sparta)\n"
+      "  --help\n");
+}
+
+sparta::Modes parse_modes(const char* s) {
+  sparta::Modes modes;
+  for (const char* p = s; *p;) {
+    modes.push_back(std::atoi(p));
+    const char* comma = std::strchr(p, ',');
+    if (!comma) break;
+    p = comma + 1;
+  }
+  return modes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sparta;
+  std::string xpath, ypath, zpath;
+  Modes cx, cy;
+  int m = -1;
+  ContractOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "-X") {
+      xpath = next();
+    } else if (arg == "-Y") {
+      ypath = next();
+    } else if (arg == "-Z") {
+      zpath = next();
+    } else if (arg == "-m") {
+      m = std::atoi(next());
+    } else if (arg == "-x") {
+      cx = parse_modes(next());
+    } else if (arg == "-y") {
+      cy = parse_modes(next());
+    } else if (arg == "-t") {
+      opts.num_threads = std::atoi(next());
+    } else if (arg == "-a") {
+      const std::string a = next();
+      if (a == "spa") {
+        opts.algorithm = Algorithm::kSpa;
+      } else if (a == "coohta") {
+        opts.algorithm = Algorithm::kCooHta;
+      } else if (a == "sparta") {
+        opts.algorithm = Algorithm::kSparta;
+      } else {
+        std::fprintf(stderr, "unknown algorithm '%s'\n", a.c_str());
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+
+  if (xpath.empty() || ypath.empty() || cx.empty() || cy.empty()) {
+    usage();
+    return 1;
+  }
+  if (m >= 0 && (static_cast<std::size_t>(m) != cx.size() ||
+                 static_cast<std::size_t>(m) != cy.size())) {
+    std::fprintf(stderr, "-m disagrees with -x/-y lists\n");
+    return 1;
+  }
+
+  try {
+    const SparseTensor x = read_tns_file(xpath);
+    const SparseTensor y = read_tns_file(ypath);
+    std::printf("X: %s\nY: %s\n", x.summary().c_str(), y.summary().c_str());
+
+    const ContractResult res = contract(x, y, cx, cy, opts);
+    std::printf("Z: %s\n", res.z.summary().c_str());
+    std::printf("[%s] total %s:", std::string(algorithm_name(opts.algorithm)).c_str(),
+                format_seconds(res.stage_times.total()).c_str());
+    for (int s = 0; s < kNumStages; ++s) {
+      const auto stage = static_cast<Stage>(s);
+      std::printf(" %s=%s", std::string(stage_name(stage)).c_str(),
+                  format_seconds(res.stage_times[stage]).c_str());
+    }
+    std::printf("\n");
+
+    if (!zpath.empty()) {
+      write_tns_file(zpath, res.z);
+      std::printf("wrote %s\n", zpath.c_str());
+    }
+  } catch (const sparta::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

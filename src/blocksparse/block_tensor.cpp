@@ -1,0 +1,135 @@
+#include "blocksparse/block_tensor.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sparta {
+
+namespace {
+
+std::vector<index_t> grid_of(const std::vector<index_t>& dims,
+                             const std::vector<index_t>& block_dims) {
+  SPARTA_CHECK(dims.size() == block_dims.size(),
+               "one block size per mode required");
+  std::vector<index_t> grid(dims.size());
+  for (std::size_t m = 0; m < dims.size(); ++m) {
+    SPARTA_CHECK(block_dims[m] > 0, "block sizes must be positive");
+    grid[m] = (dims[m] + block_dims[m] - 1) / block_dims[m];
+  }
+  return grid;
+}
+
+}  // namespace
+
+BlockSparseTensor::BlockSparseTensor(std::vector<index_t> dims,
+                                     std::vector<index_t> block_dims)
+    : dims_(std::move(dims)),
+      block_dims_(std::move(block_dims)),
+      grid_dims_(grid_of(dims_, block_dims_)),
+      grid_lin_(grid_dims_) {}
+
+std::size_t BlockSparseTensor::stored_scalars() const {
+  std::size_t n = 0;
+  for (const auto& [key, data] : blocks_) n += data.size();
+  return n;
+}
+
+std::size_t BlockSparseTensor::nnz(double cutoff) const {
+  std::size_t n = 0;
+  for (const auto& [key, data] : blocks_) {
+    for (value_t v : data) {
+      if (std::abs(v) > cutoff) ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t BlockSparseTensor::footprint_bytes() const {
+  std::size_t bytes = blocks_.size() *
+                      (sizeof(lnkey_t) + sizeof(std::vector<value_t>) + 16);
+  for (const auto& [key, data] : blocks_) {
+    bytes += data.capacity() * sizeof(value_t);
+  }
+  return bytes;
+}
+
+std::vector<value_t>& BlockSparseTensor::block(std::span<const index_t> bc) {
+  const lnkey_t key = grid_lin_.linearize(bc);
+  auto [it, inserted] = blocks_.try_emplace(key);
+  if (inserted) {
+    std::vector<index_t> ext(static_cast<std::size_t>(order()));
+    block_extent(bc, ext);
+    std::size_t vol = 1;
+    for (index_t e : ext) vol *= e;
+    it->second.assign(vol, value_t{0});
+  }
+  return it->second;
+}
+
+const std::vector<value_t>* BlockSparseTensor::find_block(
+    std::span<const index_t> bc) const {
+  const auto it = blocks_.find(grid_lin_.linearize(bc));
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+void BlockSparseTensor::block_extent(std::span<const index_t> bc,
+                                     std::span<index_t> out) const {
+  for (std::size_t m = 0; m < dims_.size(); ++m) {
+    const index_t start = bc[m] * block_dims_[m];
+    SPARTA_ASSERT(start < dims_[m]);
+    out[m] = std::min<index_t>(block_dims_[m], dims_[m] - start);
+  }
+}
+
+BlockSparseTensor BlockSparseTensor::from_sparse(
+    const SparseTensor& t, std::vector<index_t> block_dims) {
+  BlockSparseTensor b(t.dims(), std::move(block_dims));
+  const auto order = static_cast<std::size_t>(t.order());
+  std::vector<index_t> c(order);
+  std::vector<index_t> bc(order);
+  std::vector<index_t> within(order);
+  std::vector<index_t> ext(order);
+  for (std::size_t n = 0; n < t.nnz(); ++n) {
+    t.coords(n, c);
+    for (std::size_t m = 0; m < order; ++m) {
+      bc[m] = c[m] / b.block_dims_[m];
+      within[m] = c[m] % b.block_dims_[m];
+    }
+    auto& data = b.block(bc);
+    b.block_extent(bc, ext);
+    std::size_t off = 0;
+    for (std::size_t m = 0; m < order; ++m) off = off * ext[m] + within[m];
+    data[off] += t.value(n);
+  }
+  return b;
+}
+
+SparseTensor BlockSparseTensor::to_sparse(double cutoff) const {
+  SparseTensor out(dims_);
+  const auto order = static_cast<std::size_t>(this->order());
+  std::vector<index_t> bc(order);
+  std::vector<index_t> ext(order);
+  std::vector<index_t> within(order);
+  std::vector<index_t> c(order);
+  for (const auto& [key, data] : blocks_) {
+    grid_lin_.delinearize(key, bc);
+    block_extent(bc, ext);
+    for (std::size_t off = 0; off < data.size(); ++off) {
+      if (std::abs(data[off]) <= cutoff) continue;
+      std::size_t rem = off;
+      for (std::size_t m = order; m-- > 0;) {
+        within[m] = static_cast<index_t>(rem % ext[m]);
+        rem /= ext[m];
+      }
+      for (std::size_t m = 0; m < order; ++m) {
+        c[m] = bc[m] * block_dims_[m] + within[m];
+      }
+      out.append_unchecked(c, data[off]);
+    }
+  }
+  out.sort();
+  return out;
+}
+
+}  // namespace sparta

@@ -1,0 +1,86 @@
+// Block-sparse tensor: the storage scheme of quantum chemistry/physics
+// libraries (ITensor, libtensor, TiledArray) that Fig. 5 compares
+// element-wise Sparta against.
+//
+// The index space is tiled into uniform blocks; only non-zero blocks are
+// stored, each as a dense row-major array. Contraction extracts matching
+// block pairs and multiplies them densely — efficient when blocks are
+// dense inside, wasteful when they are not (the paper's point).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/linearize.hpp"
+#include "tensor/sparse_tensor.hpp"
+#include "tensor/types.hpp"
+
+namespace sparta {
+
+class BlockSparseTensor {
+ public:
+  /// `dims` = global mode sizes; `block_dims` = tile edge per mode
+  /// (mode size need not divide evenly; edge blocks are clipped).
+  BlockSparseTensor(std::vector<index_t> dims, std::vector<index_t> block_dims);
+
+  [[nodiscard]] int order() const { return static_cast<int>(dims_.size()); }
+  [[nodiscard]] const std::vector<index_t>& dims() const { return dims_; }
+  [[nodiscard]] const std::vector<index_t>& block_dims() const {
+    return block_dims_;
+  }
+  /// Number of blocks along each mode (ceil(dim / block_dim)).
+  [[nodiscard]] const std::vector<index_t>& grid_dims() const {
+    return grid_dims_;
+  }
+
+  [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
+
+  /// Count of stored scalars (block volumes summed), zero or not.
+  [[nodiscard]] std::size_t stored_scalars() const;
+
+  /// Count of non-zero stored scalars.
+  [[nodiscard]] std::size_t nnz(double cutoff = 0.0) const;
+
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
+  /// Dense data of the block at block-grid coordinates `bc`, creating a
+  /// zero block when absent.
+  [[nodiscard]] std::vector<value_t>& block(std::span<const index_t> bc);
+
+  /// Read-only lookup; nullptr when the block is absent.
+  [[nodiscard]] const std::vector<value_t>* find_block(
+      std::span<const index_t> bc) const;
+
+  /// Actual (possibly clipped) extent of block `bc` along each mode.
+  void block_extent(std::span<const index_t> bc,
+                    std::span<index_t> out) const;
+
+  /// Visits every stored block as (block coords, dense data).
+  template <typename F>
+  void for_each_block(F&& f) const {
+    std::vector<index_t> bc(static_cast<std::size_t>(order()));
+    for (const auto& [key, data] : blocks_) {
+      grid_lin_.delinearize(key, bc);
+      f(std::span<const index_t>(bc), data);
+    }
+  }
+
+  /// Tiles a COO tensor; every non-zero lands in its enclosing block.
+  [[nodiscard]] static BlockSparseTensor from_sparse(
+      const SparseTensor& t, std::vector<index_t> block_dims);
+
+  /// Extracts |v| > cutoff scalars back into sorted COO form.
+  [[nodiscard]] SparseTensor to_sparse(double cutoff = 0.0) const;
+
+  [[nodiscard]] const LinearIndexer& grid_indexer() const { return grid_lin_; }
+
+ private:
+  std::vector<index_t> dims_;
+  std::vector<index_t> block_dims_;
+  std::vector<index_t> grid_dims_;
+  LinearIndexer grid_lin_;
+  std::unordered_map<lnkey_t, std::vector<value_t>> blocks_;
+};
+
+}  // namespace sparta

@@ -1,0 +1,195 @@
+#include "blocksparse/hubbard.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tensor/linearize.hpp"
+
+namespace sparta {
+
+SparseTensor generate_block_structured(const BlockStructureSpec& spec) {
+  SPARTA_CHECK(spec.dims.size() == spec.block_dims.size(),
+               "one block size per mode required");
+  SPARTA_CHECK(spec.num_blocks > 0 && spec.nnz > 0,
+               "need positive block and non-zero counts");
+
+  const std::size_t order = spec.dims.size();
+  std::vector<index_t> grid(order);
+  std::vector<index_t> ext(order);
+  lnkey_t grid_capacity = 1;
+  std::size_t block_vol = 1;
+  for (std::size_t m = 0; m < order; ++m) {
+    SPARTA_CHECK(spec.block_dims[m] > 0 && spec.block_dims[m] <= spec.dims[m],
+                 "block size must be in [1, dim]");
+    grid[m] = (spec.dims[m] + spec.block_dims[m] - 1) / spec.block_dims[m];
+    grid_capacity *= grid[m];
+    block_vol *= spec.block_dims[m];
+  }
+  SPARTA_CHECK(spec.num_blocks <= grid_capacity,
+               "num_blocks exceeds the block grid capacity");
+  SPARTA_CHECK(spec.nnz <= spec.num_blocks * block_vol,
+               "nnz exceeds the occupied tiles' capacity");
+
+  Rng rng(spec.seed);
+  const LinearIndexer grid_lin(grid);
+
+  // Pick the occupied tiles.
+  std::vector<lnkey_t> tiles;
+  {
+    std::unordered_set<lnkey_t> seen;
+    seen.reserve(spec.num_blocks * 2);
+    while (tiles.size() < spec.num_blocks) {
+      const lnkey_t k = rng.uniform(grid_capacity);
+      if (seen.insert(k).second) tiles.push_back(k);
+    }
+  }
+
+  // Spread the non-zeros evenly across tiles (remainder to the first
+  // tiles), drawing distinct cells inside each.
+  SparseTensor t(spec.dims);
+  t.reserve(spec.nnz);
+  const std::size_t base = spec.nnz / spec.num_blocks;
+  const std::size_t extra = spec.nnz % spec.num_blocks;
+
+  std::vector<index_t> bc(order);
+  std::vector<index_t> c(order);
+  std::unordered_set<std::size_t> cells;
+  for (std::size_t b = 0; b < tiles.size(); ++b) {
+    grid_lin.delinearize(tiles[b], bc);
+    std::size_t vol = 1;
+    for (std::size_t m = 0; m < order; ++m) {
+      const index_t start = bc[m] * spec.block_dims[m];
+      ext[m] = std::min<index_t>(spec.block_dims[m], spec.dims[m] - start);
+      vol *= ext[m];
+    }
+    std::size_t want = base + (b < extra ? 1 : 0);
+    want = std::min(want, vol);  // clipped edge tiles may be smaller
+    cells.clear();
+    while (cells.size() < want) {
+      cells.insert(static_cast<std::size_t>(rng.uniform(vol)));
+    }
+    for (std::size_t cell : cells) {
+      std::size_t rem = cell;
+      for (std::size_t m = order; m-- > 0;) {
+        c[m] = bc[m] * spec.block_dims[m] +
+               static_cast<index_t>(rem % ext[m]);
+        rem /= ext[m];
+      }
+      // Values bounded away from 0 so no cutoff can drop them.
+      const double mag = 0.1 + 0.9 * rng.uniform_double();
+      t.append_unchecked(c, rng.uniform_double() < 0.5 ? mag : -mag);
+    }
+  }
+  t.sort();
+  return t;
+}
+
+namespace {
+
+// Block edge used for every mode: 4 for tileable modes, the whole mode
+// otherwise (mirroring small quantum-number sectors).
+std::vector<index_t> block_edges(const std::vector<index_t>& dims) {
+  std::vector<index_t> b(dims.size());
+  for (std::size_t m = 0; m < dims.size(); ++m) {
+    b[m] = dims[m] >= 8 ? 4 : dims[m];
+  }
+  return b;
+}
+
+lnkey_t grid_capacity_of(const std::vector<index_t>& dims,
+                         const std::vector<index_t>& block) {
+  lnkey_t cap = 1;
+  for (std::size_t m = 0; m < dims.size(); ++m) {
+    cap *= (dims[m] + block[m] - 1) / block[m];
+  }
+  return cap;
+}
+
+struct Table4Row {
+  std::vector<std::uint64_t> x_dims;
+  std::uint64_t x_nnz, x_blocks;
+  std::vector<std::uint64_t> y_dims;
+  std::uint64_t y_nnz, y_blocks;
+};
+
+HubbardCase make_case(int id, const Table4Row& row) {
+  HubbardCase c;
+  c.label = "SpTC" + std::to_string(id);
+  c.paper_x_dims = row.x_dims;
+  c.paper_x_nnz = row.x_nnz;
+  c.paper_x_blocks = row.x_blocks;
+  c.paper_y_dims = row.y_dims;
+  c.paper_y_nnz = row.y_nnz;
+  c.paper_y_blocks = row.y_blocks;
+
+  auto to_index = [](const std::vector<std::uint64_t>& v) {
+    std::vector<index_t> out;
+    for (auto d : v) out.push_back(static_cast<index_t>(d));
+    return out;
+  };
+  c.x.dims = to_index(row.x_dims);
+  c.x.block_dims = block_edges(c.x.dims);
+  c.x.nnz = row.x_nnz;
+  c.x.num_blocks = static_cast<std::size_t>(std::min<lnkey_t>(
+      row.x_blocks, grid_capacity_of(c.x.dims, c.x.block_dims) * 4 / 5));
+  c.x.seed = 1000 + static_cast<std::uint64_t>(id);
+
+  c.y.dims = to_index(row.y_dims);
+  c.y.block_dims = block_edges(c.y.dims);
+  c.y.nnz = row.y_nnz;
+  c.y.num_blocks = static_cast<std::size_t>(std::min<lnkey_t>(
+      row.y_blocks, grid_capacity_of(c.y.dims, c.y.block_dims) * 4 / 5));
+  c.y.seed = 2000 + static_cast<std::uint64_t>(id);
+
+  // Contract modes (Table 4 omits the lists): Y's modes {0, 2} — its
+  // leading 24/36 mode and one size-4 mode — against the matching modes
+  // of X: the X mode equal to Y's dim 0, and the last size-4 mode of X.
+  const index_t y0 = c.y.dims[0];
+  int x_big = -1;
+  for (int m = 0; m < static_cast<int>(c.x.dims.size()); ++m) {
+    if (c.x.dims[static_cast<std::size_t>(m)] == y0) x_big = m;
+  }
+  SPARTA_CHECK(x_big >= 0, "no X mode matches Y's leading mode size");
+  int x_small = -1;
+  for (int m = static_cast<int>(c.x.dims.size()) - 1; m >= 0; --m) {
+    if (m != x_big && c.x.dims[static_cast<std::size_t>(m)] == 4) {
+      x_small = m;
+      break;
+    }
+  }
+  SPARTA_CHECK(x_small >= 0, "no size-4 X mode available to contract");
+  c.cx = {x_big, x_small};
+  c.cy = {0, 2};
+  return c;
+}
+
+std::vector<HubbardCase> build_cases() {
+  const std::vector<Table4Row> rows = {
+      {{129, 4, 184, 24, 4}, 109287, 10453, {24, 36, 4, 4}, 360, 218},
+      {{129, 4, 184, 24, 4}, 114877, 12044, {24, 36, 4, 4}, 360, 218},
+      {{4, 129, 184, 24, 4}, 114877, 12044, {24, 36, 4, 4}, 360, 218},
+      {{4, 131, 4, 24, 413}, 262218, 12345, {24, 36, 4, 4}, 360, 218},
+      {{131, 4, 413, 36, 4}, 377629, 17594, {36, 24, 4, 4}, 360, 218},
+      {{4, 131, 4, 24, 413}, 268813, 13288, {24, 36, 4, 4}, 360, 218},
+      {{131, 4, 413, 36, 4}, 388132, 19367, {36, 24, 4, 4}, 360, 218},
+      {{4, 4, 131, 24, 413}, 268813, 13288, {24, 36, 4, 4}, 360, 218},
+      {{4, 131, 413, 36, 4}, 388132, 19367, {36, 24, 4, 4}, 360, 218},
+      {{4, 110, 4, 36, 486}, 396193, 17152, {36, 24, 4, 4}, 360, 218},
+  };
+  std::vector<HubbardCase> cases;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    cases.push_back(make_case(static_cast<int>(i) + 1, rows[i]));
+  }
+  return cases;
+}
+
+}  // namespace
+
+const std::vector<HubbardCase>& hubbard_cases() {
+  static const std::vector<HubbardCase> kCases = build_cases();
+  return kCases;
+}
+
+}  // namespace sparta

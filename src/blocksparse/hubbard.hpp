@@ -1,0 +1,53 @@
+// Generator for Hubbard-2D-like block-structured sparse tensors.
+//
+// The Fig. 5 comparison uses tensors exported from ITensor's Hubbard-2D
+// model (Table 4): high-order operands whose non-zeros cluster into
+// small quantum-number blocks that are themselves sparse inside once
+// values below the 1e-8 cutoff are dropped. This generator reproduces
+// that structure synthetically: choose `num_blocks` occupied tiles, then
+// fill each tile to `within_block_density`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/sparse_tensor.hpp"
+#include "tensor/types.hpp"
+
+namespace sparta {
+
+struct BlockStructureSpec {
+  std::vector<index_t> dims;
+  std::vector<index_t> block_dims;
+  std::size_t num_blocks = 0;  ///< occupied tiles
+  std::size_t nnz = 0;         ///< total non-zeros, spread over the tiles
+  std::uint64_t seed = 7;
+};
+
+/// Generates an element-wise COO tensor with block structure (sorted).
+[[nodiscard]] SparseTensor generate_block_structured(
+    const BlockStructureSpec& spec);
+
+/// One Table-4 SpTC case: the X and Y specs plus the contract modes.
+struct HubbardCase {
+  std::string label;                   ///< "SpTC1" … "SpTC10"
+  BlockStructureSpec x;
+  BlockStructureSpec y;
+  Modes cx;
+  Modes cy;
+  // Paper-reported characteristics, for the Table 4 printout.
+  std::vector<std::uint64_t> paper_x_dims;
+  std::uint64_t paper_x_nnz = 0;
+  std::uint64_t paper_x_blocks = 0;
+  std::vector<std::uint64_t> paper_y_dims;
+  std::uint64_t paper_y_nnz = 0;
+  std::uint64_t paper_y_blocks = 0;
+};
+
+/// The ten Hubbard-2D contraction cases of Table 4, scaled for laptop
+/// runs. Contract-mode choices pair equal-size modes of X and Y (the
+/// table does not publish the exact mode lists; see DESIGN.md).
+[[nodiscard]] const std::vector<HubbardCase>& hubbard_cases();
+
+}  // namespace sparta

@@ -1,0 +1,55 @@
+// Error handling for the Sparta library.
+//
+// All recoverable failures (bad user input, malformed files, shape
+// mismatches) throw sparta::Error. Internal invariant violations use
+// SPARTA_ASSERT, which is compiled out in release builds.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sparta {
+
+/// Exception type thrown by every sparta API on invalid input.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(const std::string& msg,
+                                     const std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ":" << loc.line() << ": " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+/// Throws sparta::Error with source location when `cond` is false.
+/// Used to validate user-facing preconditions; always enabled.
+#define SPARTA_CHECK(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::sparta::detail::throw_error(                                  \
+          std::string("check failed: " #cond " — ") + (msg),          \
+          std::source_location::current());                           \
+    }                                                                 \
+  } while (0)
+
+/// Internal invariant; aborts in debug builds, no-op with NDEBUG.
+#ifdef NDEBUG
+#define SPARTA_ASSERT(cond) ((void)0)
+#else
+#define SPARTA_ASSERT(cond) \
+  do {                      \
+    if (!(cond)) {          \
+      std::abort();         \
+    }                       \
+  } while (0)
+#endif
+
+}  // namespace sparta

@@ -1,0 +1,48 @@
+// Human-readable formatting helpers for benchmark and example output.
+#pragma once
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace sparta {
+
+/// "1.5 GB", "320 MB", "4.2 KB" style byte formatting.
+[[nodiscard]] inline std::string format_bytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(v < 10 ? 2 : 1) << v << " "
+     << kUnits[unit];
+  return os.str();
+}
+
+/// "123 ms", "4.56 s" style duration formatting.
+[[nodiscard]] inline std::string format_seconds(double s) {
+  std::ostringstream os;
+  if (s < 1e-6) {
+    os << std::fixed << std::setprecision(1) << s * 1e9 << " ns";
+  } else if (s < 1e-3) {
+    os << std::fixed << std::setprecision(1) << s * 1e6 << " us";
+  } else if (s < 1.0) {
+    os << std::fixed << std::setprecision(1) << s * 1e3 << " ms";
+  } else {
+    os << std::fixed << std::setprecision(2) << s << " s";
+  }
+  return os.str();
+}
+
+/// "2.4e-05" style density formatting matching the paper's Table 3.
+[[nodiscard]] inline std::string format_density(double d) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(1) << d;
+  return os.str();
+}
+
+}  // namespace sparta

@@ -1,0 +1,130 @@
+// OpenMP helpers used across the library.
+//
+// The paper parallelizes all five SpTC stages with OpenMP: parallel-for
+// over sub-tensors for the computation stages and task-based quicksort
+// for the sorting stages (§3.5). These wrappers keep the OpenMP surface
+// in one place and degrade gracefully when built without OpenMP.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace sparta {
+
+/// Number of OpenMP threads a parallel region would use.
+[[nodiscard]] inline int max_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Calling thread's index inside a parallel region (0 outside).
+[[nodiscard]] inline int thread_id() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+/// Sets the global OpenMP thread count; no-op without OpenMP.
+inline void set_num_threads(int n) {
+#ifdef _OPENMP
+  omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+/// RAII guard that overrides the OpenMP thread count and restores the
+/// previous value on destruction. Used by benchmarks sweeping threads.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int n) : previous_(max_threads()) {
+    set_num_threads(n);
+  }
+  ~ThreadCountGuard() { set_num_threads(previous_); }
+  ThreadCountGuard(const ThreadCountGuard&) = delete;
+  ThreadCountGuard& operator=(const ThreadCountGuard&) = delete;
+
+ private:
+  int previous_;
+};
+
+namespace detail {
+
+// Below this size a sequential sort beats task spawning.
+inline constexpr std::ptrdiff_t kParallelSortCutoff = 1 << 14;
+
+template <typename It, typename Cmp>
+void quicksort_task(It first, It last, const Cmp& cmp, int depth) {
+  while (last - first > kParallelSortCutoff && depth > 0) {
+    // Median-of-three pivot to dodge pathological splits on sorted input.
+    It mid = first + (last - first) / 2;
+    if (cmp(*mid, *first)) std::iter_swap(first, mid);
+    if (cmp(*(last - 1), *first)) std::iter_swap(first, last - 1);
+    if (cmp(*(last - 1), *mid)) std::iter_swap(mid, last - 1);
+    auto pivot = *mid;
+    It split = std::partition(
+        first, last, [&](const auto& v) { return cmp(v, pivot); });
+    // Guard against zero-progress partitions on many-duplicate inputs.
+    if (split == first) {
+      split = std::partition(
+          first, last, [&](const auto& v) { return !cmp(pivot, v); });
+      first = split;
+      continue;
+    }
+#ifdef _OPENMP
+#pragma omp task firstprivate(first, split, depth) shared(cmp)
+    quicksort_task(first, split, cmp, depth - 1);
+#else
+    quicksort_task(first, split, cmp, depth - 1);
+#endif
+    first = split;
+    --depth;
+  }
+  std::sort(first, last, cmp);
+}
+
+}  // namespace detail
+
+/// Parallel quicksort using OpenMP tasks (the paper's approach for the
+/// input-processing and output-sorting stages).
+template <typename It, typename Cmp>
+void parallel_sort(It first, It last, Cmp cmp) {
+  if (last - first <= detail::kParallelSortCutoff) {
+    std::sort(first, last, cmp);
+    return;
+  }
+#ifdef _OPENMP
+#pragma omp parallel
+#pragma omp single nowait
+  detail::quicksort_task(first, last, cmp, /*depth=*/16);
+#else
+  detail::quicksort_task(first, last, cmp, 16);
+#endif
+}
+
+/// Exclusive prefix sum: out[i] = sum of in[0..i). Returns the grand total.
+/// `out` may alias `in`.
+template <typename T>
+T exclusive_scan(const std::vector<T>& in, std::vector<T>& out) {
+  out.resize(in.size());
+  T running{};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const T v = in[i];
+    out[i] = running;
+    running += v;
+  }
+  return running;
+}
+
+}  // namespace sparta

@@ -1,0 +1,831 @@
+#include "contraction/contract.hpp"
+
+#include "contraction/plan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "hashtable/accumulator.hpp"
+#include "hashtable/grouped_map.hpp"
+#include "hashtable/linear_probe.hpp"
+#include "hashtable/spa.hpp"
+#include "tensor/linearize.hpp"
+
+namespace sparta {
+
+ModeSplit validate_modes(const SparseTensor& x, const SparseTensor& y,
+                         const Modes& cx, const Modes& cy) {
+  SPARTA_CHECK(cx.size() == cy.size(),
+               "contract mode lists must have equal arity");
+  SPARTA_CHECK(!cx.empty(), "need at least one contract mode");
+
+  auto check_list = [](const SparseTensor& t, const Modes& modes,
+                       const char* which) {
+    std::vector<bool> seen(static_cast<std::size_t>(t.order()), false);
+    for (int m : modes) {
+      SPARTA_CHECK(m >= 0 && m < t.order(),
+                   std::string(which) + ": contract mode out of range");
+      SPARTA_CHECK(!seen[static_cast<std::size_t>(m)],
+                   std::string(which) + ": duplicate contract mode");
+      seen[static_cast<std::size_t>(m)] = true;
+    }
+    return seen;
+  };
+  const auto x_contract = check_list(x, cx, "cx");
+  const auto y_contract = check_list(y, cy, "cy");
+
+  for (std::size_t i = 0; i < cx.size(); ++i) {
+    SPARTA_CHECK(x.dim(cx[i]) == y.dim(cy[i]),
+                 "contract mode sizes must match (X mode " +
+                     std::to_string(cx[i]) + " vs Y mode " +
+                     std::to_string(cy[i]) + ")");
+  }
+
+  ModeSplit split;
+  for (int m = 0; m < x.order(); ++m) {
+    if (!x_contract[static_cast<std::size_t>(m)]) split.fx.push_back(m);
+  }
+  for (int m = 0; m < y.order(); ++m) {
+    if (!y_contract[static_cast<std::size_t>(m)]) split.fy.push_back(m);
+  }
+  SPARTA_CHECK(!split.fx.empty() || !split.fy.empty(),
+               "full contraction to a scalar needs at least one free mode");
+  return split;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Shared preparation
+// ---------------------------------------------------------------------
+
+// X permuted to [free..., contract...] and sorted, with sub-tensor
+// boundaries ptrf over the free-mode prefix (paper's ptr_F).
+struct PreparedX {
+  SparseTensor t;
+  std::vector<std::size_t> ptrf;  // num_subtensors + 1 entries
+  std::size_t num_free = 0;
+};
+
+PreparedX prepare_x(const SparseTensor& x, const Modes& fx, const Modes& cx) {
+  PreparedX px;
+  px.num_free = fx.size();
+  Modes order = fx;
+  order.insert(order.end(), cx.begin(), cx.end());
+  px.t = x;  // operands are const; work on a copy
+  px.t.permute_modes(order);
+  px.t.sort();
+
+  // Boundaries of runs with equal free-mode prefix.
+  px.ptrf.push_back(0);
+  const std::size_t n = px.t.nnz();
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t m = 0; m < px.num_free; ++m) {
+      if (px.t.index(i - 1, static_cast<int>(m)) !=
+          px.t.index(i, static_cast<int>(m))) {
+        px.ptrf.push_back(i);
+        break;
+      }
+    }
+  }
+  if (n > 0) px.ptrf.push_back(n);
+  return px;
+}
+
+// Y permuted to [contract..., free...] and sorted (COO variants only).
+SparseTensor prepare_y_coo(const SparseTensor& y, const Modes& cy,
+                           const Modes& fy) {
+  Modes order = cy;
+  order.insert(order.end(), fy.begin(), fy.end());
+  SparseTensor t = y;
+  t.permute_modes(order);
+  t.sort();
+  return t;
+}
+
+std::vector<index_t> gather_dims(const SparseTensor& t, const Modes& modes) {
+  std::vector<index_t> d;
+  d.reserve(modes.size());
+  for (int m : modes) d.push_back(t.dim(m));
+  return d;
+}
+
+// ---------------------------------------------------------------------
+// Thread-local output staging (Z_local, §3.5)
+// ---------------------------------------------------------------------
+
+struct ZLocal {
+  std::vector<index_t> coords;  // z_order entries per element, row-major
+  std::vector<value_t> vals;
+
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return coords.capacity() * sizeof(index_t) +
+           vals.capacity() * sizeof(value_t);
+  }
+};
+
+// Per-thread stage-time tallies for the three computation stages.
+struct ThreadTimes {
+  double search = 0;
+  double accumulate = 0;
+  double writeback = 0;
+};
+
+// Scratch describing the Y items matched by one X non-zero.
+struct CooMatch {
+  std::size_t begin;
+  std::size_t end;
+  value_t xval;
+};
+struct HtMatch {
+  std::span<const FreeItem> items;
+  value_t xval;
+};
+
+// ---------------------------------------------------------------------
+// COO linear index search (Algorithm 1, stage ②)
+// ---------------------------------------------------------------------
+
+// Scans Y's non-zeros from the start, comparing the m leading (contract)
+// index columns lexicographically, until the run matching `target` is
+// found or passed (Y is sorted, so passing means absent). Returns the
+// matching [begin, end) range. O(nnz_Y) — deliberately the baseline cost.
+std::pair<std::size_t, std::size_t> coo_linear_search(
+    const SparseTensor& y, std::size_t m, std::span<const index_t> target) {
+  const std::size_t n = y.nnz();
+  std::size_t i = 0;
+  for (; i < n; ++i) {
+    int cmp = 0;
+    for (std::size_t k = 0; k < m; ++k) {
+      const index_t yi = y.index(i, static_cast<int>(k));
+      if (yi != target[k]) {
+        cmp = yi < target[k] ? -1 : 1;
+        break;
+      }
+    }
+    if (cmp == 0) break;    // found the start of the run
+    if (cmp > 0) return {i, i};  // passed it: absent
+  }
+  std::size_t e = i;
+  for (; e < n; ++e) {
+    bool same = true;
+    for (std::size_t k = 0; k < m; ++k) {
+      if (y.index(e, static_cast<int>(k)) != target[k]) {
+        same = false;
+        break;
+      }
+    }
+    if (!same) break;
+  }
+  return {i, e};
+}
+
+// O(log nnz_Y) binary search for the run matching `target` — the
+// kCooBinary extension sitting between the linear scan and the HtY
+// probe. Returns the matching [begin, end) range.
+std::pair<std::size_t, std::size_t> coo_binary_search(
+    const SparseTensor& y, std::size_t m, std::span<const index_t> target) {
+  const std::size_t n = y.nnz();
+  auto row_less_than_target = [&](std::size_t row) {
+    for (std::size_t k = 0; k < m; ++k) {
+      const index_t yi = y.index(row, static_cast<int>(k));
+      if (yi != target[k]) return yi < target[k];
+    }
+    return false;
+  };
+  std::size_t lo = 0, hi = n;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (row_less_than_target(mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  std::size_t e = lo;
+  for (; e < n; ++e) {
+    bool same = true;
+    for (std::size_t k = 0; k < m; ++k) {
+      if (y.index(e, static_cast<int>(k)) != target[k]) {
+        same = false;
+        break;
+      }
+    }
+    if (!same) break;
+  }
+  return {lo, e};
+}
+
+// ---------------------------------------------------------------------
+// Computation driver
+// ---------------------------------------------------------------------
+
+// Everything the three per-algorithm kernels share: the parallel loop
+// over X sub-tensors, per-thread Z_local staging, timing, and counters.
+// `Body` supplies the algorithm-specific search + accumulate + drain for
+// one sub-tensor. Signature:
+//   body(tid, sub_begin, sub_end, zl, times)
+template <typename Body>
+void parallel_over_subtensors(const PreparedX& px, int nthreads, bool shared,
+                              std::vector<ZLocal>& zlocals,
+                              std::vector<ThreadTimes>& times, Body&& body) {
+  const auto num_sub = static_cast<std::ptrdiff_t>(
+      px.ptrf.empty() ? 0 : px.ptrf.size() - 1);
+  // Shared-writeback ablation: one buffer, serialized by the caller's
+  // mutex, instead of one staging buffer per thread.
+  zlocals.assign(shared ? 1 : static_cast<std::size_t>(nthreads), {});
+  times.assign(static_cast<std::size_t>(nthreads), {});
+
+#pragma omp parallel num_threads(nthreads)
+  {
+    const auto tid = static_cast<std::size_t>(thread_id());
+#pragma omp for schedule(dynamic, 16)
+    for (std::ptrdiff_t f = 0; f < num_sub; ++f) {
+      body(tid, px.ptrf[static_cast<std::size_t>(f)],
+           px.ptrf[static_cast<std::size_t>(f) + 1],
+           zlocals[shared ? 0 : tid], times[tid]);
+    }
+  }
+}
+
+// Appends one output element (fx prefix ++ fy indices, value) to Z_local.
+inline void emit(ZLocal& zl, const SparseTensor& xt, std::size_t sub_begin,
+                 std::size_t num_free_x, std::span<const index_t> fy_coords,
+                 value_t v) {
+  for (std::size_t m = 0; m < num_free_x; ++m) {
+    zl.coords.push_back(xt.index(sub_begin, static_cast<int>(m)));
+  }
+  zl.coords.insert(zl.coords.end(), fy_coords.begin(), fy_coords.end());
+  zl.vals.push_back(v);
+}
+
+// ---------------------------------------------------------------------
+// Access-profile synthesis (memsim substrate; DESIGN.md §2)
+// ---------------------------------------------------------------------
+
+// Approximate traffic of sorting n elements of `row_bytes` each. The
+// LN-pair sort streams (key, position) pairs through log-factor
+// partition passes — overwhelmingly sequential — with a final
+// permutation gather/scatter whose random accesses hit whole cache
+// lines (hence the /8 on access counts).
+void add_sort_traffic(AccessStats& s, std::uint64_t n,
+                      std::uint64_t row_bytes) {
+  if (n == 0) return;
+  const auto logn = static_cast<std::uint64_t>(
+      std::max(1.0, std::log2(static_cast<double>(n))));
+  s.bytes_read_seq += n * row_bytes + n * 16 * logn / 2;
+  s.bytes_written_seq += n * row_bytes + n * 16 * logn / 2;
+  s.bytes_read_rand += n * row_bytes / 4;
+  s.bytes_written_rand += n * row_bytes / 4;
+  s.rand_reads += n / 8;
+  s.rand_writes += n / 8;
+}
+
+struct ProfileInputs {
+  Algorithm alg;
+  std::size_t x_row_bytes;
+  std::size_t y_contract_bytes;  // bytes of contract columns per Y element
+  std::size_t y_row_bytes;
+  std::size_t z_row_bytes;
+  std::uint64_t scanned_y_elements;  // COO linear-search traffic
+};
+
+void fill_access_profile(AccessProfile& p, const ContractStats& st,
+                         const ProfileInputs& in) {
+  constexpr std::uint64_t kHtyProbeBytes = 32;   // bucket ptr + group header
+  constexpr std::uint64_t kHtyItemBytes = sizeof(FreeItem);
+  constexpr std::uint64_t kHtaEntryBytes = 24;   // key + value + chain slot
+
+  // ① input processing: X permute+sort; Y sort (COO) or HtY build.
+  add_sort_traffic(p.at(Stage::kInputProcessing, DataObject::kX), st.nnz_x,
+                   in.x_row_bytes);
+  if (in.alg == Algorithm::kSparta) {
+    auto& y = p.at(Stage::kInputProcessing, DataObject::kY);
+    y.bytes_read_seq += st.nnz_y * in.y_row_bytes;
+    // Building HtY probes the bucket chain (read) then appends (write).
+    auto& hty = p.at(Stage::kInputProcessing, DataObject::kHtY);
+    hty.bytes_read_rand += st.nnz_y * kHtyProbeBytes;
+    hty.rand_reads += st.nnz_y;
+    hty.bytes_written_rand += st.nnz_y * (kHtyProbeBytes + kHtyItemBytes);
+    hty.rand_writes += st.nnz_y;
+  } else {
+    add_sort_traffic(p.at(Stage::kInputProcessing, DataObject::kY), st.nnz_y,
+                     in.y_row_bytes);
+  }
+
+  // ② index search: X contract columns stream in; HtY is probed randomly
+  // (Sparta) or Y is scanned (COO variants).
+  {
+    auto& x = p.at(Stage::kIndexSearch, DataObject::kX);
+    x.bytes_read_seq += st.nnz_x * in.x_row_bytes;
+    if (in.alg == Algorithm::kSparta) {
+      // Each probe walks the bucket pointer plus on average one chain
+      // node — two dependent random reads.
+      auto& hty = p.at(Stage::kIndexSearch, DataObject::kHtY);
+      hty.bytes_read_rand += st.searches * 2 * kHtyProbeBytes;
+      hty.rand_reads += st.searches * 2;
+    } else {
+      auto& y = p.at(Stage::kIndexSearch, DataObject::kY);
+      y.bytes_read_seq += in.scanned_y_elements * in.y_contract_bytes;
+    }
+  }
+
+  // ③ accumulation: matched items stream from HtY/Y; the accumulator is
+  // hit randomly once per multiply.
+  {
+    const DataObject src =
+        in.alg == Algorithm::kSparta ? DataObject::kHtY : DataObject::kY;
+    auto& s = p.at(Stage::kAccumulation, src);
+    s.bytes_read_seq += st.multiplies * kHtyItemBytes;
+    auto& a = p.at(Stage::kAccumulation, DataObject::kHtA);
+    a.bytes_read_rand += st.multiplies * kHtaEntryBytes;
+    a.bytes_written_rand += st.multiplies * kHtaEntryBytes;
+    a.rand_reads += st.multiplies;
+    a.rand_writes += st.multiplies;
+    // New entries are appended to Z_local as they first appear
+    // (Table 2: Z_local is Seq,WO during accumulation).
+    auto& zl = p.at(Stage::kAccumulation, DataObject::kZlocal);
+    zl.bytes_written_seq += st.nnz_z * in.z_row_bytes;
+  }
+
+  // ④ writeback: drain accumulators to Z_local, then gather into Z.
+  {
+    auto& a = p.at(Stage::kWriteback, DataObject::kHtA);
+    a.bytes_read_seq += st.nnz_z * kHtaEntryBytes;
+    auto& zl = p.at(Stage::kWriteback, DataObject::kZlocal);
+    zl.bytes_read_seq += st.nnz_z * in.z_row_bytes;  // gather pass
+    auto& z = p.at(Stage::kWriteback, DataObject::kZ);
+    z.bytes_written_seq += st.nnz_z * in.z_row_bytes;
+  }
+
+  // ⑤ output sorting.
+  add_sort_traffic(p.at(Stage::kOutputSorting, DataObject::kZ), st.nnz_z,
+                   in.z_row_bytes);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// contract()
+// ---------------------------------------------------------------------
+
+namespace {
+
+// Shared implementation behind both public entry points: exactly one of
+// `y` (ad-hoc contraction) and `plan` (prebuilt HtY) is non-null.
+ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
+                             const YPlan* plan, const Modes& cx,
+                             const Modes& cy, const ContractOptions& opts) {
+  ModeSplit split;
+  if (y) {
+    split = validate_modes(x, *y, cx, cy);
+  } else {
+    SPARTA_CHECK(cx.size() == plan->cy().size(),
+                 "cx arity must match the plan's contract modes");
+    std::vector<bool> seen(static_cast<std::size_t>(x.order()), false);
+    for (std::size_t i = 0; i < cx.size(); ++i) {
+      const int mm = cx[i];
+      SPARTA_CHECK(mm >= 0 && mm < x.order(), "cx: mode out of range");
+      SPARTA_CHECK(!seen[static_cast<std::size_t>(mm)],
+                   "cx: duplicate contract mode");
+      seen[static_cast<std::size_t>(mm)] = true;
+      SPARTA_CHECK(x.dim(mm) == plan->contract_dims()[i],
+                   "contract mode sizes must match the plan");
+    }
+    for (int mm = 0; mm < x.order(); ++mm) {
+      if (!seen[static_cast<std::size_t>(mm)]) split.fx.push_back(mm);
+    }
+    split.fy = plan->fy();
+    SPARTA_CHECK(!split.fx.empty() || !split.fy.empty(),
+                 "full contraction to a scalar needs at least one free mode");
+  }
+  const std::size_t m = cx.size();
+  const std::size_t nfx = split.fx.size();
+  const std::size_t nfy = split.fy.size();
+
+  const int nthreads = opts.num_threads > 0 ? opts.num_threads : max_threads();
+
+  ContractResult res;
+  res.stats.nnz_x = x.nnz();
+  res.stats.nnz_y = y ? y->nnz() : plan->nnz_y();
+
+  // Z shape: free X dims then free Y dims.
+  std::vector<index_t> zdims = gather_dims(x, split.fx);
+  {
+    const auto ydims = y ? gather_dims(*y, split.fy) : plan->free_dims();
+    zdims.insert(zdims.end(), ydims.begin(), ydims.end());
+  }
+  const std::size_t zorder = zdims.size();
+
+  if (x.empty() || res.stats.nnz_y == 0) {
+    res.z = SparseTensor(zdims);
+    return res;
+  }
+
+  // ------------------------------------------------------------------
+  // ① Input processing
+  // ------------------------------------------------------------------
+  Timer t_input;
+
+  PreparedX px = prepare_x(x, split.fx, cx);
+  res.stats.num_x_subtensors = px.ptrf.size() - 1;
+  for (std::size_t f = 0; f + 1 < px.ptrf.size(); ++f) {
+    res.stats.max_x_subtensor =
+        std::max(res.stats.max_x_subtensor, px.ptrf[f + 1] - px.ptrf[f]);
+  }
+
+  // LN linearizers for the contract tuple and Y's free tuple.
+  const LinearIndexer clin(gather_dims(x, cx));
+  LinearIndexer fylin_coo;            // COO variants build their own
+  const LinearIndexer* fylin = nullptr;
+
+  SparseTensor ycoo;                  // COO variants
+  std::unique_ptr<YPlan> plan_local;  // Sparta without an external plan
+  const YPlan* active_plan = plan;
+  if (opts.algorithm == Algorithm::kSparta) {
+    if (!active_plan) {
+      plan_local =
+          std::make_unique<YPlan>(*y, cy, opts.hty_buckets, nthreads);
+      active_plan = plan_local.get();
+    }
+    fylin = &active_plan->fy_indexer();
+    res.stats.num_y_keys = active_plan->num_keys();
+    res.stats.max_y_group = active_plan->max_group();
+    res.stats.hty_bytes = active_plan->hty_footprint_bytes();
+  } else {
+    ycoo = prepare_y_coo(*y, cy, split.fy);
+    fylin_coo = LinearIndexer(nfy > 0 ? gather_dims(*y, split.fy)
+                                      : std::vector<index_t>{1});
+    fylin = &fylin_coo;
+  }
+
+  res.stage_times[Stage::kInputProcessing] = t_input.seconds();
+
+  // ------------------------------------------------------------------
+  // ②③④ Computation over X sub-tensors
+  // ------------------------------------------------------------------
+  std::vector<ZLocal> zlocals;
+  std::vector<ThreadTimes> times;
+  std::mutex writeback_mutex;  // shared-writeback ablation only
+  std::atomic<std::uint64_t> total_searches{0};
+  std::atomic<std::uint64_t> total_hits{0};
+  std::atomic<std::uint64_t> total_multiplies{0};
+  std::atomic<std::uint64_t> total_scanned{0};
+  std::atomic<std::uint64_t> acc_bytes{0};
+
+  if (opts.algorithm == Algorithm::kSparta) {
+    // Generic over the accumulator type so the open-addressing variant
+    // (use_linear_probe_hta) shares the exact same body.
+    auto run_sparta = [&]<typename AccT>(std::vector<AccT>& accs) {
+    parallel_over_subtensors(
+        px, nthreads, opts.ablation_shared_writeback, zlocals, times,
+        [&](std::size_t tid, std::size_t b, std::size_t e, ZLocal& zl,
+            ThreadTimes& tt) {
+          AccT& acc = accs[tid];
+          acc.clear();
+          std::vector<index_t> ctuple(m);
+          std::vector<HtMatch> matches;
+
+          Timer t;
+          std::uint64_t searches = 0;
+          std::uint64_t hits = 0;
+          for (std::size_t i = b; i < e; ++i) {
+            for (std::size_t k = 0; k < m; ++k) {
+              ctuple[k] = px.t.index(i, static_cast<int>(nfx + k));
+            }
+            const lnkey_t key = clin.linearize(ctuple);
+            const auto items = active_plan->hty().find(key);
+            ++searches;
+            if (!items.empty()) {
+              ++hits;
+              matches.push_back(HtMatch{items, px.t.value(i)});
+            }
+          }
+          tt.search += t.seconds();
+
+          t.reset();
+          std::uint64_t mults = 0;
+          for (const HtMatch& mt : matches) {
+            for (const FreeItem& it : mt.items) {
+              acc.accumulate(it.free_key, mt.xval * it.val);
+              ++mults;
+            }
+          }
+          tt.accumulate += t.seconds();
+
+          t.reset();
+          std::vector<index_t> fyc(std::max<std::size_t>(nfy, 1));
+          std::unique_lock<std::mutex> wb_lock(writeback_mutex,
+                                                std::defer_lock);
+          if (opts.ablation_shared_writeback) wb_lock.lock();
+          acc.drain([&](lnkey_t fkey, value_t v) {
+            fylin->delinearize(fkey, fyc);
+            emit(zl, px.t, b, nfx,
+                 std::span<const index_t>(fyc.data(), nfy), v);
+          });
+          wb_lock = {};
+          tt.writeback += t.seconds();
+
+          total_searches += searches;
+          total_hits += hits;
+          total_multiplies += mults;
+          acc_bytes.store(
+              std::max(acc_bytes.load(std::memory_order_relaxed),
+                       static_cast<std::uint64_t>(acc.footprint_bytes())),
+              std::memory_order_relaxed);
+        });
+    };
+    const std::size_t acc_hint =
+        std::max<std::size_t>(res.stats.max_y_group, 64);
+    if (opts.use_linear_probe_hta) {
+      std::vector<LinearProbeAccumulator> accs(
+          static_cast<std::size_t>(nthreads),
+          LinearProbeAccumulator(acc_hint));
+      run_sparta(accs);
+    } else {
+      std::vector<HashAccumulator> accs(static_cast<std::size_t>(nthreads),
+                                        HashAccumulator(acc_hint));
+      run_sparta(accs);
+    }
+    // Accumulator footprint: per-thread peak × thread count.
+    res.stats.hta_bytes =
+        static_cast<std::size_t>(acc_bytes.load()) *
+        static_cast<std::size_t>(nthreads);
+  } else if (opts.algorithm == Algorithm::kCooHta ||
+             opts.algorithm == Algorithm::kCooBinary) {
+    const bool binary = opts.algorithm == Algorithm::kCooBinary;
+    std::vector<HashAccumulator> accs(static_cast<std::size_t>(nthreads),
+                                      HashAccumulator(64));
+    parallel_over_subtensors(
+        px, nthreads, opts.ablation_shared_writeback, zlocals, times,
+        [&](std::size_t tid, std::size_t b, std::size_t e, ZLocal& zl,
+            ThreadTimes& tt) {
+          HashAccumulator& acc = accs[tid];
+          acc.clear();
+          std::vector<index_t> ctuple(m);
+          std::vector<CooMatch> matches;
+
+          Timer t;
+          std::uint64_t searches = 0;
+          std::uint64_t hits = 0;
+          std::uint64_t scanned = 0;
+          for (std::size_t i = b; i < e; ++i) {
+            for (std::size_t k = 0; k < m; ++k) {
+              ctuple[k] = px.t.index(i, static_cast<int>(nfx + k));
+            }
+            const auto [yb, ye] = binary
+                                      ? coo_binary_search(ycoo, m, ctuple)
+                                      : coo_linear_search(ycoo, m, ctuple);
+            ++searches;
+            scanned += binary ? 64 : ye;  // elements touched by the search
+            if (yb != ye) {
+              ++hits;
+              matches.push_back(CooMatch{yb, ye, px.t.value(i)});
+            }
+          }
+          tt.search += t.seconds();
+
+          t.reset();
+          std::uint64_t mults = 0;
+          std::vector<index_t> fyc(std::max<std::size_t>(nfy, 1));
+          for (const CooMatch& mt : matches) {
+            for (std::size_t j = mt.begin; j < mt.end; ++j) {
+              // The COO variant pays the index→LN conversion per item —
+              // exactly the cost HtY's precomputed free keys avoid.
+              for (std::size_t k = 0; k < nfy; ++k) {
+                fyc[k] = ycoo.index(j, static_cast<int>(m + k));
+              }
+              const lnkey_t fkey =
+                  nfy > 0 ? fylin->linearize(
+                                std::span<const index_t>(fyc.data(), nfy))
+                          : 0;
+              acc.accumulate(fkey, mt.xval * ycoo.value(j));
+              ++mults;
+            }
+          }
+          tt.accumulate += t.seconds();
+
+          t.reset();
+          std::unique_lock<std::mutex> wb_lock(writeback_mutex,
+                                                std::defer_lock);
+          if (opts.ablation_shared_writeback) wb_lock.lock();
+          acc.drain([&](lnkey_t fkey, value_t v) {
+            fylin->delinearize(fkey, fyc);
+            emit(zl, px.t, b, nfx,
+                 std::span<const index_t>(fyc.data(), nfy), v);
+          });
+          wb_lock = {};
+          tt.writeback += t.seconds();
+
+          total_searches += searches;
+          total_hits += hits;
+          total_multiplies += mults;
+          total_scanned += scanned;
+          acc_bytes.store(
+              std::max(acc_bytes.load(std::memory_order_relaxed),
+                       static_cast<std::uint64_t>(acc.footprint_bytes())),
+              std::memory_order_relaxed);
+        });
+    res.stats.hta_bytes =
+        static_cast<std::size_t>(acc_bytes.load()) *
+        static_cast<std::size_t>(nthreads);
+  } else {  // Algorithm::kSpa
+    parallel_over_subtensors(
+        px, nthreads, opts.ablation_shared_writeback, zlocals, times,
+        [&](std::size_t /*tid*/, std::size_t b, std::size_t e, ZLocal& zl,
+            ThreadTimes& tt) {
+          SpaAccumulator spa(nfy);
+          std::vector<index_t> ctuple(m);
+          std::vector<CooMatch> matches;
+
+          Timer t;
+          std::uint64_t searches = 0;
+          std::uint64_t hits = 0;
+          std::uint64_t scanned = 0;
+          for (std::size_t i = b; i < e; ++i) {
+            for (std::size_t k = 0; k < m; ++k) {
+              ctuple[k] = px.t.index(i, static_cast<int>(nfx + k));
+            }
+            const auto [yb, ye] = coo_linear_search(ycoo, m, ctuple);
+            ++searches;
+            scanned += ye;
+            if (yb != ye) {
+              ++hits;
+              matches.push_back(CooMatch{yb, ye, px.t.value(i)});
+            }
+          }
+          tt.search += t.seconds();
+
+          t.reset();
+          std::uint64_t mults = 0;
+          std::vector<index_t> fyc(std::max<std::size_t>(nfy, 1));
+          for (const CooMatch& mt : matches) {
+            for (std::size_t j = mt.begin; j < mt.end; ++j) {
+              for (std::size_t k = 0; k < nfy; ++k) {
+                fyc[k] = ycoo.index(j, static_cast<int>(m + k));
+              }
+              spa.accumulate(std::span<const index_t>(fyc.data(), nfy),
+                             mt.xval * ycoo.value(j));
+              ++mults;
+            }
+          }
+          tt.accumulate += t.seconds();
+
+          t.reset();
+          std::unique_lock<std::mutex> wb_lock(writeback_mutex,
+                                                std::defer_lock);
+          if (opts.ablation_shared_writeback) wb_lock.lock();
+          for (std::size_t i = 0; i < spa.size(); ++i) {
+            emit(zl, px.t, b, nfx, spa.key(i), spa.value(i));
+          }
+          wb_lock = {};
+          spa.clear();
+          tt.writeback += t.seconds();
+
+          total_searches += searches;
+          total_hits += hits;
+          total_multiplies += mults;
+          total_scanned += scanned;
+          acc_bytes.store(
+              std::max(acc_bytes.load(std::memory_order_relaxed),
+                       static_cast<std::uint64_t>(spa.footprint_bytes())),
+              std::memory_order_relaxed);
+        });
+    res.stats.hta_bytes =
+        static_cast<std::size_t>(acc_bytes.load()) *
+        static_cast<std::size_t>(nthreads);
+  }
+
+  res.stats.searches = total_searches.load();
+  res.stats.hits = total_hits.load();
+  res.stats.multiplies = total_multiplies.load();
+
+  // Average per-thread stage time — equals wall time when threads are
+  // balanced, and matches the paper's per-stage presentation.
+  {
+    double s = 0, a = 0, w = 0;
+    for (const ThreadTimes& tt : times) {
+      s += tt.search;
+      a += tt.accumulate;
+      w += tt.writeback;
+    }
+    const auto nt = static_cast<double>(nthreads);
+    res.stage_times[Stage::kIndexSearch] = s / nt;
+    res.stage_times[Stage::kAccumulation] = a / nt;
+    res.stage_times[Stage::kWriteback] = w / nt;
+  }
+
+  // ------------------------------------------------------------------
+  // ④ (continued) Gather thread-local Z_local buffers into Z
+  // ------------------------------------------------------------------
+  Timer t_gather;
+  std::size_t total_z = 0;
+  std::vector<std::size_t> offsets(zlocals.size() + 1, 0);
+  for (std::size_t t = 0; t < zlocals.size(); ++t) {
+    offsets[t] = total_z;
+    total_z += zlocals[t].vals.size();
+  }
+  offsets[zlocals.size()] = total_z;
+
+  std::vector<std::vector<index_t>> zcols(zorder);
+  for (auto& col : zcols) col.resize(total_z);
+  std::vector<value_t> zvals(total_z);
+
+  {
+    const auto nt = static_cast<std::ptrdiff_t>(zlocals.size());
+#pragma omp parallel for schedule(static) num_threads(nthreads)
+    for (std::ptrdiff_t t = 0; t < nt; ++t) {
+      const ZLocal& zl = zlocals[static_cast<std::size_t>(t)];
+      std::size_t dst = offsets[static_cast<std::size_t>(t)];
+      for (std::size_t i = 0; i < zl.vals.size(); ++i, ++dst) {
+        for (std::size_t mcol = 0; mcol < zorder; ++mcol) {
+          zcols[mcol][dst] = zl.coords[i * zorder + mcol];
+        }
+        zvals[dst] = zl.vals[i];
+      }
+    }
+  }
+
+  std::size_t zlocal_bytes = 0;
+  for (const ZLocal& zl : zlocals) zlocal_bytes += zl.footprint_bytes();
+  res.stats.zlocal_bytes = zlocal_bytes;
+
+  res.z = SparseTensor::from_columns(std::move(zdims), std::move(zcols),
+                                     std::move(zvals));
+  res.stage_times[Stage::kWriteback] += t_gather.seconds();
+  res.stats.nnz_z = res.z.nnz();
+  res.stats.z_bytes = res.z.footprint_bytes();
+
+  // ------------------------------------------------------------------
+  // ⑤ Output sorting
+  // ------------------------------------------------------------------
+  if (opts.sort_output) {
+    Timer t_sort;
+    res.z.sort();
+    res.stage_times[Stage::kOutputSorting] = t_sort.seconds();
+  }
+
+  // ------------------------------------------------------------------
+  // Access profile for the memory simulator
+  // ------------------------------------------------------------------
+  if (opts.collect_access_profile) {
+    ProfileInputs in;
+    in.alg = opts.algorithm;
+    in.x_row_bytes =
+        static_cast<std::size_t>(x.order()) * sizeof(index_t) +
+        sizeof(value_t);
+    in.y_contract_bytes = m * sizeof(index_t);
+    const std::size_t y_order =
+        y ? static_cast<std::size_t>(y->order()) : plan->y_dims().size();
+    in.y_row_bytes = y_order * sizeof(index_t) + sizeof(value_t);
+    in.z_row_bytes = zorder * sizeof(index_t) + sizeof(value_t);
+    in.scanned_y_elements = total_scanned.load();
+    fill_access_profile(res.profile, res.stats, in);
+
+    res.profile.set_footprint(DataObject::kX, px.t.footprint_bytes());
+    res.profile.set_footprint(DataObject::kY,
+                              opts.algorithm == Algorithm::kSparta
+                                  ? active_plan->y_footprint_bytes()
+                                  : ycoo.footprint_bytes());
+    res.profile.set_footprint(DataObject::kHtY, res.stats.hty_bytes);
+    res.profile.set_footprint(DataObject::kHtA, res.stats.hta_bytes);
+    res.profile.set_footprint(DataObject::kZlocal, res.stats.zlocal_bytes);
+    res.profile.set_footprint(DataObject::kZ, res.stats.z_bytes);
+    res.profile.measured = res.stage_times;
+  }
+
+  return res;
+}
+
+}  // namespace
+
+ContractResult contract(const SparseTensor& x, const SparseTensor& y,
+                        const Modes& cx, const Modes& cy,
+                        const ContractOptions& opts) {
+  // The §3.3 heuristic: represent the larger operand as Y (it becomes the
+  // hash table, probed rather than iterated).
+  if (opts.swap_operands_if_larger_x && x.nnz() > y.nnz()) {
+    ContractOptions o = opts;
+    o.swap_operands_if_larger_x = false;
+    return contract(y, x, cy, cx, o);
+  }
+  return contract_impl(x, &y, nullptr, cx, cy, opts);
+}
+
+ContractResult contract(const SparseTensor& x, const YPlan& plan,
+                        const Modes& cx, const ContractOptions& opts) {
+  ContractOptions o = opts;
+  o.algorithm = Algorithm::kSparta;      // plans only exist for Sparta
+  o.swap_operands_if_larger_x = false;   // orientation is fixed by the plan
+  return contract_impl(x, nullptr, &plan, cx, plan.cy(), o);
+}
+
+}  // namespace sparta

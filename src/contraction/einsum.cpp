@@ -1,0 +1,264 @@
+#include "contraction/einsum.hpp"
+
+#include "contraction/einsum_order.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace sparta {
+
+namespace {
+
+struct Operand {
+  SparseTensor tensor;
+  std::string labels;  // one char per mode
+};
+
+struct ParsedSpec {
+  std::vector<std::string> inputs;
+  std::string output;
+};
+
+ParsedSpec parse_spec(const std::string& spec, std::size_t num_operands) {
+  ParsedSpec p;
+  std::string inputs_part = spec;
+  const auto arrow = spec.find("->");
+  if (arrow != std::string::npos) {
+    inputs_part = spec.substr(0, arrow);
+    for (char c : spec.substr(arrow + 2)) {
+      if (!std::isspace(static_cast<unsigned char>(c))) p.output.push_back(c);
+    }
+  }
+
+  std::string cur;
+  for (char c : inputs_part) {
+    if (c == ',') {
+      p.inputs.push_back(cur);
+      cur.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      SPARTA_CHECK(std::isalpha(static_cast<unsigned char>(c)),
+                   std::string("einsum: bad subscript character '") + c +
+                       "'");
+      cur.push_back(c);
+    }
+  }
+  p.inputs.push_back(cur);
+  SPARTA_CHECK(p.inputs.size() == num_operands,
+               "einsum: spec names " + std::to_string(p.inputs.size()) +
+                   " operands but " + std::to_string(num_operands) +
+                   " were given");
+
+  // Count label occurrences; validate per-operand uniqueness.
+  std::map<char, int> count;
+  for (const std::string& in : p.inputs) {
+    std::set<char> seen;
+    for (char c : in) {
+      SPARTA_CHECK(seen.insert(c).second,
+                   std::string("einsum: repeated label '") + c +
+                       "' within one operand (traces unsupported)");
+      ++count[c];
+    }
+  }
+  for (const auto& [label, n] : count) {
+    SPARTA_CHECK(n <= 2, std::string("einsum: label '") + label +
+                             "' appears in more than two operands");
+  }
+
+  if (arrow == std::string::npos) {
+    // Implicit output: once-occurring labels, alphabetical.
+    for (const auto& [label, n] : count) {
+      if (n == 1) p.output.push_back(label);
+    }
+  } else {
+    std::set<char> out_seen;
+    for (char c : p.output) {
+      SPARTA_CHECK(std::isalpha(static_cast<unsigned char>(c)),
+                   "einsum: bad character in output subscripts");
+      SPARTA_CHECK(out_seen.insert(c).second,
+                   "einsum: repeated label in output");
+      SPARTA_CHECK(count.count(c),
+                   std::string("einsum: output label '") + c +
+                       "' missing from inputs");
+      SPARTA_CHECK(count[c] == 1,
+                   std::string("einsum: contracted label '") + c +
+                       "' cannot appear in the output");
+    }
+  }
+  return p;
+}
+
+// Sparse outer product (no shared labels): every pair of non-zeros.
+Operand outer_product(const Operand& a, const Operand& b) {
+  std::vector<index_t> dims = a.tensor.dims();
+  dims.insert(dims.end(), b.tensor.dims().begin(), b.tensor.dims().end());
+  SparseTensor out(dims);
+  out.reserve(a.tensor.nnz() * b.tensor.nnz());
+  std::vector<index_t> ca(static_cast<std::size_t>(a.tensor.order()));
+  std::vector<index_t> cb(static_cast<std::size_t>(b.tensor.order()));
+  std::vector<index_t> c(dims.size());
+  for (std::size_t i = 0; i < a.tensor.nnz(); ++i) {
+    a.tensor.coords(i, ca);
+    std::copy(ca.begin(), ca.end(), c.begin());
+    for (std::size_t j = 0; j < b.tensor.nnz(); ++j) {
+      b.tensor.coords(j, cb);
+      std::copy(cb.begin(), cb.end(),
+                c.begin() + static_cast<std::ptrdiff_t>(ca.size()));
+      out.append_unchecked(c, a.tensor.value(i) * b.tensor.value(j));
+    }
+  }
+  return Operand{std::move(out), a.labels + b.labels};
+}
+
+// Contracts two operands over their shared labels; result labels follow
+// contract()'s output convention (free-X ascending, then free-Y).
+Operand contract_pair(const Operand& a, const Operand& b,
+                      const ContractOptions& opts) {
+  Modes cx, cy;
+  for (std::size_t i = 0; i < a.labels.size(); ++i) {
+    const auto j = b.labels.find(a.labels[i]);
+    if (j != std::string::npos) {
+      cx.push_back(static_cast<int>(i));
+      cy.push_back(static_cast<int>(j));
+    }
+  }
+  if (cx.empty()) return outer_product(a, b);
+
+  std::string out_labels;
+  for (std::size_t i = 0; i < a.labels.size(); ++i) {
+    if (std::find(cx.begin(), cx.end(), static_cast<int>(i)) == cx.end()) {
+      out_labels.push_back(a.labels[i]);
+    }
+  }
+  for (std::size_t j = 0; j < b.labels.size(); ++j) {
+    if (std::find(cy.begin(), cy.end(), static_cast<int>(j)) == cy.end()) {
+      out_labels.push_back(b.labels[j]);
+    }
+  }
+  return Operand{contract_tensor(a.tensor, b.tensor, cx, cy, opts),
+                 std::move(out_labels)};
+}
+
+// Greedy cost estimate for contracting i with j: output-size proxy
+// nnz_i · nnz_j / (product of shared dims). Lower is better; pairs with
+// no shared label rank last (outer products explode).
+double pair_cost(const Operand& a, const Operand& b) {
+  double shared = 1.0;
+  bool any = false;
+  for (std::size_t i = 0; i < a.labels.size(); ++i) {
+    const auto j = b.labels.find(a.labels[i]);
+    if (j != std::string::npos) {
+      shared *= static_cast<double>(a.tensor.dim(static_cast<int>(i)));
+      any = true;
+    }
+  }
+  const double size = static_cast<double>(a.tensor.nnz()) *
+                      static_cast<double>(b.tensor.nnz());
+  return any ? size / shared : size * 1e12;
+}
+
+}  // namespace
+
+SparseTensor einsum(const std::string& spec,
+                    const std::vector<const SparseTensor*>& operands,
+                    const ContractOptions& opts, EinsumOrder order) {
+  SPARTA_CHECK(!operands.empty(), "einsum: need at least one operand");
+  const ParsedSpec parsed = parse_spec(spec, operands.size());
+
+  // Bind labels to operands; validate arities and dimension agreement.
+  std::vector<Operand> work;
+  std::map<char, index_t> label_dim;
+  for (std::size_t k = 0; k < operands.size(); ++k) {
+    const SparseTensor& t = *operands[k];
+    const std::string& labels = parsed.inputs[k];
+    SPARTA_CHECK(labels.size() == static_cast<std::size_t>(t.order()),
+                 "einsum: operand " + std::to_string(k) + " has " +
+                     std::to_string(t.order()) + " modes but spec names " +
+                     std::to_string(labels.size()));
+    for (std::size_t m = 0; m < labels.size(); ++m) {
+      const index_t d = t.dim(static_cast<int>(m));
+      auto [it, inserted] = label_dim.try_emplace(labels[m], d);
+      SPARTA_CHECK(inserted || it->second == d,
+                   std::string("einsum: label '") + labels[m] +
+                       "' has inconsistent sizes");
+    }
+    work.push_back(Operand{t, labels});
+  }
+
+  if (order == EinsumOrder::kOptimal && work.size() > 2) {
+    // DP-planned contraction tree (einsum_order.hpp).
+    std::vector<PlanOperand> plan_ops;
+    for (const Operand& op : work) {
+      plan_ops.push_back(
+          PlanOperand{op.labels, op.tensor.dims(), op.tensor.nnz()});
+    }
+    const ContractionPlan plan =
+        plan_contraction_order(plan_ops, parsed.output);
+    for (const PlanStep& step : plan.steps) {
+      Operand merged = contract_pair(work[step.i], work[step.j], opts);
+      work.erase(work.begin() + static_cast<std::ptrdiff_t>(step.j));
+      work[step.i] = std::move(merged);
+    }
+  }
+
+  // Greedy pairwise contraction (also finishes any remaining pair).
+  while (work.size() > 1) {
+    std::size_t best_i = 0, best_j = 1;
+    double best = 1e300;
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      for (std::size_t j = i + 1; j < work.size(); ++j) {
+        const double cost = pair_cost(work[i], work[j]);
+        if (cost < best) {
+          best = cost;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    Operand merged = contract_pair(work[best_i], work[best_j], opts);
+    work.erase(work.begin() + static_cast<std::ptrdiff_t>(best_j));
+    work[best_i] = std::move(merged);
+  }
+
+  Operand result = std::move(work.front());
+
+  // Sum out labels absent from the output (once-occurring but dropped).
+  for (std::size_t m = 0; m < result.labels.size();) {
+    if (parsed.output.find(result.labels[m]) == std::string::npos) {
+      SPARTA_CHECK(result.tensor.order() > 1,
+                   "einsum: cannot reduce a tensor to a scalar");
+      result.tensor = reduce_mode(result.tensor, static_cast<int>(m));
+      result.labels.erase(m, 1);
+    } else {
+      ++m;
+    }
+  }
+
+  // Permute to the requested output order.
+  SPARTA_CHECK(result.labels.size() == parsed.output.size(),
+               "einsum: internal label bookkeeping mismatch");
+  Modes perm;
+  for (char c : parsed.output) {
+    const auto pos = result.labels.find(c);
+    SPARTA_ASSERT(pos != std::string::npos);
+    perm.push_back(static_cast<int>(pos));
+  }
+  result.tensor.permute_modes(perm);
+  result.tensor.sort();
+  return std::move(result.tensor);
+}
+
+SparseTensor einsum(const std::string& spec,
+                    const std::vector<SparseTensor>& operands,
+                    const ContractOptions& opts, EinsumOrder order) {
+  std::vector<const SparseTensor*> ptrs;
+  ptrs.reserve(operands.size());
+  for (const SparseTensor& t : operands) ptrs.push_back(&t);
+  return einsum(spec, ptrs, opts, order);
+}
+
+}  // namespace sparta

@@ -1,0 +1,49 @@
+// einsum-style multi-tensor contraction on sparse tensors.
+//
+//   einsum("abc,cd->abd", {&x, &y})        — matrix-style contraction
+//   einsum("ab,bc,cd->ad", {&a, &b, &c})   — chain, greedily ordered
+//   einsum("abc->ac", {&x})                — sum out modes
+//
+// Subscript grammar (numpy-compatible subset):
+//   * one letter per mode, [a-zA-Z];
+//   * a label may appear in at most two inputs — twice means the modes
+//     contract (and the label must not appear in the output), once
+//     means it is free;
+//   * labels within one operand must be distinct (no traces/diagonals);
+//   * "->out" is optional: the default output is the once-occurring
+//     labels in alphabetical order (numpy's rule).
+//
+// For three or more operands the pairwise order is chosen greedily by
+// an nnz-based cost estimate — the driver a "long sequence of tensor
+// contractions" (paper §1) needs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "contraction/contract.hpp"
+#include "tensor/sparse_tensor.hpp"
+
+namespace sparta {
+
+/// How einsum orders pairwise contractions for 3+ operands.
+enum class EinsumOrder : int {
+  kGreedy = 0,   ///< cheapest-next-pair heuristic (default)
+  kOptimal = 1,  ///< DP over operand subsets (einsum_order.hpp), ≤16 ops
+};
+
+/// Contracts `operands` per `spec`. Throws sparta::Error on malformed
+/// specs, arity/dimension mismatches, or unsupported patterns (traces,
+/// labels shared by 3+ operands).
+[[nodiscard]] SparseTensor einsum(const std::string& spec,
+                                  const std::vector<const SparseTensor*>& operands,
+                                  const ContractOptions& opts = {},
+                                  EinsumOrder order = EinsumOrder::kGreedy);
+
+/// Convenience overload for value arguments.
+[[nodiscard]] SparseTensor einsum(const std::string& spec,
+                                  const std::vector<SparseTensor>& operands,
+                                  const ContractOptions& opts = {},
+                                  EinsumOrder order = EinsumOrder::kGreedy);
+
+}  // namespace sparta

@@ -1,0 +1,148 @@
+#include "contraction/einsum_order.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace sparta {
+
+namespace {
+
+using Mask = std::uint32_t;
+
+struct LabelInfo {
+  double dim = 1.0;
+  Mask operands = 0;  // which operands carry this label
+  bool in_output = false;
+};
+
+}  // namespace
+
+ContractionPlan plan_contraction_order(
+    const std::vector<PlanOperand>& operands, const std::string& output) {
+  const std::size_t n = operands.size();
+  SPARTA_CHECK(n >= 1, "planner needs at least one operand");
+  SPARTA_CHECK(n <= 16, "optimal planning is limited to 16 operands");
+
+  // Label table.
+  std::map<char, LabelInfo> labels;
+  for (std::size_t k = 0; k < n; ++k) {
+    SPARTA_CHECK(operands[k].labels.size() == operands[k].dims.size(),
+                 "planner: labels/dims arity mismatch");
+    for (std::size_t m = 0; m < operands[k].labels.size(); ++m) {
+      LabelInfo& li = labels[operands[k].labels[m]];
+      li.dim = static_cast<double>(operands[k].dims[m]);
+      li.operands |= Mask{1} << k;
+    }
+  }
+  for (char c : output) {
+    const auto it = labels.find(c);
+    SPARTA_CHECK(it != labels.end(), "planner: output label not in inputs");
+    it->second.in_output = true;
+  }
+
+  const Mask full = n == 32 ? ~Mask{0} : (Mask{1} << n) - 1;
+
+  // Per-subset size model: free space (labels still needed outside the
+  // subset or in the output) and expected nnz via density propagation.
+  const std::size_t num_subsets = std::size_t{1} << n;
+  std::vector<double> free_space(num_subsets, 1.0);
+  std::vector<double> est_nnz(num_subsets, 0.0);
+  for (Mask s = 1; s <= full; ++s) {
+    double fs = 1.0;
+    double contracted = 1.0;
+    double dens = 1.0;
+    for (const auto& [c, li] : labels) {
+      if (!(li.operands & s)) continue;
+      const bool needed_outside =
+          (li.operands & ~s) != 0 || li.in_output;
+      (needed_outside ? fs : contracted) *= li.dim;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!(s & (Mask{1} << k))) continue;
+      double size = 1.0;
+      for (index_t d : operands[k].dims) size *= static_cast<double>(d);
+      dens *= size > 0 ? static_cast<double>(operands[k].nnz) / size : 0.0;
+    }
+    free_space[s] = fs;
+    est_nnz[s] = std::min(fs, fs * contracted * dens);
+  }
+  // Singletons: the real nnz, not the model.
+  for (std::size_t k = 0; k < n; ++k) {
+    est_nnz[Mask{1} << k] = static_cast<double>(operands[k].nnz);
+  }
+
+  // DP over subsets for the cheapest binary tree.
+  constexpr double kInf = 1e300;
+  std::vector<double> best(num_subsets, kInf);
+  std::vector<Mask> best_split(num_subsets, 0);
+  for (std::size_t k = 0; k < n; ++k) best[Mask{1} << k] = 0.0;
+
+  auto pair_cost = [&](Mask a, Mask b) {
+    // Shared label space between the two intermediates.
+    double shared = 1.0;
+    for (const auto& [c, li] : labels) {
+      if ((li.operands & a) && (li.operands & b)) shared *= li.dim;
+    }
+    const double multiplies = est_nnz[a] * est_nnz[b] / shared;
+    return est_nnz[a] + est_nnz[b] + multiplies + est_nnz[a | b];
+  };
+
+  for (Mask s = 1; s <= full; ++s) {
+    if ((s & (s - 1)) == 0) continue;  // singleton
+    // Enumerate proper sub-splits; fix the lowest bit in one side to
+    // halve the enumeration.
+    const Mask low = s & (~s + 1);
+    for (Mask a = (s - 1) & s; a; a = (a - 1) & s) {
+      if (!(a & low)) continue;
+      const Mask b = s ^ a;
+      if (best[a] >= kInf || best[b] >= kInf) continue;
+      const double cost = best[a] + best[b] + pair_cost(a, b);
+      if (cost < best[s]) {
+        best[s] = cost;
+        best_split[s] = a;
+      }
+    }
+  }
+  SPARTA_CHECK(best[full] < kInf, "planner found no contraction tree");
+
+  // Emit merges in dependency order, then map them onto the evolving
+  // work-list indices einsum() maintains (j removed, result at i).
+  std::vector<std::pair<Mask, Mask>> merges;
+  {
+    std::vector<Mask> stack{full};
+    std::vector<Mask> post;
+    while (!stack.empty()) {
+      const Mask s = stack.back();
+      stack.pop_back();
+      if ((s & (s - 1)) == 0) continue;
+      post.push_back(s);
+      stack.push_back(best_split[s]);
+      stack.push_back(s ^ best_split[s]);
+    }
+    std::reverse(post.begin(), post.end());
+    for (Mask s : post) merges.emplace_back(best_split[s], s ^ best_split[s]);
+  }
+
+  ContractionPlan plan;
+  plan.estimated_cost = best[full];
+  std::vector<Mask> work(n);
+  for (std::size_t k = 0; k < n; ++k) work[k] = Mask{1} << k;
+  for (const auto& [a, b] : merges) {
+    const auto ia = static_cast<std::size_t>(
+        std::find(work.begin(), work.end(), a) - work.begin());
+    const auto ib = static_cast<std::size_t>(
+        std::find(work.begin(), work.end(), b) - work.begin());
+    SPARTA_ASSERT(ia < work.size() && ib < work.size());
+    const std::size_t i = std::min(ia, ib);
+    const std::size_t j = std::max(ia, ib);
+    plan.steps.push_back(PlanStep{i, j});
+    work[i] = a | b;
+    work.erase(work.begin() + static_cast<std::ptrdiff_t>(j));
+  }
+  return plan;
+}
+
+}  // namespace sparta

@@ -1,0 +1,46 @@
+// Contraction-order planning for multi-tensor einsum expressions.
+//
+// Greedy pairwise merging (the einsum() default) can pick badly on
+// non-chain topologies; for networks of up to ~16 operands the optimal
+// binary contraction tree is found by dynamic programming over operand
+// subsets (O(3^n) splits), using a density-propagation model to
+// estimate intermediate sizes from nnz and mode sizes alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/types.hpp"
+
+namespace sparta {
+
+/// One operand's metadata as the planner sees it.
+struct PlanOperand {
+  std::string labels;           ///< one char per mode
+  std::vector<index_t> dims;    ///< matching sizes
+  std::size_t nnz = 0;
+};
+
+/// A pairwise step: contract work[i] with work[j] (indices into the
+/// evolving operand list, j removed, result replaces i) — the execution
+/// order einsum() follows.
+struct PlanStep {
+  std::size_t i;
+  std::size_t j;
+};
+
+struct ContractionPlan {
+  std::vector<PlanStep> steps;
+  double estimated_cost = 0.0;  ///< model cost (flops proxy), comparable
+                                ///< across plans of the same expression
+};
+
+/// Finds the optimal binary contraction tree for `operands` given the
+/// output labels (labels absent from `output` that occur once are
+/// summed at the end, as in einsum()). Throws when operands.size() > 16
+/// (use the greedy path instead).
+[[nodiscard]] ContractionPlan plan_contraction_order(
+    const std::vector<PlanOperand>& operands, const std::string& output);
+
+}  // namespace sparta

@@ -1,0 +1,46 @@
+// Memory-consumption estimators for the placement engine (paper §4.2).
+//
+// Eq. 5 predicts HtY's footprint exactly from tensor metadata; Eq. 6
+// upper-bounds one thread's HtA. Both are evaluated before the object is
+// allocated, which is what lets Sparta place data statically.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/types.hpp"
+
+namespace sparta {
+
+/// Struct-size constants the estimators plug into the paper's formulas.
+/// Matched to GroupedHashMap / HashAccumulator's actual layout.
+struct EstimatorSizes {
+  std::size_t entry_pointer = 16;           ///< Size_ep: chain/bucket slot
+  std::size_t index = sizeof(index_t);      ///< Size_idx
+  std::size_t value = sizeof(value_t);      ///< Size_val
+};
+
+/// Eq. 5: Size_HtY = Size_ep·#Buckets + nnz_Y·(Size_idx·N_Y + Size_val
+///                   + Size_ep).
+[[nodiscard]] std::size_t estimate_hty_bytes(std::size_t nnz_y, int order_y,
+                                             std::size_t num_buckets,
+                                             const EstimatorSizes& sz = {});
+
+/// Eq. 6 (upper bound): Size_HtA = Size_ep·#Buckets + nnz_Fmax^X ·
+///   nnz_Fmax^Y · (Size_idx·|F_Y| + Size_val + Size_ep).
+/// nnz_fmax_x / nnz_fmax_y are the largest X sub-tensor and largest HtY
+/// group, both known after input processing and before the accumulator
+/// is touched.
+[[nodiscard]] std::size_t estimate_hta_bytes(std::size_t nnz_fmax_x,
+                                             std::size_t nnz_fmax_y,
+                                             int num_free_y,
+                                             std::size_t num_buckets,
+                                             const EstimatorSizes& sz = {});
+
+/// Z_local bound (§4.2): size of HtA's payload plus the free-X indices
+/// appended to each of its entries.
+[[nodiscard]] std::size_t estimate_zlocal_bytes(std::size_t nnz_hta,
+                                                int num_free_x,
+                                                int num_free_y,
+                                                const EstimatorSizes& sz = {});
+
+}  // namespace sparta

@@ -1,0 +1,87 @@
+// Algorithm selection and tuning knobs for sparse tensor contraction.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace sparta {
+
+/// The three algorithm variants evaluated in the paper (Fig. 4), plus a
+/// binary-search COO variant this reproduction adds as an ablation
+/// point between the O(nnz_Y) linear scan and the O(1) HtY probe.
+enum class Algorithm : int {
+  kSpa = 0,        ///< COO Y + sparse accumulator (Algorithm 1, "SpTC-SPA")
+  kCooHta = 1,     ///< COO Y + hash-table accumulator, linear search
+  kSparta = 2,     ///< HtY + HtA (Algorithm 2, "Sparta")
+  kCooBinary = 3,  ///< COO Y + HtA, O(log nnz_Y) binary search (extension)
+};
+
+[[nodiscard]] constexpr std::string_view algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kSpa:
+      return "COOY+SPA";
+    case Algorithm::kCooHta:
+      return "COOY+HtA";
+    case Algorithm::kSparta:
+      return "HtY+HtA";
+    case Algorithm::kCooBinary:
+      return "COOY(bin)+HtA";
+  }
+  return "?";
+}
+
+struct ContractOptions {
+  Algorithm algorithm = Algorithm::kSparta;
+
+  /// 0 = use the ambient OpenMP thread count.
+  int num_threads = 0;
+
+  /// Sort Z after computation (the paper's default; stage ⑤).
+  bool sort_output = true;
+
+  /// Apply the paper's §3.3 heuristic: when nnz(X) > nnz(Y), swap the
+  /// operands (and the contract-mode lists) so the larger tensor is the
+  /// one represented as HtY, reducing index-search frequency. The output
+  /// mode order then changes accordingly; off by default so results are
+  /// predictable.
+  bool swap_operands_if_larger_x = false;
+
+  /// Bucket count for HtY; 0 = auto (≈ nnz(Y), rounded up to 2^k).
+  std::size_t hty_buckets = 0;
+
+  /// Use the open-addressing LinearProbeAccumulator instead of the
+  /// chained HashAccumulator for HtA (Sparta algorithm only) — the §6
+  /// "more advanced hash algorithms" direction.
+  bool use_linear_probe_hta = false;
+
+  /// Record the per-stage × per-object AccessProfile for the memory
+  /// simulator. Cheap (arithmetic only) but off by default.
+  bool collect_access_profile = false;
+
+  /// ABLATION ONLY: write results into one shared, lock-protected output
+  /// buffer instead of thread-local Z_local staging. Quantifies what the
+  /// paper's thread-local Z_local design (§3.5) buys; never use in
+  /// production.
+  bool ablation_shared_writeback = false;
+};
+
+/// Counters describing what one contraction did; used by benchmarks and
+/// the placement estimators.
+struct ContractStats {
+  std::size_t nnz_x = 0;
+  std::size_t nnz_y = 0;
+  std::size_t nnz_z = 0;
+  std::size_t num_x_subtensors = 0;   ///< N_F, mode-F_X sub-tensors of X
+  std::size_t num_y_keys = 0;         ///< distinct contract tuples in Y
+  std::size_t max_y_group = 0;        ///< nnz_Fmax^Y (Eq. 6)
+  std::size_t max_x_subtensor = 0;    ///< nnz_Fmax^X (Eq. 6)
+  std::size_t searches = 0;           ///< index-search probes issued
+  std::size_t hits = 0;               ///< probes that found a Y group
+  std::size_t multiplies = 0;         ///< scalar multiply-accumulates
+  std::size_t hty_bytes = 0;          ///< measured HtY footprint
+  std::size_t hta_bytes = 0;          ///< measured accumulators, all threads
+  std::size_t zlocal_bytes = 0;       ///< measured Z_local, all threads
+  std::size_t z_bytes = 0;            ///< measured output footprint
+};
+
+}  // namespace sparta

@@ -1,0 +1,77 @@
+#include "contraction/plan.hpp"
+
+#include "contraction/contract.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace sparta {
+
+YPlan::YPlan(const SparseTensor& y, Modes cy, std::size_t hty_buckets,
+             int num_threads) {
+  // Validate cy against y.
+  std::vector<bool> is_contract(static_cast<std::size_t>(y.order()), false);
+  for (int m : cy) {
+    SPARTA_CHECK(m >= 0 && m < y.order(), "cy: contract mode out of range");
+    SPARTA_CHECK(!is_contract[static_cast<std::size_t>(m)],
+                 "cy: duplicate contract mode");
+    is_contract[static_cast<std::size_t>(m)] = true;
+  }
+  SPARTA_CHECK(!cy.empty(), "need at least one contract mode");
+
+  cy_ = std::move(cy);
+  ydims_ = y.dims();
+  for (int m = 0; m < y.order(); ++m) {
+    if (!is_contract[static_cast<std::size_t>(m)]) {
+      fy_.push_back(m);
+      fydims_.push_back(y.dim(m));
+    }
+  }
+  for (int m : cy_) cdims_.push_back(y.dim(m));
+
+  const LinearIndexer clin(cdims_);
+  fylin_ = LinearIndexer(fydims_.empty() ? std::vector<index_t>{1}
+                                         : fydims_);
+
+  const std::size_t want =
+      hty_buckets > 0 ? hty_buckets : std::max<std::size_t>(y.nnz(), 16);
+  hty_ = std::make_unique<GroupedHashMap>(want);
+  nnz_y_ = y.nnz();
+  y_footprint_ = y.footprint_bytes();
+
+  const int nthreads = num_threads > 0 ? num_threads : max_threads();
+  const auto n = static_cast<std::ptrdiff_t>(y.nnz());
+  const std::span<const int> cy_span(cy_);
+  const std::span<const int> fy_span(fy_);
+  const bool has_free = !fy_.empty();
+#pragma omp parallel num_threads(nthreads)
+  {
+    std::vector<index_t> c(static_cast<std::size_t>(y.order()));
+#pragma omp for schedule(static)
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+      const auto n_i = static_cast<std::size_t>(i);
+      y.coords(n_i, c);
+      const lnkey_t ckey = clin.linearize_gather(c, cy_span);
+      const lnkey_t fkey =
+          has_free ? fylin_.linearize_gather(c, fy_span) : 0;
+      hty_->insert_locked(ckey, FreeItem{fkey, y.value(n_i)});
+    }
+  }
+  max_group_ = hty_->max_group_size();
+}
+
+std::vector<ContractResult> contract_batch(
+    const std::vector<const SparseTensor*>& xs, const YPlan& plan,
+    const Modes& cx, const ContractOptions& opts) {
+  std::vector<ContractResult> results;
+  results.reserve(xs.size());
+  for (const SparseTensor* x : xs) {
+    SPARTA_CHECK(x != nullptr, "contract_batch: null operand");
+    results.push_back(contract(*x, plan, cx, opts));
+  }
+  return results;
+}
+
+}  // namespace sparta

@@ -1,0 +1,52 @@
+#include "contraction/reference.hpp"
+
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "contraction/contract.hpp"
+
+namespace sparta {
+
+SparseTensor contract_reference(const SparseTensor& x, const SparseTensor& y,
+                                const Modes& cx, const Modes& cy) {
+  const ModeSplit split = validate_modes(x, y, cx, cy);
+
+  std::vector<index_t> zdims;
+  for (int m : split.fx) zdims.push_back(x.dim(m));
+  for (int m : split.fy) zdims.push_back(y.dim(m));
+
+  std::map<Coords, value_t> acc;
+  std::vector<index_t> xc(static_cast<std::size_t>(x.order()));
+  std::vector<index_t> yc(static_cast<std::size_t>(y.order()));
+  Coords zc(zdims.size());
+
+  for (std::size_t i = 0; i < x.nnz(); ++i) {
+    x.coords(i, xc);
+    for (std::size_t j = 0; j < y.nnz(); ++j) {
+      y.coords(j, yc);
+      bool match = true;
+      for (std::size_t k = 0; k < cx.size(); ++k) {
+        if (xc[static_cast<std::size_t>(cx[k])] !=
+            yc[static_cast<std::size_t>(cy[k])]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      std::size_t p = 0;
+      for (int m : split.fx) zc[p++] = xc[static_cast<std::size_t>(m)];
+      for (int m : split.fy) zc[p++] = yc[static_cast<std::size_t>(m)];
+      acc[zc] += x.value(i) * y.value(j);
+    }
+  }
+
+  SparseTensor z(zdims);
+  z.reserve(acc.size());
+  for (const auto& [coords, v] : acc) {
+    if (v != value_t{0}) z.append_unchecked(coords, v);
+  }
+  return z;
+}
+
+}  // namespace sparta

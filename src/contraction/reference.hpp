@@ -1,0 +1,20 @@
+// Brute-force sparse contraction oracle for testing.
+//
+// O(nnz_X × nnz_Y): every pair of non-zeros is compared on its contract
+// indices. Obviously correct and independent of the optimized pipeline,
+// so it doubles as the correctness oracle for mid-size random tensors
+// where a dense reference would not fit.
+#pragma once
+
+#include "tensor/sparse_tensor.hpp"
+#include "tensor/types.hpp"
+
+namespace sparta {
+
+/// Z = X ×_{cx}^{cy} Y by exhaustive pairing. Output sorted + coalesced.
+[[nodiscard]] SparseTensor contract_reference(const SparseTensor& x,
+                                              const SparseTensor& y,
+                                              const Modes& cx,
+                                              const Modes& cy);
+
+}  // namespace sparta

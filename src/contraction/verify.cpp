@@ -1,0 +1,118 @@
+#include "contraction/verify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "contraction/contract.hpp"
+#include "tensor/linearize.hpp"
+
+namespace sparta {
+
+namespace {
+
+// One random ±[0.5, 1.5] vector per listed mode.
+std::vector<std::vector<value_t>> draw_vectors(const SparseTensor& t,
+                                               const Modes& modes, Rng& rng) {
+  std::vector<std::vector<value_t>> vecs;
+  for (int m : modes) {
+    std::vector<value_t> v(t.dim(m));
+    for (value_t& e : v) {
+      const double mag = rng.uniform_double(0.5, 1.5);
+      e = rng.uniform_double() < 0.5 ? mag : -mag;
+    }
+    vecs.push_back(std::move(v));
+  }
+  return vecs;
+}
+
+// Collapses `t` against per-mode vectors over `free_modes`, producing
+// the map LN(contract tuple) → Σ val·Πv, plus the absolute-value sum
+// for tolerance scaling.
+void collapse(const SparseTensor& t, const Modes& contract_modes,
+              const Modes& free_modes,
+              const std::vector<std::vector<value_t>>& vecs,
+              const LinearIndexer& clin,
+              std::unordered_map<lnkey_t, value_t>& out, double& abs_sum) {
+  std::vector<index_t> c(static_cast<std::size_t>(t.order()));
+  const std::span<const int> cspan(contract_modes);
+  for (std::size_t n = 0; n < t.nnz(); ++n) {
+    t.coords(n, c);
+    value_t v = t.value(n);
+    for (std::size_t k = 0; k < free_modes.size(); ++k) {
+      v *= vecs[k][c[static_cast<std::size_t>(free_modes[k])]];
+    }
+    out[clin.linearize_gather(c, cspan)] += v;
+    abs_sum += std::abs(v);
+  }
+}
+
+}  // namespace
+
+bool verify_contraction(const SparseTensor& x, const SparseTensor& y,
+                        const Modes& cx, const Modes& cy,
+                        const SparseTensor& z, const VerifyOptions& opts) {
+  const ModeSplit split = validate_modes(x, y, cx, cy);
+  SPARTA_CHECK(static_cast<std::size_t>(z.order()) ==
+                   split.fx.size() + split.fy.size(),
+               "z's order does not match the contraction's output");
+  for (std::size_t k = 0; k < split.fx.size(); ++k) {
+    SPARTA_CHECK(z.dim(static_cast<int>(k)) == x.dim(split.fx[k]),
+                 "z's leading modes must be X's free modes");
+  }
+  for (std::size_t k = 0; k < split.fy.size(); ++k) {
+    SPARTA_CHECK(z.dim(static_cast<int>(split.fx.size() + k)) ==
+                     y.dim(split.fy[k]),
+                 "z's trailing modes must be Y's free modes");
+  }
+
+  Rng rng(opts.seed);
+  std::vector<index_t> cdims;
+  for (int m : cx) cdims.push_back(x.dim(m));
+  const LinearIndexer clin(cdims);
+
+  for (int trial = 0; trial < opts.trials; ++trial) {
+    const auto u = draw_vectors(x, split.fx, rng);
+    const auto w = draw_vectors(y, split.fy, rng);
+
+    // LHS: Z collapsed against (u, w).
+    double lhs = 0, lhs_abs = 0;
+    {
+      std::vector<index_t> c(static_cast<std::size_t>(z.order()));
+      for (std::size_t n = 0; n < z.nnz(); ++n) {
+        z.coords(n, c);
+        value_t v = z.value(n);
+        for (std::size_t k = 0; k < split.fx.size(); ++k) v *= u[k][c[k]];
+        for (std::size_t k = 0; k < split.fy.size(); ++k) {
+          v *= w[k][c[split.fx.size() + k]];
+        }
+        lhs += v;
+        lhs_abs += std::abs(v);
+      }
+    }
+
+    // RHS: X and Y collapsed to contract-key vectors, then dotted.
+    std::unordered_map<lnkey_t, value_t> a, b;
+    double a_abs = 0, b_abs = 0;
+    collapse(x, cx, split.fx, u, clin, a, a_abs);
+    collapse(y, cy, split.fy, w, clin, b, b_abs);
+    double rhs = 0, rhs_abs = 0;
+    const auto& small = a.size() <= b.size() ? a : b;
+    const auto& large = a.size() <= b.size() ? b : a;
+    for (const auto& [key, va] : small) {
+      const auto it = large.find(key);
+      if (it != large.end()) {
+        rhs += va * it->second;
+        rhs_abs += std::abs(va * it->second);
+      }
+    }
+
+    const double scale = std::max({1.0, lhs_abs, rhs_abs});
+    if (std::abs(lhs - rhs) > opts.tolerance * scale) return false;
+  }
+  return true;
+}
+
+}  // namespace sparta

@@ -1,0 +1,37 @@
+// Probabilistic contraction verification in O(nnz) time.
+//
+// Freivalds-style check: for random vectors u_m (one per free X mode),
+// w_m (one per free Y mode) and the identity
+//
+//   Σ_{fx,fy} Z(fx,fy) Π u(fx) Π w(fy)
+//     = Σ_c [Σ_fx X(fx,c) Π u(fx)] · [Σ_fy Y(c,fy) Π w(fy)]
+//
+// both sides collapse to vectors over the contract-index space and can
+// be evaluated in one pass over each tensor. A wrong Z fails with
+// probability ≈ 1 per random trial (up to cancellation sets of measure
+// zero); k trials drive the false-accept chance to ~0 without ever
+// running the O(nnz_X · nnz_Y) reference.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/sparse_tensor.hpp"
+#include "tensor/types.hpp"
+
+namespace sparta {
+
+struct VerifyOptions {
+  int trials = 3;
+  double tolerance = 1e-6;  ///< relative, scaled by the identity's magnitude
+  std::uint64_t seed = 12345;
+};
+
+/// Returns true when `z` is consistent with contract(x, y, cx, cy)
+/// across all random trials. Throws on shape mismatches (z must have
+/// free-X modes then free-Y modes, the contract() convention).
+[[nodiscard]] bool verify_contraction(const SparseTensor& x,
+                                      const SparseTensor& y, const Modes& cx,
+                                      const Modes& cy, const SparseTensor& z,
+                                      const VerifyOptions& opts = {});
+
+}  // namespace sparta

@@ -1,0 +1,77 @@
+// Hash-table-based sparse accumulator (HtA, paper §3.4).
+//
+// Thread-private: each worker owns one and accumulates the partial
+// results of its X sub-tensor into it — no locking. Keys are the LN-
+// compressed free indices of Y, pre-converted at HtY build time so no
+// index-to-key conversion happens inside the hot loop.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hashtable/hash.hpp"
+#include "tensor/types.hpp"
+
+namespace sparta {
+
+class HashAccumulator {
+ public:
+  explicit HashAccumulator(std::size_t expected_keys = 64) {
+    bits_ = bucket_bits_for(expected_keys);
+    buckets_.resize(std::size_t{1} << bits_);
+  }
+
+  /// Adds `v` to the entry for `key`, inserting it when absent.
+  void accumulate(lnkey_t key, value_t v) {
+    auto& chain = buckets_[hash_ln(key, bits_)];
+    for (Entry& e : chain) {
+      if (e.key == key) {
+        e.val += v;
+        return;
+      }
+    }
+    chain.push_back(Entry{key, v});
+    ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
+
+  /// Heap footprint; the quantity bounded by Eq. 6 for DRAM placement.
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    std::size_t bytes = buckets_.capacity() * sizeof(buckets_[0]);
+    for (const auto& chain : buckets_) {
+      bytes += chain.capacity() * sizeof(Entry);
+    }
+    return bytes;
+  }
+
+  /// Visits each (key, value) pair. Order is unspecified (the output
+  /// sorting stage handles ordering).
+  template <typename F>
+  void drain(F&& f) const {
+    for (const auto& chain : buckets_) {
+      for (const Entry& e : chain) f(e.key, e.val);
+    }
+  }
+
+  /// Empties the accumulator but keeps the bucket array, so one HtA can
+  /// be reused across the sub-tensors a thread processes.
+  void clear() {
+    for (auto& chain : buckets_) chain.clear();
+    size_ = 0;
+  }
+
+ private:
+  struct Entry {
+    lnkey_t key;
+    value_t val;
+  };
+
+  int bits_ = 4;
+  std::vector<std::vector<Entry>> buckets_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sparta

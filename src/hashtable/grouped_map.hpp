@@ -1,0 +1,139 @@
+// Hash-table-represented sparse tensor (HtY, paper §3.3).
+//
+// Maps an LN contract key to the dynamic array of (LN free key, value)
+// pairs of all Y non-zeros sharing those contract indices. Separate
+// chaining with a fixed power-of-two bucket count; items with the same
+// key are stored contiguously for spatial locality (the paper's "dynamic
+// arrays to store the non-zeros having the same key").
+//
+// Parallel construction uses striped bucket locks (§3.5).
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "hashtable/hash.hpp"
+#include "tensor/types.hpp"
+
+namespace sparta {
+
+/// One Y non-zero as seen by the accumulation stage: its free-mode LN key
+/// and value.
+struct FreeItem {
+  lnkey_t free_key;
+  value_t val;
+};
+
+class GroupedHashMap {
+ public:
+  /// `expected_keys` sizes the bucket array (load factor ~1).
+  explicit GroupedHashMap(std::size_t expected_keys) {
+    bits_ = bucket_bits_for(expected_keys);
+    buckets_.resize(std::size_t{1} << bits_);
+  }
+
+  /// Appends `item` to the group for `key`, creating the group if absent.
+  /// NOT thread-safe; see insert_locked.
+  void insert(lnkey_t key, FreeItem item) {
+    group_for(key).items.push_back(item);
+  }
+
+  /// Thread-safe insert using striped locks; multiple threads may build
+  /// the table concurrently.
+  void insert_locked(lnkey_t key, FreeItem item) {
+    const std::uint64_t b = hash_ln(key, bits_);
+    std::lock_guard<std::mutex> g(locks_[b & kLockMask]);
+    group_for_bucket(key, b).items.push_back(item);
+  }
+
+  /// Items for `key`, or an empty span when absent. O(chain length) key
+  /// probes, each a single integer compare thanks to LN keys.
+  [[nodiscard]] std::span<const FreeItem> find(lnkey_t key) const {
+    const auto& chain = buckets_[hash_ln(key, bits_)];
+    for (const Group& g : chain) {
+      if (g.key == key) return g.items;
+    }
+    return {};
+  }
+
+  /// Number of distinct keys.
+  [[nodiscard]] std::size_t num_keys() const {
+    std::size_t n = 0;
+    for (const auto& chain : buckets_) n += chain.size();
+    return n;
+  }
+
+  /// Total items across all groups.
+  [[nodiscard]] std::size_t num_items() const {
+    std::size_t n = 0;
+    for (const auto& chain : buckets_) {
+      for (const Group& g : chain) n += g.items.size();
+    }
+    return n;
+  }
+
+  /// Size of the largest group — the paper's nnz_Fmax^Y used by the HtA
+  /// placement bound (Eq. 6).
+  [[nodiscard]] std::size_t max_group_size() const {
+    std::size_t n = 0;
+    for (const auto& chain : buckets_) {
+      for (const Group& g : chain) n = std::max(n, g.items.size());
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
+
+  /// Measured heap footprint (metadata + items), the quantity Eq. 5
+  /// estimates for DRAM placement.
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    std::size_t bytes = buckets_.capacity() * sizeof(buckets_[0]);
+    for (const auto& chain : buckets_) {
+      bytes += chain.capacity() * sizeof(Group);
+      for (const Group& g : chain) {
+        bytes += g.items.capacity() * sizeof(FreeItem);
+      }
+    }
+    return bytes;
+  }
+
+  /// Visits every (key, items) group.
+  template <typename F>
+  void for_each_group(F&& f) const {
+    for (const auto& chain : buckets_) {
+      for (const Group& g : chain) {
+        f(g.key, std::span<const FreeItem>(g.items));
+      }
+    }
+  }
+
+ private:
+  struct Group {
+    lnkey_t key;
+    std::vector<FreeItem> items;
+  };
+
+  Group& group_for(lnkey_t key) {
+    return group_for_bucket(key, hash_ln(key, bits_));
+  }
+
+  Group& group_for_bucket(lnkey_t key, std::uint64_t b) {
+    auto& chain = buckets_[b];
+    for (Group& g : chain) {
+      if (g.key == key) return g;
+    }
+    chain.push_back(Group{key, {}});
+    return chain.back();
+  }
+
+  static constexpr std::size_t kNumLocks = 256;
+  static constexpr std::size_t kLockMask = kNumLocks - 1;
+
+  int bits_ = 4;
+  std::vector<std::vector<Group>> buckets_;
+  std::mutex locks_[kNumLocks];
+};
+
+}  // namespace sparta

@@ -1,0 +1,24 @@
+// Shared hashing utilities for the LN-keyed tables.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/types.hpp"
+
+namespace sparta {
+
+/// Fibonacci (multiplicative) hashing of an LN key into [0, 2^bits).
+/// Fast and well-distributed for the dense-ish linearized keys the LN
+/// representation produces.
+[[nodiscard]] inline std::uint64_t hash_ln(lnkey_t key, int bits) {
+  return (key * 0x9e3779b97f4a7c15ULL) >> (64 - bits);
+}
+
+/// Smallest power-of-two exponent b with 2^b >= n (minimum 4).
+[[nodiscard]] inline int bucket_bits_for(std::size_t n) {
+  int bits = 4;
+  while ((std::size_t{1} << bits) < n && bits < 31) ++bits;
+  return bits;
+}
+
+}  // namespace sparta

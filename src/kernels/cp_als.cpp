@@ -1,0 +1,126 @@
+#include "kernels/cp_als.hpp"
+
+#include <cmath>
+
+#include "kernels/mttkrp.hpp"
+#include "tensor/linearize.hpp"
+#include "tensor/ops.hpp"
+
+namespace sparta {
+
+value_t CpModel::at(std::span<const index_t> coords) const {
+  const std::size_t rank = lambda.size();
+  value_t total = 0;
+  for (std::size_t r = 0; r < rank; ++r) {
+    value_t v = lambda[r];
+    for (std::size_t m = 0; m < factors.size(); ++m) {
+      v *= factors[m].at(coords[m], r);
+    }
+    total += v;
+  }
+  return total;
+}
+
+SparseTensor CpModel::reconstruct(const std::vector<index_t>& dims,
+                                  double cutoff) const {
+  SparseTensor out(dims);
+  const LinearIndexer lin(dims);
+  std::vector<index_t> c(dims.size());
+  for (lnkey_t k = 0; k < lin.size(); ++k) {
+    lin.delinearize(k, c);
+    const value_t v = at(c);
+    if (std::abs(v) > cutoff) out.append_unchecked(c, v);
+  }
+  return out;
+}
+
+CpModel cp_als(const SparseTensor& x, const CpAlsOptions& opts) {
+  SPARTA_CHECK(opts.rank > 0, "cp_als: rank must be positive");
+  SPARTA_CHECK(!x.empty(), "cp_als: cannot decompose an empty tensor");
+  const auto order = static_cast<std::size_t>(x.order());
+  const std::size_t rank = opts.rank;
+
+  CpModel model;
+  model.lambda.assign(rank, 1.0);
+  for (std::size_t m = 0; m < order; ++m) {
+    model.factors.push_back(DenseMatrix::random(
+        x.dim(static_cast<int>(m)), rank, opts.seed + m, 0.1, 1.0));
+  }
+
+  const double norm_x = norm_fro(x);
+  double previous_fit = 0.0;
+
+  for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    DenseMatrix last_m(1, 1);  // MTTKRP of the final mode, for the fit
+    for (std::size_t n = 0; n < order; ++n) {
+      DenseMatrix m = mttkrp(x, model.factors, static_cast<int>(n),
+                             opts.num_threads);
+
+      // V = ∘_{k≠n} (A_kᵀ A_k), R×R SPD.
+      DenseMatrix v(rank, rank);
+      bool first = true;
+      for (std::size_t k = 0; k < order; ++k) {
+        if (k == n) continue;
+        const DenseMatrix g = model.factors[k].gram();
+        v = first ? g : hadamard(v, g);
+        first = false;
+      }
+
+      // A_n = M V⁻¹ (regularize the diagonal a touch for robustness).
+      for (std::size_t r = 0; r < rank; ++r) v.at(r, r) += 1e-12;
+      DenseMatrix a = v.solve_spd_right(m);
+
+      // Column normalization into lambda.
+      for (std::size_t r = 0; r < rank; ++r) {
+        double s = 0;
+        for (std::size_t i = 0; i < a.rows(); ++i) {
+          s += static_cast<double>(a.at(i, r)) * a.at(i, r);
+        }
+        double norm = std::sqrt(s);
+        if (norm < 1e-30) norm = 1.0;  // dead component: leave it be
+        model.lambda[r] = norm;
+        for (std::size_t i = 0; i < a.rows(); ++i) a.at(i, r) /= norm;
+      }
+      model.factors[n] = std::move(a);
+      if (n + 1 == order) last_m = std::move(m);
+    }
+
+    // Fit: ‖X − model‖² = ‖X‖² + ‖model‖² − 2⟨X, model⟩, with
+    // ‖model‖² = λᵀ (∘_m A_mᵀA_m) λ and ⟨X, model⟩ recovered from the
+    // final mode's MTTKRP.
+    DenseMatrix gamma(rank, rank);
+    {
+      bool first = true;
+      for (std::size_t m = 0; m < order; ++m) {
+        const DenseMatrix g = model.factors[m].gram();
+        gamma = first ? g : hadamard(gamma, g);
+        first = false;
+      }
+    }
+    double norm_model_sq = 0;
+    for (std::size_t r = 0; r < rank; ++r) {
+      for (std::size_t s = 0; s < rank; ++s) {
+        norm_model_sq += model.lambda[r] * model.lambda[s] * gamma.at(r, s);
+      }
+    }
+    double inner = 0;
+    const DenseMatrix& a_last = model.factors[order - 1];
+    for (std::size_t i = 0; i < a_last.rows(); ++i) {
+      for (std::size_t r = 0; r < rank; ++r) {
+        inner += last_m.at(i, r) * a_last.at(i, r) * model.lambda[r];
+      }
+    }
+    const double residual_sq =
+        std::max(0.0, norm_x * norm_x + norm_model_sq - 2.0 * inner);
+    model.fit = norm_x > 0 ? 1.0 - std::sqrt(residual_sq) / norm_x : 1.0;
+    model.iterations = iter;
+
+    if (iter > 1 && std::abs(model.fit - previous_fit) < opts.tolerance) {
+      break;
+    }
+    previous_fit = model.fit;
+  }
+  return model;
+}
+
+}  // namespace sparta

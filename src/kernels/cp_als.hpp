@@ -1,0 +1,44 @@
+// CP-ALS: canonical polyadic tensor decomposition by alternating least
+// squares, built on the MTTKRP kernel — the application layer that
+// motivates much of the sparse-tensor literature the paper cites
+// ([27, 35, 37, 64, 65]).
+//
+//   X ≈ Σ_r λ_r · a_r^(1) ∘ a_r^(2) ∘ ... ∘ a_r^(N)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/dense_matrix.hpp"
+#include "tensor/sparse_tensor.hpp"
+
+namespace sparta {
+
+struct CpAlsOptions {
+  std::size_t rank = 8;
+  int max_iterations = 50;
+  double tolerance = 1e-5;  ///< stop when fit improves less than this
+  std::uint64_t seed = 1;   ///< factor initialization
+  int num_threads = 0;
+};
+
+struct CpModel {
+  std::vector<DenseMatrix> factors;  ///< one dim(m) × R matrix per mode
+  std::vector<value_t> lambda;       ///< R column weights
+  double fit = 0.0;                  ///< 1 − ‖X − model‖/‖X‖
+  int iterations = 0;
+
+  /// Reconstructs the dense model entry at `coords`.
+  [[nodiscard]] value_t at(std::span<const index_t> coords) const;
+
+  /// Expands the model to a sparse tensor over X's shape (tests only;
+  /// dense in disguise).
+  [[nodiscard]] SparseTensor reconstruct(
+      const std::vector<index_t>& dims, double cutoff = 0.0) const;
+};
+
+/// Decomposes X. Throws on rank 0 or empty X.
+[[nodiscard]] CpModel cp_als(const SparseTensor& x,
+                             const CpAlsOptions& opts = {});
+
+}  // namespace sparta

@@ -1,0 +1,179 @@
+#include "kernels/dense_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sparta {
+
+DenseMatrix DenseMatrix::gram() const {
+  DenseMatrix g(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const value_t* row = data_.data() + r * cols_;
+    for (std::size_t i = 0; i < cols_; ++i) {
+      for (std::size_t j = i; j < cols_; ++j) {
+        g.at(i, j) += row[i] * row[j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) g.at(i, j) = g.at(j, i);
+  }
+  return g;
+}
+
+DenseMatrix DenseMatrix::solve_spd_right(const DenseMatrix& b) const {
+  SPARTA_CHECK(rows_ == cols_, "SPD solve needs a square matrix");
+  SPARTA_CHECK(b.cols() == cols_, "B's column count must match A");
+  const std::size_t n = cols_;
+
+  // Cholesky: A = L Lᵀ (lower-triangular L).
+  DenseMatrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      value_t s = at(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        SPARTA_CHECK(s > 0.0,
+                     "matrix not positive definite (CP-ALS factors "
+                     "collinear?)");
+        l.at(i, i) = std::sqrt(s);
+      } else {
+        l.at(i, j) = s / l.at(j, j);
+      }
+    }
+  }
+
+  // Solve X A = B row by row: A xᵀ = bᵀ via L (forward) then Lᵀ (back).
+  DenseMatrix x(b.rows(), n);
+  std::vector<value_t> y(n);
+  for (std::size_t r = 0; r < b.rows(); ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      value_t s = b.at(r, i);
+      for (std::size_t k = 0; k < i; ++k) s -= l.at(i, k) * y[k];
+      y[i] = s / l.at(i, i);
+    }
+    for (std::size_t i = n; i-- > 0;) {
+      value_t s = y[i];
+      for (std::size_t k = i + 1; k < n; ++k) s -= l.at(k, i) * x.at(r, k);
+      x.at(r, i) = s / l.at(i, i);
+    }
+  }
+  return x;
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+  SPARTA_CHECK(cols_ == other.rows(), "multiply: inner dims must match");
+  DenseMatrix out(rows_, other.cols());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const value_t a = at(i, k);
+      if (a == 0.0) continue;
+      const auto brow = other.row(k);
+      auto orow = out.row(i);
+      for (std::size_t j = 0; j < other.cols(); ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) out.at(j, i) = at(i, j);
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::random_orthonormal(std::size_t rows,
+                                            std::size_t cols,
+                                            std::uint64_t seed) {
+  SPARTA_CHECK(rows >= cols, "orthonormal columns need rows >= cols");
+  DenseMatrix m = random(rows, cols, seed, -1.0, 1.0);
+  // Modified Gram-Schmidt.
+  for (std::size_t j = 0; j < cols; ++j) {
+    for (std::size_t k = 0; k < j; ++k) {
+      double dot = 0;
+      for (std::size_t i = 0; i < rows; ++i) dot += m.at(i, j) * m.at(i, k);
+      for (std::size_t i = 0; i < rows; ++i) m.at(i, j) -= dot * m.at(i, k);
+    }
+    double norm = 0;
+    for (std::size_t i = 0; i < rows; ++i) norm += m.at(i, j) * m.at(i, j);
+    norm = std::sqrt(norm);
+    SPARTA_CHECK(norm > 1e-12, "degenerate random draw; change the seed");
+    for (std::size_t i = 0; i < rows; ++i) m.at(i, j) /= norm;
+  }
+  return m;
+}
+
+SymmetricEigen symmetric_eigen(const DenseMatrix& a, int max_sweeps) {
+  SPARTA_CHECK(a.rows() == a.cols(), "eigendecomposition needs square");
+  const std::size_t n = a.rows();
+  DenseMatrix d = a;  // becomes diagonal
+  DenseMatrix v(n, n);
+  for (std::size_t i = 0; i < n; ++i) v.at(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += d.at(p, q) * d.at(p, q);
+    }
+    if (off < 1e-24) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = d.at(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double theta = (d.at(q, q) - d.at(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d.at(k, p);
+          const double dkq = d.at(k, q);
+          d.at(k, p) = c * dkp - s * dkq;
+          d.at(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d.at(p, k);
+          const double dqk = d.at(q, k);
+          d.at(p, k) = c * dpk - s * dqk;
+          d.at(q, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v.at(k, p);
+          const double vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort descending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return d.at(x, x) > d.at(y, y);
+  });
+  SymmetricEigen out{std::vector<value_t>(n), DenseMatrix(n, n)};
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = d.at(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.vectors.at(i, j) = v.at(i, order[j]);
+    }
+  }
+  return out;
+}
+
+DenseMatrix hadamard(const DenseMatrix& a, const DenseMatrix& b) {
+  SPARTA_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+               "hadamard: shapes must match");
+  DenseMatrix out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    out.data()[i] = a.data()[i] * b.data()[i];
+  }
+  return out;
+}
+
+}  // namespace sparta

@@ -1,0 +1,95 @@
+// Minimal dense matrix for the sparse-times-dense kernels (TTM,
+// MTTKRP, CP-ALS factors). Row-major.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tensor/types.hpp"
+
+namespace sparta {
+
+class DenseMatrix {
+ public:
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] value_t& at(std::size_t r, std::size_t c) {
+    SPARTA_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] value_t at(std::size_t r, std::size_t c) const {
+    SPARTA_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<value_t> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const value_t> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<const value_t> data() const { return data_; }
+  [[nodiscard]] std::span<value_t> data() { return data_; }
+
+  void fill(value_t v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Uniform random entries in [lo, hi).
+  [[nodiscard]] static DenseMatrix random(std::size_t rows, std::size_t cols,
+                                          std::uint64_t seed, double lo = 0.0,
+                                          double hi = 1.0) {
+    DenseMatrix m(rows, cols);
+    Rng rng(seed);
+    for (value_t& v : m.data_) v = rng.uniform_double(lo, hi);
+    return m;
+  }
+
+  /// Gram matrix AᵀA (cols × cols).
+  [[nodiscard]] DenseMatrix gram() const;
+
+  /// Solves X · A = B for X where A (this) is symmetric positive
+  /// definite n×n and B is m×n; returns m×n. Cholesky-based; used by
+  /// CP-ALS's normal equations. Throws if A is not SPD.
+  [[nodiscard]] DenseMatrix solve_spd_right(const DenseMatrix& b) const;
+
+  /// C = this · other (rows × other.cols).
+  [[nodiscard]] DenseMatrix multiply(const DenseMatrix& other) const;
+
+  /// Transpose.
+  [[nodiscard]] DenseMatrix transposed() const;
+
+  /// Random matrix with orthonormal columns (Gram-Schmidt on random
+  /// data); requires rows >= cols. Used to initialize Tucker factors.
+  [[nodiscard]] static DenseMatrix random_orthonormal(std::size_t rows,
+                                                      std::size_t cols,
+                                                      std::uint64_t seed);
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<value_t> data_;
+};
+
+/// Element-wise (Hadamard) product of equal-shape matrices.
+[[nodiscard]] DenseMatrix hadamard(const DenseMatrix& a,
+                                   const DenseMatrix& b);
+
+/// Eigendecomposition of a symmetric matrix by cyclic Jacobi rotation.
+/// Returns eigenvalues descending; `vectors` columns are the matching
+/// orthonormal eigenvectors. For the small/medium matrices of Tucker
+/// factor updates.
+struct SymmetricEigen {
+  std::vector<value_t> values;  ///< descending
+  DenseMatrix vectors;          ///< n × n, column i ↔ values[i]
+};
+[[nodiscard]] SymmetricEigen symmetric_eigen(const DenseMatrix& a,
+                                             int max_sweeps = 30);
+
+}  // namespace sparta

@@ -1,0 +1,55 @@
+#include "kernels/mttkrp.hpp"
+
+#include "common/parallel.hpp"
+
+namespace sparta {
+
+DenseMatrix mttkrp(const SparseTensor& x,
+                   const std::vector<DenseMatrix>& factors, int mode,
+                   int num_threads) {
+  SPARTA_CHECK(mode >= 0 && mode < x.order(), "mttkrp: mode out of range");
+  SPARTA_CHECK(factors.size() == static_cast<std::size_t>(x.order()),
+               "mttkrp: one factor matrix per mode required");
+  const std::size_t rank = factors[0].cols();
+  for (int m = 0; m < x.order(); ++m) {
+    const auto& f = factors[static_cast<std::size_t>(m)];
+    SPARTA_CHECK(f.cols() == rank, "mttkrp: factor ranks must agree");
+    SPARTA_CHECK(f.rows() == x.dim(m),
+                 "mttkrp: factor rows must match the mode size");
+  }
+  const int nthreads = num_threads > 0 ? num_threads : max_threads();
+
+  const std::size_t out_rows = x.dim(mode);
+  DenseMatrix out(out_rows, rank);
+
+#pragma omp parallel num_threads(nthreads)
+  {
+    DenseMatrix local(out_rows, rank);
+    std::vector<index_t> c(static_cast<std::size_t>(x.order()));
+    std::vector<value_t> row(rank);
+    const auto n = static_cast<std::ptrdiff_t>(x.nnz());
+#pragma omp for schedule(static)
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+      x.coords(static_cast<std::size_t>(i), c);
+      const value_t v = x.value(static_cast<std::size_t>(i));
+      for (std::size_t r = 0; r < rank; ++r) row[r] = v;
+      for (int m = 0; m < x.order(); ++m) {
+        if (m == mode) continue;
+        const auto frow = factors[static_cast<std::size_t>(m)].row(
+            c[static_cast<std::size_t>(m)]);
+        for (std::size_t r = 0; r < rank; ++r) row[r] *= frow[r];
+      }
+      auto orow = local.row(c[static_cast<std::size_t>(mode)]);
+      for (std::size_t r = 0; r < rank; ++r) orow[r] += row[r];
+    }
+#pragma omp critical
+    {
+      for (std::size_t k = 0; k < out.data().size(); ++k) {
+        out.data()[k] += local.data()[k];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sparta

@@ -1,0 +1,24 @@
+// Matricized tensor times Khatri-Rao product (MTTKRP) — the workhorse
+// of sparse CP decomposition (SPLATT [65], HiCOO [37]), included here
+// as the canonical "sparse tensor times dense matrices" kernel the
+// paper's introduction positions SpTC against.
+//
+//   M(i_n, r) = Σ_{nz (i_1..i_N)} x · Π_{m ≠ n} A_m(i_m, r)
+#pragma once
+
+#include <vector>
+
+#include "kernels/dense_matrix.hpp"
+#include "tensor/sparse_tensor.hpp"
+
+namespace sparta {
+
+/// Computes the mode-`mode` MTTKRP. `factors[m]` must be a
+/// dim(m) × R matrix for every m (factors[mode] is ignored but must
+/// still be present and well-shaped). Parallelized over non-zeros with
+/// per-thread output buffers.
+[[nodiscard]] DenseMatrix mttkrp(const SparseTensor& x,
+                                 const std::vector<DenseMatrix>& factors,
+                                 int mode, int num_threads = 0);
+
+}  // namespace sparta

@@ -1,0 +1,122 @@
+#include "kernels/ttm.hpp"
+
+#include <algorithm>
+
+#include "common/parallel.hpp"
+
+namespace sparta {
+
+SparseTensor SemiSparseTensor::to_sparse(double cutoff) const {
+  SparseTensor out(dims_);
+  const auto order = dims_.size();
+  std::vector<index_t> c(order);
+  for (std::size_t f = 0; f < num_fibers(); ++f) {
+    // Scatter sparse coords around the dense mode.
+    std::size_t p = 0;
+    for (std::size_t m = 0; m < order; ++m) {
+      if (static_cast<int>(m) == mode_) continue;
+      c[m] = coords_[p++][f];
+    }
+    const auto vals = fiber(f);
+    for (std::size_t r = 0; r < rank_; ++r) {
+      if (std::abs(vals[r]) > cutoff) {
+        c[static_cast<std::size_t>(mode_)] = static_cast<index_t>(r);
+        out.append_unchecked(c, vals[r]);
+      }
+    }
+  }
+  out.sort();
+  return out;
+}
+
+SparseTensor ttv(const SparseTensor& x, std::span<const value_t> v,
+                 int mode, int num_threads) {
+  SPARTA_CHECK(mode >= 0 && mode < x.order(), "ttv: mode out of range");
+  SPARTA_CHECK(v.size() == x.dim(mode),
+               "ttv: vector length must match the mode size");
+  SPARTA_CHECK(x.order() > 1, "ttv: cannot reduce the only mode");
+  DenseMatrix u(v.size(), 1);
+  for (std::size_t i = 0; i < v.size(); ++i) u.at(i, 0) = v[i];
+  const SemiSparseTensor z = ttm(x, u, mode, num_threads);
+
+  // Drop the (length-1) dense mode.
+  std::vector<index_t> dims;
+  for (int m = 0; m < x.order(); ++m) {
+    if (m != mode) dims.push_back(x.dim(m));
+  }
+  SparseTensor out(dims);
+  out.reserve(z.num_fibers());
+  std::vector<index_t> c(dims.size());
+  for (std::size_t f = 0; f < z.num_fibers(); ++f) {
+    const value_t val = z.fiber(f)[0];
+    if (val == value_t{0}) continue;
+    for (std::size_t m = 0; m < dims.size(); ++m) c[m] = z.coord(f, m);
+    out.append_unchecked(c, val);
+  }
+  out.sort();
+  return out;
+}
+
+SemiSparseTensor ttm(const SparseTensor& x, const DenseMatrix& u, int mode,
+                     int num_threads) {
+  SPARTA_CHECK(mode >= 0 && mode < x.order(), "ttm: mode out of range");
+  SPARTA_CHECK(u.rows() == x.dim(mode),
+               "ttm: U must have dim(mode) rows");
+  const std::size_t rank = u.cols();
+  SPARTA_CHECK(rank > 0, "ttm: U needs at least one column");
+  const int nthreads = num_threads > 0 ? num_threads : max_threads();
+
+  // Sort X with `mode` last so each output fiber is a contiguous run.
+  SparseTensor xs = x;
+  {
+    Modes order;
+    for (int m = 0; m < x.order(); ++m) {
+      if (m != mode) order.push_back(m);
+    }
+    order.push_back(mode);
+    xs.permute_modes(order);
+    xs.sort();
+  }
+  const auto sparse_order = static_cast<std::size_t>(x.order()) - 1;
+
+  // Fiber boundaries: runs of equal sparse-mode prefix.
+  std::vector<std::size_t> fptr{0};
+  for (std::size_t i = 1; i < xs.nnz(); ++i) {
+    for (std::size_t m = 0; m < sparse_order; ++m) {
+      if (xs.index(i - 1, static_cast<int>(m)) !=
+          xs.index(i, static_cast<int>(m))) {
+        fptr.push_back(i);
+        break;
+      }
+    }
+  }
+  if (xs.nnz() > 0) fptr.push_back(xs.nnz());
+
+  // Output size is now exactly known: (#fibers) × rank.
+  SemiSparseTensor z(x.dims(), mode, rank);
+  std::vector<index_t> sc(sparse_order);
+  for (std::size_t f = 0; f + 1 < fptr.size(); ++f) {
+    for (std::size_t m = 0; m < sparse_order; ++m) {
+      sc[m] = xs.index(fptr[f], static_cast<int>(m));
+    }
+    z.append_fiber(sc);
+  }
+
+  // Dense accumulation per fiber, parallel over fibers.
+  const auto nf = static_cast<std::ptrdiff_t>(
+      fptr.empty() ? 0 : fptr.size() - 1);
+#pragma omp parallel for schedule(dynamic, 64) num_threads(nthreads)
+  for (std::ptrdiff_t f = 0; f < nf; ++f) {
+    const auto fi = static_cast<std::size_t>(f);
+    auto out = z.fiber(fi);
+    for (std::size_t i = fptr[fi]; i < fptr[fi + 1]; ++i) {
+      const index_t in = xs.index(i, static_cast<int>(sparse_order));
+      const value_t v = xs.value(i);
+      const auto urow = u.row(in);
+      for (std::size_t r = 0; r < rank; ++r) out[r] += v * urow[r];
+    }
+  }
+  return z;
+}
+
+}  // namespace sparta

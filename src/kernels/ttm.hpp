@@ -1,0 +1,93 @@
+// Sparse tensor-times-dense-matrix (TTM / mode-n product).
+//
+// The paper's introduction contrasts SpTC against this "well-studied"
+// kernel: TTM's output shape and size are predictable before
+// computation (one dense length-R fiber per distinct non-zero fiber of
+// X), unlike SpTC's. The SemiSparseTensor result type makes that
+// concrete — it is exactly the mode-generic semi-sparse structure of
+// [8] (Baskaran et al.).
+//
+//   Z(i_1 .. r .. i_N) = Σ_{i_n} X(i_1 .. i_n .. i_N) · U(i_n, r)
+//
+// with U ∈ R^{I_n × R}.
+#pragma once
+
+#include <vector>
+
+#include "kernels/dense_matrix.hpp"
+#include "tensor/sparse_tensor.hpp"
+#include "tensor/types.hpp"
+
+namespace sparta {
+
+/// TTM output: sparse over every mode except `mode`, dense (length
+/// `rank`) along it.
+class SemiSparseTensor {
+ public:
+  SemiSparseTensor(std::vector<index_t> dims, int dense_mode,
+                   std::size_t rank)
+      : dims_(std::move(dims)), mode_(dense_mode), rank_(rank) {
+    dims_[static_cast<std::size_t>(mode_)] = static_cast<index_t>(rank);
+    coords_.resize(dims_.size() - 1);
+  }
+
+  [[nodiscard]] const std::vector<index_t>& dims() const { return dims_; }
+  [[nodiscard]] int dense_mode() const { return mode_; }
+  [[nodiscard]] std::size_t rank() const { return rank_; }
+  [[nodiscard]] std::size_t num_fibers() const {
+    return coords_.empty() ? 0 : coords_[0].size();
+  }
+
+  /// Sparse-mode coordinates of fiber `f` (order-1 entries, skipping the
+  /// dense mode).
+  [[nodiscard]] index_t coord(std::size_t f, std::size_t sparse_pos) const {
+    return coords_[sparse_pos][f];
+  }
+  /// Dense values of fiber `f`.
+  [[nodiscard]] std::span<const value_t> fiber(std::size_t f) const {
+    return {vals_.data() + f * rank_, rank_};
+  }
+  [[nodiscard]] std::span<value_t> fiber(std::size_t f) {
+    return {vals_.data() + f * rank_, rank_};
+  }
+
+  void append_fiber(std::span<const index_t> sparse_coords) {
+    SPARTA_ASSERT(sparse_coords.size() == coords_.size());
+    for (std::size_t m = 0; m < coords_.size(); ++m) {
+      coords_[m].push_back(sparse_coords[m]);
+    }
+    vals_.resize(vals_.size() + rank_, 0.0);
+  }
+
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    std::size_t bytes = vals_.capacity() * sizeof(value_t);
+    for (const auto& c : coords_) bytes += c.capacity() * sizeof(index_t);
+    return bytes;
+  }
+
+  /// Expands to plain COO (|v| > cutoff), sorted.
+  [[nodiscard]] SparseTensor to_sparse(double cutoff = 0.0) const;
+
+ private:
+  std::vector<index_t> dims_;
+  int mode_;
+  std::size_t rank_;
+  std::vector<std::vector<index_t>> coords_;  // per sparse mode
+  std::vector<value_t> vals_;                 // num_fibers × rank
+};
+
+/// Z = X ×_mode U with U ∈ R^{dim(mode) × R}. OpenMP-parallel over
+/// fibers. The output's exact size (num_fibers × R) is known right
+/// after sorting — the predictability SpTC lacks.
+[[nodiscard]] SemiSparseTensor ttm(const SparseTensor& x,
+                                   const DenseMatrix& u, int mode,
+                                   int num_threads = 0);
+
+/// Tensor-times-vector: contracts `mode` against a dense vector,
+/// producing an order-(N-1) sparse tensor. TTM with R = 1 plus the
+/// mode removal.
+[[nodiscard]] SparseTensor ttv(const SparseTensor& x,
+                               std::span<const value_t> v, int mode,
+                               int num_threads = 0);
+
+}  // namespace sparta

@@ -1,0 +1,134 @@
+#include "kernels/tucker.hpp"
+
+#include <cmath>
+
+#include "kernels/ttm.hpp"
+#include "tensor/ops.hpp"
+
+namespace sparta {
+
+namespace {
+
+// Y = X ×_{m ∈ modes} U_mᵀ, i.e. every listed mode contracted down to
+// its factor's rank. Each TTM shrinks the tensor, so the expand-to-COO
+// between steps stays small.
+SparseTensor ttm_chain(const SparseTensor& x,
+                       const std::vector<DenseMatrix>& factors,
+                       const std::vector<bool>& contract_mode,
+                       int num_threads) {
+  SparseTensor cur = x;
+  for (std::size_t m = 0; m < contract_mode.size(); ++m) {
+    if (!contract_mode[m]) continue;
+    cur = ttm(cur, factors[m], static_cast<int>(m), num_threads)
+              .to_sparse(0.0);
+  }
+  return cur;
+}
+
+// Mode-n Gram of a (small, mostly dense) sparse tensor:
+// W(i, j) = Σ_rest Y(i, rest) Y(j, rest), I_n × I_n.
+DenseMatrix mode_gram(const SparseTensor& y, int mode) {
+  // Group non-zeros by their "rest" coordinates via sort with `mode`
+  // last; each run contributes the outer product of its mode-n slice.
+  SparseTensor ys = y;
+  Modes order;
+  for (int m = 0; m < y.order(); ++m) {
+    if (m != mode) order.push_back(m);
+  }
+  order.push_back(mode);
+  ys.permute_modes(order);
+  ys.sort();
+
+  const auto sparse_order = static_cast<std::size_t>(y.order()) - 1;
+  DenseMatrix w(y.dim(mode), y.dim(mode));
+  std::size_t run_begin = 0;
+  auto flush = [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const index_t ii = ys.index(i, static_cast<int>(sparse_order));
+      const value_t vi = ys.value(i);
+      for (std::size_t j = b; j < e; ++j) {
+        w.at(ii, ys.index(j, static_cast<int>(sparse_order))) +=
+            vi * ys.value(j);
+      }
+    }
+  };
+  for (std::size_t i = 1; i < ys.nnz(); ++i) {
+    for (std::size_t m = 0; m < sparse_order; ++m) {
+      if (ys.index(i - 1, static_cast<int>(m)) !=
+          ys.index(i, static_cast<int>(m))) {
+        flush(run_begin, i);
+        run_begin = i;
+        break;
+      }
+    }
+  }
+  if (ys.nnz() > 0) flush(run_begin, ys.nnz());
+  return w;
+}
+
+}  // namespace
+
+TuckerModel tucker_hooi(const SparseTensor& x, const TuckerOptions& opts) {
+  const auto order = static_cast<std::size_t>(x.order());
+  SPARTA_CHECK(opts.core_dims.size() == order,
+               "tucker: one core dimension per mode required");
+  for (std::size_t m = 0; m < order; ++m) {
+    SPARTA_CHECK(opts.core_dims[m] >= 1 &&
+                     opts.core_dims[m] <= x.dim(static_cast<int>(m)),
+                 "tucker: core dims must be in [1, dim(n)]");
+  }
+  SPARTA_CHECK(!x.empty(), "tucker: cannot decompose an empty tensor");
+
+  TuckerModel model{.factors = {}, .core = DenseTensor({1}), .fit = 0.0};
+  for (std::size_t m = 0; m < order; ++m) {
+    model.factors.push_back(DenseMatrix::random_orthonormal(
+        x.dim(static_cast<int>(m)), opts.core_dims[m], opts.seed + m));
+  }
+
+  const double norm_x = norm_fro(x);
+  double previous_fit = 0.0;
+
+  for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    for (std::size_t n = 0; n < order; ++n) {
+      // Y = X contracted over every mode but n; U_n = top-R_n
+      // eigenvectors of Y's mode-n Gram.
+      std::vector<bool> contract(order, true);
+      contract[n] = false;
+      const SparseTensor y =
+          ttm_chain(x, model.factors, contract, opts.num_threads);
+      const SymmetricEigen eig = symmetric_eigen(mode_gram(y, static_cast<int>(n)));
+      DenseMatrix u(x.dim(static_cast<int>(n)), opts.core_dims[n]);
+      for (std::size_t i = 0; i < u.rows(); ++i) {
+        for (std::size_t r = 0; r < u.cols(); ++r) {
+          u.at(i, r) = eig.vectors.at(i, r);
+        }
+      }
+      model.factors[n] = std::move(u);
+    }
+
+    // Core = X ×_all U_nᵀ; with orthonormal factors, fit follows from
+    // ‖core‖.
+    const std::vector<bool> all(order, true);
+    const SparseTensor core_sp =
+        ttm_chain(x, model.factors, all, opts.num_threads);
+    const double norm_core = norm_fro(core_sp);
+    model.fit =
+        norm_x > 0
+            ? 1.0 - std::sqrt(std::max(
+                        0.0, norm_x * norm_x - norm_core * norm_core)) /
+                        norm_x
+            : 1.0;
+    model.iterations = iter;
+    if (iter > 1 && std::abs(model.fit - previous_fit) < opts.tolerance) {
+      model.core = DenseTensor::from_sparse(core_sp);
+      break;
+    }
+    previous_fit = model.fit;
+    if (iter == opts.max_iterations) {
+      model.core = DenseTensor::from_sparse(core_sp);
+    }
+  }
+  return model;
+}
+
+}  // namespace sparta

@@ -1,0 +1,40 @@
+// Tucker decomposition by higher-order orthogonal iteration (HOOI),
+// built on the TTM kernel — the second classic sparse-tensor analytics
+// workload the paper cites ([9, 64]).
+//
+//   X ≈ G ×_1 U_1 ×_2 U_2 ... ×_N U_N
+//
+// with orthonormal factors U_n ∈ R^{I_n × R_n} and a small dense core
+// G ∈ R^{R_1 × ... × R_N}.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/dense_matrix.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/sparse_tensor.hpp"
+
+namespace sparta {
+
+struct TuckerOptions {
+  std::vector<std::size_t> core_dims;  ///< one R_n per mode
+  int max_iterations = 25;
+  double tolerance = 1e-5;
+  std::uint64_t seed = 1;
+  int num_threads = 0;
+};
+
+struct TuckerModel {
+  std::vector<DenseMatrix> factors;  ///< orthonormal I_n × R_n
+  DenseTensor core;                  ///< R_1 × ... × R_N
+  double fit = 0.0;                  ///< ‖core‖/‖X‖ (factors orthonormal)
+  int iterations = 0;
+};
+
+/// Decomposes X by HOOI. core_dims must have one entry per mode, each
+/// in [1, dim(n)].
+[[nodiscard]] TuckerModel tucker_hooi(const SparseTensor& x,
+                                      const TuckerOptions& opts);
+
+}  // namespace sparta

@@ -1,0 +1,85 @@
+// Memory-access accounting recorded by an instrumented contraction run.
+//
+// The heterogeneous-memory experiments are reproduced with a simulator
+// (see DESIGN.md §2): the contraction kernel tallies, per stage and per
+// data object, how many bytes it touches sequentially vs. randomly for
+// reads vs. writes, plus random access counts for latency modeling. The
+// cost model in cost_model.hpp turns these tallies plus a placement into
+// estimated stage times on DRAM+PMM.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/timer.hpp"
+#include "memsim/data_object.hpp"
+
+namespace sparta {
+
+/// Byte/access tallies for one (stage, data object) cell of the paper's
+/// Table 2.
+struct AccessStats {
+  std::uint64_t bytes_read_seq = 0;
+  std::uint64_t bytes_read_rand = 0;
+  std::uint64_t bytes_written_seq = 0;
+  std::uint64_t bytes_written_rand = 0;
+  std::uint64_t rand_reads = 0;   ///< individual random read accesses
+  std::uint64_t rand_writes = 0;  ///< individual random write accesses
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return bytes_read_seq + bytes_read_rand + bytes_written_seq +
+           bytes_written_rand;
+  }
+  [[nodiscard]] bool any() const { return total_bytes() != 0; }
+  [[nodiscard]] bool reads() const {
+    return bytes_read_seq + bytes_read_rand != 0;
+  }
+  [[nodiscard]] bool writes() const {
+    return bytes_written_seq + bytes_written_rand != 0;
+  }
+  [[nodiscard]] bool random() const {
+    return bytes_read_rand + bytes_written_rand != 0;
+  }
+
+  AccessStats& operator+=(const AccessStats& o) {
+    bytes_read_seq += o.bytes_read_seq;
+    bytes_read_rand += o.bytes_read_rand;
+    bytes_written_seq += o.bytes_written_seq;
+    bytes_written_rand += o.bytes_written_rand;
+    rand_reads += o.rand_reads;
+    rand_writes += o.rand_writes;
+    return *this;
+  }
+};
+
+/// Full profile of one contraction run: 5 stages × 6 objects of access
+/// tallies, per-object peak footprints, and the measured (all-DRAM) wall
+/// time of each stage.
+struct AccessProfile {
+  std::array<std::array<AccessStats, kNumDataObjects>, kNumStages> stats{};
+  std::array<std::uint64_t, kNumDataObjects> footprint_bytes{};
+  StageTimes measured;  ///< wall time per stage of the instrumented run
+
+  [[nodiscard]] AccessStats& at(Stage s, DataObject o) {
+    return stats[static_cast<int>(s)][static_cast<int>(o)];
+  }
+  [[nodiscard]] const AccessStats& at(Stage s, DataObject o) const {
+    return stats[static_cast<int>(s)][static_cast<int>(o)];
+  }
+
+  [[nodiscard]] std::uint64_t footprint(DataObject o) const {
+    return footprint_bytes[static_cast<int>(o)];
+  }
+  void set_footprint(DataObject o, std::uint64_t bytes) {
+    footprint_bytes[static_cast<int>(o)] = bytes;
+  }
+
+  /// Sum of all object footprints — the Fig. 9 "peak memory" quantity.
+  [[nodiscard]] std::uint64_t total_footprint() const {
+    std::uint64_t t = 0;
+    for (auto b : footprint_bytes) t += b;
+    return t;
+  }
+};
+
+}  // namespace sparta

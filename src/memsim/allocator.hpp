@@ -1,0 +1,110 @@
+// Tier-tagged allocation tracking — the AppDirect programming model
+// (explicit DRAM/PMM placement à la memkind/libvmem) without the
+// hardware: every container bound to a TierAllocator reports its
+// allocations to an AllocationRegistry, which tracks live and peak
+// bytes per tier and per data object. The heterogeneous-memory example
+// uses it to demonstrate how a Sparta placement plan would be executed
+// on a real PMM box.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <new>
+
+#include "memsim/data_object.hpp"
+
+namespace sparta {
+
+class AllocationRegistry {
+ public:
+  void on_allocate(Tier tier, DataObject tag, std::size_t bytes) {
+    auto& cell = cells_[idx(tier, tag)];
+    const std::size_t live =
+        cell.live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    // Racy max update is fine: peak is advisory accounting.
+    std::size_t peak = cell.peak.load(std::memory_order_relaxed);
+    while (live > peak &&
+           !cell.peak.compare_exchange_weak(peak, live,
+                                            std::memory_order_relaxed)) {
+    }
+  }
+
+  void on_deallocate(Tier tier, DataObject tag, std::size_t bytes) {
+    cells_[idx(tier, tag)].live.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t live_bytes(Tier tier, DataObject tag) const {
+    return cells_[idx(tier, tag)].live.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t peak_bytes(Tier tier, DataObject tag) const {
+    return cells_[idx(tier, tag)].peak.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t live_bytes(Tier tier) const {
+    std::size_t total = 0;
+    for (DataObject o : kAllDataObjects) total += live_bytes(tier, o);
+    return total;
+  }
+  [[nodiscard]] std::size_t peak_bytes(Tier tier) const {
+    std::size_t total = 0;
+    for (DataObject o : kAllDataObjects) total += peak_bytes(tier, o);
+    return total;
+  }
+
+ private:
+  static std::size_t idx(Tier tier, DataObject tag) {
+    return static_cast<std::size_t>(tier) * kNumDataObjects +
+           static_cast<std::size_t>(tag);
+  }
+  struct Cell {
+    std::atomic<std::size_t> live{0};
+    std::atomic<std::size_t> peak{0};
+  };
+  std::array<Cell, 2 * kNumDataObjects> cells_{};
+};
+
+/// std-compatible allocator charging a (registry, tier, tag) account.
+/// Rebind-safe; equality compares the account, so containers with the
+/// same account can exchange memory.
+template <typename T>
+class TierAllocator {
+ public:
+  using value_type = T;
+
+  TierAllocator(AllocationRegistry* registry, Tier tier, DataObject tag)
+      : registry_(registry), tier_(tier), tag_(tag) {}
+
+  template <typename U>
+  TierAllocator(const TierAllocator<U>& o)  // NOLINT(google-explicit-constructor)
+      : registry_(o.registry_), tier_(o.tier_), tag_(o.tag_) {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (registry_) registry_->on_allocate(tier_, tag_, bytes);
+    return static_cast<T*>(::operator new(bytes));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (registry_) registry_->on_deallocate(tier_, tag_, n * sizeof(T));
+    ::operator delete(p);
+  }
+
+  [[nodiscard]] Tier tier() const { return tier_; }
+  [[nodiscard]] DataObject tag() const { return tag_; }
+
+  template <typename U>
+  bool operator==(const TierAllocator<U>& o) const {
+    return registry_ == o.registry_ && tier_ == o.tier_ && tag_ == o.tag_;
+  }
+
+ private:
+  template <typename U>
+  friend class TierAllocator;
+
+  AllocationRegistry* registry_;
+  Tier tier_;
+  DataObject tag_;
+};
+
+}  // namespace sparta

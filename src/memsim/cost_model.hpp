@@ -1,0 +1,94 @@
+// Analytical cost model for SpTC on DRAM+PMM heterogeneous memory.
+//
+// This is the simulator substrate standing in for the paper's Optane
+// testbed (DESIGN.md §2). Given an AccessProfile recorded by an
+// instrumented contraction run (measured all-DRAM stage times + per-
+// stage/per-object byte and access tallies), it estimates the run's wall
+// time under a data placement:
+//
+//   t_stage(P) = t_measured_stage
+//              + Σ_obj pmm_share(obj) · penalty(obj, stage)
+//
+// where penalty charges the bandwidth delta for sequential traffic and
+// the (MLP-discounted) latency delta for random accesses — exactly the
+// asymmetries behind the paper's Observations 1 & 2 (§4.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "memsim/access_profile.hpp"
+#include "memsim/memory_params.hpp"
+
+namespace sparta {
+
+/// A (possibly partial) data placement: fraction of each object resident
+/// in DRAM (1.0 = fully DRAM, 0.0 = fully PMM). Partial placement models
+/// the paper's "place into DRAM as much as possible".
+struct Placement {
+  std::array<double, kNumDataObjects> dram_fraction{};
+
+  [[nodiscard]] double dram(DataObject o) const {
+    return dram_fraction[static_cast<int>(o)];
+  }
+  void set(DataObject o, double f) {
+    dram_fraction[static_cast<int>(o)] = f;
+  }
+
+  [[nodiscard]] static Placement all(Tier t) {
+    Placement p;
+    p.dram_fraction.fill(t == Tier::kDram ? 1.0 : 0.0);
+    return p;
+  }
+
+  /// All-DRAM except one object fully in PMM (the Fig. 3 experiment).
+  [[nodiscard]] static Placement one_in_pmm(DataObject o) {
+    Placement p = all(Tier::kDram);
+    p.set(o, 0.0);
+    return p;
+  }
+
+  /// DRAM bytes this placement consumes, given object footprints.
+  [[nodiscard]] std::uint64_t dram_bytes(
+      const std::array<std::uint64_t, kNumDataObjects>& footprints) const;
+};
+
+/// Result of one simulated run.
+struct SimResult {
+  StageTimes stage_seconds;
+  std::uint64_t migrated_bytes = 0;  ///< dynamic policies only
+  /// Bytes served from each tier per stage (for the Fig. 8 bandwidth
+  /// timeline): [stage][tier].
+  std::array<std::array<std::uint64_t, 2>, kNumStages> tier_bytes{};
+
+  [[nodiscard]] double total_seconds() const { return stage_seconds.total(); }
+
+  /// Average bandwidth (GB/s) drawn from `tier` during `stage`.
+  [[nodiscard]] double bandwidth_gbs(Stage s, Tier t) const;
+};
+
+/// Estimates run time under a static placement.
+[[nodiscard]] SimResult simulate_static(const AccessProfile& profile,
+                                        const MemoryParams& params,
+                                        const Placement& placement);
+
+/// The paper's algorithm-aware static policy (§4.2): X and Y on PMM;
+/// HtY > HtA > Z_local > Z placed into DRAM best-effort within
+/// params.dram_capacity_bytes, using the supplied footprints (callers
+/// pass Eq. 5/6 estimates or measured values).
+[[nodiscard]] Placement sparta_placement(
+    const std::array<std::uint64_t, kNumDataObjects>& footprints,
+    const MemoryParams& params);
+
+/// Hardware-managed DRAM cache in front of PMM (PMM "Memory mode").
+[[nodiscard]] SimResult simulate_memory_mode(const AccessProfile& profile,
+                                             const MemoryParams& params);
+
+/// Software page-hotness migration à la IAL [77]: placement follows the
+/// previous epoch's byte counts, so it reacts late and moves data that
+/// did not need moving.
+[[nodiscard]] SimResult simulate_ial(const AccessProfile& profile,
+                                     const MemoryParams& params);
+
+}  // namespace sparta

@@ -1,0 +1,52 @@
+// The six major SpTC data objects whose placement the paper studies
+// (§4.1, Table 2), and the two memory tiers.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace sparta {
+
+enum class DataObject : int {
+  kX = 0,       ///< first input tensor
+  kY = 1,       ///< second input tensor (COO form)
+  kHtY = 2,     ///< hash-table representation of Y
+  kHtA = 3,     ///< thread-local hash accumulators
+  kZlocal = 4,  ///< thread-local output staging buffers
+  kZ = 5,       ///< output tensor
+};
+
+inline constexpr int kNumDataObjects = 6;
+
+inline constexpr std::array<DataObject, kNumDataObjects> kAllDataObjects = {
+    DataObject::kX,   DataObject::kY,      DataObject::kHtY,
+    DataObject::kHtA, DataObject::kZlocal, DataObject::kZ};
+
+[[nodiscard]] constexpr std::string_view data_object_name(DataObject o) {
+  switch (o) {
+    case DataObject::kX:
+      return "X";
+    case DataObject::kY:
+      return "Y";
+    case DataObject::kHtY:
+      return "HtY";
+    case DataObject::kHtA:
+      return "HtA";
+    case DataObject::kZlocal:
+      return "Z_local";
+    case DataObject::kZ:
+      return "Z";
+  }
+  return "?";
+}
+
+enum class Tier : int {
+  kDram = 0,
+  kPmm = 1,
+};
+
+[[nodiscard]] constexpr std::string_view tier_name(Tier t) {
+  return t == Tier::kDram ? "DRAM" : "PMM";
+}
+
+}  // namespace sparta

@@ -1,0 +1,26 @@
+#include "memsim/timeline.hpp"
+
+namespace sparta {
+
+std::vector<BandwidthSample> bandwidth_timeline(const SimResult& sim,
+                                                int samples_per_stage) {
+  std::vector<BandwidthSample> out;
+  double start = 0.0;
+  for (int s = 0; s < kNumStages; ++s) {
+    const auto stage = static_cast<Stage>(s);
+    const double duration = sim.stage_seconds[stage];
+    if (duration <= 0.0) continue;
+    const double dram = sim.bandwidth_gbs(stage, Tier::kDram);
+    const double pmm = sim.bandwidth_gbs(stage, Tier::kPmm);
+    for (int k = 0; k < samples_per_stage; ++k) {
+      const double t =
+          start + duration * (static_cast<double>(k) + 0.5) /
+                      static_cast<double>(samples_per_stage);
+      out.push_back(BandwidthSample{t, dram, pmm, stage});
+    }
+    start += duration;
+  }
+  return out;
+}
+
+}  // namespace sparta

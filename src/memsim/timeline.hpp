@@ -1,0 +1,27 @@
+// Bandwidth timeline reconstruction for the Fig. 8 reproduction.
+//
+// SimResult carries per-stage byte counts and durations; this expands
+// them into an evenly-sampled time series per tier, the form the
+// paper's figure plots.
+#pragma once
+
+#include <vector>
+
+#include "memsim/cost_model.hpp"
+
+namespace sparta {
+
+struct BandwidthSample {
+  double time_seconds;  ///< sample midpoint from run start
+  double dram_gbs;
+  double pmm_gbs;
+  Stage stage;          ///< which pipeline stage this sample falls in
+};
+
+/// Expands `sim` into `samples_per_stage` evenly spaced samples per
+/// stage (stages with zero duration are skipped). Bandwidth within a
+/// stage is modeled as constant — the resolution of the cost model.
+[[nodiscard]] std::vector<BandwidthSample> bandwidth_timeline(
+    const SimResult& sim, int samples_per_stage = 8);
+
+}  // namespace sparta

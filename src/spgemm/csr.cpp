@@ -1,0 +1,80 @@
+#include "spgemm/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace sparta {
+
+CsrMatrix CsrMatrix::from_coo(const SparseTensor& t) {
+  SPARTA_CHECK(t.order() == 2, "CSR needs an order-2 tensor");
+  SparseTensor s = t;
+  s.coalesce();  // sorts row-major and sums duplicates
+  CsrMatrix m(s.dim(0), s.dim(1));
+  m.colidx_.assign(s.mode_indices(1).begin(), s.mode_indices(1).end());
+  m.vals_.assign(s.values().begin(), s.values().end());
+  const auto rows = s.mode_indices(0);
+  for (index_t r : rows) ++m.rowptr_[r + 1];
+  std::partial_sum(m.rowptr_.begin(), m.rowptr_.end(), m.rowptr_.begin());
+  return m;
+}
+
+SparseTensor CsrMatrix::to_coo() const {
+  SparseTensor t({rows_, cols_});
+  t.reserve(nnz());
+  std::vector<index_t> c(2);
+  for (index_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = rowptr_[r]; i < rowptr_[r + 1]; ++i) {
+      c[0] = r;
+      c[1] = colidx_[i];
+      t.append_unchecked(c, vals_[i]);
+    }
+  }
+  return t;
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  CsrMatrix t(cols_, rows_);
+  t.colidx_.resize(nnz());
+  t.vals_.resize(nnz());
+  // Count entries per output row (= input column), prefix-sum, scatter.
+  for (index_t c : colidx_) ++t.rowptr_[c + 1];
+  for (std::size_t i = 1; i < t.rowptr_.size(); ++i) {
+    t.rowptr_[i] += t.rowptr_[i - 1];
+  }
+  std::vector<std::size_t> cursor(t.rowptr_.begin(), t.rowptr_.end() - 1);
+  for (index_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = rowptr_[r]; i < rowptr_[r + 1]; ++i) {
+      const std::size_t dst = cursor[colidx_[i]]++;
+      t.colidx_[dst] = r;
+      t.vals_[dst] = vals_[i];
+    }
+  }
+  return t;
+}
+
+CsrMatrix CsrMatrix::from_parts(index_t rows, index_t cols,
+                                std::vector<std::size_t> rowptr,
+                                std::vector<index_t> colidx,
+                                std::vector<value_t> vals) {
+  SPARTA_CHECK(rowptr.size() == static_cast<std::size_t>(rows) + 1,
+               "rowptr must have rows+1 entries");
+  SPARTA_CHECK(rowptr.front() == 0 && rowptr.back() == vals.size(),
+               "rowptr must start at 0 and end at nnz");
+  SPARTA_CHECK(colidx.size() == vals.size(),
+               "colidx and values must have equal length");
+  for (std::size_t r = 0; r + 1 < rowptr.size(); ++r) {
+    SPARTA_CHECK(rowptr[r] <= rowptr[r + 1], "rowptr must be monotone");
+  }
+  for (index_t cidx : colidx) {
+    SPARTA_CHECK(cidx < cols, "column index out of range");
+  }
+  CsrMatrix m(rows, cols);
+  m.rowptr_ = std::move(rowptr);
+  m.colidx_ = std::move(colidx);
+  m.vals_ = std::move(vals);
+  return m;
+}
+
+}  // namespace sparta

@@ -1,0 +1,69 @@
+// Compressed sparse row (CSR) matrix — the substrate of the SpGEMM
+// work SpTC generalizes (paper §1, §2.2). Order-2 SparseTensors convert
+// losslessly in both directions, letting tests pit the SpTC pipeline
+// against a dedicated SpGEMM on the same data.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/sparse_tensor.hpp"
+#include "tensor/types.hpp"
+
+namespace sparta {
+
+class CsrMatrix {
+ public:
+  CsrMatrix(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols), rowptr_(rows + 1, 0) {}
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return vals_.size(); }
+
+  [[nodiscard]] std::span<const std::size_t> rowptr() const {
+    return rowptr_;
+  }
+  [[nodiscard]] std::span<const index_t> colidx() const { return colidx_; }
+  [[nodiscard]] std::span<const value_t> values() const { return vals_; }
+
+  /// Column indices of row r.
+  [[nodiscard]] std::span<const index_t> row_cols(index_t r) const {
+    return {colidx_.data() + rowptr_[r], rowptr_[r + 1] - rowptr_[r]};
+  }
+  /// Values of row r.
+  [[nodiscard]] std::span<const value_t> row_vals(index_t r) const {
+    return {vals_.data() + rowptr_[r], rowptr_[r + 1] - rowptr_[r]};
+  }
+
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return rowptr_.capacity() * sizeof(std::size_t) +
+           colidx_.capacity() * sizeof(index_t) +
+           vals_.capacity() * sizeof(value_t);
+  }
+
+  /// Builds from an order-2 COO tensor (duplicates summed).
+  [[nodiscard]] static CsrMatrix from_coo(const SparseTensor& t);
+
+  /// Aᵀ in CSR (counting-sort transpose, O(nnz + rows + cols)).
+  [[nodiscard]] CsrMatrix transposed() const;
+
+  /// Converts to a sorted order-2 COO tensor.
+  [[nodiscard]] SparseTensor to_coo() const;
+
+  /// Takes ownership of prebuilt arrays (validated).
+  [[nodiscard]] static CsrMatrix from_parts(index_t rows, index_t cols,
+                                            std::vector<std::size_t> rowptr,
+                                            std::vector<index_t> colidx,
+                                            std::vector<value_t> vals);
+
+ private:
+  index_t rows_;
+  index_t cols_;
+  std::vector<std::size_t> rowptr_;
+  std::vector<index_t> colidx_;
+  std::vector<value_t> vals_;
+};
+
+}  // namespace sparta

@@ -1,0 +1,63 @@
+// Sparse matrix-matrix multiplication (SpGEMM), C = A · B.
+//
+// SpTC is the high-order generalization of this kernel (paper §2.2),
+// and the paper's two central design debates come straight from the
+// SpGEMM literature it builds on:
+//
+//   * accumulator choice — the Gilbert dense SPA vs a hash table
+//     ([19, 20] vs [47]); both are implemented below.
+//   * output sizing — an extra symbolic pass that counts C's non-zeros
+//     exactly vs progressive (dynamic) allocation ([47] vs the paper's
+//     choice); both are implemented below.
+//
+// Row-parallel with OpenMP, mirroring Sparta's sub-tensor parallelism.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "spgemm/csr.hpp"
+
+namespace sparta {
+
+enum class SpgemmAccumulator : int {
+  kDenseSpa = 0,  ///< dense workspace + occupied-column list (Gilbert)
+  kHash = 1,      ///< open-addressing hash per row (Nagasaka et al.)
+};
+
+enum class SpgemmSizing : int {
+  kProgressive = 0,  ///< dynamic per-row vectors, single pass
+  kTwoPhase = 1,     ///< symbolic count pass, exact allocation, numeric
+};
+
+[[nodiscard]] constexpr std::string_view spgemm_accumulator_name(
+    SpgemmAccumulator a) {
+  return a == SpgemmAccumulator::kDenseSpa ? "dense-SPA" : "hash";
+}
+[[nodiscard]] constexpr std::string_view spgemm_sizing_name(SpgemmSizing s) {
+  return s == SpgemmSizing::kProgressive ? "progressive" : "two-phase";
+}
+
+struct SpgemmOptions {
+  SpgemmAccumulator accumulator = SpgemmAccumulator::kHash;
+  SpgemmSizing sizing = SpgemmSizing::kProgressive;
+  int num_threads = 0;  ///< 0 = ambient OpenMP count
+};
+
+struct SpgemmStats {
+  std::size_t flops = 0;          ///< scalar multiply-adds
+  std::size_t symbolic_nnz = 0;   ///< two-phase only: counted output nnz
+};
+
+/// C = A · B. A.cols() must equal B.rows(). Output rows are sorted by
+/// column index.
+[[nodiscard]] CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b,
+                               const SpgemmOptions& opts = {},
+                               SpgemmStats* stats = nullptr);
+
+/// y = A · x (dense vector), row-parallel.
+[[nodiscard]] std::vector<value_t> spmv(const CsrMatrix& a,
+                                        std::span<const value_t> x,
+                                        int num_threads = 0);
+
+}  // namespace sparta

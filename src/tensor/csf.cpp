@@ -1,0 +1,75 @@
+#include "tensor/csf.hpp"
+
+#include "common/error.hpp"
+
+namespace sparta {
+
+CsfTensor CsfTensor::from_sorted(const SparseTensor& t) {
+  SPARTA_CHECK(t.is_sorted(), "CSF construction needs a sorted tensor");
+  SPARTA_CHECK(t.nnz() < 0xffffffffULL,
+               "CSF uses 32-bit fiber pointers; tensor too large");
+  CsfTensor c;
+  c.dims_ = t.dims();
+  const auto order = static_cast<std::size_t>(t.order());
+  const std::size_t n = t.nnz();
+  c.inds_.resize(order);
+  c.ptrs_.resize(order > 0 ? order - 1 : 0);
+  c.vals_.assign(t.values().begin(), t.values().end());
+  if (n == 0) {
+    for (std::size_t l = 0; l + 1 < order; ++l) c.ptrs_[l].push_back(0);
+    return c;
+  }
+
+  // branch_level[i] = shallowest level whose index differs from non-zero
+  // i-1; a node starts at level l for every i with branch_level[i] <= l.
+  std::vector<std::size_t> branch_level(n, 0);
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t l = 0;
+    while (l < order && t.index(i - 1, static_cast<int>(l)) ==
+                            t.index(i, static_cast<int>(l))) {
+      ++l;
+    }
+    SPARTA_CHECK(l < order, "duplicate coordinates; coalesce() first");
+    branch_level[i] = l;
+  }
+
+  // Per level: a node for every i where branch_level[i] <= level. The
+  // child pointer advances through level+1's node counter.
+  for (std::size_t level = 0; level < order; ++level) {
+    auto& idx = c.inds_[level];
+    std::uint32_t child_count = 0;  // nodes created so far at level+1
+    for (std::size_t i = 0; i < n; ++i) {
+      if (branch_level[i] <= level) {
+        idx.push_back(t.index(i, static_cast<int>(level)));
+        if (level + 1 < order) {
+          c.ptrs_[level].push_back(child_count);
+        }
+      }
+      if (level + 1 < order && branch_level[i] <= level + 1) {
+        ++child_count;
+      }
+    }
+    if (level + 1 < order) {
+      c.ptrs_[level].push_back(child_count);
+    }
+  }
+  return c;
+}
+
+std::size_t CsfTensor::footprint_bytes() const {
+  std::size_t bytes = vals_.capacity() * sizeof(value_t);
+  for (const auto& v : inds_) bytes += v.capacity() * sizeof(index_t);
+  for (const auto& v : ptrs_) bytes += v.capacity() * sizeof(std::uint32_t);
+  return bytes;
+}
+
+SparseTensor CsfTensor::to_coo() const {
+  SparseTensor out(dims_);
+  out.reserve(nnz());
+  for_each([&](std::span<const index_t> coords, value_t v) {
+    out.append_unchecked(coords, v);
+  });
+  return out;
+}
+
+}  // namespace sparta

@@ -1,0 +1,96 @@
+// Compressed Sparse Fiber (CSF) tensor format [Smith & Karypis,
+// SPLATT].
+//
+// The paper stores X in COO and names "a more compressed format for the
+// sparse tensor X" as future work (§6); CSF is the format it cites.
+// A CSF tensor is a forest: level l holds the distinct mode-l indices
+// under each level-(l-1) node, so shared prefixes — exactly the
+// free-mode prefixes that define X's sub-tensors — are stored once.
+//
+// This implementation supports building from sorted COO, full traversal,
+// conversion back, and footprint accounting; bench_ablation_csf
+// quantifies the compression and traversal cost against the COO + ptr_F
+// scheme the contraction pipeline uses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/sparse_tensor.hpp"
+#include "tensor/types.hpp"
+
+namespace sparta {
+
+class CsfTensor {
+ public:
+  /// Builds from a lexicographically sorted COO tensor (throws if not
+  /// sorted). Mode order is the tensor's current mode order — permute
+  /// first to choose a different fiber hierarchy.
+  [[nodiscard]] static CsfTensor from_sorted(const SparseTensor& t);
+
+  [[nodiscard]] int order() const { return static_cast<int>(dims_.size()); }
+  [[nodiscard]] const std::vector<index_t>& dims() const { return dims_; }
+  [[nodiscard]] std::size_t nnz() const { return vals_.size(); }
+
+  /// Number of fiber nodes at level l (level order()-1 has nnz nodes).
+  [[nodiscard]] std::size_t level_size(int l) const {
+    return inds_[static_cast<std::size_t>(l)].size();
+  }
+
+  /// Mode-l index of each node at level l.
+  [[nodiscard]] std::span<const index_t> level_indices(int l) const {
+    return inds_[static_cast<std::size_t>(l)];
+  }
+
+  /// Children ranges: node n at level l (l < order-1) owns nodes
+  /// [ptr[n], ptr[n+1]) at level l+1. Size level_size(l) + 1. 32-bit
+  /// (SPLATT-style) — construction rejects tensors beyond 2^32 - 1
+  /// non-zeros.
+  [[nodiscard]] std::span<const std::uint32_t> level_ptr(int l) const {
+    return ptrs_[static_cast<std::size_t>(l)];
+  }
+
+  /// Values aligned with the leaf level.
+  [[nodiscard]] std::span<const value_t> values() const { return vals_; }
+
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
+  /// Visits every non-zero as (coords, value), in sorted order.
+  template <typename F>
+  void for_each(F&& f) const {
+    const auto n = static_cast<std::size_t>(order());
+    if (n == 0 || vals_.empty()) return;
+    std::vector<index_t> coords(n);
+    walk(0, 0, level_size(0), coords, f);
+  }
+
+  /// Round-trips back to sorted COO.
+  [[nodiscard]] SparseTensor to_coo() const;
+
+ private:
+  CsfTensor() = default;
+
+  template <typename F>
+  void walk(std::size_t level, std::size_t begin, std::size_t end,
+            std::vector<index_t>& coords, F&& f) const {
+    const auto last = static_cast<std::size_t>(order()) - 1;
+    for (std::size_t node = begin; node < end; ++node) {
+      coords[level] = inds_[level][node];
+      if (level == last) {
+        f(std::span<const index_t>(coords), vals_[node]);
+      } else {
+        walk(level + 1, ptrs_[level][node], ptrs_[level][node + 1], coords,
+             f);
+      }
+    }
+  }
+
+  std::vector<index_t> dims_;
+  std::vector<std::vector<index_t>> inds_;      // one per level
+  std::vector<std::vector<std::uint32_t>> ptrs_;  // one per level except last
+  std::vector<value_t> vals_;
+};
+
+}  // namespace sparta

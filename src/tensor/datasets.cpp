@@ -1,0 +1,112 @@
+#include "tensor/datasets.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sparta {
+
+namespace {
+
+GeneratorSpec spec(std::vector<index_t> dims, std::size_t nnz,
+                   std::vector<double> skew = {}) {
+  GeneratorSpec s;
+  s.dims = std::move(dims);
+  s.nnz = nnz;
+  s.skew = std::move(skew);
+  return s;
+}
+
+std::vector<DatasetInfo> build_table3() {
+  std::vector<DatasetInfo> d;
+  // Paper dims / nnz from Table 3; scaled analogs keep the order, the
+  // relative mode sizes and the density regime. Web-scale tensors
+  // (Nell-2, Flickr, Delicious) get skewed fibers like the originals.
+  d.push_back({"nell2",
+               {12000, 9000, 28000},
+               76'000'000,
+               2.4e-5,
+               spec({600, 450, 1400}, 60'000, {1.6, 1.6, 1.6})});
+  d.push_back({"nips",
+               {2000, 3000, 14000, 17000},
+               3'000'000,
+               1.8e-6,
+               spec({200, 300, 1400, 1700}, 40'000)});
+  d.push_back({"uber",
+               {183, 24, 1000, 1000},
+               3'000'000,
+               2e-4,
+               spec({183, 24, 500, 500}, 50'000)});
+  d.push_back({"chicago",
+               {6000, 24, 77, 32},
+               5'000'000,
+               1e-2,
+               spec({1200, 24, 77, 32}, 50'000)});
+  d.push_back({"uracil",
+               {90, 90, 174, 174},
+               10'000'000,
+               4.2e-2,
+               spec({90, 90, 174, 174}, 80'000)});
+  d.push_back({"flickr",
+               {320'000, 28'000'000, 2'000'000, 731},
+               113'000'000,
+               1.1e-4,
+               spec({3200, 28000, 2000, 731}, 60'000, {2.0, 2.0, 2.0, 1.0})});
+  d.push_back({"delicious",
+               {533'000, 17'000'000, 2'000'000, 1000},
+               140'000'000,
+               4.3e-6,
+               spec({5330, 17000, 2000, 1000}, 60'000, {2.0, 2.0, 2.0, 1.0})});
+  d.push_back({"vast",
+               {165'000, 11'000, 2, 100, 89},
+               26'000'000,
+               8e-7,
+               spec({1650, 1100, 2, 100, 89}, 60'000)});
+  return d;
+}
+
+}  // namespace
+
+const std::vector<DatasetInfo>& table3_datasets() {
+  static const std::vector<DatasetInfo> kTable = build_table3();
+  return kTable;
+}
+
+const DatasetInfo& dataset_by_name(const std::string& name) {
+  for (const auto& d : table3_datasets()) {
+    if (d.name == name) return d;
+  }
+  throw Error("unknown dataset '" + name + "'");
+}
+
+SpTCCase make_sptc_case(const std::string& dataset, int num_modes,
+                        double nnz_scale, std::uint64_t seed) {
+  const DatasetInfo& info = dataset_by_name(dataset);
+  SPARTA_CHECK(num_modes >= 1 &&
+                   num_modes < static_cast<int>(info.spec.dims.size()),
+               "num_modes must leave at least one free mode");
+
+  PairedSpec ps;
+  ps.y = info.spec;
+  ps.y.nnz = std::max<std::size_t>(
+      16, static_cast<std::size_t>(static_cast<double>(info.spec.nnz) *
+                                   nnz_scale));
+  ps.y.seed = seed;
+  ps.x = ps.y;
+  ps.x.seed = seed * 7919 + 13;
+  ps.num_contract_modes = num_modes;
+  ps.match_fraction = 0.8;
+
+  TensorPair pair = generate_contraction_pair(ps);
+  SpTCCase c;
+  c.label = dataset + "/" + std::to_string(num_modes) + "-mode";
+  c.x = std::move(pair.x);
+  c.y = std::move(pair.y);
+  for (int m = 0; m < num_modes; ++m) {
+    c.cx.push_back(m);
+    c.cy.push_back(m);
+  }
+  return c;
+}
+
+}  // namespace sparta

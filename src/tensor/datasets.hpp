@@ -1,0 +1,51 @@
+// Synthetic analogs of the paper's evaluation datasets (Table 3).
+//
+// Each entry records the paper's real characteristics (for Table 3
+// reproduction) and a scaled GeneratorSpec whose order, mode-size ratios
+// and skew mimic the original at laptop-friendly nnz. SpTC benchmark
+// cases contract a dataset with an independently-seeded tensor of the
+// same shape along the first `num_modes` modes (Cx = Cy = {0..m-1}),
+// which mirrors the paper's self-contraction expressions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/generators.hpp"
+#include "tensor/sparse_tensor.hpp"
+
+namespace sparta {
+
+/// One Table-3 dataset: paper-reported stats + our scaled generator.
+struct DatasetInfo {
+  std::string name;
+  std::vector<std::uint64_t> paper_dims;
+  std::uint64_t paper_nnz = 0;
+  double paper_density = 0.0;
+  GeneratorSpec spec;  ///< scaled synthetic analog
+};
+
+/// All eight Table-3 datasets, in the paper's order.
+[[nodiscard]] const std::vector<DatasetInfo>& table3_datasets();
+
+/// Looks up a dataset by (case-sensitive) name; throws if unknown.
+[[nodiscard]] const DatasetInfo& dataset_by_name(const std::string& name);
+
+/// A ready-to-contract benchmark case.
+struct SpTCCase {
+  std::string label;  ///< e.g. "chicago/2-mode"
+  SparseTensor x;
+  SparseTensor y;
+  Modes cx;
+  Modes cy;
+};
+
+/// Builds the m-mode contraction case for a dataset. `nnz_scale` scales
+/// both tensors' non-zero counts (1.0 = the defaults tuned for seconds-
+/// long benchmark runs).
+[[nodiscard]] SpTCCase make_sptc_case(const std::string& dataset,
+                                      int num_modes, double nnz_scale = 1.0,
+                                      std::uint64_t seed = 42);
+
+}  // namespace sparta

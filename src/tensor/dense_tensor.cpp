@@ -1,0 +1,101 @@
+#include "tensor/dense_tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sparta {
+
+DenseTensor DenseTensor::from_sparse(const SparseTensor& t) {
+  DenseTensor d(t.dims());
+  std::vector<index_t> c(static_cast<std::size_t>(t.order()));
+  for (std::size_t n = 0; n < t.nnz(); ++n) {
+    t.coords(n, c);
+    d.at(c) += t.value(n);
+  }
+  return d;
+}
+
+SparseTensor DenseTensor::to_sparse(double cutoff) const {
+  SparseTensor s(lin_.dims());
+  std::vector<index_t> c(lin_.num_modes());
+  for (lnkey_t k = 0; k < lin_.size(); ++k) {
+    if (std::abs(data_[k]) > cutoff) {
+      lin_.delinearize(k, c);
+      s.append_unchecked(c, data_[k]);
+    }
+  }
+  return s;
+}
+
+namespace {
+
+// Complement of `modes` in [0, order), preserving ascending order.
+Modes free_modes_of(int order, const Modes& modes) {
+  std::vector<bool> is_contract(static_cast<std::size_t>(order), false);
+  for (int m : modes) is_contract[static_cast<std::size_t>(m)] = true;
+  Modes free;
+  for (int m = 0; m < order; ++m) {
+    if (!is_contract[static_cast<std::size_t>(m)]) free.push_back(m);
+  }
+  return free;
+}
+
+}  // namespace
+
+DenseTensor contract_dense(const DenseTensor& x, const DenseTensor& y,
+                           const Modes& cx, const Modes& cy) {
+  SPARTA_CHECK(cx.size() == cy.size(),
+               "contract mode sets must have equal arity");
+  for (std::size_t i = 0; i < cx.size(); ++i) {
+    SPARTA_CHECK(x.dims()[static_cast<std::size_t>(cx[i])] ==
+                     y.dims()[static_cast<std::size_t>(cy[i])],
+                 "contract mode sizes must match");
+  }
+  const Modes fx = free_modes_of(x.order(), cx);
+  const Modes fy = free_modes_of(y.order(), cy);
+  SPARTA_CHECK(!fx.empty() || !fy.empty(),
+               "full contraction to a scalar is not representable as a "
+               "tensor; keep at least one free mode");
+
+  std::vector<index_t> zdims;
+  for (int m : fx) zdims.push_back(x.dims()[static_cast<std::size_t>(m)]);
+  for (int m : fy) zdims.push_back(y.dims()[static_cast<std::size_t>(m)]);
+  std::vector<index_t> cdims;
+  for (int m : cx) cdims.push_back(x.dims()[static_cast<std::size_t>(m)]);
+
+  DenseTensor z(zdims);
+  const LinearIndexer zlin(zdims);
+  const LinearIndexer clin(cdims.empty() ? std::vector<index_t>{1} : cdims);
+
+  std::vector<index_t> zc(zdims.size());
+  std::vector<index_t> cc(std::max<std::size_t>(cdims.size(), 1));
+  std::vector<index_t> xc(static_cast<std::size_t>(x.order()));
+  std::vector<index_t> yc(static_cast<std::size_t>(y.order()));
+
+  for (lnkey_t zk = 0; zk < zlin.size(); ++zk) {
+    zlin.delinearize(zk, zc);
+    value_t acc = 0;
+    for (lnkey_t ck = 0; ck < clin.size(); ++ck) {
+      clin.delinearize(ck, cc);
+      for (std::size_t i = 0; i < fx.size(); ++i) {
+        xc[static_cast<std::size_t>(fx[i])] = zc[i];
+      }
+      for (std::size_t i = 0; i < cx.size(); ++i) {
+        xc[static_cast<std::size_t>(cx[i])] = cc[i];
+      }
+      for (std::size_t i = 0; i < fy.size(); ++i) {
+        yc[static_cast<std::size_t>(fy[i])] = zc[fx.size() + i];
+      }
+      for (std::size_t i = 0; i < cy.size(); ++i) {
+        yc[static_cast<std::size_t>(cy[i])] = cc[i];
+      }
+      acc += x.at(xc) * y.at(yc);
+    }
+    z.data()[zk] = acc;
+  }
+  return z;
+}
+
+}  // namespace sparta

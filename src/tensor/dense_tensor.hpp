@@ -1,0 +1,58 @@
+// Dense tensor used as the correctness oracle for sparse contraction.
+//
+// Only meant for small shapes in tests and examples; storage is a single
+// row-major array.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/linearize.hpp"
+#include "tensor/sparse_tensor.hpp"
+#include "tensor/types.hpp"
+
+namespace sparta {
+
+class DenseTensor {
+ public:
+  explicit DenseTensor(std::vector<index_t> dims)
+      : lin_(std::move(dims)), data_(lin_.size(), value_t{0}) {}
+
+  [[nodiscard]] int order() const {
+    return static_cast<int>(lin_.num_modes());
+  }
+  [[nodiscard]] const std::vector<index_t>& dims() const {
+    return lin_.dims();
+  }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] value_t& at(std::span<const index_t> idx) {
+    return data_[lin_.linearize(idx)];
+  }
+  [[nodiscard]] value_t at(std::span<const index_t> idx) const {
+    return data_[lin_.linearize(idx)];
+  }
+
+  [[nodiscard]] std::span<const value_t> data() const { return data_; }
+  [[nodiscard]] std::span<value_t> data() { return data_; }
+  [[nodiscard]] const LinearIndexer& indexer() const { return lin_; }
+
+  /// Scatters a sparse tensor into dense form (duplicates accumulate).
+  [[nodiscard]] static DenseTensor from_sparse(const SparseTensor& t);
+
+  /// Extracts non-zeros (|v| > cutoff) back into COO form, sorted.
+  [[nodiscard]] SparseTensor to_sparse(double cutoff = 0.0) const;
+
+ private:
+  LinearIndexer lin_;
+  std::vector<value_t> data_;
+};
+
+/// Reference dense contraction: Z = X ×_{cx}^{cy} Y. Output modes are the
+/// free modes of X (original order) followed by the free modes of Y.
+/// O(|Z| * prod(contract dims)) — tests only.
+[[nodiscard]] DenseTensor contract_dense(const DenseTensor& x,
+                                         const DenseTensor& y,
+                                         const Modes& cx, const Modes& cy);
+
+}  // namespace sparta

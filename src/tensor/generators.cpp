@@ -1,0 +1,146 @@
+#include "tensor/generators.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tensor/linearize.hpp"
+
+namespace sparta {
+
+namespace {
+
+index_t draw_index(Rng& rng, index_t dim, double skew) {
+  if (skew <= 1.0) {
+    return static_cast<index_t>(rng.uniform(dim));
+  }
+  // u^skew concentrates mass toward index 0, giving power-law-ish fibers.
+  const double u = rng.uniform_double();
+  auto idx = static_cast<index_t>(std::pow(u, skew) * dim);
+  return idx >= dim ? dim - 1 : idx;
+}
+
+double cell_count(const std::vector<index_t>& dims) {
+  double cells = 1.0;
+  for (index_t d : dims) cells *= static_cast<double>(d);
+  return cells;
+}
+
+}  // namespace
+
+SparseTensor generate_random(const GeneratorSpec& spec) {
+  SPARTA_CHECK(!spec.dims.empty(), "generator needs at least one mode");
+  SPARTA_CHECK(spec.skew.empty() || spec.skew.size() == spec.dims.size(),
+               "skew must be empty or have one entry per mode");
+  SPARTA_CHECK(static_cast<double>(spec.nnz) <= cell_count(spec.dims),
+               "requested nnz exceeds the tensor's cell count");
+
+  Rng rng(spec.seed);
+  SparseTensor t(spec.dims);
+  t.reserve(spec.nnz);
+
+  const LinearIndexer lin(spec.dims);
+  std::unordered_set<lnkey_t> used;
+  used.reserve(spec.nnz * 2);
+
+  std::vector<index_t> c(spec.dims.size());
+  std::size_t emitted = 0;
+  // With skewed draws near-full occupancy can stall on duplicates; cap
+  // the retry budget and fail loudly rather than loop forever.
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = spec.nnz * 64 + 1024;
+  while (emitted < spec.nnz) {
+    SPARTA_CHECK(++attempts <= max_attempts,
+                 "generator could not find enough distinct coordinates; "
+                 "lower nnz or skew");
+    for (std::size_t m = 0; m < spec.dims.size(); ++m) {
+      const double skew = spec.skew.empty() ? 1.0 : spec.skew[m];
+      c[m] = draw_index(rng, spec.dims[m], skew);
+    }
+    if (!used.insert(lin.linearize(c)).second) continue;
+    t.append_unchecked(c, rng.uniform_double(spec.value_lo, spec.value_hi));
+    ++emitted;
+  }
+  t.sort();
+  return t;
+}
+
+TensorPair generate_contraction_pair(const PairedSpec& spec) {
+  const int m = spec.num_contract_modes;
+  SPARTA_CHECK(m >= 1, "need at least one contract mode");
+  SPARTA_CHECK(m < static_cast<int>(spec.x.dims.size()) &&
+                   m < static_cast<int>(spec.y.dims.size()),
+               "contract modes must leave at least one free mode");
+  for (int i = 0; i < m; ++i) {
+    SPARTA_CHECK(spec.x.dims[static_cast<std::size_t>(i)] ==
+                     spec.y.dims[static_cast<std::size_t>(i)],
+                 "leading contract mode sizes of X and Y must match");
+  }
+
+  TensorPair pair;
+  pair.y = generate_random(spec.y);
+
+  // Collect Y's distinct contract tuples so X can be steered to hit them.
+  std::vector<index_t> cdims(spec.y.dims.begin(), spec.y.dims.begin() + m);
+  const LinearIndexer clin(cdims);
+  std::vector<lnkey_t> y_ckeys;
+  {
+    std::unordered_set<lnkey_t> seen;
+    std::vector<index_t> c(static_cast<std::size_t>(pair.y.order()));
+    for (std::size_t n = 0; n < pair.y.nnz(); ++n) {
+      pair.y.coords(n, c);
+      const lnkey_t k =
+          clin.linearize(std::span<const index_t>(c.data(),
+                                                  static_cast<std::size_t>(m)));
+      if (seen.insert(k).second) y_ckeys.push_back(k);
+    }
+  }
+
+  Rng rng(spec.x.seed ^ 0xabcdef12345ULL);
+  const LinearIndexer xlin(spec.x.dims);
+  std::unordered_set<lnkey_t> used;
+  used.reserve(spec.x.nnz * 2);
+
+  pair.x = SparseTensor(spec.x.dims);
+  pair.x.reserve(spec.x.nnz);
+  std::vector<index_t> c(spec.x.dims.size());
+  std::vector<index_t> ctuple(static_cast<std::size_t>(m));
+  std::size_t emitted = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = spec.x.nnz * 64 + 1024;
+  while (emitted < spec.x.nnz) {
+    SPARTA_CHECK(++attempts <= max_attempts,
+                 "paired generator could not find enough distinct "
+                 "coordinates; lower nnz, skew or match_fraction");
+    const bool match = !y_ckeys.empty() &&
+                       rng.uniform_double() < spec.match_fraction;
+    if (match) {
+      const lnkey_t k = y_ckeys[rng.uniform(y_ckeys.size())];
+      clin.delinearize(k, ctuple);
+      for (int i = 0; i < m; ++i) {
+        c[static_cast<std::size_t>(i)] = ctuple[static_cast<std::size_t>(i)];
+      }
+    } else {
+      for (int i = 0; i < m; ++i) {
+        const double skew =
+            spec.x.skew.empty() ? 1.0 : spec.x.skew[static_cast<std::size_t>(i)];
+        c[static_cast<std::size_t>(i)] =
+            draw_index(rng, spec.x.dims[static_cast<std::size_t>(i)], skew);
+      }
+    }
+    for (std::size_t i = static_cast<std::size_t>(m); i < spec.x.dims.size();
+         ++i) {
+      const double skew = spec.x.skew.empty() ? 1.0 : spec.x.skew[i];
+      c[i] = draw_index(rng, spec.x.dims[i], skew);
+    }
+    if (!used.insert(xlin.linearize(c)).second) continue;
+    pair.x.append_unchecked(c,
+                            rng.uniform_double(spec.x.value_lo, spec.x.value_hi));
+    ++emitted;
+  }
+  pair.x.sort();
+  return pair;
+}
+
+}  // namespace sparta

@@ -1,0 +1,53 @@
+// Synthetic sparse tensor generators.
+//
+// The paper evaluates on FROSTT datasets plus a quantum-chemistry tensor;
+// neither is redistributable here, so these generators produce tensors
+// matching each dataset's order, mode-size ratios, density regime and
+// fiber skew (see DESIGN.md §2 for the substitution argument).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/sparse_tensor.hpp"
+#include "tensor/types.hpp"
+
+namespace sparta {
+
+/// Parameters for random COO generation.
+struct GeneratorSpec {
+  std::vector<index_t> dims;
+  std::size_t nnz = 0;          ///< target non-zero count (exact; duplicates
+                                ///< are re-drawn)
+  std::uint64_t seed = 42;
+  double value_lo = -1.0;
+  double value_hi = 1.0;
+  /// Per-mode skew exponent. 1.0 = uniform; larger concentrates indices
+  /// near 0, mimicking the power-law fibers of real FROSTT data. One entry
+  /// per mode, or empty for all-uniform.
+  std::vector<double> skew;
+};
+
+/// Generates a sparse tensor with exactly `spec.nnz` distinct coordinates
+/// (sorted). Throws if nnz exceeds the number of cells.
+[[nodiscard]] SparseTensor generate_random(const GeneratorSpec& spec);
+
+/// Generates a pair (X, Y) sharing a controllable fraction of contract-
+/// index tuples, so contracting X with Y along `num_contract_modes`
+/// leading modes produces non-trivial output. `match_fraction` of X's
+/// non-zeros reuse a contract tuple that exists in Y.
+struct PairedSpec {
+  GeneratorSpec x;
+  GeneratorSpec y;
+  int num_contract_modes = 1;   ///< leading modes of both X and Y contract
+  double match_fraction = 0.5;
+};
+
+struct TensorPair {
+  SparseTensor x;
+  SparseTensor y;
+};
+
+[[nodiscard]] TensorPair generate_contraction_pair(const PairedSpec& spec);
+
+}  // namespace sparta

@@ -1,0 +1,154 @@
+#include "tensor/io.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace sparta {
+
+namespace {
+
+// Splits a line into tokens; returns false when the line is blank or a
+// comment.
+bool tokenize(std::string_view line, std::vector<std::string_view>& out) {
+  out.clear();
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                               line[i] == '\r')) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] == '#') break;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != '\r' && line[i] != '#') {
+      ++i;
+    }
+    out.push_back(line.substr(start, i - start));
+  }
+  return !out.empty();
+}
+
+std::uint64_t parse_index(std::string_view tok, int line_no) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(tok.begin(), tok.end(), v);
+  SPARTA_CHECK(ec == std::errc{} && ptr == tok.end(),
+               "line " + std::to_string(line_no) + ": bad index token '" +
+                   std::string(tok) + "'");
+  SPARTA_CHECK(v >= 1, "line " + std::to_string(line_no) +
+                           ": .tns indices are 1-based, got 0");
+  return v;
+}
+
+double parse_value(std::string_view tok, int line_no) {
+  // std::from_chars for double is available in libstdc++ 11+; use it.
+  double v = 0;
+  const auto [ptr, ec] = std::from_chars(tok.begin(), tok.end(), v);
+  SPARTA_CHECK(ec == std::errc{} && ptr == tok.end(),
+               "line " + std::to_string(line_no) + ": bad value token '" +
+                   std::string(tok) + "'");
+  return v;
+}
+
+}  // namespace
+
+SparseTensor read_tns(std::istream& in,
+                      std::optional<std::vector<index_t>> dims) {
+  std::vector<std::vector<index_t>> cols;
+  std::vector<value_t> vals;
+  std::vector<std::string_view> toks;
+  std::string line;
+  int order = -1;
+  int line_no = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!tokenize(line, toks)) continue;
+    if (order < 0) {
+      SPARTA_CHECK(toks.size() >= 2,
+                   "line " + std::to_string(line_no) +
+                       ": expected at least one index and a value");
+      order = static_cast<int>(toks.size()) - 1;
+      cols.resize(static_cast<std::size_t>(order));
+      if (dims) {
+        SPARTA_CHECK(static_cast<int>(dims->size()) == order,
+                     "supplied dims arity does not match file order");
+      }
+    }
+    SPARTA_CHECK(static_cast<int>(toks.size()) == order + 1,
+                 "line " + std::to_string(line_no) +
+                     ": inconsistent number of columns");
+    for (int m = 0; m < order; ++m) {
+      const std::uint64_t idx1 =
+          parse_index(toks[static_cast<std::size_t>(m)], line_no);
+      SPARTA_CHECK(idx1 - 1 <= 0xffffffffULL,
+                   "line " + std::to_string(line_no) +
+                       ": index exceeds 32-bit range");
+      cols[static_cast<std::size_t>(m)].push_back(
+          static_cast<index_t>(idx1 - 1));
+    }
+    vals.push_back(parse_value(toks.back(), line_no));
+  }
+  SPARTA_CHECK(order > 0, "empty .tns input (no data lines)");
+
+  std::vector<index_t> shape;
+  if (dims) {
+    shape = *dims;
+    for (int m = 0; m < order; ++m) {
+      const auto& col = cols[static_cast<std::size_t>(m)];
+      for (index_t v : col) {
+        SPARTA_CHECK(v < shape[static_cast<std::size_t>(m)],
+                     "index exceeds supplied mode size");
+      }
+    }
+  } else {
+    shape.resize(static_cast<std::size_t>(order));
+    for (int m = 0; m < order; ++m) {
+      const auto& col = cols[static_cast<std::size_t>(m)];
+      shape[static_cast<std::size_t>(m)] =
+          1 + *std::max_element(col.begin(), col.end());
+    }
+  }
+
+  SparseTensor t(shape);
+  t.reserve(vals.size());
+  std::vector<index_t> c(static_cast<std::size_t>(order));
+  for (std::size_t n = 0; n < vals.size(); ++n) {
+    for (int m = 0; m < order; ++m) {
+      c[static_cast<std::size_t>(m)] = cols[static_cast<std::size_t>(m)][n];
+    }
+    t.append_unchecked(c, vals[n]);
+  }
+  return t;
+}
+
+SparseTensor read_tns_file(const std::string& path,
+                           std::optional<std::vector<index_t>> dims) {
+  std::ifstream in(path);
+  SPARTA_CHECK(in.good(), "cannot open '" + path + "' for reading");
+  return read_tns(in, std::move(dims));
+}
+
+void write_tns(std::ostream& out, const SparseTensor& t) {
+  std::ostringstream buf;
+  buf.precision(17);
+  std::vector<index_t> c(static_cast<std::size_t>(t.order()));
+  for (std::size_t n = 0; n < t.nnz(); ++n) {
+    t.coords(n, c);
+    for (index_t v : c) buf << (v + 1) << '\t';
+    buf << t.value(n) << '\n';
+  }
+  out << buf.str();
+}
+
+void write_tns_file(const std::string& path, const SparseTensor& t) {
+  std::ofstream out(path);
+  SPARTA_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  write_tns(out, t);
+}
+
+}  // namespace sparta

@@ -1,0 +1,36 @@
+// FROSTT .tns text format I/O.
+//
+// Format: one non-zero per line, whitespace-separated 1-based indices
+// followed by the value; '#' starts a comment. Mode sizes are inferred
+// from the data unless supplied explicitly.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "tensor/sparse_tensor.hpp"
+
+namespace sparta {
+
+/// Parses a .tns stream. If `dims` is given it overrides inference (and
+/// every index is validated against it). Throws sparta::Error on
+/// malformed input: inconsistent arity, non-numeric tokens, indices < 1.
+[[nodiscard]] SparseTensor read_tns(std::istream& in,
+                                    std::optional<std::vector<index_t>> dims =
+                                        std::nullopt);
+
+/// Reads a .tns file from disk.
+[[nodiscard]] SparseTensor read_tns_file(
+    const std::string& path,
+    std::optional<std::vector<index_t>> dims = std::nullopt);
+
+/// Writes 1-based .tns text.
+void write_tns(std::ostream& out, const SparseTensor& t);
+
+/// Writes a .tns file to disk.
+void write_tns_file(const std::string& path, const SparseTensor& t);
+
+}  // namespace sparta

@@ -1,0 +1,96 @@
+#include "tensor/io_binary.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace sparta {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'P', 'T', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  SPARTA_CHECK(in.good(), "truncated SPTN stream");
+  return v;
+}
+
+}  // namespace
+
+void write_sptn(std::ostream& out, const SparseTensor& t) {
+  out.write(kMagic, 4);
+  put<std::uint32_t>(out, kVersion);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(t.order()));
+  put<std::uint64_t>(out, t.nnz());
+  for (index_t d : t.dims()) put<std::uint32_t>(out, d);
+  for (int m = 0; m < t.order(); ++m) {
+    const auto col = t.mode_indices(m);
+    out.write(reinterpret_cast<const char*>(col.data()),
+              static_cast<std::streamsize>(col.size() * sizeof(index_t)));
+  }
+  const auto vals = t.values();
+  out.write(reinterpret_cast<const char*>(vals.data()),
+            static_cast<std::streamsize>(vals.size() * sizeof(value_t)));
+  SPARTA_CHECK(out.good(), "SPTN write failed");
+}
+
+void write_sptn_file(const std::string& path, const SparseTensor& t) {
+  std::ofstream out(path, std::ios::binary);
+  SPARTA_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  write_sptn(out, t);
+}
+
+SparseTensor read_sptn(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  SPARTA_CHECK(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+               "not an SPTN stream (bad magic)");
+  const auto version = get<std::uint32_t>(in);
+  SPARTA_CHECK(version == kVersion,
+               "unsupported SPTN version " + std::to_string(version));
+  const auto order = get<std::uint32_t>(in);
+  SPARTA_CHECK(order >= 1 && order <= 64, "implausible SPTN order");
+  const auto nnz = get<std::uint64_t>(in);
+
+  std::vector<index_t> dims(order);
+  for (auto& d : dims) {
+    d = get<std::uint32_t>(in);
+    SPARTA_CHECK(d > 0, "SPTN mode size must be positive");
+  }
+
+  std::vector<std::vector<index_t>> cols(order);
+  for (auto& col : cols) {
+    col.resize(nnz);
+    in.read(reinterpret_cast<char*>(col.data()),
+            static_cast<std::streamsize>(nnz * sizeof(index_t)));
+    SPARTA_CHECK(in.good(), "truncated SPTN column data");
+  }
+  std::vector<value_t> vals(nnz);
+  in.read(reinterpret_cast<char*>(vals.data()),
+          static_cast<std::streamsize>(nnz * sizeof(value_t)));
+  SPARTA_CHECK(in.good() || (nnz == 0 && in.eof()),
+               "truncated SPTN value data");
+
+  // from_columns bounds-checks every index against dims.
+  return SparseTensor::from_columns(std::move(dims), std::move(cols),
+                                    std::move(vals));
+}
+
+SparseTensor read_sptn_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SPARTA_CHECK(in.good(), "cannot open '" + path + "' for reading");
+  return read_sptn(in);
+}
+
+}  // namespace sparta

@@ -1,0 +1,30 @@
+// Binary sparse tensor format ("SPTN"), the fast-load counterpart of
+// the .tns text format — analogous to the artifact's SPLATT .bin
+// conversion step (Appendix B.4). Little-endian, versioned:
+//
+//   magic   "SPTN"            4 bytes
+//   version u32               currently 1
+//   order   u32
+//   nnz     u64
+//   dims    order × u32
+//   columns order × nnz × u32 (one mode column at a time)
+//   values  nnz × f64
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/error.hpp"
+#include "tensor/sparse_tensor.hpp"
+
+namespace sparta {
+
+void write_sptn(std::ostream& out, const SparseTensor& t);
+void write_sptn_file(const std::string& path, const SparseTensor& t);
+
+/// Throws sparta::Error on bad magic, unsupported version, truncated
+/// payload, or out-of-range indices.
+[[nodiscard]] SparseTensor read_sptn(std::istream& in);
+[[nodiscard]] SparseTensor read_sptn_file(const std::string& path);
+
+}  // namespace sparta

@@ -1,0 +1,87 @@
+// Large-number (LN) index linearization (paper §3.3).
+//
+// Converts a sparse multi-index tuple over a set of modes into a single
+// dense 64-bit integer: LN(i0,...,ik) = ((i0*D1 + i1)*D2 + i2)... .
+// Unique LN keys make hash-table key comparison a single integer compare,
+// which is the heart of both HtY and HtA.
+#pragma once
+
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "tensor/types.hpp"
+
+namespace sparta {
+
+/// Row-major linearizer over a fixed list of mode sizes.
+class LinearIndexer {
+ public:
+  LinearIndexer() = default;
+
+  /// `dims` are the sizes of the modes being linearized, in the order the
+  /// indices will be supplied. Throws if the product overflows 64 bits.
+  explicit LinearIndexer(std::vector<index_t> dims) : dims_(std::move(dims)) {
+    strides_.assign(dims_.size(), 1);
+    lnkey_t total = 1;
+    for (std::size_t i = dims_.size(); i-- > 0;) {
+      SPARTA_CHECK(dims_[i] > 0, "mode size must be positive");
+      strides_[i] = total;
+      const lnkey_t next = total * dims_[i];
+      SPARTA_CHECK(dims_[i] == 0 || next / dims_[i] == total,
+                   "linearized index space exceeds 64 bits; "
+                   "reduce mode sizes or contract fewer modes");
+      total = next;
+    }
+    size_ = total;
+  }
+
+  [[nodiscard]] std::size_t num_modes() const { return dims_.size(); }
+  [[nodiscard]] const std::vector<index_t>& dims() const { return dims_; }
+
+  /// Total number of addressable positions (product of dims).
+  [[nodiscard]] lnkey_t size() const { return size_; }
+
+  /// Linearize a full tuple (one index per mode).
+  [[nodiscard]] lnkey_t linearize(std::span<const index_t> idx) const {
+    SPARTA_ASSERT(idx.size() == dims_.size());
+    lnkey_t key = 0;
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      SPARTA_ASSERT(idx[i] < dims_[i]);
+      key += strides_[i] * idx[i];
+    }
+    return key;
+  }
+
+  /// Linearize indices gathered from `coords` at positions `modes`.
+  /// coords is a full coordinate tuple of some tensor; modes selects which
+  /// of its entries correspond to this indexer's dims, in order.
+  [[nodiscard]] lnkey_t linearize_gather(std::span<const index_t> coords,
+                                         std::span<const int> modes) const {
+    SPARTA_ASSERT(modes.size() == dims_.size());
+    lnkey_t key = 0;
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      const index_t v = coords[static_cast<std::size_t>(modes[i])];
+      SPARTA_ASSERT(v < dims_[i]);
+      key += strides_[i] * v;
+    }
+    return key;
+  }
+
+  /// Inverse of linearize(); writes one index per mode into `out`.
+  void delinearize(lnkey_t key, std::span<index_t> out) const {
+    SPARTA_ASSERT(out.size() == dims_.size());
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      out[i] = static_cast<index_t>(key / strides_[i]);
+      key %= strides_[i];
+    }
+  }
+
+ private:
+  std::vector<index_t> dims_;
+  std::vector<lnkey_t> strides_;
+  lnkey_t size_ = 1;
+};
+
+}  // namespace sparta

@@ -1,0 +1,139 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "tensor/linearize.hpp"
+
+namespace sparta {
+
+SparseTensor add(const SparseTensor& a, const SparseTensor& b, value_t alpha,
+                 value_t beta) {
+  SPARTA_CHECK(a.dims() == b.dims(), "add: shapes must match");
+  SparseTensor out(a.dims());
+  out.reserve(a.nnz() + b.nnz());
+  std::vector<index_t> c(static_cast<std::size_t>(a.order()));
+  for (std::size_t n = 0; n < a.nnz(); ++n) {
+    a.coords(n, c);
+    out.append_unchecked(c, alpha * a.value(n));
+  }
+  for (std::size_t n = 0; n < b.nnz(); ++n) {
+    b.coords(n, c);
+    out.append_unchecked(c, beta * b.value(n));
+  }
+  out.coalesce();
+  return out;
+}
+
+void scale(SparseTensor& t, value_t alpha) {
+  if (alpha == value_t{0}) {
+    t.clear();
+    return;
+  }
+  for (value_t& v : t.values()) v *= alpha;
+}
+
+SparseTensor hadamard(const SparseTensor& a, const SparseTensor& b) {
+  SPARTA_CHECK(a.dims() == b.dims(), "hadamard: shapes must match");
+  const LinearIndexer lin(a.dims());
+  std::unordered_map<lnkey_t, value_t> bmap;
+  bmap.reserve(b.nnz() * 2);
+  std::vector<index_t> c(static_cast<std::size_t>(a.order()));
+  for (std::size_t n = 0; n < b.nnz(); ++n) {
+    b.coords(n, c);
+    bmap[lin.linearize(c)] += b.value(n);
+  }
+  SparseTensor out(a.dims());
+  for (std::size_t n = 0; n < a.nnz(); ++n) {
+    a.coords(n, c);
+    const auto it = bmap.find(lin.linearize(c));
+    if (it != bmap.end()) {
+      const value_t v = a.value(n) * it->second;
+      if (v != value_t{0}) out.append_unchecked(c, v);
+    }
+  }
+  out.coalesce();
+  return out;
+}
+
+double norm_fro(const SparseTensor& t) {
+  double s = 0.0;
+  for (value_t v : t.values()) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+double norm_max(const SparseTensor& t) {
+  double m = 0.0;
+  for (value_t v : t.values()) m = std::max(m, std::abs(v));
+  return m;
+}
+
+value_t sum(const SparseTensor& t) {
+  value_t s{};
+  for (value_t v : t.values()) s += v;
+  return s;
+}
+
+SparseTensor reduce_mode(const SparseTensor& t, int mode) {
+  SPARTA_CHECK(mode >= 0 && mode < t.order(), "reduce_mode: mode out of range");
+  SPARTA_CHECK(t.order() > 1,
+               "reduce_mode: cannot reduce the only mode of a tensor");
+  std::vector<index_t> dims;
+  for (int m = 0; m < t.order(); ++m) {
+    if (m != mode) dims.push_back(t.dim(m));
+  }
+  SparseTensor out(dims);
+  out.reserve(t.nnz());
+  std::vector<index_t> c(static_cast<std::size_t>(t.order()));
+  std::vector<index_t> oc(dims.size());
+  for (std::size_t n = 0; n < t.nnz(); ++n) {
+    t.coords(n, c);
+    std::size_t p = 0;
+    for (int m = 0; m < t.order(); ++m) {
+      if (m != mode) oc[p++] = c[static_cast<std::size_t>(m)];
+    }
+    out.append_unchecked(oc, t.value(n));
+  }
+  out.coalesce();
+  return out;
+}
+
+SparseTensor truncate(const SparseTensor& t, double cutoff) {
+  SparseTensor out(t.dims());
+  std::vector<index_t> c(static_cast<std::size_t>(t.order()));
+  for (std::size_t n = 0; n < t.nnz(); ++n) {
+    if (std::abs(t.value(n)) > cutoff) {
+      t.coords(n, c);
+      out.append_unchecked(c, t.value(n));
+    }
+  }
+  out.sort();
+  return out;
+}
+
+SparseTensor slice(const SparseTensor& t, int mode, index_t index) {
+  SPARTA_CHECK(mode >= 0 && mode < t.order(), "slice: mode out of range");
+  SPARTA_CHECK(index < t.dim(mode), "slice: index out of range");
+  SPARTA_CHECK(t.order() > 1, "slice: cannot slice the only mode");
+  std::vector<index_t> dims;
+  for (int m = 0; m < t.order(); ++m) {
+    if (m != mode) dims.push_back(t.dim(m));
+  }
+  SparseTensor out(dims);
+  std::vector<index_t> c(static_cast<std::size_t>(t.order()));
+  std::vector<index_t> oc(dims.size());
+  for (std::size_t n = 0; n < t.nnz(); ++n) {
+    if (t.index(n, mode) != index) continue;
+    t.coords(n, c);
+    std::size_t p = 0;
+    for (int m = 0; m < t.order(); ++m) {
+      if (m != mode) oc[p++] = c[static_cast<std::size_t>(m)];
+    }
+    out.append_unchecked(oc, t.value(n));
+  }
+  out.sort();
+  return out;
+}
+
+}  // namespace sparta

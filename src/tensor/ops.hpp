@@ -1,0 +1,46 @@
+// Element-wise and reduction operations on COO sparse tensors — the
+// standard library surface around the contraction kernel (scaling
+// operands, combining partial results, norms for convergence checks,
+// mode reductions).
+#pragma once
+
+#include "tensor/sparse_tensor.hpp"
+#include "tensor/types.hpp"
+
+namespace sparta {
+
+/// C = alpha*A + beta*B. Shapes must match. Result is sorted/coalesced;
+/// exact cancellations are dropped.
+[[nodiscard]] SparseTensor add(const SparseTensor& a, const SparseTensor& b,
+                               value_t alpha = 1.0, value_t beta = 1.0);
+
+/// In-place scalar multiply. alpha == 0 empties the tensor.
+void scale(SparseTensor& t, value_t alpha);
+
+/// Element-wise (Hadamard) product: non-zero only where both are.
+[[nodiscard]] SparseTensor hadamard(const SparseTensor& a,
+                                    const SparseTensor& b);
+
+/// Frobenius norm: sqrt(Σ v²).
+[[nodiscard]] double norm_fro(const SparseTensor& t);
+
+/// Largest |v|; 0 for an empty tensor.
+[[nodiscard]] double norm_max(const SparseTensor& t);
+
+/// Sum of all non-zero values.
+[[nodiscard]] value_t sum(const SparseTensor& t);
+
+/// Reduces (sums) over one mode, producing an order-(N-1) tensor.
+/// Throws when the tensor has only one mode.
+[[nodiscard]] SparseTensor reduce_mode(const SparseTensor& t, int mode);
+
+/// Keeps only elements with |v| > cutoff — the truncation quantum-
+/// chemistry pipelines apply before an element-wise SpTC (§5.3's
+/// 1e-8 cutoff). Result sorted.
+[[nodiscard]] SparseTensor truncate(const SparseTensor& t, double cutoff);
+
+/// Extracts the sub-tensor where `mode` == `index`, dropping that mode.
+[[nodiscard]] SparseTensor slice(const SparseTensor& t, int mode,
+                                 index_t index);
+
+}  // namespace sparta

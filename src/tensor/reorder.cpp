@@ -1,0 +1,102 @@
+#include "tensor/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace sparta {
+
+namespace {
+
+// Relabeling for one mode from occurrence counts: most frequent → 0.
+// Stable on ties (by old index) for deterministic output.
+std::vector<index_t> map_from_counts(const std::vector<std::size_t>& counts) {
+  std::vector<index_t> order(counts.size());
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](index_t a, index_t b) { return counts[a] > counts[b]; });
+  std::vector<index_t> forward(counts.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    forward[order[rank]] = static_cast<index_t>(rank);
+  }
+  return forward;
+}
+
+std::vector<std::size_t> mode_counts(const SparseTensor& t, int mode) {
+  std::vector<std::size_t> counts(t.dim(mode), 0);
+  for (index_t v : t.mode_indices(mode)) ++counts[v];
+  return counts;
+}
+
+}  // namespace
+
+Relabeling Relabeling::inverted() const {
+  Relabeling inv;
+  inv.forward.resize(forward.size());
+  for (std::size_t m = 0; m < forward.size(); ++m) {
+    inv.forward[m].resize(forward[m].size());
+    for (std::size_t old = 0; old < forward[m].size(); ++old) {
+      inv.forward[m][forward[m][old]] = static_cast<index_t>(old);
+    }
+  }
+  return inv;
+}
+
+Relabeling reorder_by_frequency(const SparseTensor& t) {
+  Relabeling r;
+  for (int m = 0; m < t.order(); ++m) {
+    r.forward.push_back(map_from_counts(mode_counts(t, m)));
+  }
+  return r;
+}
+
+SparseTensor apply_relabeling(const SparseTensor& t, const Relabeling& r) {
+  SPARTA_CHECK(r.forward.size() == static_cast<std::size_t>(t.order()),
+               "relabeling arity must match tensor order");
+  for (int m = 0; m < t.order(); ++m) {
+    SPARTA_CHECK(r.forward[static_cast<std::size_t>(m)].size() == t.dim(m),
+                 "relabeling size must match mode size");
+  }
+  SparseTensor out(t.dims());
+  out.reserve(t.nnz());
+  std::vector<index_t> c(static_cast<std::size_t>(t.order()));
+  for (std::size_t n = 0; n < t.nnz(); ++n) {
+    t.coords(n, c);
+    for (std::size_t m = 0; m < c.size(); ++m) {
+      c[m] = r.forward[m][c[m]];
+    }
+    out.append_unchecked(c, t.value(n));
+  }
+  out.sort();
+  return out;
+}
+
+RelabeledPair reorder_pair(const SparseTensor& x, const SparseTensor& y,
+                           const Modes& cx, const Modes& cy) {
+  SPARTA_CHECK(cx.size() == cy.size(),
+               "contract mode lists must have equal arity");
+  RelabeledPair out;
+  // Start from independent frequency maps.
+  out.x_map = reorder_by_frequency(x);
+  out.y_map = reorder_by_frequency(y);
+  // Contract modes must share one map: rebuild from combined counts.
+  for (std::size_t i = 0; i < cx.size(); ++i) {
+    const int mx = cx[i];
+    const int my = cy[i];
+    SPARTA_CHECK(mx >= 0 && mx < x.order() && my >= 0 && my < y.order(),
+                 "contract mode out of range");
+    SPARTA_CHECK(x.dim(mx) == y.dim(my), "contract mode sizes must match");
+    std::vector<std::size_t> counts(x.dim(mx), 0);
+    for (index_t v : x.mode_indices(mx)) ++counts[v];
+    for (index_t v : y.mode_indices(my)) ++counts[v];
+    auto shared = map_from_counts(counts);
+    out.x_map.forward[static_cast<std::size_t>(mx)] = shared;
+    out.y_map.forward[static_cast<std::size_t>(my)] = std::move(shared);
+  }
+  out.x = apply_relabeling(x, out.x_map);
+  out.y = apply_relabeling(y, out.y_map);
+  return out;
+}
+
+}  // namespace sparta

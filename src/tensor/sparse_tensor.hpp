@@ -1,0 +1,119 @@
+// Coordinate-format (COO) sparse tensor of arbitrary order.
+//
+// Storage is structure-of-arrays: one index array per mode plus one value
+// array, mirroring HiParTI's layout. Mode permutation is O(order) (just
+// swaps the per-mode arrays — the paper's "switch the pointers of their
+// indices"), while sorting rearranges all non-zeros lexicographically.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/types.hpp"
+
+namespace sparta {
+
+class SparseTensor {
+ public:
+  SparseTensor() = default;
+
+  /// Creates an empty tensor with the given mode sizes.
+  explicit SparseTensor(std::vector<index_t> dims);
+
+  // --- Shape ---------------------------------------------------------
+
+  [[nodiscard]] int order() const { return static_cast<int>(dims_.size()); }
+  [[nodiscard]] const std::vector<index_t>& dims() const { return dims_; }
+  [[nodiscard]] index_t dim(int mode) const {
+    return dims_[static_cast<std::size_t>(mode)];
+  }
+  [[nodiscard]] std::size_t nnz() const { return vals_.size(); }
+  [[nodiscard]] bool empty() const { return vals_.empty(); }
+
+  /// nnz / product(dims), computed in double to avoid overflow.
+  [[nodiscard]] double density() const;
+
+  /// Heap bytes used by the index and value arrays.
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
+  // --- Element access ------------------------------------------------
+
+  /// Index of non-zero `n` in mode `mode`.
+  [[nodiscard]] index_t index(std::size_t n, int mode) const {
+    return inds_[static_cast<std::size_t>(mode)][n];
+  }
+  [[nodiscard]] value_t value(std::size_t n) const { return vals_[n]; }
+  [[nodiscard]] value_t& value(std::size_t n) { return vals_[n]; }
+
+  /// Copies the full coordinate tuple of non-zero `n` into `out`
+  /// (out.size() must equal order()).
+  void coords(std::size_t n, std::span<index_t> out) const;
+
+  /// Whole index column for one mode (size nnz()).
+  [[nodiscard]] std::span<const index_t> mode_indices(int mode) const {
+    return inds_[static_cast<std::size_t>(mode)];
+  }
+  [[nodiscard]] std::span<const value_t> values() const { return vals_; }
+  [[nodiscard]] std::span<value_t> values() { return vals_; }
+
+  // --- Construction --------------------------------------------------
+
+  void reserve(std::size_t n);
+
+  /// Appends one non-zero. Coordinates are bounds-checked.
+  void append(std::span<const index_t> coords, value_t val);
+
+  /// Appends one non-zero without bounds checking (hot path for the
+  /// writeback stage; caller guarantees validity).
+  void append_unchecked(std::span<const index_t> coords, value_t val);
+
+  void clear();
+
+  /// Takes ownership of fully-built index columns + values (one column
+  /// per mode, all the same length). Used by the parallel writeback
+  /// gather, which fills the columns with OpenMP before handing them
+  /// over. Column lengths and bounds are validated.
+  [[nodiscard]] static SparseTensor from_columns(
+      std::vector<index_t> dims, std::vector<std::vector<index_t>> columns,
+      std::vector<value_t> values);
+
+  // --- Reordering ----------------------------------------------------
+
+  /// Reorders modes so that new mode k is old mode `new_order[k]`.
+  /// O(order) pointer swaps; non-zeros are untouched.
+  void permute_modes(const Modes& new_order);
+
+  /// Sorts non-zeros lexicographically by (mode 0, mode 1, ...).
+  /// Parallel (OpenMP task quicksort) when large.
+  void sort();
+
+  /// True when non-zeros are in lexicographic order.
+  [[nodiscard]] bool is_sorted() const;
+
+  /// Sorts, then merges duplicate coordinates by summing their values and
+  /// drops explicit zeros produced by cancellation.
+  void coalesce();
+
+  // --- Comparison ----------------------------------------------------
+
+  /// Exact shape + coordinate equality with value tolerance. Both tensors
+  /// are compared in canonical (sorted, coalesced) form; inputs are
+  /// untouched (copies are made when needed).
+  [[nodiscard]] static bool approx_equal(const SparseTensor& a,
+                                         const SparseTensor& b,
+                                         double tol = 1e-9);
+
+  /// One-line human-readable summary ("order-4 [6186x24x77x32] nnz=5330").
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  friend class TensorBuilder;
+
+  std::vector<index_t> dims_;
+  std::vector<std::vector<index_t>> inds_;  // inds_[mode][nz]
+  std::vector<value_t> vals_;
+};
+
+}  // namespace sparta

@@ -1,0 +1,26 @@
+// Fundamental scalar types for the Sparta library.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sparta {
+
+/// A single mode (dimension) index. 32 bits covers every FROSTT mode size
+/// (largest is 28M for Flickr) with headroom.
+using index_t = std::uint32_t;
+
+/// A linearized multi-index — the paper's "large number" (LN)
+/// representation (§3.3). 64 bits; LinearIndexer checks for overflow.
+using lnkey_t = std::uint64_t;
+
+/// Non-zero value type.
+using value_t = double;
+
+/// A list of mode indices identifying one tensor element.
+using Coords = std::vector<index_t>;
+
+/// A list of mode numbers (e.g. the contract-mode sets Cx, Cy).
+using Modes = std::vector<int>;
+
+}  // namespace sparta

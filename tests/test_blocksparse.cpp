@@ -1,0 +1,204 @@
+// Tests for the block-sparse tensor engine (the ITensor-class baseline)
+// — conversion round-trips, contraction vs. the element-wise oracle, and
+// the Hubbard-2D-like generator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blocksparse/block_contract.hpp"
+#include "blocksparse/block_tensor.hpp"
+#include "blocksparse/hubbard.hpp"
+#include "common/error.hpp"
+#include "contraction/contract.hpp"
+#include "contraction/reference.hpp"
+#include "tensor/generators.hpp"
+
+namespace sparta {
+namespace {
+
+SparseTensor random_tensor(std::vector<index_t> dims, std::size_t nnz,
+                           std::uint64_t seed) {
+  GeneratorSpec spec;
+  spec.dims = std::move(dims);
+  spec.nnz = nnz;
+  spec.seed = seed;
+  return generate_random(spec);
+}
+
+TEST(BlockTensor, GridDimsRoundUp) {
+  const BlockSparseTensor b({10, 8, 3}, {4, 4, 2});
+  EXPECT_EQ(b.grid_dims(), (std::vector<index_t>{3, 2, 2}));
+}
+
+TEST(BlockTensor, SparseRoundTrip) {
+  const SparseTensor s = random_tensor({13, 9, 11}, 200, 4);
+  const BlockSparseTensor b = BlockSparseTensor::from_sparse(s, {4, 3, 4});
+  EXPECT_GT(b.num_blocks(), 0u);
+  EXPECT_EQ(b.nnz(), 200u);
+  const SparseTensor back = b.to_sparse();
+  EXPECT_TRUE(SparseTensor::approx_equal(s, back, 1e-12));
+}
+
+TEST(BlockTensor, ClippedEdgeBlocks) {
+  // dim 5 with block 4 -> edge block extent 1.
+  BlockSparseTensor b({5}, {4});
+  std::vector<index_t> bc{1};
+  std::vector<index_t> ext(1);
+  b.block_extent(bc, ext);
+  EXPECT_EQ(ext[0], 1u);
+  EXPECT_EQ(b.block(bc).size(), 1u);
+}
+
+TEST(BlockTensor, StoredScalarsExceedNnzWhenBlocksAreSparse) {
+  const SparseTensor s = random_tensor({32, 32}, 50, 5);
+  const BlockSparseTensor b = BlockSparseTensor::from_sparse(s, {8, 8});
+  // 50 scattered non-zeros across 8x8=64-cell tiles: padding dominates.
+  EXPECT_GT(b.stored_scalars(), b.nnz());
+}
+
+TEST(BlockTensor, RejectsBadBlockDims) {
+  EXPECT_THROW(BlockSparseTensor({4, 4}, {4}), Error);
+  EXPECT_THROW(BlockSparseTensor({4, 4}, {0, 4}), Error);
+}
+
+TEST(BlockContract, MatchesElementWiseOracleMatMul) {
+  const SparseTensor xs = random_tensor({12, 16}, 60, 1);
+  const SparseTensor ys = random_tensor({16, 10}, 50, 2);
+  const auto xb = BlockSparseTensor::from_sparse(xs, {4, 4});
+  const auto yb = BlockSparseTensor::from_sparse(ys, {4, 5});
+  const BlockSparseTensor zb = contract_blocksparse(xb, yb, {1}, {0});
+  const SparseTensor ref = contract_reference(xs, ys, {1}, {0});
+  EXPECT_TRUE(SparseTensor::approx_equal(zb.to_sparse(1e-14), ref, 1e-9));
+}
+
+TEST(BlockContract, MatchesOracleOnHighOrder) {
+  const SparseTensor xs = random_tensor({8, 6, 9, 4}, 150, 3);
+  const SparseTensor ys = random_tensor({9, 4, 7}, 120, 4);
+  const auto xb = BlockSparseTensor::from_sparse(xs, {4, 3, 3, 2});
+  const auto yb = BlockSparseTensor::from_sparse(ys, {3, 2, 4});
+  const BlockSparseTensor zb =
+      contract_blocksparse(xb, yb, {2, 3}, {0, 1});
+  const SparseTensor ref = contract_reference(xs, ys, {2, 3}, {0, 1});
+  EXPECT_TRUE(SparseTensor::approx_equal(zb.to_sparse(1e-14), ref, 1e-9));
+}
+
+TEST(BlockContract, AgreesWithSpartaOnBlockStructuredData) {
+  BlockStructureSpec xs;
+  xs.dims = {24, 8, 16};
+  xs.block_dims = {4, 4, 4};
+  xs.num_blocks = 20;
+  xs.nnz = 400;
+  xs.seed = 11;
+  BlockStructureSpec ys;
+  ys.dims = {16, 8, 12};
+  ys.block_dims = {4, 4, 4};
+  ys.num_blocks = 15;
+  ys.nnz = 300;
+  ys.seed = 12;
+
+  const SparseTensor x = generate_block_structured(xs);
+  const SparseTensor y = generate_block_structured(ys);
+  const Modes cx{2};
+  const Modes cy{0};
+
+  const SparseTensor z_sparta = contract_tensor(x, y, cx, cy, {});
+  const auto xb = BlockSparseTensor::from_sparse(x, xs.block_dims);
+  const auto yb = BlockSparseTensor::from_sparse(y, ys.block_dims);
+  const SparseTensor z_block =
+      contract_blocksparse(xb, yb, cx, cy).to_sparse(1e-14);
+  EXPECT_TRUE(SparseTensor::approx_equal(z_sparta, z_block, 1e-9));
+}
+
+TEST(BlockContract, RejectsMismatchedTilings) {
+  const auto x = BlockSparseTensor::from_sparse(
+      random_tensor({8, 8}, 10, 1), {4, 4});
+  const auto y = BlockSparseTensor::from_sparse(
+      random_tensor({8, 8}, 10, 2), {2, 4});
+  EXPECT_THROW((void)contract_blocksparse(x, y, {1}, {0}), Error);
+}
+
+TEST(BlockContract, StatsCountWork) {
+  const SparseTensor xs = random_tensor({8, 8}, 40, 1);
+  const SparseTensor ys = random_tensor({8, 8}, 40, 2);
+  const auto xb = BlockSparseTensor::from_sparse(xs, {4, 4});
+  const auto yb = BlockSparseTensor::from_sparse(ys, {4, 4});
+  BlockContractStats stats;
+  (void)contract_blocksparse(xb, yb, {1}, {0}, &stats);
+  EXPECT_GT(stats.block_pairs, 0u);
+  EXPECT_GT(stats.fma_count, 0u);
+  EXPECT_GT(stats.output_blocks, 0u);
+}
+
+// --- Hubbard generator -------------------------------------------------
+
+TEST(Hubbard, GeneratorHitsTargets) {
+  BlockStructureSpec spec;
+  spec.dims = {32, 16};
+  spec.block_dims = {4, 4};
+  spec.num_blocks = 10;
+  spec.nnz = 100;
+  const SparseTensor t = generate_block_structured(spec);
+  EXPECT_EQ(t.nnz(), 100u);
+  const auto b = BlockSparseTensor::from_sparse(t, spec.block_dims);
+  EXPECT_EQ(b.num_blocks(), 10u);
+}
+
+TEST(Hubbard, GeneratorValuesSurviveCutoff) {
+  BlockStructureSpec spec;
+  spec.dims = {16, 16};
+  spec.block_dims = {4, 4};
+  spec.num_blocks = 8;
+  spec.nnz = 64;
+  const SparseTensor t = generate_block_structured(spec);
+  for (std::size_t n = 0; n < t.nnz(); ++n) {
+    EXPECT_GT(std::abs(t.value(n)), 1e-8);  // the paper's cutoff
+  }
+}
+
+TEST(Hubbard, RejectsOverfullSpecs) {
+  BlockStructureSpec spec;
+  spec.dims = {8, 8};
+  spec.block_dims = {4, 4};
+  spec.num_blocks = 5;  // grid only has 4 tiles
+  spec.nnz = 10;
+  EXPECT_THROW((void)generate_block_structured(spec), Error);
+  spec.num_blocks = 4;
+  spec.nnz = 100;  // 4 tiles × 16 cells = 64 max
+  EXPECT_THROW((void)generate_block_structured(spec), Error);
+}
+
+TEST(Hubbard, TableHasTenContractibleCases) {
+  const auto& cases = hubbard_cases();
+  ASSERT_EQ(cases.size(), 10u);
+  for (const auto& c : cases) {
+    ASSERT_EQ(c.cx.size(), c.cy.size()) << c.label;
+    for (std::size_t i = 0; i < c.cx.size(); ++i) {
+      EXPECT_EQ(c.x.dims[static_cast<std::size_t>(c.cx[i])],
+                c.y.dims[static_cast<std::size_t>(c.cy[i])])
+          << c.label;
+      EXPECT_EQ(c.x.block_dims[static_cast<std::size_t>(c.cx[i])],
+                c.y.block_dims[static_cast<std::size_t>(c.cy[i])])
+          << c.label;
+    }
+  }
+}
+
+TEST(Hubbard, Case1GeneratesAndContracts) {
+  // Scaled-down smoke: shrink nnz/blocks 20x, keep shapes.
+  HubbardCase c = hubbard_cases()[0];
+  c.x.nnz /= 20;
+  c.x.num_blocks /= 20;
+  c.y.nnz /= 4;
+  c.y.num_blocks /= 4;
+  const SparseTensor x = generate_block_structured(c.x);
+  const SparseTensor y = generate_block_structured(c.y);
+  const SparseTensor z = contract_tensor(x, y, c.cx, c.cy, {});
+  const auto xb = BlockSparseTensor::from_sparse(x, c.x.block_dims);
+  const auto yb = BlockSparseTensor::from_sparse(y, c.y.block_dims);
+  const SparseTensor zb =
+      contract_blocksparse(xb, yb, c.cx, c.cy).to_sparse(1e-14);
+  EXPECT_TRUE(SparseTensor::approx_equal(z, zb, 1e-9));
+}
+
+}  // namespace
+}  // namespace sparta

@@ -1,0 +1,314 @@
+// Correctness tests for the three SpTC algorithms against independent
+// oracles (dense contraction and brute-force sparse pairing).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/error.hpp"
+#include "contraction/contract.hpp"
+#include "contraction/reference.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/generators.hpp"
+
+namespace sparta {
+namespace {
+
+constexpr Algorithm kAll[] = {Algorithm::kSpa, Algorithm::kCooHta,
+                              Algorithm::kSparta};
+
+SparseTensor random_tensor(std::vector<index_t> dims, std::size_t nnz,
+                           std::uint64_t seed) {
+  GeneratorSpec spec;
+  spec.dims = std::move(dims);
+  spec.nnz = nnz;
+  spec.seed = seed;
+  return generate_random(spec);
+}
+
+// --- Hand-checked example -------------------------------------------
+
+TEST(Contract, Figure1WalkThrough) {
+  SparseTensor x({2, 2, 2, 2});
+  x.append(std::vector<index_t>{0, 1, 0, 0}, 2.0);
+  SparseTensor y({2, 2, 2, 4});
+  y.append(std::vector<index_t>{0, 0, 0, 3}, 4.0);
+
+  for (Algorithm alg : kAll) {
+    ContractOptions o;
+    o.algorithm = alg;
+    const SparseTensor z = contract_tensor(x, y, {2, 3}, {0, 1}, o);
+    ASSERT_EQ(z.nnz(), 1u) << algorithm_name(alg);
+    std::vector<index_t> c(4);
+    z.coords(0, c);
+    EXPECT_EQ(c, (std::vector<index_t>{0, 1, 0, 3}));
+    EXPECT_DOUBLE_EQ(z.value(0), 8.0);
+  }
+}
+
+TEST(Contract, MatrixMultiplyIsSpecialCase) {
+  // [[1,2],[3,4]] * [[5,6],[7,8]] = [[19,22],[43,50]]
+  SparseTensor a({2, 2});
+  a.append(std::vector<index_t>{0, 0}, 1.0);
+  a.append(std::vector<index_t>{0, 1}, 2.0);
+  a.append(std::vector<index_t>{1, 0}, 3.0);
+  a.append(std::vector<index_t>{1, 1}, 4.0);
+  SparseTensor b({2, 2});
+  b.append(std::vector<index_t>{0, 0}, 5.0);
+  b.append(std::vector<index_t>{0, 1}, 6.0);
+  b.append(std::vector<index_t>{1, 0}, 7.0);
+  b.append(std::vector<index_t>{1, 1}, 8.0);
+
+  const double expect[2][2] = {{19, 22}, {43, 50}};
+  for (Algorithm alg : kAll) {
+    ContractOptions o;
+    o.algorithm = alg;
+    const SparseTensor z = contract_tensor(a, b, {1}, {0}, o);
+    ASSERT_EQ(z.nnz(), 4u);
+    std::vector<index_t> c(2);
+    for (std::size_t n = 0; n < z.nnz(); ++n) {
+      z.coords(n, c);
+      EXPECT_DOUBLE_EQ(z.value(n), expect[c[0]][c[1]])
+          << algorithm_name(alg);
+    }
+  }
+}
+
+// --- Validation ------------------------------------------------------
+
+TEST(Contract, RejectsAridityMismatch) {
+  const SparseTensor x = random_tensor({4, 4}, 4, 1);
+  const SparseTensor y = random_tensor({4, 4}, 4, 2);
+  EXPECT_THROW((void)contract(x, y, {0, 1}, {0}, {}), Error);
+  EXPECT_THROW((void)contract(x, y, {}, {}, {}), Error);
+}
+
+TEST(Contract, RejectsSizeMismatch) {
+  const SparseTensor x = random_tensor({4, 5}, 4, 1);
+  const SparseTensor y = random_tensor({6, 3}, 4, 2);
+  EXPECT_THROW((void)contract(x, y, {1}, {0}, {}), Error);
+}
+
+TEST(Contract, RejectsDuplicateAndOutOfRangeModes) {
+  const SparseTensor x = random_tensor({4, 4, 4}, 4, 1);
+  const SparseTensor y = random_tensor({4, 4, 4}, 4, 2);
+  EXPECT_THROW((void)contract(x, y, {0, 0}, {0, 1}, {}), Error);
+  EXPECT_THROW((void)contract(x, y, {3}, {0}, {}), Error);
+  EXPECT_THROW((void)contract(x, y, {-1}, {0}, {}), Error);
+}
+
+TEST(Contract, RejectsFullContractionToScalar) {
+  const SparseTensor x = random_tensor({4, 4}, 4, 1);
+  const SparseTensor y = random_tensor({4, 4}, 4, 2);
+  EXPECT_THROW((void)contract(x, y, {0, 1}, {0, 1}, {}), Error);
+}
+
+TEST(Contract, EmptyOperandsGiveEmptyOutput) {
+  const SparseTensor x(std::vector<index_t>{4, 4});
+  const SparseTensor y = random_tensor({4, 4}, 4, 2);
+  for (Algorithm alg : kAll) {
+    ContractOptions o;
+    o.algorithm = alg;
+    const ContractResult r = contract(x, y, {1}, {0}, o);
+    EXPECT_EQ(r.z.nnz(), 0u);
+    EXPECT_EQ(r.z.order(), 2);
+  }
+}
+
+TEST(Contract, DisjointContractIndicesGiveEmptyOutput) {
+  SparseTensor x({4, 4});
+  x.append(std::vector<index_t>{0, 0}, 1.0);
+  SparseTensor y({4, 4});
+  y.append(std::vector<index_t>{3, 3}, 1.0);
+  for (Algorithm alg : kAll) {
+    ContractOptions o;
+    o.algorithm = alg;
+    EXPECT_EQ(contract_tensor(x, y, {1}, {0}, o).nnz(), 0u);
+  }
+}
+
+// --- Oracle sweeps (parameterized) -----------------------------------
+
+struct OracleCase {
+  std::string name;
+  std::vector<index_t> xdims;
+  std::vector<index_t> ydims;
+  Modes cx;
+  Modes cy;
+  std::size_t xnnz;
+  std::size_t ynnz;
+};
+
+class ContractOracle
+    : public ::testing::TestWithParam<std::tuple<OracleCase, Algorithm>> {};
+
+TEST_P(ContractOracle, MatchesDenseReference) {
+  const auto& [cse, alg] = GetParam();
+  const SparseTensor x = random_tensor(cse.xdims, cse.xnnz, 11);
+  const SparseTensor y = random_tensor(cse.ydims, cse.ynnz, 22);
+
+  ContractOptions o;
+  o.algorithm = alg;
+  const SparseTensor z = contract_tensor(x, y, cse.cx, cse.cy, o);
+
+  const DenseTensor dz = contract_dense(DenseTensor::from_sparse(x),
+                                        DenseTensor::from_sparse(y), cse.cx,
+                                        cse.cy);
+  EXPECT_TRUE(SparseTensor::approx_equal(z, dz.to_sparse(), 1e-9))
+      << cse.name << " with " << algorithm_name(alg);
+}
+
+TEST_P(ContractOracle, MatchesBruteForceReference) {
+  const auto& [cse, alg] = GetParam();
+  const SparseTensor x = random_tensor(cse.xdims, cse.xnnz, 33);
+  const SparseTensor y = random_tensor(cse.ydims, cse.ynnz, 44);
+
+  ContractOptions o;
+  o.algorithm = alg;
+  const SparseTensor z = contract_tensor(x, y, cse.cx, cse.cy, o);
+  const SparseTensor ref = contract_reference(x, y, cse.cx, cse.cy);
+  EXPECT_TRUE(SparseTensor::approx_equal(z, ref, 1e-9))
+      << cse.name << " with " << algorithm_name(alg);
+}
+
+std::vector<OracleCase> oracle_cases() {
+  return {
+      {"mat_mat", {8, 8}, {8, 8}, {1}, {0}, 20, 20},
+      {"order3_1mode", {6, 7, 8}, {8, 5, 4}, {2}, {0}, 40, 40},
+      {"order3_2mode", {6, 7, 8}, {7, 8, 5}, {1, 2}, {0, 1}, 60, 60},
+      {"order4_1mode", {4, 5, 6, 7}, {7, 3, 4, 2}, {3}, {0}, 80, 60},
+      {"order4_2mode", {4, 5, 6, 7}, {6, 7, 3, 4}, {2, 3}, {0, 1}, 80, 80},
+      {"order4_3mode", {4, 5, 6, 7}, {5, 6, 7, 3}, {1, 2, 3}, {0, 1, 2}, 100,
+       100},
+      {"fig1_shape", {2, 2, 2, 2}, {2, 2, 2, 4}, {2, 3}, {0, 1}, 8, 12},
+      {"middle_modes", {5, 6, 7, 4}, {3, 6, 4, 5}, {1, 3}, {1, 2}, 70, 70},
+      {"reversed_mode_order", {5, 6, 7}, {7, 6, 4}, {2, 1}, {0, 1}, 50, 50},
+      {"order5_2mode", {3, 4, 5, 4, 3}, {4, 3, 5, 2}, {1, 4}, {0, 1}, 90, 60},
+      {"asym_free_counts", {4, 9}, {4, 3, 3, 3}, {0}, {0}, 30, 60},
+      {"dense_operands", {4, 4, 4}, {4, 4, 4}, {2}, {0}, 64, 64},
+  };
+}
+
+std::string case_name(
+    const ::testing::TestParamInfo<std::tuple<OracleCase, Algorithm>>& info) {
+  const auto& [cse, alg] = info.param;
+  std::string alg_name(algorithm_name(alg));
+  for (char& ch : alg_name) {
+    if (ch == '+') ch = '_';
+  }
+  return cse.name + "_" + alg_name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ContractOracle,
+    ::testing::Combine(::testing::ValuesIn(oracle_cases()),
+                       ::testing::Values(Algorithm::kSpa, Algorithm::kCooHta,
+                                         Algorithm::kSparta)),
+    case_name);
+
+// --- Cross-algorithm equivalence on bigger random inputs -------------
+
+TEST(ContractEquivalence, AllAlgorithmsAgreeOnLargerInputs) {
+  PairedSpec ps;
+  ps.x.dims = {40, 30, 25, 20};
+  ps.x.nnz = 3000;
+  ps.x.seed = 5;
+  ps.y.dims = {40, 30, 15, 10};
+  ps.y.nnz = 2500;
+  ps.y.seed = 6;
+  ps.num_contract_modes = 2;
+  ps.match_fraction = 0.7;
+  const TensorPair pair = generate_contraction_pair(ps);
+
+  const Modes cx{0, 1};
+  const Modes cy{0, 1};
+  ContractOptions o;
+  o.algorithm = Algorithm::kSpa;
+  const SparseTensor z_spa = contract_tensor(pair.x, pair.y, cx, cy, o);
+  o.algorithm = Algorithm::kCooHta;
+  const SparseTensor z_coo = contract_tensor(pair.x, pair.y, cx, cy, o);
+  o.algorithm = Algorithm::kSparta;
+  const SparseTensor z_sparta = contract_tensor(pair.x, pair.y, cx, cy, o);
+
+  EXPECT_GT(z_sparta.nnz(), 0u);
+  EXPECT_TRUE(SparseTensor::approx_equal(z_spa, z_coo, 1e-9));
+  EXPECT_TRUE(SparseTensor::approx_equal(z_spa, z_sparta, 1e-9));
+}
+
+// --- Options ---------------------------------------------------------
+
+TEST(ContractOptionsTest, UnsortedOutputHasSameContent) {
+  const SparseTensor x = random_tensor({10, 12, 8}, 150, 1);
+  const SparseTensor y = random_tensor({8, 9, 7}, 120, 2);
+  ContractOptions sorted;
+  ContractOptions unsorted;
+  unsorted.sort_output = false;
+  const SparseTensor zs = contract_tensor(x, y, {2}, {0}, sorted);
+  const SparseTensor zu = contract_tensor(x, y, {2}, {0}, unsorted);
+  EXPECT_TRUE(zs.is_sorted());
+  EXPECT_TRUE(SparseTensor::approx_equal(zs, zu, 1e-9));
+}
+
+TEST(ContractOptionsTest, SwapHeuristicPreservesResultModuloModeOrder) {
+  // Swapping operands exchanges the free-X and free-Y groups in Z, so
+  // compare against the explicitly swapped contraction.
+  const SparseTensor x = random_tensor({6, 7, 8}, 120, 1);  // larger
+  const SparseTensor y = random_tensor({8, 5, 4}, 40, 2);   // smaller
+  ContractOptions swap;
+  swap.swap_operands_if_larger_x = true;
+  const SparseTensor z_swapped = contract_tensor(x, y, {2}, {0}, swap);
+  const SparseTensor z_manual = contract_tensor(y, x, {0}, {2}, {});
+  EXPECT_TRUE(SparseTensor::approx_equal(z_swapped, z_manual, 1e-9));
+}
+
+TEST(ContractOptionsTest, ExplicitThreadCountsAgree) {
+  const SparseTensor x = random_tensor({20, 20, 20}, 800, 3);
+  const SparseTensor y = random_tensor({20, 10, 20}, 600, 4);
+  ContractOptions o1;
+  o1.num_threads = 1;
+  ContractOptions o4;
+  o4.num_threads = 4;
+  for (Algorithm alg : kAll) {
+    o1.algorithm = alg;
+    o4.algorithm = alg;
+    const SparseTensor z1 = contract_tensor(x, y, {1, 2}, {0, 2}, o1);
+    const SparseTensor z4 = contract_tensor(x, y, {1, 2}, {0, 2}, o4);
+    EXPECT_TRUE(SparseTensor::approx_equal(z1, z4, 1e-9))
+        << algorithm_name(alg);
+  }
+}
+
+TEST(ContractOptionsTest, HtyBucketCountDoesNotChangeResult) {
+  const SparseTensor x = random_tensor({15, 15, 15}, 400, 5);
+  const SparseTensor y = random_tensor({15, 15, 15}, 400, 6);
+  ContractOptions small;
+  small.hty_buckets = 4;  // forces long chains
+  ContractOptions big;
+  big.hty_buckets = 1 << 16;
+  const SparseTensor zs = contract_tensor(x, y, {2}, {0}, small);
+  const SparseTensor zb = contract_tensor(x, y, {2}, {0}, big);
+  EXPECT_TRUE(SparseTensor::approx_equal(zs, zb, 1e-9));
+}
+
+// --- Stats -----------------------------------------------------------
+
+TEST(ContractStatsTest, CountersAreConsistent) {
+  const SparseTensor x = random_tensor({10, 10, 10}, 300, 7);
+  const SparseTensor y = random_tensor({10, 10, 10}, 300, 8);
+  ContractOptions o;
+  o.algorithm = Algorithm::kSparta;
+  const ContractResult r = contract(x, y, {1, 2}, {0, 1}, o);
+  EXPECT_EQ(r.stats.nnz_x, 300u);
+  EXPECT_EQ(r.stats.nnz_y, 300u);
+  EXPECT_EQ(r.stats.nnz_z, r.z.nnz());
+  EXPECT_EQ(r.stats.searches, 300u);  // one probe per X non-zero
+  EXPECT_LE(r.stats.hits, r.stats.searches);
+  EXPECT_GE(r.stats.multiplies, r.stats.hits);  // ≥1 item per hit
+  EXPECT_GT(r.stats.num_x_subtensors, 0u);
+  EXPECT_GT(r.stats.num_y_keys, 0u);
+  EXPECT_GE(r.stats.max_y_group, 1u);
+}
+
+}  // namespace
+}  // namespace sparta

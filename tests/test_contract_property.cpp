@@ -1,0 +1,203 @@
+// Property-based tests: randomized contraction configurations checked
+// against the brute-force oracle, determinism, duplicate handling, and
+// LN-overflow failure injection.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "contraction/contract.hpp"
+#include "contraction/reference.hpp"
+#include "tensor/generators.hpp"
+
+namespace sparta {
+namespace {
+
+constexpr Algorithm kAll[] = {Algorithm::kSpa, Algorithm::kCooHta,
+                              Algorithm::kSparta, Algorithm::kCooBinary};
+
+// A randomized contraction configuration drawn from a seed.
+struct RandomConfig {
+  SparseTensor x;
+  SparseTensor y;
+  Modes cx;
+  Modes cy;
+  std::string describe;
+};
+
+RandomConfig draw_config(std::uint64_t seed) {
+  Rng rng(seed);
+  const int xorder = 2 + static_cast<int>(rng.uniform(3));  // 2..4
+  const int yorder = 2 + static_cast<int>(rng.uniform(3));
+  const int max_contract = std::min(xorder, yorder) - 1;
+  const int m = 1 + static_cast<int>(rng.uniform(
+                        static_cast<std::uint64_t>(std::max(1, max_contract))));
+
+  // Random distinct contract modes for each operand.
+  auto draw_modes = [&](int order, int count) {
+    Modes modes;
+    while (static_cast<int>(modes.size()) < count) {
+      const int mm = static_cast<int>(rng.uniform(
+          static_cast<std::uint64_t>(order)));
+      if (std::find(modes.begin(), modes.end(), mm) == modes.end()) {
+        modes.push_back(mm);
+      }
+    }
+    return modes;
+  };
+  RandomConfig cfg;
+  cfg.cx = draw_modes(xorder, m);
+  cfg.cy = draw_modes(yorder, m);
+
+  // Dims: contract modes must agree; everything small enough for the
+  // O(nnz²) oracle.
+  std::vector<index_t> xdims(static_cast<std::size_t>(xorder));
+  std::vector<index_t> ydims(static_cast<std::size_t>(yorder));
+  for (auto& d : xdims) d = 2 + static_cast<index_t>(rng.uniform(8));
+  for (auto& d : ydims) d = 2 + static_cast<index_t>(rng.uniform(8));
+  for (int i = 0; i < m; ++i) {
+    ydims[static_cast<std::size_t>(cfg.cy[static_cast<std::size_t>(i)])] =
+        xdims[static_cast<std::size_t>(cfg.cx[static_cast<std::size_t>(i)])];
+  }
+
+  GeneratorSpec xs;
+  xs.dims = xdims;
+  xs.seed = seed * 3 + 1;
+  double cells = 1;
+  for (auto d : xdims) cells *= d;
+  xs.nnz = std::max<std::size_t>(
+      1, std::min<std::size_t>(static_cast<std::size_t>(cells * 0.3), 120));
+  GeneratorSpec ys;
+  ys.dims = ydims;
+  ys.seed = seed * 3 + 2;
+  cells = 1;
+  for (auto d : ydims) cells *= d;
+  ys.nnz = std::max<std::size_t>(
+      1, std::min<std::size_t>(static_cast<std::size_t>(cells * 0.3), 120));
+
+  cfg.x = generate_random(xs);
+  cfg.y = generate_random(ys);
+  cfg.describe = "seed=" + std::to_string(seed) + " xo=" +
+                 std::to_string(xorder) + " yo=" + std::to_string(yorder) +
+                 " m=" + std::to_string(m);
+  return cfg;
+}
+
+class RandomContract : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomContract, AllAlgorithmsMatchOracle) {
+  const RandomConfig cfg = draw_config(GetParam());
+  const SparseTensor ref = contract_reference(cfg.x, cfg.y, cfg.cx, cfg.cy);
+  for (Algorithm alg : kAll) {
+    ContractOptions o;
+    o.algorithm = alg;
+    const SparseTensor z = contract_tensor(cfg.x, cfg.y, cfg.cx, cfg.cy, o);
+    EXPECT_TRUE(SparseTensor::approx_equal(z, ref, 1e-9))
+        << cfg.describe << " with " << algorithm_name(alg);
+  }
+}
+
+TEST_P(RandomContract, DeterministicAcrossRunsAndThreads) {
+  const RandomConfig cfg = draw_config(GetParam());
+  ContractOptions o1;
+  o1.num_threads = 1;
+  ContractOptions o3;
+  o3.num_threads = 3;
+  const SparseTensor a = contract_tensor(cfg.x, cfg.y, cfg.cx, cfg.cy, o1);
+  const SparseTensor b = contract_tensor(cfg.x, cfg.y, cfg.cx, cfg.cy, o1);
+  const SparseTensor c = contract_tensor(cfg.x, cfg.y, cfg.cx, cfg.cy, o3);
+  EXPECT_TRUE(SparseTensor::approx_equal(a, b, 0.0)) << cfg.describe;
+  EXPECT_TRUE(SparseTensor::approx_equal(a, c, 1e-12)) << cfg.describe;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomContract,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+// --- structural properties ---------------------------------------------
+
+TEST(ContractProperty, OutputNnzBoundedByMultiplies) {
+  const RandomConfig cfg = draw_config(101);
+  ContractOptions o;
+  const ContractResult r = contract(cfg.x, cfg.y, cfg.cx, cfg.cy, o);
+  // Each output non-zero needs at least one contributing multiply, and
+  // accumulation can only shrink the count.
+  EXPECT_LE(r.stats.nnz_z, r.stats.multiplies);
+  EXPECT_EQ(r.stats.searches, cfg.x.nnz());
+}
+
+TEST(ContractProperty, BilinearInX) {
+  // contract(2x, y) == 2 * contract(x, y).
+  const RandomConfig cfg = draw_config(202);
+  SparseTensor x2 = cfg.x;
+  for (value_t& v : x2.values()) v *= 2.0;
+  const SparseTensor z1 = contract_tensor(cfg.x, cfg.y, cfg.cx, cfg.cy, {});
+  SparseTensor z2 = contract_tensor(x2, cfg.y, cfg.cx, cfg.cy, {});
+  for (value_t& v : z2.values()) v *= 0.5;
+  EXPECT_TRUE(SparseTensor::approx_equal(z1, z2, 1e-9));
+}
+
+TEST(ContractProperty, DuplicateInputCoordinatesAccumulate) {
+  // COO inputs with duplicate coordinates are legal; duplicates act as
+  // implicit sums in every algorithm, like the reference.
+  SparseTensor x({3, 3});
+  x.append(std::vector<index_t>{0, 1}, 1.0);
+  x.append(std::vector<index_t>{0, 1}, 2.0);  // duplicate
+  SparseTensor y({3, 4});
+  y.append(std::vector<index_t>{1, 2}, 5.0);
+  y.append(std::vector<index_t>{1, 2}, 1.0);  // duplicate
+  const SparseTensor ref = contract_reference(x, y, {1}, {0});
+  for (Algorithm alg : kAll) {
+    ContractOptions o;
+    o.algorithm = alg;
+    SparseTensor z = contract_tensor(x, y, {1}, {0}, o);
+    z.coalesce();  // duplicates in Z are permitted; compare coalesced
+    EXPECT_TRUE(SparseTensor::approx_equal(z, ref, 1e-9))
+        << algorithm_name(alg);
+  }
+}
+
+TEST(ContractProperty, LnOverflowIsRejectedNotCorrupted) {
+  // Contract-index space beyond 2^64 must throw, not wrap around.
+  const std::vector<index_t> dims{3'000'000'000u, 3'000'000'000u,
+                                  3'000'000'000u, 2};
+  SparseTensor x(dims);
+  x.append(std::vector<index_t>{1, 1, 1, 0}, 1.0);
+  SparseTensor y(dims);
+  y.append(std::vector<index_t>{1, 1, 1, 1}, 1.0);
+  EXPECT_THROW((void)contract(x, y, {0, 1, 2}, {0, 1, 2}, {}), Error);
+}
+
+TEST(ContractProperty, HugeDimsBelowOverflowWork) {
+  // 2^31-sized modes are fine as long as the product fits.
+  const std::vector<index_t> dims{1u << 31, 4};
+  SparseTensor x(dims);
+  x.append(std::vector<index_t>{(1u << 31) - 1, 2}, 3.0);
+  SparseTensor y(dims);
+  y.append(std::vector<index_t>{(1u << 31) - 1, 1}, 5.0);
+  const SparseTensor z = contract_tensor(x, y, {0}, {0}, {});
+  ASSERT_EQ(z.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(z.value(0), 15.0);
+}
+
+TEST(ContractProperty, AllContractModesOfOneOperand) {
+  // Y fully contracted (no free Y modes): Z keeps only X's free modes.
+  const RandomConfig base = draw_config(303);
+  SparseTensor x({5, 6, 7});
+  x.append(std::vector<index_t>{1, 2, 3}, 2.0);
+  x.append(std::vector<index_t>{4, 2, 3}, 3.0);
+  SparseTensor y({6, 7});
+  y.append(std::vector<index_t>{2, 3}, 10.0);
+  for (Algorithm alg : kAll) {
+    ContractOptions o;
+    o.algorithm = alg;
+    const SparseTensor z = contract_tensor(x, y, {1, 2}, {0, 1}, o);
+    ASSERT_EQ(z.order(), 1) << algorithm_name(alg);
+    ASSERT_EQ(z.nnz(), 2u) << algorithm_name(alg);
+    EXPECT_DOUBLE_EQ(z.value(0), 20.0);
+    EXPECT_DOUBLE_EQ(z.value(1), 30.0);
+  }
+}
+
+}  // namespace
+}  // namespace sparta

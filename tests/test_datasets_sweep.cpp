@@ -1,0 +1,76 @@
+// Integration sweep: every benchmark case (Table-3 analogs × mode
+// counts, Table-4 Hubbard cases) constructs and contracts correctly at
+// tiny scale, and the Sparta result passes the probabilistic verifier.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "blocksparse/hubbard.hpp"
+#include "contraction/contract.hpp"
+#include "contraction/verify.hpp"
+#include "tensor/datasets.hpp"
+
+namespace sparta {
+namespace {
+
+struct SweepCase {
+  std::string dataset;
+  int modes;
+};
+
+class DatasetSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(DatasetSweep, ConstructsContractsAndVerifies) {
+  const auto& [dataset, modes] = GetParam();
+  const SpTCCase c = make_sptc_case(dataset, modes, /*nnz_scale=*/0.03);
+  EXPECT_GT(c.x.nnz(), 0u);
+  EXPECT_EQ(c.x.dims(), c.y.dims());  // self-contraction analogs
+
+  ContractOptions o;
+  o.algorithm = Algorithm::kSparta;
+  const ContractResult r = contract(c.x, c.y, c.cx, c.cy, o);
+  EXPECT_EQ(r.stats.searches, c.x.nnz());
+  EXPECT_TRUE(verify_contraction(c.x, c.y, c.cx, c.cy, r.z)) << c.label;
+}
+
+std::vector<SweepCase> all_cases() {
+  std::vector<SweepCase> cases;
+  for (const auto& d : table3_datasets()) {
+    const int max_modes =
+        std::min(3, static_cast<int>(d.spec.dims.size()) - 1);
+    for (int m = 1; m <= max_modes; ++m) {
+      cases.push_back(SweepCase{d.name, m});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetSweep,
+                         ::testing::ValuesIn(all_cases()),
+                         [](const auto& info) {
+                           return info.param.dataset + "_" +
+                                  std::to_string(info.param.modes) + "mode";
+                         });
+
+class HubbardSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HubbardSweep, GeneratesAndContracts) {
+  HubbardCase c = hubbard_cases()[static_cast<std::size_t>(GetParam())];
+  // Tiny scale for the sweep.
+  c.x.nnz /= 50;
+  c.x.num_blocks = std::max<std::size_t>(c.x.num_blocks / 50, 4);
+  c.y.nnz /= 4;
+  c.y.num_blocks = std::max<std::size_t>(c.y.num_blocks / 4, 4);
+  const SparseTensor x = generate_block_structured(c.x);
+  const SparseTensor y = generate_block_structured(c.y);
+  const ContractResult r = contract(x, y, c.cx, c.cy, {});
+  EXPECT_TRUE(verify_contraction(x, y, c.cx, c.cy, r.z)) << c.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTenCases, HubbardSweep, ::testing::Range(0, 10),
+                         [](const auto& info) {
+                           return "SpTC" + std::to_string(info.param + 1);
+                         });
+
+}  // namespace
+}  // namespace sparta

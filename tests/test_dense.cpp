@@ -1,0 +1,116 @@
+// Tests for the dense tensor oracle itself (verified against hand
+// calculations, so the sparse-vs-dense oracle tests rest on solid
+// ground) and for sparse<->dense conversion.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/dense_tensor.hpp"
+#include "tensor/generators.hpp"
+
+namespace sparta {
+namespace {
+
+TEST(DenseTensor, AtAddressesRowMajor) {
+  DenseTensor t({2, 3});
+  std::vector<index_t> c{1, 2};
+  t.at(c) = 5.0;
+  EXPECT_DOUBLE_EQ(t.data()[1 * 3 + 2], 5.0);
+}
+
+TEST(DenseTensor, SparseRoundTrip) {
+  GeneratorSpec spec;
+  spec.dims = {6, 7, 8};
+  spec.nnz = 100;
+  const SparseTensor s = generate_random(spec);
+  const DenseTensor d = DenseTensor::from_sparse(s);
+  const SparseTensor back = d.to_sparse();
+  EXPECT_TRUE(SparseTensor::approx_equal(s, back, 1e-12));
+}
+
+TEST(DenseTensor, FromSparseAccumulatesDuplicates) {
+  SparseTensor s({2, 2});
+  s.append(std::vector<index_t>{1, 1}, 2.0);
+  s.append(std::vector<index_t>{1, 1}, 3.0);
+  const DenseTensor d = DenseTensor::from_sparse(s);
+  std::vector<index_t> c{1, 1};
+  EXPECT_DOUBLE_EQ(d.at(c), 5.0);
+}
+
+TEST(DenseTensor, ToSparseAppliesCutoff) {
+  DenseTensor d({2, 2});
+  std::vector<index_t> c{0, 0};
+  d.at(c) = 1e-9;
+  c = {1, 0};
+  d.at(c) = 0.5;
+  const SparseTensor s = d.to_sparse(1e-6);
+  EXPECT_EQ(s.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(s.value(0), 0.5);
+}
+
+TEST(ContractDense, MatrixMultiplyByHand) {
+  DenseTensor a({2, 3});
+  DenseTensor b({3, 2});
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+  double av[] = {1, 2, 3, 4, 5, 6};
+  double bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data().begin());
+  std::copy(bv, bv + 6, b.data().begin());
+  const DenseTensor z = contract_dense(a, b, {1}, {0});
+  ASSERT_EQ(z.dims(), (std::vector<index_t>{2, 2}));
+  // [[58,64],[139,154]]
+  EXPECT_DOUBLE_EQ(z.data()[0], 58.0);
+  EXPECT_DOUBLE_EQ(z.data()[1], 64.0);
+  EXPECT_DOUBLE_EQ(z.data()[2], 139.0);
+  EXPECT_DOUBLE_EQ(z.data()[3], 154.0);
+}
+
+TEST(ContractDense, InnerProductStructure) {
+  // Contract a 2x2x2 with itself over two modes: Z_il = Σ_jk X_ijk Y_jkl.
+  DenseTensor x({2, 2, 2});
+  DenseTensor y({2, 2, 2});
+  for (std::size_t i = 0; i < 8; ++i) {
+    x.data()[i] = static_cast<double>(i + 1);
+    y.data()[i] = static_cast<double>(i % 3);
+  }
+  const DenseTensor z = contract_dense(x, y, {1, 2}, {0, 1});
+  ASSERT_EQ(z.dims(), (std::vector<index_t>{2, 2}));
+  // Hand check z[0][0]: Σ_{j,k} x[0,j,k] * y[j,k,0]
+  double expect = 0;
+  std::vector<index_t> xc(3), yc(3);
+  for (index_t j = 0; j < 2; ++j) {
+    for (index_t k = 0; k < 2; ++k) {
+      xc = {0, j, k};
+      yc = {j, k, 0};
+      expect += x.at(xc) * y.at(yc);
+    }
+  }
+  EXPECT_DOUBLE_EQ(z.data()[0], expect);
+}
+
+TEST(ContractDense, NonAdjacentModes) {
+  // Z_jl = Σ_ik X_ijk Y_kli contracting X modes {0,2} with Y modes {2,0}.
+  DenseTensor x({2, 3, 2});
+  DenseTensor y({2, 4, 2});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<double>(i);
+  }
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y.data()[i] = static_cast<double>(2 * i + 1);
+  }
+  const DenseTensor z = contract_dense(x, y, {0, 2}, {2, 0});
+  ASSERT_EQ(z.dims(), (std::vector<index_t>{3, 4}));
+  std::vector<index_t> xc(3), yc(3), zc{1, 2};
+  double expect = 0;
+  for (index_t i = 0; i < 2; ++i) {
+    for (index_t k = 0; k < 2; ++k) {
+      xc = {i, 1, k};
+      yc = {k, 2, i};
+      expect += x.at(xc) * y.at(yc);
+    }
+  }
+  EXPECT_DOUBLE_EQ(z.at(zc), expect);
+}
+
+}  // namespace
+}  // namespace sparta

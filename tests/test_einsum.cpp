@@ -1,0 +1,239 @@
+// Tests for the einsum multi-tensor contraction API.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "contraction/einsum.hpp"
+#include "contraction/einsum_order.hpp"
+#include "contraction/reference.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/generators.hpp"
+#include "tensor/ops.hpp"
+
+namespace sparta {
+namespace {
+
+SparseTensor rand_t(std::vector<index_t> dims, std::size_t nnz,
+                    std::uint64_t seed) {
+  GeneratorSpec s;
+  s.dims = std::move(dims);
+  s.nnz = nnz;
+  s.seed = seed;
+  return generate_random(s);
+}
+
+TEST(Einsum, MatrixMultiply) {
+  const SparseTensor a = rand_t({8, 9}, 30, 1);
+  const SparseTensor b = rand_t({9, 7}, 25, 2);
+  const SparseTensor z = einsum("ij,jk->ik", {a, b});
+  const SparseTensor ref = contract_reference(a, b, {1}, {0});
+  EXPECT_TRUE(SparseTensor::approx_equal(z, ref, 1e-9));
+}
+
+TEST(Einsum, ImplicitOutputFollowsNumpyRule) {
+  const SparseTensor a = rand_t({8, 9}, 30, 3);
+  const SparseTensor b = rand_t({9, 7}, 25, 4);
+  // "ij,jk" -> output "ik" (alphabetical once-occurring labels).
+  const SparseTensor implicit = einsum("ij,jk", {a, b});
+  const SparseTensor explicit_out = einsum("ij,jk->ik", {a, b});
+  EXPECT_TRUE(SparseTensor::approx_equal(implicit, explicit_out, 1e-12));
+}
+
+TEST(Einsum, OutputPermutation) {
+  const SparseTensor a = rand_t({8, 9}, 30, 5);
+  const SparseTensor b = rand_t({9, 7}, 25, 6);
+  const SparseTensor ki = einsum("ij,jk->ki", {a, b});
+  SparseTensor ik = einsum("ij,jk->ik", {a, b});
+  ik.permute_modes({1, 0});
+  EXPECT_TRUE(SparseTensor::approx_equal(ki, ik, 1e-12));
+}
+
+TEST(Einsum, HighOrderContraction) {
+  const SparseTensor x = rand_t({5, 6, 7, 4}, 120, 7);
+  const SparseTensor y = rand_t({7, 4, 8}, 80, 8);
+  const SparseTensor z = einsum("abcd,cde->abe", {x, y});
+  const SparseTensor ref = contract_reference(x, y, {2, 3}, {0, 1});
+  EXPECT_TRUE(SparseTensor::approx_equal(z, ref, 1e-9));
+}
+
+TEST(Einsum, ThreeOperandChain) {
+  const SparseTensor a = rand_t({6, 10}, 25, 9);
+  const SparseTensor b = rand_t({10, 8}, 30, 10);
+  const SparseTensor c = rand_t({8, 5}, 20, 11);
+  const SparseTensor z = einsum("ab,bc,cd->ad", {a, b, c});
+  const SparseTensor ab = contract_reference(a, b, {1}, {0});
+  const SparseTensor ref = contract_reference(ab, c, {1}, {0});
+  EXPECT_TRUE(SparseTensor::approx_equal(z, ref, 1e-9));
+}
+
+TEST(Einsum, FourOperandRing) {
+  const SparseTensor a = rand_t({4, 6}, 15, 12);
+  const SparseTensor b = rand_t({6, 5}, 18, 13);
+  const SparseTensor c = rand_t({5, 7}, 16, 14);
+  const SparseTensor d = rand_t({7, 4}, 14, 15);
+  // Ring with open ends a..h: (ab)(bc)(cd)(de) -> ae.
+  const SparseTensor z = einsum("ab,bc,cd,de->ae", {a, b, c, d});
+  const SparseTensor ab = contract_reference(a, b, {1}, {0});
+  const SparseTensor abc = contract_reference(ab, c, {1}, {0});
+  const SparseTensor ref = contract_reference(abc, d, {1}, {0});
+  EXPECT_TRUE(SparseTensor::approx_equal(z, ref, 1e-9));
+}
+
+TEST(Einsum, SumsOutDroppedLabels) {
+  const SparseTensor x = rand_t({5, 6, 7}, 60, 16);
+  const SparseTensor z = einsum("abc->ac", {x});
+  const SparseTensor ref = reduce_mode(x, 1);
+  EXPECT_TRUE(SparseTensor::approx_equal(z, ref, 1e-9));
+}
+
+TEST(Einsum, SingleOperandPermutation) {
+  const SparseTensor x = rand_t({5, 6, 7}, 60, 17);
+  const SparseTensor z = einsum("abc->cab", {x});
+  SparseTensor ref = x;
+  ref.permute_modes({2, 0, 1});
+  ref.sort();
+  EXPECT_TRUE(SparseTensor::approx_equal(z, ref, 1e-12));
+}
+
+TEST(Einsum, OuterProduct) {
+  const SparseTensor a = rand_t({4, 3}, 6, 18);
+  const SparseTensor b = rand_t({5}, 3, 19);
+  const SparseTensor z = einsum("ab,c->abc", {a, b});
+  // Check against dense.
+  const DenseTensor da = DenseTensor::from_sparse(a);
+  const DenseTensor db = DenseTensor::from_sparse(b);
+  DenseTensor expect({4, 3, 5});
+  std::vector<index_t> ca(2), cb(1), cz(3);
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = 0; j < 3; ++j) {
+      for (index_t k = 0; k < 5; ++k) {
+        ca = {i, j};
+        cb = {k};
+        cz = {i, j, k};
+        expect.at(cz) = da.at(ca) * db.at(cb);
+      }
+    }
+  }
+  EXPECT_TRUE(SparseTensor::approx_equal(z, expect.to_sparse(), 1e-9));
+}
+
+TEST(Einsum, GreedyOrderingHandlesMixedSizes) {
+  // A large×small×small chain where greedy should contract the small
+  // pair first; correctness is what we verify.
+  const SparseTensor big = rand_t({40, 50}, 900, 20);
+  const SparseTensor s1 = rand_t({50, 6}, 40, 21);
+  const SparseTensor s2 = rand_t({6, 5}, 12, 22);
+  const SparseTensor z = einsum("ab,bc,cd->ad", {big, s1, s2});
+  const SparseTensor r1 = contract_reference(s1, s2, {1}, {0});
+  const SparseTensor ref = contract_reference(big, r1, {1}, {0});
+  EXPECT_TRUE(SparseTensor::approx_equal(z, ref, 1e-9));
+}
+
+TEST(Einsum, RejectsMalformedSpecs) {
+  const SparseTensor a = rand_t({4, 4}, 5, 23);
+  const SparseTensor b = rand_t({4, 4}, 5, 24);
+  // Wrong operand count.
+  EXPECT_THROW((void)einsum("ij,jk,kl->il", {a, b}), Error);
+  // Arity mismatch.
+  EXPECT_THROW((void)einsum("ijk,jk->i", {a, b}), Error);
+  // Trace within one operand.
+  EXPECT_THROW((void)einsum("ii,jk->jk", {a, b}), Error);
+  // Contracted label in output.
+  EXPECT_THROW((void)einsum("ij,jk->ijk", {a, b}), Error);
+  // Output label not in inputs.
+  EXPECT_THROW((void)einsum("ij,jk->iz", {a, b}), Error);
+  // Bad character.
+  EXPECT_THROW((void)einsum("i2,2k->ik", {a, b}), Error);
+  // Label in 3+ operands.
+  const SparseTensor c = rand_t({4, 4}, 5, 25);
+  EXPECT_THROW((void)einsum("ij,jk,jl->ikl", {a, b, c}), Error);
+}
+
+TEST(Einsum, RejectsInconsistentDims) {
+  const SparseTensor a = rand_t({4, 5}, 5, 26);
+  const SparseTensor b = rand_t({6, 4}, 5, 27);
+  EXPECT_THROW((void)einsum("ij,jk->ik", {a, b}), Error);
+}
+
+TEST(Einsum, WhitespaceTolerated) {
+  const SparseTensor a = rand_t({4, 5}, 8, 28);
+  const SparseTensor b = rand_t({5, 3}, 7, 29);
+  const SparseTensor z1 = einsum(" ij , jk -> ik ", {a, b});
+  const SparseTensor z2 = einsum("ij,jk->ik", {a, b});
+  EXPECT_TRUE(SparseTensor::approx_equal(z1, z2, 1e-12));
+}
+
+
+// --- optimal ordering ----------------------------------------------------
+
+TEST(EinsumOrderTest, OptimalMatchesGreedyResults) {
+  const SparseTensor a = rand_t({6, 10}, 25, 40);
+  const SparseTensor b = rand_t({10, 8}, 30, 41);
+  const SparseTensor c = rand_t({8, 5}, 20, 42);
+  const SparseTensor d = rand_t({5, 9}, 22, 43);
+  const SparseTensor greedy =
+      einsum("ab,bc,cd,de->ae", {a, b, c, d}, {}, EinsumOrder::kGreedy);
+  const SparseTensor optimal =
+      einsum("ab,bc,cd,de->ae", {a, b, c, d}, {}, EinsumOrder::kOptimal);
+  EXPECT_TRUE(SparseTensor::approx_equal(greedy, optimal, 1e-9));
+}
+
+TEST(EinsumOrderTest, PlannerAvoidsOuterProducts) {
+  // Operands 0 ("ab") and 1 ("cd") share no label: merging them first
+  // is an outer product with a huge intermediate. The connector
+  // ("bc", operand 2) must participate in the first merge.
+  std::vector<PlanOperand> ops;
+  ops.push_back(PlanOperand{"ab", {500, 500}, 50'000});
+  ops.push_back(PlanOperand{"cd", {500, 500}, 50'000});
+  ops.push_back(PlanOperand{"bc", {500, 500}, 200});
+  const ContractionPlan plan = plan_contraction_order(ops, "ad");
+  ASSERT_EQ(plan.steps.size(), 2u);
+  EXPECT_EQ(plan.steps[0].j, 2u)
+      << "first merge must involve the connector operand";
+  EXPECT_GT(plan.estimated_cost, 0.0);
+}
+
+TEST(EinsumOrderTest, PlannerHandlesSingleAndPair) {
+  std::vector<PlanOperand> one{PlanOperand{"ab", {4, 5}, 10}};
+  EXPECT_TRUE(plan_contraction_order(one, "ab").steps.empty());
+  std::vector<PlanOperand> two{PlanOperand{"ab", {4, 5}, 10},
+                               PlanOperand{"bc", {5, 6}, 12}};
+  const ContractionPlan p = plan_contraction_order(two, "ac");
+  ASSERT_EQ(p.steps.size(), 1u);
+}
+
+TEST(EinsumOrderTest, RejectsTooManyOperands) {
+  std::vector<PlanOperand> ops(17, PlanOperand{"a", {4}, 2});
+  EXPECT_THROW((void)plan_contraction_order(ops, "a"), Error);
+}
+
+
+TEST(Einsum, RandomChainsMatchPairwiseReference) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Random chain a-b-c-d with random mode sizes and both orderings.
+    const auto d0 = static_cast<index_t>(3 + rng.uniform(6));
+    const auto d1 = static_cast<index_t>(3 + rng.uniform(6));
+    const auto d2 = static_cast<index_t>(3 + rng.uniform(6));
+    const auto d3 = static_cast<index_t>(3 + rng.uniform(6));
+    const SparseTensor a =
+        rand_t({d0, d1}, 1 + rng.uniform(d0 * d1 / 2),
+               1000 + static_cast<std::uint64_t>(trial) * 3);
+    const SparseTensor b =
+        rand_t({d1, d2}, 1 + rng.uniform(d1 * d2 / 2),
+               2000 + static_cast<std::uint64_t>(trial) * 3);
+    const SparseTensor c =
+        rand_t({d2, d3}, 1 + rng.uniform(d2 * d3 / 2),
+               3000 + static_cast<std::uint64_t>(trial) * 3);
+    const SparseTensor greedy = einsum("ab,bc,cd->ad", {a, b, c});
+    const SparseTensor optimal =
+        einsum("ab,bc,cd->ad", {a, b, c}, {}, EinsumOrder::kOptimal);
+    const SparseTensor ab = contract_reference(a, b, {1}, {0});
+    const SparseTensor ref = contract_reference(ab, c, {1}, {0});
+    EXPECT_TRUE(SparseTensor::approx_equal(greedy, ref, 1e-9)) << trial;
+    EXPECT_TRUE(SparseTensor::approx_equal(optimal, ref, 1e-9)) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace sparta

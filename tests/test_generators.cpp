@@ -1,0 +1,198 @@
+// Tests for the synthetic dataset generators (random, paired, Table-3
+// analogs).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "tensor/datasets.hpp"
+#include "tensor/generators.hpp"
+#include "tensor/linearize.hpp"
+
+namespace sparta {
+namespace {
+
+TEST(GenerateRandom, HitsExactNnzWithDistinctCoords) {
+  GeneratorSpec spec;
+  spec.dims = {40, 30, 20};
+  spec.nnz = 5000;
+  const SparseTensor t = generate_random(spec);
+  EXPECT_EQ(t.nnz(), 5000u);
+  EXPECT_TRUE(t.is_sorted());
+
+  LinearIndexer lin(t.dims());
+  std::unordered_set<lnkey_t> seen;
+  std::vector<index_t> c(3);
+  for (std::size_t n = 0; n < t.nnz(); ++n) {
+    t.coords(n, c);
+    EXPECT_TRUE(seen.insert(lin.linearize(c)).second) << "duplicate coord";
+  }
+}
+
+TEST(GenerateRandom, IsDeterministicPerSeed) {
+  GeneratorSpec spec;
+  spec.dims = {25, 25};
+  spec.nnz = 300;
+  spec.seed = 5;
+  const SparseTensor a = generate_random(spec);
+  const SparseTensor b = generate_random(spec);
+  EXPECT_TRUE(SparseTensor::approx_equal(a, b, 0.0));
+
+  spec.seed = 6;
+  const SparseTensor c = generate_random(spec);
+  EXPECT_FALSE(SparseTensor::approx_equal(a, c, 0.0));
+}
+
+TEST(GenerateRandom, ValuesStayInRange) {
+  GeneratorSpec spec;
+  spec.dims = {50, 50};
+  spec.nnz = 1000;
+  spec.value_lo = 2.0;
+  spec.value_hi = 3.0;
+  const SparseTensor t = generate_random(spec);
+  for (std::size_t n = 0; n < t.nnz(); ++n) {
+    EXPECT_GE(t.value(n), 2.0);
+    EXPECT_LT(t.value(n), 3.0);
+  }
+}
+
+TEST(GenerateRandom, SkewConcentratesIndices) {
+  GeneratorSpec spec;
+  spec.dims = {1000, 1000};
+  spec.nnz = 5000;
+  spec.skew = {3.0, 1.0};
+  const SparseTensor t = generate_random(spec);
+  // Mode 0 is skewed toward 0: its median index must sit well below the
+  // uniform mode's median.
+  std::vector<index_t> m0(t.mode_indices(0).begin(), t.mode_indices(0).end());
+  std::vector<index_t> m1(t.mode_indices(1).begin(), t.mode_indices(1).end());
+  std::sort(m0.begin(), m0.end());
+  std::sort(m1.begin(), m1.end());
+  EXPECT_LT(m0[m0.size() / 2], m1[m1.size() / 2] / 2);
+}
+
+TEST(GenerateRandom, RejectsImpossibleRequests) {
+  GeneratorSpec spec;
+  spec.dims = {3, 3};
+  spec.nnz = 10;  // > 9 cells
+  EXPECT_THROW((void)generate_random(spec), Error);
+  spec.dims.clear();
+  spec.nnz = 1;
+  EXPECT_THROW((void)generate_random(spec), Error);
+}
+
+TEST(GenerateRandom, CanFillEveryCell) {
+  GeneratorSpec spec;
+  spec.dims = {4, 4};
+  spec.nnz = 16;
+  const SparseTensor t = generate_random(spec);
+  EXPECT_EQ(t.nnz(), 16u);
+  EXPECT_DOUBLE_EQ(t.density(), 1.0);
+}
+
+TEST(GenerateContractionPair, MatchFractionControlsOverlap) {
+  auto overlap_of = [](double frac) {
+    PairedSpec ps;
+    ps.x.dims = {50, 50, 40};
+    ps.x.nnz = 2000;
+    ps.y.dims = {50, 50, 30};
+    ps.y.nnz = 2000;
+    ps.num_contract_modes = 2;
+    ps.match_fraction = frac;
+    const TensorPair pair = generate_contraction_pair(ps);
+
+    LinearIndexer clin({50, 50});
+    std::unordered_set<lnkey_t> ykeys;
+    std::vector<index_t> c(3);
+    for (std::size_t n = 0; n < pair.y.nnz(); ++n) {
+      pair.y.coords(n, c);
+      ykeys.insert(clin.linearize(std::span<const index_t>(c.data(), 2)));
+    }
+    std::size_t hits = 0;
+    for (std::size_t n = 0; n < pair.x.nnz(); ++n) {
+      pair.x.coords(n, c);
+      hits += ykeys.count(
+          clin.linearize(std::span<const index_t>(c.data(), 2)));
+    }
+    return static_cast<double>(hits) / static_cast<double>(pair.x.nnz());
+  };
+
+  // 50×50 contract space with 2000 draws: random collisions are common,
+  // but the steered fraction must still dominate.
+  EXPECT_GT(overlap_of(0.9), overlap_of(0.0) + 0.05);
+}
+
+TEST(GenerateContractionPair, ContractingProducesNonEmptyOutput) {
+  PairedSpec ps;
+  ps.x.dims = {30, 20, 25};
+  ps.x.nnz = 500;
+  ps.y.dims = {30, 20, 15};
+  ps.y.nnz = 400;
+  ps.num_contract_modes = 2;
+  ps.match_fraction = 0.8;
+  const TensorPair pair = generate_contraction_pair(ps);
+  EXPECT_EQ(pair.x.nnz(), 500u);
+  EXPECT_EQ(pair.y.nnz(), 400u);
+}
+
+TEST(GenerateContractionPair, RejectsMismatchedLeadingDims) {
+  PairedSpec ps;
+  ps.x.dims = {30, 20};
+  ps.y.dims = {31, 20};
+  ps.x.nnz = ps.y.nnz = 10;
+  ps.num_contract_modes = 1;
+  EXPECT_THROW((void)generate_contraction_pair(ps), Error);
+}
+
+TEST(GenerateContractionPair, RejectsAllModesContracted) {
+  PairedSpec ps;
+  ps.x.dims = {30, 20};
+  ps.y.dims = {30, 20};
+  ps.x.nnz = ps.y.nnz = 10;
+  ps.num_contract_modes = 2;
+  EXPECT_THROW((void)generate_contraction_pair(ps), Error);
+}
+
+// --- Table-3 analogs ---------------------------------------------------
+
+TEST(Datasets, TableHasAllEightEntries) {
+  const auto& t = table3_datasets();
+  ASSERT_EQ(t.size(), 8u);
+  EXPECT_EQ(t[0].name, "nell2");
+  EXPECT_EQ(t[7].name, "vast");
+  for (const auto& d : t) {
+    EXPECT_EQ(d.spec.dims.size(), d.paper_dims.size())
+        << d.name << ": analog must preserve tensor order";
+    EXPECT_GT(d.spec.nnz, 0u);
+  }
+}
+
+TEST(Datasets, LookupByNameWorksAndThrows) {
+  EXPECT_EQ(dataset_by_name("uracil").paper_nnz, 10'000'000u);
+  EXPECT_THROW((void)dataset_by_name("nope"), Error);
+}
+
+TEST(Datasets, SpTCCaseIsContractible) {
+  const SpTCCase c = make_sptc_case("chicago", 2, /*nnz_scale=*/0.05);
+  EXPECT_EQ(c.label, "chicago/2-mode");
+  EXPECT_EQ(c.cx, (Modes{0, 1}));
+  ASSERT_EQ(c.x.order(), 4);
+  for (std::size_t i = 0; i < c.cx.size(); ++i) {
+    EXPECT_EQ(c.x.dim(c.cx[i]), c.y.dim(c.cy[i]));
+  }
+}
+
+TEST(Datasets, ScaleParameterScalesNnz) {
+  const SpTCCase small = make_sptc_case("uber", 1, 0.02);
+  const SpTCCase large = make_sptc_case("uber", 1, 0.06);
+  EXPECT_LT(small.x.nnz() * 2, large.x.nnz());
+}
+
+TEST(Datasets, RejectsBadModeCount) {
+  EXPECT_THROW((void)make_sptc_case("uracil", 4), Error);
+  EXPECT_THROW((void)make_sptc_case("uracil", 0), Error);
+}
+
+}  // namespace
+}  // namespace sparta

@@ -1,0 +1,113 @@
+// Tests for the HiCOO hierarchical storage format.
+#include <gtest/gtest.h>
+
+#include "blocksparse/hubbard.hpp"
+#include "common/error.hpp"
+#include "tensor/generators.hpp"
+#include "tensor/hicoo.hpp"
+
+namespace sparta {
+namespace {
+
+SparseTensor rand_t(std::vector<index_t> dims, std::size_t nnz,
+                    std::uint64_t seed) {
+  GeneratorSpec s;
+  s.dims = std::move(dims);
+  s.nnz = nnz;
+  s.seed = seed;
+  return generate_random(s);
+}
+
+TEST(Hicoo, RoundTripsRandomTensors) {
+  for (int bits : {1, 4, 7, 8}) {
+    const SparseTensor t = rand_t({100, 80, 60}, 2000, 1);
+    const HicooTensor h = HicooTensor::from_coo(t, bits);
+    EXPECT_EQ(h.nnz(), t.nnz());
+    EXPECT_TRUE(SparseTensor::approx_equal(h.to_coo(), t, 0.0))
+        << "block_bits=" << bits;
+  }
+}
+
+TEST(Hicoo, HandBuiltBlocks) {
+  // 2-bit blocks of edge 4: (0,1) and (1,2) share block (0,0); (5,6)
+  // lands in block (1,1).
+  SparseTensor t({8, 8});
+  t.append(std::vector<index_t>{0, 1}, 1.0);
+  t.append(std::vector<index_t>{1, 2}, 2.0);
+  t.append(std::vector<index_t>{5, 6}, 3.0);
+  const HicooTensor h = HicooTensor::from_coo(t, 2);
+  EXPECT_EQ(h.num_blocks(), 2u);
+  EXPECT_DOUBLE_EQ(h.block_density(), 1.5);
+}
+
+TEST(Hicoo, CompressesClusteredTensors) {
+  // Block-structured data (the Hubbard generator) clusters non-zeros:
+  // index storage should drop well below COO's order*4 bytes per nz.
+  BlockStructureSpec spec;
+  spec.dims = {256, 256, 256};
+  spec.block_dims = {4, 4, 4};
+  spec.num_blocks = 400;
+  spec.nnz = 20'000;
+  const SparseTensor t = generate_block_structured(spec);
+  const HicooTensor h = HicooTensor::from_coo(t, 7);
+  EXPECT_LT(h.footprint_bytes(), t.footprint_bytes());
+  EXPECT_GT(h.block_density(), 4.0);
+}
+
+TEST(Hicoo, UniformRandomBarelyCompresses) {
+  // Hyper-sparse uniform data: ~1 nz per block, binds overhead eats the
+  // einds savings. Document the behaviour rather than hide it.
+  const SparseTensor t = rand_t({4000, 4000, 4000}, 20'000, 2);
+  const HicooTensor h = HicooTensor::from_coo(t, 7);
+  EXPECT_LT(h.block_density(), 1.5);
+}
+
+TEST(Hicoo, EmptyTensor) {
+  const SparseTensor t(std::vector<index_t>{16, 16});
+  const HicooTensor h = HicooTensor::from_coo(t);
+  EXPECT_EQ(h.nnz(), 0u);
+  EXPECT_EQ(h.num_blocks(), 0u);
+  EXPECT_EQ(h.to_coo().nnz(), 0u);
+}
+
+TEST(Hicoo, UnsortedInputIsFine) {
+  // from_coo sorts internally; input order must not matter.
+  SparseTensor a({32, 32});
+  a.append(std::vector<index_t>{30, 1}, 1.0);
+  a.append(std::vector<index_t>{0, 5}, 2.0);
+  a.append(std::vector<index_t>{15, 15}, 3.0);
+  SparseTensor b = a;
+  b.sort();
+  EXPECT_TRUE(SparseTensor::approx_equal(HicooTensor::from_coo(a).to_coo(),
+                                         HicooTensor::from_coo(b).to_coo(),
+                                         0.0));
+}
+
+TEST(Hicoo, RejectsBadBlockBits) {
+  const SparseTensor t = rand_t({8, 8}, 4, 3);
+  EXPECT_THROW((void)HicooTensor::from_coo(t, 0), Error);
+  EXPECT_THROW((void)HicooTensor::from_coo(t, 9), Error);
+}
+
+TEST(Hicoo, RejectsKeySpaceOverflow) {
+  // order 5 × 8 block bits = 40 within-bits; a big grid on top must be
+  // caught, not silently wrapped.
+  std::vector<index_t> dims(5, 3'000'000);
+  SparseTensor t(dims);
+  t.append(std::vector<index_t>{1, 1, 1, 1, 1}, 1.0);
+  EXPECT_THROW((void)HicooTensor::from_coo(t, 8), Error);
+}
+
+TEST(Hicoo, ForEachAgreesWithToCoo) {
+  const SparseTensor t = rand_t({64, 64, 64}, 1000, 4);
+  const HicooTensor h = HicooTensor::from_coo(t, 5);
+  SparseTensor rebuilt(t.dims());
+  h.for_each([&](std::span<const index_t> coords, value_t v) {
+    rebuilt.append(coords, v);  // bounds-checked on purpose
+  });
+  rebuilt.sort();
+  EXPECT_TRUE(SparseTensor::approx_equal(rebuilt, t, 0.0));
+}
+
+}  // namespace
+}  // namespace sparta

@@ -1,0 +1,159 @@
+// Tests for FROSTT .tns parsing and writing, including failure injection
+// on malformed inputs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tensor/generators.hpp"
+#include "tensor/io.hpp"
+
+namespace sparta {
+namespace {
+
+TEST(TnsIo, ParsesBasicFile) {
+  std::istringstream in(
+      "# a comment\n"
+      "1 1 2 3.5\n"
+      "\n"
+      "2 3 1 -1.0\n"
+      "4 1 5 2e-3\n");
+  const SparseTensor t = read_tns(in);
+  EXPECT_EQ(t.order(), 3);
+  EXPECT_EQ(t.nnz(), 3u);
+  // Dims inferred from max index (1-based -> sizes are the max values).
+  EXPECT_EQ(t.dim(0), 4u);
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_EQ(t.dim(2), 5u);
+  EXPECT_DOUBLE_EQ(t.value(0), 3.5);
+  EXPECT_EQ(t.index(0, 2), 1u);  // 1-based "2" -> 0-based 1
+}
+
+TEST(TnsIo, HandlesTabsAndTrailingComments) {
+  std::istringstream in("1\t2\t1.0   # trailing\n2\t1\t2.0\n");
+  const SparseTensor t = read_tns(in);
+  EXPECT_EQ(t.order(), 2);
+  EXPECT_EQ(t.nnz(), 2u);
+}
+
+TEST(TnsIo, RespectsExplicitDims) {
+  std::istringstream in("1 1 1.0\n");
+  const SparseTensor t = read_tns(in, std::vector<index_t>{10, 20});
+  EXPECT_EQ(t.dim(0), 10u);
+  EXPECT_EQ(t.dim(1), 20u);
+}
+
+TEST(TnsIo, RejectsIndexBeyondExplicitDims) {
+  std::istringstream in("5 1 1.0\n");
+  EXPECT_THROW((void)read_tns(in, std::vector<index_t>{4, 4}), Error);
+}
+
+TEST(TnsIo, RejectsWrongDimsArity) {
+  std::istringstream in("1 1 1.0\n");
+  EXPECT_THROW((void)read_tns(in, std::vector<index_t>{4, 4, 4}), Error);
+}
+
+TEST(TnsIo, RejectsEmptyInput) {
+  std::istringstream empty("");
+  EXPECT_THROW((void)read_tns(empty), Error);
+  std::istringstream only_comments("# nothing\n# here\n");
+  EXPECT_THROW((void)read_tns(only_comments), Error);
+}
+
+TEST(TnsIo, RejectsInconsistentArity) {
+  std::istringstream in("1 1 1.0\n1 2 3 1.0\n");
+  EXPECT_THROW((void)read_tns(in), Error);
+}
+
+TEST(TnsIo, RejectsZeroBasedIndices) {
+  std::istringstream in("0 1 1.0\n");
+  EXPECT_THROW((void)read_tns(in), Error);
+}
+
+TEST(TnsIo, RejectsGarbageTokens) {
+  std::istringstream bad_index("x 1 1.0\n");
+  EXPECT_THROW((void)read_tns(bad_index), Error);
+  std::istringstream bad_value("1 1 abc\n");
+  EXPECT_THROW((void)read_tns(bad_value), Error);
+  std::istringstream missing_value("3\n");
+  EXPECT_THROW((void)read_tns(missing_value), Error);
+}
+
+TEST(TnsIo, RoundTripsRandomTensor) {
+  GeneratorSpec spec;
+  spec.dims = {30, 17, 9, 5};
+  spec.nnz = 500;
+  spec.seed = 77;
+  const SparseTensor t = generate_random(spec);
+
+  std::ostringstream out;
+  write_tns(out, t);
+  std::istringstream in(out.str());
+  const SparseTensor back = read_tns(in, t.dims());
+  EXPECT_TRUE(SparseTensor::approx_equal(t, back, 1e-12));
+}
+
+TEST(TnsIo, RoundTripPreservesValuesExactly) {
+  SparseTensor t({3, 3});
+  t.append(std::vector<index_t>{0, 0}, 0.1);  // not exactly representable
+  t.append(std::vector<index_t>{2, 1}, -1e-300);
+  t.append(std::vector<index_t>{1, 2}, 12345.6789);
+  std::ostringstream out;
+  write_tns(out, t);
+  std::istringstream in(out.str());
+  const SparseTensor back = read_tns(in, t.dims());
+  ASSERT_EQ(back.nnz(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back.value(i), t.value(i));  // bit-exact (17 digits)
+  }
+}
+
+TEST(TnsIo, FileRoundTrip) {
+  GeneratorSpec spec;
+  spec.dims = {8, 8, 8};
+  spec.nnz = 64;
+  const SparseTensor t = generate_random(spec);
+  const std::string path = testing::TempDir() + "sparta_io_test.tns";
+  write_tns_file(path, t);
+  const SparseTensor back = read_tns_file(path, t.dims());
+  EXPECT_TRUE(SparseTensor::approx_equal(t, back, 1e-12));
+}
+
+TEST(TnsIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_tns_file("/nonexistent/path/x.tns"), Error);
+}
+
+
+TEST(TnsIo, FuzzedGarbageNeverCrashes) {
+  // Random byte soup must either parse or throw sparta::Error — never
+  // crash or hang.
+  Rng rng(99);
+  const char alphabet[] = "0123456789 .eE+-#x\t\n";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string soup;
+    const std::size_t len = 1 + rng.uniform(200);
+    for (std::size_t i = 0; i < len; ++i) {
+      soup.push_back(alphabet[rng.uniform(sizeof(alphabet) - 1)]);
+    }
+    std::istringstream in(soup);
+    try {
+      const SparseTensor t = read_tns(in);
+      EXPECT_GT(t.nnz(), 0u);  // successful parses yield data
+    } catch (const Error&) {
+      // expected for most soups
+    }
+  }
+}
+
+TEST(TnsIo, HugeValuesAndExponents) {
+  std::istringstream in("1 1 1e308\n2 2 -1e-308\n3 1 0.0\n");
+  const SparseTensor t = read_tns(in);
+  ASSERT_EQ(t.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(t.value(0), 1e308);
+  EXPECT_DOUBLE_EQ(t.value(1), -1e-308);
+  EXPECT_DOUBLE_EQ(t.value(2), 0.0);  // explicit zeros are kept by I/O
+}
+
+}  // namespace
+}  // namespace sparta

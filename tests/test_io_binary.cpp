@@ -1,0 +1,101 @@
+// Tests for the SPTN binary format, including corruption injection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "tensor/generators.hpp"
+#include "tensor/io_binary.hpp"
+
+namespace sparta {
+namespace {
+
+SparseTensor sample(std::uint64_t seed = 1) {
+  GeneratorSpec s;
+  s.dims = {40, 30, 20, 10};
+  s.nnz = 777;
+  s.seed = seed;
+  return generate_random(s);
+}
+
+TEST(Sptn, RoundTripIsBitExact) {
+  const SparseTensor t = sample();
+  std::ostringstream out(std::ios::binary);
+  write_sptn(out, t);
+  std::istringstream in(out.str(), std::ios::binary);
+  const SparseTensor back = read_sptn(in);
+  EXPECT_EQ(back.dims(), t.dims());
+  ASSERT_EQ(back.nnz(), t.nnz());
+  for (std::size_t n = 0; n < t.nnz(); ++n) {
+    EXPECT_EQ(back.value(n), t.value(n));  // exact, it's binary
+    for (int m = 0; m < t.order(); ++m) {
+      EXPECT_EQ(back.index(n, m), t.index(n, m));
+    }
+  }
+}
+
+TEST(Sptn, EmptyTensorRoundTrips) {
+  const SparseTensor t(std::vector<index_t>{5, 5});
+  std::ostringstream out(std::ios::binary);
+  write_sptn(out, t);
+  std::istringstream in(out.str(), std::ios::binary);
+  const SparseTensor back = read_sptn(in);
+  EXPECT_EQ(back.nnz(), 0u);
+  EXPECT_EQ(back.dims(), t.dims());
+}
+
+TEST(Sptn, FileRoundTrip) {
+  const SparseTensor t = sample(2);
+  const std::string path = testing::TempDir() + "sparta_sptn_test.bin";
+  write_sptn_file(path, t);
+  EXPECT_TRUE(SparseTensor::approx_equal(read_sptn_file(path), t, 0.0));
+}
+
+TEST(Sptn, RejectsBadMagic) {
+  std::istringstream in("NOPE....garbage", std::ios::binary);
+  EXPECT_THROW((void)read_sptn(in), Error);
+}
+
+TEST(Sptn, RejectsTruncatedStream) {
+  const SparseTensor t = sample(3);
+  std::ostringstream out(std::ios::binary);
+  write_sptn(out, t);
+  const std::string full = out.str();
+  for (const std::size_t keep :
+       {std::size_t{3}, std::size_t{9}, std::size_t{20}, full.size() / 2}) {
+    std::istringstream in(full.substr(0, keep), std::ios::binary);
+    EXPECT_THROW((void)read_sptn(in), Error) << "kept " << keep << " bytes";
+  }
+}
+
+TEST(Sptn, RejectsWrongVersion) {
+  const SparseTensor t = sample(4);
+  std::ostringstream out(std::ios::binary);
+  write_sptn(out, t);
+  std::string bytes = out.str();
+  bytes[4] = 99;  // version byte
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_THROW((void)read_sptn(in), Error);
+}
+
+TEST(Sptn, RejectsOutOfBoundsIndices) {
+  // Corrupt a column entry to exceed its mode size: from_columns must
+  // catch it.
+  SparseTensor t({4, 4});
+  t.append(std::vector<index_t>{1, 1}, 1.0);
+  std::ostringstream out(std::ios::binary);
+  write_sptn(out, t);
+  std::string bytes = out.str();
+  // Layout: 4 magic + 4 version + 4 order + 8 nnz + 8 dims = 28; first
+  // column entry at offset 28.
+  bytes[28] = 50;
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_THROW((void)read_sptn(in), Error);
+}
+
+TEST(Sptn, MissingFileThrows) {
+  EXPECT_THROW((void)read_sptn_file("/nonexistent/x.bin"), Error);
+}
+
+}  // namespace
+}  // namespace sparta

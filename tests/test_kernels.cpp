@@ -1,0 +1,284 @@
+// Tests for the sparse-times-dense kernels: TTM, MTTKRP, the dense
+// helper matrix, and CP-ALS end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "kernels/cp_als.hpp"
+#include "kernels/dense_matrix.hpp"
+#include "kernels/mttkrp.hpp"
+#include "kernels/ttm.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/generators.hpp"
+#include "tensor/ops.hpp"
+
+namespace sparta {
+namespace {
+
+SparseTensor rand_t(std::vector<index_t> dims, std::size_t nnz,
+                    std::uint64_t seed) {
+  GeneratorSpec s;
+  s.dims = std::move(dims);
+  s.nnz = nnz;
+  s.seed = seed;
+  return generate_random(s);
+}
+
+// --- DenseMatrix helpers -----------------------------------------------
+
+TEST(DenseMatrixTest, GramIsSymmetricAndCorrect) {
+  const DenseMatrix a = DenseMatrix::random(7, 3, 1);
+  const DenseMatrix g = a.gram();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      double expect = 0;
+      for (std::size_t r = 0; r < 7; ++r) expect += a.at(r, i) * a.at(r, j);
+      EXPECT_NEAR(g.at(i, j), expect, 1e-12);
+      EXPECT_DOUBLE_EQ(g.at(i, j), g.at(j, i));
+    }
+  }
+}
+
+TEST(DenseMatrixTest, SpdSolveRoundTrips) {
+  // Build SPD A = MᵀM + I, random B; check X·A ≈ B.
+  const DenseMatrix m = DenseMatrix::random(6, 4, 2, -1.0, 1.0);
+  DenseMatrix a = m.gram();
+  for (std::size_t i = 0; i < 4; ++i) a.at(i, i) += 1.0;
+  const DenseMatrix b = DenseMatrix::random(3, 4, 3, -2.0, 2.0);
+  const DenseMatrix x = a.solve_spd_right(b);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      double got = 0;
+      for (std::size_t k = 0; k < 4; ++k) got += x.at(r, k) * a.at(k, j);
+      EXPECT_NEAR(got, b.at(r, j), 1e-9);
+    }
+  }
+}
+
+TEST(DenseMatrixTest, SolveRejectsNonSpd) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(1, 1) = -1.0;  // indefinite
+  const DenseMatrix b(1, 2);
+  EXPECT_THROW((void)a.solve_spd_right(b), Error);
+}
+
+// --- TTM ----------------------------------------------------------------
+
+TEST(Ttm, MatchesDenseOracle) {
+  for (int mode = 0; mode < 3; ++mode) {
+    const SparseTensor x = rand_t({6, 7, 8}, 90, 4);
+    const DenseMatrix u =
+        DenseMatrix::random(x.dim(mode), 5, 5, -1.0, 1.0);
+    const SemiSparseTensor z = ttm(x, u, mode);
+
+    // Dense oracle.
+    const DenseTensor dx = DenseTensor::from_sparse(x);
+    std::vector<index_t> zdims = x.dims();
+    zdims[static_cast<std::size_t>(mode)] = 5;
+    DenseTensor expect(zdims);
+    const LinearIndexer lin(zdims);
+    std::vector<index_t> c(3), xc(3);
+    for (lnkey_t k = 0; k < lin.size(); ++k) {
+      lin.delinearize(k, c);
+      xc = c;
+      double s = 0;
+      for (index_t in = 0; in < x.dim(mode); ++in) {
+        xc[static_cast<std::size_t>(mode)] = in;
+        s += dx.at(xc) * u.at(in, c[static_cast<std::size_t>(mode)]);
+      }
+      expect.data()[k] = s;
+    }
+    EXPECT_TRUE(SparseTensor::approx_equal(z.to_sparse(1e-14),
+                                           expect.to_sparse(1e-14), 1e-9))
+        << "mode " << mode;
+  }
+}
+
+TEST(Ttm, OutputSizeIsPredictable) {
+  const SparseTensor x = rand_t({20, 30, 25}, 500, 6);
+  const DenseMatrix u = DenseMatrix::random(25, 4, 7);
+  const SemiSparseTensor z = ttm(x, u, 2);
+  // Count distinct (i,j) fibers by hand.
+  SparseTensor fibers_only = reduce_mode(x, 2);
+  EXPECT_EQ(z.num_fibers(), fibers_only.nnz());
+  EXPECT_EQ(z.rank(), 4u);
+}
+
+TEST(Ttm, RejectsBadArguments) {
+  const SparseTensor x = rand_t({4, 5}, 6, 8);
+  EXPECT_THROW((void)ttm(x, DenseMatrix::random(4, 3, 1), 1), Error);
+  EXPECT_THROW((void)ttm(x, DenseMatrix::random(5, 3, 1), 2), Error);
+}
+
+// --- MTTKRP ---------------------------------------------------------------
+
+TEST(Mttkrp, MatchesNaiveReference) {
+  const SparseTensor x = rand_t({8, 9, 7, 6}, 200, 9);
+  constexpr std::size_t kRank = 3;
+  std::vector<DenseMatrix> factors;
+  for (int m = 0; m < 4; ++m) {
+    factors.push_back(DenseMatrix::random(x.dim(m), kRank,
+                                          10 + static_cast<std::uint64_t>(m),
+                                          -1.0, 1.0));
+  }
+  for (int mode = 0; mode < 4; ++mode) {
+    const DenseMatrix got = mttkrp(x, factors, mode);
+    DenseMatrix expect(x.dim(mode), kRank);
+    std::vector<index_t> c(4);
+    for (std::size_t i = 0; i < x.nnz(); ++i) {
+      x.coords(i, c);
+      for (std::size_t r = 0; r < kRank; ++r) {
+        value_t v = x.value(i);
+        for (int m = 0; m < 4; ++m) {
+          if (m == mode) continue;
+          v *= factors[static_cast<std::size_t>(m)].at(
+              c[static_cast<std::size_t>(m)], r);
+        }
+        expect.at(c[static_cast<std::size_t>(mode)], r) += v;
+      }
+    }
+    for (std::size_t i = 0; i < expect.rows(); ++i) {
+      for (std::size_t r = 0; r < kRank; ++r) {
+        EXPECT_NEAR(got.at(i, r), expect.at(i, r), 1e-9)
+            << "mode " << mode;
+      }
+    }
+  }
+}
+
+TEST(Mttkrp, ParallelMatchesSequential) {
+  const SparseTensor x = rand_t({15, 15, 15}, 600, 11);
+  std::vector<DenseMatrix> factors;
+  for (int m = 0; m < 3; ++m) {
+    factors.push_back(DenseMatrix::random(15, 4, 20 + static_cast<std::uint64_t>(m)));
+  }
+  const DenseMatrix a = mttkrp(x, factors, 1, 1);
+  const DenseMatrix b = mttkrp(x, factors, 1, 4);
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], 1e-9);
+  }
+}
+
+TEST(Mttkrp, RejectsBadFactors) {
+  const SparseTensor x = rand_t({4, 5, 6}, 10, 12);
+  std::vector<DenseMatrix> factors{DenseMatrix::random(4, 3, 1),
+                                   DenseMatrix::random(5, 3, 2)};
+  EXPECT_THROW((void)mttkrp(x, factors, 0), Error);  // missing one
+  factors.push_back(DenseMatrix::random(7, 3, 3));   // wrong rows
+  EXPECT_THROW((void)mttkrp(x, factors, 0), Error);
+}
+
+// --- CP-ALS ----------------------------------------------------------------
+
+// A tensor that is exactly rank-2: CP-ALS at rank 2 must fit it ~1.0.
+SparseTensor exact_rank2_tensor(const std::vector<index_t>& dims) {
+  // Signed factors keep the two components far from collinear, so ALS
+  // converges quickly.
+  std::vector<DenseMatrix> f;
+  for (std::size_t m = 0; m < dims.size(); ++m) {
+    f.push_back(DenseMatrix::random(dims[m], 2, 40 + m, -1.0, 1.0));
+  }
+  DenseTensor d(dims);
+  const LinearIndexer lin(dims);
+  std::vector<index_t> c(dims.size());
+  for (lnkey_t k = 0; k < lin.size(); ++k) {
+    lin.delinearize(k, c);
+    double v = 0;
+    for (std::size_t r = 0; r < 2; ++r) {
+      double p = 1;
+      for (std::size_t m = 0; m < dims.size(); ++m) p *= f[m].at(c[m], r);
+      v += p;
+    }
+    d.data()[k] = v;
+  }
+  return d.to_sparse(1e-14);
+}
+
+TEST(CpAls, RecoversExactLowRankTensor) {
+  const SparseTensor x = exact_rank2_tensor({8, 9, 7});
+  CpAlsOptions o;
+  o.rank = 2;
+  o.max_iterations = 200;
+  o.tolerance = 1e-9;
+  const CpModel model = cp_als(x, o);
+  EXPECT_GT(model.fit, 0.999) << "after " << model.iterations
+                              << " iterations";
+}
+
+TEST(CpAls, ReconstructionMatchesFit) {
+  const SparseTensor x = exact_rank2_tensor({6, 5, 7});
+  CpAlsOptions o;
+  o.rank = 2;
+  o.max_iterations = 300;
+  o.tolerance = 1e-10;
+  const CpModel model = cp_als(x, o);
+  const SparseTensor approx = model.reconstruct(x.dims());
+  const SparseTensor diff = add(x, approx, 1.0, -1.0);
+  const double rel = norm_fro(diff) / norm_fro(x);
+  EXPECT_NEAR(1.0 - rel, model.fit, 1e-6);
+}
+
+TEST(CpAls, FitImprovesOverIterations) {
+  const SparseTensor x = rand_t({10, 12, 9}, 300, 13);
+  CpAlsOptions one;
+  one.rank = 4;
+  one.max_iterations = 1;
+  CpAlsOptions many = one;
+  many.max_iterations = 30;
+  many.tolerance = 0.0;
+  EXPECT_GE(cp_als(x, many).fit, cp_als(x, one).fit - 1e-12);
+}
+
+TEST(CpAls, RejectsBadInput) {
+  const SparseTensor empty(std::vector<index_t>{3, 3});
+  EXPECT_THROW((void)cp_als(empty), Error);
+  const SparseTensor x = rand_t({4, 4}, 4, 14);
+  CpAlsOptions o;
+  o.rank = 0;
+  EXPECT_THROW((void)cp_als(x, o), Error);
+}
+
+
+// --- TTV ------------------------------------------------------------------
+
+TEST(Ttv, MatchesReduceAfterScaling) {
+  const SparseTensor x = rand_t({6, 7, 8}, 100, 30);
+  std::vector<value_t> v(8);
+  Rng rng(31);
+  for (auto& e : v) e = rng.uniform_double(-1.0, 1.0);
+
+  const SparseTensor got = ttv(x, v, 2);
+
+  // Oracle: scale each nz by v[i2], then reduce mode 2.
+  SparseTensor scaled = x;
+  std::vector<index_t> c(3);
+  for (std::size_t n = 0; n < scaled.nnz(); ++n) {
+    scaled.coords(n, c);
+    scaled.value(n) *= v[c[2]];
+  }
+  const SparseTensor expect = reduce_mode(scaled, 2);
+  EXPECT_TRUE(SparseTensor::approx_equal(got, expect, 1e-9));
+}
+
+TEST(Ttv, MiddleModeAndValidation) {
+  const SparseTensor x = rand_t({5, 9, 4}, 60, 32);
+  std::vector<value_t> v(9, 1.0);  // all-ones = plain mode reduction
+  const SparseTensor got = ttv(x, v, 1);
+  EXPECT_TRUE(SparseTensor::approx_equal(got, reduce_mode(x, 1), 1e-9));
+
+  std::vector<value_t> wrong(5, 1.0);
+  EXPECT_THROW((void)ttv(x, wrong, 1), Error);
+  EXPECT_THROW((void)ttv(x, v, 3), Error);
+}
+
+TEST(Ttv, ZeroVectorGivesEmpty) {
+  const SparseTensor x = rand_t({4, 5}, 10, 33);
+  std::vector<value_t> v(5, 0.0);
+  EXPECT_EQ(ttv(x, v, 1).nnz(), 0u);
+}
+
+}  // namespace
+}  // namespace sparta

@@ -1,0 +1,87 @@
+// Tests for the large-number (LN) index linearization.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "tensor/linearize.hpp"
+
+namespace sparta {
+namespace {
+
+TEST(Linearize, SingleModeIsIdentity) {
+  LinearIndexer lin({10});
+  for (index_t i = 0; i < 10; ++i) {
+    std::vector<index_t> c{i};
+    EXPECT_EQ(lin.linearize(c), i);
+  }
+}
+
+TEST(Linearize, MatchesPaperExample) {
+  // Paper §3.3: tuple (0, 3) with J2 = 4 linearizes to 0*4 + 3 = 3.
+  LinearIndexer lin({5, 4});
+  std::vector<index_t> c{0, 3};
+  EXPECT_EQ(lin.linearize(c), 3u);
+  c = {2, 1};
+  EXPECT_EQ(lin.linearize(c), 2u * 4 + 1);
+}
+
+TEST(Linearize, RoundTripsEveryCell) {
+  LinearIndexer lin({3, 5, 2, 7});
+  ASSERT_EQ(lin.size(), 3u * 5 * 2 * 7);
+  std::vector<index_t> c(4);
+  for (lnkey_t k = 0; k < lin.size(); ++k) {
+    lin.delinearize(k, c);
+    EXPECT_EQ(lin.linearize(c), k);
+  }
+}
+
+TEST(Linearize, KeysAreUnique) {
+  LinearIndexer lin({4, 4, 4});
+  std::vector<bool> seen(lin.size(), false);
+  std::vector<index_t> c(3);
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = 0; j < 4; ++j) {
+      for (index_t k = 0; k < 4; ++k) {
+        c = {i, j, k};
+        const lnkey_t key = lin.linearize(c);
+        EXPECT_FALSE(seen[key]) << "duplicate LN key " << key;
+        seen[key] = true;
+      }
+    }
+  }
+}
+
+TEST(Linearize, GatherSelectsModesInOrder) {
+  LinearIndexer lin({7, 9});
+  // Full coordinate tuple of a 4-mode tensor; gather modes 3 and 1.
+  std::vector<index_t> coords{5, 8, 2, 6};
+  std::vector<int> modes{3, 1};
+  EXPECT_EQ(lin.linearize_gather(coords, modes), 6u * 9 + 8);
+}
+
+TEST(Linearize, PreservesLexicographicOrder) {
+  LinearIndexer lin({6, 5, 4});
+  std::vector<index_t> a{1, 2, 3};
+  std::vector<index_t> b{1, 3, 0};
+  EXPECT_LT(lin.linearize(a), lin.linearize(b));
+}
+
+TEST(Linearize, ThrowsOn64BitOverflow) {
+  // 2^32 × 2^32 × 2 overflows 64 bits.
+  EXPECT_THROW(LinearIndexer({0xffffffffu, 0xffffffffu, 2}), Error);
+}
+
+TEST(Linearize, AcceptsLargeButRepresentableSpace) {
+  // ~2^62 cells: fine.
+  LinearIndexer lin({1u << 21, 1u << 21, 1u << 20});
+  std::vector<index_t> c{(1u << 21) - 1, (1u << 21) - 1, (1u << 20) - 1};
+  EXPECT_EQ(lin.linearize(c), lin.size() - 1);
+}
+
+TEST(Linearize, ThrowsOnZeroDim) {
+  EXPECT_THROW(LinearIndexer({3, 0, 2}), Error);
+}
+
+}  // namespace
+}  // namespace sparta

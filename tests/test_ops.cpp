@@ -1,0 +1,158 @@
+// Tests for the element-wise / reduction tensor operations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/generators.hpp"
+#include "tensor/ops.hpp"
+
+namespace sparta {
+namespace {
+
+SparseTensor rand_t(std::vector<index_t> dims, std::size_t nnz,
+                    std::uint64_t seed) {
+  GeneratorSpec s;
+  s.dims = std::move(dims);
+  s.nnz = nnz;
+  s.seed = seed;
+  return generate_random(s);
+}
+
+TEST(OpsAdd, MatchesDenseAdd) {
+  const SparseTensor a = rand_t({6, 7, 8}, 80, 1);
+  const SparseTensor b = rand_t({6, 7, 8}, 90, 2);
+  const SparseTensor c = add(a, b, 2.0, -0.5);
+
+  const DenseTensor da = DenseTensor::from_sparse(a);
+  const DenseTensor db = DenseTensor::from_sparse(b);
+  DenseTensor expect({6, 7, 8});
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    expect.data()[i] = 2.0 * da.data()[i] - 0.5 * db.data()[i];
+  }
+  EXPECT_TRUE(SparseTensor::approx_equal(c, expect.to_sparse(), 1e-12));
+}
+
+TEST(OpsAdd, CancellationDropsElements) {
+  SparseTensor a({3, 3});
+  a.append(std::vector<index_t>{1, 1}, 2.0);
+  SparseTensor b = a;
+  const SparseTensor diff = add(a, b, 1.0, -1.0);
+  EXPECT_EQ(diff.nnz(), 0u);
+}
+
+TEST(OpsAdd, RejectsShapeMismatch) {
+  const SparseTensor a = rand_t({3, 3}, 4, 1);
+  const SparseTensor b = rand_t({3, 4}, 4, 2);
+  EXPECT_THROW((void)add(a, b), Error);
+}
+
+TEST(OpsScale, ScalesAndZeroClears) {
+  SparseTensor t = rand_t({5, 5}, 10, 3);
+  const double before = norm_fro(t);
+  scale(t, 3.0);
+  EXPECT_NEAR(norm_fro(t), 3.0 * before, 1e-12);
+  scale(t, 0.0);
+  EXPECT_EQ(t.nnz(), 0u);
+}
+
+TEST(OpsHadamard, OnlyCommonCoordsSurvive) {
+  SparseTensor a({3, 3});
+  a.append(std::vector<index_t>{0, 0}, 2.0);
+  a.append(std::vector<index_t>{1, 1}, 3.0);
+  SparseTensor b({3, 3});
+  b.append(std::vector<index_t>{1, 1}, 4.0);
+  b.append(std::vector<index_t>{2, 2}, 5.0);
+  const SparseTensor h = hadamard(a, b);
+  ASSERT_EQ(h.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(h.value(0), 12.0);
+}
+
+TEST(OpsHadamard, MatchesDense) {
+  const SparseTensor a = rand_t({8, 9}, 30, 4);
+  const SparseTensor b = rand_t({8, 9}, 35, 5);
+  const SparseTensor h = hadamard(a, b);
+  const DenseTensor da = DenseTensor::from_sparse(a);
+  const DenseTensor db = DenseTensor::from_sparse(b);
+  DenseTensor expect({8, 9});
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    expect.data()[i] = da.data()[i] * db.data()[i];
+  }
+  EXPECT_TRUE(SparseTensor::approx_equal(h, expect.to_sparse(), 1e-12));
+}
+
+TEST(OpsNorms, KnownValues) {
+  SparseTensor t({2, 2});
+  t.append(std::vector<index_t>{0, 0}, 3.0);
+  t.append(std::vector<index_t>{1, 1}, -4.0);
+  EXPECT_DOUBLE_EQ(norm_fro(t), 5.0);
+  EXPECT_DOUBLE_EQ(norm_max(t), 4.0);
+  EXPECT_DOUBLE_EQ(sum(t), -1.0);
+}
+
+TEST(OpsNorms, EmptyTensor) {
+  const SparseTensor t(std::vector<index_t>{4, 4});
+  EXPECT_DOUBLE_EQ(norm_fro(t), 0.0);
+  EXPECT_DOUBLE_EQ(norm_max(t), 0.0);
+  EXPECT_DOUBLE_EQ(sum(t), 0.0);
+}
+
+TEST(OpsReduce, SumsOverTheMode) {
+  SparseTensor t({2, 3});
+  t.append(std::vector<index_t>{0, 1}, 1.0);
+  t.append(std::vector<index_t>{1, 1}, 2.0);
+  t.append(std::vector<index_t>{1, 2}, 4.0);
+  const SparseTensor r = reduce_mode(t, 0);  // sum over rows
+  ASSERT_EQ(r.order(), 1);
+  ASSERT_EQ(r.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(r.value(0), 3.0);  // column 1
+  EXPECT_DOUBLE_EQ(r.value(1), 4.0);  // column 2
+}
+
+TEST(OpsReduce, TotalSumIsPreserved) {
+  const SparseTensor t = rand_t({5, 6, 7}, 100, 6);
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_NEAR(sum(reduce_mode(t, m)), sum(t), 1e-9);
+  }
+}
+
+TEST(OpsReduce, RejectsBadMode) {
+  const SparseTensor t = rand_t({5, 6}, 10, 7);
+  EXPECT_THROW((void)reduce_mode(t, 2), Error);
+  const SparseTensor v = rand_t({5}, 3, 8);
+  EXPECT_THROW((void)reduce_mode(v, 0), Error);
+}
+
+TEST(OpsTruncate, DropsSmallValues) {
+  SparseTensor t({3, 3});
+  t.append(std::vector<index_t>{0, 0}, 1e-9);
+  t.append(std::vector<index_t>{1, 1}, 0.5);
+  t.append(std::vector<index_t>{2, 2}, -1e-10);
+  const SparseTensor cut = truncate(t, 1e-8);
+  ASSERT_EQ(cut.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(cut.value(0), 0.5);
+}
+
+TEST(OpsSlice, ExtractsAndDropsMode) {
+  SparseTensor t({3, 4});
+  t.append(std::vector<index_t>{1, 0}, 5.0);
+  t.append(std::vector<index_t>{1, 3}, 6.0);
+  t.append(std::vector<index_t>{2, 0}, 7.0);
+  const SparseTensor row1 = slice(t, 0, 1);
+  ASSERT_EQ(row1.order(), 1);
+  ASSERT_EQ(row1.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(row1.value(0), 5.0);
+  EXPECT_DOUBLE_EQ(row1.value(1), 6.0);
+  const SparseTensor empty_row = slice(t, 0, 0);
+  EXPECT_EQ(empty_row.nnz(), 0u);
+}
+
+TEST(OpsSlice, RejectsBadArguments) {
+  const SparseTensor t = rand_t({3, 4}, 5, 9);
+  EXPECT_THROW((void)slice(t, 2, 0), Error);
+  EXPECT_THROW((void)slice(t, 0, 3), Error);
+}
+
+}  // namespace
+}  // namespace sparta

@@ -1,0 +1,109 @@
+// Tests for frequency-based index reordering.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "contraction/contract.hpp"
+#include "tensor/generators.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/reorder.hpp"
+
+namespace sparta {
+namespace {
+
+SparseTensor skewed(std::vector<index_t> dims, std::size_t nnz,
+                    std::uint64_t seed) {
+  GeneratorSpec s;
+  s.dims = std::move(dims);
+  s.nnz = nnz;
+  s.seed = seed;
+  s.skew.assign(s.dims.size(), 2.0);
+  return generate_random(s);
+}
+
+TEST(Reorder, MostFrequentIndexBecomesZero) {
+  SparseTensor t({5, 3});
+  // Index 3 of mode 0 occurs 3 times, index 1 once.
+  t.append(std::vector<index_t>{3, 0}, 1.0);
+  t.append(std::vector<index_t>{3, 1}, 1.0);
+  t.append(std::vector<index_t>{3, 2}, 1.0);
+  t.append(std::vector<index_t>{1, 0}, 1.0);
+  const Relabeling r = reorder_by_frequency(t);
+  EXPECT_EQ(r.forward[0][3], 0u);
+  EXPECT_EQ(r.forward[0][1], 1u);
+}
+
+TEST(Reorder, RelabelingIsABijection) {
+  const SparseTensor t = skewed({40, 30, 20}, 800, 1);
+  const Relabeling r = reorder_by_frequency(t);
+  for (std::size_t m = 0; m < r.forward.size(); ++m) {
+    std::vector<bool> hit(r.forward[m].size(), false);
+    for (index_t v : r.forward[m]) {
+      ASSERT_LT(v, hit.size());
+      EXPECT_FALSE(hit[v]);
+      hit[v] = true;
+    }
+  }
+}
+
+TEST(Reorder, InverseUndoesRelabeling) {
+  const SparseTensor t = skewed({25, 25, 25}, 600, 2);
+  const Relabeling r = reorder_by_frequency(t);
+  const SparseTensor relabeled = apply_relabeling(t, r);
+  const SparseTensor back = apply_relabeling(relabeled, r.inverted());
+  EXPECT_TRUE(SparseTensor::approx_equal(t, back, 0.0));
+}
+
+TEST(Reorder, PreservesValuesAndCounts) {
+  const SparseTensor t = skewed({30, 30}, 400, 3);
+  const SparseTensor relabeled =
+      apply_relabeling(t, reorder_by_frequency(t));
+  EXPECT_EQ(relabeled.nnz(), t.nnz());
+  EXPECT_NEAR(norm_fro(relabeled), norm_fro(t), 1e-12);
+  EXPECT_NEAR(sum(relabeled), sum(t), 1e-12);
+}
+
+TEST(Reorder, RejectsShapeMismatch) {
+  const SparseTensor t = skewed({10, 10}, 20, 4);
+  Relabeling r = reorder_by_frequency(t);
+  r.forward.pop_back();
+  EXPECT_THROW((void)apply_relabeling(t, r), Error);
+}
+
+TEST(Reorder, PairContractionInvariantUpToRelabeling) {
+  PairedSpec ps;
+  ps.x.dims = {25, 20, 15};
+  ps.x.nnz = 600;
+  ps.x.seed = 5;
+  ps.x.skew = {2.0, 1.0, 1.5};
+  ps.y.dims = {25, 20, 12};
+  ps.y.nnz = 500;
+  ps.y.seed = 6;
+  ps.num_contract_modes = 2;
+  const TensorPair pair = generate_contraction_pair(ps);
+  const Modes c{0, 1};
+
+  const RelabeledPair rp = reorder_pair(pair.x, pair.y, c, c);
+  // Contract both versions; un-relabel the reordered result's free
+  // modes and compare.
+  const SparseTensor z_orig = contract_tensor(pair.x, pair.y, c, c, {});
+  const SparseTensor z_re = contract_tensor(rp.x, rp.y, c, c, {});
+  ASSERT_EQ(z_orig.nnz(), z_re.nnz());
+
+  // Z modes: free X mode 2, free Y mode 2. Build the inverse relabeling
+  // for them.
+  Relabeling zmap;
+  zmap.forward.push_back(rp.x_map.forward[2]);
+  zmap.forward.push_back(rp.y_map.forward[2]);
+  const SparseTensor z_back = apply_relabeling(z_re, zmap.inverted());
+  EXPECT_TRUE(SparseTensor::approx_equal(z_orig, z_back, 1e-9));
+}
+
+TEST(Reorder, PairSharesContractModeMaps) {
+  const SparseTensor x = skewed({20, 15}, 150, 7);
+  const SparseTensor y = skewed({20, 10}, 120, 8);
+  const RelabeledPair rp = reorder_pair(x, y, {0}, {0});
+  EXPECT_EQ(rp.x_map.forward[0], rp.y_map.forward[0]);
+}
+
+}  // namespace
+}  // namespace sparta

@@ -1,0 +1,196 @@
+// Unit tests for the COO SparseTensor container.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tensor/sparse_tensor.hpp"
+
+namespace sparta {
+namespace {
+
+SparseTensor small_tensor() {
+  SparseTensor t({4, 3, 5});
+  t.append(std::vector<index_t>{3, 2, 4}, 1.0);
+  t.append(std::vector<index_t>{0, 1, 0}, 2.0);
+  t.append(std::vector<index_t>{0, 0, 1}, 3.0);
+  t.append(std::vector<index_t>{3, 2, 0}, 4.0);
+  return t;
+}
+
+TEST(SparseTensor, ShapeAndCounts) {
+  const SparseTensor t = small_tensor();
+  EXPECT_EQ(t.order(), 3);
+  EXPECT_EQ(t.nnz(), 4u);
+  EXPECT_EQ(t.dim(0), 4u);
+  EXPECT_EQ(t.dim(2), 5u);
+  EXPECT_DOUBLE_EQ(t.density(), 4.0 / (4 * 3 * 5));
+}
+
+TEST(SparseTensor, RejectsOutOfBoundsAppend) {
+  SparseTensor t({2, 2});
+  EXPECT_THROW(t.append(std::vector<index_t>{2, 0}, 1.0), Error);
+  EXPECT_THROW(t.append(std::vector<index_t>{0}, 1.0), Error);
+}
+
+TEST(SparseTensor, RejectsZeroSizedMode) {
+  EXPECT_THROW(SparseTensor({3, 0}), Error);
+}
+
+TEST(SparseTensor, SortOrdersLexicographically) {
+  SparseTensor t = small_tensor();
+  EXPECT_FALSE(t.is_sorted());
+  t.sort();
+  EXPECT_TRUE(t.is_sorted());
+  // First element should now be (0,0,1) -> 3.0.
+  EXPECT_EQ(t.index(0, 0), 0u);
+  EXPECT_EQ(t.index(0, 1), 0u);
+  EXPECT_EQ(t.index(0, 2), 1u);
+  EXPECT_DOUBLE_EQ(t.value(0), 3.0);
+  // Last element should be (3,2,4) -> 1.0.
+  EXPECT_EQ(t.index(3, 2), 4u);
+  EXPECT_DOUBLE_EQ(t.value(3), 1.0);
+}
+
+TEST(SparseTensor, SortKeepsCoordValuePairsTogether) {
+  Rng rng(123);
+  SparseTensor t({50, 50});
+  std::vector<index_t> c(2);
+  for (int i = 0; i < 500; ++i) {
+    c[0] = static_cast<index_t>(rng.uniform(50));
+    c[1] = static_cast<index_t>(rng.uniform(50));
+    // Encode the coordinate into the value so pairing is verifiable.
+    t.append(c, static_cast<double>(c[0] * 1000 + c[1]));
+  }
+  t.sort();
+  for (std::size_t n = 0; n < t.nnz(); ++n) {
+    EXPECT_DOUBLE_EQ(t.value(n),
+                     static_cast<double>(t.index(n, 0) * 1000 + t.index(n, 1)));
+  }
+}
+
+TEST(SparseTensor, PermuteModesSwapsColumnsCheaply) {
+  SparseTensor t = small_tensor();
+  t.permute_modes({2, 0, 1});
+  EXPECT_EQ(t.dim(0), 5u);
+  EXPECT_EQ(t.dim(1), 4u);
+  EXPECT_EQ(t.dim(2), 3u);
+  // (3,2,4) becomes (4,3,2).
+  EXPECT_EQ(t.index(0, 0), 4u);
+  EXPECT_EQ(t.index(0, 1), 3u);
+  EXPECT_EQ(t.index(0, 2), 2u);
+}
+
+TEST(SparseTensor, PermuteRejectsBadPermutations) {
+  SparseTensor t = small_tensor();
+  EXPECT_THROW(t.permute_modes({0, 0, 1}), Error);
+  EXPECT_THROW(t.permute_modes({0, 1}), Error);
+  EXPECT_THROW(t.permute_modes({0, 1, 3}), Error);
+}
+
+TEST(SparseTensor, PermuteRoundTripIsIdentity) {
+  SparseTensor t = small_tensor();
+  const SparseTensor orig = t;
+  t.permute_modes({1, 2, 0});
+  t.permute_modes({2, 0, 1});  // inverse
+  EXPECT_TRUE(SparseTensor::approx_equal(orig, t));
+}
+
+TEST(SparseTensor, CoalesceMergesDuplicates) {
+  SparseTensor t({3, 3});
+  t.append(std::vector<index_t>{1, 1}, 2.0);
+  t.append(std::vector<index_t>{1, 1}, 3.0);
+  t.append(std::vector<index_t>{0, 2}, 1.0);
+  t.coalesce();
+  EXPECT_EQ(t.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(t.value(1), 5.0);  // sorted: (0,2) then (1,1)
+}
+
+TEST(SparseTensor, CoalesceDropsCancellations) {
+  SparseTensor t({3, 3});
+  t.append(std::vector<index_t>{1, 1}, 2.0);
+  t.append(std::vector<index_t>{1, 1}, -2.0);
+  t.append(std::vector<index_t>{2, 0}, 1.0);
+  t.coalesce();
+  EXPECT_EQ(t.nnz(), 1u);
+  EXPECT_EQ(t.index(0, 0), 2u);
+}
+
+TEST(SparseTensor, ApproxEqualIgnoresElementOrder) {
+  SparseTensor a({3, 3});
+  a.append(std::vector<index_t>{0, 1}, 1.0);
+  a.append(std::vector<index_t>{2, 2}, 2.0);
+  SparseTensor b({3, 3});
+  b.append(std::vector<index_t>{2, 2}, 2.0);
+  b.append(std::vector<index_t>{0, 1}, 1.0);
+  EXPECT_TRUE(SparseTensor::approx_equal(a, b));
+}
+
+TEST(SparseTensor, ApproxEqualDetectsDifferences) {
+  SparseTensor a({3, 3});
+  a.append(std::vector<index_t>{0, 1}, 1.0);
+  SparseTensor b({3, 3});
+  b.append(std::vector<index_t>{0, 1}, 1.0 + 1e-3);
+  EXPECT_FALSE(SparseTensor::approx_equal(a, b));
+  SparseTensor c({3, 4});
+  c.append(std::vector<index_t>{0, 1}, 1.0);
+  EXPECT_FALSE(SparseTensor::approx_equal(a, c));  // different shape
+}
+
+TEST(SparseTensor, ApproxEqualToleratesTinyError) {
+  SparseTensor a({3, 3});
+  a.append(std::vector<index_t>{0, 1}, 1.0);
+  SparseTensor b({3, 3});
+  b.append(std::vector<index_t>{0, 1}, 1.0 + 1e-12);
+  EXPECT_TRUE(SparseTensor::approx_equal(a, b));
+}
+
+TEST(SparseTensor, FromColumnsValidates) {
+  std::vector<std::vector<index_t>> cols{{0, 1}, {2, 0}};
+  std::vector<value_t> vals{1.0, 2.0};
+  const SparseTensor t =
+      SparseTensor::from_columns({2, 3}, cols, vals);
+  EXPECT_EQ(t.nnz(), 2u);
+  EXPECT_EQ(t.index(0, 1), 2u);
+
+  std::vector<std::vector<index_t>> bad_len{{0, 1}, {2}};
+  EXPECT_THROW(
+      SparseTensor::from_columns({2, 3}, bad_len, vals), Error);
+  std::vector<std::vector<index_t>> oob{{0, 5}, {2, 0}};
+  EXPECT_THROW(SparseTensor::from_columns({2, 3}, oob, vals), Error);
+}
+
+TEST(SparseTensor, SortLargeRandomIsStableUnderLnPath) {
+  // Exercises the LN fast path (dims product < 2^64) on a bigger input.
+  Rng rng(7);
+  SparseTensor t({200, 200, 200});
+  std::vector<index_t> c(3);
+  for (int i = 0; i < 50'000; ++i) {
+    for (auto& v : c) v = static_cast<index_t>(rng.uniform(200));
+    t.append_unchecked(c, 1.0);
+  }
+  t.sort();
+  EXPECT_TRUE(t.is_sorted());
+  EXPECT_EQ(t.nnz(), 50'000u);
+}
+
+TEST(SparseTensor, SummaryMentionsShapeAndNnz) {
+  const SparseTensor t = small_tensor();
+  const std::string s = t.summary();
+  EXPECT_NE(s.find("order-3"), std::string::npos);
+  EXPECT_NE(s.find("4x3x5"), std::string::npos);
+  EXPECT_NE(s.find("nnz=4"), std::string::npos);
+}
+
+TEST(SparseTensor, EmptyTensorBehaves) {
+  SparseTensor t({5, 5});
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.is_sorted());
+  t.sort();
+  t.coalesce();
+  EXPECT_EQ(t.nnz(), 0u);
+}
+
+}  // namespace
+}  // namespace sparta

@@ -1,0 +1,253 @@
+// Tests for the CSR matrix and the SpGEMM kernel (all accumulator ×
+// sizing combinations), cross-checked against dense multiplication and
+// against the SpTC pipeline on the same data.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "contraction/contract.hpp"
+#include "spgemm/spgemm.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/generators.hpp"
+
+namespace sparta {
+namespace {
+
+SparseTensor rand_mat(index_t rows, index_t cols, std::size_t nnz,
+                      std::uint64_t seed) {
+  GeneratorSpec s;
+  s.dims = {rows, cols};
+  s.nnz = nnz;
+  s.seed = seed;
+  return generate_random(s);
+}
+
+// --- CSR container ------------------------------------------------------
+
+TEST(Csr, CooRoundTrip) {
+  const SparseTensor t = rand_mat(30, 40, 200, 1);
+  const CsrMatrix m = CsrMatrix::from_coo(t);
+  EXPECT_EQ(m.rows(), 30u);
+  EXPECT_EQ(m.cols(), 40u);
+  EXPECT_EQ(m.nnz(), 200u);
+  EXPECT_TRUE(SparseTensor::approx_equal(m.to_coo(), t, 0.0));
+}
+
+TEST(Csr, FromCooSumsDuplicates) {
+  SparseTensor t({3, 3});
+  t.append(std::vector<index_t>{1, 2}, 2.0);
+  t.append(std::vector<index_t>{1, 2}, 3.0);
+  const CsrMatrix m = CsrMatrix::from_coo(t);
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m.row_vals(1)[0], 5.0);
+}
+
+TEST(Csr, RowAccessors) {
+  SparseTensor t({3, 5});
+  t.append(std::vector<index_t>{0, 4}, 1.0);
+  t.append(std::vector<index_t>{0, 1}, 2.0);
+  t.append(std::vector<index_t>{2, 0}, 3.0);
+  const CsrMatrix m = CsrMatrix::from_coo(t);
+  ASSERT_EQ(m.row_cols(0).size(), 2u);
+  EXPECT_EQ(m.row_cols(0)[0], 1u);  // sorted
+  EXPECT_EQ(m.row_cols(1).size(), 0u);
+  EXPECT_EQ(m.row_cols(2)[0], 0u);
+}
+
+TEST(Csr, RejectsHighOrderTensor) {
+  GeneratorSpec s;
+  s.dims = {3, 3, 3};
+  s.nnz = 4;
+  EXPECT_THROW((void)CsrMatrix::from_coo(generate_random(s)), Error);
+}
+
+TEST(Csr, FromPartsValidates) {
+  EXPECT_THROW((void)CsrMatrix::from_parts(2, 2, {0, 1}, {0}, {1.0}),
+               Error);  // rowptr too short
+  EXPECT_THROW((void)CsrMatrix::from_parts(2, 2, {0, 2, 1}, {0, 1},
+                                           {1.0, 1.0}),
+               Error);  // non-monotone
+  EXPECT_THROW((void)CsrMatrix::from_parts(2, 2, {0, 1, 2}, {0, 5},
+                                           {1.0, 1.0}),
+               Error);  // column out of range
+}
+
+// --- SpGEMM sweep --------------------------------------------------------
+
+class SpgemmSweep
+    : public ::testing::TestWithParam<
+          std::tuple<SpgemmAccumulator, SpgemmSizing>> {};
+
+TEST_P(SpgemmSweep, MatchesDenseMultiply) {
+  const auto [acc, sizing] = GetParam();
+  const SparseTensor at = rand_mat(25, 30, 150, 2);
+  const SparseTensor bt = rand_mat(30, 20, 140, 3);
+  SpgemmOptions o;
+  o.accumulator = acc;
+  o.sizing = sizing;
+  SpgemmStats stats;
+  const CsrMatrix c =
+      spgemm(CsrMatrix::from_coo(at), CsrMatrix::from_coo(bt), o, &stats);
+
+  const DenseTensor expect = contract_dense(DenseTensor::from_sparse(at),
+                                            DenseTensor::from_sparse(bt),
+                                            {1}, {0});
+  EXPECT_TRUE(
+      SparseTensor::approx_equal(c.to_coo(), expect.to_sparse(), 1e-9));
+  EXPECT_GT(stats.flops, 0u);
+  if (sizing == SpgemmSizing::kTwoPhase) {
+    EXPECT_EQ(stats.symbolic_nnz, c.nnz());
+  }
+}
+
+TEST_P(SpgemmSweep, MatchesSpTCOnTheSameData) {
+  const auto [acc, sizing] = GetParam();
+  const SparseTensor at = rand_mat(40, 35, 300, 4);
+  const SparseTensor bt = rand_mat(35, 45, 280, 5);
+  SpgemmOptions o;
+  o.accumulator = acc;
+  o.sizing = sizing;
+  const CsrMatrix c =
+      spgemm(CsrMatrix::from_coo(at), CsrMatrix::from_coo(bt), o);
+  const SparseTensor z = contract_tensor(at, bt, {1}, {0}, {});
+  EXPECT_TRUE(SparseTensor::approx_equal(c.to_coo(), z, 1e-9));
+}
+
+TEST_P(SpgemmSweep, ParallelAgreesWithSequential) {
+  const auto [acc, sizing] = GetParam();
+  const SparseTensor at = rand_mat(50, 50, 400, 6);
+  const SparseTensor bt = rand_mat(50, 50, 400, 7);
+  SpgemmOptions o1;
+  o1.accumulator = acc;
+  o1.sizing = sizing;
+  o1.num_threads = 1;
+  SpgemmOptions o4 = o1;
+  o4.num_threads = 4;
+  const CsrMatrix c1 =
+      spgemm(CsrMatrix::from_coo(at), CsrMatrix::from_coo(bt), o1);
+  const CsrMatrix c4 =
+      spgemm(CsrMatrix::from_coo(at), CsrMatrix::from_coo(bt), o4);
+  EXPECT_TRUE(SparseTensor::approx_equal(c1.to_coo(), c4.to_coo(), 1e-12));
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<std::tuple<SpgemmAccumulator, SpgemmSizing>>&
+        info) {
+  std::string name =
+      std::string(spgemm_accumulator_name(std::get<0>(info.param))) + "_" +
+      std::string(spgemm_sizing_name(std::get<1>(info.param)));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, SpgemmSweep,
+    ::testing::Combine(::testing::Values(SpgemmAccumulator::kDenseSpa,
+                                         SpgemmAccumulator::kHash),
+                       ::testing::Values(SpgemmSizing::kProgressive,
+                                         SpgemmSizing::kTwoPhase)),
+    sweep_name);
+
+// --- edge cases -----------------------------------------------------------
+
+TEST(Spgemm, RejectsDimensionMismatch) {
+  const CsrMatrix a = CsrMatrix::from_coo(rand_mat(4, 5, 6, 8));
+  const CsrMatrix b = CsrMatrix::from_coo(rand_mat(6, 4, 6, 9));
+  EXPECT_THROW((void)spgemm(a, b), Error);
+}
+
+TEST(Spgemm, EmptyOperandsGiveEmptyResult) {
+  const CsrMatrix a(4, 5);
+  const CsrMatrix b = CsrMatrix::from_coo(rand_mat(5, 3, 6, 10));
+  const CsrMatrix c = spgemm(a, b);
+  EXPECT_EQ(c.nnz(), 0u);
+  EXPECT_EQ(c.rows(), 4u);
+  EXPECT_EQ(c.cols(), 3u);
+}
+
+TEST(Spgemm, IdentityIsNeutral) {
+  const SparseTensor at = rand_mat(10, 10, 40, 11);
+  SparseTensor eye({10, 10});
+  for (index_t i = 0; i < 10; ++i) {
+    eye.append(std::vector<index_t>{i, i}, 1.0);
+  }
+  const CsrMatrix a = CsrMatrix::from_coo(at);
+  const CsrMatrix c = spgemm(a, CsrMatrix::from_coo(eye));
+  EXPECT_TRUE(SparseTensor::approx_equal(c.to_coo(), a.to_coo(), 1e-12));
+}
+
+
+TEST(Csr, TransposeRoundTrip) {
+  const SparseTensor t = rand_mat(13, 22, 120, 30);
+  const CsrMatrix m = CsrMatrix::from_coo(t);
+  const CsrMatrix mt = m.transposed();
+  EXPECT_EQ(mt.rows(), 22u);
+  EXPECT_EQ(mt.cols(), 13u);
+  EXPECT_EQ(mt.nnz(), m.nnz());
+  const CsrMatrix back = mt.transposed();
+  EXPECT_TRUE(SparseTensor::approx_equal(back.to_coo(), t, 0.0));
+}
+
+TEST(Csr, TransposeMatchesPermutedCoo) {
+  const SparseTensor t = rand_mat(9, 7, 30, 31);
+  SparseTensor swapped = t;
+  swapped.permute_modes({1, 0});
+  swapped.sort();
+  EXPECT_TRUE(SparseTensor::approx_equal(
+      CsrMatrix::from_coo(t).transposed().to_coo(), swapped, 0.0));
+}
+
+TEST(Spgemm, AtaIsSymmetric) {
+  const SparseTensor t = rand_mat(20, 15, 90, 32);
+  const CsrMatrix a = CsrMatrix::from_coo(t);
+  const CsrMatrix ata = spgemm(a.transposed(), a);
+  const SparseTensor s = ata.to_coo();
+  SparseTensor st = s;
+  st.permute_modes({1, 0});
+  st.sort();
+  EXPECT_TRUE(SparseTensor::approx_equal(s, st, 1e-9));
+}
+
+
+TEST(Spmv, MatchesDenseProduct) {
+  const SparseTensor t = rand_mat(12, 9, 50, 33);
+  const CsrMatrix a = CsrMatrix::from_coo(t);
+  Rng rng(34);
+  std::vector<value_t> x(9);
+  for (auto& v : x) v = rng.uniform_double(-1.0, 1.0);
+  const std::vector<value_t> y = spmv(a, x);
+
+  const DenseTensor d = DenseTensor::from_sparse(t);
+  std::vector<index_t> c(2);
+  for (index_t r = 0; r < 12; ++r) {
+    double expect = 0;
+    for (index_t k = 0; k < 9; ++k) {
+      c = {r, k};
+      expect += d.at(c) * x[k];
+    }
+    EXPECT_NEAR(y[r], expect, 1e-9);
+  }
+}
+
+TEST(Spmv, ValidatesLength) {
+  const CsrMatrix a = CsrMatrix::from_coo(rand_mat(4, 5, 6, 35));
+  std::vector<value_t> wrong(4, 1.0);
+  EXPECT_THROW((void)spmv(a, wrong), Error);
+}
+
+TEST(Spmv, ParallelAgrees) {
+  const CsrMatrix a = CsrMatrix::from_coo(rand_mat(60, 60, 400, 36));
+  std::vector<value_t> x(60, 0.5);
+  const auto y1 = spmv(a, x, 1);
+  const auto y4 = spmv(a, x, 4);
+  for (std::size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(y1[i], y4[i]);
+  }
+}
+
+}  // namespace
+}  // namespace sparta

@@ -1,0 +1,163 @@
+// Tests for the dense linear-algebra helpers (eigen, QR-orthonormal,
+// multiply) and the Tucker/HOOI decomposition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "kernels/tucker.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/generators.hpp"
+#include "tensor/linearize.hpp"
+#include "tensor/ops.hpp"
+
+namespace sparta {
+namespace {
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  DenseMatrix a(3, 3);
+  a.at(0, 0) = 1.0;
+  a.at(1, 1) = 5.0;
+  a.at(2, 2) = 3.0;
+  const SymmetricEigen e = symmetric_eigen(a);
+  EXPECT_NEAR(e.values[0], 5.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[2], 1.0, 1e-12);
+  // Leading eigenvector is ±e_1.
+  EXPECT_NEAR(std::abs(e.vectors.at(1, 0)), 1.0, 1e-12);
+}
+
+TEST(SymmetricEigenTest, ReconstructsRandomSpd) {
+  const DenseMatrix m = DenseMatrix::random(12, 8, 3, -1.0, 1.0);
+  const DenseMatrix a = m.gram();  // SPD-ish 8×8
+  const SymmetricEigen e = symmetric_eigen(a);
+  // A ≈ V diag(λ) Vᵀ.
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      double s = 0;
+      for (std::size_t k = 0; k < 8; ++k) {
+        s += e.vectors.at(i, k) * e.values[k] * e.vectors.at(j, k);
+      }
+      EXPECT_NEAR(s, a.at(i, j), 1e-8);
+    }
+  }
+  // Eigenvalues descending.
+  for (std::size_t k = 1; k < 8; ++k) {
+    EXPECT_GE(e.values[k - 1], e.values[k] - 1e-12);
+  }
+}
+
+TEST(DenseMatrixOps, MultiplyAndTranspose) {
+  DenseMatrix a(2, 3);
+  DenseMatrix b(3, 2);
+  double av[] = {1, 2, 3, 4, 5, 6};
+  double bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data().begin());
+  std::copy(bv, bv + 6, b.data().begin());
+  const DenseMatrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+  const DenseMatrix at = a.transposed();
+  EXPECT_DOUBLE_EQ(at.at(2, 1), 6.0);
+}
+
+TEST(DenseMatrixOps, RandomOrthonormalIsOrthonormal) {
+  const DenseMatrix q = DenseMatrix::random_orthonormal(20, 6, 4);
+  const DenseMatrix g = q.gram();
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(g.at(i, j), i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+  EXPECT_THROW((void)DenseMatrix::random_orthonormal(3, 5, 1), Error);
+}
+
+// --- Tucker -----------------------------------------------------------
+
+// Builds an exactly Tucker-rank (2,3,2) tensor with dense support.
+SparseTensor exact_tucker_tensor(const std::vector<index_t>& dims) {
+  const std::vector<std::size_t> core_dims{2, 3, 2};
+  std::vector<DenseMatrix> u;
+  for (std::size_t m = 0; m < dims.size(); ++m) {
+    u.push_back(DenseMatrix::random_orthonormal(dims[m], core_dims[m],
+                                                60 + m));
+  }
+  std::vector<index_t> cd(core_dims.begin(), core_dims.end());
+  const DenseMatrix g = DenseMatrix::random(
+      core_dims[0] * core_dims[1] * core_dims[2], 1, 66, -1.0, 1.0);
+
+  DenseTensor d(dims);
+  const LinearIndexer lin(dims);
+  const LinearIndexer clin(cd);
+  std::vector<index_t> c(3), k(3);
+  for (lnkey_t p = 0; p < lin.size(); ++p) {
+    lin.delinearize(p, c);
+    double v = 0;
+    for (lnkey_t q = 0; q < clin.size(); ++q) {
+      clin.delinearize(q, k);
+      v += g.at(q, 0) * u[0].at(c[0], k[0]) * u[1].at(c[1], k[1]) *
+           u[2].at(c[2], k[2]);
+    }
+    d.data()[p] = v;
+  }
+  return d.to_sparse(1e-14);
+}
+
+TEST(Tucker, RecoversExactLowRankTensor) {
+  const SparseTensor x = exact_tucker_tensor({12, 10, 9});
+  TuckerOptions o;
+  o.core_dims = {2, 3, 2};
+  o.max_iterations = 40;
+  o.tolerance = 1e-9;
+  const TuckerModel model = tucker_hooi(x, o);
+  EXPECT_GT(model.fit, 0.9999) << "after " << model.iterations
+                               << " iterations";
+  EXPECT_EQ(model.core.dims(), (std::vector<index_t>{2, 3, 2}));
+}
+
+TEST(Tucker, FactorsStayOrthonormal) {
+  const SparseTensor x = exact_tucker_tensor({10, 8, 7});
+  TuckerOptions o;
+  o.core_dims = {2, 3, 2};
+  o.max_iterations = 5;
+  const TuckerModel model = tucker_hooi(x, o);
+  for (const DenseMatrix& u : model.factors) {
+    const DenseMatrix g = u.gram();
+    for (std::size_t i = 0; i < g.rows(); ++i) {
+      for (std::size_t j = 0; j < g.cols(); ++j) {
+        EXPECT_NEAR(g.at(i, j), i == j ? 1.0 : 0.0, 1e-8);
+      }
+    }
+  }
+}
+
+TEST(Tucker, LargerCoreFitsAtLeastAsWell) {
+  GeneratorSpec spec;
+  spec.dims = {14, 12, 10};
+  spec.nnz = 800;
+  spec.seed = 9;
+  const SparseTensor x = generate_random(spec);
+  TuckerOptions small;
+  small.core_dims = {2, 2, 2};
+  small.max_iterations = 15;
+  TuckerOptions big = small;
+  big.core_dims = {6, 6, 6};
+  EXPECT_GE(tucker_hooi(x, big).fit + 1e-9, tucker_hooi(x, small).fit);
+}
+
+TEST(Tucker, RejectsBadOptions) {
+  GeneratorSpec spec;
+  spec.dims = {6, 6};
+  spec.nnz = 10;
+  const SparseTensor x = generate_random(spec);
+  TuckerOptions o;
+  o.core_dims = {2};
+  EXPECT_THROW((void)tucker_hooi(x, o), Error);  // wrong arity
+  o.core_dims = {2, 9};
+  EXPECT_THROW((void)tucker_hooi(x, o), Error);  // exceeds dim
+  o.core_dims = {2, 0};
+  EXPECT_THROW((void)tucker_hooi(x, o), Error);  // zero
+}
+
+}  // namespace
+}  // namespace sparta

@@ -1,0 +1,125 @@
+// Tests for the Freivalds-style probabilistic contraction verifier.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "contraction/contract.hpp"
+#include "contraction/verify.hpp"
+#include "tensor/generators.hpp"
+
+namespace sparta {
+namespace {
+
+struct VerifyCase {
+  SparseTensor x;
+  SparseTensor y;
+  Modes cx;
+  Modes cy;
+  SparseTensor z;
+};
+
+VerifyCase make(std::uint64_t seed, int modes = 2) {
+  PairedSpec ps;
+  ps.x.dims = {20, 18, 15, 12};
+  ps.x.nnz = 700;
+  ps.x.seed = seed;
+  ps.y.dims = {20, 18, 14, 10};
+  ps.y.nnz = 600;
+  ps.y.seed = seed + 1;
+  ps.num_contract_modes = modes;
+  ps.match_fraction = 0.8;
+  TensorPair pair = generate_contraction_pair(ps);
+  VerifyCase s;
+  s.x = std::move(pair.x);
+  s.y = std::move(pair.y);
+  for (int m = 0; m < modes; ++m) {
+    s.cx.push_back(m);
+    s.cy.push_back(m);
+  }
+  s.z = contract_tensor(s.x, s.y, s.cx, s.cy, {});
+  return s;
+}
+
+TEST(Verify, AcceptsCorrectResults) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    const VerifyCase s = make(seed);
+    EXPECT_TRUE(verify_contraction(s.x, s.y, s.cx, s.cy, s.z)) << seed;
+  }
+}
+
+TEST(Verify, AcceptsAllAlgorithms) {
+  const VerifyCase s = make(4);
+  for (Algorithm alg : {Algorithm::kSpa, Algorithm::kCooHta,
+                        Algorithm::kSparta, Algorithm::kCooBinary}) {
+    ContractOptions o;
+    o.algorithm = alg;
+    const SparseTensor z = contract_tensor(s.x, s.y, s.cx, s.cy, o);
+    EXPECT_TRUE(verify_contraction(s.x, s.y, s.cx, s.cy, z))
+        << algorithm_name(alg);
+  }
+}
+
+TEST(Verify, RejectsPerturbedValue) {
+  VerifyCase s = make(5);
+  ASSERT_GT(s.z.nnz(), 0u);
+  s.z.value(s.z.nnz() / 2) += 0.5;
+  EXPECT_FALSE(verify_contraction(s.x, s.y, s.cx, s.cy, s.z));
+}
+
+TEST(Verify, RejectsDroppedElement) {
+  VerifyCase s = make(6);
+  ASSERT_GT(s.z.nnz(), 1u);
+  // Rebuild z without its largest element.
+  std::size_t drop = 0;
+  for (std::size_t n = 0; n < s.z.nnz(); ++n) {
+    if (std::abs(s.z.value(n)) > std::abs(s.z.value(drop))) drop = n;
+  }
+  SparseTensor broken(s.z.dims());
+  std::vector<index_t> c(static_cast<std::size_t>(s.z.order()));
+  for (std::size_t n = 0; n < s.z.nnz(); ++n) {
+    if (n == drop) continue;
+    s.z.coords(n, c);
+    broken.append_unchecked(c, s.z.value(n));
+  }
+  EXPECT_FALSE(verify_contraction(s.x, s.y, s.cx, s.cy, broken));
+}
+
+TEST(Verify, RejectsSwappedCoordinates) {
+  VerifyCase s = make(7);
+  // A permuted-but-not-resorted z has the right values at wrong coords.
+  SparseTensor wrong = s.z;
+  Modes perm(static_cast<std::size_t>(wrong.order()));
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    perm[i] = static_cast<int>((i + 1) % perm.size());
+  }
+  wrong.permute_modes(perm);
+  if (wrong.dims() == s.z.dims()) {  // only comparable when dims cycle
+    EXPECT_FALSE(verify_contraction(s.x, s.y, s.cx, s.cy, wrong));
+  }
+}
+
+TEST(Verify, AcceptsEmptyWhenTrulyEmpty) {
+  SparseTensor x({4, 4});
+  x.append(std::vector<index_t>{0, 0}, 1.0);
+  SparseTensor y({4, 4});
+  y.append(std::vector<index_t>{3, 3}, 1.0);
+  const SparseTensor z = contract_tensor(x, y, {1}, {0}, {});
+  ASSERT_EQ(z.nnz(), 0u);
+  EXPECT_TRUE(verify_contraction(x, y, {1}, {0}, z));
+}
+
+TEST(Verify, RejectsEmptyWhenNonEmptyExpected) {
+  const VerifyCase s = make(8);
+  ASSERT_GT(s.z.nnz(), 0u);
+  const SparseTensor empty(s.z.dims());
+  EXPECT_FALSE(verify_contraction(s.x, s.y, s.cx, s.cy, empty));
+}
+
+TEST(Verify, RejectsShapeMismatches) {
+  const VerifyCase s = make(9);
+  const SparseTensor wrong_shape(std::vector<index_t>{3, 3});
+  EXPECT_THROW(
+      (void)verify_contraction(s.x, s.y, s.cx, s.cy, wrong_shape), Error);
+}
+
+}  // namespace
+}  // namespace sparta

@@ -1,0 +1,117 @@
+// hm_simulate — run an instrumented contraction on two tensor files and
+// report estimated run times under every heterogeneous-memory policy
+// (the Fig. 7 experiment as a CLI).
+//
+//   hm_simulate -X x.tns -Y y.tns -x 0,1 -y 0,1 [--dram-mb N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/format.hpp"
+#include "contraction/contract.hpp"
+#include "memsim/cost_model.hpp"
+#include "tensor/io.hpp"
+
+namespace {
+
+sparta::Modes parse_modes(const char* s) {
+  sparta::Modes modes;
+  for (const char* p = s; *p;) {
+    modes.push_back(std::atoi(p));
+    const char* comma = std::strchr(p, ',');
+    if (!comma) break;
+    p = comma + 1;
+  }
+  return modes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sparta;
+  std::string xpath, ypath;
+  Modes cx, cy;
+  std::uint64_t dram_mb = 0;  // 0 = a third of the workload footprint
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "-X") {
+      xpath = next();
+    } else if (arg == "-Y") {
+      ypath = next();
+    } else if (arg == "-x") {
+      cx = parse_modes(next());
+    } else if (arg == "-y") {
+      cy = parse_modes(next());
+    } else if (arg == "--dram-mb") {
+      dram_mb = static_cast<std::uint64_t>(std::atoll(next()));
+    } else {
+      std::fprintf(stderr,
+                   "usage: hm_simulate -X x.tns -Y y.tns -x 0,1 -y 0,1 "
+                   "[--dram-mb N]\n");
+      return arg == "--help" || arg == "-h" ? 0 : 1;
+    }
+  }
+  if (xpath.empty() || ypath.empty() || cx.empty() || cy.empty()) {
+    std::fprintf(stderr, "need -X, -Y, -x and -y (see --help)\n");
+    return 1;
+  }
+
+  try {
+    const SparseTensor x = read_tns_file(xpath);
+    const SparseTensor y = read_tns_file(ypath);
+    std::printf("X: %s\nY: %s\n", x.summary().c_str(), y.summary().c_str());
+
+    ContractOptions o;
+    o.collect_access_profile = true;
+    const ContractResult r = contract(x, y, cx, cy, o);
+    const AccessProfile& p = r.profile;
+    std::printf("Z: %s   (measured all-DRAM run: %s)\n",
+                r.z.summary().c_str(),
+                format_seconds(p.measured.total()).c_str());
+
+    MemoryParams params;
+    params.dram_capacity_bytes =
+        dram_mb > 0 ? dram_mb << 20
+                    : std::max<std::uint64_t>(p.total_footprint() / 3, 1);
+    std::printf("DRAM budget: %s of %s footprint\n\n",
+                format_bytes(params.dram_capacity_bytes).c_str(),
+                format_bytes(p.total_footprint()).c_str());
+
+    const double pmm_only =
+        simulate_static(p, params, Placement::all(Tier::kPmm))
+            .total_seconds();
+    struct Row {
+      const char* name;
+      double secs;
+    };
+    const Row rows[] = {
+        {"DRAM-only", simulate_static(p, params, Placement::all(Tier::kDram))
+                          .total_seconds()},
+        {"Sparta",
+         simulate_static(p, params,
+                         sparta_placement(p.footprint_bytes, params))
+             .total_seconds()},
+        {"Memory mode", simulate_memory_mode(p, params).total_seconds()},
+        {"IAL", simulate_ial(p, params).total_seconds()},
+        {"PMM-only", pmm_only},
+    };
+    std::printf("%-12s %12s %12s\n", "policy", "est. time", "vs PMM-only");
+    for (const Row& row : rows) {
+      std::printf("%-12s %12s %11.2fx\n", row.name,
+                  format_seconds(row.secs).c_str(), pmm_only / row.secs);
+    }
+  } catch (const sparta::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

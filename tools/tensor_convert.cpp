@@ -1,0 +1,46 @@
+// tensor_convert — convert between the .tns text format and the .sptn
+// binary format (the artifact's SPLATT-convert step, Appendix B.4).
+//
+//   tensor_convert <in.tns|in.sptn> <out.tns|out.sptn>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/format.hpp"
+#include "tensor/io.hpp"
+#include "tensor/io_binary.hpp"
+
+namespace {
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sparta;
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: tensor_convert <in.tns|in.sptn> <out.tns|out.sptn>\n");
+    return 1;
+  }
+  const std::string in = argv[1];
+  const std::string out = argv[2];
+  try {
+    const SparseTensor t =
+        ends_with(in, ".sptn") ? read_sptn_file(in) : read_tns_file(in);
+    if (ends_with(out, ".sptn")) {
+      write_sptn_file(out, t);
+    } else {
+      write_tns_file(out, t);
+    }
+    std::printf("%s -> %s (%s)\n", in.c_str(), out.c_str(),
+                t.summary().c_str());
+  } catch (const sparta::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// tensor_generate — emit synthetic sparse tensors: either a named
+// Table-3 analog or a custom random tensor.
+//
+//   tensor_generate --dataset chicago --scale 1.0 --out chicago.tns
+//   tensor_generate --dims 100x200x50 --nnz 5000 --seed 7 --out t.sptn
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tensor/datasets.hpp"
+#include "tensor/generators.hpp"
+#include "tensor/io.hpp"
+#include "tensor/io_binary.hpp"
+
+namespace {
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+std::vector<sparta::index_t> parse_dims(const char* s) {
+  std::vector<sparta::index_t> dims;
+  for (const char* p = s; *p;) {
+    dims.push_back(static_cast<sparta::index_t>(std::atoll(p)));
+    const char* x = std::strchr(p, 'x');
+    if (!x) break;
+    p = x + 1;
+  }
+  return dims;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sparta;
+  std::string dataset, out;
+  GeneratorSpec spec;
+  double scale = 1.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--dataset") {
+      dataset = next();
+    } else if (arg == "--scale") {
+      scale = std::atof(next());
+    } else if (arg == "--dims") {
+      spec.dims = parse_dims(next());
+    } else if (arg == "--nnz") {
+      spec.nnz = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--seed") {
+      spec.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--out") {
+      out = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: tensor_generate (--dataset NAME --scale S | "
+                   "--dims AxBxC --nnz N [--seed K]) --out FILE\n"
+                   "datasets:");
+      for (const auto& d : table3_datasets()) {
+        std::fprintf(stderr, " %s", d.name.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return arg == "--help" || arg == "-h" ? 0 : 1;
+    }
+  }
+  if (out.empty() || (dataset.empty() && (spec.dims.empty() || !spec.nnz))) {
+    std::fprintf(stderr, "need --out and either --dataset or --dims/--nnz "
+                         "(see --help)\n");
+    return 1;
+  }
+
+  try {
+    if (!dataset.empty()) {
+      spec = dataset_by_name(dataset).spec;
+      spec.nnz = static_cast<std::size_t>(
+          static_cast<double>(spec.nnz) * scale);
+    }
+    const SparseTensor t = generate_random(spec);
+    if (ends_with(out, ".sptn")) {
+      write_sptn_file(out, t);
+    } else {
+      write_tns_file(out, t);
+    }
+    std::printf("wrote %s: %s\n", out.c_str(), t.summary().c_str());
+  } catch (const sparta::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// tensor_info — print the characteristics of a sparse tensor file
+// (.tns text or .sptn binary): shape, nnz, density, per-mode fiber
+// statistics, and storage-format footprints (COO / CSF / HiCOO).
+//
+//   tensor_info <path> [--formats]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/format.hpp"
+#include "tensor/csf.hpp"
+#include "tensor/hicoo.hpp"
+#include "tensor/io.hpp"
+#include "tensor/io_binary.hpp"
+
+namespace {
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sparta;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: tensor_info <file.tns|file.sptn> "
+                         "[--formats]\n");
+    return 1;
+  }
+  const std::string path = argv[1];
+  const bool formats = argc > 2 && std::string(argv[2]) == "--formats";
+
+  try {
+    SparseTensor t = ends_with(path, ".sptn") ? read_sptn_file(path)
+                                              : read_tns_file(path);
+    std::printf("%s\n", t.summary().c_str());
+    std::printf("density   %s\n", format_density(t.density()).c_str());
+    std::printf("sorted    %s\n", t.is_sorted() ? "yes" : "no");
+    std::printf("COO bytes %s\n", format_bytes(t.footprint_bytes()).c_str());
+
+    // Per-mode distinct index counts (fiber counts).
+    for (int m = 0; m < t.order(); ++m) {
+      std::vector<bool> seen(t.dim(m), false);
+      std::size_t distinct = 0;
+      for (index_t v : t.mode_indices(m)) {
+        if (!seen[v]) {
+          seen[v] = true;
+          ++distinct;
+        }
+      }
+      std::printf("mode %d    size %-10u distinct indices %zu (%.1f%%)\n", m,
+                  t.dim(m), distinct,
+                  100.0 * static_cast<double>(distinct) /
+                      static_cast<double>(t.dim(m)));
+    }
+
+    if (formats) {
+      t.sort();
+      const CsfTensor csf = CsfTensor::from_sorted(t);
+      const HicooTensor hicoo = HicooTensor::from_coo(t);
+      std::printf("CSF bytes   %s (%zu fibers at level 0)\n",
+                  format_bytes(csf.footprint_bytes()).c_str(),
+                  csf.level_size(0));
+      std::printf("HiCOO bytes %s (%zu blocks, %.1f nnz/block)\n",
+                  format_bytes(hicoo.footprint_bytes()).c_str(),
+                  hicoo.num_blocks(), hicoo.block_density());
+    }
+  } catch (const sparta::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
