@@ -11,7 +11,8 @@
 #include "tensor/csf.hpp"
 #include "tensor/generators.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::parse_cli(argc, argv);
   using namespace sparta;
   using namespace sparta::bench;
   print_header("Ablation: CSF vs COO storage for X (paper §6 future work)",

@@ -9,7 +9,8 @@
 #include "contraction/plan.hpp"
 #include "tensor/generators.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::parse_cli(argc, argv);
   using namespace sparta;
   using namespace sparta::bench;
   print_header("Ablation: YPlan reuse vs per-call HtY rebuild",

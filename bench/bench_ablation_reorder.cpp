@@ -8,7 +8,8 @@
 #include "common/timer.hpp"
 #include "tensor/reorder.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::parse_cli(argc, argv);
   using namespace sparta;
   using namespace sparta::bench;
   print_header("Ablation: frequency reordering before Sparta",
@@ -30,7 +31,8 @@ int main() {
     const SpTCCase c = make_sptc_case(cs.dataset, cs.modes, scale);
 
     ContractOptions o;
-    const double t_orig = time_contraction(c.x, c.y, c.cx, c.cy, o, reps).seconds;
+    const double t_orig =
+        time_contraction(c.x, c.y, c.cx, c.cy, o, reps).seconds;
 
     Timer tr;
     const RelabeledPair rp = reorder_pair(c.x, c.y, c.cx, c.cy);

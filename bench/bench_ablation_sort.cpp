@@ -12,7 +12,8 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::parse_cli(argc, argv);
   using namespace sparta;
   using namespace sparta::bench;
   print_header("Ablation: quicksort vs LN radix sort",

@@ -10,7 +10,8 @@
 #include "spgemm/spgemm.hpp"
 #include "tensor/generators.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::parse_cli(argc, argv);
   using namespace sparta;
   using namespace sparta::bench;
   print_header("Ablation: SpGEMM accumulators and sizing strategies",

@@ -8,7 +8,8 @@
 #include "common/format.hpp"
 #include "tensor/generators.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::parse_cli(argc, argv);
   using namespace sparta;
   using namespace sparta::bench;
   print_header("Ablation: larger-operand-as-Y heuristic (paper §3.3)",

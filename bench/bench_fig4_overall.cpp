@@ -11,7 +11,8 @@
 #include "bench_util.hpp"
 #include "common/format.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::parse_cli(argc, argv);
   using namespace sparta;
   using namespace sparta::bench;
   print_header(

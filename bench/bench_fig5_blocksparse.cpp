@@ -14,7 +14,8 @@
 #include "blocksparse/hubbard.hpp"
 #include "common/format.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::parse_cli(argc, argv);
   using namespace sparta;
   using namespace sparta::bench;
   print_header("Figure 5: Sparta vs block-sparse engine (Hubbard-2D)",

@@ -13,7 +13,8 @@
 #include "common/format.hpp"
 #include "memsim/cost_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::parse_cli(argc, argv);
   using namespace sparta;
   using namespace sparta::bench;
   print_header(

@@ -12,7 +12,8 @@
 #include "memsim/cost_model.hpp"
 #include "memsim/timeline.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::parse_cli(argc, argv);
   using namespace sparta;
   using namespace sparta::bench;
   print_header("Figure 8: per-stage memory bandwidth (Vast, 1-mode)",

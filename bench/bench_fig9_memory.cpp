@@ -12,7 +12,8 @@
 #include "common/format.hpp"
 #include "memsim/cost_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::parse_cli(argc, argv);
   using namespace sparta;
   using namespace sparta::bench;
   print_header("Figure 9: peak memory consumption per SpTC",

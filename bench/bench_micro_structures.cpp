@@ -3,6 +3,8 @@
 // hash accumulator that replaces the SPA's linear scan.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -197,4 +199,23 @@ BENCHMARK(BM_HtyBuildViaPlan)->Range(1 << 14, 1 << 17);
 }  // namespace
 }  // namespace sparta
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): translates the repo-wide
+// --smoke flag into a minimal measurement time so the CI bitrot sweep
+// can run every registered benchmark once, fast.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  char min_time[] = "--benchmark_min_time=0.001";
+  const auto smoke =
+      std::remove_if(args.begin(), args.end(),
+                     [](char* a) { return std::strcmp(a, "--smoke") == 0; });
+  if (smoke != args.end()) {
+    args.erase(smoke, args.end());
+    args.push_back(min_time);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -14,7 +14,8 @@
 #include "kernels/ttm.hpp"
 #include "tensor/ops.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::parse_cli(argc, argv);
   using namespace sparta;
   using namespace sparta::bench;
   print_header("Motivation (§1): output-size predictability",

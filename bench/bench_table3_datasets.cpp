@@ -9,7 +9,8 @@
 #include "tensor/datasets.hpp"
 #include "tensor/generators.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::parse_cli(argc, argv);
   using namespace sparta;
   bench::print_header("Table 3: sparse tensor characteristics",
                       "8 FROSTT/quantum-chemistry tensors, order 3-5, "

@@ -21,7 +21,8 @@ std::string dims_str(const std::vector<sparta::index_t>& d) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::parse_cli(argc, argv);
   using namespace sparta;
   using namespace sparta::bench;
   print_header("Table 4: Hubbard-2D tensors (ITensor comparison)",

@@ -18,8 +18,33 @@
 
 namespace sparta::bench {
 
-/// Reads SPARTA_SCALE (multiplies dataset nnz); default 1.0.
+/// True after parse_cli() saw --smoke: workloads shrink to a fixed tiny
+/// scale and a single repeat so CI can prove every bench binary still
+/// builds, runs and prints without paying for real measurements.
+inline bool& smoke_mode() {
+  static bool v = false;
+  return v;
+}
+
+/// Parses the shared bench CLI (currently just --smoke). Unknown flags
+/// abort with usage so typos can't silently run a full benchmark in CI.
+inline void parse_cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      smoke_mode() = true;
+    } else {
+      std::fprintf(stderr, "%s: unknown flag '%s' (supported: --smoke)\n",
+                   argv[0], a.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+/// Reads SPARTA_SCALE (multiplies dataset nnz); default 1.0. Smoke mode
+/// overrides to a tiny fixed scale.
 inline double scale_from_env() {
+  if (smoke_mode()) return 0.02;
   if (const char* s = std::getenv("SPARTA_SCALE")) {
     const double v = std::atof(s);
     if (v > 0) return v;
@@ -27,8 +52,10 @@ inline double scale_from_env() {
   return 1.0;
 }
 
-/// Reads SPARTA_REPEATS (timing repetitions per case); default 3.
+/// Reads SPARTA_REPEATS (timing repetitions per case); default 3, or a
+/// single repeat in smoke mode.
 inline int repeats_from_env() {
+  if (smoke_mode()) return 1;
   if (const char* s = std::getenv("SPARTA_REPEATS")) {
     const int v = std::atoi(s);
     if (v > 0) return v;

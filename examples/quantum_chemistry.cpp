@@ -38,7 +38,8 @@ int main() {
   const Modes ct{2, 3};  // contract t's (i, j)
   const Modes cv{0, 1};  // with v's (i, j)
 
-  std::printf("CCSD-like contraction  z[a,b,c,d] = Σ_ij t[a,b,i,j] v[i,j,c,d]\n\n");
+  std::printf(
+      "CCSD-like contraction  z[a,b,c,d] = Σ_ij t[a,b,i,j] v[i,j,c,d]\n\n");
   std::printf("%-12s %12s %12s %9s %9s\n", "block fill", "element-wise",
               "block-GEMM", "speedup", "agree");
 

@@ -114,7 +114,8 @@ int main(int argc, char** argv) {
 
     const ContractResult res = contract(x, y, cx, cy, opts);
     std::printf("Z: %s\n", res.z.summary().c_str());
-    std::printf("[%s] total %s:", std::string(algorithm_name(opts.algorithm)).c_str(),
+    std::printf("[%s] total %s:",
+                std::string(algorithm_name(opts.algorithm)).c_str(),
                 format_seconds(res.stage_times.total()).c_str());
     for (int s = 0; s < kNumStages; ++s) {
       const auto stage = static_cast<Stage>(s);

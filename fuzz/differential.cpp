@@ -1,0 +1,248 @@
+#include "fuzz/differential.hpp"
+
+#include <exception>
+#include <sstream>
+#include <vector>
+
+#include "contraction/contract.hpp"
+#include "contraction/contract_csf.hpp"
+#include "contraction/plan.hpp"
+#include "contraction/reference.hpp"
+#include "contraction/verify.hpp"
+#include "spgemm/spgemm.hpp"
+#include "tensor/dense_tensor.hpp"
+
+namespace sparta::fuzz {
+
+namespace {
+
+// Adjacent-row duplicate scan; assumes `z` is sorted.
+bool has_duplicate_coords(const SparseTensor& z) {
+  const int order = z.order();
+  for (std::size_t n = 1; n < z.nnz(); ++n) {
+    bool same = true;
+    for (int m = 0; m < order; ++m) {
+      if (z.index(n - 1, m) != z.index(n, m)) {
+        same = false;
+        break;
+      }
+    }
+    if (same) return true;
+  }
+  return false;
+}
+
+double cell_count(const SparseTensor& t) {
+  double cells = 1.0;
+  for (index_t d : t.dims()) cells *= static_cast<double>(d);
+  return cells;
+}
+
+std::string shape_note(const SparseTensor& z, const SparseTensor& ref) {
+  std::ostringstream os;
+  os << " (got " << z.summary() << ", oracle " << ref.summary() << ")";
+  return os.str();
+}
+
+}  // namespace
+
+DiffReport run_differential(const FuzzCase& c, const DiffOptions& opts) {
+  DiffReport rep;
+  auto fail = [&rep](std::string variant, std::string what) {
+    rep.findings.push_back({std::move(variant), std::move(what)});
+  };
+
+  // Ground truth. A throw here means the generator produced an invalid
+  // case — itself a bug worth reporting.
+  SparseTensor ref;
+  try {
+    ref = contract_reference(c.x, c.y, c.cx, c.cy);
+  } catch (const std::exception& e) {
+    fail("oracle", std::string("contract_reference threw: ") + e.what());
+    return rep;
+  }
+
+  const bool computed = !c.x.empty() && !c.y.empty();
+
+  // approx_equal compares canonical (sorted, coalesced) forms, so legal
+  // duplicate Z coordinates from duplicate-coordinate inputs are merged
+  // before the comparison.
+  auto compare = [&](const std::string& name, const SparseTensor& z) {
+    if (!SparseTensor::approx_equal(z, ref, opts.tolerance)) {
+      fail(name, "disagrees with the brute-force oracle" +
+                     shape_note(z, ref));
+    }
+  };
+
+  auto check_pipeline_invariants = [&](const std::string& name,
+                                       const ContractResult& r,
+                                       bool searches_are_per_nnz) {
+    if (!r.z.is_sorted()) {
+      fail(name, "output is not sorted despite sort_output=true");
+    }
+    if (!c.has_duplicates && has_duplicate_coords(r.z)) {
+      fail(name, "output contains duplicate coordinates");
+    }
+    if (r.stats.nnz_x != c.x.nnz() || r.stats.nnz_y != c.y.nnz()) {
+      fail(name, "stats.nnz_x/nnz_y do not echo the inputs");
+    }
+    if (r.stats.nnz_z != r.z.nnz()) {
+      fail(name, "stats.nnz_z=" + std::to_string(r.stats.nnz_z) +
+                     " but z.nnz()=" + std::to_string(r.z.nnz()));
+    }
+    if (searches_are_per_nnz &&
+        r.stats.searches != (computed ? c.x.nnz() : 0)) {
+      fail(name, "stats.searches=" + std::to_string(r.stats.searches) +
+                     " != nnz_x=" + std::to_string(computed ? c.x.nnz() : 0));
+    }
+    if (r.stats.hits > r.stats.searches) {
+      fail(name, "stats.hits exceeds stats.searches");
+    }
+    if (r.stats.nnz_z > r.stats.multiplies && computed) {
+      fail(name, "stats.nnz_z exceeds stats.multiplies");
+    }
+  };
+
+  // --- the four pipeline variants --------------------------------------
+  constexpr Algorithm kAlgos[] = {Algorithm::kSpa, Algorithm::kCooHta,
+                                  Algorithm::kSparta, Algorithm::kCooBinary};
+  for (Algorithm alg : kAlgos) {
+    const std::string name{algorithm_name(alg)};
+    try {
+      ContractOptions o;
+      o.algorithm = alg;
+      o.num_threads = opts.num_threads;
+      const ContractResult r = contract(c.x, c.y, c.cx, c.cy, o);
+      ++rep.variants_run;
+      check_pipeline_invariants(name, r, /*searches_are_per_nnz=*/true);
+      compare(name, r.z);
+    } catch (const std::exception& e) {
+      fail(name, std::string("threw: ") + e.what());
+    }
+  }
+
+  // --- Sparta with the open-addressing accumulator ---------------------
+  try {
+    ContractOptions o;
+    o.algorithm = Algorithm::kSparta;
+    o.use_linear_probe_hta = true;
+    o.num_threads = opts.num_threads;
+    const ContractResult r = contract(c.x, c.y, c.cx, c.cy, o);
+    ++rep.variants_run;
+    check_pipeline_invariants("HtY+HtA(linear-probe)", r, true);
+    compare("HtY+HtA(linear-probe)", r.z);
+  } catch (const std::exception& e) {
+    fail("HtY+HtA(linear-probe)", std::string("threw: ") + e.what());
+  }
+
+  // --- prebuilt-plan entry point and the CSF path ----------------------
+  try {
+    const YPlan plan(c.y, c.cy);
+    {
+      const ContractResult r = contract(c.x, plan, c.cx);
+      ++rep.variants_run;
+      check_pipeline_invariants("YPlan", r, true);
+      compare("YPlan", r.z);
+    }
+    {
+      const ContractResult r = contract_csf(c.x, plan, c.cx);
+      ++rep.variants_run;
+      // CSF pre-merges duplicate X coordinates, so its search count is
+      // the distinct-coordinate count; only check when no dups exist.
+      check_pipeline_invariants("CSF", r, !c.has_duplicates);
+      compare("CSF", r.z);
+    }
+  } catch (const std::exception& e) {
+    fail("YPlan/CSF", std::string("threw: ") + e.what());
+  }
+
+  // --- SpGEMM lowering (2-D, single contract mode) ---------------------
+  if (c.x.order() == 2 && c.y.order() == 2 && c.cx.size() == 1) {
+    try {
+      CsrMatrix a = CsrMatrix::from_coo(c.x);
+      if (c.cx[0] == 0) a = a.transposed();  // contract X's rows: use Xᵀ
+      CsrMatrix b = CsrMatrix::from_coo(c.y);
+      if (c.cy[0] == 1) b = b.transposed();  // contract Y's cols: use Yᵀ
+      for (SpgemmAccumulator acc :
+           {SpgemmAccumulator::kDenseSpa, SpgemmAccumulator::kHash}) {
+        for (SpgemmSizing sz :
+             {SpgemmSizing::kProgressive, SpgemmSizing::kTwoPhase}) {
+          SpgemmOptions so;
+          so.accumulator = acc;
+          so.sizing = sz;
+          so.num_threads = opts.num_threads;
+          const CsrMatrix cmat = spgemm(a, b, so);
+          ++rep.variants_run;
+          const std::string name =
+              std::string("SpGEMM[") +
+              std::string(spgemm_accumulator_name(acc)) + "," +
+              std::string(spgemm_sizing_name(sz)) + "]";
+          compare(name, cmat.to_coo());
+        }
+      }
+    } catch (const std::exception& e) {
+      fail("SpGEMM", std::string("threw: ") + e.what());
+    }
+  }
+
+  // --- dense oracle (small index spaces only) --------------------------
+  if (opts.check_dense && cell_count(c.x) <= opts.dense_cell_limit &&
+      cell_count(c.y) <= opts.dense_cell_limit &&
+      cell_count(ref) <= opts.dense_cell_limit) {
+    try {
+      const DenseTensor dx = DenseTensor::from_sparse(c.x);
+      const DenseTensor dy = DenseTensor::from_sparse(c.y);
+      const DenseTensor dz = contract_dense(dx, dy, c.cx, c.cy);
+      ++rep.variants_run;
+      // The dense path accumulates duplicates on scatter, so no coalesce
+      // subtleties; compare its extraction directly against the oracle.
+      if (!SparseTensor::approx_equal(dz.to_sparse(), ref,
+                                      opts.tolerance)) {
+        fail("dense", "disagrees with the brute-force oracle");
+      }
+    } catch (const std::exception& e) {
+      fail("dense", std::string("threw: ") + e.what());
+    }
+  }
+
+  // --- determinism: repeat run and cross-thread agreement --------------
+  try {
+    ContractOptions o1;
+    o1.num_threads = 1;
+    const SparseTensor za = contract_tensor(c.x, c.y, c.cx, c.cy, o1);
+    const SparseTensor zb = contract_tensor(c.x, c.y, c.cx, c.cy, o1);
+    ++rep.variants_run;
+    if (!SparseTensor::approx_equal(za, zb, 0.0)) {
+      fail("determinism", "two identical 1-thread runs differ");
+    }
+    ContractOptions o3;
+    o3.num_threads = 3;
+    const SparseTensor zc = contract_tensor(c.x, c.y, c.cx, c.cy, o3);
+    if (!SparseTensor::approx_equal(za, zc, 1e-12)) {
+      fail("determinism", "1-thread and 3-thread results differ");
+    }
+  } catch (const std::exception& e) {
+    fail("determinism", std::string("threw: ") + e.what());
+  }
+
+  // --- Freivalds-style probabilistic verifier --------------------------
+  if (computed) {
+    try {
+      ContractOptions o;
+      o.num_threads = opts.num_threads;
+      const SparseTensor z = contract_tensor(c.x, c.y, c.cx, c.cy, o);
+      VerifyOptions vo;
+      vo.seed = c.seed ^ 0xf00dULL;
+      ++rep.variants_run;
+      if (!verify_contraction(c.x, c.y, c.cx, c.cy, z, vo)) {
+        fail("freivalds", "probabilistic verifier rejected Sparta output");
+      }
+    } catch (const std::exception& e) {
+      fail("freivalds", std::string("threw: ") + e.what());
+    }
+  }
+
+  return rep;
+}
+
+}  // namespace sparta::fuzz

@@ -1,0 +1,52 @@
+// Differential execution of one contraction case across every
+// implementation in the repository, with invariant checking.
+//
+// The variants compared (when applicable to the case's shape):
+//   * the brute-force pairing oracle (contract_reference) — ground truth
+//   * the four ContractAlgo pipeline variants: COOY+SPA, COOY+HtA,
+//     HtY+HtA (Sparta) and the binary-search COO extension
+//   * HtY+HtA with the open-addressing linear-probe accumulator
+//   * the prebuilt-YPlan entry point and the CSF-driven path
+//   * the SpGEMM lowering (2-D operands, one contract mode; all four
+//     accumulator × sizing combinations)
+//   * the dense oracle (small index spaces only)
+// plus per-variant invariants (sorted output, no duplicate coordinates,
+// stats consistency), cross-thread determinism, and the O(nnz)
+// Freivalds-style probabilistic verifier.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_case.hpp"
+
+namespace sparta::fuzz {
+
+struct DiffOptions {
+  double tolerance = 1e-9;
+  int num_threads = 0;     ///< 0 = ambient; the harness also runs 1-thread
+  bool check_dense = true; ///< dense oracle on small cases
+  /// Cell-count ceiling per tensor for the dense oracle (8 MB of
+  /// doubles per operand at the default).
+  double dense_cell_limit = 1 << 20;
+};
+
+/// One detected disagreement or invariant violation.
+struct Finding {
+  std::string variant;  ///< which implementation misbehaved
+  std::string what;     ///< human-readable description
+};
+
+struct DiffReport {
+  std::vector<Finding> findings;
+  int variants_run = 0;
+  [[nodiscard]] bool ok() const { return findings.empty(); }
+};
+
+/// Runs every applicable variant of `c` and cross-checks results.
+/// Never throws on mismatches (they become findings); exceptions thrown
+/// by a variant are caught and reported as findings too.
+[[nodiscard]] DiffReport run_differential(const FuzzCase& c,
+                                          const DiffOptions& opts = {});
+
+}  // namespace sparta::fuzz

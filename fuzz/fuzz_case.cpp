@@ -1,0 +1,281 @@
+#include "fuzz/fuzz_case.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "tensor/generators.hpp"
+
+namespace sparta::fuzz {
+
+std::string_view regime_name(Regime r) {
+  switch (r) {
+    case Regime::kTiny:
+      return "tiny";
+    case Regime::kSmall:
+      return "small";
+    case Regime::kSkewed:
+      return "skewed";
+    case Regime::kHypersparse:
+      return "hypersparse";
+    case Regime::kMatrix:
+      return "matrix";
+  }
+  return "?";
+}
+
+std::string FuzzCase::label() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " regime=" << regime_name(regime)
+     << " x=" << x.summary() << " y=" << y.summary() << " cx={";
+  for (std::size_t i = 0; i < cx.size(); ++i) {
+    os << (i ? "," : "") << cx[i];
+  }
+  os << "} cy={";
+  for (std::size_t i = 0; i < cy.size(); ++i) {
+    os << (i ? "," : "") << cy[i];
+  }
+  os << "}";
+  if (has_duplicates) os << " +dups";
+  return os.str();
+}
+
+namespace {
+
+// Draws `count` distinct modes of a tensor of the given order.
+Modes draw_modes(Rng& rng, int order, int count) {
+  Modes all(static_cast<std::size_t>(order));
+  for (int m = 0; m < order; ++m) all[static_cast<std::size_t>(m)] = m;
+  // Fisher–Yates prefix shuffle, deterministic via the case RNG.
+  for (int i = 0; i < count; ++i) {
+    const auto j = i + static_cast<int>(rng.uniform(
+                           static_cast<std::uint64_t>(order - i)));
+    std::swap(all[static_cast<std::size_t>(i)],
+              all[static_cast<std::size_t>(j)]);
+  }
+  all.resize(static_cast<std::size_t>(count));
+  return all;
+}
+
+// `cap` bounds each mode so the per-tensor index-space product fits the
+// 64-bit LN representation (the generator linearizes full coordinates).
+index_t draw_dim(Rng& rng, Regime regime, index_t cap) {
+  index_t d = 4;
+  switch (regime) {
+    case Regime::kTiny:
+      d = 2 + static_cast<index_t>(rng.uniform(5));  // 2..6
+      break;
+    case Regime::kSmall:
+      d = 2 + static_cast<index_t>(rng.uniform(11));  // 2..12
+      break;
+    case Regime::kSkewed:
+      d = 8 + static_cast<index_t>(rng.uniform(41));  // 8..48
+      break;
+    case Regime::kHypersparse:
+      d = 64 + static_cast<index_t>(rng.uniform(50'000 - 64));
+      break;
+    case Regime::kMatrix:
+      d = 4 + static_cast<index_t>(rng.uniform(61));  // 4..64
+      break;
+  }
+  return std::min(d, cap);
+}
+
+// Target nnz for one operand: a fraction of the cell count, capped.
+std::size_t draw_nnz(Rng& rng, const std::vector<index_t>& dims,
+                     std::size_t cap) {
+  double cells = 1.0;
+  for (index_t d : dims) cells *= static_cast<double>(d);
+  // 0 nnz with small probability: empty-operand corner.
+  if (rng.uniform(16) == 0) return 0;
+  const double frac = 0.05 + 0.45 * rng.uniform_double();
+  const auto want = static_cast<std::size_t>(cells * frac);
+  return std::clamp<std::size_t>(want, 1, cap);
+}
+
+std::vector<double> draw_skew(Rng& rng, std::size_t order, Regime regime) {
+  // Tiny tensors with skewed draws stall the exact-nnz generator (too
+  // few reachable distinct cells); keep them uniform.
+  if (regime == Regime::kTiny) return {};
+  if (regime != Regime::kSkewed && rng.uniform(4) != 0) return {};
+  std::vector<double> skew(order);
+  for (double& s : skew) s = 1.0 + 5.0 * rng.uniform_double();
+  return skew;
+}
+
+// Skewed draws concentrate on few cells; lower the exact-nnz target so
+// the generator's distinct-coordinate retry budget cannot be exhausted.
+void derate_for_skew(GeneratorSpec& spec) {
+  if (spec.skew.empty() || spec.nnz == 0) return;
+  double cells = 1.0;
+  for (index_t d : spec.dims) cells *= static_cast<double>(d);
+  const auto ceiling = static_cast<std::size_t>(
+      std::max(1.0, std::min(cells / 8.0, 1e18)));
+  spec.nnz = std::min(spec.nnz, ceiling);
+}
+
+// Appends `count` duplicates of existing coordinates (random picks).
+void inject_duplicates(Rng& rng, SparseTensor& t, std::size_t count) {
+  if (t.empty()) return;
+  std::vector<index_t> c(static_cast<std::size_t>(t.order()));
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t n = rng.uniform(t.nnz());
+    t.coords(n, c);
+    t.append(c, rng.uniform_double(-1.0, 1.0));
+  }
+}
+
+}  // namespace
+
+FuzzCase draw_case(std::uint64_t seed, const CaseLimits& limits) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x51edc764a8a1e1ULL);
+  FuzzCase c;
+  c.seed = seed;
+  c.regime = static_cast<Regime>(rng.uniform(5));
+
+  int xorder, yorder, m;
+  if (c.regime == Regime::kMatrix) {
+    xorder = 2;
+    yorder = 2;
+    m = 1;
+  } else {
+    const auto max_o = static_cast<std::uint64_t>(limits.max_order);
+    do {
+      xorder = 1 + static_cast<int>(rng.uniform(max_o));
+      yorder = 1 + static_cast<int>(rng.uniform(max_o));
+      m = 1 + static_cast<int>(rng.uniform(
+                  static_cast<std::uint64_t>(std::min(xorder, yorder))));
+      // Full contraction of *both* operands would leave a scalar, which
+      // the API rejects by contract; redraw. Full contraction of one
+      // operand (empty-free-mode corner) is kept — and boosted below.
+    } while (m == xorder && m == yorder);
+    // Boost the empty-free-mode corner: fully contract the smaller
+    // operand (only valid when the other one keeps a free mode).
+    if (xorder != yorder && rng.uniform(5) == 0) {
+      m = std::min(xorder, yorder);
+    }
+  }
+
+  c.cx = draw_modes(rng, xorder, m);
+  c.cy = draw_modes(rng, yorder, m);
+
+  // Shared per-mode cap: contract dims are copied between the operands,
+  // so both tensors' products must fit 64 bits under the same bound.
+  const auto shared_order = std::max(xorder, yorder);
+  const auto dim_cap = static_cast<index_t>(
+      std::min<std::uint64_t>(std::uint64_t{1} << (62 / shared_order),
+                              std::uint64_t{1} << 31));
+
+  std::vector<index_t> xdims(static_cast<std::size_t>(xorder));
+  std::vector<index_t> ydims(static_cast<std::size_t>(yorder));
+  for (auto& d : xdims) d = draw_dim(rng, c.regime, dim_cap);
+  for (auto& d : ydims) d = draw_dim(rng, c.regime, dim_cap);
+  for (int i = 0; i < m; ++i) {
+    ydims[static_cast<std::size_t>(c.cy[static_cast<std::size_t>(i)])] =
+        xdims[static_cast<std::size_t>(c.cx[static_cast<std::size_t>(i)])];
+  }
+
+  const std::size_t cap = c.regime == Regime::kMatrix
+                              ? limits.max_matrix_nnz
+                              : limits.max_nnz;
+
+  GeneratorSpec xs;
+  xs.dims = xdims;
+  xs.seed = rng();
+  xs.nnz = draw_nnz(rng, xdims, cap);
+  xs.skew = draw_skew(rng, xdims.size(), c.regime);
+  // Occasionally a non-negative or shifted value range, so cancellation
+  // and all-positive accumulation paths both appear.
+  if (rng.uniform(4) == 0) {
+    xs.value_lo = 0.0;
+    xs.value_hi = 2.0;
+  }
+
+  GeneratorSpec ys;
+  ys.dims = ydims;
+  ys.seed = rng();
+  ys.nnz = draw_nnz(rng, ydims, cap);
+  ys.skew = draw_skew(rng, ydims.size(), c.regime);
+  derate_for_skew(xs);
+  derate_for_skew(ys);
+
+  // Steer X to hit Y's contract tuples when the paired generator's
+  // preconditions hold (leading contract modes, both with free modes);
+  // otherwise generate independently — hypersparse cases then mostly
+  // miss, exercising the zero-hit search path.
+  const bool leading =
+      std::all_of(c.cx.begin(), c.cx.end(),
+                  [&](int mm) { return mm < m; }) &&
+      std::all_of(c.cy.begin(), c.cy.end(), [&](int mm) { return mm < m; });
+  if (leading && m < xorder && m < yorder && xs.nnz > 0 && ys.nnz > 0 &&
+      rng.uniform(2) == 0) {
+    // The paired generator matches X's leading mode i with Y's leading
+    // mode i; realign X's leading dims (and use identity mode lists) so
+    // its precondition "leading contract dims equal" holds.
+    PairedSpec ps;
+    ps.x = xs;
+    ps.y = ys;
+    for (int i = 0; i < m; ++i) {
+      ps.x.dims[static_cast<std::size_t>(i)] =
+          ys.dims[static_cast<std::size_t>(i)];
+    }
+    double cells = 1.0;
+    for (index_t d : ps.x.dims) cells *= static_cast<double>(d);
+    ps.x.nnz = std::clamp<std::size_t>(
+        ps.x.nnz, 1,
+        static_cast<std::size_t>(std::min(cells, 1e18)));
+    ps.num_contract_modes = m;
+    ps.match_fraction = rng.uniform_double();
+    TensorPair pair = generate_contraction_pair(ps);
+    c.x = std::move(pair.x);
+    c.y = std::move(pair.y);
+    c.cx.clear();
+    c.cy.clear();
+    for (int i = 0; i < m; ++i) {
+      c.cx.push_back(i);
+      c.cy.push_back(i);
+    }
+  } else {
+    c.x = xs.nnz > 0 ? generate_random(xs) : SparseTensor(xdims);
+    c.y = ys.nnz > 0 ? generate_random(ys) : SparseTensor(ydims);
+  }
+
+  // Duplicate-coordinate corner (~1 in 8 cases).
+  if (rng.uniform(8) == 0) {
+    inject_duplicates(rng, c.x, 1 + rng.uniform(4));
+    inject_duplicates(rng, c.y, 1 + rng.uniform(4));
+    c.has_duplicates = true;
+  }
+  return c;
+}
+
+namespace {
+
+void dump_tensor(std::ostringstream& os, const char* name,
+                 const SparseTensor& t) {
+  os << name << " dims=[";
+  for (int m = 0; m < t.order(); ++m) {
+    os << (m ? "," : "") << t.dim(m);
+  }
+  os << "] nnz=" << t.nnz() << "\n";
+  std::vector<index_t> c(static_cast<std::size_t>(t.order()));
+  os.precision(17);
+  for (std::size_t n = 0; n < t.nnz(); ++n) {
+    t.coords(n, c);
+    os << "  ";
+    for (index_t i : c) os << i << " ";
+    os << t.value(n) << "\n";
+  }
+}
+
+}  // namespace
+
+std::string dump_case(const FuzzCase& c) {
+  std::ostringstream os;
+  os << "# " << c.label() << "\n";
+  dump_tensor(os, "X", c.x);
+  dump_tensor(os, "Y", c.y);
+  return os.str();
+}
+
+}  // namespace sparta::fuzz

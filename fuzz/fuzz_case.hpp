@@ -1,0 +1,64 @@
+// Seeded random contraction-case generator for the differential fuzzer.
+//
+// Every case is a pure function of its 64-bit seed: the same seed always
+// yields the same operands, mode lists and corner flags, byte for byte,
+// so any failure reported by `fuzz_sptc --seeds N` can be replayed with
+// `fuzz_sptc --seed X`. Cases deliberately cover the corners where the
+// variants have historically diverged in SpTC-like systems: operands of
+// order 1–5, contract-mode sets that leave one operand with no free
+// modes, skewed and hypersparse index distributions, empty operands,
+// duplicate input coordinates, and plain 2-D matrix products (which
+// additionally exercise the SpGEMM lowering).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/sparse_tensor.hpp"
+#include "tensor/types.hpp"
+
+namespace sparta::fuzz {
+
+/// Knobs bounding the drawn cases; defaults keep the O(nnz_X · nnz_Y)
+/// oracle fast enough for hundreds of seeds per second.
+struct CaseLimits {
+  int max_order = 5;
+  std::size_t max_nnz = 200;         ///< per operand, most regimes
+  std::size_t max_matrix_nnz = 600;  ///< 2-D regime (SpGEMM stress)
+};
+
+/// Index-distribution regime a case was drawn from (recorded for the
+/// human-readable label; the draw itself depends only on the seed).
+enum class Regime : int {
+  kTiny = 0,        ///< dims 2–6, high density, exact collisions likely
+  kSmall = 1,       ///< dims 2–12, moderate density
+  kSkewed = 2,      ///< dims 8–48 with power-law fibers
+  kHypersparse = 3, ///< dims up to 50k, nnz ≪ cells
+  kMatrix = 4,      ///< both operands 2-D, one contract mode
+};
+
+[[nodiscard]] std::string_view regime_name(Regime r);
+
+struct FuzzCase {
+  std::uint64_t seed = 0;
+  SparseTensor x;
+  SparseTensor y;
+  Modes cx;
+  Modes cy;
+  Regime regime = Regime::kSmall;
+  /// Duplicate coordinates were injected into an operand; outputs may
+  /// then legally contain duplicates too and are compared coalesced.
+  bool has_duplicates = false;
+  [[nodiscard]] std::string label() const;
+};
+
+/// Draws the case for `seed`. Deterministic across platforms (xoshiro256**
+/// + Lemire reduction, no floating-point-order dependence).
+[[nodiscard]] FuzzCase draw_case(std::uint64_t seed,
+                                 const CaseLimits& limits = {});
+
+/// Full textual dump of a case (dims, mode lists, every non-zero) for
+/// bug reports; deterministic so two dumps of one seed are identical.
+[[nodiscard]] std::string dump_case(const FuzzCase& c);
+
+}  // namespace sparta::fuzz

@@ -1,0 +1,194 @@
+// fuzz_sptc — deterministic differential fuzzer for the contraction
+// variants.
+//
+//   fuzz_sptc --seeds 500            # run seeds 0..499
+//   fuzz_sptc --start 1000 --seeds 500
+//   fuzz_sptc --seed 1234            # replay one case (byte-for-byte)
+//   fuzz_sptc --seed 1234 --dump     # also print every non-zero
+//
+// Every case is a pure function of its seed, so a failure found on any
+// machine replays identically anywhere. On failure the harness prints
+// the findings, minimizes the case (unless --no-minimize), and dumps the
+// minimized operands. Exit status: 0 = all clean, 1 = mismatches found,
+// 2 = bad usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fuzz/differential.hpp"
+#include "fuzz/fuzz_case.hpp"
+#include "fuzz/minimize.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seeds N] [--start S] [--seed X] [--tolerance T]\n"
+      "          [--threads T] [--max-nnz N] [--no-minimize] [--no-dense]\n"
+      "          [--dump] [--quiet]\n"
+      "  --seeds N      number of consecutive seeds to run (default 100)\n"
+      "  --start S      first seed (default 0)\n"
+      "  --seed X       run exactly one seed (replay mode)\n"
+      "  --tolerance T  comparison tolerance (default 1e-9)\n"
+      "  --threads T    thread count for the variants (default: ambient)\n"
+      "  --max-nnz N    per-operand non-zero cap (default 200)\n"
+      "  --no-minimize  skip failing-case minimization\n"
+      "  --no-dense     skip the dense oracle\n"
+      "  --dump         dump every case's operands (replay mode aid)\n"
+      "  --quiet        only print failures and the final summary\n",
+      argv0);
+}
+
+struct Cli {
+  std::uint64_t start = 0;
+  std::uint64_t seeds = 100;
+  bool single = false;
+  double tolerance = 1e-9;
+  int threads = 0;
+  std::size_t max_nnz = 200;
+  bool minimize = true;
+  bool dense = true;
+  bool dump = false;
+  bool quiet = false;
+};
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end && *end == '\0' && end != s;
+}
+
+int parse_cli(int argc, char** argv, Cli& cli) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--seeds") {
+      const char* v = next();
+      if (!v || !parse_u64(v, cli.seeds)) return 2;
+    } else if (a == "--start") {
+      const char* v = next();
+      if (!v || !parse_u64(v, cli.start)) return 2;
+    } else if (a == "--seed") {
+      const char* v = next();
+      if (!v || !parse_u64(v, cli.start)) return 2;
+      cli.seeds = 1;
+      cli.single = true;
+    } else if (a == "--tolerance") {
+      const char* v = next();
+      if (!v) return 2;
+      cli.tolerance = std::atof(v);
+    } else if (a == "--threads") {
+      const char* v = next();
+      if (!v) return 2;
+      cli.threads = std::atoi(v);
+    } else if (a == "--max-nnz") {
+      const char* v = next();
+      std::uint64_t n = 0;
+      if (!v || !parse_u64(v, n) || n == 0) return 2;
+      cli.max_nnz = static_cast<std::size_t>(n);
+    } else if (a == "--no-minimize") {
+      cli.minimize = false;
+    } else if (a == "--no-dense") {
+      cli.dense = false;
+    } else if (a == "--dump") {
+      cli.dump = true;
+    } else if (a == "--quiet") {
+      cli.quiet = true;
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      return 1;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      return 2;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sparta::fuzz;
+
+  Cli cli;
+  switch (parse_cli(argc, argv, cli)) {
+    case 0:
+      break;
+    case 1:
+      return 0;  // --help
+    default:
+      usage(argv[0]);
+      return 2;
+  }
+
+  CaseLimits limits;
+  limits.max_nnz = cli.max_nnz;
+  DiffOptions diff;
+  diff.tolerance = cli.tolerance;
+  diff.num_threads = cli.threads;
+  diff.check_dense = cli.dense;
+
+  std::uint64_t failed_cases = 0;
+  std::uint64_t total_variants = 0;
+  for (std::uint64_t s = cli.start; s < cli.start + cli.seeds; ++s) {
+    FuzzCase c;
+    try {
+      c = draw_case(s, limits);
+    } catch (const std::exception& e) {
+      ++failed_cases;
+      std::printf("FAIL seed=%llu: case generation threw: %s\n",
+                  static_cast<unsigned long long>(s), e.what());
+      continue;
+    }
+    if (!cli.quiet && (cli.single || cli.seeds <= 20)) {
+      std::printf("[%llu] %s\n", static_cast<unsigned long long>(s),
+                  c.label().c_str());
+    }
+    if (cli.dump) {
+      std::fputs(dump_case(c).c_str(), stdout);
+    }
+    const DiffReport rep = run_differential(c, diff);
+    total_variants += static_cast<std::uint64_t>(rep.variants_run);
+    if (rep.ok()) continue;
+
+    ++failed_cases;
+    std::printf("FAIL %s\n", c.label().c_str());
+    for (const Finding& f : rep.findings) {
+      std::printf("  [%s] %s\n", f.variant.c_str(), f.what.c_str());
+    }
+    std::printf("  replay: fuzz_sptc --seed %llu%s\n",
+                static_cast<unsigned long long>(s),
+                cli.dense ? "" : " --no-dense");
+
+    if (cli.minimize) {
+      MinimizeStats ms;
+      const FuzzCase tiny = minimize(
+          c, [&](const FuzzCase& cand) {
+            return !run_differential(cand, diff).ok();
+          },
+          &ms);
+      std::printf(
+          "  minimized (%d predicate calls, %d rounds): x nnz %zu -> %zu, "
+          "y nnz %zu -> %zu\n",
+          ms.predicate_calls, ms.rounds, c.x.nnz(), tiny.x.nnz(), c.y.nnz(),
+          tiny.y.nnz());
+      std::fputs(dump_case(tiny).c_str(), stdout);
+      for (const Finding& f : run_differential(tiny, diff).findings) {
+        std::printf("  [%s] %s\n", f.variant.c_str(), f.what.c_str());
+      }
+    }
+  }
+
+  std::printf(
+      "fuzz_sptc: %llu seed(s) starting at %llu, %llu variant runs, "
+      "%llu failing case(s)\n",
+      static_cast<unsigned long long>(cli.seeds),
+      static_cast<unsigned long long>(cli.start),
+      static_cast<unsigned long long>(total_variants),
+      static_cast<unsigned long long>(failed_cases));
+  return failed_cases == 0 ? 0 : 1;
+}

@@ -1,0 +1,130 @@
+#include "fuzz/minimize.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace sparta::fuzz {
+
+namespace {
+
+// Copy of `t` without non-zeros [begin, end).
+SparseTensor drop_range(const SparseTensor& t, std::size_t begin,
+                        std::size_t end) {
+  SparseTensor out(t.dims());
+  out.reserve(t.nnz() - (end - begin));
+  std::vector<index_t> c(static_cast<std::size_t>(t.order()));
+  for (std::size_t n = 0; n < t.nnz(); ++n) {
+    if (n >= begin && n < end) continue;
+    t.coords(n, c);
+    out.append_unchecked(c, t.value(n));
+  }
+  return out;
+}
+
+// Copy of `t` with one mode projected away entirely.
+SparseTensor drop_mode(const SparseTensor& t, int mode) {
+  std::vector<index_t> dims;
+  for (int m = 0; m < t.order(); ++m) {
+    if (m != mode) dims.push_back(t.dim(m));
+  }
+  SparseTensor out(std::move(dims));
+  out.reserve(t.nnz());
+  std::vector<index_t> c(static_cast<std::size_t>(t.order()));
+  std::vector<index_t> kept;
+  kept.reserve(static_cast<std::size_t>(t.order()) - 1);
+  for (std::size_t n = 0; n < t.nnz(); ++n) {
+    t.coords(n, c);
+    kept.clear();
+    for (int m = 0; m < t.order(); ++m) {
+      if (m != mode) kept.push_back(c[static_cast<std::size_t>(m)]);
+    }
+    out.append_unchecked(kept, t.value(n));
+  }
+  return out;
+}
+
+bool check(const FuzzCase& c, const FailurePredicate& pred,
+           MinimizeStats* st) {
+  ++st->predicate_calls;
+  return pred(c);
+}
+
+// ddmin-style non-zero removal on one operand: chunks from n/2 down to
+// single elements, committing every drop that keeps the failure alive.
+bool shrink_nnz(FuzzCase& c, bool on_x, const FailurePredicate& pred,
+                MinimizeStats* st) {
+  bool changed = false;
+  auto& t = on_x ? c.x : c.y;
+  std::size_t chunk = std::max<std::size_t>(1, t.nnz() / 2);
+  while (true) {
+    std::size_t i = 0;
+    while (i < t.nnz()) {
+      const std::size_t end = std::min(i + chunk, t.nnz());
+      FuzzCase cand = c;
+      (on_x ? cand.x : cand.y) = drop_range(t, i, end);
+      if (check(cand, pred, st)) {
+        c = std::move(cand);
+        changed = true;  // keep i: the next chunk slid into place
+      } else {
+        i = end;
+      }
+    }
+    if (chunk == 1) break;
+    chunk /= 2;
+  }
+  return changed;
+}
+
+// Removes one whole free mode of an operand when the failure survives
+// the projection. Contract modes stay; mode numbers above the dropped
+// one shift down by one.
+bool shrink_mode(FuzzCase& c, bool on_x, const FailurePredicate& pred,
+                 MinimizeStats* st) {
+  auto& t = on_x ? c.x : c.y;
+  auto& cm = on_x ? c.cx : c.cy;
+  const auto other_free =
+      static_cast<std::size_t>((on_x ? c.y.order() : c.x.order())) -
+      cm.size();
+  const auto own_free = static_cast<std::size_t>(t.order()) - cm.size();
+  if (t.order() < 2 || own_free == 0) return false;
+  // The API requires at least one free mode overall.
+  if (own_free == 1 && other_free == 0) return false;
+  for (int mode = t.order() - 1; mode >= 0; --mode) {
+    if (std::find(cm.begin(), cm.end(), mode) != cm.end()) continue;
+    FuzzCase cand = c;
+    (on_x ? cand.x : cand.y) = drop_mode(t, mode);
+    auto& ccm = on_x ? cand.cx : cand.cy;
+    for (int& m : ccm) {
+      if (m > mode) --m;
+    }
+    // Projection can merge coordinates into duplicates, which makes
+    // duplicate output coordinates legal for this case.
+    cand.has_duplicates = true;
+    if (check(cand, pred, st)) {
+      c = std::move(cand);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+FuzzCase minimize(FuzzCase c, const FailurePredicate& still_fails,
+                  MinimizeStats* stats) {
+  MinimizeStats local;
+  if (!stats) stats = &local;
+  constexpr int kMaxRounds = 16;  // safety bound; fixpoint comes sooner
+  for (int round = 0; round < kMaxRounds; ++round) {
+    ++stats->rounds;
+    bool changed = false;
+    changed |= shrink_nnz(c, /*on_x=*/true, still_fails, stats);
+    changed |= shrink_nnz(c, /*on_x=*/false, still_fails, stats);
+    changed |= shrink_mode(c, /*on_x=*/true, still_fails, stats);
+    changed |= shrink_mode(c, /*on_x=*/false, still_fails, stats);
+    if (!changed) break;
+  }
+  return c;
+}
+
+}  // namespace sparta::fuzz

@@ -1,0 +1,30 @@
+// Failing-case minimization (delta debugging for tensor contractions).
+//
+// Given a case on which some differential check fails, greedily shrink
+// it while the failure persists: drop chunks of non-zeros from either
+// operand (ddmin-style, halving chunk sizes), then remove entire free
+// modes. The result is the smallest case the strategies can reach — far
+// easier to step through than a 200-nnz order-5 original.
+#pragma once
+
+#include <functional>
+
+#include "fuzz/fuzz_case.hpp"
+
+namespace sparta::fuzz {
+
+/// Returns true when the case still exhibits the failure being chased.
+using FailurePredicate = std::function<bool(const FuzzCase&)>;
+
+struct MinimizeStats {
+  int predicate_calls = 0;
+  int rounds = 0;
+};
+
+/// Shrinks `c` to a locally minimal failing case. `still_fails(c)` must
+/// be true on entry; the returned case also satisfies it. The predicate
+/// must be deterministic, or the walk can derail.
+[[nodiscard]] FuzzCase minimize(FuzzCase c, const FailurePredicate& still_fails,
+                                MinimizeStats* stats = nullptr);
+
+}  // namespace sparta::fuzz

@@ -212,8 +212,8 @@ ContractResult contract_csf(const SparseTensor& x, const YPlan& plan,
         plan.fy_indexer().delinearize(fkey, fyc);
         zl.coords.insert(zl.coords.end(), sub.free_coords.begin(),
                          sub.free_coords.end());
-        zl.coords.insert(zl.coords.end(), fyc.begin(), fyc.begin() +
-                                                            static_cast<std::ptrdiff_t>(nfy));
+        zl.coords.insert(zl.coords.end(), fyc.begin(),
+                         fyc.begin() + static_cast<std::ptrdiff_t>(nfy));
         zl.vals.push_back(v);
       });
     }

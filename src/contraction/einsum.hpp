@@ -35,10 +35,10 @@ enum class EinsumOrder : int {
 /// Contracts `operands` per `spec`. Throws sparta::Error on malformed
 /// specs, arity/dimension mismatches, or unsupported patterns (traces,
 /// labels shared by 3+ operands).
-[[nodiscard]] SparseTensor einsum(const std::string& spec,
-                                  const std::vector<const SparseTensor*>& operands,
-                                  const ContractOptions& opts = {},
-                                  EinsumOrder order = EinsumOrder::kGreedy);
+[[nodiscard]] SparseTensor einsum(
+    const std::string& spec, const std::vector<const SparseTensor*>& operands,
+    const ContractOptions& opts = {},
+    EinsumOrder order = EinsumOrder::kGreedy);
 
 /// Convenience overload for value arguments.
 [[nodiscard]] SparseTensor einsum(const std::string& spec,

@@ -96,7 +96,8 @@ TuckerModel tucker_hooi(const SparseTensor& x, const TuckerOptions& opts) {
       contract[n] = false;
       const SparseTensor y =
           ttm_chain(x, model.factors, contract, opts.num_threads);
-      const SymmetricEigen eig = symmetric_eigen(mode_gram(y, static_cast<int>(n)));
+      const SymmetricEigen eig =
+          symmetric_eigen(mode_gram(y, static_cast<int>(n)));
       DenseMatrix u(x.dim(static_cast<int>(n)), opts.core_dims[n]);
       for (std::size_t i = 0; i < u.rows(); ++i) {
         for (std::size_t r = 0; r < u.cols(); ++r) {

@@ -76,7 +76,8 @@ class TierAllocator {
       : registry_(registry), tier_(tier), tag_(tag) {}
 
   template <typename U>
-  TierAllocator(const TierAllocator<U>& o)  // NOLINT(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  TierAllocator(const TierAllocator<U>& o)
       : registry_(o.registry_), tier_(o.tier_), tag_(o.tag_) {}
 
   T* allocate(std::size_t n) {

@@ -124,7 +124,8 @@ TensorPair generate_contraction_pair(const PairedSpec& spec) {
     } else {
       for (int i = 0; i < m; ++i) {
         const double skew =
-            spec.x.skew.empty() ? 1.0 : spec.x.skew[static_cast<std::size_t>(i)];
+            spec.x.skew.empty() ? 1.0
+                                : spec.x.skew[static_cast<std::size_t>(i)];
         c[static_cast<std::size_t>(i)] =
             draw_index(rng, spec.x.dims[static_cast<std::size_t>(i)], skew);
       }
@@ -135,8 +136,8 @@ TensorPair generate_contraction_pair(const PairedSpec& spec) {
       c[i] = draw_index(rng, spec.x.dims[i], skew);
     }
     if (!used.insert(xlin.linearize(c)).second) continue;
-    pair.x.append_unchecked(c,
-                            rng.uniform_double(spec.x.value_lo, spec.x.value_hi));
+    pair.x.append_unchecked(
+        c, rng.uniform_double(spec.x.value_lo, spec.x.value_hi));
     ++emitted;
   }
   pair.x.sort();

@@ -64,9 +64,9 @@ void SparseTensor::clear() {
   vals_.clear();
 }
 
-SparseTensor SparseTensor::from_columns(std::vector<index_t> dims,
-                                        std::vector<std::vector<index_t>> columns,
-                                        std::vector<value_t> values) {
+SparseTensor SparseTensor::from_columns(
+    std::vector<index_t> dims, std::vector<std::vector<index_t>> columns,
+    std::vector<value_t> values) {
   SparseTensor t(std::move(dims));
   SPARTA_CHECK(columns.size() == t.dims_.size(),
                "one index column per mode required");

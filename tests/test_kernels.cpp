@@ -153,7 +153,8 @@ TEST(Mttkrp, ParallelMatchesSequential) {
   const SparseTensor x = rand_t({15, 15, 15}, 600, 11);
   std::vector<DenseMatrix> factors;
   for (int m = 0; m < 3; ++m) {
-    factors.push_back(DenseMatrix::random(15, 4, 20 + static_cast<std::uint64_t>(m)));
+    factors.push_back(
+        DenseMatrix::random(15, 4, 20 + static_cast<std::uint64_t>(m)));
   }
   const DenseMatrix a = mttkrp(x, factors, 1, 1);
   const DenseMatrix b = mttkrp(x, factors, 1, 4);
