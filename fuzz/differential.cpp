@@ -4,10 +4,13 @@
 #include <sstream>
 #include <vector>
 
+#include "common/failpoint.hpp"
+#include "common/rng.hpp"
 #include "contraction/contract.hpp"
 #include "contraction/contract_csf.hpp"
 #include "contraction/plan.hpp"
 #include "contraction/reference.hpp"
+#include "contraction/resilient.hpp"
 #include "contraction/verify.hpp"
 #include "spgemm/spgemm.hpp"
 #include "tensor/dense_tensor.hpp"
@@ -242,6 +245,155 @@ DiffReport run_differential(const FuzzCase& c, const DiffOptions& opts) {
     }
   }
 
+  return rep;
+}
+
+namespace {
+
+// One deterministic failpoint schedule: which sites are armed and how.
+struct Schedule {
+  struct Entry {
+    const char* site;
+    failpoint::Spec spec;
+  };
+  std::vector<Entry> entries;
+  std::size_t budget_bytes = 0;  ///< 0 = no budget this schedule
+
+  [[nodiscard]] std::string describe() const {
+    std::string s;
+    for (const Entry& e : entries) {
+      if (!s.empty()) s += ";";
+      s += e.site;
+      switch (e.spec.action) {
+        case failpoint::Action::kBadAlloc:
+          s += "=bad_alloc";
+          break;
+        case failpoint::Action::kError:
+          s += "=error";
+          break;
+        case failpoint::Action::kBudget:
+          s += "=budget";
+          break;
+      }
+      s += "@" + std::to_string(e.spec.fire_on);
+      s += e.spec.times == 0 ? "x*" : "x" + std::to_string(e.spec.times);
+    }
+    if (budget_bytes != 0) {
+      s += " budget=" + std::to_string(budget_bytes);
+    }
+    return s;
+  }
+
+  void arm() const {
+    for (const Entry& e : entries) failpoint::arm(e.site, e.spec);
+  }
+};
+
+Schedule draw_schedule(std::uint64_t case_seed, int index, bool try_budget) {
+  Rng rng(case_seed ^ (0xFA117ULL * static_cast<std::uint64_t>(index + 1)));
+  Schedule sched;
+  constexpr std::size_t kNumSites =
+      sizeof(failpoint::kContractSites) / sizeof(const char*);
+  const std::size_t n = 1 + rng.uniform(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    Schedule::Entry e;
+    e.site = failpoint::kContractSites[rng.uniform(kNumSites)];
+    e.spec.action = static_cast<failpoint::Action>(rng.uniform(3));
+    e.spec.fire_on = 1 + rng.uniform(4);
+    const std::uint64_t t = rng.uniform(10);
+    e.spec.times = t < 7 ? 1 : (t < 9 ? 2 : 0);  // 0 = every hit
+    sched.entries.push_back(e);
+  }
+  if (try_budget && (rng.uniform(2) == 1)) {
+    // 4 KB … 4 MB: small enough to trip real charges on fuzz-sized
+    // cases, large enough that some rung usually fits.
+    sched.budget_bytes = std::size_t{4096} << rng.uniform(11);
+  }
+  return sched;
+}
+
+// Disarms every failpoint on scope exit, exception or not.
+struct DisarmGuard {
+  ~DisarmGuard() { failpoint::disarm_all(); }
+};
+
+}  // namespace
+
+DiffReport run_fault_injection(const FuzzCase& c, const FaultOptions& opts) {
+  DiffReport rep;
+  auto fail = [&rep](std::string variant, std::string what) {
+    rep.findings.push_back({std::move(variant), std::move(what)});
+  };
+
+  // Oracle runs with no faults armed.
+  failpoint::disarm_all();
+  SparseTensor ref;
+  try {
+    ref = contract_reference(c.x, c.y, c.cx, c.cy);
+  } catch (const std::exception& e) {
+    fail("oracle", std::string("contract_reference threw: ") + e.what());
+    return rep;
+  }
+
+  for (int i = 0; i < opts.schedules; ++i) {
+    const Schedule sched = draw_schedule(c.seed, i, opts.try_budget);
+    const std::string tag = "fault[" + std::to_string(i) + "]";
+    ContractOptions o;
+    o.num_threads = opts.num_threads;
+    o.budget.bytes = sched.budget_bytes;
+
+    // contract_resilient(): correct (possibly degraded) result, or
+    // sparta::Error. Nothing else may escape.
+    {
+      DisarmGuard guard;
+      sched.arm();
+      try {
+        const ResilientResult r =
+            contract_resilient(c.x, c.y, c.cx, c.cy, o);
+        ++rep.variants_run;
+        if (!SparseTensor::approx_equal(r.result.z, ref, opts.tolerance)) {
+          fail(tag, "degraded result (rung " +
+                        r.report.serving().describe() +
+                        ") disagrees with the oracle; schedule " +
+                        sched.describe() + shape_note(r.result.z, ref));
+        }
+      } catch (const Error&) {
+        ++rep.variants_run;  // exhausting the ladder is a legal outcome
+      } catch (const std::bad_alloc&) {
+        fail(tag, "std::bad_alloc escaped contract_resilient; schedule " +
+                      sched.describe());
+      } catch (const std::exception& e) {
+        fail(tag, std::string("unexpected exception escaped "
+                              "contract_resilient: ") +
+                      e.what() + "; schedule " + sched.describe());
+      }
+    }
+
+    // Plain contract(): may fail with sparta::Error or std::bad_alloc,
+    // but a success must be correct (faults abort work, never corrupt
+    // it) and nothing else may escape the parallel regions.
+    {
+      DisarmGuard guard;
+      sched.arm();
+      try {
+        const ContractResult r = contract(c.x, c.y, c.cx, c.cy, o);
+        ++rep.variants_run;
+        if (!SparseTensor::approx_equal(r.z, ref, opts.tolerance)) {
+          fail(tag, "contract() survived injection but disagrees with "
+                    "the oracle; schedule " +
+                        sched.describe() + shape_note(r.z, ref));
+        }
+      } catch (const Error&) {
+        ++rep.variants_run;
+      } catch (const std::bad_alloc&) {
+        ++rep.variants_run;
+      } catch (const std::exception& e) {
+        fail(tag,
+             std::string("unexpected exception escaped contract(): ") +
+                 e.what() + "; schedule " + sched.describe());
+      }
+    }
+  }
   return rep;
 }
 

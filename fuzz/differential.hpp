@@ -49,4 +49,28 @@ struct DiffReport {
 [[nodiscard]] DiffReport run_differential(const FuzzCase& c,
                                           const DiffOptions& opts = {});
 
+struct FaultOptions {
+  double tolerance = 1e-9;
+  int num_threads = 0;  ///< 0 = ambient
+  int schedules = 4;    ///< random failpoint schedules per case
+  bool try_budget = true;  ///< half the schedules also set a tight budget
+};
+
+/// Fault-injection mode (`fuzz_sptc --inject-alloc-failures`): derives
+/// `opts.schedules` deterministic failpoint schedules from the case
+/// seed — random sites, actions (bad_alloc / sparta::Error / budget),
+/// hit indices and repeat counts, optionally plus a tight MemoryBudget —
+/// and drives both contract_resilient() and plain contract() through
+/// each. Findings:
+///   * contract_resilient() must either return a result matching the
+///     brute-force oracle (possibly served by a degraded rung) or throw
+///     sparta::Error; an escaping std::bad_alloc is a bug.
+///   * plain contract() may fail with sparta::Error or std::bad_alloc,
+///     but when it succeeds its result must match the oracle (injected
+///     faults may abort work, never corrupt it).
+/// Leaks and std::terminate are caught by the sanitizer jobs running
+/// this mode in CI.
+[[nodiscard]] DiffReport run_fault_injection(const FuzzCase& c,
+                                             const FaultOptions& opts = {});
+
 }  // namespace sparta::fuzz

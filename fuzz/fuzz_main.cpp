@@ -27,6 +27,7 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--seeds N] [--start S] [--seed X] [--tolerance T]\n"
       "          [--threads T] [--max-nnz N] [--no-minimize] [--no-dense]\n"
+      "          [--inject-alloc-failures] [--schedules K]\n"
       "          [--dump] [--quiet]\n"
       "  --seeds N      number of consecutive seeds to run (default 100)\n"
       "  --start S      first seed (default 0)\n"
@@ -36,6 +37,12 @@ void usage(const char* argv0) {
       "  --max-nnz N    per-operand non-zero cap (default 200)\n"
       "  --no-minimize  skip failing-case minimization\n"
       "  --no-dense     skip the dense oracle\n"
+      "  --inject-alloc-failures\n"
+      "                 fault-injection mode: drive contract_resilient()\n"
+      "                 and contract() through random failpoint schedules\n"
+      "                 derived from each case seed, instead of the\n"
+      "                 differential sweep\n"
+      "  --schedules K  failpoint schedules per case (default 4)\n"
       "  --dump         dump every case's operands (replay mode aid)\n"
       "  --quiet        only print failures and the final summary\n",
       argv0);
@@ -52,6 +59,8 @@ struct Cli {
   bool dense = true;
   bool dump = false;
   bool quiet = false;
+  bool inject_faults = false;
+  int schedules = 4;
 };
 
 bool parse_u64(const char* s, std::uint64_t& out) {
@@ -90,6 +99,13 @@ int parse_cli(int argc, char** argv, Cli& cli) {
       std::uint64_t n = 0;
       if (!v || !parse_u64(v, n) || n == 0) return 2;
       cli.max_nnz = static_cast<std::size_t>(n);
+    } else if (a == "--inject-alloc-failures") {
+      cli.inject_faults = true;
+    } else if (a == "--schedules") {
+      const char* v = next();
+      std::uint64_t n = 0;
+      if (!v || !parse_u64(v, n) || n == 0) return 2;
+      cli.schedules = static_cast<int>(n);
     } else if (a == "--no-minimize") {
       cli.minimize = false;
     } else if (a == "--no-dense") {
@@ -151,7 +167,16 @@ int main(int argc, char** argv) {
     if (cli.dump) {
       std::fputs(dump_case(c).c_str(), stdout);
     }
-    const DiffReport rep = run_differential(c, diff);
+    DiffReport rep;
+    if (cli.inject_faults) {
+      FaultOptions fo;
+      fo.tolerance = cli.tolerance;
+      fo.num_threads = cli.threads;
+      fo.schedules = cli.schedules;
+      rep = run_fault_injection(c, fo);
+    } else {
+      rep = run_differential(c, diff);
+    }
     total_variants += static_cast<std::uint64_t>(rep.variants_run);
     if (rep.ok()) continue;
 
@@ -160,11 +185,15 @@ int main(int argc, char** argv) {
     for (const Finding& f : rep.findings) {
       std::printf("  [%s] %s\n", f.variant.c_str(), f.what.c_str());
     }
-    std::printf("  replay: fuzz_sptc --seed %llu%s\n",
+    std::printf("  replay: fuzz_sptc --seed %llu%s%s\n",
                 static_cast<unsigned long long>(s),
-                cli.dense ? "" : " --no-dense");
+                cli.dense ? "" : " --no-dense",
+                cli.inject_faults ? " --inject-alloc-failures" : "");
 
-    if (cli.minimize) {
+    // Minimization flips differential-sweep findings only; a fault-mode
+    // schedule depends on the exact hit sequence, which shrinking the
+    // operands would change.
+    if (cli.minimize && !cli.inject_faults) {
       MinimizeStats ms;
       const FuzzCase tiny = minimize(
           c, [&](const FuzzCase& cand) {

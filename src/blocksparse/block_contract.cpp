@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace sparta {
 
@@ -123,6 +124,7 @@ BlockSparseTensor contract_blocksparse(const BlockSparseTensor& x,
   std::atomic<std::uint64_t> pairs{0};
   std::atomic<std::uint64_t> fmas{0};
 
+  ExceptionCollector ec;
 #pragma omp parallel
   {
     // Thread-local partial output blocks, merged serially afterwards.
@@ -136,10 +138,11 @@ BlockSparseTensor contract_blocksparse(const BlockSparseTensor& x,
 #pragma omp for schedule(dynamic, 8)
     for (std::ptrdiff_t bi = 0;
          bi < static_cast<std::ptrdiff_t>(x_blocks.size()); ++bi) {
+      ec.run([&] {
       const XBlockRef& xb = x_blocks[static_cast<std::size_t>(bi)];
       const lnkey_t key = yclin.linearize_gather(xb.bc, cx);
       const auto it = y_groups.find(key);
-      if (it == y_groups.end()) continue;
+      if (it == y_groups.end()) return;
       const std::vector<value_t>& xdata = *xb.data;
 
       x.block_extent(xb.bc, xext);
@@ -186,6 +189,7 @@ BlockSparseTensor contract_blocksparse(const BlockSparseTensor& x,
         my_fmas += xf_off.size() * xc_off.size() * yf_off.size();
         ++my_pairs;
       }
+      });
     }
 
     pairs += my_pairs;
@@ -194,15 +198,18 @@ BlockSparseTensor contract_blocksparse(const BlockSparseTensor& x,
     // Merge this thread's partial blocks into Z.
 #pragma omp critical
     {
-      std::vector<index_t> bc(zdims.size());
-      for (auto& [zkey, part] : zpart) {
-        zgrid_lin.delinearize(zkey, bc);
-        auto& dst = z.block(bc);
-        SPARTA_ASSERT(dst.size() == part.size());
-        for (std::size_t i = 0; i < part.size(); ++i) dst[i] += part[i];
-      }
+      ec.run([&] {
+        std::vector<index_t> bc(zdims.size());
+        for (auto& [zkey, part] : zpart) {
+          zgrid_lin.delinearize(zkey, bc);
+          auto& dst = z.block(bc);
+          SPARTA_ASSERT(dst.size() == part.size());
+          for (std::size_t i = 0; i < part.size(); ++i) dst[i] += part[i];
+        }
+      });
     }
   }
+  ec.rethrow();
 
   local.block_pairs = pairs.load();
   local.fma_count = fmas.load();

@@ -5,6 +5,7 @@
 // SPARTA_ASSERT, which is compiled out in release builds.
 #pragma once
 
+#include <cstddef>
 #include <source_location>
 #include <sstream>
 #include <stdexcept>
@@ -16,6 +17,33 @@ namespace sparta {
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a tracked allocation or an Eq. 5/6 pre-flight estimate
+/// would push a contraction past its configured MemoryBudget. A subclass
+/// of Error so callers that only care about "sparta failed cleanly" need
+/// a single catch; the resilient engine catches it specifically to walk
+/// down the degradation ladder.
+class BudgetExceeded : public Error {
+ public:
+  BudgetExceeded(const std::string& what, std::size_t requested_bytes,
+                 std::size_t limit_bytes, std::size_t live_bytes)
+      : Error(what),
+        requested_(requested_bytes),
+        limit_(limit_bytes),
+        live_(live_bytes) {}
+
+  /// Bytes of the charge (or estimate) that tripped the budget.
+  [[nodiscard]] std::size_t requested_bytes() const { return requested_; }
+  /// The configured budget.
+  [[nodiscard]] std::size_t limit_bytes() const { return limit_; }
+  /// Tracked live bytes at the moment of the failed charge.
+  [[nodiscard]] std::size_t live_bytes() const { return live_; }
+
+ private:
+  std::size_t requested_;
+  std::size_t limit_;
+  std::size_t live_;
 };
 
 namespace detail {

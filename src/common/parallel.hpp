@@ -7,8 +7,11 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
+#include <mutex>
 #include <vector>
 
 #ifdef _OPENMP
@@ -16,6 +19,57 @@
 #endif
 
 namespace sparta {
+
+/// Exception-safe OpenMP region wrapper. An exception escaping an
+/// `omp parallel` (or task) boundary calls std::terminate, so every
+/// parallel region in the library funnels its per-iteration work through
+/// one of these: the first exception is captured, the remaining
+/// iterations become no-ops, the region joins normally, and the caller
+/// rethrows on the spawning thread.
+///
+///   ExceptionCollector ec;
+///   #pragma omp parallel
+///   {
+///   #pragma omp for
+///     for (...) ec.run([&] { work(i); });
+///   }
+///   ec.rethrow();
+class ExceptionCollector {
+ public:
+  /// Invokes `f`, capturing any exception. Iterations after a failure
+  /// are skipped so a poisoned region drains quickly.
+  template <typename F>
+  void run(F&& f) noexcept {
+    if (failed_.load(std::memory_order_relaxed)) return;
+    try {
+      f();
+    } catch (...) {
+      capture();
+    }
+  }
+
+  /// Records the in-flight exception (first one wins). Only call from a
+  /// catch block.
+  void capture() noexcept {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!eptr_) eptr_ = std::current_exception();
+    failed_.store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool failed() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
+
+  /// Rethrows the captured exception, if any. Call after the region.
+  void rethrow() {
+    if (eptr_) std::rethrow_exception(eptr_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::exception_ptr eptr_;
+  std::atomic<bool> failed_{false};
+};
 
 /// Number of OpenMP threads a parallel region would use.
 [[nodiscard]] inline int max_threads() {
@@ -65,7 +119,9 @@ namespace detail {
 inline constexpr std::ptrdiff_t kParallelSortCutoff = 1 << 14;
 
 template <typename It, typename Cmp>
-void quicksort_task(It first, It last, const Cmp& cmp, int depth) {
+void quicksort_task(It first, It last, const Cmp& cmp, int depth,
+                    ExceptionCollector& ec) {
+  if (ec.failed()) return;
   while (last - first > kParallelSortCutoff && depth > 0) {
     // Median-of-three pivot to dodge pathological splits on sorted input.
     It mid = first + (last - first) / 2;
@@ -83,10 +139,10 @@ void quicksort_task(It first, It last, const Cmp& cmp, int depth) {
       continue;
     }
 #ifdef _OPENMP
-#pragma omp task firstprivate(first, split, depth) shared(cmp)
-    quicksort_task(first, split, cmp, depth - 1);
+#pragma omp task firstprivate(first, split, depth) shared(cmp, ec)
+    ec.run([&] { quicksort_task(first, split, cmp, depth - 1, ec); });
 #else
-    quicksort_task(first, split, cmp, depth - 1);
+    quicksort_task(first, split, cmp, depth - 1, ec);
 #endif
     first = split;
     --depth;
@@ -97,20 +153,24 @@ void quicksort_task(It first, It last, const Cmp& cmp, int depth) {
 }  // namespace detail
 
 /// Parallel quicksort using OpenMP tasks (the paper's approach for the
-/// input-processing and output-sorting stages).
+/// input-processing and output-sorting stages). A comparator (or pivot
+/// copy) that throws is rethrown on the calling thread, never across the
+/// task/region boundary.
 template <typename It, typename Cmp>
 void parallel_sort(It first, It last, Cmp cmp) {
   if (last - first <= detail::kParallelSortCutoff) {
     std::sort(first, last, cmp);
     return;
   }
+  ExceptionCollector ec;
 #ifdef _OPENMP
 #pragma omp parallel
 #pragma omp single nowait
-  detail::quicksort_task(first, last, cmp, /*depth=*/16);
+  ec.run([&] { detail::quicksort_task(first, last, cmp, /*depth=*/16, ec); });
 #else
-  detail::quicksort_task(first, last, cmp, 16);
+  ec.run([&] { detail::quicksort_task(first, last, cmp, 16, ec); });
 #endif
+  ec.rethrow();
 }
 
 /// Exclusive prefix sum: out[i] = sum of in[0..i). Returns the grand total.

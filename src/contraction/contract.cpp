@@ -12,11 +12,14 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/parallel.hpp"
+#include "contraction/estimators.hpp"
 #include "hashtable/accumulator.hpp"
 #include "hashtable/grouped_map.hpp"
 #include "hashtable/linear_probe.hpp"
 #include "hashtable/spa.hpp"
+#include "memsim/allocator.hpp"
 #include "tensor/linearize.hpp"
 
 namespace sparta {
@@ -236,7 +239,8 @@ std::pair<std::size_t, std::size_t> coo_binary_search(
 template <typename Body>
 void parallel_over_subtensors(const PreparedX& px, int nthreads, bool shared,
                               std::vector<ZLocal>& zlocals,
-                              std::vector<ThreadTimes>& times, Body&& body) {
+                              std::vector<ThreadTimes>& times,
+                              AllocationRegistry* reg, Body&& body) {
   const auto num_sub = static_cast<std::ptrdiff_t>(
       px.ptrf.empty() ? 0 : px.ptrf.size() - 1);
   // Shared-writeback ablation: one buffer, serialized by the caller's
@@ -244,16 +248,33 @@ void parallel_over_subtensors(const PreparedX& px, int nthreads, bool shared,
   zlocals.assign(shared ? 1 : static_cast<std::size_t>(nthreads), {});
   times.assign(static_cast<std::size_t>(nthreads), {});
 
+  // Tracked Z_local charges, one per staging buffer (shared mode is
+  // ablation-only and never budget-tracked; validate() enforces that).
+  std::vector<ScopedCharge> zl_charges;
+  if (reg && !shared) {
+    zl_charges.reserve(zlocals.size());
+    for (std::size_t t = 0; t < zlocals.size(); ++t) {
+      zl_charges.emplace_back(reg, Tier::kDram, DataObject::kZlocal);
+    }
+  }
+
+  // A worker that throws (budget overflow, bad_alloc, injected fault)
+  // must not unwind across the omp boundary: capture, drain, rethrow.
+  ExceptionCollector ec;
 #pragma omp parallel num_threads(nthreads)
   {
     const auto tid = static_cast<std::size_t>(thread_id());
 #pragma omp for schedule(dynamic, 16)
     for (std::ptrdiff_t f = 0; f < num_sub; ++f) {
-      body(tid, px.ptrf[static_cast<std::size_t>(f)],
-           px.ptrf[static_cast<std::size_t>(f) + 1],
-           zlocals[shared ? 0 : tid], times[tid]);
+      ec.run([&] {
+        ZLocal& zl = zlocals[shared ? 0 : tid];
+        body(tid, px.ptrf[static_cast<std::size_t>(f)],
+             px.ptrf[static_cast<std::size_t>(f) + 1], zl, times[tid]);
+        if (!zl_charges.empty()) zl_charges[tid].update(zl.footprint_bytes());
+      });
     }
   }
+  ec.rethrow();
 }
 
 // Appends one output element (fx prefix ++ fy indices, value) to Z_local.
@@ -381,9 +402,32 @@ namespace {
 
 // Shared implementation behind both public entry points: exactly one of
 // `y` (ad-hoc contraction) and `plan` (prebuilt HtY) is non-null.
+// Restores a registry's previous capacity on scope exit, so a budgeted
+// call cannot leave a hard cap behind on a caller-owned registry.
+struct CapacityGuard {
+  AllocationRegistry* reg = nullptr;
+  std::size_t prev = 0;
+  CapacityGuard() = default;
+  CapacityGuard(const CapacityGuard&) = delete;
+  CapacityGuard& operator=(const CapacityGuard&) = delete;
+  ~CapacityGuard() {
+    if (reg) reg->set_capacity(prev);
+  }
+};
+
+// Smallest power of two >= max(want, 16) — mirrors the bucket sizing of
+// GroupedHashMap / HashAccumulator so pre-flight estimates use the same
+// bucket counts the real tables will.
+std::size_t pow2_buckets(std::size_t want) {
+  std::size_t b = 16;
+  while (b < want) b <<= 1;
+  return b;
+}
+
 ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
                              const YPlan* plan, const Modes& cx,
                              const Modes& cy, const ContractOptions& opts) {
+  opts.validate();
   ModeSplit split;
   if (y) {
     split = validate_modes(x, *y, cx, cy);
@@ -413,6 +457,33 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
 
   const int nthreads = opts.num_threads > 0 ? opts.num_threads : max_threads();
 
+  // Budget / tracked-allocation machinery. The registry outlives every
+  // ScopedCharge below; a private one serves when the caller wants
+  // runtime enforcement but supplied none.
+  AllocationRegistry local_registry;
+  AllocationRegistry* reg = opts.registry;
+  const bool budgeted = opts.budget.bytes > 0;
+  if (!reg && budgeted && opts.budget.runtime) reg = &local_registry;
+  CapacityGuard cap_guard;
+  if (reg && budgeted && opts.budget.runtime) {
+    cap_guard.reg = reg;
+    cap_guard.prev = reg->capacity();
+    reg->set_capacity(opts.budget.bytes);
+  }
+
+  // Eq. 5/6 pre-flight gate: rejects a predicted-footprint overflow
+  // before the corresponding object is allocated (paper §4.2).
+  auto preflight_gate = [&](const char* what, std::size_t estimate) {
+    if (!budgeted || !opts.budget.preflight) return;
+    if (estimate > opts.budget.bytes) {
+      throw BudgetExceeded(
+          std::string("pre-flight: estimated ") + what + " footprint of " +
+              std::to_string(estimate) + " bytes exceeds the " +
+              std::to_string(opts.budget.bytes) + "-byte budget",
+          estimate, opts.budget.bytes, 0);
+    }
+  };
+
   ContractResult res;
   res.stats.nnz_x = x.nnz();
   res.stats.nnz_y = y ? y->nnz() : plan->nnz_y();
@@ -434,6 +505,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   // ① Input processing
   // ------------------------------------------------------------------
   Timer t_input;
+  SPARTA_FAILPOINT("contract.input");
 
   PreparedX px = prepare_x(x, split.fx, cx);
   res.stats.num_x_subtensors = px.ptrf.size() - 1;
@@ -441,6 +513,9 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
     res.stats.max_x_subtensor =
         std::max(res.stats.max_x_subtensor, px.ptrf[f + 1] - px.ptrf[f]);
   }
+
+  ScopedCharge x_charge(reg, Tier::kDram, DataObject::kX);
+  x_charge.update(px.t.footprint_bytes());
 
   // LN linearizers for the contract tuple and Y's free tuple.
   const LinearIndexer clin(gather_dims(x, cx));
@@ -450,7 +525,21 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   SparseTensor ycoo;                  // COO variants
   std::unique_ptr<YPlan> plan_local;  // Sparta without an external plan
   const YPlan* active_plan = plan;
+  ScopedCharge y_charge(reg, Tier::kDram,
+                        opts.algorithm == Algorithm::kSparta
+                            ? DataObject::kHtY
+                            : DataObject::kY);
   if (opts.algorithm == Algorithm::kSparta) {
+    // Eq. 5 gate before HtY is built: its size is an exact function of
+    // tensor metadata, so an oversized table is rejected up front.
+    preflight_gate(
+        "X + HtY (Eq. 5)",
+        px.t.footprint_bytes() +
+            estimate_hty_bytes(
+                res.stats.nnz_y,
+                y ? y->order() : static_cast<int>(plan->y_dims().size()),
+                pow2_buckets(opts.hty_buckets > 0 ? opts.hty_buckets
+                                                  : res.stats.nnz_y)));
     if (!active_plan) {
       plan_local =
           std::make_unique<YPlan>(*y, cy, opts.hty_buckets, nthreads);
@@ -460,11 +549,43 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
     res.stats.num_y_keys = active_plan->num_keys();
     res.stats.max_y_group = active_plan->max_group();
     res.stats.hty_bytes = active_plan->hty_footprint_bytes();
+    y_charge.update(res.stats.hty_bytes);
   } else {
+    preflight_gate("X + sorted-Y copies",
+                   px.t.footprint_bytes() + y->footprint_bytes());
     ycoo = prepare_y_coo(*y, cy, split.fy);
     fylin_coo = LinearIndexer(nfy > 0 ? gather_dims(*y, split.fy)
                                       : std::vector<index_t>{1});
     fylin = &fylin_coo;
+    y_charge.update(ycoo.footprint_bytes());
+    // The COO variants' accumulators key on the same contract groups as
+    // HtY; derive max_y_group from the sorted copy for the Eq. 6 gate.
+    if (budgeted && opts.budget.preflight) {
+      std::size_t run = 0;
+      for (std::size_t i = 0; i < ycoo.nnz(); ++i) {
+        bool same = i > 0;
+        for (std::size_t k = 0; same && k < m; ++k) {
+          same = ycoo.index(i - 1, static_cast<int>(k)) ==
+                 ycoo.index(i, static_cast<int>(k));
+        }
+        run = same ? run + 1 : 1;
+        res.stats.max_y_group = std::max(res.stats.max_y_group, run);
+      }
+    }
+  }
+
+  // Eq. 6 gate: nnz_Fmax^X and nnz_Fmax^Y are both known now, before any
+  // accumulator is touched. The bound is per thread; every thread owns
+  // one accumulator.
+  if (budgeted && opts.budget.preflight) {
+    const std::size_t hta_buckets = pow2_buckets(
+        std::max<std::size_t>(res.stats.max_y_group, 64));
+    const std::size_t est_hta =
+        estimate_hta_bytes(res.stats.max_x_subtensor, res.stats.max_y_group,
+                           static_cast<int>(nfy), hta_buckets) *
+        static_cast<std::size_t>(nthreads);
+    preflight_gate("inputs + HtA (Eq. 6)",
+                   x_charge.charged() + y_charge.charged() + est_hta);
   }
 
   res.stage_times[Stage::kInputProcessing] = t_input.seconds();
@@ -481,12 +602,19 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   std::atomic<std::uint64_t> total_scanned{0};
   std::atomic<std::uint64_t> acc_bytes{0};
 
+  // Tracked per-thread accumulator charges; inert when reg is null.
+  std::vector<ScopedCharge> acc_charges;
+  acc_charges.reserve(static_cast<std::size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) {
+    acc_charges.emplace_back(reg, Tier::kDram, DataObject::kHtA);
+  }
+
   if (opts.algorithm == Algorithm::kSparta) {
     // Generic over the accumulator type so the open-addressing variant
     // (use_linear_probe_hta) shares the exact same body.
     auto run_sparta = [&]<typename AccT>(std::vector<AccT>& accs) {
     parallel_over_subtensors(
-        px, nthreads, opts.ablation_shared_writeback, zlocals, times,
+        px, nthreads, opts.ablation_shared_writeback, zlocals, times, reg,
         [&](std::size_t tid, std::size_t b, std::size_t e, ZLocal& zl,
             ThreadTimes& tt) {
           AccT& acc = accs[tid];
@@ -497,6 +625,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
           Timer t;
           std::uint64_t searches = 0;
           std::uint64_t hits = 0;
+          SPARTA_FAILPOINT("contract.search");
           for (std::size_t i = b; i < e; ++i) {
             for (std::size_t k = 0; k < m; ++k) {
               ctuple[k] = px.t.index(i, static_cast<int>(nfx + k));
@@ -513,15 +642,18 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
 
           t.reset();
           std::uint64_t mults = 0;
+          SPARTA_FAILPOINT("contract.accumulate");
           for (const HtMatch& mt : matches) {
             for (const FreeItem& it : mt.items) {
               acc.accumulate(it.free_key, mt.xval * it.val);
               ++mults;
             }
           }
+          acc_charges[tid].update(acc.footprint_bytes());
           tt.accumulate += t.seconds();
 
           t.reset();
+          SPARTA_FAILPOINT("contract.writeback");
           std::vector<index_t> fyc(std::max<std::size_t>(nfy, 1));
           std::unique_lock<std::mutex> wb_lock(writeback_mutex,
                                                 std::defer_lock);
@@ -565,7 +697,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
     std::vector<HashAccumulator> accs(static_cast<std::size_t>(nthreads),
                                       HashAccumulator(64));
     parallel_over_subtensors(
-        px, nthreads, opts.ablation_shared_writeback, zlocals, times,
+        px, nthreads, opts.ablation_shared_writeback, zlocals, times, reg,
         [&](std::size_t tid, std::size_t b, std::size_t e, ZLocal& zl,
             ThreadTimes& tt) {
           HashAccumulator& acc = accs[tid];
@@ -577,6 +709,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
           std::uint64_t searches = 0;
           std::uint64_t hits = 0;
           std::uint64_t scanned = 0;
+          SPARTA_FAILPOINT("contract.search");
           for (std::size_t i = b; i < e; ++i) {
             for (std::size_t k = 0; k < m; ++k) {
               ctuple[k] = px.t.index(i, static_cast<int>(nfx + k));
@@ -595,6 +728,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
 
           t.reset();
           std::uint64_t mults = 0;
+          SPARTA_FAILPOINT("contract.accumulate");
           std::vector<index_t> fyc(std::max<std::size_t>(nfy, 1));
           for (const CooMatch& mt : matches) {
             for (std::size_t j = mt.begin; j < mt.end; ++j) {
@@ -611,9 +745,11 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
               ++mults;
             }
           }
+          acc_charges[tid].update(acc.footprint_bytes());
           tt.accumulate += t.seconds();
 
           t.reset();
+          SPARTA_FAILPOINT("contract.writeback");
           std::unique_lock<std::mutex> wb_lock(writeback_mutex,
                                                 std::defer_lock);
           if (opts.ablation_shared_writeback) wb_lock.lock();
@@ -639,8 +775,8 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
         static_cast<std::size_t>(nthreads);
   } else {  // Algorithm::kSpa
     parallel_over_subtensors(
-        px, nthreads, opts.ablation_shared_writeback, zlocals, times,
-        [&](std::size_t /*tid*/, std::size_t b, std::size_t e, ZLocal& zl,
+        px, nthreads, opts.ablation_shared_writeback, zlocals, times, reg,
+        [&](std::size_t tid, std::size_t b, std::size_t e, ZLocal& zl,
             ThreadTimes& tt) {
           SpaAccumulator spa(nfy);
           std::vector<index_t> ctuple(m);
@@ -650,6 +786,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
           std::uint64_t searches = 0;
           std::uint64_t hits = 0;
           std::uint64_t scanned = 0;
+          SPARTA_FAILPOINT("contract.search");
           for (std::size_t i = b; i < e; ++i) {
             for (std::size_t k = 0; k < m; ++k) {
               ctuple[k] = px.t.index(i, static_cast<int>(nfx + k));
@@ -666,6 +803,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
 
           t.reset();
           std::uint64_t mults = 0;
+          SPARTA_FAILPOINT("contract.accumulate");
           std::vector<index_t> fyc(std::max<std::size_t>(nfy, 1));
           for (const CooMatch& mt : matches) {
             for (std::size_t j = mt.begin; j < mt.end; ++j) {
@@ -677,9 +815,11 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
               ++mults;
             }
           }
+          acc_charges[tid].update(spa.footprint_bytes());
           tt.accumulate += t.seconds();
 
           t.reset();
+          SPARTA_FAILPOINT("contract.writeback");
           std::unique_lock<std::mutex> wb_lock(writeback_mutex,
                                                 std::defer_lock);
           if (opts.ablation_shared_writeback) wb_lock.lock();
@@ -735,23 +875,32 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   }
   offsets[zlocals.size()] = total_z;
 
+  // Z's size is exact here; gate the gather arrays before allocating.
+  ScopedCharge z_charge(reg, Tier::kDram, DataObject::kZ);
+  z_charge.update(total_z *
+                  (zorder * sizeof(index_t) + sizeof(value_t)));
+
   std::vector<std::vector<index_t>> zcols(zorder);
   for (auto& col : zcols) col.resize(total_z);
   std::vector<value_t> zvals(total_z);
 
   {
     const auto nt = static_cast<std::ptrdiff_t>(zlocals.size());
+    ExceptionCollector ec;
 #pragma omp parallel for schedule(static) num_threads(nthreads)
     for (std::ptrdiff_t t = 0; t < nt; ++t) {
-      const ZLocal& zl = zlocals[static_cast<std::size_t>(t)];
-      std::size_t dst = offsets[static_cast<std::size_t>(t)];
-      for (std::size_t i = 0; i < zl.vals.size(); ++i, ++dst) {
-        for (std::size_t mcol = 0; mcol < zorder; ++mcol) {
-          zcols[mcol][dst] = zl.coords[i * zorder + mcol];
+      ec.run([&, t] {
+        const ZLocal& zl = zlocals[static_cast<std::size_t>(t)];
+        std::size_t dst = offsets[static_cast<std::size_t>(t)];
+        for (std::size_t i = 0; i < zl.vals.size(); ++i, ++dst) {
+          for (std::size_t mcol = 0; mcol < zorder; ++mcol) {
+            zcols[mcol][dst] = zl.coords[i * zorder + mcol];
+          }
+          zvals[dst] = zl.vals[i];
         }
-        zvals[dst] = zl.vals[i];
-      }
+      });
     }
+    ec.rethrow();
   }
 
   std::size_t zlocal_bytes = 0;
@@ -768,6 +917,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   // ⑤ Output sorting
   // ------------------------------------------------------------------
   if (opts.sort_output) {
+    SPARTA_FAILPOINT("contract.sort");
     Timer t_sort;
     res.z.sort();
     res.stage_times[Stage::kOutputSorting] = t_sort.seconds();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -71,6 +72,7 @@ void walk_contract(const CsfTensor& csf, std::size_t num_free,
 ContractResult contract_csf(const SparseTensor& x, const YPlan& plan,
                             const Modes& cx, const ContractOptions& opts) {
   // --- validation (as in the plan-based contract path) ----------------
+  opts.validate();
   SPARTA_CHECK(cx.size() == plan.cy().size(),
                "cx arity must match the plan's contract modes");
   std::vector<bool> is_contract(static_cast<std::size_t>(x.order()), false);
@@ -161,19 +163,28 @@ ContractResult contract_csf(const SparseTensor& x, const YPlan& plan,
   };
 
   Timer t_compute;
+  ExceptionCollector compute_ec;
 #pragma omp parallel num_threads(nthreads)
   {
     const auto tid = static_cast<std::size_t>(thread_id());
-    HashAccumulator acc(std::max<std::size_t>(plan.max_group(), 64));
+    // Built under the guard: every thread must still reach the `omp for`
+    // below even if an accumulator constructor throws.
+    std::unique_ptr<HashAccumulator> acc;
     std::vector<Match> matches;
-    std::vector<index_t> fyc(std::max<std::size_t>(nfy, 1));
+    std::vector<index_t> fyc;
+    compute_ec.run([&] {
+      acc = std::make_unique<HashAccumulator>(
+          std::max<std::size_t>(plan.max_group(), 64));
+      fyc.resize(std::max<std::size_t>(nfy, 1));
+    });
     std::uint64_t searches = 0, hits = 0, mults = 0;
 
 #pragma omp for schedule(dynamic, 16)
     for (std::ptrdiff_t s = 0; s < static_cast<std::ptrdiff_t>(subs.size());
          ++s) {
+      compute_ec.run([&] {
       const CsfSubtensor& sub = subs[static_cast<std::size_t>(s)];
-      acc.clear();
+      acc->clear();
       matches.clear();
 
       // ② index search: walk the contract subtree; the partial LN key is
@@ -201,14 +212,14 @@ ContractResult contract_csf(const SparseTensor& x, const YPlan& plan,
       // ③ accumulation.
       for (const Match& mt : matches) {
         for (const FreeItem& it : mt.items) {
-          acc.accumulate(it.free_key, mt.xval * it.val);
+          acc->accumulate(it.free_key, mt.xval * it.val);
           ++mults;
         }
       }
 
       // ④ writeback into the thread-local buffer.
       ZLocal& zl = zlocals[tid];
-      acc.drain([&](lnkey_t fkey, value_t v) {
+      acc->drain([&](lnkey_t fkey, value_t v) {
         plan.fy_indexer().delinearize(fkey, fyc);
         zl.coords.insert(zl.coords.end(), sub.free_coords.begin(),
                          sub.free_coords.end());
@@ -216,15 +227,20 @@ ContractResult contract_csf(const SparseTensor& x, const YPlan& plan,
                          fyc.begin() + static_cast<std::ptrdiff_t>(nfy));
         zl.vals.push_back(v);
       });
+      });
     }
 
     total_searches += searches;
     total_hits += hits;
     total_multiplies += mults;
-    acc_bytes.store(std::max(acc_bytes.load(std::memory_order_relaxed),
-                             static_cast<std::uint64_t>(acc.footprint_bytes())),
-                    std::memory_order_relaxed);
+    if (acc) {
+      acc_bytes.store(
+          std::max(acc_bytes.load(std::memory_order_relaxed),
+                   static_cast<std::uint64_t>(acc->footprint_bytes())),
+          std::memory_order_relaxed);
+    }
   }
+  compute_ec.rethrow();
   res.stats.searches = total_searches.load();
   res.stats.hits = total_hits.load();
   res.stats.multiplies = total_multiplies.load();
@@ -247,18 +263,22 @@ ContractResult contract_csf(const SparseTensor& x, const YPlan& plan,
   std::vector<std::vector<index_t>> zcols(zorder);
   for (auto& col : zcols) col.resize(total_z);
   std::vector<value_t> zvals(total_z);
+  ExceptionCollector gather_ec;
 #pragma omp parallel for schedule(static) num_threads(nthreads)
   for (std::ptrdiff_t t = 0; t < static_cast<std::ptrdiff_t>(zlocals.size());
        ++t) {
-    const ZLocal& zl = zlocals[static_cast<std::size_t>(t)];
-    std::size_t dst = offsets[static_cast<std::size_t>(t)];
-    for (std::size_t i = 0; i < zl.vals.size(); ++i, ++dst) {
-      for (std::size_t mcol = 0; mcol < zorder; ++mcol) {
-        zcols[mcol][dst] = zl.coords[i * zorder + mcol];
+    gather_ec.run([&, t] {
+      const ZLocal& zl = zlocals[static_cast<std::size_t>(t)];
+      std::size_t dst = offsets[static_cast<std::size_t>(t)];
+      for (std::size_t i = 0; i < zl.vals.size(); ++i, ++dst) {
+        for (std::size_t mcol = 0; mcol < zorder; ++mcol) {
+          zcols[mcol][dst] = zl.coords[i * zorder + mcol];
+        }
+        zvals[dst] = zl.vals[i];
       }
-      zvals[dst] = zl.vals[i];
-    }
+    });
   }
+  gather_ec.rethrow();
   std::size_t zlocal_bytes = 0;
   for (const ZLocal& zl : zlocals) {
     zlocal_bytes += zl.coords.capacity() * sizeof(index_t) +

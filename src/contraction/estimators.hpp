@@ -11,6 +11,20 @@
 
 namespace sparta {
 
+/// Documented accuracy contract, asserted by test_estimator_accuracy
+/// against the tracked-allocator peaks and relied on by the budget
+/// pre-flight gate (ContractOptions::budget):
+///  * Eq. 5 models HtY's steady-state layout exactly; container growth
+///    slack and padding keep the measured peak within a factor of
+///    kEstimatorAccuracyFactor of the estimate, in both directions.
+///  * Eq. 6 upper-bounds one thread's HtA from worst-case pairing; the
+///    measured per-thread peak stays below kEstimatorAccuracyFactor ×
+///    estimate (it may undershoot arbitrarily on skewed inputs — that
+///    is the bound doing its job).
+///  * The Z_local estimate models the staged payload; measured stays
+///    within kEstimatorAccuracyFactor × estimate.
+inline constexpr double kEstimatorAccuracyFactor = 4.0;
+
 /// Struct-size constants the estimators plug into the paper's formulas.
 /// Matched to GroupedHashMap / HashAccumulator's actual layout.
 struct EstimatorSizes {

@@ -4,7 +4,11 @@
 #include <cstddef>
 #include <string_view>
 
+#include "common/error.hpp"
+
 namespace sparta {
+
+class AllocationRegistry;  // memsim/allocator.hpp
 
 /// The three algorithm variants evaluated in the paper (Fig. 4), plus a
 /// binary-search COO variant this reproduction adds as an ablation
@@ -29,6 +33,22 @@ enum class Algorithm : int {
   }
   return "?";
 }
+
+/// Memory ceiling for one contraction, enforced two ways (both on by
+/// default once `bytes` is set):
+///  * pre-flight — the paper's Eq. 5/6 estimators run against the budget
+///    before HtY / HtA are allocated, throwing BudgetExceeded when the
+///    predicted footprint cannot fit;
+///  * runtime — the engine charges its major data objects (X copy, Y/HtY,
+///    HtA, Z_local, Z) against a tracked AllocationRegistry with a hard
+///    cap, throwing BudgetExceeded at the charge that overflows.
+/// See docs/ROBUSTNESS.md for the exact per-algorithm formulas and the
+/// degradation ladder contract_resilient() builds on this.
+struct MemoryBudget {
+  std::size_t bytes = 0;  ///< 0 = unlimited (both gates disabled)
+  bool preflight = true;  ///< Eq. 5/6 estimator gate
+  bool runtime = true;    ///< tracked-charge enforcement
+};
 
 struct ContractOptions {
   Algorithm algorithm = Algorithm::kSparta;
@@ -63,6 +83,37 @@ struct ContractOptions {
   /// paper's thread-local Z_local design (§3.5) buys; never use in
   /// production.
   bool ablation_shared_writeback = false;
+
+  /// Memory ceiling; see MemoryBudget. Default: unlimited.
+  MemoryBudget budget;
+
+  /// Optional registry receiving the engine's tracked charges (tier
+  /// kDram, tagged per DataObject), e.g. for footprint assertions in
+  /// tests. When null and a runtime budget is set, the engine uses a
+  /// private registry. When set together with budget.runtime, the
+  /// registry's capacity is set to budget.bytes for the call.
+  AllocationRegistry* registry = nullptr;
+
+  /// Validates the option set, throwing sparta::Error on misuse
+  /// (negative thread counts, contradictory flags). Called by every
+  /// public contraction entry point before any parallel region starts.
+  void validate() const {
+    SPARTA_CHECK(num_threads >= 0,
+                 "num_threads must be >= 0 (0 = ambient OpenMP count)");
+    SPARTA_CHECK(num_threads <= (1 << 16), "num_threads implausibly large");
+    const int a = static_cast<int>(algorithm);
+    SPARTA_CHECK(a >= 0 && a <= static_cast<int>(Algorithm::kCooBinary),
+                 "algorithm is not a valid Algorithm enumerator");
+    SPARTA_CHECK(!use_linear_probe_hta || algorithm == Algorithm::kSparta,
+                 "use_linear_probe_hta applies only to Algorithm::kSparta");
+    SPARTA_CHECK(hty_buckets == 0 || algorithm == Algorithm::kSparta,
+                 "hty_buckets applies only to Algorithm::kSparta");
+    SPARTA_CHECK(budget.bytes == 0 || budget.preflight || budget.runtime,
+                 "memory budget set but both enforcement modes disabled");
+    SPARTA_CHECK(!ablation_shared_writeback || budget.bytes == 0,
+                 "the shared-writeback ablation is not budget-tracked; "
+                 "unset ablation_shared_writeback or the budget");
+  }
 };
 
 /// Counters describing what one contraction did; used by benchmarks and

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/parallel.hpp"
 
 namespace sparta {
@@ -46,19 +47,24 @@ YPlan::YPlan(const SparseTensor& y, Modes cy, std::size_t hty_buckets,
   const std::span<const int> cy_span(cy_);
   const std::span<const int> fy_span(fy_);
   const bool has_free = !fy_.empty();
+  SPARTA_FAILPOINT("plan.build");
+  ExceptionCollector ec;
 #pragma omp parallel num_threads(nthreads)
   {
     std::vector<index_t> c(static_cast<std::size_t>(y.order()));
 #pragma omp for schedule(static)
     for (std::ptrdiff_t i = 0; i < n; ++i) {
-      const auto n_i = static_cast<std::size_t>(i);
-      y.coords(n_i, c);
-      const lnkey_t ckey = clin.linearize_gather(c, cy_span);
-      const lnkey_t fkey =
-          has_free ? fylin_.linearize_gather(c, fy_span) : 0;
-      hty_->insert_locked(ckey, FreeItem{fkey, y.value(n_i)});
+      ec.run([&] {
+        const auto n_i = static_cast<std::size_t>(i);
+        y.coords(n_i, c);
+        const lnkey_t ckey = clin.linearize_gather(c, cy_span);
+        const lnkey_t fkey =
+            has_free ? fylin_.linearize_gather(c, fy_span) : 0;
+        hty_->insert_locked(ckey, FreeItem{fkey, y.value(n_i)});
+      });
     }
   }
+  ec.rethrow();
   max_group_ = hty_->max_group_size();
 }
 

@@ -1,0 +1,75 @@
+// Graceful-degradation wrapper around contract() — the budgeted engine's
+// answer to "the fast algorithm doesn't fit".
+//
+// contract_resilient() walks a ladder of progressively cheaper
+// configurations until one completes under the caller's MemoryBudget:
+//
+//   HtY+HtA (kSparta)          — the paper's Algorithm 2, fastest
+//     ↓ COOY+HtA (kCooHta)     — drops the O(nnz_Y) HtY hash table
+//     ↓ COOY+SPA (kSpa)        — drops the per-thread HtA hash tables
+//     ↓ chunked (kSpa × k)     — partitions X into k nnz-blocks,
+//                                contracts each under the same budget,
+//                                merges the partial Zs (contraction is
+//                                linear in X); k doubles 2 → 256
+//
+// The ladder starts at the requested algorithm and only ever moves down.
+// Recoverable failures — sparta::BudgetExceeded (pre-flight or runtime),
+// std::bad_alloc, and sparta::Error raised mid-attempt (e.g. an injected
+// transient fault) — advance the ladder; anything else propagates.
+// Malformed inputs are rejected by validate_modes()/opts.validate()
+// before the first attempt, so they never masquerade as a rung failure.
+// When every rung fails, a sparta::Error summarising all attempts is
+// thrown; std::bad_alloc never escapes contract_resilient().
+//
+// See docs/ROBUSTNESS.md for the full contract.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "contraction/contract.hpp"
+
+namespace sparta {
+
+/// One ladder attempt: which configuration ran and how it ended.
+struct RungAttempt {
+  Algorithm algorithm = Algorithm::kSparta;
+  std::size_t chunks = 1;  ///< >1 for the chunked-execution rungs
+  bool succeeded = false;
+  std::string error;  ///< failure description; empty when succeeded
+
+  /// "HtY+HtA", "COOY+SPA [4 chunks]", ...
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Every configuration tried, in order. The last attempt is the one that
+/// served the result (contract_resilient throws when none succeeded).
+struct ResilienceReport {
+  std::vector<RungAttempt> attempts;
+
+  /// True when the requested configuration did not serve the result.
+  [[nodiscard]] bool degraded() const { return attempts.size() > 1; }
+
+  /// The attempt that produced the result (the last, successful one).
+  [[nodiscard]] const RungAttempt& serving() const {
+    return attempts.back();
+  }
+
+  /// One line per attempt, for logs and error messages.
+  [[nodiscard]] std::string summary() const;
+};
+
+struct ResilientResult {
+  ContractResult result;
+  ResilienceReport report;
+};
+
+/// Contracts X with Y like contract(), but degrades down the algorithm
+/// ladder instead of failing when the budget (or an allocation) gives
+/// out. Throws sparta::Error when inputs are invalid or every rung
+/// fails; never lets std::bad_alloc escape.
+[[nodiscard]] ResilientResult contract_resilient(
+    const SparseTensor& x, const SparseTensor& y, const Modes& cx,
+    const Modes& cy, const ContractOptions& opts = {});
+
+}  // namespace sparta

@@ -1,5 +1,7 @@
 #include "kernels/mttkrp.hpp"
 
+#include <memory>
+
 #include "common/parallel.hpp"
 
 namespace sparta {
@@ -22,33 +24,47 @@ DenseMatrix mttkrp(const SparseTensor& x,
   const std::size_t out_rows = x.dim(mode);
   DenseMatrix out(out_rows, rank);
 
+  // Per-iteration guards only: every thread must still encounter the
+  // `omp for` and `omp critical` constructs even after a failure, or the
+  // team deadlocks at the worksharing barrier.
+  ExceptionCollector ec;
 #pragma omp parallel num_threads(nthreads)
   {
-    DenseMatrix local(out_rows, rank);
-    std::vector<index_t> c(static_cast<std::size_t>(x.order()));
-    std::vector<value_t> row(rank);
+    std::unique_ptr<DenseMatrix> local;
+    std::vector<index_t> c;
+    std::vector<value_t> row;
+    ec.run([&] {
+      local = std::make_unique<DenseMatrix>(out_rows, rank);
+      c.resize(static_cast<std::size_t>(x.order()));
+      row.resize(rank);
+    });
     const auto n = static_cast<std::ptrdiff_t>(x.nnz());
 #pragma omp for schedule(static)
     for (std::ptrdiff_t i = 0; i < n; ++i) {
-      x.coords(static_cast<std::size_t>(i), c);
-      const value_t v = x.value(static_cast<std::size_t>(i));
-      for (std::size_t r = 0; r < rank; ++r) row[r] = v;
-      for (int m = 0; m < x.order(); ++m) {
-        if (m == mode) continue;
-        const auto frow = factors[static_cast<std::size_t>(m)].row(
-            c[static_cast<std::size_t>(m)]);
-        for (std::size_t r = 0; r < rank; ++r) row[r] *= frow[r];
-      }
-      auto orow = local.row(c[static_cast<std::size_t>(mode)]);
-      for (std::size_t r = 0; r < rank; ++r) orow[r] += row[r];
+      ec.run([&, i] {
+        x.coords(static_cast<std::size_t>(i), c);
+        const value_t v = x.value(static_cast<std::size_t>(i));
+        for (std::size_t r = 0; r < rank; ++r) row[r] = v;
+        for (int m = 0; m < x.order(); ++m) {
+          if (m == mode) continue;
+          const auto frow = factors[static_cast<std::size_t>(m)].row(
+              c[static_cast<std::size_t>(m)]);
+          for (std::size_t r = 0; r < rank; ++r) row[r] *= frow[r];
+        }
+        auto orow = local->row(c[static_cast<std::size_t>(mode)]);
+        for (std::size_t r = 0; r < rank; ++r) orow[r] += row[r];
+      });
     }
 #pragma omp critical
     {
-      for (std::size_t k = 0; k < out.data().size(); ++k) {
-        out.data()[k] += local.data()[k];
+      if (local && !ec.failed()) {
+        for (std::size_t k = 0; k < out.data().size(); ++k) {
+          out.data()[k] += local->data()[k];
+        }
       }
     }
   }
+  ec.rethrow();
   return out;
 }
 

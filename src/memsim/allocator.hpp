@@ -11,17 +11,47 @@
 #include <atomic>
 #include <cstddef>
 #include <new>
+#include <string>
+#include <utility>
 
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "memsim/data_object.hpp"
 
 namespace sparta {
 
 class AllocationRegistry {
  public:
+  /// Optional hard cap on total live bytes across both tiers. A charge
+  /// that would exceed it is rolled back and throws BudgetExceeded at
+  /// the allocation site. 0 (the default) = unlimited.
+  void set_capacity(std::size_t bytes) {
+    capacity_.store(bytes, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
   void on_allocate(Tier tier, DataObject tag, std::size_t bytes) {
+    SPARTA_FAILPOINT("budget.charge");
     auto& cell = cells_[idx(tier, tag)];
     const std::size_t live =
         cell.live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+    if (cap != 0) {
+      const std::size_t total =
+          live_bytes(Tier::kDram) + live_bytes(Tier::kPmm);
+      if (total > cap) {
+        cell.live.fetch_sub(bytes, std::memory_order_relaxed);
+        throw BudgetExceeded(
+            "memory budget exceeded: charging " + std::to_string(bytes) +
+                " bytes to " + std::string(data_object_name(tag)) +
+                " would put " + std::to_string(total) +
+                " live bytes over the " + std::to_string(cap) +
+                "-byte budget",
+            bytes, cap, total - bytes);
+      }
+    }
     // Racy max update is fine: peak is advisory accounting.
     std::size_t peak = cell.peak.load(std::memory_order_relaxed);
     while (live > peak &&
@@ -62,6 +92,67 @@ class AllocationRegistry {
     std::atomic<std::size_t> peak{0};
   };
   std::array<Cell, 2 * kNumDataObjects> cells_{};
+  std::atomic<std::size_t> capacity_{0};
+};
+
+/// RAII charge against one (registry, tier, tag) account. `update(n)`
+/// charges growth (which may throw BudgetExceeded) and refunds
+/// shrinkage; the destructor refunds whatever is still charged, so a
+/// throwing contraction stage can never leak tracked bytes. Movable,
+/// not copyable; a default-constructed charge is inert.
+class ScopedCharge {
+ public:
+  ScopedCharge() = default;
+  ScopedCharge(AllocationRegistry* registry, Tier tier, DataObject tag)
+      : registry_(registry), tier_(tier), tag_(tag) {}
+
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+  ScopedCharge(ScopedCharge&& o) noexcept
+      : registry_(std::exchange(o.registry_, nullptr)),
+        tier_(o.tier_),
+        tag_(o.tag_),
+        charged_(std::exchange(o.charged_, 0)) {}
+  ScopedCharge& operator=(ScopedCharge&& o) noexcept {
+    if (this != &o) {
+      release();
+      registry_ = std::exchange(o.registry_, nullptr);
+      tier_ = o.tier_;
+      tag_ = o.tag_;
+      charged_ = std::exchange(o.charged_, 0);
+    }
+    return *this;
+  }
+  ~ScopedCharge() { release(); }
+
+  /// Adjusts the charge to `bytes` total. Growth goes through
+  /// on_allocate and may throw BudgetExceeded (the charge then stays at
+  /// its previous value); shrinkage is refunded immediately.
+  void update(std::size_t bytes) {
+    if (!registry_) return;
+    if (bytes > charged_) {
+      registry_->on_allocate(tier_, tag_, bytes - charged_);
+      charged_ = bytes;
+    } else if (bytes < charged_) {
+      registry_->on_deallocate(tier_, tag_, charged_ - bytes);
+      charged_ = bytes;
+    }
+  }
+
+  void release() noexcept {
+    if (registry_ && charged_ != 0) {
+      registry_->on_deallocate(tier_, tag_, charged_);
+    }
+    charged_ = 0;
+  }
+
+  [[nodiscard]] std::size_t charged() const { return charged_; }
+
+ private:
+  AllocationRegistry* registry_ = nullptr;
+  Tier tier_ = Tier::kDram;
+  DataObject tag_ = DataObject::kX;
+  std::size_t charged_ = 0;
 };
 
 /// std-compatible allocator charging a (registry, tier, tag) account.

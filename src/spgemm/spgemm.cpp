@@ -87,35 +87,48 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b,
 
   if (opts.sizing == SpgemmSizing::kTwoPhase) {
     // Symbolic phase: count each row's distinct output columns.
+    ExceptionCollector ec;
 #pragma omp parallel num_threads(nthreads)
     {
-      LinearProbeAccumulator acc(64);
+      // Thread-local state built under the guard: every thread must
+      // still reach the `omp for` below even if construction throws.
+      std::unique_ptr<LinearProbeAccumulator> acc;
+      ec.run([&] { acc = std::make_unique<LinearProbeAccumulator>(64); });
 #pragma omp for schedule(dynamic, 64)
       for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(rows);
            ++r) {
-        acc.clear();
-        multiply_row(a, b, static_cast<index_t>(r),
-                     [&](index_t c, value_t) { acc.accumulate(c, 0.0); });
-        row_nnz[static_cast<std::size_t>(r)] = acc.size();
+        ec.run([&, r] {
+          acc->clear();
+          multiply_row(a, b, static_cast<index_t>(r),
+                       [&](index_t c, value_t) { acc->accumulate(c, 0.0); });
+          row_nnz[static_cast<std::size_t>(r)] = acc->size();
+        });
       }
     }
+    ec.rethrow();
   }
 
   row_cols_out.resize(rows);
   row_vals_out.resize(rows);
 
+  ExceptionCollector numeric_ec;
 #pragma omp parallel num_threads(nthreads)
   {
-    // Thread-local accumulators, constructed once.
+    // Thread-local accumulators, constructed once — under the guard so a
+    // throwing constructor cannot skip the worksharing constructs below.
     std::unique_ptr<DenseSpaRow> spa;
-    if (opts.accumulator == SpgemmAccumulator::kDenseSpa) {
-      spa = std::make_unique<DenseSpaRow>(b.cols());
-    }
-    LinearProbeAccumulator hash(256);
+    std::unique_ptr<LinearProbeAccumulator> hash;
+    numeric_ec.run([&] {
+      if (opts.accumulator == SpgemmAccumulator::kDenseSpa) {
+        spa = std::make_unique<DenseSpaRow>(b.cols());
+      }
+      hash = std::make_unique<LinearProbeAccumulator>(256);
+    });
     std::size_t flops = 0;
 
 #pragma omp for schedule(dynamic, 64)
     for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(rows); ++r) {
+      numeric_ec.run([&, r] {
       const auto row = static_cast<index_t>(r);
       const auto ri = static_cast<std::size_t>(r);
       auto& cols_out = row_cols_out[ri];
@@ -133,11 +146,11 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b,
           vals_out.push_back(v);
         });
       } else {
-        hash.clear();
+        hash->clear();
         flops += multiply_row(a, b, row, [&](index_t c, value_t v) {
-          hash.accumulate(c, v);
+          hash->accumulate(c, v);
         });
-        hash.drain([&](lnkey_t c, value_t v) {
+        hash->drain([&](lnkey_t c, value_t v) {
           cols_out.push_back(static_cast<index_t>(c));
           vals_out.push_back(v);
         });
@@ -157,9 +170,11 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b,
         vals_out.swap(sv);
       }
       row_nnz[ri] = cols_out.size();
+      });
     }
     total_flops += flops;
   }
+  numeric_ec.rethrow();
 
   // Assemble CSR from the per-row pieces.
   std::vector<std::size_t> rowptr(rows + 1, 0);
@@ -167,14 +182,18 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b,
   const std::size_t nnz = rowptr[rows];
   std::vector<index_t> colidx(nnz);
   std::vector<value_t> vals(nnz);
+  ExceptionCollector gather_ec;
 #pragma omp parallel for schedule(static) num_threads(nthreads)
   for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(rows); ++r) {
-    const auto ri = static_cast<std::size_t>(r);
-    std::copy(row_cols_out[ri].begin(), row_cols_out[ri].end(),
-              colidx.begin() + static_cast<std::ptrdiff_t>(rowptr[ri]));
-    std::copy(row_vals_out[ri].begin(), row_vals_out[ri].end(),
-              vals.begin() + static_cast<std::ptrdiff_t>(rowptr[ri]));
+    gather_ec.run([&, r] {
+      const auto ri = static_cast<std::size_t>(r);
+      std::copy(row_cols_out[ri].begin(), row_cols_out[ri].end(),
+                colidx.begin() + static_cast<std::ptrdiff_t>(rowptr[ri]));
+      std::copy(row_vals_out[ri].begin(), row_vals_out[ri].end(),
+                vals.begin() + static_cast<std::ptrdiff_t>(rowptr[ri]));
+    });
   }
+  gather_ec.rethrow();
 
   if (stats) {
     stats->flops = total_flops.load();
@@ -192,18 +211,22 @@ std::vector<value_t> spmv(const CsrMatrix& a, std::span<const value_t> x,
   const int nthreads =
       num_threads > 0 ? num_threads : max_threads();
   std::vector<value_t> y(a.rows(), value_t{0});
+  ExceptionCollector ec;
 #pragma omp parallel for schedule(static) num_threads(nthreads)
   for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(a.rows());
        ++r) {
-    const auto row = static_cast<index_t>(r);
-    const auto cols = a.row_cols(row);
-    const auto vals = a.row_vals(row);
-    value_t acc{0};
-    for (std::size_t i = 0; i < cols.size(); ++i) {
-      acc += vals[i] * x[cols[i]];
-    }
-    y[static_cast<std::size_t>(r)] = acc;
+    ec.run([&, r] {
+      const auto row = static_cast<index_t>(r);
+      const auto cols = a.row_cols(row);
+      const auto vals = a.row_vals(row);
+      value_t acc{0};
+      for (std::size_t i = 0; i < cols.size(); ++i) {
+        acc += vals[i] * x[cols[i]];
+      }
+      y[static_cast<std::size_t>(r)] = acc;
+    });
   }
+  ec.rethrow();
   return y;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <string_view>
@@ -36,6 +37,9 @@ bool tokenize(std::string_view line, std::vector<std::string_view>& out) {
 std::uint64_t parse_index(std::string_view tok, int line_no) {
   std::uint64_t v = 0;
   const auto [ptr, ec] = std::from_chars(tok.begin(), tok.end(), v);
+  SPARTA_CHECK(ec != std::errc::result_out_of_range,
+               "line " + std::to_string(line_no) + ": index token '" +
+                   std::string(tok) + "' overflows 64-bit range");
   SPARTA_CHECK(ec == std::errc{} && ptr == tok.end(),
                "line " + std::to_string(line_no) + ": bad index token '" +
                    std::string(tok) + "'");
@@ -48,9 +52,16 @@ double parse_value(std::string_view tok, int line_no) {
   // std::from_chars for double is available in libstdc++ 11+; use it.
   double v = 0;
   const auto [ptr, ec] = std::from_chars(tok.begin(), tok.end(), v);
+  SPARTA_CHECK(ec != std::errc::result_out_of_range,
+               "line " + std::to_string(line_no) + ": value '" +
+                   std::string(tok) + "' does not fit a double");
   SPARTA_CHECK(ec == std::errc{} && ptr == tok.end(),
                "line " + std::to_string(line_no) + ": bad value token '" +
                    std::string(tok) + "'");
+  SPARTA_CHECK(std::isfinite(v),
+               "line " + std::to_string(line_no) + ": value '" +
+                   std::string(tok) +
+                   "' is not finite (inf/nan values poison contractions)");
   return v;
 }
 
@@ -102,7 +113,10 @@ SparseTensor read_tns(std::istream& in,
       const auto& col = cols[static_cast<std::size_t>(m)];
       for (index_t v : col) {
         SPARTA_CHECK(v < shape[static_cast<std::size_t>(m)],
-                     "index exceeds supplied mode size");
+                     "mode " + std::to_string(m) + ": index " +
+                         std::to_string(v + 1) +
+                         " exceeds the supplied mode size " +
+                         std::to_string(shape[static_cast<std::size_t>(m)]));
       }
     }
   } else {
@@ -130,7 +144,11 @@ SparseTensor read_tns_file(const std::string& path,
                            std::optional<std::vector<index_t>> dims) {
   std::ifstream in(path);
   SPARTA_CHECK(in.good(), "cannot open '" + path + "' for reading");
-  return read_tns(in, std::move(dims));
+  try {
+    return read_tns(in, std::move(dims));
+  } catch (const Error& e) {
+    throw Error("'" + path + "': " + e.what());
+  }
 }
 
 void write_tns(std::ostream& out, const SparseTensor& t) {

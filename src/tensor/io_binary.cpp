@@ -62,6 +62,9 @@ SparseTensor read_sptn(std::istream& in) {
   const auto order = get<std::uint32_t>(in);
   SPARTA_CHECK(order >= 1 && order <= 64, "implausible SPTN order");
   const auto nnz = get<std::uint64_t>(in);
+  // A corrupt header must not drive a multi-terabyte allocation below.
+  SPARTA_CHECK(nnz <= (std::uint64_t{1} << 40),
+               "implausible SPTN nnz " + std::to_string(nnz));
 
   std::vector<index_t> dims(order);
   for (auto& d : dims) {
@@ -70,11 +73,21 @@ SparseTensor read_sptn(std::istream& in) {
   }
 
   std::vector<std::vector<index_t>> cols(order);
-  for (auto& col : cols) {
+  for (std::uint32_t m = 0; m < order; ++m) {
+    auto& col = cols[m];
     col.resize(nnz);
     in.read(reinterpret_cast<char*>(col.data()),
             static_cast<std::streamsize>(nnz * sizeof(index_t)));
-    SPARTA_CHECK(in.good(), "truncated SPTN column data");
+    SPARTA_CHECK(in.good(), "truncated SPTN column data (mode " +
+                                std::to_string(m) + ")");
+    // Mirror the text reader's bound checks so a corrupt stream fails
+    // with a precise message, not from_columns' generic one.
+    for (index_t v : col) {
+      SPARTA_CHECK(v < dims[m],
+                   "mode " + std::to_string(m) + ": index " +
+                       std::to_string(v) + " out of bounds (mode size " +
+                       std::to_string(dims[m]) + ")");
+    }
   }
   std::vector<value_t> vals(nnz);
   in.read(reinterpret_cast<char*>(vals.data()),
@@ -90,7 +103,11 @@ SparseTensor read_sptn(std::istream& in) {
 SparseTensor read_sptn_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   SPARTA_CHECK(in.good(), "cannot open '" + path + "' for reading");
-  return read_sptn(in);
+  try {
+    return read_sptn(in);
+  } catch (const Error& e) {
+    throw Error("'" + path + "': " + e.what());
+  }
 }
 
 }  // namespace sparta

@@ -1,0 +1,142 @@
+// Asserts the documented estimator accuracy contract
+// (kEstimatorAccuracyFactor in contraction/estimators.hpp): the Eq. 5/6
+// and Z_local estimates are compared against the peaks an
+// AllocationRegistry measured while the engine actually ran. This is the
+// property the budget pre-flight gate stands on — if it rots, budgeted
+// contractions start rejecting workloads that would have fit (or
+// admitting ones that won't).
+#include <gtest/gtest.h>
+
+#include "contraction/contract.hpp"
+#include "contraction/estimators.hpp"
+#include "memsim/allocator.hpp"
+#include "tensor/generators.hpp"
+
+namespace sparta {
+namespace {
+
+struct MeasuredCase {
+  ContractResult result;
+  std::size_t peak_hty = 0;
+  std::size_t peak_hta = 0;
+  std::size_t peak_zlocal = 0;
+};
+
+// One tracked single-threaded contraction; a fresh registry per case so
+// peaks are not polluted by earlier runs. Single thread makes the HtA /
+// Z_local accounts equal to the per-thread values Eq. 6 models.
+MeasuredCase run_tracked(int contract_modes, std::size_t nnz,
+                         std::uint64_t seed) {
+  PairedSpec ps;
+  ps.x.dims = {50, 40, 30, 20};
+  ps.x.nnz = nnz;
+  ps.x.seed = seed;
+  ps.y.dims = {50, 40, 25, 15};
+  ps.y.nnz = nnz;
+  ps.y.seed = seed + 1;
+  ps.num_contract_modes = contract_modes;
+  ps.match_fraction = 0.8;
+  const TensorPair pair = generate_contraction_pair(ps);
+  Modes c;
+  for (int m = 0; m < contract_modes; ++m) c.push_back(m);
+
+  AllocationRegistry reg;
+  ContractOptions o;
+  o.algorithm = Algorithm::kSparta;
+  o.num_threads = 1;
+  o.registry = &reg;
+
+  MeasuredCase mc;
+  mc.result = contract(pair.x, pair.y, c, c, o);
+  mc.peak_hty = reg.peak_bytes(Tier::kDram, DataObject::kHtY);
+  mc.peak_hta = reg.peak_bytes(Tier::kDram, DataObject::kHtA);
+  mc.peak_zlocal = reg.peak_bytes(Tier::kDram, DataObject::kZlocal);
+  return mc;
+}
+
+// Mirrors the engine's HtY auto bucket sizing (≈ nnz_Y, next 2^k).
+std::size_t auto_buckets(std::size_t nnz_y) {
+  std::size_t buckets = 16;
+  while (buckets < nnz_y) buckets <<= 1;
+  return buckets;
+}
+
+TEST(EstimatorAccuracy, Eq5WithinFactorOfTrackedHtyPeakBothWays) {
+  for (int m : {1, 2}) {
+    for (std::size_t nnz : {1000u, 4000u}) {
+      const MeasuredCase mc = run_tracked(m, nnz, 41 + nnz + m);
+      const std::size_t est = estimate_hty_bytes(
+          mc.result.stats.nnz_y, /*order_y=*/4,
+          auto_buckets(mc.result.stats.nnz_y));
+      ASSERT_GT(mc.peak_hty, 0u) << m << "-mode nnz=" << nnz;
+      EXPECT_LT(mc.peak_hty,
+                static_cast<std::size_t>(est * kEstimatorAccuracyFactor))
+          << m << "-mode nnz=" << nnz;
+      EXPECT_LT(est, static_cast<std::size_t>(mc.peak_hty *
+                                              kEstimatorAccuracyFactor))
+          << m << "-mode nnz=" << nnz;
+    }
+  }
+}
+
+TEST(EstimatorAccuracy, Eq6BoundsTrackedPerThreadHtaPeak) {
+  for (int m : {1, 2}) {
+    const MeasuredCase mc = run_tracked(m, 3000, 57 + m);
+    // Eq. 6's inputs are known before the accumulator exists: the
+    // largest X sub-tensor and the largest HtY group.
+    const std::size_t bound = estimate_hta_bytes(
+        mc.result.stats.max_x_subtensor, mc.result.stats.max_y_group,
+        /*num_free_y=*/4 - m, /*num_buckets=*/1024);
+    ASSERT_GT(mc.peak_hta, 0u) << m << "-mode";
+    // The documented contract is one-sided: measured per-thread peak
+    // must stay below factor × bound. (Eq. 6 may overshoot arbitrarily
+    // on skewed inputs — that is the bound doing its job.)
+    EXPECT_LT(mc.peak_hta,
+              static_cast<std::size_t>(bound * kEstimatorAccuracyFactor))
+        << m << "-mode: measured " << mc.peak_hta << " vs bound " << bound;
+  }
+}
+
+TEST(EstimatorAccuracy, ZlocalEstimateCoversTrackedPeak) {
+  for (int m : {1, 2}) {
+    const MeasuredCase mc = run_tracked(m, 3000, 71 + m);
+    const std::size_t est = estimate_zlocal_bytes(
+        mc.result.stats.nnz_z, /*num_free_x=*/4 - m, /*num_free_y=*/4 - m);
+    ASSERT_GT(mc.peak_zlocal, 0u) << m << "-mode";
+    EXPECT_LT(mc.peak_zlocal,
+              static_cast<std::size_t>(est * kEstimatorAccuracyFactor))
+        << m << "-mode: measured " << mc.peak_zlocal << " vs estimate "
+        << est;
+  }
+}
+
+// The registry tracks without a budget; adding a budget above the
+// measured total must not change the result or trip either gate.
+TEST(EstimatorAccuracy, TrackedPeaksAreConsistentWithBudgetAdmission) {
+  const MeasuredCase mc = run_tracked(2, 2000, 83);
+
+  PairedSpec ps;
+  ps.x.dims = {50, 40, 30, 20};
+  ps.x.nnz = 2000;
+  ps.x.seed = 85;
+  ps.y.dims = {50, 40, 25, 15};
+  ps.y.nnz = 2000;
+  ps.y.seed = 86;
+  ps.num_contract_modes = 2;
+  ps.match_fraction = 0.8;
+  const TensorPair pair = generate_contraction_pair(ps);
+
+  AllocationRegistry reg;
+  ContractOptions o;
+  o.algorithm = Algorithm::kSparta;
+  o.num_threads = 1;
+  o.registry = &reg;
+  o.budget.bytes = std::size_t{64} << 20;  // 64 MiB, far above measured
+  const ContractResult r = contract(pair.x, pair.y, Modes{0, 1},
+                                    Modes{0, 1}, o);
+  EXPECT_GT(r.stats.nnz_z, 0u);
+  EXPECT_LE(reg.peak_bytes(Tier::kDram), o.budget.bytes);
+}
+
+}  // namespace
+}  // namespace sparta

@@ -2,6 +2,7 @@
 // on malformed inputs.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -153,6 +154,66 @@ TEST(TnsIo, HugeValuesAndExponents) {
   EXPECT_DOUBLE_EQ(t.value(0), 1e308);
   EXPECT_DOUBLE_EQ(t.value(1), -1e-308);
   EXPECT_DOUBLE_EQ(t.value(2), 0.0);  // explicit zeros are kept by I/O
+}
+
+// Helper: parse and return the Error message, or "" when no throw.
+std::string parse_error(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    (void)read_tns(in);
+    return "";
+  } catch (const Error& e) {
+    return e.what();
+  }
+}
+
+TEST(TnsIo, RejectsNonFiniteValues) {
+  // inf/nan parse as valid doubles but poison every contraction they
+  // touch; the reader must refuse them with the offending line.
+  EXPECT_NE(parse_error("1 1 inf\n").find("not finite"), std::string::npos);
+  EXPECT_NE(parse_error("1 1 -inf\n").find("not finite"), std::string::npos);
+  EXPECT_NE(parse_error("1 1 nan\n").find("not finite"), std::string::npos);
+  EXPECT_NE(parse_error("1 1 1.0\n2 2 nan\n").find("line 2"),
+            std::string::npos);
+}
+
+TEST(TnsIo, RejectsOverflowingTokensWithDiagnosis) {
+  // A 25-digit index overflows uint64; the message must say so rather
+  // than report a generic bad token.
+  const std::string idx = parse_error("9999999999999999999999999 1 1.0\n");
+  EXPECT_NE(idx.find("overflows 64-bit range"), std::string::npos) << idx;
+  // 1e999 overflows double.
+  const std::string val = parse_error("1 1 1e999\n");
+  EXPECT_NE(val.find("does not fit a double"), std::string::npos) << val;
+}
+
+TEST(TnsIo, BoundErrorNamesModeAndSize) {
+  std::istringstream in("3 7 1.0\n");
+  try {
+    (void)read_tns(in, std::vector<index_t>{10, 5});
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("mode 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("index 7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("5"), std::string::npos) << msg;
+  }
+}
+
+TEST(TnsIo, FileErrorsCarryThePath) {
+  const std::string path = testing::TempDir() + "sparta_io_bad.tns";
+  {
+    std::ofstream out(path);
+    out << "1 1 nan\n";
+  }
+  try {
+    (void)read_tns_file(path);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path), std::string::npos) << msg;
+    EXPECT_NE(msg.find("not finite"), std::string::npos) << msg;
+  }
 }
 
 }  // namespace

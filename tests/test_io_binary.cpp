@@ -1,6 +1,7 @@
 // Tests for the SPTN binary format, including corruption injection.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -95,6 +96,61 @@ TEST(Sptn, RejectsOutOfBoundsIndices) {
 
 TEST(Sptn, MissingFileThrows) {
   EXPECT_THROW((void)read_sptn_file("/nonexistent/x.bin"), Error);
+}
+
+TEST(Sptn, RejectsImplausibleNnzBeforeAllocating) {
+  // Corrupt the nnz field to ~2^60: the reader must refuse from the
+  // header alone instead of attempting a multi-terabyte resize.
+  const SparseTensor t = sample(5);
+  std::ostringstream out(std::ios::binary);
+  write_sptn(out, t);
+  std::string bytes = out.str();
+  // Layout: 4 magic + 4 version + 4 order, then the 8-byte nnz.
+  bytes[12 + 7] = 0x10;  // top byte of little-endian nnz -> 2^60
+  std::istringstream in(bytes, std::ios::binary);
+  try {
+    (void)read_sptn(in);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible SPTN nnz"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Sptn, BoundErrorNamesModeAndSize) {
+  SparseTensor t({4, 4});
+  t.append(std::vector<index_t>{1, 1}, 1.0);
+  std::ostringstream out(std::ios::binary);
+  write_sptn(out, t);
+  std::string bytes = out.str();
+  // 4 magic + 4 version + 4 order + 8 nnz + 8 dims = 28; mode-1 column
+  // starts one index_t later.
+  bytes[28 + sizeof(index_t)] = 50;
+  std::istringstream in(bytes, std::ios::binary);
+  try {
+    (void)read_sptn(in);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("mode 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("out of bounds"), std::string::npos) << msg;
+  }
+}
+
+TEST(Sptn, FileErrorsCarryThePath) {
+  const std::string path = testing::TempDir() + "sparta_sptn_bad.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE....garbage";
+  }
+  try {
+    (void)read_sptn_file(path);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

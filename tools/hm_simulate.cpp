@@ -3,6 +3,7 @@
 // (the Fig. 7 experiment as a CLI).
 //
 //   hm_simulate -X x.tns -Y y.tns -x 0,1 -y 0,1 [--dram-mb N]
+//               [--budget-mb N] [--resilient]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -10,6 +11,7 @@
 
 #include "common/format.hpp"
 #include "contraction/contract.hpp"
+#include "contraction/resilient.hpp"
 #include "memsim/cost_model.hpp"
 #include "tensor/io.hpp"
 
@@ -26,6 +28,22 @@ sparta::Modes parse_modes(const char* s) {
   return modes;
 }
 
+void usage() {
+  std::fprintf(stderr,
+               "usage: hm_simulate -X x.tns -Y y.tns -x 0,1 -y 0,1 "
+               "[--dram-mb N]\n"
+               "                   [--budget-mb N] [--resilient]\n"
+               "  --dram-mb N    simulated DRAM tier capacity (default: a\n"
+               "                 third of the workload footprint)\n"
+               "  --budget-mb N  hard memory budget for the contraction\n"
+               "                 itself (Eq. 5/6 pre-flight + tracked\n"
+               "                 runtime charges; throws BudgetExceeded)\n"
+               "  --resilient    run via contract_resilient(): on a budget\n"
+               "                 or allocation failure, degrade through\n"
+               "                 lighter algorithms and chunked execution,\n"
+               "                 then print the resilience report\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -33,6 +51,8 @@ int main(int argc, char** argv) {
   std::string xpath, ypath;
   Modes cx, cy;
   std::uint64_t dram_mb = 0;  // 0 = a third of the workload footprint
+  std::uint64_t budget_mb = 0;
+  bool resilient = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -53,10 +73,12 @@ int main(int argc, char** argv) {
       cy = parse_modes(next());
     } else if (arg == "--dram-mb") {
       dram_mb = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--budget-mb") {
+      budget_mb = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--resilient") {
+      resilient = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: hm_simulate -X x.tns -Y y.tns -x 0,1 -y 0,1 "
-                   "[--dram-mb N]\n");
+      usage();
       return arg == "--help" || arg == "-h" ? 0 : 1;
     }
   }
@@ -72,7 +94,23 @@ int main(int argc, char** argv) {
 
     ContractOptions o;
     o.collect_access_profile = true;
-    const ContractResult r = contract(x, y, cx, cy, o);
+    o.budget.bytes = static_cast<std::size_t>(budget_mb) << 20;
+    if (o.budget.bytes > 0) {
+      std::printf("memory budget: %s\n",
+                  format_bytes(o.budget.bytes).c_str());
+    }
+
+    ContractResult r;
+    if (resilient) {
+      ResilientResult rr = contract_resilient(x, y, cx, cy, o);
+      r = std::move(rr.result);
+      std::printf("resilience: served by %s%s\n  %s\n",
+                  rr.report.serving().describe().c_str(),
+                  rr.report.degraded() ? " (degraded)" : "",
+                  rr.report.summary().c_str());
+    } else {
+      r = contract(x, y, cx, cy, o);
+    }
     const AccessProfile& p = r.profile;
     std::printf("Z: %s   (measured all-DRAM run: %s)\n",
                 r.z.summary().c_str(),
@@ -109,6 +147,12 @@ int main(int argc, char** argv) {
       std::printf("%-12s %12s %11.2fx\n", row.name,
                   format_seconds(row.secs).c_str(), pmm_only / row.secs);
     }
+  } catch (const sparta::BudgetExceeded& e) {
+    std::fprintf(stderr,
+                 "budget exceeded: %s\n(re-run with --resilient to degrade "
+                 "instead of failing)\n",
+                 e.what());
+    return 1;
   } catch (const sparta::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
