@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validate a bench --json report against the schema documented in
+docs/OBSERVABILITY.md. The schema is append-only: this script checks
+that every promised field is present and well-typed, and ignores any
+extra fields a newer writer may have added.
+
+Usage: check_bench_json.py report.json [report2.json ...]
+"""
+import json
+import sys
+
+# Must match src/common/timer.hpp stage_name(), in pipeline order.
+STAGE_KEYS = [
+    "input_processing",
+    "index_search",
+    "accumulation",
+    "writeback",
+    "output_sorting",
+]
+
+REQUIRED_COUNTERS = ["nnz_x", "nnz_y", "nnz_z", "searches", "hits",
+                     "multiplies"]
+
+
+def fail(path, msg):
+    print(f"{path}: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_number(path, obj, key, minimum=0):
+    if key not in obj:
+        fail(path, f"missing key '{key}'")
+    v = obj[key]
+    if not isinstance(v, (int, float)) or isinstance(v, bool):
+        fail(path, f"'{key}' is {type(v).__name__}, expected number")
+    if v < minimum:
+        fail(path, f"'{key}' = {v} < {minimum}")
+
+
+def check_report(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != 1:
+        fail(path, f"schema_version = {doc.get('schema_version')!r}, "
+                   "expected 1")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        fail(path, "'bench' missing or empty")
+    if not isinstance(doc.get("smoke"), bool):
+        fail(path, "'smoke' missing or not a bool")
+    check_number(path, doc, "scale")
+    check_number(path, doc, "repeats", minimum=1)
+    check_number(path, doc, "threads", minimum=1)
+    cases = doc.get("cases")
+    if not isinstance(cases, list) or not cases:
+        fail(path, "'cases' missing or empty")
+    for i, c in enumerate(cases):
+        where = f"cases[{i}]"
+        if not isinstance(c.get("name"), str) or not c["name"]:
+            fail(path, f"{where}: 'name' missing or empty")
+        check_number(path, c, "repeats", minimum=1)
+        secs = c.get("seconds")
+        if not isinstance(secs, dict):
+            fail(path, f"{where}: 'seconds' missing")
+        check_number(path, secs, "min")
+        check_number(path, secs, "median")
+        if secs["median"] < secs["min"]:
+            fail(path, f"{where}: median {secs['median']} < min "
+                       f"{secs['min']}")
+        stages = c.get("stages")
+        if not isinstance(stages, dict):
+            fail(path, f"{where}: 'stages' missing")
+        for k in STAGE_KEYS:
+            check_number(path, stages, k)
+        counters = c.get("counters")
+        if not isinstance(counters, dict):
+            fail(path, f"{where}: 'counters' missing")
+        for k in REQUIRED_COUNTERS:
+            check_number(path, counters, k)
+        if counters["hits"] > counters["searches"]:
+            fail(path, f"{where}: hits > searches")
+    print(f"{path}: OK ({doc['bench']}, {len(cases)} cases)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for path in sys.argv[1:]:
+        check_report(path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by the obs trace
+recorder (SPARTA_TRACE / --trace): the document must parse, every event
+must carry the trace_event essentials, and — when --expect-contract is
+given — the five pipeline-stage spans, at least one sub-phase span, and
+at least one counter ('C') track must be present.
+
+Usage: check_trace.py trace.json [--expect-contract]
+"""
+import json
+import sys
+
+STAGE_SPANS = [
+    "input_processing",
+    "index_search",
+    "accumulation",
+    "writeback",
+    "output_sorting",
+]
+SUBPHASE_SPANS = ["permute_sort_x", "sort_y", "build_hty", "gather"]
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    expect_contract = "--expect-contract" in sys.argv
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    path = args[0]
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("'traceEvents' missing or not a list")
+    if "droppedEvents" not in doc:
+        fail("'droppedEvents' missing")
+    for i, e in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in e:
+                fail(f"traceEvents[{i}] missing '{key}'")
+        if e["ph"] == "X" and "dur" not in e:
+            fail(f"traceEvents[{i}]: complete event without 'dur'")
+
+    names_by_phase = {}
+    for e in events:
+        names_by_phase.setdefault(e["ph"], set()).add(e["name"])
+    spans = names_by_phase.get("X", set())
+
+    if expect_contract:
+        missing = [s for s in STAGE_SPANS if s not in spans]
+        if missing:
+            fail(f"missing stage spans: {missing} (have: {sorted(spans)})")
+        if not any(s in spans for s in SUBPHASE_SPANS):
+            fail(f"no sub-phase span among {SUBPHASE_SPANS} "
+                 f"(have: {sorted(spans)})")
+        if not names_by_phase.get("C"):
+            fail("no counter ('C') track in trace")
+
+    counters = sorted(names_by_phase.get("C", set()))
+    print(f"{path}: OK ({len(events)} events, "
+          f"{len(spans)} span names, counter tracks: {counters}, "
+          f"dropped: {doc['droppedEvents']})")
+
+
+if __name__ == "__main__":
+    main()

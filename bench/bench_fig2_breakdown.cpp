@@ -30,7 +30,8 @@ int main(int argc, char** argv) {
       const SpTCCase c = make_sptc_case(name, modes, spa_scale);
       ContractOptions o;
       o.algorithm = Algorithm::kSpa;
-      const TimedRun run = time_contraction(c.x, c.y, c.cx, c.cy, o, 1);
+      const TimedRun run =
+          time_contraction(c.x, c.y, c.cx, c.cy, o, 1, c.label);
       const StageTimes& st = run.stages;
       std::printf("%-18s %10s | %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%%\n",
                   c.label.c_str(), format_seconds(st.total()).c_str(),

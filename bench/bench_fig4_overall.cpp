@@ -38,7 +38,10 @@ int main(int argc, char** argv) {
         o.algorithm = alg;
         const int reps = alg == Algorithm::kSpa ? 1 : repeats_from_env();
         secs[static_cast<int>(alg)] =
-            time_contraction(c.x, c.y, c.cx, c.cy, o, reps).seconds;
+            time_contraction(c.x, c.y, c.cx, c.cy, o, reps,
+                             c.label + ":" +
+                                 std::string(algorithm_name(alg)))
+                .seconds;
       }
       const double s_hta = secs[0] / secs[1];
       const double s_sparta = secs[0] / secs[2];

@@ -30,7 +30,8 @@ int main(int argc, char** argv) {
       const SpTCCase c = make_sptc_case(name, modes, case_scale);
       ContractOptions o;
       o.algorithm = Algorithm::kSparta;
-      const TimedRun run = time_contraction(c.x, c.y, c.cx, c.cy, o, reps);
+      const TimedRun run =
+          time_contraction(c.x, c.y, c.cx, c.cy, o, reps, c.label);
       const StageTimes& st = run.stages;
       std::printf("%-18s %10s | %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%%\n",
                   c.label.c_str(), format_seconds(st.total()).c_str(),

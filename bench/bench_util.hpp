@@ -6,6 +6,7 @@
 // on a laptop; raise the scale for longer, more contrasted runs.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -14,6 +15,7 @@
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "contraction/contract.hpp"
+#include "obs/json.hpp"
 #include "tensor/datasets.hpp"
 
 namespace sparta::bench {
@@ -26,18 +28,109 @@ inline bool& smoke_mode() {
   return v;
 }
 
-/// Parses the shared bench CLI (currently just --smoke). Unknown flags
-/// abort with usage so typos can't silently run a full benchmark in CI.
+/// Output path of the machine-readable report (--json); empty = off.
+inline std::string& json_path() {
+  static std::string p;
+  return p;
+}
+
+/// This binary's name (argv[0] basename), the "bench" field of the
+/// JSON report.
+inline std::string& bench_name() {
+  static std::string n = "bench";
+  return n;
+}
+
+/// One timed case as it appears in the JSON report's "cases" array.
+struct JsonCase {
+  std::string name;
+  int repeats = 0;
+  double min_seconds = 0.0;
+  double median_seconds = 0.0;
+  std::string stages_json;    ///< StageTimes::to_json()
+  std::string counters_json;  ///< ContractStats::to_json()
+};
+
+inline std::vector<JsonCase>& json_cases() {
+  static std::vector<JsonCase> v;
+  return v;
+}
+
+inline double scale_from_env();
+inline int repeats_from_env();
+
+/// Writes the accumulated JSON report to json_path(). Registered via
+/// atexit by parse_cli so every bench gets it without per-main wiring;
+/// schema documented in docs/OBSERVABILITY.md (append-only: fields are
+/// added, never renamed or removed).
+inline void write_json_report() {
+  if (json_path().empty()) return;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema_version").value(1);
+  w.key("bench").value(std::string_view(bench_name()));
+  w.key("smoke").value(smoke_mode());
+  w.key("scale").value(scale_from_env());
+  w.key("repeats").value(repeats_from_env());
+  w.key("threads").value(max_threads());
+  w.key("cases").begin_array();
+  for (const JsonCase& c : json_cases()) {
+    w.begin_object();
+    w.key("name").value(std::string_view(c.name));
+    w.key("repeats").value(c.repeats);
+    w.key("seconds").begin_object();
+    w.key("min").value(c.min_seconds);
+    w.key("median").value(c.median_seconds);
+    w.end_object();
+    w.key("stages").raw(c.stages_json);
+    w.key("counters").raw(c.counters_json);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::FILE* f = std::fopen(json_path().c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench: cannot write JSON report to '%s'\n",
+                 json_path().c_str());
+    return;
+  }
+  const std::string& doc = w.str();
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+}
+
+/// Parses the shared bench CLI: --smoke and --json <path>. Unknown
+/// flags abort with usage so typos can't silently run a full benchmark
+/// in CI.
 inline void parse_cli(int argc, char** argv) {
+  if (argc > 0) {
+    const std::string prog = argv[0];
+    const std::size_t slash = prog.find_last_of('/');
+    bench_name() =
+        slash == std::string::npos ? prog : prog.substr(slash + 1);
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--smoke") {
       smoke_mode() = true;
+    } else if (a == "--json" && i + 1 < argc) {
+      json_path() = argv[++i];
     } else {
-      std::fprintf(stderr, "%s: unknown flag '%s' (supported: --smoke)\n",
+      std::fprintf(stderr,
+                   "%s: unknown flag '%s' (supported: --smoke, "
+                   "--json <path>)\n",
                    argv[0], a.c_str());
       std::exit(2);
     }
+  }
+  if (!json_path().empty()) {
+    // Touch every static the report reads BEFORE registering the atexit
+    // handler: destructors and handlers run in reverse registration
+    // order, so anything first constructed later (inside
+    // time_contraction) would be destroyed before the report is written.
+    json_cases();
+    bench_name();
+    std::atexit(write_json_report);
   }
 }
 
@@ -66,25 +159,48 @@ inline int repeats_from_env() {
 /// Best-of-N contraction timing (seconds) plus the last run's result.
 struct TimedRun {
   double seconds = 0.0;
+  double median_seconds = 0.0;
   StageTimes stages;
   ContractStats stats;
 };
 
+/// Times `repeats` contractions, keeping the best run. When --json is
+/// active, every call also appends one case record to the report;
+/// `label` names it (auto-numbered when empty).
 inline TimedRun time_contraction(const SparseTensor& x, const SparseTensor& y,
                                  const Modes& cx, const Modes& cy,
                                  const ContractOptions& opts,
-                                 int repeats = repeats_from_env()) {
+                                 int repeats = repeats_from_env(),
+                                 const std::string& label = "") {
   TimedRun best;
   best.seconds = 1e300;
+  std::vector<double> all_secs;
+  all_secs.reserve(static_cast<std::size_t>(repeats));
   for (int r = 0; r < repeats; ++r) {
     Timer t;
     ContractResult res = contract(x, y, cx, cy, opts);
     const double secs = t.seconds();
+    all_secs.push_back(secs);
     if (secs < best.seconds) {
       best.seconds = secs;
       best.stages = res.stage_times;
       best.stats = res.stats;
     }
+  }
+  std::sort(all_secs.begin(), all_secs.end());
+  best.median_seconds =
+      all_secs.empty() ? 0.0 : all_secs[all_secs.size() / 2];
+  if (!json_path().empty()) {
+    JsonCase c;
+    c.name = label.empty()
+                 ? "case-" + std::to_string(json_cases().size())
+                 : label;
+    c.repeats = repeats;
+    c.min_seconds = best.seconds;
+    c.median_seconds = best.median_seconds;
+    c.stages_json = best.stages.to_json();
+    c.counters_json = best.stats.to_json();
+    json_cases().push_back(std::move(c));
   }
   return best;
 }

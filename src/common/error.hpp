@@ -11,6 +11,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace sparta {
 
 /// Exception type thrown by every sparta API on invalid input.
@@ -31,7 +34,22 @@ class BudgetExceeded : public Error {
       : Error(what),
         requested_(requested_bytes),
         limit_(limit_bytes),
-        live_(live_bytes) {}
+        live_(live_bytes) {
+    // Constructing one implies a throw is imminent; a single
+    // observability hook here covers every site (pre-flight gates,
+    // tracked charges, injected faults).
+    SPARTA_COUNTER_ADD("error.budget_exceeded", 1);
+    if (obs::trace_enabled()) {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("requested_bytes")
+          .value(static_cast<std::uint64_t>(requested_bytes));
+      w.key("limit_bytes").value(static_cast<std::uint64_t>(limit_bytes));
+      w.key("live_bytes").value(static_cast<std::uint64_t>(live_bytes));
+      w.end_object();
+      obs::trace_instant("budget_exceeded", w.str());
+    }
+  }
 
   /// Bytes of the charge (or estimate) that tripped the budget.
   [[nodiscard]] std::size_t requested_bytes() const { return requested_; }

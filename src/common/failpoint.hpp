@@ -36,6 +36,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sparta::failpoint {
 
@@ -103,6 +105,10 @@ inline void hit(const char* name) {
     ++s.fired;
     action = s.spec.action;
     site_name = it->first;
+  }
+  SPARTA_COUNTER_ADD("failpoint.fired", 1);
+  if (obs::trace_enabled()) {
+    obs::trace_instant("failpoint:" + site_name);
   }
   switch (action) {
     case Action::kBadAlloc:

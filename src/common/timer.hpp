@@ -8,7 +8,10 @@
 #include <array>
 #include <chrono>
 #include <cstdint>
+#include <string>
 #include <string_view>
+
+#include "obs/json.hpp"
 
 namespace sparta {
 
@@ -68,9 +71,10 @@ inline constexpr int kNumStages = 5;
 struct StageTimes {
   std::array<double, kNumStages> seconds{};
 
-  [[nodiscard]] double& operator[](Stage s) {
-    return seconds[static_cast<int>(s)];
-  }
+  // Deliberately not [[nodiscard]]: the mutable overload exists to be
+  // written through (`times[Stage::kWriteback] = t;`), and a nodiscard
+  // here flags every such assignment.
+  double& operator[](Stage s) { return seconds[static_cast<int>(s)]; }
   [[nodiscard]] double operator[](Stage s) const {
     return seconds[static_cast<int>(s)];
   }
@@ -90,6 +94,19 @@ struct StageTimes {
   StageTimes& operator+=(const StageTimes& o) {
     for (int i = 0; i < kNumStages; ++i) seconds[i] += o.seconds[i];
     return *this;
+  }
+
+  /// JSON object mapping each stage_name() to its elapsed seconds —
+  /// the shared shape of the bench --json "stages" field and the
+  /// SPARTA_METRICS "sections" export.
+  [[nodiscard]] std::string to_json() const {
+    obs::JsonWriter w;
+    w.begin_object();
+    for (int i = 0; i < kNumStages; ++i) {
+      w.key(stage_name(static_cast<Stage>(i))).value(seconds[i]);
+    }
+    w.end_object();
+    return w.str();
   }
 };
 

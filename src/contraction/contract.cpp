@@ -20,6 +20,9 @@
 #include "hashtable/linear_probe.hpp"
 #include "hashtable/spa.hpp"
 #include "memsim/allocator.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/linearize.hpp"
 
 namespace sparta {
@@ -428,6 +431,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
                              const YPlan* plan, const Modes& cx,
                              const Modes& cy, const ContractOptions& opts) {
   opts.validate();
+  if (opts.trace) obs::TraceRecorder::global().enable();
   ModeSplit split;
   if (y) {
     split = validate_modes(x, *y, cx, cy);
@@ -488,6 +492,18 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   res.stats.nnz_x = x.nnz();
   res.stats.nnz_y = y ? y->nnz() : plan->nnz_y();
 
+  // Whole-call span; the per-stage spans below nest under it.
+  obs::Span sp_contract("contract");
+  if (sp_contract.active()) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("algorithm").value(algorithm_name(opts.algorithm));
+    w.key("nnz_x").value(static_cast<std::uint64_t>(res.stats.nnz_x));
+    w.key("nnz_y").value(static_cast<std::uint64_t>(res.stats.nnz_y));
+    w.end_object();
+    sp_contract.set_args(w.str());
+  }
+
   // Z shape: free X dims then free Y dims.
   std::vector<index_t> zdims = gather_dims(x, split.fx);
   {
@@ -505,9 +521,14 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   // ① Input processing
   // ------------------------------------------------------------------
   Timer t_input;
+  obs::Span sp_input("input_processing");
   SPARTA_FAILPOINT("contract.input");
 
-  PreparedX px = prepare_x(x, split.fx, cx);
+  PreparedX px;
+  {
+    obs::Span sp("permute_sort_x");
+    px = prepare_x(x, split.fx, cx);
+  }
   res.stats.num_x_subtensors = px.ptrf.size() - 1;
   for (std::size_t f = 0; f + 1 < px.ptrf.size(); ++f) {
     res.stats.max_x_subtensor =
@@ -553,7 +574,10 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   } else {
     preflight_gate("X + sorted-Y copies",
                    px.t.footprint_bytes() + y->footprint_bytes());
-    ycoo = prepare_y_coo(*y, cy, split.fy);
+    {
+      obs::Span sp("sort_y");
+      ycoo = prepare_y_coo(*y, cy, split.fy);
+    }
     fylin_coo = LinearIndexer(nfy > 0 ? gather_dims(*y, split.fy)
                                       : std::vector<index_t>{1});
     fylin = &fylin_coo;
@@ -588,6 +612,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
                    x_charge.charged() + y_charge.charged() + est_hta);
   }
 
+  sp_input.finish();
   res.stage_times[Stage::kInputProcessing] = t_input.seconds();
 
   // ------------------------------------------------------------------
@@ -623,6 +648,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
           std::vector<HtMatch> matches;
 
           Timer t;
+          obs::Span sp_search("index_search");
           std::uint64_t searches = 0;
           std::uint64_t hits = 0;
           SPARTA_FAILPOINT("contract.search");
@@ -638,9 +664,11 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
               matches.push_back(HtMatch{items, px.t.value(i)});
             }
           }
+          sp_search.finish();
           tt.search += t.seconds();
 
           t.reset();
+          obs::Span sp_acc("accumulation");
           std::uint64_t mults = 0;
           SPARTA_FAILPOINT("contract.accumulate");
           for (const HtMatch& mt : matches) {
@@ -650,9 +678,11 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
             }
           }
           acc_charges[tid].update(acc.footprint_bytes());
+          sp_acc.finish();
           tt.accumulate += t.seconds();
 
           t.reset();
+          obs::Span sp_wb("writeback");
           SPARTA_FAILPOINT("contract.writeback");
           std::vector<index_t> fyc(std::max<std::size_t>(nfy, 1));
           std::unique_lock<std::mutex> wb_lock(writeback_mutex,
@@ -664,6 +694,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
                  std::span<const index_t>(fyc.data(), nfy), v);
           });
           wb_lock = {};
+          sp_wb.finish();
           tt.writeback += t.seconds();
 
           total_searches += searches;
@@ -706,6 +737,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
           std::vector<CooMatch> matches;
 
           Timer t;
+          obs::Span sp_search("index_search");
           std::uint64_t searches = 0;
           std::uint64_t hits = 0;
           std::uint64_t scanned = 0;
@@ -724,9 +756,11 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
               matches.push_back(CooMatch{yb, ye, px.t.value(i)});
             }
           }
+          sp_search.finish();
           tt.search += t.seconds();
 
           t.reset();
+          obs::Span sp_acc("accumulation");
           std::uint64_t mults = 0;
           SPARTA_FAILPOINT("contract.accumulate");
           std::vector<index_t> fyc(std::max<std::size_t>(nfy, 1));
@@ -746,9 +780,11 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
             }
           }
           acc_charges[tid].update(acc.footprint_bytes());
+          sp_acc.finish();
           tt.accumulate += t.seconds();
 
           t.reset();
+          obs::Span sp_wb("writeback");
           SPARTA_FAILPOINT("contract.writeback");
           std::unique_lock<std::mutex> wb_lock(writeback_mutex,
                                                 std::defer_lock);
@@ -759,6 +795,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
                  std::span<const index_t>(fyc.data(), nfy), v);
           });
           wb_lock = {};
+          sp_wb.finish();
           tt.writeback += t.seconds();
 
           total_searches += searches;
@@ -783,6 +820,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
           std::vector<CooMatch> matches;
 
           Timer t;
+          obs::Span sp_search("index_search");
           std::uint64_t searches = 0;
           std::uint64_t hits = 0;
           std::uint64_t scanned = 0;
@@ -799,9 +837,11 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
               matches.push_back(CooMatch{yb, ye, px.t.value(i)});
             }
           }
+          sp_search.finish();
           tt.search += t.seconds();
 
           t.reset();
+          obs::Span sp_acc("accumulation");
           std::uint64_t mults = 0;
           SPARTA_FAILPOINT("contract.accumulate");
           std::vector<index_t> fyc(std::max<std::size_t>(nfy, 1));
@@ -816,9 +856,11 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
             }
           }
           acc_charges[tid].update(spa.footprint_bytes());
+          sp_acc.finish();
           tt.accumulate += t.seconds();
 
           t.reset();
+          obs::Span sp_wb("writeback");
           SPARTA_FAILPOINT("contract.writeback");
           std::unique_lock<std::mutex> wb_lock(writeback_mutex,
                                                 std::defer_lock);
@@ -828,6 +870,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
           }
           wb_lock = {};
           spa.clear();
+          sp_wb.finish();
           tt.writeback += t.seconds();
 
           total_searches += searches;
@@ -867,6 +910,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   // ④ (continued) Gather thread-local Z_local buffers into Z
   // ------------------------------------------------------------------
   Timer t_gather;
+  obs::Span sp_gather("gather");
   std::size_t total_z = 0;
   std::vector<std::size_t> offsets(zlocals.size() + 1, 0);
   for (std::size_t t = 0; t < zlocals.size(); ++t) {
@@ -909,6 +953,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
 
   res.z = SparseTensor::from_columns(std::move(zdims), std::move(zcols),
                                      std::move(zvals));
+  sp_gather.finish();
   res.stage_times[Stage::kWriteback] += t_gather.seconds();
   res.stats.nnz_z = res.z.nnz();
   res.stats.z_bytes = res.z.footprint_bytes();
@@ -919,7 +964,9 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   if (opts.sort_output) {
     SPARTA_FAILPOINT("contract.sort");
     Timer t_sort;
+    obs::Span sp_sort("output_sorting");
     res.z.sort();
+    sp_sort.finish();
     res.stage_times[Stage::kOutputSorting] = t_sort.seconds();
   }
 
@@ -951,6 +998,52 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
     res.profile.set_footprint(DataObject::kZ, res.stats.z_bytes);
     res.profile.measured = res.stage_times;
   }
+
+  // ------------------------------------------------------------------
+  // Observability export: absorb the per-call ContractStats into the
+  // global metrics registry, and mirror the headline counters onto the
+  // trace's "contract" counter track.
+  // ------------------------------------------------------------------
+  if (obs::metrics_enabled()) {
+    auto& mreg = obs::MetricsRegistry::global();
+    mreg.counter("contract.calls").add_unchecked(1);
+    mreg.counter("contract.searches")
+        .add_unchecked(static_cast<std::uint64_t>(res.stats.searches));
+    mreg.counter("contract.hits")
+        .add_unchecked(static_cast<std::uint64_t>(res.stats.hits));
+    mreg.counter("contract.multiplies")
+        .add_unchecked(static_cast<std::uint64_t>(res.stats.multiplies));
+    mreg.counter("contract.nnz_z")
+        .add_unchecked(static_cast<std::uint64_t>(res.stats.nnz_z));
+    mreg.gauge("contract.hty_bytes_hwm")
+        .max_unchecked(static_cast<std::uint64_t>(res.stats.hty_bytes));
+    mreg.gauge("contract.hta_bytes_hwm")
+        .max_unchecked(static_cast<std::uint64_t>(res.stats.hta_bytes));
+    mreg.gauge("contract.zlocal_bytes_hwm")
+        .max_unchecked(static_cast<std::uint64_t>(res.stats.zlocal_bytes));
+    mreg.gauge("contract.z_bytes_hwm")
+        .max_unchecked(static_cast<std::uint64_t>(res.stats.z_bytes));
+    mreg.set_json_section("last_contract.stage_seconds",
+                          res.stage_times.to_json());
+    mreg.set_json_section("last_contract.counters", res.stats.to_json());
+  }
+  if (obs::trace_enabled()) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("searches").value(static_cast<std::uint64_t>(res.stats.searches));
+    w.key("hits").value(static_cast<std::uint64_t>(res.stats.hits));
+    w.key("multiplies")
+        .value(static_cast<std::uint64_t>(res.stats.multiplies));
+    w.key("nnz_z").value(static_cast<std::uint64_t>(res.stats.nnz_z));
+    w.end_object();
+    obs::trace_counter("contract", w.str());
+  }
+
+#ifndef NDEBUG
+  // Satellite invariant gate: a debug-build contraction that miscounts
+  // its own work fails loudly here rather than in a downstream bench.
+  res.stats.check(&res.stage_times);
+#endif
 
   return res;
 }

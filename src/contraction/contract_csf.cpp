@@ -10,6 +10,8 @@
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "hashtable/accumulator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/csf.hpp"
 #include "tensor/linearize.hpp"
 
@@ -73,6 +75,7 @@ ContractResult contract_csf(const SparseTensor& x, const YPlan& plan,
                             const Modes& cx, const ContractOptions& opts) {
   // --- validation (as in the plan-based contract path) ----------------
   opts.validate();
+  if (opts.trace) obs::TraceRecorder::global().enable();
   SPARTA_CHECK(cx.size() == plan.cy().size(),
                "cx arity must match the plan's contract modes");
   std::vector<bool> is_contract(static_cast<std::size_t>(x.order()), false);
@@ -115,8 +118,11 @@ ContractResult contract_csf(const SparseTensor& x, const YPlan& plan,
     return res;
   }
 
+  obs::Span sp_contract("contract_csf");
+
   // --- ① input processing: permute, sort, coalesce, CSF-ify ----------
   Timer t_input;
+  obs::Span sp_input("input_processing");
   SparseTensor xp = x;
   {
     Modes order = fx;
@@ -144,6 +150,7 @@ ContractResult contract_csf(const SparseTensor& x, const YPlan& plan,
     enumerate_subtensors(csf, nfx, 0, 0, csf.level_size(0), prefix, subs);
   }
   res.stats.num_x_subtensors = subs.size();
+  sp_input.finish();
   res.stage_times[Stage::kInputProcessing] = t_input.seconds();
 
   // --- ②③④ computation ------------------------------------------------
@@ -163,6 +170,9 @@ ContractResult contract_csf(const SparseTensor& x, const YPlan& plan,
   };
 
   Timer t_compute;
+  // The CSF walk interleaves search and accumulation per sub-tensor, so
+  // one span covers both stages (their seconds are split below).
+  obs::Span sp_compute("index_search+accumulation");
   ExceptionCollector compute_ec;
 #pragma omp parallel num_threads(nthreads)
   {
@@ -246,6 +256,7 @@ ContractResult contract_csf(const SparseTensor& x, const YPlan& plan,
   res.stats.multiplies = total_multiplies.load();
   res.stats.hta_bytes = static_cast<std::size_t>(acc_bytes.load()) *
                         static_cast<std::size_t>(nthreads);
+  sp_compute.finish();
   // The walk interleaves search and accumulation per sub-tensor; report
   // the combined computation under index search + accumulation halves.
   const double compute = t_compute.seconds();
@@ -254,6 +265,7 @@ ContractResult contract_csf(const SparseTensor& x, const YPlan& plan,
 
   // Gather thread-local buffers into Z.
   Timer t_gather;
+  obs::Span sp_wb("writeback");
   std::size_t total_z = 0;
   std::vector<std::size_t> offsets(zlocals.size() + 1, 0);
   for (std::size_t t = 0; t < zlocals.size(); ++t) {
@@ -287,6 +299,7 @@ ContractResult contract_csf(const SparseTensor& x, const YPlan& plan,
   res.stats.zlocal_bytes = zlocal_bytes;
   res.z = SparseTensor::from_columns(std::move(zdims), std::move(zcols),
                                      std::move(zvals));
+  sp_wb.finish();
   res.stage_times[Stage::kWriteback] = t_gather.seconds();
   res.stats.nnz_z = res.z.nnz();
   res.stats.z_bytes = res.z.footprint_bytes();
@@ -294,9 +307,25 @@ ContractResult contract_csf(const SparseTensor& x, const YPlan& plan,
   // --- ⑤ output sorting ------------------------------------------------
   if (opts.sort_output) {
     Timer t_sort;
+    obs::Span sp_sort("output_sorting");
     res.z.sort();
+    sp_sort.finish();
     res.stage_times[Stage::kOutputSorting] = t_sort.seconds();
   }
+
+  if (obs::metrics_enabled()) {
+    auto& mreg = obs::MetricsRegistry::global();
+    mreg.counter("contract_csf.calls").add_unchecked(1);
+    mreg.counter("contract_csf.searches")
+        .add_unchecked(static_cast<std::uint64_t>(res.stats.searches));
+    mreg.counter("contract_csf.multiplies")
+        .add_unchecked(static_cast<std::uint64_t>(res.stats.multiplies));
+  }
+
+#ifndef NDEBUG
+  res.stats.check(&res.stage_times);
+#endif
+
   return res;
 }
 

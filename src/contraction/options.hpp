@@ -1,10 +1,14 @@
 // Algorithm selection and tuning knobs for sparse tensor contraction.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
+#include <string>
 #include <string_view>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
+#include "obs/json.hpp"
 
 namespace sparta {
 
@@ -84,6 +88,13 @@ struct ContractOptions {
   /// production.
   bool ablation_shared_writeback = false;
 
+  /// Enables the global trace recorder (obs::TraceRecorder::global())
+  /// before the contraction starts, so its per-stage spans are
+  /// collected even without SPARTA_TRACE in the environment. The
+  /// recorder stays enabled afterwards; the caller owns writing it out
+  /// (TraceRecorder::write_file) unless SPARTA_TRACE set an output path.
+  bool trace = false;
+
   /// Memory ceiling; see MemoryBudget. Default: unlimited.
   MemoryBudget budget;
 
@@ -133,6 +144,69 @@ struct ContractStats {
   std::size_t hta_bytes = 0;          ///< measured accumulators, all threads
   std::size_t zlocal_bytes = 0;       ///< measured Z_local, all threads
   std::size_t z_bytes = 0;            ///< measured output footprint
+
+  /// Validates the cross-counter invariants every contraction must
+  /// satisfy, throwing sparta::Error on violation:
+  ///   * hits <= searches (a probe can't succeed more than it ran)
+  ///   * nnz_z <= multiplies when any multiply happened (every output
+  ///     non-zero is produced by at least one multiply-accumulate)
+  ///   * num_x_subtensors / max_x_subtensor bounded by nnz_x, and
+  ///     num_y_keys / max_y_group bounded by nnz_y
+  ///   * when `stage_times` is given and nonzero, its per-stage
+  ///     fractions sum to ~1.0
+  /// contract() asserts this at the end of every debug-build run; tests
+  /// and tools may call it in any build.
+  void check(const StageTimes* stage_times = nullptr) const {
+    SPARTA_CHECK(hits <= searches, "stats: more index-search hits ("
+                                       + std::to_string(hits) +
+                                       ") than searches (" +
+                                       std::to_string(searches) + ")");
+    SPARTA_CHECK(nnz_z <= multiplies || nnz_z == 0,
+                 "stats: " + std::to_string(nnz_z) +
+                     " output non-zeros from only " +
+                     std::to_string(multiplies) + " multiplies");
+    SPARTA_CHECK(num_x_subtensors <= nnz_x,
+                 "stats: more X sub-tensors than X non-zeros");
+    SPARTA_CHECK(max_x_subtensor <= nnz_x,
+                 "stats: largest X sub-tensor exceeds nnz(X)");
+    SPARTA_CHECK(num_y_keys <= nnz_y,
+                 "stats: more distinct Y keys than Y non-zeros");
+    SPARTA_CHECK(max_y_group <= nnz_y,
+                 "stats: largest Y group exceeds nnz(Y)");
+    if (stage_times != nullptr && stage_times->total() > 0.0) {
+      double frac = 0.0;
+      for (int i = 0; i < kNumStages; ++i) {
+        frac += stage_times->fraction(static_cast<Stage>(i));
+      }
+      SPARTA_CHECK(std::abs(frac - 1.0) < 1e-6,
+                   "stats: stage fractions sum to " + std::to_string(frac) +
+                       ", not ~1.0");
+    }
+  }
+
+  /// JSON object of every counter — the bench --json "counters" field.
+  [[nodiscard]] std::string to_json() const {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("nnz_x").value(static_cast<std::uint64_t>(nnz_x));
+    w.key("nnz_y").value(static_cast<std::uint64_t>(nnz_y));
+    w.key("nnz_z").value(static_cast<std::uint64_t>(nnz_z));
+    w.key("num_x_subtensors")
+        .value(static_cast<std::uint64_t>(num_x_subtensors));
+    w.key("num_y_keys").value(static_cast<std::uint64_t>(num_y_keys));
+    w.key("max_y_group").value(static_cast<std::uint64_t>(max_y_group));
+    w.key("max_x_subtensor")
+        .value(static_cast<std::uint64_t>(max_x_subtensor));
+    w.key("searches").value(static_cast<std::uint64_t>(searches));
+    w.key("hits").value(static_cast<std::uint64_t>(hits));
+    w.key("multiplies").value(static_cast<std::uint64_t>(multiplies));
+    w.key("hty_bytes").value(static_cast<std::uint64_t>(hty_bytes));
+    w.key("hta_bytes").value(static_cast<std::uint64_t>(hta_bytes));
+    w.key("zlocal_bytes").value(static_cast<std::uint64_t>(zlocal_bytes));
+    w.key("z_bytes").value(static_cast<std::uint64_t>(z_bytes));
+    w.end_object();
+    return w.str();
+  }
 };
 
 }  // namespace sparta

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
 #include "common/parallel.hpp"
+#include "obs/trace.hpp"
 
 namespace sparta {
 
@@ -42,6 +43,9 @@ YPlan::YPlan(const SparseTensor& y, Modes cy, std::size_t hty_buckets,
   nnz_y_ = y.nnz();
   y_footprint_ = y.footprint_bytes();
 
+  // Covers the parallel insert loop below — the "HtY build" sub-phase of
+  // input processing (nested there when called from contract_impl).
+  obs::Span sp_build("build_hty");
   const int nthreads = num_threads > 0 ? num_threads : max_threads();
   const auto n = static_cast<std::ptrdiff_t>(y.nnz());
   const std::span<const int> cy_span(cy_);

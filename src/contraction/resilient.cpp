@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace sparta {
@@ -106,6 +108,13 @@ ResilientResult contract_resilient(const SparseTensor& x,
     RungAttempt rec;
     rec.algorithm = o.algorithm;
     rec.chunks = chunks;
+    // One span per ladder rung; the name carries the rung description
+    // ("HtY+HtA", "COOY+SPA [4 chunks]", ...) so a trace shows the
+    // degradation path at a glance. Built only when tracing is on.
+    obs::Span sp(obs::TraceRecorder::global(),
+                 obs::trace_enabled() ? "rung:" + rec.describe()
+                                      : std::string());
+    SPARTA_COUNTER_ADD("resilient.attempts", 1);
     try {
       out.result = body();
       rec.succeeded = true;
@@ -118,6 +127,7 @@ ResilientResult contract_resilient(const SparseTensor& x,
     } catch (const std::bad_alloc&) {
       rec.error = "std::bad_alloc";
     }
+    SPARTA_COUNTER_ADD("resilient.rung_failures", 1);
     out.report.attempts.push_back(std::move(rec));
     return false;
   };

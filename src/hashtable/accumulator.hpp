@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "hashtable/hash.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/types.hpp"
 
 namespace sparta {
@@ -24,12 +25,16 @@ class HashAccumulator {
   /// Adds `v` to the entry for `key`, inserting it when absent.
   void accumulate(lnkey_t key, value_t v) {
     auto& chain = buckets_[hash_ln(key, bits_)];
+    std::size_t steps = 0;
     for (Entry& e : chain) {
+      ++steps;
       if (e.key == key) {
+        count_probe(steps);
         e.val += v;
         return;
       }
     }
+    count_probe(steps);
     chain.push_back(Entry{key, v});
     ++size_;
   }
@@ -64,6 +69,12 @@ class HashAccumulator {
   }
 
  private:
+  // HtA probe-length telemetry; one branch when metrics are off.
+  static void count_probe(std::size_t steps) {
+    SPARTA_COUNTER_ADD("hta.accumulates", 1);
+    SPARTA_COUNTER_ADD("hta.probe_steps", steps);
+  }
+
   struct Entry {
     lnkey_t key;
     value_t val;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "hashtable/hash.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/types.hpp"
 
 namespace sparta {
@@ -52,9 +53,15 @@ class GroupedHashMap {
   /// probes, each a single integer compare thanks to LN keys.
   [[nodiscard]] std::span<const FreeItem> find(lnkey_t key) const {
     const auto& chain = buckets_[hash_ln(key, bits_)];
+    std::size_t steps = 0;
     for (const Group& g : chain) {
-      if (g.key == key) return g.items;
+      ++steps;
+      if (g.key == key) {
+        count_probe(steps);
+        return g.items;
+      }
     }
+    count_probe(steps);
     return {};
   }
 
@@ -121,11 +128,28 @@ class GroupedHashMap {
 
   Group& group_for_bucket(lnkey_t key, std::uint64_t b) {
     auto& chain = buckets_[b];
+    std::size_t steps = 0;
     for (Group& g : chain) {
-      if (g.key == key) return g;
+      ++steps;
+      if (g.key == key) {
+        count_insert(steps);
+        return g;
+      }
     }
+    count_insert(steps);
     chain.push_back(Group{key, {}});
     return chain.back();
+  }
+
+  // HtY probe/collision telemetry (docs/OBSERVABILITY.md). Chain steps
+  // beyond the first are collisions in the separate-chaining sense.
+  static void count_probe(std::size_t steps) {
+    SPARTA_COUNTER_ADD("hty.probes", 1);
+    SPARTA_COUNTER_ADD("hty.probe_steps", steps);
+  }
+  static void count_insert(std::size_t chain_steps) {
+    SPARTA_COUNTER_ADD("hty.inserts", 1);
+    SPARTA_COUNTER_ADD("hty.insert_chain_steps", chain_steps);
   }
 
   static constexpr std::size_t kNumLocks = 256;

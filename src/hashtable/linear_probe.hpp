@@ -14,6 +14,7 @@
 
 #include "common/error.hpp"
 #include "hashtable/hash.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/types.hpp"
 
 namespace sparta {
@@ -29,13 +30,16 @@ class LinearProbeAccumulator {
     SPARTA_ASSERT(key != kEmpty);
     const std::size_t mask = slots_.size() - 1;
     std::size_t i = hash_ln(key, bits_);
+    std::size_t steps = 1;
     while (true) {
       Slot& s = slots_[i];
       if (s.key == key) {
+        count_probe(steps);
         s.val += v;
         return;
       }
       if (s.key == kEmpty) {
+        count_probe(steps);
         s.key = key;
         s.val = v;
         ++size_;
@@ -43,6 +47,7 @@ class LinearProbeAccumulator {
         return;
       }
       i = (i + 1) & mask;
+      ++steps;
     }
   }
 
@@ -77,7 +82,15 @@ class LinearProbeAccumulator {
     value_t val = 0;
   };
 
+  // Same counter names as HashAccumulator: both are "the HtA", and the
+  // ablation bench compares their probe behaviour under one metric.
+  static void count_probe(std::size_t steps) {
+    SPARTA_COUNTER_ADD("hta.accumulates", 1);
+    SPARTA_COUNTER_ADD("hta.probe_steps", steps);
+  }
+
   void grow() {
+    SPARTA_COUNTER_ADD("hta.grows", 1);
     std::vector<Slot> old;
     old.swap(slots_);
     ++bits_;

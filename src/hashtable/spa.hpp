@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "tensor/types.hpp"
 
 namespace sparta {
@@ -27,10 +28,12 @@ class SpaAccumulator {
     const std::size_t n = vals_.size();
     for (std::size_t i = 0; i < n; ++i) {
       if (tuple_equals(i, key)) {
+        count_scan(i + 1);
         vals_[i] += v;
         return;
       }
     }
+    count_scan(n);
     keys_.insert(keys_.end(), key.begin(), key.end());
     vals_.push_back(v);
   }
@@ -49,11 +52,19 @@ class SpaAccumulator {
   }
 
   void clear() {
+    SPARTA_COUNTER_ADD("spa.resets", 1);
     keys_.clear();
     vals_.clear();
   }
 
  private:
+  // SPA linear-scan telemetry: accumulate count and total tuple
+  // comparisons, exposing the O(|SPA|) cost Algorithm 1 pays per update.
+  static void count_scan(std::size_t comparisons) {
+    SPARTA_COUNTER_ADD("spa.accumulates", 1);
+    SPARTA_COUNTER_ADD("spa.scan_steps", comparisons);
+  }
+
   bool tuple_equals(std::size_t i, std::span<const index_t> key) const {
     const index_t* stored = keys_.data() + i * arity_;
     for (std::size_t m = 0; m < arity_; ++m) {

@@ -3,6 +3,8 @@
 #include <memory>
 
 #include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sparta {
 
@@ -20,6 +22,10 @@ DenseMatrix mttkrp(const SparseTensor& x,
                  "mttkrp: factor rows must match the mode size");
   }
   const int nthreads = num_threads > 0 ? num_threads : max_threads();
+
+  obs::Span sp_mttkrp("mttkrp");
+  SPARTA_COUNTER_ADD("mttkrp.calls", 1);
+  SPARTA_COUNTER_ADD("mttkrp.nnz_processed", x.nnz());
 
   const std::size_t out_rows = x.dim(mode);
   DenseMatrix out(out_rows, rank);

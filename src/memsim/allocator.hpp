@@ -17,6 +17,7 @@
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
 #include "memsim/data_object.hpp"
+#include "obs/metrics.hpp"
 
 namespace sparta {
 
@@ -58,6 +59,10 @@ class AllocationRegistry {
            !cell.peak.compare_exchange_weak(peak, live,
                                             std::memory_order_relaxed)) {
     }
+    if (obs::metrics_enabled()) {
+      SPARTA_COUNTER_ADD("alloc.charges", 1);
+      hwm_gauge(tier, tag).max_unchecked(live);
+    }
   }
 
   void on_deallocate(Tier tier, DataObject tag, std::size_t bytes) {
@@ -87,6 +92,25 @@ class AllocationRegistry {
     return static_cast<std::size_t>(tier) * kNumDataObjects +
            static_cast<std::size_t>(tag);
   }
+
+  // Process-wide high-water gauges "alloc.hwm.<tier>.<object>", one per
+  // (tier, tag) account, resolved lazily. The slot store is an atomic
+  // pointer (not a function-local static per call site) so concurrent
+  // first lookups race only on publishing the same registry-owned
+  // pointer — benign under TSan.
+  static obs::Gauge& hwm_gauge(Tier tier, DataObject tag) {
+    static std::array<std::atomic<obs::Gauge*>, 2 * kNumDataObjects> slots{};
+    auto& slot = slots[idx(tier, tag)];
+    obs::Gauge* g = slot.load(std::memory_order_acquire);
+    if (g == nullptr) {
+      std::string name = "alloc.hwm." + std::string(tier_name(tier)) + "." +
+                         std::string(data_object_name(tag));
+      g = &obs::MetricsRegistry::global().gauge(name);
+      slot.store(g, std::memory_order_release);
+    }
+    return *g;
+  }
+
   struct Cell {
     std::atomic<std::size_t> live{0};
     std::atomic<std::size_t> peak{0};

@@ -1,0 +1,328 @@
+// Minimal JSON utilities shared by the observability layer: a streaming
+// writer (used by the trace recorder, the metrics registry and the bench
+// --json reports) and a strict validator (used by tests and tools to
+// prove emitted documents are well-formed without a JSON dependency).
+//
+// Deliberately dependency-free: this header must be includable from the
+// lowest layers (common/, hashtable/) without cycles.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sparta::obs {
+
+/// Appends `s` to `out` with JSON string escaping (no quotes added).
+inline void json_escape_to(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// `s` as a quoted, escaped JSON string.
+[[nodiscard]] inline std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  json_escape_to(out, s);
+  out += '"';
+  return out;
+}
+
+/// `v` as a JSON number. Non-finite values have no JSON spelling and
+/// become 0 (observability output must never poison a parser).
+[[nodiscard]] inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Streaming JSON writer with automatic comma placement. Usage:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name").value("sparta");
+///   w.key("cases").begin_array();
+///   ...
+///   w.end_array();
+///   w.end_object();
+///   std::string doc = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    separator();
+    out_ += '{';
+    stack_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_ += '}';
+    stack_.pop_back();
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    separator();
+    out_ += '[';
+    stack_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    out_ += ']';
+    stack_.pop_back();
+    return *this;
+  }
+
+  /// Writes an object key; the next value/begin_* call is its value.
+  JsonWriter& key(std::string_view k) {
+    separator();
+    out_ += json_quote(k);
+    out_ += ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    separator();
+    out_ += json_quote(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v) {
+    separator();
+    out_ += json_number(v);
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    separator();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) {
+    separator();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    separator();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  /// Splices a pre-formed JSON value verbatim (caller vouches validity).
+  JsonWriter& raw(std::string_view json) {
+    separator();
+    out_ += json;
+    return *this;
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  // Emits a ',' between siblings; key() suppresses the next separator so
+  // the value attaches to its key.
+  void separator() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (!stack_.back()) {
+        out_ += ',';
+      } else {
+        stack_.back() = false;
+      }
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> stack_;  // true = container still empty
+  bool pending_value_ = false;
+};
+
+namespace detail {
+
+inline void json_skip_ws(std::string_view s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                          s[i] == '\r')) {
+    ++i;
+  }
+}
+
+inline bool json_parse_value(std::string_view s, std::size_t& i, int depth);
+
+inline bool json_parse_string(std::string_view s, std::size_t& i) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '"') {
+      ++i;
+      return true;
+    }
+    if (static_cast<unsigned char>(c) < 0x20) return false;
+    if (c == '\\') {
+      ++i;
+      if (i >= s.size()) return false;
+      const char e = s[i];
+      if (e == 'u') {
+        if (i + 4 >= s.size()) return false;
+        for (int k = 1; k <= 4; ++k) {
+          const char h = s[i + static_cast<std::size_t>(k)];
+          const bool hex = (h >= '0' && h <= '9') || (h >= 'a' && h <= 'f') ||
+                           (h >= 'A' && h <= 'F');
+          if (!hex) return false;
+        }
+        i += 4;
+      } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                 e != 'n' && e != 'r' && e != 't') {
+        return false;
+      }
+    }
+    ++i;
+  }
+  return false;
+}
+
+inline bool json_parse_number(std::string_view s, std::size_t& i) {
+  const std::size_t start = i;
+  if (i < s.size() && s[i] == '-') ++i;
+  if (i >= s.size()) return false;
+  if (s[i] == '0') {
+    ++i;
+  } else if (s[i] >= '1' && s[i] <= '9') {
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+  } else {
+    return false;
+  }
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    if (i >= s.size() || s[i] < '0' || s[i] > '9') return false;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    if (i >= s.size() || s[i] < '0' || s[i] > '9') return false;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+  }
+  return i > start;
+}
+
+inline bool json_parse_value(std::string_view s, std::size_t& i, int depth) {
+  if (depth > 256) return false;
+  json_skip_ws(s, i);
+  if (i >= s.size()) return false;
+  const char c = s[i];
+  if (c == '"') return json_parse_string(s, i);
+  if (c == '{') {
+    ++i;
+    json_skip_ws(s, i);
+    if (i < s.size() && s[i] == '}') {
+      ++i;
+      return true;
+    }
+    while (true) {
+      json_skip_ws(s, i);
+      if (!json_parse_string(s, i)) return false;
+      json_skip_ws(s, i);
+      if (i >= s.size() || s[i] != ':') return false;
+      ++i;
+      if (!json_parse_value(s, i, depth + 1)) return false;
+      json_skip_ws(s, i);
+      if (i >= s.size()) return false;
+      if (s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (s[i] == '}') {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (c == '[') {
+    ++i;
+    json_skip_ws(s, i);
+    if (i < s.size() && s[i] == ']') {
+      ++i;
+      return true;
+    }
+    while (true) {
+      if (!json_parse_value(s, i, depth + 1)) return false;
+      json_skip_ws(s, i);
+      if (i >= s.size()) return false;
+      if (s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (s[i] == ']') {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (s.compare(i, 4, "true") == 0) {
+    i += 4;
+    return true;
+  }
+  if (s.compare(i, 5, "false") == 0) {
+    i += 5;
+    return true;
+  }
+  if (s.compare(i, 4, "null") == 0) {
+    i += 4;
+    return true;
+  }
+  return json_parse_number(s, i);
+}
+
+}  // namespace detail
+
+/// Strict well-formedness check: exactly one JSON value, nothing but
+/// whitespace after it. Recursive-descent, no allocation.
+[[nodiscard]] inline bool json_valid(std::string_view s) {
+  std::size_t i = 0;
+  if (!detail::json_parse_value(s, i, 0)) return false;
+  detail::json_skip_ws(s, i);
+  return i == s.size();
+}
+
+}  // namespace sparta::obs

@@ -1,0 +1,244 @@
+// Process-wide metrics registry: named monotonic counters and gauges
+// backed by relaxed atomics.
+//
+// Cost contract: when metrics are disabled (the default) every
+// instrumentation site is a single relaxed load of one namespace-scope
+// flag plus a predictable branch — no map lookup, no atomic RMW, no
+// allocation. Sites cache the Counter/Gauge handle in a function-local
+// static that is only initialized the first time the enabled branch is
+// taken (see SPARTA_COUNTER_ADD / SPARTA_GAUGE_MAX).
+//
+// Enabling, one of:
+//   * env:  SPARTA_METRICS=out.json  (armed before main(); the registry
+//           is exported as JSON at process exit; "-" = stderr)
+//   * code: MetricsRegistry::global().enable();  ... run ...
+//           MetricsRegistry::global().write_file("out.json");
+//
+// Counter catalogue: docs/OBSERVABILITY.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace sparta::obs {
+
+namespace detail {
+inline std::atomic<bool> g_metrics_enabled{false};
+}  // namespace detail
+
+/// The single branch gating every metrics site.
+[[nodiscard]] inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Monotonic counter. add() re-checks the enable flag so direct callers
+/// stay gated; hot paths that already branched use add_unchecked().
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (metrics_enabled()) add_unchecked(n);
+  }
+  void add_unchecked(std::uint64_t n = 1) {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Gauge: last-set value with a high-water-mark combinator.
+class Gauge {
+ public:
+  void set(std::uint64_t n) {
+    if (metrics_enabled()) set_unchecked(n);
+  }
+  void set_unchecked(std::uint64_t n) {
+    v_.store(n, std::memory_order_relaxed);
+  }
+  void max(std::uint64_t n) {
+    if (metrics_enabled()) max_unchecked(n);
+  }
+  void max_unchecked(std::uint64_t n) {
+    std::uint64_t cur = v_.load(std::memory_order_relaxed);
+    while (n > cur &&
+           !v_.compare_exchange_weak(cur, n, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global() {
+    static MetricsRegistry* r = new MetricsRegistry();  // never destroyed
+    return *r;
+  }
+
+  void enable() {
+    enabled_ = true;
+    if (this == &global()) {
+      detail::g_metrics_enabled.store(true, std::memory_order_relaxed);
+    }
+  }
+  void disable() {
+    enabled_ = false;
+    if (this == &global()) {
+      detail::g_metrics_enabled.store(false, std::memory_order_relaxed);
+    }
+  }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Get-or-create; the returned reference is stable for the process
+  /// lifetime, so call sites may cache it.
+  Counter& counter(std::string_view name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& slot = counters_[std::string(name)];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+  }
+  Gauge& gauge(std::string_view name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& slot = gauges_[std::string(name)];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+  }
+
+  /// Current value, 0 when the metric was never touched (tests).
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = counters_.find(std::string(name));
+    return it == counters_.end() ? 0 : it->second->value();
+  }
+  [[nodiscard]] std::uint64_t gauge_value(std::string_view name) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = gauges_.find(std::string(name));
+    return it == gauges_.end() ? 0 : it->second->value();
+  }
+
+  /// Attaches a preformed JSON value under "sections"/`name` in the
+  /// export — e.g. the engine publishes StageTimes::to_json() here.
+  void set_json_section(std::string name, std::string json) {
+    std::lock_guard<std::mutex> lk(mu_);
+    sections_[std::move(name)] = std::move(json);
+  }
+
+  /// Zeroes every counter and gauge and drops attached sections.
+  void reset() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [name, c] : counters_) c->reset();
+    for (auto& [name, g] : gauges_) g->reset();
+    sections_.clear();
+  }
+
+  /// {"schema_version":1,"counters":{...},"gauges":{...},"sections":{..}}
+  /// with names in sorted order (std::map) for diffable output.
+  [[nodiscard]] std::string to_json() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    JsonWriter w;
+    w.begin_object();
+    w.key("schema_version").value(1);
+    w.key("counters").begin_object();
+    for (const auto& [name, c] : counters_) {
+      w.key(name).value(c->value());
+    }
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& [name, g] : gauges_) {
+      w.key(name).value(g->value());
+    }
+    w.end_object();
+    w.key("sections").begin_object();
+    for (const auto& [name, json] : sections_) {
+      w.key(name).raw(json);
+    }
+    w.end_object();
+    w.end_object();
+    return w.str();
+  }
+
+  /// Writes to_json() to `path` ("-" = stderr). Never throws.
+  bool write_file(const std::string& path) const {
+    const std::string doc = to_json();
+    if (path == "-") {
+      std::fprintf(stderr, "%s\n", doc.c_str());
+      return true;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "sparta: cannot write metrics to '%s'\n",
+                   path.c_str());
+      return false;
+    }
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  bool enabled_ = false;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::string> sections_;
+};
+
+namespace detail {
+
+inline const bool g_metrics_env_armed = [] {
+  if (const char* path = std::getenv("SPARTA_METRICS")) {
+    if (*path != '\0') {
+      static std::string out = path;
+      MetricsRegistry::global().enable();
+      std::atexit([] { MetricsRegistry::global().write_file(out); });
+    }
+  }
+  return true;
+}();
+
+}  // namespace detail
+
+}  // namespace sparta::obs
+
+/// Adds `n` to counter `name` (string literal). Disabled cost: one
+/// relaxed load + branch; the handle lookup runs once, lazily.
+#define SPARTA_COUNTER_ADD(name, n)                                       \
+  do {                                                                    \
+    if (::sparta::obs::metrics_enabled()) {                               \
+      static ::sparta::obs::Counter& sparta_obs_c =                       \
+          ::sparta::obs::MetricsRegistry::global().counter(name);         \
+      sparta_obs_c.add_unchecked(                                         \
+          static_cast<std::uint64_t>(n));                                 \
+    }                                                                     \
+  } while (0)
+
+/// Raises gauge `name` to at least `n` (high-water mark), gated the same
+/// way as SPARTA_COUNTER_ADD.
+#define SPARTA_GAUGE_MAX(name, n)                                         \
+  do {                                                                    \
+    if (::sparta::obs::metrics_enabled()) {                               \
+      static ::sparta::obs::Gauge& sparta_obs_g =                         \
+          ::sparta::obs::MetricsRegistry::global().gauge(name);           \
+      sparta_obs_g.max_unchecked(                                         \
+          static_cast<std::uint64_t>(n));                                 \
+    }                                                                     \
+  } while (0)

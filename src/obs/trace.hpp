@@ -1,0 +1,346 @@
+// Lock-free per-thread trace recorder emitting Chrome/Perfetto
+// `trace_event` JSON (the {"traceEvents": [...]} object form; open the
+// file at https://ui.perfetto.dev or chrome://tracing).
+//
+// Each thread appends events to its own buffer — registration of a new
+// thread takes the recorder mutex once, every subsequent record is a
+// plain vector push_back — so scoped spans can be emitted from inside
+// OpenMP regions without serializing the hot path. When the recorder is
+// disabled (the default), every instrumentation site costs a single
+// relaxed atomic load and a predictable branch: no event is built, no
+// buffer is touched, no allocation happens.
+//
+// Enabling, one of:
+//   * env:  SPARTA_TRACE=out.json   (armed before main(); the merged
+//           trace is written at process exit)
+//   * code: TraceRecorder::global().enable();  ... run ...
+//           TraceRecorder::global().write_file("out.json");
+//
+// Span taxonomy and the full event catalogue: docs/OBSERVABILITY.md.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace sparta::obs {
+
+namespace detail {
+// Namespace-scope flag so the disabled fast path is one relaxed load,
+// with no function-local-static guard in front of it.
+inline std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+/// True when the global recorder is collecting events.
+[[nodiscard]] inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// One recorded event. `phase` follows the trace_event format: 'X' =
+/// complete (span with duration), 'i' = instant, 'C' = counter.
+struct TraceEvent {
+  std::string name;
+  char phase = 'X';
+  std::int64_t ts_us = 0;   ///< microseconds since recorder epoch
+  std::int64_t dur_us = 0;  ///< complete events only
+  std::string args;         ///< preformed JSON object ("{...}") or empty
+  int tid = 0;              ///< filled in by snapshot()/to_json()
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() : epoch_(clock::now()) {}
+
+  /// The process-wide recorder every instrumentation site reports to.
+  static TraceRecorder& global() {
+    static TraceRecorder* r = new TraceRecorder();  // never destroyed:
+    return *r;  // worker threads may record during static teardown
+  }
+
+  void enable() {
+    enabled_.store(true, std::memory_order_relaxed);
+    if (this == &global()) {
+      detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+    }
+  }
+  void disable() {
+    enabled_.store(false, std::memory_order_relaxed);
+    if (this == &global()) {
+      detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+    }
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since this recorder's construction (steady clock, so
+  /// timestamps are monotonic per thread by construction).
+  [[nodiscard]] std::int64_t now_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               clock::now() - epoch_)
+        .count();
+  }
+
+  /// Appends `e` to the calling thread's buffer. Callers must check
+  /// enabled() first (Span and the emit helpers below do).
+  void record(TraceEvent&& e) {
+    ThreadBuffer& buf = buffer_for_this_thread();
+    if (buf.events.size() >= max_events_per_thread_) {
+      ++buf.dropped;
+      return;
+    }
+    buf.events.push_back(std::move(e));
+  }
+
+  /// Caps per-thread buffers so long runs cannot grow without bound;
+  /// excess events are counted as dropped instead.
+  void set_max_events_per_thread(std::size_t n) { max_events_per_thread_ = n; }
+
+  /// Path written by flush_output() (the SPARTA_TRACE atexit hook).
+  void set_output_path(std::string path) {
+    std::lock_guard<std::mutex> lk(mu_);
+    output_path_ = std::move(path);
+  }
+
+  /// Writes the merged trace to the configured output path, if any.
+  void flush_output() {
+    std::string path;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      path = output_path_;
+    }
+    if (!path.empty()) write_file(path);
+  }
+
+  /// Discards all recorded events (buffers stay registered).
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& b : buffers_) {
+      b->events.clear();
+      b->dropped = 0;
+    }
+  }
+
+  [[nodiscard]] std::size_t num_events() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t n = 0;
+    for (const auto& b : buffers_) n += b->events.size();
+    return n;
+  }
+
+  [[nodiscard]] std::size_t num_thread_buffers() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return buffers_.size();
+  }
+
+  [[nodiscard]] std::uint64_t dropped_events() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::uint64_t n = 0;
+    for (const auto& b : buffers_) n += b->dropped;
+    return n;
+  }
+
+  /// Copy of every recorded event with its thread id filled in. Events
+  /// within one tid are in record order (monotonic timestamps).
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<TraceEvent> out;
+    for (const auto& b : buffers_) {
+      for (const TraceEvent& e : b->events) {
+        out.push_back(e);
+        out.back().tid = b->tid;
+      }
+    }
+    return out;
+  }
+
+  /// The merged trace as a Chrome trace_event JSON document.
+  [[nodiscard]] std::string to_json() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    JsonWriter w;
+    w.begin_object();
+    w.key("traceEvents").begin_array();
+    for (const auto& b : buffers_) {
+      for (const TraceEvent& e : b->events) {
+        w.begin_object();
+        w.key("name").value(std::string_view(e.name));
+        w.key("cat").value("sparta");
+        w.key("ph").value(std::string_view(&e.phase, 1));
+        w.key("ts").value(static_cast<double>(e.ts_us));
+        if (e.phase == 'X') {
+          w.key("dur").value(static_cast<double>(e.dur_us));
+        }
+        if (e.phase == 'i') w.key("s").value("t");
+        w.key("pid").value(1);
+        w.key("tid").value(b->tid);
+        if (!e.args.empty()) w.key("args").raw(e.args);
+        w.end_object();
+      }
+    }
+    w.end_array();
+    std::uint64_t dropped = 0;
+    for (const auto& b : buffers_) dropped += b->dropped;
+    w.key("droppedEvents").value(dropped);
+    w.end_object();
+    return w.str();
+  }
+
+  /// Writes to_json() to `path`; returns false (with a note on stderr)
+  /// on I/O failure — observability must never take the process down.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "sparta: cannot write trace to '%s'\n",
+                   path.c_str());
+      return false;
+    }
+    const std::string doc = to_json();
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+
+  struct ThreadBuffer {
+    int tid = 0;
+    std::vector<TraceEvent> events;
+    std::uint64_t dropped = 0;
+  };
+
+  // Per-(thread, recorder) buffer, cached so the hot path is lock-free.
+  // The cache is keyed by a never-reused instance id, not the recorder
+  // address: a short-lived test recorder allocated where a destroyed one
+  // sat must not hit the dead recorder's cached buffer.
+  ThreadBuffer& buffer_for_this_thread() {
+    thread_local std::uint64_t cached_id = 0;  // 0 = nothing cached
+    thread_local ThreadBuffer* cached_buf = nullptr;
+    if (cached_id != id_) {
+      std::lock_guard<std::mutex> lk(mu_);
+      buffers_.push_back(std::make_unique<ThreadBuffer>());
+      buffers_.back()->tid = static_cast<int>(buffers_.size()) - 1;
+      cached_id = id_;
+      cached_buf = buffers_.back().get();
+    }
+    return *cached_buf;
+  }
+
+  static std::uint64_t next_id() {
+    static std::atomic<std::uint64_t> n{0};
+    return n.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  const std::uint64_t id_ = next_id();
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  std::size_t max_events_per_thread_ = std::size_t{1} << 20;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::string output_path_;
+};
+
+/// RAII scoped span: records a complete ('X') event covering its
+/// lifetime. Inert (no clock read, no allocation) when the recorder is
+/// disabled at construction.
+class Span {
+ public:
+  explicit Span(const char* name) : Span(TraceRecorder::global(), name) {}
+  Span(TraceRecorder& rec, const char* name) {
+    if (rec.enabled()) {
+      rec_ = &rec;
+      name_ = name;
+      start_us_ = rec.now_us();
+    }
+  }
+  Span(TraceRecorder& rec, std::string name) {
+    if (rec.enabled()) {
+      rec_ = &rec;
+      owned_name_ = std::move(name);
+      start_us_ = rec.now_us();
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { finish(); }
+
+  /// True when this span will be recorded; guard arg construction on it.
+  [[nodiscard]] bool active() const { return rec_ != nullptr; }
+
+  /// Attaches a preformed JSON object ("{...}") as the span's args.
+  void set_args(std::string args_json) { args_ = std::move(args_json); }
+
+  /// Ends the span early (idempotent; the destructor is then a no-op).
+  void finish() {
+    if (!rec_) return;
+    TraceEvent e;
+    e.name = name_ ? std::string(name_) : std::move(owned_name_);
+    e.phase = 'X';
+    e.ts_us = start_us_;
+    e.dur_us = rec_->now_us() - start_us_;
+    e.args = std::move(args_);
+    rec_->record(std::move(e));
+    rec_ = nullptr;
+  }
+
+ private:
+  TraceRecorder* rec_ = nullptr;
+  const char* name_ = nullptr;
+  std::string owned_name_;
+  std::string args_;
+  std::int64_t start_us_ = 0;
+};
+
+/// Instant event ('i') on the global recorder; no-op when disabled.
+inline void trace_instant(std::string name, std::string args_json = {}) {
+  if (!trace_enabled()) return;
+  TraceRecorder& rec = TraceRecorder::global();
+  TraceEvent e;
+  e.name = std::move(name);
+  e.phase = 'i';
+  e.ts_us = rec.now_us();
+  e.args = std::move(args_json);
+  rec.record(std::move(e));
+}
+
+/// Counter track event ('C') on the global recorder. `args_json` maps
+/// series name to value, e.g. {"searches":12,"hits":9}.
+inline void trace_counter(std::string name, std::string args_json) {
+  if (!trace_enabled()) return;
+  TraceRecorder& rec = TraceRecorder::global();
+  TraceEvent e;
+  e.name = std::move(name);
+  e.phase = 'C';
+  e.ts_us = rec.now_us();
+  e.args = std::move(args_json);
+  rec.record(std::move(e));
+}
+
+namespace detail {
+
+// Arms SPARTA_TRACE once per process, before main(): enables the global
+// recorder and flushes the merged trace to the given path at exit.
+inline const bool g_trace_env_armed = [] {
+  if (const char* path = std::getenv("SPARTA_TRACE")) {
+    if (*path != '\0') {
+      TraceRecorder::global().set_output_path(path);
+      TraceRecorder::global().enable();
+      std::atexit([] { TraceRecorder::global().flush_output(); });
+    }
+  }
+  return true;
+}();
+
+}  // namespace detail
+
+}  // namespace sparta::obs

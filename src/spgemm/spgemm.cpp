@@ -8,6 +8,8 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "hashtable/linear_probe.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sparta {
 
@@ -74,6 +76,7 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b,
                  const SpgemmOptions& opts, SpgemmStats* stats) {
   SPARTA_CHECK(a.cols() == b.rows(),
                "inner dimensions must match (A.cols == B.rows)");
+  obs::Span sp_spgemm("spgemm");
   const index_t rows = a.rows();
   const int nthreads =
       opts.num_threads > 0 ? opts.num_threads : max_threads();
@@ -87,6 +90,7 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b,
 
   if (opts.sizing == SpgemmSizing::kTwoPhase) {
     // Symbolic phase: count each row's distinct output columns.
+    obs::Span sp_symbolic("spgemm.symbolic");
     ExceptionCollector ec;
 #pragma omp parallel num_threads(nthreads)
     {
@@ -111,6 +115,7 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b,
   row_cols_out.resize(rows);
   row_vals_out.resize(rows);
 
+  obs::Span sp_numeric("spgemm.numeric");
   ExceptionCollector numeric_ec;
 #pragma omp parallel num_threads(nthreads)
   {
@@ -175,6 +180,7 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b,
     total_flops += flops;
   }
   numeric_ec.rethrow();
+  sp_numeric.finish();
 
   // Assemble CSR from the per-row pieces.
   std::vector<std::size_t> rowptr(rows + 1, 0);
@@ -200,6 +206,8 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b,
     stats->symbolic_nnz =
         opts.sizing == SpgemmSizing::kTwoPhase ? nnz : 0;
   }
+  SPARTA_COUNTER_ADD("spgemm.calls", 1);
+  SPARTA_COUNTER_ADD("spgemm.flops", total_flops.load());
   return CsrMatrix::from_parts(rows, b.cols(), std::move(rowptr),
                                std::move(colidx), std::move(vals));
 }

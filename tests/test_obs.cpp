@@ -1,0 +1,351 @@
+// Tests for the observability layer (src/obs/): the streaming JSON
+// writer + validator, the lock-free trace recorder, the metrics
+// registry, and the zero-cost-when-disabled contract the engine's
+// instrumentation relies on.
+#include <gtest/gtest.h>
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace sparta::obs {
+namespace {
+
+// ---------------------------------------------------------------- JSON
+
+TEST(JsonWriter, NestedDocumentIsValid) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("sparta");
+  w.key("pi").value(3.25);
+  w.key("n").value(std::uint64_t{42});
+  w.key("neg").value(-7);
+  w.key("ok").value(true);
+  w.key("cases").begin_array();
+  w.begin_object().key("a").value(1).end_object();
+  w.begin_object().key("b").begin_array().value(1).value(2).end_array();
+  w.end_object();
+  w.end_array();
+  w.key("raw").raw("{\"x\":[1,2,3]}");
+  w.end_object();
+  const std::string doc = w.str();
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  EXPECT_NE(doc.find("\"name\":\"sparta\""), std::string::npos);
+  EXPECT_NE(doc.find("\"x\":[1,2,3]"), std::string::npos);
+}
+
+TEST(JsonWriter, EscapesControlCharactersAndQuotes) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("k\"ey").value("line\nbreak\ttab \x01 end");
+  w.end_object();
+  EXPECT_TRUE(json_valid(w.str())) << w.str();
+  EXPECT_NE(w.str().find("\\n"), std::string::npos);
+  EXPECT_NE(w.str().find("\\u0001"), std::string::npos);
+}
+
+TEST(JsonWriter, TopLevelArray) {
+  JsonWriter w;
+  w.begin_array().value(1).value("two").value(false).end_array();
+  EXPECT_EQ(w.str(), "[1,\"two\",false]");
+  EXPECT_TRUE(json_valid(w.str()));
+}
+
+TEST(JsonNumber, NonFiniteBecomesZero) {
+  EXPECT_EQ(json_number(std::nan("")), "0");
+  EXPECT_EQ(json_number(1.0 / 0.0), "0");
+  EXPECT_TRUE(json_valid(json_number(-1.0 / 0.0)));
+}
+
+TEST(JsonValid, AcceptsWellFormed) {
+  EXPECT_TRUE(json_valid("{}"));
+  EXPECT_TRUE(json_valid("[]"));
+  EXPECT_TRUE(json_valid(" { \"a\" : [ 1 , -2.5e3 , null , true ] } "));
+  EXPECT_TRUE(json_valid("\"just a string\""));
+  EXPECT_TRUE(json_valid("0.125"));
+}
+
+TEST(JsonValid, RejectsMalformed) {
+  EXPECT_FALSE(json_valid(""));
+  EXPECT_FALSE(json_valid("{"));
+  EXPECT_FALSE(json_valid("{\"a\":}"));
+  EXPECT_FALSE(json_valid("{\"a\":1,}"));
+  EXPECT_FALSE(json_valid("[1,]"));
+  EXPECT_FALSE(json_valid("{'a':1}"));
+  EXPECT_FALSE(json_valid("{\"a\":1} trailing"));
+  EXPECT_FALSE(json_valid("01"));
+  EXPECT_FALSE(json_valid("nul"));
+  EXPECT_FALSE(json_valid("\"unterminated"));
+  EXPECT_FALSE(json_valid("\"bad \x01 control\""));
+}
+
+// --------------------------------------------------------------- trace
+
+TEST(TraceRecorder, DisabledRecordsNothing) {
+  TraceRecorder rec;  // local, never enabled
+  {
+    Span s(rec, "should-not-appear");
+    EXPECT_FALSE(s.active());
+  }
+  EXPECT_EQ(rec.num_events(), 0u);
+  // Span never touched the recorder, so no thread buffer registered.
+  EXPECT_EQ(rec.num_thread_buffers(), 0u);
+  EXPECT_TRUE(json_valid(rec.to_json())) << rec.to_json();
+}
+
+TEST(TraceRecorder, SpanRecordsCompleteEvent) {
+  TraceRecorder rec;
+  rec.enable();
+  {
+    Span s(rec, "work");
+    EXPECT_TRUE(s.active());
+    s.set_args("{\"nnz\":7}");
+  }
+  rec.disable();
+  ASSERT_EQ(rec.num_events(), 1u);
+  const auto events = rec.snapshot();
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_GE(events[0].dur_us, 0);
+  EXPECT_EQ(events[0].args, "{\"nnz\":7}");
+  const std::string doc = rec.to_json();
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"args\":{\"nnz\":7}"), std::string::npos);
+}
+
+TEST(TraceRecorder, FinishIsIdempotent) {
+  TraceRecorder rec;
+  rec.enable();
+  Span s(rec, "once");
+  s.finish();
+  s.finish();  // second call (and the destructor later) must not re-record
+  EXPECT_EQ(rec.num_events(), 1u);
+}
+
+TEST(TraceRecorder, DynamicNameSpan) {
+  TraceRecorder rec;
+  rec.enable();
+  { Span s(rec, std::string("rung:HtY+HtA")); }
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "rung:HtY+HtA");
+}
+
+TEST(TraceRecorder, ConcurrentEmissionYieldsValidJson) {
+  TraceRecorder rec;
+  rec.enable();
+  constexpr int kPerThread = 500;
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
+  {
+    for (int i = 0; i < kPerThread; ++i) {
+      Span s(rec, "iter");
+      if (i % 100 == 0) s.set_args("{\"i\":" + std::to_string(i) + "}");
+    }
+  }
+  rec.disable();
+  const std::size_t nthreads = rec.num_thread_buffers();
+  EXPECT_GE(nthreads, 1u);
+  EXPECT_EQ(rec.num_events(), nthreads * kPerThread);
+  EXPECT_TRUE(json_valid(rec.to_json()));
+
+  // Within each tid, timestamps are monotonic (steady clock + record
+  // order); span start times never decrease.
+  std::map<int, std::int64_t> last_ts;
+  for (const TraceEvent& e : rec.snapshot()) {
+    const auto it = last_ts.find(e.tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(e.ts_us, it->second);
+    }
+    last_ts[e.tid] = e.ts_us;
+  }
+  EXPECT_EQ(last_ts.size(), nthreads);
+}
+
+TEST(TraceRecorder, PerThreadCapCountsDropped) {
+  TraceRecorder rec;
+  rec.enable();
+  rec.set_max_events_per_thread(10);
+  for (int i = 0; i < 25; ++i) Span s(rec, "spam");
+  EXPECT_EQ(rec.num_events(), 10u);
+  EXPECT_EQ(rec.dropped_events(), 15u);
+  const std::string doc = rec.to_json();
+  EXPECT_TRUE(json_valid(doc));
+  EXPECT_NE(doc.find("\"droppedEvents\":15"), std::string::npos);
+}
+
+TEST(TraceRecorder, ClearDiscardsEvents) {
+  TraceRecorder rec;
+  rec.enable();
+  { Span s(rec, "gone"); }
+  rec.clear();
+  EXPECT_EQ(rec.num_events(), 0u);
+}
+
+TEST(TraceRecorder, GlobalInstantAndCounterEvents) {
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.clear();
+  rec.enable();
+  trace_instant("failpoint:contract.input");
+  trace_counter("contract", "{\"searches\":12,\"hits\":9}");
+  rec.disable();
+  trace_instant("after-disable");  // must be dropped
+  std::size_t instants = 0, counters = 0;
+  for (const TraceEvent& e : rec.snapshot()) {
+    if (e.phase == 'i') ++instants;
+    if (e.phase == 'C') ++counters;
+  }
+  EXPECT_EQ(instants, 1u);
+  EXPECT_EQ(counters, 1u);
+  const std::string doc = rec.to_json();
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  EXPECT_NE(doc.find("\"s\":\"t\""), std::string::npos);  // instant scope
+  rec.clear();
+}
+
+TEST(TraceRecorder, WriteFileRoundTrip) {
+  TraceRecorder rec;
+  rec.enable();
+  { Span s(rec, "io"); }
+  const std::string path = ::testing::TempDir() + "sparta_trace_test.json";
+  ASSERT_TRUE(rec.write_file(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_TRUE(json_valid(ss.str())) << ss.str();
+  EXPECT_NE(ss.str().find("\"io\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- metrics
+
+TEST(Metrics, CountersAndGaugesAreExact) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.reset();
+  reg.enable();
+  SPARTA_COUNTER_ADD("test.obs.adds", 3);
+  SPARTA_COUNTER_ADD("test.obs.adds", 4);
+  SPARTA_GAUGE_MAX("test.obs.hwm", 10);
+  SPARTA_GAUGE_MAX("test.obs.hwm", 7);  // below the mark: no effect
+  SPARTA_GAUGE_MAX("test.obs.hwm", 15);
+  reg.disable();
+  EXPECT_EQ(reg.counter_value("test.obs.adds"), 7u);
+  EXPECT_EQ(reg.gauge_value("test.obs.hwm"), 15u);
+  EXPECT_EQ(reg.counter_value("test.obs.never-touched"), 0u);
+  reg.reset();
+}
+
+TEST(Metrics, DisabledMacroIsANoOp) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.reset();
+  ASSERT_FALSE(metrics_enabled());
+  SPARTA_COUNTER_ADD("test.obs.disabled", 99);
+  SPARTA_GAUGE_MAX("test.obs.disabled-gauge", 99);
+  EXPECT_EQ(reg.counter_value("test.obs.disabled"), 0u);
+  EXPECT_EQ(reg.gauge_value("test.obs.disabled-gauge"), 0u);
+}
+
+TEST(Metrics, ConcurrentAddsSumExactly) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.reset();
+  reg.enable();
+  constexpr int kPerThread = 10000;
+  int nthreads = 1;
+#ifdef _OPENMP
+#pragma omp parallel
+  {
+#pragma omp single
+    nthreads = omp_get_num_threads();
+    for (int i = 0; i < kPerThread; ++i) {
+      SPARTA_COUNTER_ADD("test.obs.concurrent", 1);
+      SPARTA_GAUGE_MAX("test.obs.concurrent-max", i);
+    }
+  }
+#else
+  for (int i = 0; i < kPerThread; ++i) {
+    SPARTA_COUNTER_ADD("test.obs.concurrent", 1);
+    SPARTA_GAUGE_MAX("test.obs.concurrent-max", i);
+  }
+#endif
+  reg.disable();
+  EXPECT_EQ(reg.counter_value("test.obs.concurrent"),
+            static_cast<std::uint64_t>(nthreads) * kPerThread);
+  EXPECT_EQ(reg.gauge_value("test.obs.concurrent-max"),
+            static_cast<std::uint64_t>(kPerThread - 1));
+  reg.reset();
+}
+
+TEST(Metrics, ToJsonIsValidAndSorted) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.reset();
+  reg.enable();
+  reg.counter("test.obs.b").add_unchecked(2);
+  reg.counter("test.obs.a").add_unchecked(1);
+  reg.gauge("test.obs.g").max_unchecked(5);
+  reg.set_json_section("last_contract.stage_seconds", "{\"accumulation\":0.5}");
+  reg.disable();
+  const std::string doc = reg.to_json();
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  EXPECT_NE(doc.find("\"schema_version\":1"), std::string::npos);
+  // std::map ordering: "test.obs.a" before "test.obs.b".
+  EXPECT_LT(doc.find("\"test.obs.a\""), doc.find("\"test.obs.b\""));
+  EXPECT_NE(doc.find("\"last_contract.stage_seconds\":{\"accumulation\":0.5}"),
+            std::string::npos);
+  reg.reset();
+}
+
+TEST(Metrics, WriteFileRoundTrip) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.reset();
+  reg.enable();
+  reg.counter("test.obs.file").add_unchecked(1);
+  reg.disable();
+  const std::string path = ::testing::TempDir() + "sparta_metrics_test.json";
+  ASSERT_TRUE(reg.write_file(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_TRUE(json_valid(ss.str())) << ss.str();
+  std::remove(path.c_str());
+  reg.reset();
+}
+
+// ------------------------------------------------------ overhead guard
+
+// The disabled fast path is one relaxed load + branch per site. 2M
+// disabled spans + 2M disabled counter bumps must complete in far less
+// than the generous bound below — if this ever trips, someone put an
+// allocation or a lock on the disabled path.
+TEST(Overhead, DisabledSitesAreCheap) {
+  ASSERT_FALSE(trace_enabled());
+  ASSERT_FALSE(metrics_enabled());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 2000000; ++i) {
+    Span s("overhead-probe");
+    SPARTA_COUNTER_ADD("test.obs.overhead", 1);
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(TraceRecorder::global().num_events(), 0u);
+  EXPECT_EQ(MetricsRegistry::global().counter_value("test.obs.overhead"), 0u);
+  // ~4M gated sites; even a debug build does this in well under a
+  // second. 5s keeps sanitizer/valgrind runs green.
+  EXPECT_LT(secs, 5.0);
+}
+
+}  // namespace
+}  // namespace sparta::obs

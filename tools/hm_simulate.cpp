@@ -13,6 +13,8 @@
 #include "contraction/contract.hpp"
 #include "contraction/resilient.hpp"
 #include "memsim/cost_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/io.hpp"
 
 namespace {
@@ -33,6 +35,8 @@ void usage() {
                "usage: hm_simulate -X x.tns -Y y.tns -x 0,1 -y 0,1 "
                "[--dram-mb N]\n"
                "                   [--budget-mb N] [--resilient]\n"
+               "                   [--trace out.json] "
+               "[--metrics-json out.json]\n"
                "  --dram-mb N    simulated DRAM tier capacity (default: a\n"
                "                 third of the workload footprint)\n"
                "  --budget-mb N  hard memory budget for the contraction\n"
@@ -41,7 +45,11 @@ void usage() {
                "  --resilient    run via contract_resilient(): on a budget\n"
                "                 or allocation failure, degrade through\n"
                "                 lighter algorithms and chunked execution,\n"
-               "                 then print the resilience report\n");
+               "                 then print the resilience report\n"
+               "  --trace P     write a Chrome trace_event JSON of the run\n"
+               "                to P (same as SPARTA_TRACE=P)\n"
+               "  --metrics-json P  write the global metrics registry to P\n"
+               "                (\"-\" = stderr; same as SPARTA_METRICS=P)\n");
 }
 
 }  // namespace
@@ -53,6 +61,7 @@ int main(int argc, char** argv) {
   std::uint64_t dram_mb = 0;  // 0 = a third of the workload footprint
   std::uint64_t budget_mb = 0;
   bool resilient = false;
+  std::string trace_path, metrics_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -77,6 +86,10 @@ int main(int argc, char** argv) {
       budget_mb = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--resilient") {
       resilient = true;
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--metrics-json") {
+      metrics_path = next();
     } else {
       usage();
       return arg == "--help" || arg == "-h" ? 0 : 1;
@@ -86,6 +99,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "need -X, -Y, -x and -y (see --help)\n");
     return 1;
   }
+
+  if (!trace_path.empty()) obs::TraceRecorder::global().enable();
+  if (!metrics_path.empty()) obs::MetricsRegistry::global().enable();
+  // Written even when the contraction fails: a budget-exceeded run's
+  // partial trace is exactly what one wants to look at.
+  struct ObsFlush {
+    const std::string& trace;
+    const std::string& metrics;
+    ~ObsFlush() {
+      if (!trace.empty()) obs::TraceRecorder::global().write_file(trace);
+      if (!metrics.empty()) {
+        obs::MetricsRegistry::global().write_file(metrics);
+      }
+    }
+  } obs_flush{trace_path, metrics_path};
 
   try {
     const SparseTensor x = read_tns_file(xpath);

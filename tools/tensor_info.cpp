@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/format.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/csf.hpp"
 #include "tensor/hicoo.hpp"
 #include "tensor/io.hpp"
@@ -25,17 +27,59 @@ bool ends_with(const std::string& s, const char* suffix) {
 
 int main(int argc, char** argv) {
   using namespace sparta;
-  if (argc < 2) {
+  std::string path;
+  bool formats = false;
+  std::string trace_path, metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--formats") {
+      formats = true;
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--metrics-json") {
+      metrics_path = next();
+    } else if (!arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: tensor_info <file.tns|file.sptn> [--formats]\n"
+                   "                   [--trace out.json] "
+                   "[--metrics-json out.json]\n");
+      return arg == "--help" || arg == "-h" ? 0 : 1;
+    }
+  }
+  if (path.empty()) {
     std::fprintf(stderr, "usage: tensor_info <file.tns|file.sptn> "
                          "[--formats]\n");
     return 1;
   }
-  const std::string path = argv[1];
-  const bool formats = argc > 2 && std::string(argv[2]) == "--formats";
+
+  if (!trace_path.empty()) obs::TraceRecorder::global().enable();
+  if (!metrics_path.empty()) obs::MetricsRegistry::global().enable();
+  struct ObsFlush {
+    const std::string& trace;
+    const std::string& metrics;
+    ~ObsFlush() {
+      if (!trace.empty()) obs::TraceRecorder::global().write_file(trace);
+      if (!metrics.empty()) {
+        obs::MetricsRegistry::global().write_file(metrics);
+      }
+    }
+  } obs_flush{trace_path, metrics_path};
 
   try {
+    obs::Span sp_read("read_tensor");
     SparseTensor t = ends_with(path, ".sptn") ? read_sptn_file(path)
                                               : read_tns_file(path);
+    sp_read.finish();
+    obs::Span sp_analyze("analyze");
     std::printf("%s\n", t.summary().c_str());
     std::printf("density   %s\n", format_density(t.density()).c_str());
     std::printf("sorted    %s\n", t.is_sorted() ? "yes" : "no");
