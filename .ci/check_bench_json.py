@@ -21,6 +21,10 @@ STAGE_KEYS = [
 REQUIRED_COUNTERS = ["nnz_x", "nnz_y", "nnz_z", "searches", "hits",
                      "multiplies"]
 
+CONTEXT_STRINGS = ["build_type", "git_sha", "hostname"]
+
+HISTOGRAM_STATS = ["count", "p50", "p95", "p99", "max"]
+
 
 def fail(path, msg):
     print(f"{path}: FAIL: {msg}", file=sys.stderr)
@@ -50,6 +54,21 @@ def check_report(path):
     check_number(path, doc, "scale")
     check_number(path, doc, "repeats", minimum=1)
     check_number(path, doc, "threads", minimum=1)
+    ctx = doc.get("context")
+    if not isinstance(ctx, dict):
+        fail(path, "'context' missing")
+    check_number(path, ctx, "scale")
+    check_number(path, ctx, "threads", minimum=1)
+    for k in CONTEXT_STRINGS:
+        if not isinstance(ctx.get(k), str) or not ctx[k]:
+            fail(path, f"context.{k} missing or empty")
+    # Context must agree with the top-level workload fields it restates.
+    if ctx["scale"] != doc["scale"] or ctx["threads"] != doc["threads"]:
+        fail(path, "context scale/threads disagree with top level")
+    hw = doc.get("hw_counters")
+    if not isinstance(hw, dict) or not isinstance(hw.get("available"),
+                                                  bool):
+        fail(path, "'hw_counters.available' missing or not a bool")
     cases = doc.get("cases")
     if not isinstance(cases, list) or not cases:
         fail(path, "'cases' missing or empty")
@@ -78,6 +97,27 @@ def check_report(path):
             check_number(path, counters, k)
         if counters["hits"] > counters["searches"]:
             fail(path, f"{where}: hits > searches")
+        perf = c.get("perf")
+        if not isinstance(perf, dict) or not isinstance(
+                perf.get("available"), bool):
+            fail(path, f"{where}: 'perf.available' missing or not a bool")
+        if perf["available"] and not hw["available"]:
+            fail(path, f"{where}: perf data without hw_counters.available")
+        memsim = c.get("memsim")  # optional: only on observation runs
+        if memsim is not None:
+            if not isinstance(memsim, dict):
+                fail(path, f"{where}: 'memsim' is not an object")
+            check_number(path, memsim, "total_seconds")
+            if not isinstance(memsim.get("stages"), dict):
+                fail(path, f"{where}: 'memsim.stages' missing")
+    hists = doc.get("histograms")
+    if not isinstance(hists, dict):
+        fail(path, "'histograms' missing")
+    for name, h in hists.items():
+        if not isinstance(h, dict):
+            fail(path, f"histograms[{name!r}] is not an object")
+        for k in HISTOGRAM_STATS:
+            check_number(path, h, k)
     print(f"{path}: OK ({doc['bench']}, {len(cases)} cases)")
 
 

@@ -9,14 +9,26 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "contraction/contract.hpp"
+#include "memsim/cost_model.hpp"
+#include "memsim/memory_params.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perfctr.hpp"
+#include "obs/perfdiff.hpp"
 #include "tensor/datasets.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>  // gethostname
+#endif
 
 namespace sparta::bench {
 
@@ -41,6 +53,47 @@ inline std::string& bench_name() {
   return n;
 }
 
+/// Baseline report to gate this run against (--baseline); empty = off.
+inline std::string& baseline_path() {
+  static std::string p;
+  return p;
+}
+
+// --- Reproducibility context ------------------------------------------
+// A report is only comparable to another run of the same configuration;
+// these fields stamp each report with enough context to check that
+// (sparta_perfdiff refuses to diff across build types) and to trace a
+// regression back to a commit and machine.
+
+inline std::string build_type() {
+#ifdef SPARTA_BUILD_TYPE
+  return SPARTA_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+inline std::string git_sha() {
+#ifdef SPARTA_GIT_SHA
+  return SPARTA_GIT_SHA;
+#else
+  if (const char* sha = std::getenv("GITHUB_SHA")) {
+    if (*sha != '\0') return sha;
+  }
+  return "unknown";
+#endif
+}
+
+inline std::string hostname() {
+#if defined(__unix__) || defined(__APPLE__)
+  char buf[256] = {};
+  if (::gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') {
+    return buf;
+  }
+#endif
+  return "unknown";
+}
+
 /// One timed case as it appears in the JSON report's "cases" array.
 struct JsonCase {
   std::string name;
@@ -49,6 +102,12 @@ struct JsonCase {
   double median_seconds = 0.0;
   std::string stages_json;    ///< StageTimes::to_json()
   std::string counters_json;  ///< ContractStats::to_json()
+  /// StagePerf::to_json() from the observation run; {"available":false}
+  /// when hardware counters cannot be opened (CI containers).
+  std::string perf_json = "{\"available\":false}";
+  /// SimResult::to_json() — per-(stage,tier) bytes and bandwidth under
+  /// the paper's placement; empty when no observation run happened.
+  std::string memsim_json;
 };
 
 inline std::vector<JsonCase>& json_cases() {
@@ -73,6 +132,16 @@ inline void write_json_report() {
   w.key("scale").value(scale_from_env());
   w.key("repeats").value(repeats_from_env());
   w.key("threads").value(max_threads());
+  w.key("context").begin_object();
+  w.key("scale").value(scale_from_env());
+  w.key("threads").value(max_threads());
+  w.key("build_type").value(std::string_view(build_type()));
+  w.key("git_sha").value(std::string_view(git_sha()));
+  w.key("hostname").value(std::string_view(hostname()));
+  w.end_object();
+  w.key("hw_counters").begin_object();
+  w.key("available").value(obs::PerfCounterGroup::counters_available());
+  w.end_object();
   w.key("cases").begin_array();
   for (const JsonCase& c : json_cases()) {
     w.begin_object();
@@ -84,9 +153,14 @@ inline void write_json_report() {
     w.end_object();
     w.key("stages").raw(c.stages_json);
     w.key("counters").raw(c.counters_json);
+    w.key("perf").raw(c.perf_json);
+    if (!c.memsim_json.empty()) w.key("memsim").raw(c.memsim_json);
     w.end_object();
   }
   w.end_array();
+  // Probe-length / stage-latency distributions accumulated by the
+  // observation runs (empty object when no case ran).
+  w.key("histograms").raw(obs::MetricsRegistry::global().histograms_json());
   w.end_object();
   std::FILE* f = std::fopen(json_path().c_str(), "w");
   if (!f) {
@@ -97,6 +171,37 @@ inline void write_json_report() {
   const std::string& doc = w.str();
   std::fwrite(doc.data(), 1, doc.size(), f);
   std::fclose(f);
+
+  // --baseline gate: compare the report just written against the
+  // committed baseline and fail the process on regression. Runs inside
+  // atexit, so a non-zero verdict must leave via _Exit (plain exit()
+  // would re-enter handler processing); later-registered handlers have
+  // already run by this point, earlier ones are skipped — acceptable for
+  // a gate whose job is the exit code. sparta_perfdiff is the primary CI
+  // gate; this flag is the local/one-binary convenience.
+  if (baseline_path().empty()) return;
+  std::ifstream in(baseline_path(), std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench: cannot read baseline '%s'\n",
+                 baseline_path().c_str());
+    std::_Exit(obs::perfdiff::kUsageError);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::optional<obs::JsonValue> base = obs::json_parse(ss.str());
+  const std::optional<obs::JsonValue> run = obs::json_parse(doc);
+  if (!base || !run) {
+    std::fprintf(stderr, "bench: baseline or report is not valid JSON\n");
+    std::_Exit(obs::perfdiff::kUsageError);
+  }
+  obs::perfdiff::Options popts;  // defaults: 10%, 1ms noise floor
+  const obs::perfdiff::PairResult pair =
+      obs::perfdiff::diff_reports(*base, *run, popts);
+  std::fputs(obs::perfdiff::to_markdown(pair, popts).c_str(), stderr);
+  const obs::perfdiff::ExitCode code = pair.exit();
+  if (code != obs::perfdiff::kOk) std::_Exit(code);
+  std::fprintf(stderr, "bench: within %.0f%% of baseline '%s'\n",
+               popts.threshold * 100.0, baseline_path().c_str());
 }
 
 /// Parses the shared bench CLI: --smoke and --json <path>. Unknown
@@ -115,13 +220,20 @@ inline void parse_cli(int argc, char** argv) {
       smoke_mode() = true;
     } else if (a == "--json" && i + 1 < argc) {
       json_path() = argv[++i];
+    } else if (a == "--baseline" && i + 1 < argc) {
+      baseline_path() = argv[++i];
     } else {
       std::fprintf(stderr,
                    "%s: unknown flag '%s' (supported: --smoke, "
-                   "--json <path>)\n",
+                   "--json <path>, --baseline <report.json>)\n",
                    argv[0], a.c_str());
       std::exit(2);
     }
+  }
+  if (!baseline_path().empty() && json_path().empty()) {
+    std::fprintf(stderr, "%s: --baseline requires --json <path>\n",
+                 argc > 0 ? argv[0] : "bench");
+    std::exit(2);
   }
   if (!json_path().empty()) {
     // Touch every static the report reads BEFORE registering the atexit
@@ -130,6 +242,8 @@ inline void parse_cli(int argc, char** argv) {
     // time_contraction) would be destroyed before the report is written.
     json_cases();
     bench_name();
+    baseline_path();
+    obs::MetricsRegistry::global();
     std::atexit(write_json_report);
   }
 }
@@ -200,6 +314,31 @@ inline TimedRun time_contraction(const SparseTensor& x, const SparseTensor& y,
     c.median_seconds = best.median_seconds;
     c.stages_json = best.stages.to_json();
     c.counters_json = best.stats.to_json();
+
+    // Observation run: one extra, untimed contraction with metrics,
+    // hardware counters and access profiling all enabled. The timed
+    // repeats above stay unperturbed (registry atomics and counter-read
+    // syscalls would contaminate the medians the baseline gate
+    // compares); this run supplies the perf, memsim and histogram
+    // sections instead.
+    {
+      ContractOptions oopts = opts;
+      oopts.collect_access_profile = true;
+      auto& mreg = obs::MetricsRegistry::global();
+      const bool metrics_were_on = mreg.enabled();
+      const bool perf_was_on = obs::perfctr_enabled();
+      mreg.enable();
+      obs::enable_perfctr();
+      ContractResult ores = contract(x, y, cx, cy, oopts);
+      if (!perf_was_on) obs::disable_perfctr();
+      if (!metrics_were_on) mreg.disable();
+      c.perf_json = ores.stats.perf.to_json();
+      const MemoryParams params;  // default DRAM/PMM testbed
+      const Placement placement =
+          sparta_placement(ores.profile.footprint_bytes, params);
+      c.memsim_json =
+          simulate_static(ores.profile, params, placement).to_json();
+    }
     json_cases().push_back(std::move(c));
   }
   return best;

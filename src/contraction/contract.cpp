@@ -22,6 +22,7 @@
 #include "memsim/allocator.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perfctr.hpp"
 #include "obs/trace.hpp"
 #include "tensor/linearize.hpp"
 
@@ -138,11 +139,49 @@ struct ZLocal {
   }
 };
 
-// Per-thread stage-time tallies for the three computation stages.
+// Per-thread stage-time tallies for the three computation stages, plus
+// the matching hardware-counter deltas (zero/unavailable unless
+// perfctr_enabled() — see obs/perfctr.hpp).
 struct ThreadTimes {
   double search = 0;
   double accumulate = 0;
   double writeback = 0;
+  obs::PerfDelta search_perf;
+  obs::PerfDelta accumulate_perf;
+  obs::PerfDelta writeback_perf;
+};
+
+// Samples the calling thread's counter group around one stage segment.
+// finish() accumulates the delta into `into` and, when the surrounding
+// span is being traced, attaches it as the span's args so per-segment
+// counter values land next to the timing in the Chrome trace. Disabled
+// cost (the default): one relaxed load + branch at each end.
+class PerfScope {
+ public:
+  PerfScope(obs::Span& span, obs::PerfDelta& into)
+      : span_(span), into_(into), on_(obs::perfctr_enabled()) {
+    if (on_) start_ = obs::PerfCounterGroup::for_current_thread().sample();
+  }
+  PerfScope(const PerfScope&) = delete;
+  PerfScope& operator=(const PerfScope&) = delete;
+  ~PerfScope() { finish(); }
+
+  void finish() {
+    if (done_) return;
+    done_ = true;
+    if (!on_) return;
+    const obs::PerfDelta d = obs::PerfCounterGroup::delta(
+        start_, obs::PerfCounterGroup::for_current_thread().sample());
+    into_ += d;
+    if (d.available && span_.active()) span_.set_args(d.to_json());
+  }
+
+ private:
+  obs::Span& span_;
+  obs::PerfDelta& into_;
+  bool on_;
+  bool done_ = false;
+  obs::PerfSample start_;
 };
 
 // Scratch describing the Y items matched by one X non-zero.
@@ -522,6 +561,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   // ------------------------------------------------------------------
   Timer t_input;
   obs::Span sp_input("input_processing");
+  PerfScope pp_input(sp_input, res.stats.perf.at(Stage::kInputProcessing));
   SPARTA_FAILPOINT("contract.input");
 
   PreparedX px;
@@ -612,6 +652,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
                    x_charge.charged() + y_charge.charged() + est_hta);
   }
 
+  pp_input.finish();
   sp_input.finish();
   res.stage_times[Stage::kInputProcessing] = t_input.seconds();
 
@@ -649,6 +690,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
 
           Timer t;
           obs::Span sp_search("index_search");
+          PerfScope pp_search(sp_search, tt.search_perf);
           std::uint64_t searches = 0;
           std::uint64_t hits = 0;
           SPARTA_FAILPOINT("contract.search");
@@ -664,11 +706,13 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
               matches.push_back(HtMatch{items, px.t.value(i)});
             }
           }
+          pp_search.finish();
           sp_search.finish();
           tt.search += t.seconds();
 
           t.reset();
           obs::Span sp_acc("accumulation");
+          PerfScope pp_acc(sp_acc, tt.accumulate_perf);
           std::uint64_t mults = 0;
           SPARTA_FAILPOINT("contract.accumulate");
           for (const HtMatch& mt : matches) {
@@ -678,11 +722,13 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
             }
           }
           acc_charges[tid].update(acc.footprint_bytes());
+          pp_acc.finish();
           sp_acc.finish();
           tt.accumulate += t.seconds();
 
           t.reset();
           obs::Span sp_wb("writeback");
+          PerfScope pp_wb(sp_wb, tt.writeback_perf);
           SPARTA_FAILPOINT("contract.writeback");
           std::vector<index_t> fyc(std::max<std::size_t>(nfy, 1));
           std::unique_lock<std::mutex> wb_lock(writeback_mutex,
@@ -694,6 +740,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
                  std::span<const index_t>(fyc.data(), nfy), v);
           });
           wb_lock = {};
+          pp_wb.finish();
           sp_wb.finish();
           tt.writeback += t.seconds();
 
@@ -738,6 +785,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
 
           Timer t;
           obs::Span sp_search("index_search");
+          PerfScope pp_search(sp_search, tt.search_perf);
           std::uint64_t searches = 0;
           std::uint64_t hits = 0;
           std::uint64_t scanned = 0;
@@ -756,11 +804,13 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
               matches.push_back(CooMatch{yb, ye, px.t.value(i)});
             }
           }
+          pp_search.finish();
           sp_search.finish();
           tt.search += t.seconds();
 
           t.reset();
           obs::Span sp_acc("accumulation");
+          PerfScope pp_acc(sp_acc, tt.accumulate_perf);
           std::uint64_t mults = 0;
           SPARTA_FAILPOINT("contract.accumulate");
           std::vector<index_t> fyc(std::max<std::size_t>(nfy, 1));
@@ -780,11 +830,13 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
             }
           }
           acc_charges[tid].update(acc.footprint_bytes());
+          pp_acc.finish();
           sp_acc.finish();
           tt.accumulate += t.seconds();
 
           t.reset();
           obs::Span sp_wb("writeback");
+          PerfScope pp_wb(sp_wb, tt.writeback_perf);
           SPARTA_FAILPOINT("contract.writeback");
           std::unique_lock<std::mutex> wb_lock(writeback_mutex,
                                                 std::defer_lock);
@@ -795,6 +847,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
                  std::span<const index_t>(fyc.data(), nfy), v);
           });
           wb_lock = {};
+          pp_wb.finish();
           sp_wb.finish();
           tt.writeback += t.seconds();
 
@@ -821,6 +874,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
 
           Timer t;
           obs::Span sp_search("index_search");
+          PerfScope pp_search(sp_search, tt.search_perf);
           std::uint64_t searches = 0;
           std::uint64_t hits = 0;
           std::uint64_t scanned = 0;
@@ -837,11 +891,13 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
               matches.push_back(CooMatch{yb, ye, px.t.value(i)});
             }
           }
+          pp_search.finish();
           sp_search.finish();
           tt.search += t.seconds();
 
           t.reset();
           obs::Span sp_acc("accumulation");
+          PerfScope pp_acc(sp_acc, tt.accumulate_perf);
           std::uint64_t mults = 0;
           SPARTA_FAILPOINT("contract.accumulate");
           std::vector<index_t> fyc(std::max<std::size_t>(nfy, 1));
@@ -856,11 +912,13 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
             }
           }
           acc_charges[tid].update(spa.footprint_bytes());
+          pp_acc.finish();
           sp_acc.finish();
           tt.accumulate += t.seconds();
 
           t.reset();
           obs::Span sp_wb("writeback");
+          PerfScope pp_wb(sp_wb, tt.writeback_perf);
           SPARTA_FAILPOINT("contract.writeback");
           std::unique_lock<std::mutex> wb_lock(writeback_mutex,
                                                 std::defer_lock);
@@ -870,6 +928,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
           }
           wb_lock = {};
           spa.clear();
+          pp_wb.finish();
           sp_wb.finish();
           tt.writeback += t.seconds();
 
@@ -904,6 +963,13 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
     res.stage_times[Stage::kIndexSearch] = s / nt;
     res.stage_times[Stage::kAccumulation] = a / nt;
     res.stage_times[Stage::kWriteback] = w / nt;
+    // Hardware counters sum across threads (a cycle spent on any core is
+    // a cycle of work) — no averaging, unlike the wall times above.
+    for (const ThreadTimes& tt : times) {
+      res.stats.perf.at(Stage::kIndexSearch) += tt.search_perf;
+      res.stats.perf.at(Stage::kAccumulation) += tt.accumulate_perf;
+      res.stats.perf.at(Stage::kWriteback) += tt.writeback_perf;
+    }
   }
 
   // ------------------------------------------------------------------
@@ -911,6 +977,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   // ------------------------------------------------------------------
   Timer t_gather;
   obs::Span sp_gather("gather");
+  PerfScope pp_gather(sp_gather, res.stats.perf.at(Stage::kWriteback));
   std::size_t total_z = 0;
   std::vector<std::size_t> offsets(zlocals.size() + 1, 0);
   for (std::size_t t = 0; t < zlocals.size(); ++t) {
@@ -953,6 +1020,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
 
   res.z = SparseTensor::from_columns(std::move(zdims), std::move(zcols),
                                      std::move(zvals));
+  pp_gather.finish();
   sp_gather.finish();
   res.stage_times[Stage::kWriteback] += t_gather.seconds();
   res.stats.nnz_z = res.z.nnz();
@@ -965,7 +1033,9 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
     SPARTA_FAILPOINT("contract.sort");
     Timer t_sort;
     obs::Span sp_sort("output_sorting");
+    PerfScope pp_sort(sp_sort, res.stats.perf.at(Stage::kOutputSorting));
     res.z.sort();
+    pp_sort.finish();
     sp_sort.finish();
     res.stage_times[Stage::kOutputSorting] = t_sort.seconds();
   }
@@ -1026,6 +1096,15 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
     mreg.set_json_section("last_contract.stage_seconds",
                           res.stage_times.to_json());
     mreg.set_json_section("last_contract.counters", res.stats.to_json());
+    mreg.set_json_section("last_contract.perf", res.stats.perf.to_json());
+    // Per-stage wall time in microseconds, as distributions: across many
+    // contractions (resilient retries, bench repeats) these show tail
+    // behaviour the single last_contract section cannot.
+    for (int i = 0; i < kNumStages; ++i) {
+      const Stage st = static_cast<Stage>(i);
+      mreg.histogram("stage_us." + std::string(stage_name(st)))
+          .record(static_cast<std::uint64_t>(res.stage_times[st] * 1e6));
+    }
   }
   if (obs::trace_enabled()) {
     obs::JsonWriter w;

@@ -1,6 +1,7 @@
 // Algorithm selection and tuning knobs for sparse tensor contraction.
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstddef>
 #include <string>
@@ -9,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "obs/json.hpp"
+#include "obs/perfctr.hpp"
 
 namespace sparta {
 
@@ -127,6 +129,58 @@ struct ContractOptions {
   }
 };
 
+/// Per-stage hardware-counter deltas for one contraction, summed across
+/// the worker threads that executed each stage (obs/perfctr.hpp). Only
+/// populated when perfctr_enabled(); available() false otherwise — and
+/// on kernels/containers where perf_event_open is off limits, in which
+/// case consumers must report "unavailable", not zeros.
+struct StagePerf {
+  std::array<obs::PerfDelta, kNumStages> stage{};
+
+  obs::PerfDelta& at(Stage s) { return stage[static_cast<std::size_t>(s)]; }
+  [[nodiscard]] const obs::PerfDelta& at(Stage s) const {
+    return stage[static_cast<std::size_t>(s)];
+  }
+
+  [[nodiscard]] bool available() const {
+    for (const obs::PerfDelta& d : stage) {
+      if (d.available) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] obs::PerfDelta total() const {
+    obs::PerfDelta t;
+    for (const obs::PerfDelta& d : stage) t += d;
+    return t;
+  }
+
+  StagePerf& operator+=(const StagePerf& o) {
+    for (int i = 0; i < kNumStages; ++i) {
+      stage[static_cast<std::size_t>(i)] +=
+          o.stage[static_cast<std::size_t>(i)];
+    }
+    return *this;
+  }
+
+  /// {"available":bool,"total":{...},"stages":{"<stage>":{...}}} — the
+  /// bench --json per-case "perf" section.
+  [[nodiscard]] std::string to_json() const {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("available").value(available());
+    w.key("total").raw(total().to_json());
+    w.key("stages").begin_object();
+    for (int i = 0; i < kNumStages; ++i) {
+      w.key(stage_name(static_cast<Stage>(i)))
+          .raw(stage[static_cast<std::size_t>(i)].to_json());
+    }
+    w.end_object();
+    w.end_object();
+    return w.str();
+  }
+};
+
 /// Counters describing what one contraction did; used by benchmarks and
 /// the placement estimators.
 struct ContractStats {
@@ -144,6 +198,13 @@ struct ContractStats {
   std::size_t hta_bytes = 0;          ///< measured accumulators, all threads
   std::size_t zlocal_bytes = 0;       ///< measured Z_local, all threads
   std::size_t z_bytes = 0;            ///< measured output footprint
+
+  /// Hardware-counter deltas per stage (empty/unavailable unless
+  /// perfctr_enabled() during the run). Deliberately NOT part of
+  /// to_json(): the "counters" report section stays deterministic so
+  /// sparta_perfdiff can gate it exactly; perf lives in its own
+  /// machine-dependent section.
+  StagePerf perf;
 
   /// Validates the cross-counter invariants every contraction must
   /// satisfy, throwing sparta::Error on violation:

@@ -73,6 +73,7 @@ class HashAccumulator {
   static void count_probe(std::size_t steps) {
     SPARTA_COUNTER_ADD("hta.accumulates", 1);
     SPARTA_COUNTER_ADD("hta.probe_steps", steps);
+    SPARTA_HISTOGRAM_RECORD("hta.probe_len", steps);
   }
 
   struct Entry {

@@ -146,6 +146,7 @@ class GroupedHashMap {
   static void count_probe(std::size_t steps) {
     SPARTA_COUNTER_ADD("hty.probes", 1);
     SPARTA_COUNTER_ADD("hty.probe_steps", steps);
+    SPARTA_HISTOGRAM_RECORD("hty.probe_len", steps);
   }
   static void count_insert(std::size_t chain_steps) {
     SPARTA_COUNTER_ADD("hty.inserts", 1);

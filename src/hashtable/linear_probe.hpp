@@ -87,6 +87,7 @@ class LinearProbeAccumulator {
   static void count_probe(std::size_t steps) {
     SPARTA_COUNTER_ADD("hta.accumulates", 1);
     SPARTA_COUNTER_ADD("hta.probe_steps", steps);
+    SPARTA_HISTOGRAM_RECORD("hta.probe_len", steps);
   }
 
   void grow() {

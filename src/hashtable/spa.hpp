@@ -63,6 +63,7 @@ class SpaAccumulator {
   static void count_scan(std::size_t comparisons) {
     SPARTA_COUNTER_ADD("spa.accumulates", 1);
     SPARTA_COUNTER_ADD("spa.scan_steps", comparisons);
+    SPARTA_HISTOGRAM_RECORD("spa.scan_len", comparisons);
   }
 
   bool tuple_equals(std::size_t i, std::span<const index_t> key) const {

@@ -66,6 +66,36 @@ struct SimResult {
 
   /// Average bandwidth (GB/s) drawn from `tier` during `stage`.
   [[nodiscard]] double bandwidth_gbs(Stage s, Tier t) const;
+
+  /// {"total_seconds":..,"migrated_bytes":..,"stages":{"<stage>":
+  ///  {"seconds":..,"DRAM":{"bytes":..,"bandwidth_gbs":..},
+  ///   "PMM":{...}}}} — the per-(stage,tier) traffic section of the
+  /// bench --json reports.
+  [[nodiscard]] std::string to_json() const {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("total_seconds").value(total_seconds());
+    w.key("migrated_bytes").value(migrated_bytes);
+    w.key("stages").begin_object();
+    for (int s = 0; s < kNumStages; ++s) {
+      const Stage st = static_cast<Stage>(s);
+      w.key(stage_name(st)).begin_object();
+      w.key("seconds").value(stage_seconds[st]);
+      for (int t = 0; t < 2; ++t) {
+        const Tier tier = static_cast<Tier>(t);
+        w.key(tier_name(tier)).begin_object();
+        w.key("bytes").value(
+            tier_bytes[static_cast<std::size_t>(s)][static_cast<std::size_t>(
+                t)]);
+        w.key("bandwidth_gbs").value(bandwidth_gbs(st, tier));
+        w.end_object();
+      }
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    return w.str();
+  }
 };
 
 /// Estimates run time under a static placement.

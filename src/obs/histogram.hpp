@@ -1,0 +1,139 @@
+// Lock-free log2-bucketed histograms for probe lengths and latencies.
+//
+// The scalar probe counters (hta.probe_steps etc.) can only report a
+// mean; tail behaviour — the long collision chains and pathological SPA
+// scans that actually hurt — needs a distribution. Log2Histogram keeps
+// one relaxed atomic bucket per power of two, so concurrent recording
+// from inside OpenMP regions is wait-free and never allocates after
+// construction. Quantiles are therefore approximate: a reported pXX is
+// the geometric midpoint of the bucket containing the true quantile,
+// i.e. within a factor of 2 of it (and clamped to the observed max).
+// That resolution is exactly right for "did the p99 probe length double"
+// questions, at a per-record cost of three relaxed atomic adds.
+//
+// Histograms live in the MetricsRegistry next to counters and gauges and
+// share the metrics enable flag; record through SPARTA_HISTOGRAM_RECORD
+// (metrics.hpp) for the one-load-when-disabled cost contract.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace sparta::obs {
+
+class Log2Histogram {
+ public:
+  /// Bucket b holds values whose bit width is b: bucket 0 = {0},
+  /// bucket b>=1 = [2^(b-1), 2^b - 1].
+  static constexpr int kNumBuckets = 65;
+
+  Log2Histogram() = default;
+  Log2Histogram(const Log2Histogram&) = delete;
+  Log2Histogram& operator=(const Log2Histogram&) = delete;
+
+  void record(std::uint64_t v) {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] static int bucket_of(std::uint64_t v) {
+    return static_cast<int>(std::bit_width(v));
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    std::uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket_count(int b) const {
+    return buckets_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Approximate p-quantile (p in [0,1]): the geometric midpoint of the
+  /// bucket holding the ceil(p*count)-th smallest recorded value,
+  /// clamped to the observed max. 0 when nothing was recorded.
+  [[nodiscard]] double percentile(double p) const {
+    std::array<std::uint64_t, kNumBuckets> snap;
+    std::uint64_t total = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      snap[static_cast<std::size_t>(b)] =
+          buckets_[static_cast<std::size_t>(b)].load(
+              std::memory_order_relaxed);
+      total += snap[static_cast<std::size_t>(b)];
+    }
+    if (total == 0) return 0.0;
+    if (p < 0.0) p = 0.0;
+    if (p > 1.0) p = 1.0;
+    std::uint64_t target =
+        static_cast<std::uint64_t>(p * static_cast<double>(total));
+    if (target < 1) target = 1;
+    if (target > total) target = total;
+    std::uint64_t cum = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      cum += snap[static_cast<std::size_t>(b)];
+      if (cum >= target) {
+        const double rep = bucket_midpoint(b);
+        const double mx = static_cast<double>(max());
+        return rep < mx ? rep : mx;
+      }
+    }
+    return static_cast<double>(max());
+  }
+
+  /// Representative value of bucket b (geometric midpoint of its range).
+  [[nodiscard]] static double bucket_midpoint(int b) {
+    if (b == 0) return 0.0;
+    const double lo = static_cast<double>(std::uint64_t{1} << (b - 1));
+    return lo * 1.5 - 0.5;  // midpoint of [2^(b-1), 2^b - 1]
+  }
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+  /// {"count":..,"sum":..,"max":..,"p50":..,"p95":..,"p99":..,
+  ///  "buckets":{"<bit-width>":count, ...}}  (non-empty buckets only).
+  [[nodiscard]] std::string to_json() const {
+    JsonWriter w;
+    w.begin_object();
+    w.key("count").value(count());
+    w.key("sum").value(sum());
+    w.key("max").value(max());
+    w.key("p50").value(percentile(0.50));
+    w.key("p95").value(percentile(0.95));
+    w.key("p99").value(percentile(0.99));
+    w.key("buckets").begin_object();
+    for (int b = 0; b < kNumBuckets; ++b) {
+      const std::uint64_t n = bucket_count(b);
+      if (n != 0) w.key(std::to_string(b)).value(n);
+    }
+    w.end_object();
+    w.end_object();
+    return w.str();
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace sparta::obs

@@ -65,9 +65,10 @@ inline void json_escape_to(std::string& out, std::string_view s) {
 }
 
 /// `v` as a JSON number. Non-finite values have no JSON spelling and
-/// become 0 (observability output must never poison a parser).
+/// become null — not 0, which would silently masquerade as a real
+/// measurement (observability output must never poison a parser).
 [[nodiscard]] inline std::string json_number(double v) {
-  if (!std::isfinite(v)) return "0";
+  if (!std::isfinite(v)) return "null";
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;

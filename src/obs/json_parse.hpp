@@ -1,0 +1,274 @@
+// Minimal JSON DOM parser for the observability tooling (sparta_perfdiff
+// and the bench --baseline gate read the reports json.hpp writes).
+//
+// Same strictness as json_valid() — in fact it accepts exactly the
+// grammar the validator accepts — but builds a tree. Object member order
+// is preserved; duplicate keys keep the last occurrence (RFC 8259
+// "names within an object SHOULD be unique" — our writer never emits
+// duplicates). Numbers are stored as double, which is exact for every
+// counter below 2^53; bench counters that could exceed that are byte
+// counts, where the relative error is irrelevant to diffing.
+//
+// Deliberately dependency-free like the rest of obs/.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace sparta::obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_v = false;
+  double num_v = 0.0;
+  std::string str_v;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  [[nodiscard]] bool is_null() const { return type == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+
+  /// Member lookup (objects only); nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* get(std::string_view key) const {
+    if (type != Type::kObject) return nullptr;
+    const JsonValue* found = nullptr;
+    for (const auto& [k, v] : obj) {
+      if (k == key) found = &v;  // last occurrence wins
+    }
+    return found;
+  }
+
+  /// get() chained through a path of object keys.
+  [[nodiscard]] const JsonValue* get_path(
+      std::initializer_list<std::string_view> keys) const {
+    const JsonValue* v = this;
+    for (const std::string_view k : keys) {
+      v = v->get(k);
+      if (!v) return nullptr;
+    }
+    return v;
+  }
+
+  [[nodiscard]] double number_or(double def) const {
+    return type == Type::kNumber ? num_v : def;
+  }
+  [[nodiscard]] std::string string_or(std::string def) const {
+    return type == Type::kString ? str_v : std::move(def);
+  }
+  [[nodiscard]] bool bool_or(bool def) const {
+    return type == Type::kBool ? bool_v : def;
+  }
+};
+
+namespace detail {
+
+inline bool json_dom_parse_value(std::string_view s, std::size_t& i,
+                                 int depth, JsonValue& out);
+
+// Decodes the body of a JSON string (after the opening quote was seen),
+// appending UTF-8 to `out.str_v`. Mirrors json_parse_string's grammar.
+inline bool json_dom_parse_string(std::string_view s, std::size_t& i,
+                                  std::string& out) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '"') {
+      ++i;
+      return true;
+    }
+    if (static_cast<unsigned char>(c) < 0x20) return false;
+    if (c == '\\') {
+      ++i;
+      if (i >= s.size()) return false;
+      const char e = s[i];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (i + 4 >= s.size()) return false;
+          unsigned cp = 0;
+          for (int k = 1; k <= 4; ++k) {
+            const char h = s[i + static_cast<std::size_t>(k)];
+            unsigned d;
+            if (h >= '0' && h <= '9') {
+              d = static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              d = static_cast<unsigned>(h - 'a') + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              d = static_cast<unsigned>(h - 'A') + 10;
+            } else {
+              return false;
+            }
+            cp = cp * 16 + d;
+          }
+          i += 4;
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // recombined; our writer only ever emits \u00xx controls).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+      ++i;
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return false;
+}
+
+inline bool json_dom_parse_value(std::string_view s, std::size_t& i,
+                                 int depth, JsonValue& out) {
+  if (depth > 256) return false;
+  json_skip_ws(s, i);
+  if (i >= s.size()) return false;
+  const char c = s[i];
+  if (c == '"') {
+    out.type = JsonValue::Type::kString;
+    return json_dom_parse_string(s, i, out.str_v);
+  }
+  if (c == '{') {
+    out.type = JsonValue::Type::kObject;
+    ++i;
+    json_skip_ws(s, i);
+    if (i < s.size() && s[i] == '}') {
+      ++i;
+      return true;
+    }
+    while (true) {
+      json_skip_ws(s, i);
+      std::string key;
+      if (!json_dom_parse_string(s, i, key)) return false;
+      json_skip_ws(s, i);
+      if (i >= s.size() || s[i] != ':') return false;
+      ++i;
+      JsonValue v;
+      if (!json_dom_parse_value(s, i, depth + 1, v)) return false;
+      out.obj.emplace_back(std::move(key), std::move(v));
+      json_skip_ws(s, i);
+      if (i >= s.size()) return false;
+      if (s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (s[i] == '}') {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (c == '[') {
+    out.type = JsonValue::Type::kArray;
+    ++i;
+    json_skip_ws(s, i);
+    if (i < s.size() && s[i] == ']') {
+      ++i;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!json_dom_parse_value(s, i, depth + 1, v)) return false;
+      out.arr.push_back(std::move(v));
+      json_skip_ws(s, i);
+      if (i >= s.size()) return false;
+      if (s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (s[i] == ']') {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (s.compare(i, 4, "true") == 0) {
+    out.type = JsonValue::Type::kBool;
+    out.bool_v = true;
+    i += 4;
+    return true;
+  }
+  if (s.compare(i, 5, "false") == 0) {
+    out.type = JsonValue::Type::kBool;
+    out.bool_v = false;
+    i += 5;
+    return true;
+  }
+  if (s.compare(i, 4, "null") == 0) {
+    out.type = JsonValue::Type::kNull;
+    i += 4;
+    return true;
+  }
+  const std::size_t start = i;
+  if (!json_parse_number(s, i)) return false;
+  out.type = JsonValue::Type::kNumber;
+  out.num_v = std::strtod(std::string(s.substr(start, i - start)).c_str(),
+                          nullptr);
+  return true;
+}
+
+}  // namespace detail
+
+/// Parses exactly one JSON document (trailing whitespace allowed);
+/// std::nullopt on any syntax error.
+[[nodiscard]] inline std::optional<JsonValue> json_parse(
+    std::string_view s) {
+  JsonValue v;
+  std::size_t i = 0;
+  if (!detail::json_dom_parse_value(s, i, 0, v)) return std::nullopt;
+  detail::json_skip_ws(s, i);
+  if (i != s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace sparta::obs

@@ -28,6 +28,7 @@
 #include <string_view>
 #include <utility>
 
+#include "obs/histogram.hpp"
 #include "obs/json.hpp"
 
 namespace sparta::obs {
@@ -122,6 +123,12 @@ class MetricsRegistry {
     if (!slot) slot = std::make_unique<Gauge>();
     return *slot;
   }
+  Log2Histogram& histogram(std::string_view name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& slot = histograms_[std::string(name)];
+    if (!slot) slot = std::make_unique<Log2Histogram>();
+    return *slot;
+  }
 
   /// Current value, 0 when the metric was never touched (tests).
   [[nodiscard]] std::uint64_t counter_value(std::string_view name) const {
@@ -134,6 +141,11 @@ class MetricsRegistry {
     const auto it = gauges_.find(std::string(name));
     return it == gauges_.end() ? 0 : it->second->value();
   }
+  [[nodiscard]] std::uint64_t histogram_count(std::string_view name) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = histograms_.find(std::string(name));
+    return it == histograms_.end() ? 0 : it->second->count();
+  }
 
   /// Attaches a preformed JSON value under "sections"/`name` in the
   /// export — e.g. the engine publishes StageTimes::to_json() here.
@@ -142,16 +154,31 @@ class MetricsRegistry {
     sections_[std::move(name)] = std::move(json);
   }
 
-  /// Zeroes every counter and gauge and drops attached sections.
+  /// Zeroes every counter, gauge and histogram and drops sections.
   void reset() {
     std::lock_guard<std::mutex> lk(mu_);
     for (auto& [name, c] : counters_) c->reset();
     for (auto& [name, g] : gauges_) g->reset();
+    for (auto& [name, h] : histograms_) h->reset();
     sections_.clear();
   }
 
-  /// {"schema_version":1,"counters":{...},"gauges":{...},"sections":{..}}
-  /// with names in sorted order (std::map) for diffable output.
+  /// {"<name>": {"count":..,"p50":..,...}, ...} for every histogram —
+  /// the bench --json "histograms" section.
+  [[nodiscard]] std::string histograms_json() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    JsonWriter w;
+    w.begin_object();
+    for (const auto& [name, h] : histograms_) {
+      w.key(name).raw(h->to_json());
+    }
+    w.end_object();
+    return w.str();
+  }
+
+  /// {"schema_version":1,"counters":{...},"gauges":{...},
+  ///  "histograms":{...},"sections":{...}} with names in sorted order
+  /// (std::map) for diffable output.
   [[nodiscard]] std::string to_json() const {
     std::lock_guard<std::mutex> lk(mu_);
     JsonWriter w;
@@ -165,6 +192,11 @@ class MetricsRegistry {
     w.key("gauges").begin_object();
     for (const auto& [name, g] : gauges_) {
       w.key(name).value(g->value());
+    }
+    w.end_object();
+    w.key("histograms").begin_object();
+    for (const auto& [name, h] : histograms_) {
+      w.key(name).raw(h->to_json());
     }
     w.end_object();
     w.key("sections").begin_object();
@@ -199,6 +231,7 @@ class MetricsRegistry {
   bool enabled_ = false;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Log2Histogram>> histograms_;
   std::map<std::string, std::string> sections_;
 };
 
@@ -240,5 +273,17 @@ inline const bool g_metrics_env_armed = [] {
           ::sparta::obs::MetricsRegistry::global().gauge(name);           \
       sparta_obs_g.max_unchecked(                                         \
           static_cast<std::uint64_t>(n));                                 \
+    }                                                                     \
+  } while (0)
+
+/// Records `v` into histogram `name` (string literal), gated the same
+/// way as SPARTA_COUNTER_ADD: one relaxed load + branch when disabled,
+/// three relaxed atomic adds when enabled.
+#define SPARTA_HISTOGRAM_RECORD(name, v)                                  \
+  do {                                                                    \
+    if (::sparta::obs::metrics_enabled()) {                               \
+      static ::sparta::obs::Log2Histogram& sparta_obs_h =                 \
+          ::sparta::obs::MetricsRegistry::global().histogram(name);       \
+      sparta_obs_h.record(static_cast<std::uint64_t>(v));                 \
     }                                                                     \
   } while (0)

@@ -1,0 +1,290 @@
+// Hardware performance counters via Linux perf_event_open.
+//
+// One PerfCounterGroup opens a small fixed event group — cycles,
+// instructions, LLC misses, dTLB load misses, stalled backend cycles —
+// on the calling thread and reads them together with one syscall, so
+// deltas across a code region are mutually consistent. Counters are a
+// privilege-gated, platform-specific resource; everything here degrades
+// cleanly when they cannot be opened (non-Linux builds, CI containers,
+// kernel.perf_event_paranoid, seccomp): available() turns false, every
+// sample reads as zero, and no call ever throws. Consumers must treat
+// "unavailable" as a first-class result, not an error — the bench JSON
+// schema encodes it as {"available":false}.
+//
+// Cost contract: like tracing/metrics, the disabled path at a sampling
+// site is one relaxed atomic load plus a branch. Arming, one of:
+//   * env:  SPARTA_PERFCTR=1   (armed before main())
+//   * code: obs::enable_perfctr();
+// Each thread lazily opens its own group on first sample (counters are
+// per-thread state); the group is closed when the thread exits.
+//
+// Event set rationale and per-stage aggregation: docs/OBSERVABILITY.md.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define SPARTA_HAS_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define SPARTA_HAS_PERF_EVENT 0
+#endif
+
+namespace sparta::obs {
+
+/// The fixed event set, chosen to explain the paper's performance story:
+/// probe-heavy stages are LLC/dTLB-miss bound, streaming stages are
+/// bandwidth bound (high stalled cycles, low miss rates).
+enum class PerfEvent : int {
+  kCycles = 0,
+  kInstructions = 1,
+  kLlcMisses = 2,
+  kDtlbMisses = 3,
+  kStalledCycles = 4,
+};
+
+inline constexpr int kNumPerfEvents = 5;
+
+[[nodiscard]] constexpr std::string_view perf_event_name(PerfEvent e) {
+  switch (e) {
+    case PerfEvent::kCycles:
+      return "cycles";
+    case PerfEvent::kInstructions:
+      return "instructions";
+    case PerfEvent::kLlcMisses:
+      return "llc_misses";
+    case PerfEvent::kDtlbMisses:
+      return "dtlb_misses";
+    case PerfEvent::kStalledCycles:
+      return "stalled_cycles";
+  }
+  return "?";
+}
+
+namespace detail {
+inline std::atomic<bool> g_perfctr_enabled{false};
+}  // namespace detail
+
+/// The single branch gating every sampling site.
+[[nodiscard]] inline bool perfctr_enabled() {
+  return detail::g_perfctr_enabled.load(std::memory_order_relaxed);
+}
+
+inline void enable_perfctr() {
+  detail::g_perfctr_enabled.store(true, std::memory_order_relaxed);
+}
+inline void disable_perfctr() {
+  detail::g_perfctr_enabled.store(false, std::memory_order_relaxed);
+}
+
+/// Cumulative counter values at one point in time. Monotone per thread
+/// while the group stays open; `available` false means every value is 0
+/// and deltas built from this sample are unavailable too.
+struct PerfSample {
+  std::array<std::uint64_t, kNumPerfEvents> value{};
+  std::uint64_t time_enabled_ns = 0;
+  std::uint64_t time_running_ns = 0;
+  bool available = false;
+};
+
+/// Difference between two samples of the same group. Addable, so stage
+/// deltas can be accumulated across threads and sub-tensor iterations.
+struct PerfDelta {
+  std::array<std::uint64_t, kNumPerfEvents> value{};
+  bool available = false;
+
+  [[nodiscard]] std::uint64_t operator[](PerfEvent e) const {
+    return value[static_cast<int>(e)];
+  }
+
+  PerfDelta& operator+=(const PerfDelta& o) {
+    if (!o.available) return *this;
+    for (int i = 0; i < kNumPerfEvents; ++i) value[i] += o.value[i];
+    available = true;
+    return *this;
+  }
+
+  /// {"available":true,"cycles":...,...} — or just {"available":false}.
+  /// The explicit marker lets report consumers distinguish "no counter
+  /// access" from "zero events", which zeros alone cannot.
+  [[nodiscard]] std::string to_json() const {
+    JsonWriter w;
+    w.begin_object();
+    w.key("available").value(available);
+    if (available) {
+      for (int i = 0; i < kNumPerfEvents; ++i) {
+        w.key(perf_event_name(static_cast<PerfEvent>(i))).value(value[i]);
+      }
+    }
+    w.end_object();
+    return w.str();
+  }
+};
+
+/// One perf_event_open group bound to the constructing thread.
+///
+/// Siblings that the PMU cannot schedule (e.g. stalled-cycles on some
+/// virtualized CPUs) are dropped individually; the group stays usable
+/// with the events that did open. If even the cycles leader fails, the
+/// whole group reports available() == false.
+class PerfCounterGroup {
+ public:
+  PerfCounterGroup() { open_all(); }
+  ~PerfCounterGroup() { close_all(); }
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  [[nodiscard]] bool available() const { return leader_fd_ >= 0; }
+
+  /// Events that actually opened (subset of the catalogue).
+  [[nodiscard]] int num_open_events() const { return num_open_; }
+
+  /// Current cumulative values. Zeros + available=false when the group
+  /// could not be opened or the read fails; never throws.
+  [[nodiscard]] PerfSample sample() const {
+    PerfSample s;
+#if SPARTA_HAS_PERF_EVENT
+    if (leader_fd_ < 0) return s;
+    // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, then one
+    // value per open event in group order.
+    std::uint64_t buf[3 + kNumPerfEvents] = {};
+    const ssize_t want =
+        static_cast<ssize_t>((3 + static_cast<std::size_t>(num_open_)) *
+                             sizeof(std::uint64_t));
+    if (::read(leader_fd_, buf, static_cast<std::size_t>(want)) != want) {
+      return s;
+    }
+    if (buf[0] != static_cast<std::uint64_t>(num_open_)) return s;
+    s.time_enabled_ns = buf[1];
+    s.time_running_ns = buf[2];
+    for (int slot = 0, pos = 0; slot < kNumPerfEvents; ++slot) {
+      if (open_slot_[static_cast<std::size_t>(slot)]) {
+        s.value[static_cast<std::size_t>(slot)] =
+            buf[3 + static_cast<std::size_t>(pos)];
+        ++pos;
+      }
+    }
+    s.available = true;
+#endif
+    return s;
+  }
+
+  /// b - a with saturation (a dropped counter or reopened group must
+  /// never produce a wrapped-around delta).
+  [[nodiscard]] static PerfDelta delta(const PerfSample& a,
+                                       const PerfSample& b) {
+    PerfDelta d;
+    if (!a.available || !b.available) return d;
+    d.available = true;
+    for (int i = 0; i < kNumPerfEvents; ++i) {
+      d.value[i] = b.value[i] >= a.value[i] ? b.value[i] - a.value[i] : 0;
+    }
+    return d;
+  }
+
+  /// This thread's lazily-opened group. First call on a thread pays the
+  /// open syscalls; subsequent calls are a thread_local load.
+  [[nodiscard]] static PerfCounterGroup& for_current_thread() {
+    thread_local PerfCounterGroup g;
+    return g;
+  }
+
+  /// Process-wide probe: true when this build + kernel + privilege level
+  /// can open the group at all. Cached after the first call.
+  [[nodiscard]] static bool counters_available() {
+    static const bool ok = [] {
+      PerfCounterGroup probe;
+      return probe.available();
+    }();
+    return ok;
+  }
+
+ private:
+#if SPARTA_HAS_PERF_EVENT
+  void open_all() {
+    struct EventSpec {
+      std::uint32_t type;
+      std::uint64_t config;
+    };
+    const std::array<EventSpec, kNumPerfEvents> specs = {{
+        {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+        {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+        {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+        {PERF_TYPE_HW_CACHE,
+         PERF_COUNT_HW_CACHE_DTLB | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+             (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+        {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+    }};
+    for (int i = 0; i < kNumPerfEvents; ++i) {
+      perf_event_attr attr;
+      std::memset(&attr, 0, sizeof(attr));
+      attr.size = sizeof(attr);
+      attr.type = specs[static_cast<std::size_t>(i)].type;
+      attr.config = specs[static_cast<std::size_t>(i)].config;
+      attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                         PERF_FORMAT_TOTAL_TIME_RUNNING;
+      attr.exclude_kernel = 1;
+      attr.exclude_hv = 1;
+      attr.disabled = leader_fd_ < 0 ? 1 : 0;  // leader starts stopped
+      const int fd = static_cast<int>(
+          ::syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                    /*group_fd=*/leader_fd_, /*flags=*/0UL));
+      if (fd < 0) {
+        if (leader_fd_ < 0) {
+          // No cycles leader: counters are off limits here entirely.
+          return;
+        }
+        continue;  // sibling unavailable; keep the rest of the group
+      }
+      if (leader_fd_ < 0) leader_fd_ = fd;
+      fds_[static_cast<std::size_t>(i)] = fd;
+      open_slot_[static_cast<std::size_t>(i)] = true;
+      ++num_open_;
+    }
+    ::ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ::ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  }
+
+  void close_all() {
+    for (int& fd : fds_) {
+      if (fd >= 0 && fd != leader_fd_) ::close(fd);
+      fd = -1;
+    }
+    if (leader_fd_ >= 0) ::close(leader_fd_);
+    leader_fd_ = -1;
+  }
+#else
+  void open_all() {}
+  void close_all() {}
+#endif
+
+  int leader_fd_ = -1;
+  int num_open_ = 0;
+  std::array<int, kNumPerfEvents> fds_ = {-1, -1, -1, -1, -1};
+  std::array<bool, kNumPerfEvents> open_slot_ = {};
+};
+
+namespace detail {
+
+// Arms SPARTA_PERFCTR once per process, before main().
+inline const bool g_perfctr_env_armed = [] {
+  if (const char* v = std::getenv("SPARTA_PERFCTR")) {
+    if (*v != '\0' && std::string_view(v) != "0") enable_perfctr();
+  }
+  return true;
+}();
+
+}  // namespace detail
+
+}  // namespace sparta::obs

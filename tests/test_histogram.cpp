@@ -1,0 +1,157 @@
+// Tests for the lock-free log2 histogram (src/obs/histogram.hpp): the
+// bucket scheme, the percentile approximation contract against an exact
+// reference, concurrent recording, and the registry/macro integration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+
+namespace sparta::obs {
+namespace {
+
+TEST(Log2Histogram, BucketScheme) {
+  // Bucket b holds values of bit width b: 0→0, 1→1, [2,3]→2, [4,7]→3
+  EXPECT_EQ(Log2Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Log2Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Log2Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Log2Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Log2Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Log2Histogram::bucket_of(7), 3);
+  EXPECT_EQ(Log2Histogram::bucket_of(8), 4);
+  EXPECT_EQ(Log2Histogram::bucket_of(UINT64_MAX), 64);
+}
+
+TEST(Log2Histogram, CountSumMax) {
+  Log2Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  h.record(1);
+  h.record(10);
+  h.record(100);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 111u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.bucket_count(1), 1u);    // {1}
+  EXPECT_EQ(h.bucket_count(4), 1u);    // [8,15] ∋ 10
+  EXPECT_EQ(h.bucket_count(7), 1u);    // [64,127] ∋ 100
+}
+
+// The documented contract: a reported pXX is the geometric midpoint of
+// the bucket containing the true quantile, clamped to the observed max —
+// always within a factor of 2 of the exact value.
+TEST(Log2Histogram, PercentilesTrackExactReference) {
+  std::mt19937_64 rng(12345);
+  // Log-uniform values so every bucket range gets exercised.
+  std::uniform_real_distribution<double> exp_dist(0.0, 16.0);
+  std::vector<std::uint64_t> values;
+  Log2Histogram h;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v =
+        static_cast<std::uint64_t>(std::exp2(exp_dist(rng)));
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double p : {0.50, 0.95, 0.99}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        p * static_cast<double>(values.size()));
+    const double exact = static_cast<double>(
+        values[std::min(rank, values.size() - 1)]);
+    const double approx = h.percentile(p);
+    EXPECT_GE(approx, exact / 2.0) << "p=" << p;
+    EXPECT_LE(approx, exact * 2.0) << "p=" << p;
+  }
+  // Quantiles are monotone in p and bounded by the observed max.
+  EXPECT_LE(h.percentile(0.50), h.percentile(0.95));
+  EXPECT_LE(h.percentile(0.95), h.percentile(0.99));
+  EXPECT_LE(h.percentile(0.99), static_cast<double>(h.max()));
+}
+
+TEST(Log2Histogram, SingleValueDistribution) {
+  Log2Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(5);
+  // Midpoint of [4,7] is 5.5, but clamping to max gives exactly 5.
+  EXPECT_EQ(h.percentile(0.5), 5.0);
+  EXPECT_EQ(h.percentile(0.99), 5.0);
+  EXPECT_EQ(h.max(), 5u);
+}
+
+TEST(Log2Histogram, ConcurrentRecordingLosesNothing) {
+  Log2Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(h.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const auto n = static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(h.sum(), n * (n - 1) / 2);
+  EXPECT_EQ(h.max(), n - 1);
+}
+
+TEST(Log2Histogram, ResetZeroesEverything) {
+  Log2Histogram h;
+  h.record(1000);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile(0.99), 0.0);
+}
+
+TEST(Log2Histogram, JsonExportIsValidAndComplete) {
+  Log2Histogram h;
+  h.record(3);
+  h.record(200);
+  const std::string doc = h.to_json();
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  EXPECT_NE(doc.find("\"count\":2"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"p50\""), std::string::npos);
+  EXPECT_NE(doc.find("\"p95\""), std::string::npos);
+  EXPECT_NE(doc.find("\"p99\""), std::string::npos);
+  EXPECT_NE(doc.find("\"max\":200"), std::string::npos);
+  // Only the two non-empty buckets appear.
+  EXPECT_NE(doc.find("\"2\":1"), std::string::npos);  // [2,3] ∋ 3
+  EXPECT_NE(doc.find("\"8\":1"), std::string::npos);  // [128,255] ∋ 200
+}
+
+// -------------------------------------------------- registry + macro
+
+TEST(MetricsRegistry, HistogramsFollowTheEnableFlag) {
+  auto& reg = MetricsRegistry::global();
+  reg.reset();
+  reg.disable();
+  SPARTA_HISTOGRAM_RECORD("test.hist_gated", 42);
+  EXPECT_EQ(reg.histogram_count("test.hist_gated"), 0u);
+  reg.enable();
+  SPARTA_HISTOGRAM_RECORD("test.hist_gated", 42);
+  SPARTA_HISTOGRAM_RECORD("test.hist_gated", 7);
+  reg.disable();
+  EXPECT_EQ(reg.histogram_count("test.hist_gated"), 2u);
+  EXPECT_EQ(reg.histogram("test.hist_gated").max(), 42u);
+  const std::string doc = reg.histograms_json();
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  EXPECT_NE(doc.find("\"test.hist_gated\""), std::string::npos);
+  // The full registry export carries the same data under "histograms".
+  EXPECT_NE(reg.to_json().find("\"histograms\""), std::string::npos);
+  reg.reset();
+  EXPECT_EQ(reg.histogram_count("test.hist_gated"), 0u);
+}
+
+}  // namespace
+}  // namespace sparta::obs

@@ -62,10 +62,27 @@ TEST(JsonWriter, TopLevelArray) {
   EXPECT_TRUE(json_valid(w.str()));
 }
 
-TEST(JsonNumber, NonFiniteBecomesZero) {
-  EXPECT_EQ(json_number(std::nan("")), "0");
-  EXPECT_EQ(json_number(1.0 / 0.0), "0");
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  // null, not 0: a zero would masquerade as a real measurement, while
+  // null is unmistakably "no value" to every JSON consumer.
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  EXPECT_EQ(json_number(1.0 / 0.0), "null");
+  EXPECT_EQ(json_number(-1.0 / 0.0), "null");
   EXPECT_TRUE(json_valid(json_number(-1.0 / 0.0)));
+}
+
+TEST(JsonWriter, NonFiniteDoublesStayValid) {
+  // Regression: a NaN stage time (e.g. 0/0 in a derived rate) must not
+  // poison the whole document — the writer emits null and the result
+  // still parses.
+  JsonWriter w;
+  w.begin_object();
+  w.key("nan").value(std::nan(""));
+  w.key("inf").value(1.0 / 0.0);
+  w.key("ok").value(1.5);
+  w.end_object();
+  EXPECT_TRUE(json_valid(w.str())) << w.str();
+  EXPECT_EQ(w.str(), "{\"nan\":null,\"inf\":null,\"ok\":1.5}");
 }
 
 TEST(JsonValid, AcceptsWellFormed) {

@@ -1,0 +1,256 @@
+// Tests for the perf-regression gate: the pure diffing library
+// (src/obs/perfdiff.hpp) against synthetic report fixtures, and the
+// sparta_perfdiff binary end-to-end (exit codes 0/1/2/3).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_parse.hpp"
+#include "obs/perfdiff.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#endif
+
+namespace sparta::obs::perfdiff {
+namespace {
+
+// Builds a minimal bench report. `medians` maps case name → per-repeat
+// seconds (we emit the same value for every repeat so the median is
+// exact), `searches` lets individual tests inject counter drift.
+std::string make_report(const std::string& bench, int threads,
+                        const std::vector<std::pair<std::string, double>>&
+                            cases,
+                        std::uint64_t searches = 100,
+                        const std::string& build_type = "RelWithDebInfo") {
+  std::string out = "{\"bench\":\"" + bench + "\",\"smoke\":true,";
+  out += "\"scale\":1.0,\"threads\":" + std::to_string(threads) + ",";
+  out += "\"context\":{\"scale\":1.0,\"threads\":" +
+         std::to_string(threads) + ",\"build_type\":\"" + build_type +
+         "\",\"git_sha\":\"deadbeef\",\"hostname\":\"unit-test\"},";
+  out += "\"cases\":[";
+  bool first = true;
+  for (const auto& [name, sec] : cases) {
+    if (!first) out += ",";
+    first = false;
+    const std::string s = std::to_string(sec);
+    out += "{\"name\":\"" + name + "\",\"seconds\":{\"min\":" + s +
+           ",\"median\":" + s +
+           "},\"counters\":{\"nnz_z\":50,\"searches\":" +
+           std::to_string(searches) + ",\"multiplies\":60}}";
+  }
+  out += "]}";
+  return out;
+}
+
+JsonValue parse_or_die(const std::string& text) {
+  auto doc = json_parse(text);
+  EXPECT_TRUE(doc.has_value()) << text;
+  return doc ? *doc : JsonValue{};
+}
+
+TEST(ParseThreshold, AcceptsPercentAndFraction) {
+  EXPECT_DOUBLE_EQ(*parse_threshold("30%"), 0.30);
+  EXPECT_DOUBLE_EQ(*parse_threshold("0.3"), 0.30);
+  EXPECT_DOUBLE_EQ(*parse_threshold("5%"), 0.05);
+  EXPECT_FALSE(parse_threshold("").has_value());
+  EXPECT_FALSE(parse_threshold("abc").has_value());
+  EXPECT_FALSE(parse_threshold("-1%").has_value());
+}
+
+TEST(DiffReports, IdenticalReportsPass) {
+  const JsonValue base =
+      parse_or_die(make_report("b1", 2, {{"caseA", 0.10}, {"caseB", 0.20}}));
+  const PairResult r = diff_reports(base, base, Options{});
+  EXPECT_TRUE(r.comparable());
+  EXPECT_FALSE(r.regressed());
+  EXPECT_EQ(r.exit(), ExitCode::kOk);
+  ASSERT_EQ(r.cases.size(), 2u);
+  for (const CaseResult& c : r.cases) {
+    EXPECT_FALSE(c.regressed());
+    EXPECT_DOUBLE_EQ(c.ratio, 0.0);  // ratio is run/base - 1
+  }
+}
+
+TEST(DiffReports, TwentyPercentSlowerRegressesAtDefaultThreshold) {
+  const JsonValue base = parse_or_die(make_report("b1", 2, {{"c", 0.10}}));
+  const JsonValue run = parse_or_die(make_report("b1", 2, {{"c", 0.12}}));
+  const PairResult r = diff_reports(base, run, Options{});
+  EXPECT_TRUE(r.comparable());
+  EXPECT_TRUE(r.regressed());
+  EXPECT_EQ(r.exit(), ExitCode::kRegression);
+  ASSERT_EQ(r.cases.size(), 1u);
+  EXPECT_TRUE(r.cases[0].timing_regressed);
+  EXPECT_NEAR(r.cases[0].ratio, 0.2, 1e-6);
+}
+
+TEST(DiffReports, WiderThresholdAbsorbsTheSameDelta) {
+  const JsonValue base = parse_or_die(make_report("b1", 2, {{"c", 0.10}}));
+  const JsonValue run = parse_or_die(make_report("b1", 2, {{"c", 0.12}}));
+  Options opts;
+  opts.threshold = 0.30;
+  const PairResult r = diff_reports(base, run, opts);
+  EXPECT_FALSE(r.regressed());
+  EXPECT_EQ(r.exit(), ExitCode::kOk);
+}
+
+TEST(DiffReports, ImprovementNeverRegresses) {
+  const JsonValue base = parse_or_die(make_report("b1", 2, {{"c", 0.20}}));
+  const JsonValue run = parse_or_die(make_report("b1", 2, {{"c", 0.10}}));
+  const PairResult r = diff_reports(base, run, Options{});
+  EXPECT_FALSE(r.regressed());
+  EXPECT_NEAR(r.cases[0].ratio, -0.5, 1e-6);
+}
+
+TEST(DiffReports, ThreadMismatchIsNotComparable) {
+  const JsonValue base = parse_or_die(make_report("b1", 2, {{"c", 0.10}}));
+  const JsonValue run = parse_or_die(make_report("b1", 4, {{"c", 0.10}}));
+  const PairResult r = diff_reports(base, run, Options{});
+  EXPECT_FALSE(r.comparable());
+  EXPECT_EQ(r.exit(), ExitCode::kConfigMismatch);
+  ASSERT_FALSE(r.config_mismatches.empty());
+  EXPECT_EQ(r.config_mismatches[0].field, "threads");
+}
+
+TEST(DiffReports, BuildTypeComparedOnlyWhenBothPresent) {
+  const JsonValue base = parse_or_die(
+      make_report("b1", 2, {{"c", 0.10}}, 100, "Release"));
+  const JsonValue run = parse_or_die(
+      make_report("b1", 2, {{"c", 0.10}}, 100, "Debug"));
+  EXPECT_EQ(diff_reports(base, run, Options{}).exit(),
+            ExitCode::kConfigMismatch);
+  // A report without a context block (older schema) still compares.
+  const JsonValue bare = parse_or_die(
+      "{\"bench\":\"b1\",\"smoke\":true,\"scale\":1.0,\"threads\":2,"
+      "\"cases\":[{\"name\":\"c\",\"seconds\":{\"min\":0.1,\"median\":0.1},"
+      "\"counters\":{\"nnz_z\":50,\"searches\":100,\"multiplies\":60}}]}");
+  EXPECT_EQ(diff_reports(base, bare, Options{}).exit(), ExitCode::kOk);
+}
+
+TEST(DiffReports, CounterDriftIsARegressionEvenWhenTimingIsFine) {
+  const JsonValue base = parse_or_die(make_report("b1", 2, {{"c", 0.10}}));
+  const JsonValue run =
+      parse_or_die(make_report("b1", 2, {{"c", 0.10}}, /*searches=*/150));
+  const PairResult r = diff_reports(base, run, Options{});
+  EXPECT_TRUE(r.regressed());
+  ASSERT_EQ(r.cases.size(), 1u);
+  EXPECT_FALSE(r.cases[0].timing_regressed);
+  ASSERT_EQ(r.cases[0].counter_drift.size(), 1u);
+  EXPECT_EQ(r.cases[0].counter_drift[0].counter, "searches");
+  EXPECT_DOUBLE_EQ(r.cases[0].counter_drift[0].base, 100.0);
+  EXPECT_DOUBLE_EQ(r.cases[0].counter_drift[0].run, 150.0);
+  // --no-counters drops the gate.
+  Options opts;
+  opts.compare_counters = false;
+  EXPECT_EQ(diff_reports(base, run, opts).exit(), ExitCode::kOk);
+}
+
+TEST(DiffReports, NoiseFloorSuppressesTinyMedians) {
+  // 50% slower, but both medians sit under min_seconds.
+  const JsonValue base = parse_or_die(make_report("b1", 2, {{"c", 2e-4}}));
+  const JsonValue run = parse_or_die(make_report("b1", 2, {{"c", 3e-4}}));
+  const PairResult r = diff_reports(base, run, Options{});
+  EXPECT_FALSE(r.regressed());
+  ASSERT_EQ(r.cases.size(), 1u);
+  EXPECT_FALSE(r.cases[0].timing_gates);
+}
+
+TEST(DiffReports, MissingCaseInRunIsARegression) {
+  const JsonValue base =
+      parse_or_die(make_report("b1", 2, {{"kept", 0.1}, {"gone", 0.1}}));
+  const JsonValue run = parse_or_die(make_report("b1", 2, {{"kept", 0.1}}));
+  const PairResult r = diff_reports(base, run, Options{});
+  EXPECT_TRUE(r.regressed());
+  ASSERT_EQ(r.base_only.size(), 1u);
+  EXPECT_EQ(r.base_only[0], "gone");
+}
+
+TEST(DiffReports, RunOnlyCaseIsInformational) {
+  const JsonValue base = parse_or_die(make_report("b1", 2, {{"c", 0.1}}));
+  const JsonValue run =
+      parse_or_die(make_report("b1", 2, {{"c", 0.1}, {"extra", 0.1}}));
+  const PairResult r = diff_reports(base, run, Options{});
+  EXPECT_FALSE(r.regressed());
+  ASSERT_EQ(r.run_only.size(), 1u);
+  EXPECT_EQ(r.run_only[0], "extra");
+}
+
+TEST(DiffReports, OverallExitPrefersRegressionOverMismatch) {
+  const JsonValue a_base = parse_or_die(make_report("a", 2, {{"c", 0.1}}));
+  const JsonValue a_run = parse_or_die(make_report("a", 4, {{"c", 0.1}}));
+  const JsonValue b_base = parse_or_die(make_report("b", 2, {{"c", 0.1}}));
+  const JsonValue b_run = parse_or_die(make_report("b", 2, {{"c", 0.2}}));
+  const std::vector<PairResult> pairs = {
+      diff_reports(a_base, a_run, Options{}),
+      diff_reports(b_base, b_run, Options{}),
+  };
+  EXPECT_EQ(overall_exit(pairs), ExitCode::kRegression);
+}
+
+TEST(Rendering, MarkdownAndJsonAreWellFormed) {
+  const JsonValue base = parse_or_die(make_report("b1", 2, {{"c", 0.10}}));
+  const JsonValue run = parse_or_die(make_report("b1", 2, {{"c", 0.15}}));
+  const PairResult r = diff_reports(base, run, Options{});
+  const std::string md = to_markdown(r, Options{});
+  EXPECT_NE(md.find("REGRESSED"), std::string::npos) << md;
+  EXPECT_NE(md.find("| c |"), std::string::npos) << md;
+  const std::string js = to_json({r}, Options{});
+  const auto doc = json_parse(js);
+  ASSERT_TRUE(doc.has_value()) << js;
+  const JsonValue* exit_v = doc->get_path({"exit"});
+  ASSERT_NE(exit_v, nullptr) << js;
+  EXPECT_DOUBLE_EQ(exit_v->number_or(-1.0),
+                   static_cast<double>(ExitCode::kRegression));
+}
+
+// ------------------------------------------------ binary end-to-end
+
+#if defined(SPARTA_PERFDIFF_BIN) && (defined(__unix__) || defined(__APPLE__))
+
+std::string write_fixture(const std::string& name,
+                          const std::string& text) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+int run_perfdiff(const std::string& args) {
+  const std::string cmd =
+      std::string(SPARTA_PERFDIFF_BIN) + " " + args + " > /dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+TEST(PerfdiffBinary, GoldenPairsMapToExitCodes) {
+  const std::string base =
+      write_fixture("pd_base.json", make_report("b1", 2, {{"c", 0.10}}));
+  const std::string same =
+      write_fixture("pd_same.json", make_report("b1", 2, {{"c", 0.10}}));
+  const std::string slow =
+      write_fixture("pd_slow.json", make_report("b1", 2, {{"c", 0.12}}));
+  const std::string other =
+      write_fixture("pd_threads.json", make_report("b1", 4, {{"c", 0.10}}));
+
+  EXPECT_EQ(run_perfdiff(base + " " + same), 0);
+  EXPECT_EQ(run_perfdiff(base + " " + slow), 1);
+  EXPECT_EQ(run_perfdiff("--threshold 30% " + base + " " + slow), 0);
+  EXPECT_EQ(run_perfdiff(base + " " + other), 3);
+}
+
+TEST(PerfdiffBinary, UsageErrorsExitTwo) {
+  const std::string base =
+      write_fixture("pd_u.json", make_report("b1", 2, {{"c", 0.10}}));
+  EXPECT_EQ(run_perfdiff(""), 2);                       // missing operands
+  EXPECT_EQ(run_perfdiff(base), 2);                     // only one operand
+  EXPECT_EQ(run_perfdiff("--threshold nope " + base + " " + base), 2);
+  EXPECT_EQ(run_perfdiff(base + " /nonexistent/run.json"), 2);
+}
+
+#endif  // SPARTA_PERFDIFF_BIN && unix
+
+}  // namespace
+}  // namespace sparta::obs::perfdiff

@@ -1,0 +1,215 @@
+// sparta_perfdiff — perf-regression gate over bench --json reports.
+//
+//   sparta_perfdiff [options] <baseline> <run>
+//
+// <baseline> and <run> are either two report files or two directories;
+// directories are paired by filename (the BENCH_<name>.json convention),
+// so `sparta_perfdiff bench/baselines perf-artifacts` gates a whole
+// suite in one call. Prints a markdown table per pair (CI pastes it into
+// the job summary) and exits:
+//   0  comparable, within threshold
+//   1  regression (timing over threshold, counter drift, missing case)
+//   2  usage error / unreadable / unparsable input
+//   3  reports not comparable (scale/threads/build-type mismatch)
+// Verdict logic lives in src/obs/perfdiff.hpp, shared with the bench
+// harness's --baseline flag and the tests.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/perfdiff.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace sparta::obs;
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: sparta_perfdiff [options] <baseline> <run>\n"
+      "  <baseline>, <run>   two bench --json reports, or two\n"
+      "                      directories paired by filename\n"
+      "  --threshold T       gating slowdown, '30%%' or '0.3'\n"
+      "                      (default 10%%)\n"
+      "  --min-seconds S     baseline medians below S never gate\n"
+      "                      (default 0.001)\n"
+      "  --no-counters       skip the deterministic-counter comparison\n"
+      "  --json <path>       also write the JSON verdict ('-' = stdout)\n"
+      "exit codes: 0 ok, 1 regression, 2 usage error, 3 config mismatch\n");
+}
+
+std::optional<std::string> read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+/// Loads + parses one report; exits 2 on failure (a gate that cannot
+/// read its inputs must not pass).
+JsonValue load_report(const fs::path& p) {
+  const std::optional<std::string> text = read_file(p);
+  if (!text) {
+    std::fprintf(stderr, "sparta_perfdiff: cannot read '%s'\n",
+                 p.string().c_str());
+    std::exit(perfdiff::kUsageError);
+  }
+  std::optional<JsonValue> doc = json_parse(*text);
+  if (!doc || !doc->is_object()) {
+    std::fprintf(stderr,
+                 "sparta_perfdiff: '%s' is not a valid JSON report\n",
+                 p.string().c_str());
+    std::exit(perfdiff::kUsageError);
+  }
+  return std::move(*doc);
+}
+
+std::vector<fs::path> report_files(const fs::path& dir) {
+  std::vector<fs::path> out;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    if (e.is_regular_file() && e.path().extension() == ".json") {
+      out.push_back(e.path());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  perfdiff::Options opts;
+  std::string json_out;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--threshold" && i + 1 < argc) {
+      const std::optional<double> t = perfdiff::parse_threshold(argv[++i]);
+      if (!t) {
+        std::fprintf(stderr, "sparta_perfdiff: bad --threshold '%s'\n",
+                     argv[i]);
+        return perfdiff::kUsageError;
+      }
+      opts.threshold = *t;
+    } else if (a == "--min-seconds" && i + 1 < argc) {
+      opts.min_seconds = std::atof(argv[++i]);
+      if (opts.min_seconds < 0.0) {
+        std::fprintf(stderr, "sparta_perfdiff: bad --min-seconds\n");
+        return perfdiff::kUsageError;
+      }
+    } else if (a == "--no-counters") {
+      opts.compare_counters = false;
+    } else if (a == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      return perfdiff::kOk;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "sparta_perfdiff: unknown flag '%s'\n",
+                   a.c_str());
+      usage();
+      return perfdiff::kUsageError;
+    } else {
+      positional.push_back(a);
+    }
+  }
+  if (positional.size() != 2) {
+    usage();
+    return perfdiff::kUsageError;
+  }
+
+  const fs::path base_path = positional[0];
+  const fs::path run_path = positional[1];
+  std::error_code ec;
+  const bool base_dir = fs::is_directory(base_path, ec);
+  const bool run_dir = fs::is_directory(run_path, ec);
+  if (base_dir != run_dir) {
+    std::fprintf(stderr,
+                 "sparta_perfdiff: '%s' and '%s' must both be files or "
+                 "both be directories\n",
+                 base_path.string().c_str(), run_path.string().c_str());
+    return perfdiff::kUsageError;
+  }
+
+  // (baseline file, run file) pairs to compare.
+  std::vector<std::pair<fs::path, fs::path>> jobs;
+  if (!base_dir) {
+    jobs.emplace_back(base_path, run_path);
+  } else {
+    const std::vector<fs::path> bases = report_files(base_path);
+    if (bases.empty()) {
+      std::fprintf(stderr,
+                   "sparta_perfdiff: no .json reports under '%s'\n",
+                   base_path.string().c_str());
+      return perfdiff::kUsageError;
+    }
+    for (const fs::path& b : bases) {
+      const fs::path r = run_path / b.filename();
+      if (!fs::is_regular_file(r, ec)) {
+        // A baseline with no matching run means the run suite shrank —
+        // that is a gate failure, not a skip.
+        std::fprintf(stderr,
+                     "sparta_perfdiff: run report '%s' missing for "
+                     "baseline '%s'\n",
+                     r.string().c_str(), b.string().c_str());
+        return perfdiff::kRegression;
+      }
+      jobs.emplace_back(b, r);
+    }
+    for (const fs::path& r : report_files(run_path)) {
+      if (!fs::is_regular_file(base_path / r.filename(), ec)) {
+        std::printf("note: run report '%s' has no baseline (not gated)\n",
+                    r.filename().string().c_str());
+      }
+    }
+  }
+
+  std::vector<perfdiff::PairResult> pairs;
+  pairs.reserve(jobs.size());
+  for (const auto& [b, r] : jobs) {
+    const JsonValue base = load_report(b);
+    const JsonValue run = load_report(r);
+    pairs.push_back(perfdiff::diff_reports(base, run, opts));
+  }
+
+  for (const perfdiff::PairResult& p : pairs) {
+    std::fputs(perfdiff::to_markdown(p, opts).c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+
+  if (!json_out.empty()) {
+    const std::string doc = perfdiff::to_json(pairs, opts);
+    if (json_out == "-") {
+      std::printf("%s\n", doc.c_str());
+    } else {
+      std::FILE* f = std::fopen(json_out.c_str(), "w");
+      if (!f) {
+        std::fprintf(stderr, "sparta_perfdiff: cannot write '%s'\n",
+                     json_out.c_str());
+        return perfdiff::kUsageError;
+      }
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    }
+  }
+
+  const perfdiff::ExitCode code = perfdiff::overall_exit(pairs);
+  if (code == perfdiff::kOk) {
+    std::printf("sparta_perfdiff: OK (%zu pair%s within %.0f%%)\n",
+                pairs.size(), pairs.size() == 1 ? "" : "s",
+                opts.threshold * 100.0);
+  } else if (code == perfdiff::kRegression) {
+    std::printf("sparta_perfdiff: REGRESSION detected\n");
+  } else if (code == perfdiff::kConfigMismatch) {
+    std::printf("sparta_perfdiff: reports not comparable\n");
+  }
+  return code;
+}
