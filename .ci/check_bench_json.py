@@ -4,6 +4,9 @@ docs/OBSERVABILITY.md. The schema is append-only: this script checks
 that every promised field is present and well-typed, and ignores any
 extra fields a newer writer may have added.
 
+Reports carrying a "tool" key (sparta_serve --json) are validated
+against the serving-report schema instead of the bench schema.
+
 Usage: check_bench_json.py report.json [report2.json ...]
 """
 import json
@@ -41,9 +44,115 @@ def check_number(path, obj, key, minimum=0):
         fail(path, f"'{key}' = {v} < {minimum}")
 
 
+SERVE_BOOLS = ["ok", "cache_hit", "plan_cached", "degraded", "rejected"]
+
+SERVE_CACHE_COUNTERS = ["hits", "misses", "evictions", "uncacheable"]
+
+SERVE_ADMISSION_COUNTERS = ["accepted", "rejected", "degraded"]
+
+
+def check_histograms(path, doc):
+    hists = doc.get("histograms")
+    if not isinstance(hists, dict):
+        fail(path, "'histograms' missing")
+    for name, h in hists.items():
+        if not isinstance(h, dict):
+            fail(path, f"histograms[{name!r}] is not an object")
+        for k in HISTOGRAM_STATS:
+            check_number(path, h, k)
+
+
+def check_serve_report(path, doc):
+    if doc.get("tool") != "sparta_serve":
+        fail(path, f"tool = {doc.get('tool')!r}, expected 'sparta_serve'")
+    if not isinstance(doc.get("workload"), str) or not doc["workload"]:
+        fail(path, "'workload' missing or empty")
+    check_number(path, doc, "clients", minimum=1)
+    check_number(path, doc, "workers", minimum=1)
+    check_number(path, doc, "threads", minimum=1)
+    check_number(path, doc, "budget_bytes")
+    check_number(path, doc, "wall_seconds")
+    reqs = doc.get("requests")
+    if not isinstance(reqs, list) or not reqs:
+        fail(path, "'requests' missing or empty")
+    for i, r in enumerate(reqs):
+        where = f"requests[{i}]"
+        for k in ("x", "y", "variant"):
+            if not isinstance(r.get(k), str) or not r[k]:
+                fail(path, f"{where}: '{k}' missing or empty")
+        for k in SERVE_BOOLS:
+            if not isinstance(r.get(k), bool):
+                fail(path, f"{where}: '{k}' missing or not a bool")
+        check_number(path, r, "queue_seconds")
+        check_number(path, r, "exec_seconds")
+        if not r["ok"]:
+            continue  # failed/rejected requests carry no result data
+        check_number(path, r, "nnz_z")
+        stages = r.get("stages")
+        if not isinstance(stages, dict):
+            fail(path, f"{where}: 'stages' missing")
+        for k in STAGE_KEYS:
+            check_number(path, stages, k)
+        counters = r.get("counters")
+        if not isinstance(counters, dict):
+            fail(path, f"{where}: 'counters' missing")
+        for k in REQUIRED_COUNTERS:
+            check_number(path, counters, k)
+        if counters["hits"] > counters["searches"]:
+            fail(path, f"{where}: hits > searches")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        fail(path, "'summary' missing")
+    for k in ("total", "ok", "failed", "rejected", "degraded",
+              "cache_hits"):
+        check_number(path, summary, k)
+    if summary["total"] != len(reqs):
+        fail(path, f"summary.total = {summary['total']}, but "
+                   f"{len(reqs)} requests reported")
+    if summary["ok"] + summary["failed"] + summary["rejected"] \
+            != summary["total"]:
+        fail(path, "summary ok+failed+rejected != total")
+    lat = summary.get("latency_seconds")
+    if not isinstance(lat, dict):
+        fail(path, "'summary.latency_seconds' missing")
+    for k in ("p50", "p95", "max"):
+        check_number(path, lat, k)
+    if not lat["p50"] <= lat["p95"] <= lat["max"]:
+        fail(path, "latency percentiles not monotone")
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        fail(path, "'counters' missing")
+    cache = counters.get("cache")
+    if not isinstance(cache, dict):
+        fail(path, "'counters.cache' missing")
+    for k in SERVE_CACHE_COUNTERS:
+        check_number(path, cache, k)
+    admission = counters.get("admission")
+    if not isinstance(admission, dict):
+        fail(path, "'counters.admission' missing")
+    for k in SERVE_ADMISSION_COUNTERS:
+        check_number(path, admission, k)
+    if not isinstance(counters.get("selector"), dict):
+        fail(path, "'counters.selector' missing")
+    budget = counters.get("budget")
+    if not isinstance(budget, dict):
+        fail(path, "'counters.budget' missing")
+    check_number(path, budget, "capacity")
+    check_number(path, budget, "live")
+    check_histograms(path, doc)
+    print(f"{path}: OK (sparta_serve, {len(reqs)} requests, "
+          f"{summary['cache_hits']} cache hits)")
+
+
 def check_report(path):
     with open(path) as f:
         doc = json.load(f)
+    if "tool" in doc:
+        if doc.get("schema_version") != 1:
+            fail(path, f"schema_version = {doc.get('schema_version')!r}, "
+                       "expected 1")
+        check_serve_report(path, doc)
+        return
     if doc.get("schema_version") != 1:
         fail(path, f"schema_version = {doc.get('schema_version')!r}, "
                    "expected 1")
@@ -110,14 +219,7 @@ def check_report(path):
             check_number(path, memsim, "total_seconds")
             if not isinstance(memsim.get("stages"), dict):
                 fail(path, f"{where}: 'memsim.stages' missing")
-    hists = doc.get("histograms")
-    if not isinstance(hists, dict):
-        fail(path, "'histograms' missing")
-    for name, h in hists.items():
-        if not isinstance(h, dict):
-            fail(path, f"histograms[{name!r}] is not an object")
-        for k in HISTOGRAM_STATS:
-            check_number(path, h, k)
+    check_histograms(path, doc)
     print(f"{path}: OK ({doc['bench']}, {len(cases)} cases)")
 
 

@@ -498,6 +498,27 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   const std::size_t nfx = split.fx.size();
   const std::size_t nfy = split.fy.size();
 
+  // Plan-time LN-space gate (§3.3): both linearized key spaces — the
+  // contract tuple (HtY keys) and Y's free tuple (HtA keys) — must fit
+  // 64 bits. Reject here, before the O(nnz log nnz) input processing,
+  // with a diagnostic naming the dims, instead of wrapping silently or
+  // failing mid-pipeline from a LinearIndexer deep in stage ①.
+  {
+    std::vector<index_t> cdims;
+    cdims.reserve(m);
+    for (int mm : cx) cdims.push_back(x.dim(mm));
+    check_ln_space("contract-mode key space", cdims);
+    const std::vector<index_t> fydims =
+        y ? [&] {
+          std::vector<index_t> d;
+          d.reserve(nfy);
+          for (int mm : split.fy) d.push_back(y->dim(mm));
+          return d;
+        }()
+          : plan->free_dims();
+    check_ln_space("Y free-mode key space", fydims);
+  }
+
   const int nthreads = opts.num_threads > 0 ? opts.num_threads : max_threads();
 
   // Budget / tracked-allocation machinery. The registry outlives every
@@ -591,16 +612,24 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
                             ? DataObject::kHtY
                             : DataObject::kY);
   if (opts.algorithm == Algorithm::kSparta) {
+    // A prebuilt plan whose HtY an external cache already charged (the
+    // serving layer's plan cache) is resident memory this request does
+    // not add: skip both the Eq. 5 HtY term and the registry charge.
+    const bool hty_external = plan != nullptr && opts.hty_charged_externally;
     // Eq. 5 gate before HtY is built: its size is an exact function of
     // tensor metadata, so an oversized table is rejected up front.
     preflight_gate(
         "X + HtY (Eq. 5)",
         px.t.footprint_bytes() +
-            estimate_hty_bytes(
-                res.stats.nnz_y,
-                y ? y->order() : static_cast<int>(plan->y_dims().size()),
-                pow2_buckets(opts.hty_buckets > 0 ? opts.hty_buckets
-                                                  : res.stats.nnz_y)));
+            (hty_external
+                 ? 0
+                 : estimate_hty_bytes(
+                       res.stats.nnz_y,
+                       y ? y->order()
+                         : static_cast<int>(plan->y_dims().size()),
+                       pow2_buckets(opts.hty_buckets > 0
+                                        ? opts.hty_buckets
+                                        : res.stats.nnz_y))));
     if (!active_plan) {
       plan_local =
           std::make_unique<YPlan>(*y, cy, opts.hty_buckets, nthreads);
@@ -610,7 +639,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
     res.stats.num_y_keys = active_plan->num_keys();
     res.stats.max_y_group = active_plan->max_group();
     res.stats.hty_bytes = active_plan->hty_footprint_bytes();
-    y_charge.update(res.stats.hty_bytes);
+    if (!hty_external) y_charge.update(res.stats.hty_bytes);
   } else {
     preflight_gate("X + sorted-Y copies",
                    px.t.footprint_bytes() + y->footprint_bytes());

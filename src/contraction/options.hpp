@@ -97,6 +97,15 @@ struct ContractOptions {
   /// (TraceRecorder::write_file) unless SPARTA_TRACE set an output path.
   bool trace = false;
 
+  /// Set by callers contracting against a prebuilt YPlan whose HtY is
+  /// owned and budget-charged by an external cache (see
+  /// serve/plan_cache.hpp): the engine then neither pre-flights the
+  /// Eq. 5 HtY term nor charges the HtY bytes to this request's
+  /// registry — the cache already holds that charge, and double-charging
+  /// would shrink the apparent remaining budget by every cached plan a
+  /// request reuses. Ignored (and harmless) without a prebuilt plan.
+  bool hty_charged_externally = false;
+
   /// Memory ceiling; see MemoryBudget. Default: unlimited.
   MemoryBudget budget;
 
@@ -121,6 +130,9 @@ struct ContractOptions {
                  "use_linear_probe_hta applies only to Algorithm::kSparta");
     SPARTA_CHECK(hty_buckets == 0 || algorithm == Algorithm::kSparta,
                  "hty_buckets applies only to Algorithm::kSparta");
+    SPARTA_CHECK(!hty_charged_externally || algorithm == Algorithm::kSparta,
+                 "hty_charged_externally applies only to Algorithm::kSparta "
+                 "(only HtY plans can be cached externally)");
     SPARTA_CHECK(budget.bytes == 0 || budget.preflight || budget.runtime,
                  "memory budget set but both enforcement modes disabled");
     SPARTA_CHECK(!ablation_shared_writeback || budget.bytes == 0,

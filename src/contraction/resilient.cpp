@@ -37,6 +37,7 @@ ContractOptions rung_options(const ContractOptions& base, Algorithm a) {
   if (a != Algorithm::kSparta) {
     o.hty_buckets = 0;
     o.use_linear_probe_hta = false;
+    o.hty_charged_externally = false;
   }
   return o;
 }

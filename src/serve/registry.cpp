@@ -1,0 +1,95 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace sparta::serve {
+
+std::uint64_t TensorRegistry::put(const std::string& name,
+                                  SparseTensor tensor) {
+  SPARTA_CHECK(!name.empty(), "tensor name must not be empty");
+  auto stored = std::make_shared<Stored>(std::move(tensor));
+  if (alloc_ != nullptr) {
+    // Charge before publishing: a BudgetExceeded here leaves the
+    // registry exactly as it was (the old registration, if any, stays).
+    stored->charge =
+        ScopedCharge(alloc_, Tier::kDram, DataObject::kY);
+    stored->charge.update(stored->tensor.footprint_bytes());
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  Slot& slot = map_[name];
+  slot.stored = std::move(stored);
+  slot.id = next_id_++;
+  SPARTA_COUNTER_ADD("serve.registry.puts", 1);
+  return slot.id;
+}
+
+TensorRegistry::Handle TensorRegistry::get(const std::string& name) const {
+  Handle h = try_get(name);
+  if (!h.valid()) {
+    throw Error("tensor '" + name + "' is not registered");
+  }
+  return h;
+}
+
+TensorRegistry::Handle TensorRegistry::try_get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = map_.find(name);
+  if (it == map_.end()) return {};
+  // Aliasing shared_ptr: the handle keeps the whole Stored (tensor +
+  // charge) alive while exposing only the tensor.
+  return {std::shared_ptr<const SparseTensor>(it->second.stored,
+                                              &it->second.stored->tensor),
+          it->second.id};
+}
+
+std::uint64_t TensorRegistry::drop(const std::string& name) {
+  std::shared_ptr<Stored> retired;  // destroyed outside the lock
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = map_.find(name);
+    if (it == map_.end()) return 0;
+    id = it->second.id;
+    retired = std::move(it->second.stored);
+    map_.erase(it);
+  }
+  SPARTA_COUNTER_ADD("serve.registry.drops", 1);
+  return id;
+}
+
+bool TensorRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_.find(name) != map_.end();
+}
+
+std::size_t TensorRegistry::count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_.size();
+}
+
+std::vector<std::string> TensorRegistry::names() const {
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    out.reserve(map_.size());
+    for (const auto& [name, slot] : map_) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t TensorRegistry::named_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t total = 0;
+  for (const auto& [name, slot] : map_) {
+    total += slot.stored->tensor.footprint_bytes();
+  }
+  return total;
+}
+
+}  // namespace sparta::serve

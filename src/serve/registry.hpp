@@ -1,0 +1,90 @@
+// Thread-safe named-tensor registry for the contraction service.
+//
+// Tensors are immutable once registered: put() stores a value under a
+// name and assigns it a monotonically increasing id; re-registering the
+// same name installs a fresh id, so anything keyed on the old id (plan
+// cache entries, in-flight requests) can detect staleness without the
+// registry having to chase them down. Lookups hand out shared_ptrs, so
+// drop() only removes the name — a tensor stays alive (and its budget
+// charge stays live) until the last in-flight request releases it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "memsim/allocator.hpp"
+#include "tensor/sparse_tensor.hpp"
+
+namespace sparta::serve {
+
+class TensorRegistry {
+ public:
+  /// When `registry` is non-null every registered tensor's footprint is
+  /// charged to it (Tier::kDram, DataObject::kY) for as long as any
+  /// reference — the registry's or an in-flight request's — keeps the
+  /// tensor alive. put() then throws BudgetExceeded when the charge
+  /// would overflow the registry's capacity.
+  explicit TensorRegistry(AllocationRegistry* registry = nullptr)
+      : alloc_(registry) {}
+
+  /// A lookup result: the tensor plus the id its registration got.
+  struct Handle {
+    std::shared_ptr<const SparseTensor> tensor;
+    std::uint64_t id = 0;
+
+    [[nodiscard]] bool valid() const { return tensor != nullptr; }
+  };
+
+  /// Registers (or replaces) `name`. Returns the new id. Throws
+  /// BudgetExceeded when the footprint does not fit the allocation
+  /// registry's capacity; the registry is left unchanged in that case.
+  std::uint64_t put(const std::string& name, SparseTensor tensor);
+
+  /// Handle for `name`; throws sparta::Error when absent.
+  [[nodiscard]] Handle get(const std::string& name) const;
+
+  /// Handle for `name`; !valid() when absent.
+  [[nodiscard]] Handle try_get(const std::string& name) const;
+
+  /// Removes `name`. Returns the dropped registration's id, or 0 when
+  /// the name was not registered. In-flight holders keep the tensor
+  /// alive; the budget charge follows the tensor, not the name.
+  std::uint64_t drop(const std::string& name);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::size_t count() const;
+
+  /// Registered names, sorted (deterministic for reports and tests).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Total footprint of currently *named* tensors (dropped-but-alive
+  /// tensors are excluded; their bytes show up in the allocation
+  /// registry until released).
+  [[nodiscard]] std::size_t named_bytes() const;
+
+ private:
+  // The charge lives next to the tensor so it is released exactly when
+  // the last shared_ptr (alias into `tensor`) goes away.
+  struct Stored {
+    SparseTensor tensor;
+    ScopedCharge charge;
+
+    explicit Stored(SparseTensor t) : tensor(std::move(t)) {}
+  };
+
+  struct Slot {
+    std::shared_ptr<Stored> stored;
+    std::uint64_t id = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Slot> map_;
+  std::uint64_t next_id_ = 1;
+  AllocationRegistry* alloc_ = nullptr;
+};
+
+}  // namespace sparta::serve

@@ -1,0 +1,145 @@
+#include "serve/selector.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "contraction/estimators.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace sparta::serve {
+
+namespace {
+
+std::size_t pow2_at_least(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::size_t VariantSelector::slot(Algorithm a) {
+  for (std::size_t i = 0; i < kVariants.size(); ++i) {
+    if (kVariants[i] == a) return i;
+  }
+  throw Error("variant selector does not manage algorithm " +
+              std::string(algorithm_name(a)));
+}
+
+Algorithm VariantSelector::choose(const RequestFeatures& f) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++decisions_;
+
+  // A retained plan means HtY already exists — any other variant would
+  // throw away the cache's whole point.
+  if (f.plan_cached) {
+    SPARTA_COUNTER_ADD("serve.selector.cached_plan", 1);
+    return Algorithm::kSparta;
+  }
+
+  // Feasibility: drop HtY+HtA when Eq. 5 alone cannot fit the
+  // remaining budget (the two COO variants carry no HtY).
+  std::vector<Algorithm> feasible(kVariants.begin(), kVariants.end());
+  if (f.budget_remaining != 0) {
+    const std::size_t est = estimate_hty_bytes(
+        f.nnz_y, f.order_y,
+        pow2_at_least(std::max<std::size_t>(f.nnz_y, 1)));
+    if (est > f.budget_remaining) {
+      feasible.erase(
+          std::remove(feasible.begin(), feasible.end(),
+                      Algorithm::kSparta),
+          feasible.end());
+    }
+  }
+  if (feasible.empty()) feasible.push_back(Algorithm::kSpa);
+
+  // Seed: any feasible variant that never ran is tried first, so the
+  // EWMAs start from real observations, not optimism constants.
+  for (Algorithm a : feasible) {
+    if (stats_[slot(a)].runs == 0) {
+      ++explored_;
+      SPARTA_COUNTER_ADD("serve.selector.explore", 1);
+      return a;
+    }
+  }
+
+  // Deterministic exploration: every Nth decision rotates through the
+  // feasible set so a variant that got slow (or fast) since its last
+  // run cannot be starved forever.
+  if (cfg_.explore_period > 0 &&
+      decisions_ % static_cast<std::uint64_t>(cfg_.explore_period) == 0) {
+    ++explored_;
+    SPARTA_COUNTER_ADD("serve.selector.explore", 1);
+    const std::uint64_t round =
+        decisions_ / static_cast<std::uint64_t>(cfg_.explore_period);
+    return feasible[static_cast<std::size_t>(round % feasible.size())];
+  }
+
+  // Exploit: lowest observed seconds-per-unit-work.
+  Algorithm best = feasible.front();
+  double best_cost = stats_[slot(best)].ewma_seconds_per_work;
+  for (Algorithm a : feasible) {
+    const double cost = stats_[slot(a)].ewma_seconds_per_work;
+    if (cost < best_cost) {
+      best = a;
+      best_cost = cost;
+    }
+  }
+  SPARTA_COUNTER_ADD("serve.selector.exploit", 1);
+  return best;
+}
+
+void VariantSelector::record(Algorithm a, double seconds,
+                             std::size_t work) {
+  const double per_work =
+      seconds / static_cast<double>(std::max<std::size_t>(work, 1));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    VariantStats& s = stats_[slot(a)];
+    if (s.runs == 0) {
+      s.ewma_seconds_per_work = per_work;
+    } else {
+      s.ewma_seconds_per_work =
+          cfg_.ewma_alpha * per_work +
+          (1.0 - cfg_.ewma_alpha) * s.ewma_seconds_per_work;
+    }
+    ++s.runs;
+  }
+  // Latency distribution per variant; dynamic name, so go through the
+  // registry directly instead of the literal-keyed macro.
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry::global()
+        .histogram("serve.variant_us." +
+                   std::string(algorithm_name(a)))
+        .record(static_cast<std::uint64_t>(seconds * 1e6));
+  }
+}
+
+VariantSelector::VariantStats VariantSelector::variant_stats(
+    Algorithm a) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_[slot(a)];
+}
+
+std::string VariantSelector::stats_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("decisions").value(decisions_);
+  w.key("explored").value(explored_);
+  w.key("variants").begin_object();
+  for (std::size_t i = 0; i < kVariants.size(); ++i) {
+    w.key(algorithm_name(kVariants[i])).begin_object();
+    w.key("runs").value(stats_[i].runs);
+    w.key("ewma_seconds_per_work")
+        .value(stats_[i].ewma_seconds_per_work);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace sparta::serve

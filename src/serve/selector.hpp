@@ -1,0 +1,84 @@
+// Adaptive algorithm-variant selection for the contraction service.
+//
+// Each request picks one of the paper's three variants — COOY+SPA,
+// COOY+HtA, HtY+HtA — from (a) estimator features known before the run
+// (operand sizes, whether a cached plan exists, remaining budget) and
+// (b) observed per-variant latency feedback, normalized by request work
+// so small and large requests share one scale.
+//
+// The policy is deliberately deterministic (no RNG — reproducible
+// workload scripts are a feature):
+//   * a cached plan forces HtY+HtA: stage ① is already paid for;
+//   * variants whose Eq. 5 footprint exceeds the remaining budget are
+//     excluded up front;
+//   * every `explore_period`-th decision round-robins over the feasible
+//     variants (and any never-tried variant is explored first);
+//   * otherwise the variant with the lowest EWMA of seconds-per-unit-
+//     work wins.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "contraction/options.hpp"
+
+namespace sparta::serve {
+
+struct SelectorConfig {
+  /// Every Nth decision explores instead of exploiting; 0 disables
+  /// exploration (pure exploit after the initial seeding round).
+  int explore_period = 8;
+
+  /// Weight of the newest observation in the latency EWMA.
+  double ewma_alpha = 0.3;
+};
+
+/// Features available before a request runs.
+struct RequestFeatures {
+  std::size_t nnz_x = 0;
+  std::size_t nnz_y = 0;
+  int order_y = 0;
+  /// A retained plan exists for (Y, cy): HtY+HtA skips stage ①.
+  bool plan_cached = false;
+  /// Remaining DRAM budget in bytes; 0 = unlimited.
+  std::size_t budget_remaining = 0;
+};
+
+class VariantSelector {
+ public:
+  /// The candidate set, in degradation-ladder order (lightest first).
+  static constexpr std::array<Algorithm, 3> kVariants = {
+      Algorithm::kSpa, Algorithm::kCooHta, Algorithm::kSparta};
+
+  explicit VariantSelector(SelectorConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Picks the variant for one request.
+  [[nodiscard]] Algorithm choose(const RequestFeatures& f);
+
+  /// Feeds back one completed request: `seconds` of contraction time
+  /// over `work` units (nnz_x + nnz_y). Also records the latency into
+  /// the per-variant obs histogram serve.variant_us.<name>.
+  void record(Algorithm a, double seconds, std::size_t work);
+
+  struct VariantStats {
+    std::uint64_t runs = 0;
+    double ewma_seconds_per_work = 0.0;
+  };
+  [[nodiscard]] VariantStats variant_stats(Algorithm a) const;
+
+  /// {"decisions":..,"explored":..,"variants":{"<name>":{...}}}
+  [[nodiscard]] std::string stats_json() const;
+
+ private:
+  static std::size_t slot(Algorithm a);
+
+  SelectorConfig cfg_;
+  mutable std::mutex mu_;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t explored_ = 0;
+  std::array<VariantStats, 3> stats_{};
+};
+
+}  // namespace sparta::serve

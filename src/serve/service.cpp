@@ -1,0 +1,378 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "contraction/estimators.hpp"
+#include "contraction/resilient.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace sparta::serve {
+
+namespace {
+
+std::size_t pow2_at_least(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+constexpr std::size_t kUnlimited = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+std::string ServeReport::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("x").value(std::string_view(x));
+  w.key("y").value(std::string_view(y));
+  w.key("variant").value(algorithm_name(variant));
+  w.key("ok").value(ok());
+  w.key("cache_hit").value(cache_hit);
+  w.key("plan_cached").value(plan_cached);
+  w.key("degraded").value(degraded);
+  w.key("rejected").value(rejected);
+  w.key("queue_seconds").value(queue_seconds);
+  w.key("exec_seconds").value(exec_seconds);
+  w.key("nnz_z").value(static_cast<std::uint64_t>(stats.nnz_z));
+  if (!error.empty()) w.key("error").value(std::string_view(error));
+  if (!resilience.empty()) {
+    w.key("resilience").value(std::string_view(resilience));
+  }
+  w.key("stages").raw(stage_times.to_json());
+  w.key("counters").raw(stats.to_json());
+  w.end_object();
+  return w.str();
+}
+
+ContractionService::ContractionService(ServeConfig cfg)
+    : cfg_(cfg), registry_(&alloc_), selector_(cfg.selector) {
+  SPARTA_CHECK(cfg_.cache_fraction >= 0.0 && cfg_.cache_fraction <= 1.0,
+               "cache_fraction must be in [0, 1]");
+  SPARTA_CHECK(cfg_.queue_capacity > 0,
+               "queue_capacity must be positive");
+  SPARTA_CHECK(cfg_.num_workers >= 0 && cfg_.threads_per_request >= 0,
+               "worker/thread counts must be >= 0 (0 = auto)");
+
+  // Size the pool against the OpenMP thread budget: workers ×
+  // threads-per-request ≈ the machine, never oversubscribing by
+  // default. Explicit values win over the derived ones.
+  const int machine = std::max(1, max_threads());
+  if (cfg_.num_workers > 0) {
+    num_workers_ = cfg_.num_workers;
+  } else {
+    const int tpr =
+        cfg_.threads_per_request > 0 ? cfg_.threads_per_request : 1;
+    num_workers_ = std::max(1, machine / tpr);
+  }
+  threads_per_request_ = cfg_.threads_per_request > 0
+                             ? cfg_.threads_per_request
+                             : std::max(1, machine / num_workers_);
+
+  alloc_.set_capacity(cfg_.dram_budget_bytes);
+  PlanCacheConfig pc;
+  pc.budget_bytes =
+      cfg_.dram_budget_bytes == 0
+          ? 0
+          : static_cast<std::size_t>(
+                static_cast<double>(cfg_.dram_budget_bytes) *
+                cfg_.cache_fraction);
+  pc.registry = &alloc_;
+  pc.hty_buckets = cfg_.hty_buckets;
+  cache_ = std::make_unique<PlanCache>(pc);
+
+  workers_.reserve(static_cast<std::size_t>(num_workers_));
+  for (int i = 0; i < num_workers_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ContractionService::~ContractionService() { shutdown(); }
+
+std::uint64_t ContractionService::load(const std::string& name,
+                                       SparseTensor t) {
+  const TensorRegistry::Handle old = registry_.try_get(name);
+  const std::uint64_t id = registry_.put(name, std::move(t));
+  // Plans built from a replaced registration are stale; their HtY
+  // describes a tensor no one can name any more.
+  if (old.valid()) cache_->invalidate_tensor(old.id);
+  return id;
+}
+
+bool ContractionService::drop(const std::string& name) {
+  const std::uint64_t id = registry_.drop(name);
+  if (id == 0) return false;
+  cache_->invalidate_tensor(id);
+  return true;
+}
+
+std::future<ServeReport> ContractionService::submit(ServeRequest req) {
+  auto q = std::make_unique<Queued>();
+  q->req = std::move(req);
+  std::future<ServeReport> fut = q->promise.get_future();
+  {
+    std::unique_lock<std::mutex> lk(qmu_);
+    not_full_.wait(lk, [this] {
+      return stopping_ || queue_.size() < cfg_.queue_capacity;
+    });
+    if (stopping_) {
+      throw Error("contraction service is shut down");
+    }
+    q->queued_at.reset();  // queue wait starts now, not at construction
+    queue_.push_back(std::move(q));
+    SPARTA_GAUGE_MAX("serve.queue.depth", queue_.size());
+  }
+  not_empty_.notify_one();
+  return fut;
+}
+
+ServeReport ContractionService::contract_sync(ServeRequest req) {
+  return submit(std::move(req)).get();
+}
+
+void ContractionService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(qmu_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+ContractionService::AdmissionStats ContractionService::admission_stats()
+    const {
+  return {accepted_.load(std::memory_order_relaxed),
+          rejected_.load(std::memory_order_relaxed),
+          degraded_.load(std::memory_order_relaxed)};
+}
+
+std::size_t ContractionService::remaining_budget() const {
+  const std::size_t cap = alloc_.capacity();
+  if (cap == 0) return kUnlimited;
+  const std::size_t live =
+      alloc_.live_bytes(Tier::kDram) + alloc_.live_bytes(Tier::kPmm);
+  return live >= cap ? 0 : cap - live;
+}
+
+std::string ContractionService::counters_json() const {
+  const AdmissionStats a = admission_stats();
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("cache").raw(cache_->stats_json());
+  w.key("admission").begin_object();
+  w.key("accepted").value(a.accepted);
+  w.key("rejected").value(a.rejected);
+  w.key("degraded").value(a.degraded);
+  w.end_object();
+  w.key("selector").raw(selector_.stats_json());
+  w.key("budget").begin_object();
+  w.key("capacity").value(static_cast<std::uint64_t>(alloc_.capacity()));
+  w.key("live")
+      .value(static_cast<std::uint64_t>(
+          alloc_.live_bytes(Tier::kDram) +
+          alloc_.live_bytes(Tier::kPmm)));
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+void ContractionService::worker_loop() {
+  for (;;) {
+    std::unique_ptr<Queued> q;
+    {
+      std::unique_lock<std::mutex> lk(qmu_);
+      not_empty_.wait(lk,
+                      [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      q = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    const double waited = q->queued_at.seconds();
+    SPARTA_HISTOGRAM_RECORD("serve.queue_wait_us", waited * 1e6);
+
+    ServeReport rep;
+    try {
+      rep = execute(q->req);
+    } catch (const std::exception& e) {
+      // execute() converts expected failures into report fields; this
+      // is the backstop so a worker can never die with the promise
+      // unfulfilled.
+      rep.x = q->req.x;
+      rep.y = q->req.y;
+      rep.error = e.what();
+    }
+    rep.queue_seconds = waited;
+    SPARTA_HISTOGRAM_RECORD("serve.exec_us", rep.exec_seconds * 1e6);
+    q->promise.set_value(std::move(rep));
+  }
+}
+
+ServeReport ContractionService::execute(const ServeRequest& req) {
+  ServeReport rep;
+  rep.x = req.x;
+  rep.y = req.y;
+
+  TensorRegistry::Handle hx = registry_.try_get(req.x);
+  TensorRegistry::Handle hy = registry_.try_get(req.y);
+  if (!hx.valid() || !hy.valid()) {
+    rep.error = "tensor '" + (hx.valid() ? req.y : req.x) +
+                "' is not registered";
+    return rep;
+  }
+  const SparseTensor& x = *hx.tensor;
+  const SparseTensor& y = *hy.tensor;
+  try {
+    (void)validate_modes(x, y, req.cx, req.cy);
+  } catch (const Error& e) {
+    rep.error = e.what();
+    return rep;
+  }
+
+  // Serves the request down the resilience ladder under whatever
+  // budget is left. Used for over-budget admission and as the fallback
+  // when an accepted request trips the runtime budget mid-flight.
+  const auto run_degraded = [&](ServeReport& r) {
+    ContractOptions o;
+    o.num_threads = threads_per_request_;
+    const std::size_t rem = remaining_budget();
+    o.budget.bytes =
+        rem == kUnlimited ? 0 : std::max<std::size_t>(rem, 1);
+    Timer t;
+    ResilientResult rr =
+        contract_resilient(x, y, req.cx, req.cy, o);
+    r.exec_seconds = t.seconds();
+    r.degraded = true;
+    r.resilience = rr.report.summary();
+    r.variant = rr.report.serving().algorithm;
+    r.stage_times = rr.result.stage_times;
+    r.stats = rr.result.stats;
+    r.z = std::make_shared<SparseTensor>(std::move(rr.result.z));
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+    SPARTA_COUNTER_ADD("serve.admit.degrade", 1);
+  };
+
+  // Admission: even the lightest monolithic rung copies X (permuted)
+  // and Y (sorted); when that floor exceeds the remaining budget the
+  // request cannot run as submitted.
+  const std::size_t remaining = remaining_budget();
+  const std::size_t floor_bytes =
+      x.footprint_bytes() + y.footprint_bytes();
+  if (remaining != kUnlimited && floor_bytes > remaining) {
+    if (!cfg_.allow_degrade) {
+      rep.rejected = true;
+      rep.error = "admission rejected: operand copies need " +
+                  std::to_string(floor_bytes) + " bytes, " +
+                  std::to_string(remaining) + " remaining";
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      SPARTA_COUNTER_ADD("serve.admit.reject", 1);
+      return rep;
+    }
+    try {
+      run_degraded(rep);
+    } catch (const Error& e) {
+      rep.error = e.what();
+    }
+    return rep;
+  }
+
+  const bool cached_plan = cache_->peek(hy.id, req.cy);
+  RequestFeatures feats;
+  feats.nnz_x = x.nnz();
+  feats.nnz_y = y.nnz();
+  feats.order_y = y.order();
+  feats.plan_cached = cached_plan;
+  feats.budget_remaining = remaining == kUnlimited ? 0 : remaining;
+  const Algorithm variant =
+      req.force_variant ? req.variant : selector_.choose(feats);
+  rep.variant = variant;
+
+  // Eq. 5 admission for the HtY path: the selector already avoids
+  // kSparta when the table cannot fit, so this bites only on forced
+  // variants — degrade (or reject) instead of failing mid-flight.
+  if (variant == Algorithm::kSparta && !cached_plan &&
+      remaining != kUnlimited) {
+    const std::size_t est_hty = estimate_hty_bytes(
+        y.nnz(), y.order(),
+        pow2_at_least(std::max<std::size_t>(y.nnz(), 1)));
+    if (floor_bytes + est_hty > remaining) {
+      if (!cfg_.allow_degrade) {
+        rep.rejected = true;
+        rep.error = "admission rejected: Eq. 5 footprint " +
+                    std::to_string(floor_bytes + est_hty) + " bytes, " +
+                    std::to_string(remaining) + " remaining";
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        SPARTA_COUNTER_ADD("serve.admit.reject", 1);
+        return rep;
+      }
+      try {
+        run_degraded(rep);
+      } catch (const Error& e) {
+        rep.error = e.what();
+      }
+      return rep;
+    }
+  }
+
+  ContractOptions opts;
+  opts.num_threads = threads_per_request_;
+  opts.algorithm = variant;
+  // Charges flow to the shared registry, whose capacity (the DRAM
+  // budget) enforces the runtime gate across all concurrent requests.
+  opts.registry = &alloc_;
+
+  try {
+    Timer t;
+    ContractResult res;
+    if (variant == Algorithm::kSparta) {
+      PlanLease lease = cache_->acquire(hy.id, y, req.cy);
+      rep.cache_hit = lease.hit;
+      rep.plan_cached = lease.cached;
+      opts.hty_charged_externally = lease.cached;
+      res = contract(x, *lease.plan, req.cx, opts);
+    } else {
+      res = contract(x, y, req.cx, req.cy, opts);
+    }
+    rep.exec_seconds = t.seconds();
+    rep.stage_times = res.stage_times;
+    rep.stats = res.stats;
+    rep.z = std::make_shared<SparseTensor>(std::move(res.z));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    SPARTA_COUNTER_ADD("serve.admit.accept", 1);
+    selector_.record(variant, rep.exec_seconds, x.nnz() + y.nnz());
+  } catch (const BudgetExceeded& e) {
+    if (!cfg_.allow_degrade) {
+      rep.error = e.what();
+      return rep;
+    }
+    try {
+      run_degraded(rep);
+    } catch (const Error& e2) {
+      rep.error = e2.what();
+      return rep;
+    }
+  } catch (const Error& e) {
+    rep.error = e.what();
+    return rep;
+  }
+
+  if (!req.store_as.empty() && rep.z != nullptr) {
+    try {
+      // load() handles replacement + plan invalidation. The stored
+      // copy is the service's; the report keeps its own reference.
+      load(req.store_as, SparseTensor(*rep.z));
+    } catch (const BudgetExceeded& e) {
+      rep.error = "store '" + req.store_as + "' failed: " + e.what();
+    }
+  }
+  return rep;
+}
+
+}  // namespace sparta::serve

@@ -1,0 +1,205 @@
+// Concurrent contraction service: bounded request queue, worker pool,
+// budget-aware admission control, plan cache, adaptive variant choice.
+//
+// One ContractionService owns
+//   * a TensorRegistry of named immutable operands,
+//   * a PlanCache holding prebuilt HtYs under a slice of the DRAM
+//     budget,
+//   * a VariantSelector picking COOY+SPA / COOY+HtA / HtY+HtA per
+//     request,
+//   * an AllocationRegistry with capacity = the DRAM budget, charged by
+//     registered tensors, retained plans and every in-flight request's
+//     working set, and
+//   * a pool of worker threads draining a bounded submission queue
+//     (submit() blocks when full — backpressure, not unbounded memory).
+//
+// Admission control runs per request against the *remaining* budget
+// (capacity minus live bytes): a request whose Eq. 5 estimate cannot
+// fit is degraded through contract_resilient() (or rejected when
+// degradation is disabled); a request that passes admission but trips
+// the runtime budget mid-flight falls back the same way.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "contraction/contract.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/registry.hpp"
+#include "serve/selector.hpp"
+#include "tensor/types.hpp"
+
+namespace sparta::serve {
+
+struct ServeConfig {
+  /// Total DRAM budget for tensors + cached plans + in-flight working
+  /// sets; 0 = unlimited (admission always accepts).
+  std::size_t dram_budget_bytes = 0;
+
+  /// Fraction of the DRAM budget the plan cache may retain. Ignored
+  /// when the budget is unlimited (the cache is then unlimited too).
+  double cache_fraction = 0.5;
+
+  /// Worker threads draining the queue; 0 = derived from the OpenMP
+  /// thread budget (max_threads / threads_per_request, at least 1).
+  int num_workers = 0;
+
+  /// OpenMP threads per contraction; 0 = share the machine evenly
+  /// (max_threads / num_workers, at least 1).
+  int threads_per_request = 0;
+
+  /// Bounded submission queue; submit() blocks while full.
+  std::size_t queue_capacity = 64;
+
+  /// Degrade over-budget requests down the resilience ladder instead
+  /// of rejecting them.
+  bool allow_degrade = true;
+
+  SelectorConfig selector;
+
+  /// Forwarded to the plan cache (0 = auto bucket count).
+  std::size_t hty_buckets = 0;
+};
+
+/// One contraction request against registered tensors.
+struct ServeRequest {
+  std::string x;  ///< registry name of the first operand
+  std::string y;  ///< registry name of the second operand
+  Modes cx;
+  Modes cy;
+  /// When non-empty, Z is registered under this name (and also
+  /// returned in the report).
+  std::string store_as;
+  /// Pin the variant instead of consulting the selector; kSparta with
+  /// a cacheable plan still goes through the cache.
+  bool force_variant = false;
+  Algorithm variant = Algorithm::kSparta;
+};
+
+/// Everything the service knows about one completed (or failed)
+/// request.
+struct ServeReport {
+  std::string x;
+  std::string y;
+  Algorithm variant = Algorithm::kSparta;
+  bool cache_hit = false;   ///< plan served from cache without a build
+  bool plan_cached = false; ///< ran against a cache-retained plan
+  bool degraded = false;    ///< served via the resilience ladder
+  bool rejected = false;    ///< admission refused the request
+  std::string error;        ///< empty on success
+  std::string resilience;   ///< ladder summary when degraded
+
+  double queue_seconds = 0.0;  ///< submit → worker pickup
+  double exec_seconds = 0.0;   ///< contraction wall time
+
+  StageTimes stage_times;
+  ContractStats stats;
+  std::shared_ptr<const SparseTensor> z;  ///< null on failure
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+
+  /// One JSON object per request — the tools/sparta_serve --json
+  /// "requests" rows.
+  [[nodiscard]] std::string to_json() const;
+};
+
+class ContractionService {
+ public:
+  explicit ContractionService(ServeConfig cfg = {});
+
+  /// Drains the queue (every submitted request completes), then joins
+  /// the workers.
+  ~ContractionService();
+
+  ContractionService(const ContractionService&) = delete;
+  ContractionService& operator=(const ContractionService&) = delete;
+
+  /// Registers (or replaces) a named tensor; plans built from a
+  /// replaced registration are invalidated. Throws BudgetExceeded when
+  /// the tensor does not fit the DRAM budget.
+  std::uint64_t load(const std::string& name, SparseTensor t);
+
+  /// Drops a name and invalidates its cached plans. In-flight requests
+  /// holding the tensor finish normally.
+  bool drop(const std::string& name);
+
+  /// Queues a request. Blocks while the submission queue is full
+  /// (backpressure); throws sparta::Error after shutdown(). Operand
+  /// names are resolved when a worker picks the request up, so an
+  /// unknown name surfaces in the report, not here.
+  [[nodiscard]] std::future<ServeReport> submit(ServeRequest req);
+
+  /// submit() + wait, for tests and simple callers.
+  [[nodiscard]] ServeReport contract_sync(ServeRequest req);
+
+  /// Stops accepting new requests, drains the queue, joins workers.
+  /// Idempotent.
+  void shutdown();
+
+  [[nodiscard]] TensorRegistry& tensors() { return registry_; }
+  [[nodiscard]] const ServeConfig& config() const { return cfg_; }
+  [[nodiscard]] int workers() const { return num_workers_; }
+  [[nodiscard]] int threads_per_request() const {
+    return threads_per_request_;
+  }
+  [[nodiscard]] PlanCache::Stats cache_stats() const {
+    return cache_->stats();
+  }
+
+  struct AdmissionStats {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t degraded = 0;
+  };
+  [[nodiscard]] AdmissionStats admission_stats() const;
+
+  /// Remaining DRAM budget right now (capacity − live bytes); SIZE_MAX
+  /// when unlimited.
+  [[nodiscard]] std::size_t remaining_budget() const;
+
+  /// {"cache":{...},"admission":{...},"selector":{...},
+  ///  "budget":{"capacity":..,"live":..}}
+  [[nodiscard]] std::string counters_json() const;
+
+ private:
+  struct Queued {
+    ServeRequest req;
+    std::promise<ServeReport> promise;
+    Timer queued_at;
+  };
+
+  void worker_loop();
+  ServeReport execute(const ServeRequest& req);
+
+  ServeConfig cfg_;
+  int num_workers_ = 1;
+  int threads_per_request_ = 1;
+
+  AllocationRegistry alloc_;
+  TensorRegistry registry_;
+  std::unique_ptr<PlanCache> cache_;
+  VariantSelector selector_;
+
+  std::mutex qmu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::unique_ptr<Queued>> queue_;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+};
+
+}  // namespace sparta::serve

@@ -1,0 +1,276 @@
+#include "serve/workload.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "tensor/io.hpp"
+#include "tensor/io_binary.hpp"
+
+namespace sparta::serve {
+
+namespace {
+
+[[noreturn]] void parse_fail(int line, const std::string& msg) {
+  throw Error("workload line " + std::to_string(line) + ": " + msg);
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+// "key=value" → value for `key`, or nullopt-ish empty handling via
+// found flag. Keys are unique per line by grammar.
+bool take_kv(const std::string& tok, const std::string& key,
+             std::string& value) {
+  const std::string prefix = key + "=";
+  if (tok.rfind(prefix, 0) != 0) return false;
+  value = tok.substr(prefix.size());
+  return true;
+}
+
+std::vector<index_t> parse_dims(const std::string& s, int line) {
+  std::vector<index_t> dims;
+  std::istringstream is(s);
+  std::string part;
+  while (std::getline(is, part, 'x')) {
+    const long v = std::strtol(part.c_str(), nullptr, 10);
+    if (v <= 0) parse_fail(line, "bad mode size '" + part + "'");
+    dims.push_back(static_cast<index_t>(v));
+  }
+  if (dims.empty()) parse_fail(line, "empty dims");
+  return dims;
+}
+
+Modes parse_modes(const std::string& s, int line) {
+  Modes modes;
+  std::istringstream is(s);
+  std::string part;
+  while (std::getline(is, part, ',')) {
+    if (part.empty()) parse_fail(line, "empty mode in '" + s + "'");
+    modes.push_back(static_cast<int>(
+        std::strtol(part.c_str(), nullptr, 10)));
+  }
+  if (modes.empty()) parse_fail(line, "empty mode list");
+  return modes;
+}
+
+Algorithm parse_variant(const std::string& s, int line) {
+  if (s == "spa") return Algorithm::kSpa;
+  if (s == "coohta") return Algorithm::kCooHta;
+  if (s == "sparta") return Algorithm::kSparta;
+  parse_fail(line, "unknown variant '" + s +
+                       "' (expected spa | coohta | sparta)");
+}
+
+long parse_positive(const std::string& s, const char* what, int line) {
+  const long v = std::strtol(s.c_str(), nullptr, 10);
+  if (v <= 0) {
+    parse_fail(line, std::string("bad ") + what + " '" + s + "'");
+  }
+  return v;
+}
+
+// A structural op is a batch barrier (see header).
+bool is_barrier(const WorkloadOp& op) {
+  return op.kind != WorkloadOp::Kind::kContract ||
+         !op.request.store_as.empty();
+}
+
+}  // namespace
+
+std::vector<WorkloadOp> parse_workload(std::istream& in) {
+  std::vector<WorkloadOp> ops;
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    const std::vector<std::string> tok = split_ws(raw);
+    if (tok.empty()) continue;
+
+    WorkloadOp op;
+    op.line = line;
+    if (tok[0] == "load") {
+      if (tok.size() != 3) parse_fail(line, "usage: load <name> <path>");
+      op.kind = WorkloadOp::Kind::kLoad;
+      op.name = tok[1];
+      op.path = tok[2];
+    } else if (tok[0] == "gen") {
+      if (tok.size() < 4) {
+        parse_fail(line,
+                   "usage: gen <name> dims=AxB nnz=N [seed=S] [skew=F]");
+      }
+      op.kind = WorkloadOp::Kind::kGen;
+      op.name = tok[1];
+      bool have_dims = false;
+      bool have_nnz = false;
+      for (std::size_t i = 2; i < tok.size(); ++i) {
+        std::string v;
+        if (take_kv(tok[i], "dims", v)) {
+          op.gen.dims = parse_dims(v, line);
+          have_dims = true;
+        } else if (take_kv(tok[i], "nnz", v)) {
+          op.gen.nnz =
+              static_cast<std::size_t>(parse_positive(v, "nnz", line));
+          have_nnz = true;
+        } else if (take_kv(tok[i], "seed", v)) {
+          op.gen.seed = static_cast<std::uint64_t>(
+              std::strtoull(v.c_str(), nullptr, 10));
+        } else if (take_kv(tok[i], "skew", v)) {
+          const double s = std::atof(v.c_str());
+          if (s <= 0.0) parse_fail(line, "bad skew '" + v + "'");
+          op.gen.skew.assign(op.gen.dims.size(), s);
+        } else {
+          parse_fail(line, "unknown gen argument '" + tok[i] + "'");
+        }
+      }
+      if (!have_dims || !have_nnz) {
+        parse_fail(line, "gen requires dims= and nnz=");
+      }
+      if (!op.gen.skew.empty() &&
+          op.gen.skew.size() != op.gen.dims.size()) {
+        op.gen.skew.assign(op.gen.dims.size(), op.gen.skew.front());
+      }
+    } else if (tok[0] == "contract") {
+      if (tok.size() < 6) {
+        parse_fail(line,
+                   "usage: contract <z> <x> <y> cx=.. cy=.. "
+                   "[repeat=N] [variant=V] [store]");
+      }
+      op.kind = WorkloadOp::Kind::kContract;
+      op.name = tok[1];
+      op.request.x = tok[2];
+      op.request.y = tok[3];
+      bool have_cx = false;
+      bool have_cy = false;
+      for (std::size_t i = 4; i < tok.size(); ++i) {
+        std::string v;
+        if (take_kv(tok[i], "cx", v)) {
+          op.request.cx = parse_modes(v, line);
+          have_cx = true;
+        } else if (take_kv(tok[i], "cy", v)) {
+          op.request.cy = parse_modes(v, line);
+          have_cy = true;
+        } else if (take_kv(tok[i], "repeat", v)) {
+          op.repeat =
+              static_cast<int>(parse_positive(v, "repeat", line));
+        } else if (take_kv(tok[i], "variant", v)) {
+          op.request.force_variant = true;
+          op.request.variant = parse_variant(v, line);
+        } else if (tok[i] == "store") {
+          op.request.store_as = op.name;
+        } else {
+          parse_fail(line,
+                     "unknown contract argument '" + tok[i] + "'");
+        }
+      }
+      if (!have_cx || !have_cy) {
+        parse_fail(line, "contract requires cx= and cy=");
+      }
+      if (!op.request.store_as.empty() && op.repeat != 1) {
+        parse_fail(line, "store and repeat cannot be combined");
+      }
+    } else if (tok[0] == "drop") {
+      if (tok.size() != 2) parse_fail(line, "usage: drop <name>");
+      op.kind = WorkloadOp::Kind::kDrop;
+      op.name = tok[1];
+    } else {
+      parse_fail(line, "unknown op '" + tok[0] + "'");
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+std::vector<WorkloadOp> parse_workload_file(const std::string& path) {
+  std::ifstream in(path);
+  SPARTA_CHECK(in.good(), "cannot open workload '" + path + "'");
+  return parse_workload(in);
+}
+
+namespace {
+
+// Drains `batch` through `clients` closed-loop submitter threads and
+// appends the reports to `out` in submission order.
+void run_batch(ContractionService& svc,
+               const std::vector<ServeRequest>& batch, int clients,
+               std::vector<ServeReport>& out) {
+  if (batch.empty()) return;
+  const std::size_t base = out.size();
+  out.resize(base + batch.size());
+  const int n = std::max(
+      1, std::min(clients, static_cast<int>(batch.size())));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    threads.emplace_back([&, c] {
+      for (std::size_t i = static_cast<std::size_t>(c);
+           i < batch.size(); i += static_cast<std::size_t>(n)) {
+        out[base + i] = svc.submit(batch[i]).get();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+SparseTensor load_tensor(const std::string& path) {
+  const bool binary = path.size() >= 5 &&
+                      path.compare(path.size() - 5, 5, ".sptn") == 0;
+  return binary ? read_sptn_file(path) : read_tns_file(path);
+}
+
+}  // namespace
+
+WorkloadResult run_workload(ContractionService& svc,
+                            const std::vector<WorkloadOp>& ops,
+                            const WorkloadOptions& opts) {
+  SPARTA_CHECK(opts.clients > 0, "clients must be positive");
+  WorkloadResult result;
+  std::vector<ServeRequest> batch;
+  Timer wall;
+  for (const WorkloadOp& op : ops) {
+    if (is_barrier(op) && !batch.empty()) {
+      run_batch(svc, batch, opts.clients, result.reports);
+      batch.clear();
+    }
+    switch (op.kind) {
+      case WorkloadOp::Kind::kLoad:
+        svc.load(op.name, load_tensor(op.path));
+        break;
+      case WorkloadOp::Kind::kGen:
+        svc.load(op.name, generate_random(op.gen));
+        break;
+      case WorkloadOp::Kind::kDrop:
+        svc.drop(op.name);
+        break;
+      case WorkloadOp::Kind::kContract: {
+        if (!op.request.store_as.empty()) {
+          // Barrier op: runs alone so later lines see the stored Z.
+          result.reports.push_back(svc.contract_sync(op.request));
+          break;
+        }
+        for (int r = 0; r < op.repeat; ++r) {
+          batch.push_back(op.request);
+        }
+        break;
+      }
+    }
+  }
+  run_batch(svc, batch, opts.clients, result.reports);
+  result.wall_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace sparta::serve

@@ -1,0 +1,62 @@
+// Deterministic workload scripts for the contraction service.
+//
+// A workload is a line-oriented script (one op per line, '#' comments):
+//
+//   load <name> <path>                    # .tns (text) or .sptn (binary)
+//   gen <name> dims=AxBxC nnz=N [seed=S] [skew=F]
+//   contract <z> <x> <y> cx=0,1 cy=0,1 [repeat=N] [variant=V] [store]
+//   drop <name>
+//
+// Execution model: consecutive `contract` lines form a batch that is
+// expanded by `repeat` and submitted concurrently by N closed-loop
+// client threads (client k issues requests k, k+N, ... and waits for
+// each before issuing the next). Any structural op — load, gen, drop,
+// or a contract carrying `store` — is a barrier: the batch drains
+// first, so scripts read top-to-bottom deterministically regardless of
+// client count. `variant` pins the algorithm (spa | coohta | sparta);
+// without it the adaptive selector decides.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "tensor/generators.hpp"
+
+namespace sparta::serve {
+
+struct WorkloadOp {
+  enum class Kind { kLoad, kGen, kContract, kDrop };
+  Kind kind = Kind::kContract;
+  std::string name;  ///< target tensor (load/gen/drop) or Z (contract)
+  std::string path;  ///< load only
+  GeneratorSpec gen; ///< gen only
+  ServeRequest request;  ///< contract only (store_as = name iff store)
+  int repeat = 1;        ///< contract only
+  int line = 0;          ///< 1-based script line, for diagnostics
+};
+
+/// Parses a script; throws sparta::Error naming the offending line.
+[[nodiscard]] std::vector<WorkloadOp> parse_workload(std::istream& in);
+[[nodiscard]] std::vector<WorkloadOp> parse_workload_file(
+    const std::string& path);
+
+struct WorkloadOptions {
+  int clients = 1;  ///< concurrent closed-loop submitters
+};
+
+struct WorkloadResult {
+  /// One report per expanded contract request, in submission order.
+  std::vector<ServeReport> reports;
+  double wall_seconds = 0.0;
+};
+
+/// Runs the script against `svc`. Throws sparta::Error on structural
+/// failures (unreadable file, over-budget load); per-request failures
+/// land in their reports instead.
+[[nodiscard]] WorkloadResult run_workload(
+    ContractionService& svc, const std::vector<WorkloadOp>& ops,
+    const WorkloadOptions& opts = {});
+
+}  // namespace sparta::serve

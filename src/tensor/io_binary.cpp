@@ -34,14 +34,19 @@ void write_sptn(std::ostream& out, const SparseTensor& t) {
   put<std::uint32_t>(out, static_cast<std::uint32_t>(t.order()));
   put<std::uint64_t>(out, t.nnz());
   for (index_t d : t.dims()) put<std::uint32_t>(out, d);
+  // Empty spans carry a null data() pointer; ostream::write with a null
+  // source is undefined even for a zero count, so skip the calls.
   for (int m = 0; m < t.order(); ++m) {
     const auto col = t.mode_indices(m);
+    if (col.empty()) continue;
     out.write(reinterpret_cast<const char*>(col.data()),
               static_cast<std::streamsize>(col.size() * sizeof(index_t)));
   }
   const auto vals = t.values();
-  out.write(reinterpret_cast<const char*>(vals.data()),
-            static_cast<std::streamsize>(vals.size() * sizeof(value_t)));
+  if (!vals.empty()) {
+    out.write(reinterpret_cast<const char*>(vals.data()),
+              static_cast<std::streamsize>(vals.size() * sizeof(value_t)));
+  }
   SPARTA_CHECK(out.good(), "SPTN write failed");
 }
 
@@ -72,10 +77,14 @@ SparseTensor read_sptn(std::istream& in) {
     SPARTA_CHECK(d > 0, "SPTN mode size must be positive");
   }
 
+  // nnz == 0 is a legal tensor (all-zero operand): the payload sections
+  // are empty, and istream::read must not be handed the null data()
+  // pointer an empty vector yields (undefined even for a zero count).
   std::vector<std::vector<index_t>> cols(order);
   for (std::uint32_t m = 0; m < order; ++m) {
     auto& col = cols[m];
     col.resize(nnz);
+    if (nnz == 0) continue;
     in.read(reinterpret_cast<char*>(col.data()),
             static_cast<std::streamsize>(nnz * sizeof(index_t)));
     SPARTA_CHECK(in.good(), "truncated SPTN column data (mode " +
@@ -90,10 +99,11 @@ SparseTensor read_sptn(std::istream& in) {
     }
   }
   std::vector<value_t> vals(nnz);
-  in.read(reinterpret_cast<char*>(vals.data()),
-          static_cast<std::streamsize>(nnz * sizeof(value_t)));
-  SPARTA_CHECK(in.good() || (nnz == 0 && in.eof()),
-               "truncated SPTN value data");
+  if (nnz > 0) {
+    in.read(reinterpret_cast<char*>(vals.data()),
+            static_cast<std::streamsize>(nnz * sizeof(value_t)));
+    SPARTA_CHECK(in.good(), "truncated SPTN value data");
+  }
 
   // from_columns bounds-checks every index against dims.
   return SparseTensor::from_columns(std::move(dims), std::move(cols),

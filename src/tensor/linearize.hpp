@@ -6,14 +6,48 @@
 // which is the heart of both HtY and HtA.
 #pragma once
 
+#include <limits>
 #include <numeric>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "tensor/types.hpp"
 
 namespace sparta {
+
+/// True when the product of `dims` fits the 64-bit LN representation
+/// (every dim must also be positive). The cheap O(order) predicate
+/// behind check_ln_space(); shared with SparseTensor::sort()'s LN-pair
+/// fast path.
+[[nodiscard]] inline bool ln_space_fits(std::span<const index_t> dims) {
+  lnkey_t total = 1;
+  for (index_t d : dims) {
+    if (d == 0) return false;
+    if (total > std::numeric_limits<lnkey_t>::max() / d) return false;
+    total *= d;
+  }
+  return true;
+}
+
+/// Validates that the linearized index space over `dims` fits 64 bits,
+/// throwing a diagnostic that names the offending mode sizes. Called at
+/// plan time — before any O(nnz) work — by contract() and YPlan, so an
+/// overflowing LN key space is rejected up front instead of surfacing
+/// mid-pipeline (the paper's LN-key contract, §3.3, assumes the
+/// linearized index fits 64 bits).
+inline void check_ln_space(const char* what, std::span<const index_t> dims) {
+  if (ln_space_fits(dims)) return;
+  std::string sizes;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (i > 0) sizes += "x";
+    sizes += std::to_string(dims[i]);
+  }
+  throw Error(std::string(what) + ": linearized index space " + sizes +
+              " exceeds the 64-bit LN representation; reduce mode sizes "
+              "or contract fewer modes");
+}
 
 /// Row-major linearizer over a fixed list of mode sizes.
 class LinearIndexer {
@@ -23,16 +57,15 @@ class LinearIndexer {
   /// `dims` are the sizes of the modes being linearized, in the order the
   /// indices will be supplied. Throws if the product overflows 64 bits.
   explicit LinearIndexer(std::vector<index_t> dims) : dims_(std::move(dims)) {
+    for (index_t d : dims_) {
+      SPARTA_CHECK(d > 0, "mode size must be positive");
+    }
+    check_ln_space("LinearIndexer", dims_);
     strides_.assign(dims_.size(), 1);
     lnkey_t total = 1;
     for (std::size_t i = dims_.size(); i-- > 0;) {
-      SPARTA_CHECK(dims_[i] > 0, "mode size must be positive");
       strides_[i] = total;
-      const lnkey_t next = total * dims_[i];
-      SPARTA_CHECK(dims_[i] == 0 || next / dims_[i] == total,
-                   "linearized index space exceeds 64 bits; "
-                   "reduce mode sizes or contract fewer modes");
-      total = next;
+      total *= dims_[i];
     }
     size_ = total;
   }

@@ -107,16 +107,7 @@ namespace {
 
 // When the whole index space fits in 64 bits we sort (LN key, position)
 // pairs — one integer compare per element instead of `order` compares.
-bool fits_ln(const std::vector<index_t>& dims) {
-  lnkey_t total = 1;
-  for (index_t d : dims) {
-    if (d != 0 && total > std::numeric_limits<lnkey_t>::max() / d) {
-      return false;
-    }
-    total *= d;
-  }
-  return true;
-}
+bool fits_ln(const std::vector<index_t>& dims) { return ln_space_fits(dims); }
 
 }  // namespace
 

@@ -310,5 +310,51 @@ TEST(ContractStatsTest, CountersAreConsistent) {
   EXPECT_GE(r.stats.max_y_group, 1u);
 }
 
+// --- Plan-time LN-space gate (§3.3) ---------------------------------
+
+TEST(Contract, RejectsOverflowingContractKeySpaceAtPlanTime) {
+  // Three contract modes of 2^32-1 × 2^32-1 × 4: the linearized
+  // contract-tuple space exceeds 64 bits (two maxed modes alone still
+  // fit: (2^32-1)^2 < 2^64). Must throw up front with a diagnostic
+  // naming the dims — not wrap silently deep in stage ①.
+  SparseTensor x({0xffffffffu, 0xffffffffu, 4, 3});
+  x.append(std::vector<index_t>{5, 6, 1, 2}, 1.0);
+  SparseTensor y({0xffffffffu, 0xffffffffu, 4, 2});
+  y.append(std::vector<index_t>{5, 6, 2, 1}, 2.0);
+  for (Algorithm alg : kAll) {
+    ContractOptions o;
+    o.algorithm = alg;
+    try {
+      (void)contract(x, y, {0, 1, 2}, {0, 1, 2}, o);
+      FAIL() << "expected Error for " << algorithm_name(alg);
+    } catch (const Error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("contract-mode key space"), std::string::npos)
+          << msg;
+      EXPECT_NE(msg.find("4294967295x4294967295x4"), std::string::npos)
+          << msg;
+    }
+  }
+}
+
+TEST(Contract, RejectsOverflowingFreeKeySpaceAtPlanTime) {
+  // The contract tuple fits, but Y's free-mode space (HtA keys) does
+  // not.
+  SparseTensor x({4, 3});
+  x.append(std::vector<index_t>{1, 2}, 1.0);
+  SparseTensor y({4, 0xffffffffu, 0xffffffffu, 2});
+  y.append(std::vector<index_t>{1, 7, 8, 1}, 2.0);
+  ContractOptions o;
+  o.algorithm = Algorithm::kSparta;
+  try {
+    (void)contract(x, y, {0}, {0}, o);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("Y free-mode key space"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace sparta

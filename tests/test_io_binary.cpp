@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "contraction/contract.hpp"
 #include "tensor/generators.hpp"
 #include "tensor/io_binary.hpp"
 
@@ -43,6 +44,33 @@ TEST(Sptn, EmptyTensorRoundTrips) {
   const SparseTensor back = read_sptn(in);
   EXPECT_EQ(back.nnz(), 0u);
   EXPECT_EQ(back.dims(), t.dims());
+}
+
+TEST(Sptn, ZeroNnzRoundTripContractsThroughEveryVariant) {
+  // Regression: a zero-nnz operand must survive write -> read -> use.
+  // The writer used to hand ostream::write a null source pointer (UB
+  // even for a zero count) and the reader special-cased EOF instead of
+  // skipping the reads outright.
+  const SparseTensor empty(std::vector<index_t>{6, 6, 4});
+  const std::string path = testing::TempDir() + "sparta_sptn_empty.bin";
+  write_sptn_file(path, empty);
+  const SparseTensor back = read_sptn_file(path);
+  EXPECT_EQ(back.nnz(), 0u);
+  EXPECT_EQ(back.dims(), empty.dims());
+
+  GeneratorSpec gs;
+  gs.dims = {6, 6, 5};
+  gs.nnz = 80;
+  gs.seed = 9;
+  const SparseTensor x = generate_random(gs);
+  for (const Algorithm a :
+       {Algorithm::kSpa, Algorithm::kCooHta, Algorithm::kSparta}) {
+    ContractOptions opts;
+    opts.algorithm = a;
+    const ContractResult res = contract(x, back, {0, 1}, {0, 1}, opts);
+    EXPECT_EQ(res.z.nnz(), 0u) << algorithm_name(a);
+    EXPECT_EQ(res.z.order(), 2) << algorithm_name(a);
+  }
 }
 
 TEST(Sptn, FileRoundTrip) {

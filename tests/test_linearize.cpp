@@ -83,5 +83,30 @@ TEST(Linearize, ThrowsOnZeroDim) {
   EXPECT_THROW(LinearIndexer({3, 0, 2}), Error);
 }
 
+TEST(Linearize, LnSpaceFitsPredicate) {
+  const std::vector<index_t> ok{1u << 21, 1u << 21, 1u << 20};
+  EXPECT_TRUE(ln_space_fits(ok));
+  const std::vector<index_t> overflow{0xffffffffu, 0xffffffffu, 2};
+  EXPECT_FALSE(ln_space_fits(overflow));
+  const std::vector<index_t> zero{4, 0};
+  EXPECT_FALSE(ln_space_fits(zero));
+  const std::vector<index_t> empty;
+  EXPECT_TRUE(ln_space_fits(empty));  // scalar key space, 1 cell
+}
+
+TEST(Linearize, CheckLnSpaceNamesTheDims) {
+  const std::vector<index_t> dims{0xffffffffu, 0xffffffffu, 2};
+  try {
+    check_ln_space("unit-test key space", dims);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unit-test key space"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("4294967295x4294967295x2"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("64-bit"), std::string::npos) << msg;
+  }
+}
+
 }  // namespace
 }  // namespace sparta

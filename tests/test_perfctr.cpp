@@ -48,7 +48,9 @@ TEST(PerfCtr, AvailableGroupDeltasAreMonotone) {
   ASSERT_TRUE(a.available);
   // Burn some cycles so the counters move.
   volatile std::uint64_t sink = 0;
-  for (std::uint64_t i = 0; i < 2'000'000; ++i) sink += i * i;
+  // Plain assignment: compound assignment on a volatile lvalue is
+  // deprecated in C++20 (-Wvolatile fires under the -Werror preset).
+  for (std::uint64_t i = 0; i < 2'000'000; ++i) sink = sink + i * i;
   const PerfSample b = g.sample();
   ASSERT_TRUE(b.available);
   for (int i = 0; i < kNumPerfEvents; ++i) {

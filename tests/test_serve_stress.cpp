@@ -1,0 +1,132 @@
+// Concurrency stress for the serving subsystem, meant to run under the
+// tsan preset in CI: many client threads load / contract / drop the
+// same names while workers drain the queue, so the registry, the plan
+// cache (including single-flight builds) and the admission counters all
+// see real contention. Assertions are about invariants, not timing:
+// every request completes, and every completion is one of {ok,
+// rejected, unknown-tensor error}.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/plan_cache.hpp"
+#include "serve/registry.hpp"
+#include "serve/service.hpp"
+#include "tensor/generators.hpp"
+
+namespace sparta::serve {
+namespace {
+
+SparseTensor make(std::uint64_t seed, std::size_t nnz = 150) {
+  GeneratorSpec s;
+  s.dims = {10, 10, 6};
+  s.nnz = nnz;
+  s.seed = seed;
+  return generate_random(s);
+}
+
+TEST(ServeStress, RegistryLoadDropRace) {
+  TensorRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kOps = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      const std::string name = "shared";
+      for (int i = 0; i < kOps; ++i) {
+        reg.put(name, make(static_cast<std::uint64_t>(t * kOps + i)));
+        const TensorRegistry::Handle h = reg.try_get(name);
+        if (h.valid()) {
+          // Whatever registration we raced onto, the tensor is intact.
+          EXPECT_EQ(h.tensor->nnz(), 150u);
+        }
+        if (i % 3 == t % 3) reg.drop(name);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+}
+
+TEST(ServeStress, PlanCacheSingleFlightUnderContention) {
+  const SparseTensor y = make(99, 400);
+  PlanCache cache;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const YPlan>> plans(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      plans[static_cast<std::size_t>(t)] =
+          cache.acquire(1, y, {0, 1}).plan;
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  // Single-flight: one build, everyone shares it.
+  const PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, static_cast<std::uint64_t>(kThreads - 1));
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(plans[static_cast<std::size_t>(t)].get(), plans[0].get());
+  }
+}
+
+TEST(ServeStress, ServiceSurvivesConcurrentLoadContractDrop) {
+  ServeConfig cfg;
+  cfg.num_workers = 2;
+  cfg.threads_per_request = 1;
+  cfg.queue_capacity = 8;  // small queue: exercise backpressure
+  ContractionService svc(cfg);
+  svc.load("X", make(1));
+  svc.load("Y", make(2));
+
+  std::atomic<int> completed{0};
+  constexpr int kClients = 4;
+  constexpr int kRequests = 25;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequests; ++i) {
+        // One client keeps churning the registry under the others.
+        if (c == 0 && i % 5 == 4) {
+          svc.load("Y", make(static_cast<std::uint64_t>(100 + i)));
+        }
+        if (c == 1 && i % 11 == 10) {
+          svc.drop("Y");
+          svc.load("Y", make(static_cast<std::uint64_t>(200 + i)));
+        }
+        ServeRequest req;
+        req.x = "X";
+        req.y = "Y";
+        req.cx = {0, 1};
+        req.cy = {0, 1};
+        const ServeReport rep = svc.contract_sync(req);
+        ++completed;
+        if (rep.ok()) {
+          EXPECT_NE(rep.z, nullptr);
+        } else {
+          // The only legal failure here is racing a drop.
+          EXPECT_NE(rep.error.find("not registered"),
+                    std::string::npos)
+              << rep.error;
+        }
+      }
+    });
+  }
+  for (std::thread& th : clients) th.join();
+  EXPECT_EQ(completed.load(), kClients * kRequests);
+
+  // Counters stayed coherent across the churn.
+  const PlanCache::Stats cs = svc.cache_stats();
+  EXPECT_GE(cs.hits + cs.misses,
+            static_cast<std::uint64_t>(1));  // sparta ran at least once
+  svc.shutdown();
+}
+
+}  // namespace
+}  // namespace sparta::serve

@@ -1,0 +1,189 @@
+// sparta_serve — run a deterministic workload script against the
+// concurrent contraction service and report per-request + aggregate
+// results (optionally as JSON for .ci/check_bench_json.py).
+//
+//   sparta_serve --workload scripts.workload [--clients N] [--workers N]
+//     [--threads-per-request N] [--budget-mb M] [--cache-fraction F]
+//     [--queue N] [--no-degrade] [--json PATH]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "serve/service.hpp"
+#include "serve/workload.hpp"
+
+namespace {
+
+void usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s --workload FILE [--clients N] [--workers N]\n"
+      "  [--threads-per-request N] [--budget-mb M] [--cache-fraction F]\n"
+      "  [--queue N] [--no-degrade] [--json PATH]\n",
+      prog);
+  std::exit(2);
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload_path;
+  std::string json_path;
+  sparta::serve::ServeConfig cfg;
+  sparta::serve::WorkloadOptions wopts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "--workload") {
+      workload_path = next();
+    } else if (a == "--clients") {
+      wopts.clients = std::atoi(next().c_str());
+    } else if (a == "--workers") {
+      cfg.num_workers = std::atoi(next().c_str());
+    } else if (a == "--threads-per-request") {
+      cfg.threads_per_request = std::atoi(next().c_str());
+    } else if (a == "--budget-mb") {
+      cfg.dram_budget_bytes =
+          static_cast<std::size_t>(std::atoll(next().c_str())) << 20;
+    } else if (a == "--cache-fraction") {
+      cfg.cache_fraction = std::atof(next().c_str());
+    } else if (a == "--queue") {
+      cfg.queue_capacity =
+          static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (a == "--no-degrade") {
+      cfg.allow_degrade = false;
+    } else if (a == "--json") {
+      json_path = next();
+    } else {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
+                   a.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (workload_path.empty() || wopts.clients <= 0) usage(argv[0]);
+
+  // Metrics on for the whole run so the cache/admission counters and
+  // the queue/exec histograms land in the JSON report.
+  sparta::obs::MetricsRegistry::global().enable();
+
+  try {
+    const std::vector<sparta::serve::WorkloadOp> ops =
+        sparta::serve::parse_workload_file(workload_path);
+    sparta::serve::ContractionService svc(cfg);
+    const sparta::serve::WorkloadResult res =
+        sparta::serve::run_workload(svc, ops, wopts);
+
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    std::size_t rejected = 0;
+    std::size_t degraded = 0;
+    std::size_t hits = 0;
+    std::vector<double> latencies;
+    latencies.reserve(res.reports.size());
+    for (const sparta::serve::ServeReport& r : res.reports) {
+      if (r.ok()) {
+        ++ok;
+      } else if (r.rejected) {
+        ++rejected;
+      } else {
+        ++failed;
+      }
+      if (r.degraded) ++degraded;
+      if (r.cache_hit) ++hits;
+      if (r.ok()) latencies.push_back(r.exec_seconds);
+    }
+
+    std::printf("sparta_serve: %s\n", workload_path.c_str());
+    std::printf(
+        "  workers=%d clients=%d threads/request=%d budget=%zu MiB\n",
+        svc.workers(), wopts.clients, svc.threads_per_request(),
+        cfg.dram_budget_bytes >> 20);
+    std::printf(
+        "  requests=%zu ok=%zu failed=%zu rejected=%zu degraded=%zu\n",
+        res.reports.size(), ok, failed, rejected, degraded);
+    const sparta::serve::PlanCache::Stats cs = svc.cache_stats();
+    std::printf(
+        "  cache: hits=%llu misses=%llu evictions=%llu "
+        "uncacheable=%llu retained=%zu B\n",
+        static_cast<unsigned long long>(cs.hits),
+        static_cast<unsigned long long>(cs.misses),
+        static_cast<unsigned long long>(cs.evictions),
+        static_cast<unsigned long long>(cs.uncacheable),
+        cs.retained_bytes);
+    std::printf(
+        "  latency: p50=%.3f ms p95=%.3f ms max=%.3f ms "
+        "wall=%.3f s\n",
+        percentile(latencies, 0.5) * 1e3,
+        percentile(latencies, 0.95) * 1e3,
+        percentile(latencies, 1.0) * 1e3, res.wall_seconds);
+
+    if (!json_path.empty()) {
+      sparta::obs::JsonWriter w;
+      w.begin_object();
+      w.key("schema_version").value(1);
+      w.key("tool").value("sparta_serve");
+      w.key("workload").value(std::string_view(workload_path));
+      w.key("clients").value(wopts.clients);
+      w.key("workers").value(svc.workers());
+      w.key("threads").value(sparta::max_threads());
+      w.key("budget_bytes")
+          .value(static_cast<std::uint64_t>(cfg.dram_budget_bytes));
+      w.key("wall_seconds").value(res.wall_seconds);
+      w.key("requests").begin_array();
+      for (const sparta::serve::ServeReport& r : res.reports) {
+        w.raw(r.to_json());
+      }
+      w.end_array();
+      w.key("summary").begin_object();
+      w.key("total")
+          .value(static_cast<std::uint64_t>(res.reports.size()));
+      w.key("ok").value(static_cast<std::uint64_t>(ok));
+      w.key("failed").value(static_cast<std::uint64_t>(failed));
+      w.key("rejected").value(static_cast<std::uint64_t>(rejected));
+      w.key("degraded").value(static_cast<std::uint64_t>(degraded));
+      w.key("cache_hits").value(static_cast<std::uint64_t>(hits));
+      w.key("latency_seconds").begin_object();
+      w.key("p50").value(percentile(latencies, 0.5));
+      w.key("p95").value(percentile(latencies, 0.95));
+      w.key("max").value(percentile(latencies, 1.0));
+      w.end_object();
+      w.end_object();
+      w.key("counters").raw(svc.counters_json());
+      w.key("histograms")
+          .raw(sparta::obs::MetricsRegistry::global()
+                   .histograms_json());
+      w.end_object();
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+        return 1;
+      }
+      const std::string& doc = w.str();
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fclose(f);
+    }
+    return failed == 0 ? 0 : 1;
+  } catch (const sparta::Error& e) {
+    std::fprintf(stderr, "sparta_serve: %s\n", e.what());
+    return 1;
+  }
+}
