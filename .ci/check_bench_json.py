@@ -26,6 +26,9 @@ REQUIRED_COUNTERS = ["nnz_x", "nnz_y", "nnz_z", "searches", "hits",
 
 CONTEXT_STRINGS = ["build_type", "git_sha", "hostname"]
 
+# Must match src/simd/dispatch.hpp isa_name().
+SIMD_ISAS = ["scalar", "avx2", "neon"]
+
 HISTOGRAM_STATS = ["count", "p50", "p95", "p99", "max"]
 
 
@@ -145,6 +148,8 @@ def check_serve_report(path, doc):
 
 
 def check_report(path):
+    """Validates one report; returns its SIMD tier (None for serve
+    reports, which carry no bench context block)."""
     with open(path) as f:
         doc = json.load(f)
     if "tool" in doc:
@@ -152,7 +157,7 @@ def check_report(path):
             fail(path, f"schema_version = {doc.get('schema_version')!r}, "
                        "expected 1")
         check_serve_report(path, doc)
-        return
+        return None
     if doc.get("schema_version") != 1:
         fail(path, f"schema_version = {doc.get('schema_version')!r}, "
                    "expected 1")
@@ -171,6 +176,13 @@ def check_report(path):
     for k in CONTEXT_STRINGS:
         if not isinstance(ctx.get(k), str) or not ctx[k]:
             fail(path, f"context.{k} missing or empty")
+    # Timings under different SIMD tiers are not comparable, so the
+    # report must say which one produced it (sparta_perfdiff refuses to
+    # diff reports whose tiers differ, mirroring its other config
+    # comparability checks).
+    if ctx.get("simd_isa") not in SIMD_ISAS:
+        fail(path, f"context.simd_isa = {ctx.get('simd_isa')!r}, "
+                   f"expected one of {SIMD_ISAS}")
     # Context must agree with the top-level workload fields it restates.
     if ctx["scale"] != doc["scale"] or ctx["threads"] != doc["threads"]:
         fail(path, "context scale/threads disagree with top level")
@@ -221,14 +233,26 @@ def check_report(path):
                 fail(path, f"{where}: 'memsim.stages' missing")
     check_histograms(path, doc)
     print(f"{path}: OK ({doc['bench']}, {len(cases)} cases)")
+    return ctx["simd_isa"]
 
 
 def main():
     if len(sys.argv) < 2:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
+    # Bench reports validated together must agree on the SIMD tier: a
+    # matrix leg that accidentally mixes SPARTA_SIMD settings would
+    # otherwise feed incomparable timings into the baseline diff.
+    isas = {}
     for path in sys.argv[1:]:
-        check_report(path)
+        isa = check_report(path)
+        if isa is not None:
+            isas[path] = isa
+    if len(set(isas.values())) > 1:
+        detail = ", ".join(f"{p}: {i}" for p, i in sorted(isas.items()))
+        print(f"FAIL: bench reports mix SIMD tiers ({detail})",
+              file=sys.stderr)
+        sys.exit(1)
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@
 #include "obs/metrics.hpp"
 #include "obs/perfctr.hpp"
 #include "obs/perfdiff.hpp"
+#include "simd/dispatch.hpp"
 #include "tensor/datasets.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -138,6 +139,9 @@ inline void write_json_report() {
   w.key("build_type").value(std::string_view(build_type()));
   w.key("git_sha").value(std::string_view(git_sha()));
   w.key("hostname").value(std::string_view(hostname()));
+  // The active SIMD tier is config, not context colour: scalar and
+  // vector runs are not comparable (perfdiff refuses to diff them).
+  w.key("simd_isa").value(simd::isa_name(simd::active_isa()));
   w.end_object();
   w.key("hw_counters").begin_object();
   w.key("available").value(obs::PerfCounterGroup::counters_available());

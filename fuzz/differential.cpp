@@ -12,6 +12,7 @@
 #include "contraction/reference.hpp"
 #include "contraction/resilient.hpp"
 #include "contraction/verify.hpp"
+#include "simd/dispatch.hpp"
 #include "spgemm/spgemm.hpp"
 #include "tensor/dense_tensor.hpp"
 
@@ -138,6 +139,24 @@ DiffReport run_differential(const FuzzCase& c, const DiffOptions& opts) {
     fail("HtY+HtA(linear-probe)", std::string("threw: ") + e.what());
   }
 
+  // --- the swiss-table paths (SIMD-probed HtY/HtA) ---------------------
+  for (Algorithm alg :
+       {Algorithm::kSparta, Algorithm::kCooHta, Algorithm::kCooBinary}) {
+    const std::string name = std::string(algorithm_name(alg)) + "(swiss)";
+    try {
+      ContractOptions o;
+      o.algorithm = alg;
+      o.use_swiss_tables = true;
+      o.num_threads = opts.num_threads;
+      const ContractResult r = contract(c.x, c.y, c.cx, c.cy, o);
+      ++rep.variants_run;
+      check_pipeline_invariants(name, r, true);
+      compare(name, r.z);
+    } catch (const std::exception& e) {
+      fail(name, std::string("threw: ") + e.what());
+    }
+  }
+
   // --- prebuilt-plan entry point and the CSF path ----------------------
   try {
     const YPlan plan(c.y, c.cy);
@@ -245,6 +264,98 @@ DiffReport run_differential(const FuzzCase& c, const DiffOptions& opts) {
     }
   }
 
+  return rep;
+}
+
+namespace {
+
+// Bitwise tensor equality: dims, every index column, and exact (not
+// tolerance-scaled) value compare. On mismatch returns a description of
+// the first differing position; empty string means identical.
+std::string bitwise_diff(const SparseTensor& a, const SparseTensor& b) {
+  if (a.dims() != b.dims()) {
+    return "shapes differ (" + a.summary() + " vs " + b.summary() + ")";
+  }
+  if (a.nnz() != b.nnz()) {
+    return "nnz differs (" + std::to_string(a.nnz()) + " vs " +
+           std::to_string(b.nnz()) + ")";
+  }
+  for (std::size_t n = 0; n < a.nnz(); ++n) {
+    for (int m = 0; m < a.order(); ++m) {
+      if (a.index(n, m) != b.index(n, m)) {
+        return "index [" + std::to_string(n) + "][" + std::to_string(m) +
+               "] differs (" + std::to_string(a.index(n, m)) + " vs " +
+               std::to_string(b.index(n, m)) + ")";
+      }
+    }
+    if (a.value(n) != b.value(n)) {
+      return "value [" + std::to_string(n) + "] differs (" +
+             std::to_string(a.value(n)) + " vs " +
+             std::to_string(b.value(n)) + ")";
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+DiffReport run_isa_differential(const FuzzCase& c) {
+  DiffReport rep;
+  auto fail = [&rep](std::string variant, std::string what) {
+    rep.findings.push_back({std::move(variant), std::move(what)});
+  };
+
+  // Every algorithm path × table choice, replayed scalar-vs-native with
+  // a BITWISE compare. Single-threaded: with >1 thread the parallel HtY
+  // build interleaves items nondeterministically, so floating-point sum
+  // order varies run to run regardless of ISA — the ISA invariant is
+  // only defined where the engine itself is deterministic.
+  struct Cell {
+    Algorithm algorithm;
+    bool swiss;
+    bool linear_probe;
+    const char* suffix;
+  };
+  constexpr Cell kCells[] = {
+      {Algorithm::kSpa, false, false, ""},
+      {Algorithm::kCooHta, false, false, ""},
+      {Algorithm::kCooHta, true, false, "(swiss)"},
+      {Algorithm::kSparta, false, false, ""},
+      {Algorithm::kSparta, false, true, "(linear-probe)"},
+      {Algorithm::kSparta, true, false, "(swiss)"},
+      {Algorithm::kCooBinary, false, false, ""},
+      {Algorithm::kCooBinary, true, false, "(swiss)"},
+  };
+  for (const Cell& cell : kCells) {
+    const std::string name =
+        std::string(algorithm_name(cell.algorithm)) + cell.suffix;
+    try {
+      ContractOptions o;
+      o.algorithm = cell.algorithm;
+      o.use_swiss_tables = cell.swiss;
+      o.use_linear_probe_hta = cell.linear_probe;
+      o.num_threads = 1;
+      SparseTensor z_scalar;
+      {
+        simd::ScopedIsaOverride force(simd::SimdIsa::kScalar);
+        z_scalar = contract_tensor(c.x, c.y, c.cx, c.cy, o);
+      }
+      SparseTensor z_native;
+      {
+        simd::ScopedIsaOverride force(simd::detect_native_isa());
+        z_native = contract_tensor(c.x, c.y, c.cx, c.cy, o);
+      }
+      ++rep.variants_run;
+      const std::string diff = bitwise_diff(z_scalar, z_native);
+      if (!diff.empty()) {
+        fail(name, "scalar and " +
+                       std::string(simd::isa_name(simd::detect_native_isa())) +
+                       " outputs are not bitwise identical: " + diff);
+      }
+    } catch (const std::exception& e) {
+      fail(name, std::string("threw: ") + e.what());
+    }
+  }
   return rep;
 }
 

@@ -49,6 +49,14 @@ struct DiffReport {
 [[nodiscard]] DiffReport run_differential(const FuzzCase& c,
                                           const DiffOptions& opts = {});
 
+/// Differential ISA sweep (`fuzz_sptc --isa-diff`): replays `c` through
+/// every (algorithm × table choice) cell twice — SPARTA_SIMD forced to
+/// scalar, then to this machine's native tier — and demands BITWISE
+/// identical outputs (exact value compare, not tolerance). Runs
+/// single-threaded: parallel HtY builds make floating-point sum order
+/// nondeterministic independent of ISA.
+[[nodiscard]] DiffReport run_isa_differential(const FuzzCase& c);
+
 struct FaultOptions {
   double tolerance = 1e-9;
   int num_threads = 0;  ///< 0 = ambient

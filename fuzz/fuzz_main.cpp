@@ -14,6 +14,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "fuzz/differential.hpp"
@@ -28,6 +30,7 @@ void usage(const char* argv0) {
       "usage: %s [--seeds N] [--start S] [--seed X] [--tolerance T]\n"
       "          [--threads T] [--max-nnz N] [--no-minimize] [--no-dense]\n"
       "          [--inject-alloc-failures] [--schedules K]\n"
+      "          [--isa-diff] [--repro-dir DIR]\n"
       "          [--dump] [--quiet]\n"
       "  --seeds N      number of consecutive seeds to run (default 100)\n"
       "  --start S      first seed (default 0)\n"
@@ -43,6 +46,13 @@ void usage(const char* argv0) {
       "                 derived from each case seed, instead of the\n"
       "                 differential sweep\n"
       "  --schedules K  failpoint schedules per case (default 4)\n"
+      "  --isa-diff     differential ISA mode: replay each case under\n"
+      "                 SPARTA_SIMD=scalar and the native tier across\n"
+      "                 every (algorithm x table) cell, demanding\n"
+      "                 bitwise-identical outputs\n"
+      "  --repro-dir DIR\n"
+      "                 write a repro file (operand dump + findings)\n"
+      "                 per failing seed into DIR (created if absent)\n"
       "  --dump         dump every case's operands (replay mode aid)\n"
       "  --quiet        only print failures and the final summary\n",
       argv0);
@@ -61,6 +71,8 @@ struct Cli {
   bool quiet = false;
   bool inject_faults = false;
   int schedules = 4;
+  bool isa_diff = false;
+  std::string repro_dir;
 };
 
 bool parse_u64(const char* s, std::uint64_t& out) {
@@ -101,6 +113,12 @@ int parse_cli(int argc, char** argv, Cli& cli) {
       cli.max_nnz = static_cast<std::size_t>(n);
     } else if (a == "--inject-alloc-failures") {
       cli.inject_faults = true;
+    } else if (a == "--isa-diff") {
+      cli.isa_diff = true;
+    } else if (a == "--repro-dir") {
+      const char* v = next();
+      if (!v || *v == '\0') return 2;
+      cli.repro_dir = v;
     } else if (a == "--schedules") {
       const char* v = next();
       std::uint64_t n = 0;
@@ -140,6 +158,12 @@ int main(int argc, char** argv) {
       usage(argv[0]);
       return 2;
   }
+  if (cli.inject_faults && cli.isa_diff) {
+    std::fprintf(stderr,
+                 "--inject-alloc-failures and --isa-diff are separate "
+                 "modes; pick one\n");
+    return 2;
+  }
 
   CaseLimits limits;
   limits.max_nnz = cli.max_nnz;
@@ -174,6 +198,8 @@ int main(int argc, char** argv) {
       fo.num_threads = cli.threads;
       fo.schedules = cli.schedules;
       rep = run_fault_injection(c, fo);
+    } else if (cli.isa_diff) {
+      rep = run_isa_differential(c);
     } else {
       rep = run_differential(c, diff);
     }
@@ -185,19 +211,45 @@ int main(int argc, char** argv) {
     for (const Finding& f : rep.findings) {
       std::printf("  [%s] %s\n", f.variant.c_str(), f.what.c_str());
     }
-    std::printf("  replay: fuzz_sptc --seed %llu%s%s\n",
+    std::printf("  replay: fuzz_sptc --seed %llu%s%s%s\n",
                 static_cast<unsigned long long>(s),
                 cli.dense ? "" : " --no-dense",
-                cli.inject_faults ? " --inject-alloc-failures" : "");
+                cli.inject_faults ? " --inject-alloc-failures" : "",
+                cli.isa_diff ? " --isa-diff" : "");
+
+    // Divergence repro artifact: everything needed to replay this seed
+    // offline (CI uploads the directory on failure).
+    if (!cli.repro_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(cli.repro_dir, ec);
+      const std::string path = cli.repro_dir + "/seed-" + std::to_string(s) +
+                               ".txt";
+      std::ofstream out(path);
+      if (out) {
+        out << "seed: " << s << "\n" << c.label() << "\n";
+        for (const Finding& f : rep.findings) {
+          out << "[" << f.variant << "] " << f.what << "\n";
+        }
+        out << "replay: fuzz_sptc --seed " << s
+            << (cli.inject_faults ? " --inject-alloc-failures" : "")
+            << (cli.isa_diff ? " --isa-diff" : "") << "\n\n"
+            << dump_case(c);
+        std::printf("  repro written: %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write repro file '%s'\n", path.c_str());
+      }
+    }
 
     // Minimization flips differential-sweep findings only; a fault-mode
     // schedule depends on the exact hit sequence, which shrinking the
-    // operands would change.
+    // operands would change. ISA mode minimizes against its own
+    // predicate so the shrunken case still diverges across tiers.
     if (cli.minimize && !cli.inject_faults) {
       MinimizeStats ms;
       const FuzzCase tiny = minimize(
           c, [&](const FuzzCase& cand) {
-            return !run_differential(cand, diff).ok();
+            return cli.isa_diff ? !run_isa_differential(cand).ok()
+                                : !run_differential(cand, diff).ok();
           },
           &ms);
       std::printf(
@@ -206,7 +258,9 @@ int main(int argc, char** argv) {
           ms.predicate_calls, ms.rounds, c.x.nnz(), tiny.x.nnz(), c.y.nnz(),
           tiny.y.nnz());
       std::fputs(dump_case(tiny).c_str(), stdout);
-      for (const Finding& f : run_differential(tiny, diff).findings) {
+      const DiffReport tiny_rep = cli.isa_diff ? run_isa_differential(tiny)
+                                               : run_differential(tiny, diff);
+      for (const Finding& f : tiny_rep.findings) {
         std::printf("  [%s] %s\n", f.variant.c_str(), f.what.c_str());
       }
     }

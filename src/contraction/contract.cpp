@@ -24,6 +24,7 @@
 #include "obs/metrics.hpp"
 #include "obs/perfctr.hpp"
 #include "obs/trace.hpp"
+#include "simd/swiss_table.hpp"
 #include "tensor/linearize.hpp"
 
 namespace sparta {
@@ -631,8 +632,8 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
                                         ? opts.hty_buckets
                                         : res.stats.nnz_y))));
     if (!active_plan) {
-      plan_local =
-          std::make_unique<YPlan>(*y, cy, opts.hty_buckets, nthreads);
+      plan_local = std::make_unique<YPlan>(*y, cy, opts.hty_buckets,
+                                           nthreads, opts.use_swiss_tables);
       active_plan = plan_local.get();
     }
     fylin = &active_plan->fy_indexer();
@@ -705,9 +706,11 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   }
 
   if (opts.algorithm == Algorithm::kSparta) {
-    // Generic over the accumulator type so the open-addressing variant
-    // (use_linear_probe_hta) shares the exact same body.
-    auto run_sparta = [&]<typename AccT>(std::vector<AccT>& accs) {
+    // Generic over both the accumulator type (chained / linear-probe /
+    // swiss) and the HtY map (chained / swiss) so every variant shares
+    // the exact same body.
+    auto run_sparta = [&]<typename AccT>(std::vector<AccT>& accs,
+                                         const auto& hty_map) {
     parallel_over_subtensors(
         px, nthreads, opts.ablation_shared_writeback, zlocals, times, reg,
         [&](std::size_t tid, std::size_t b, std::size_t e, ZLocal& zl,
@@ -728,7 +731,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
               ctuple[k] = px.t.index(i, static_cast<int>(nfx + k));
             }
             const lnkey_t key = clin.linearize(ctuple);
-            const auto items = active_plan->hty().find(key);
+            const auto items = hty_map.find(key);
             ++searches;
             if (!items.empty()) {
               ++hits;
@@ -784,15 +787,29 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
     };
     const std::size_t acc_hint =
         std::max<std::size_t>(res.stats.max_y_group, 64);
-    if (opts.use_linear_probe_hta) {
+    // The plan's table kind governs HtY (an externally built plan may
+    // differ from opts); the options govern the per-thread HtA.
+    auto run_with_hty = [&](auto& accs) {
+      if (active_plan->uses_swiss()) {
+        run_sparta(accs, active_plan->swiss_hty());
+      } else {
+        run_sparta(accs, active_plan->hty());
+      }
+    };
+    if (opts.use_swiss_tables) {
+      std::vector<simd::SwissAccumulator> accs(
+          static_cast<std::size_t>(nthreads),
+          simd::SwissAccumulator(acc_hint));
+      run_with_hty(accs);
+    } else if (opts.use_linear_probe_hta) {
       std::vector<LinearProbeAccumulator> accs(
           static_cast<std::size_t>(nthreads),
           LinearProbeAccumulator(acc_hint));
-      run_sparta(accs);
+      run_with_hty(accs);
     } else {
       std::vector<HashAccumulator> accs(static_cast<std::size_t>(nthreads),
                                         HashAccumulator(acc_hint));
-      run_sparta(accs);
+      run_with_hty(accs);
     }
     // Accumulator footprint: per-thread peak × thread count.
     res.stats.hta_bytes =
@@ -801,13 +818,14 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   } else if (opts.algorithm == Algorithm::kCooHta ||
              opts.algorithm == Algorithm::kCooBinary) {
     const bool binary = opts.algorithm == Algorithm::kCooBinary;
-    std::vector<HashAccumulator> accs(static_cast<std::size_t>(nthreads),
-                                      HashAccumulator(64));
+    // Generic over the accumulator so use_swiss_tables swaps the HtA
+    // here exactly as it does on the Sparta path.
+    auto run_coo = [&]<typename AccT>(std::vector<AccT>& accs) {
     parallel_over_subtensors(
         px, nthreads, opts.ablation_shared_writeback, zlocals, times, reg,
         [&](std::size_t tid, std::size_t b, std::size_t e, ZLocal& zl,
             ThreadTimes& tt) {
-          HashAccumulator& acc = accs[tid];
+          AccT& acc = accs[tid];
           acc.clear();
           std::vector<index_t> ctuple(m);
           std::vector<CooMatch> matches;
@@ -889,6 +907,16 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
                        static_cast<std::uint64_t>(acc.footprint_bytes())),
               std::memory_order_relaxed);
         });
+    };
+    if (opts.use_swiss_tables) {
+      std::vector<simd::SwissAccumulator> accs(
+          static_cast<std::size_t>(nthreads), simd::SwissAccumulator(64));
+      run_coo(accs);
+    } else {
+      std::vector<HashAccumulator> accs(static_cast<std::size_t>(nthreads),
+                                        HashAccumulator(64));
+      run_coo(accs);
+    }
     res.stats.hta_bytes =
         static_cast<std::size_t>(acc_bytes.load()) *
         static_cast<std::size_t>(nthreads);

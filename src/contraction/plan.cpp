@@ -12,7 +12,7 @@
 namespace sparta {
 
 YPlan::YPlan(const SparseTensor& y, Modes cy, std::size_t hty_buckets,
-             int num_threads) {
+             int num_threads, bool use_swiss_tables) {
   // Validate cy against y.
   std::vector<bool> is_contract(static_cast<std::size_t>(y.order()), false);
   for (int m : cy) {
@@ -39,7 +39,11 @@ YPlan::YPlan(const SparseTensor& y, Modes cy, std::size_t hty_buckets,
 
   const std::size_t want =
       hty_buckets > 0 ? hty_buckets : std::max<std::size_t>(y.nnz(), 16);
-  hty_ = std::make_unique<GroupedHashMap>(want);
+  if (use_swiss_tables) {
+    swiss_ = std::make_unique<simd::SwissYMap>(want);
+  } else {
+    hty_ = std::make_unique<GroupedHashMap>(want);
+  }
   nnz_y_ = y.nnz();
   y_footprint_ = y.footprint_bytes();
 
@@ -52,24 +56,33 @@ YPlan::YPlan(const SparseTensor& y, Modes cy, std::size_t hty_buckets,
   const std::span<const int> fy_span(fy_);
   const bool has_free = !fy_.empty();
   SPARTA_FAILPOINT("plan.build");
-  ExceptionCollector ec;
+  // The two table kinds share insert_locked(key, FreeItem); the build
+  // loop is generic over whichever this plan holds.
+  auto build_into = [&](auto& table) {
+    ExceptionCollector ec;
 #pragma omp parallel num_threads(nthreads)
-  {
-    std::vector<index_t> c(static_cast<std::size_t>(y.order()));
+    {
+      std::vector<index_t> c(static_cast<std::size_t>(y.order()));
 #pragma omp for schedule(static)
-    for (std::ptrdiff_t i = 0; i < n; ++i) {
-      ec.run([&] {
-        const auto n_i = static_cast<std::size_t>(i);
-        y.coords(n_i, c);
-        const lnkey_t ckey = clin.linearize_gather(c, cy_span);
-        const lnkey_t fkey =
-            has_free ? fylin_.linearize_gather(c, fy_span) : 0;
-        hty_->insert_locked(ckey, FreeItem{fkey, y.value(n_i)});
-      });
+      for (std::ptrdiff_t i = 0; i < n; ++i) {
+        ec.run([&] {
+          const auto n_i = static_cast<std::size_t>(i);
+          y.coords(n_i, c);
+          const lnkey_t ckey = clin.linearize_gather(c, cy_span);
+          const lnkey_t fkey =
+              has_free ? fylin_.linearize_gather(c, fy_span) : 0;
+          table.insert_locked(ckey, FreeItem{fkey, y.value(n_i)});
+        });
+      }
     }
+    ec.rethrow();
+    max_group_ = table.max_group_size();
+  };
+  if (swiss_) {
+    build_into(*swiss_);
+  } else {
+    build_into(*hty_);
   }
-  ec.rethrow();
-  max_group_ = hty_->max_group_size();
 }
 
 std::vector<ContractResult> contract_batch(

@@ -18,6 +18,7 @@
 
 #include "contraction/options.hpp"
 #include "hashtable/grouped_map.hpp"
+#include "simd/swiss_table.hpp"
 #include "tensor/linearize.hpp"
 #include "tensor/sparse_tensor.hpp"
 #include "tensor/types.hpp"
@@ -28,8 +29,11 @@ class YPlan {
  public:
   /// Builds HtY from `y` keyed on contract modes `cy` (validated).
   /// `hty_buckets` 0 = auto (≈ nnz(y)); `num_threads` 0 = ambient.
+  /// `use_swiss_tables` picks the SIMD-probed swiss HtY over the
+  /// chained GroupedHashMap; the plan's table kind then governs HtY for
+  /// every contraction using it, regardless of the caller's options.
   YPlan(const SparseTensor& y, Modes cy, std::size_t hty_buckets = 0,
-        int num_threads = 0);
+        int num_threads = 0, bool use_swiss_tables = false);
 
   YPlan(const YPlan&) = delete;
   YPlan& operator=(const YPlan&) = delete;
@@ -50,16 +54,21 @@ class YPlan {
   }
 
   [[nodiscard]] std::size_t nnz_y() const { return nnz_y_; }
-  [[nodiscard]] std::size_t num_keys() const { return hty_->num_keys(); }
+  [[nodiscard]] std::size_t num_keys() const {
+    return swiss_ ? swiss_->num_keys() : hty_->num_keys();
+  }
   [[nodiscard]] std::size_t max_group() const { return max_group_; }
   [[nodiscard]] std::size_t hty_footprint_bytes() const {
-    return hty_->footprint_bytes();
+    return swiss_ ? swiss_->footprint_bytes() : hty_->footprint_bytes();
   }
   [[nodiscard]] std::size_t y_footprint_bytes() const {
     return y_footprint_;
   }
 
+  /// Which HtY representation this plan holds.
+  [[nodiscard]] bool uses_swiss() const { return swiss_ != nullptr; }
   [[nodiscard]] const GroupedHashMap& hty() const { return *hty_; }
+  [[nodiscard]] const simd::SwissYMap& swiss_hty() const { return *swiss_; }
   /// Linearizer for Y's free-index tuples (HtA keys).
   [[nodiscard]] const LinearIndexer& fy_indexer() const { return fylin_; }
 
@@ -70,7 +79,8 @@ class YPlan {
   std::vector<index_t> cdims_;
   std::vector<index_t> fydims_;
   LinearIndexer fylin_;
-  std::unique_ptr<GroupedHashMap> hty_;
+  std::unique_ptr<GroupedHashMap> hty_;    ///< exactly one of these
+  std::unique_ptr<simd::SwissYMap> swiss_; ///< two is populated
   std::size_t nnz_y_ = 0;
   std::size_t max_group_ = 0;
   std::size_t y_footprint_ = 0;

@@ -39,6 +39,9 @@ ContractOptions rung_options(const ContractOptions& base, Algorithm a) {
     o.use_linear_probe_hta = false;
     o.hty_charged_externally = false;
   }
+  // Swiss tables ride along on every hash-table rung; only the SPA rung
+  // has no hash table to swap.
+  if (a == Algorithm::kSpa) o.use_swiss_tables = false;
   return o;
 }
 

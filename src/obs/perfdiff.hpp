@@ -44,12 +44,18 @@ enum ExitCode : int {
 };
 
 struct Options {
-  double threshold = 0.10;    ///< relative slowdown that gates (0.10 = +10%)
+  /// Relative slowdown that gates (0.10 = +10% is a regression).
+  /// NEGATIVE values demand a speedup: -0.17 gates unless the run is at
+  /// least 17% faster than baseline (run ≤ 0.83×base, i.e. base/run ≥
+  /// 1.2×) — how CI asserts the swiss-table probe beats the chained one.
+  double threshold = 0.10;
   double min_seconds = 1e-3;  ///< baseline medians below this never gate
   bool compare_counters = true;
 };
 
-/// "30%" or "0.3" → 0.3; nullopt on junk or negative values.
+/// "30%" or "0.3" → 0.3. Negative values above -1.0 are allowed
+/// (required-improvement gates, see Options::threshold); -1.0 and below
+/// would demand a non-positive runtime. nullopt on junk.
 [[nodiscard]] inline std::optional<double> parse_threshold(
     std::string_view s) {
   if (s.empty()) return std::nullopt;
@@ -60,11 +66,13 @@ struct Options {
     body.pop_back();
   }
   char* end = nullptr;
-  const double v = std::strtod(body.c_str(), &end);
-  if (end != body.c_str() + body.size() || !std::isfinite(v) || v < 0.0) {
+  double v = std::strtod(body.c_str(), &end);
+  if (end != body.c_str() + body.size() || !std::isfinite(v)) {
     return std::nullopt;
   }
-  return percent ? v / 100.0 : v;
+  if (percent) v /= 100.0;
+  if (v <= -1.0) return std::nullopt;
+  return v;
 }
 
 /// Counters from ContractStats::to_json() that are fully determined by
@@ -215,6 +223,11 @@ inline void check_field(const JsonValue& base, const JsonValue& run,
   detail::check_field(base, run, {"threads"}, "threads", true,
                       out.config_mismatches);
   detail::check_field(base, run, {"context", "build_type"}, "build_type",
+                      false, out.config_mismatches);
+  // Scalar-vs-SIMD timings are different workloads entirely; reports
+  // must agree on the active tier to be diffable. Optional so baselines
+  // predating the field stay comparable.
+  detail::check_field(base, run, {"context", "simd_isa"}, "simd_isa",
                       false, out.config_mismatches);
   if (!out.comparable()) return out;
 

@@ -55,7 +55,9 @@ PlanLease PlanCache::acquire(std::uint64_t y_id, const SparseTensor& y,
     ++stats_.uncacheable;
     SPARTA_COUNTER_ADD("serve.cache.uncacheable", 1);
     lk.unlock();
-    auto plan = std::make_shared<YPlan>(y, cy, cfg_.hty_buckets);
+    auto plan = std::make_shared<YPlan>(y, cy, cfg_.hty_buckets,
+                                        /*num_threads=*/0,
+                                        cfg_.use_swiss_tables);
     return {std::move(plan), /*hit=*/false, /*cached=*/false};
   }
 
@@ -67,7 +69,9 @@ PlanLease PlanCache::acquire(std::uint64_t y_id, const SparseTensor& y,
 
   std::shared_ptr<Cached> built;
   try {
-    built = std::make_shared<Cached>(YPlan(y, cy, cfg_.hty_buckets));
+    built = std::make_shared<Cached>(YPlan(y, cy, cfg_.hty_buckets,
+                                           /*num_threads=*/0,
+                                           cfg_.use_swiss_tables));
   } catch (...) {
     lk.lock();
     map_.erase(key);

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "contraction/options.hpp"
+#include "simd/dispatch.hpp"
 
 namespace sparta::serve {
 
@@ -33,6 +34,13 @@ struct SelectorConfig {
 
   /// Weight of the newest observation in the latency EWMA.
   double ewma_alpha = 0.3;
+
+  /// Prefer the SIMD-probed swiss tables (simd/swiss_table.hpp) for the
+  /// hash-table variants when a vector ISA is active. The service maps
+  /// this onto ContractOptions::use_swiss_tables and the plan cache's
+  /// table kind; under SPARTA_SIMD=scalar the chained tables keep their
+  /// edge and are used instead.
+  bool prefer_swiss_tables = true;
 };
 
 /// Features available before a request runs.
@@ -56,6 +64,13 @@ class VariantSelector {
 
   /// Picks the variant for one request.
   [[nodiscard]] Algorithm choose(const RequestFeatures& f);
+
+  /// Whether requests should run on the swiss tables: configured
+  /// preference AND a vector ISA actually active (scalar machines or
+  /// SPARTA_SIMD=scalar keep the chained tables).
+  [[nodiscard]] bool swiss_tables_enabled() const {
+    return cfg_.prefer_swiss_tables && simd::vector_isa_active();
+  }
 
   /// Feeds back one completed request: `seconds` of contraction time
   /// over `work` units (nnz_x + nnz_y). Also records the latency into

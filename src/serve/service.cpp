@@ -82,6 +82,7 @@ ContractionService::ContractionService(ServeConfig cfg)
                 cfg_.cache_fraction);
   pc.registry = &alloc_;
   pc.hty_buckets = cfg_.hty_buckets;
+  pc.use_swiss_tables = selector_.swiss_tables_enabled();
   cache_ = std::make_unique<PlanCache>(pc);
 
   workers_.reserve(static_cast<std::size_t>(num_workers_));
@@ -242,6 +243,8 @@ ServeReport ContractionService::execute(const ServeRequest& req) {
   const auto run_degraded = [&](ServeReport& r) {
     ContractOptions o;
     o.num_threads = threads_per_request_;
+    // rung_options() strips the flag off the SPA rung.
+    o.use_swiss_tables = selector_.swiss_tables_enabled();
     const std::size_t rem = remaining_budget();
     o.budget.bytes =
         rem == kUnlimited ? 0 : std::max<std::size_t>(rem, 1);
@@ -327,6 +330,10 @@ ServeReport ContractionService::execute(const ServeRequest& req) {
   // Charges flow to the shared registry, whose capacity (the DRAM
   // budget) enforces the runtime gate across all concurrent requests.
   opts.registry = &alloc_;
+  // Swiss tables on every hash-table variant when a vector ISA is
+  // active; the cached plan's own table kind governs HtY either way.
+  opts.use_swiss_tables =
+      selector_.swiss_tables_enabled() && variant != Algorithm::kSpa;
 
   try {
     Timer t;

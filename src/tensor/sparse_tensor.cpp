@@ -7,7 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
-#include "common/radix.hpp"
+#include "simd/sort.hpp"
 #include "tensor/linearize.hpp"
 
 namespace sparta {
@@ -124,16 +124,11 @@ void SparseTensor::sort() {
       coords(i, c);
       keyed[i] = {lin.linearize(c), i};
     }
-    // Radix beats comparison sorting once per-pass setup amortizes; the
-    // key width is known exactly from the index space.
-    if (n >= (std::size_t{1} << 15)) {
-      radix_sort_pairs(keyed, significant_bits(lin.size() - 1));
-    } else {
-      parallel_sort(keyed.begin(), keyed.end(), [](const auto& a,
-                                                   const auto& b) {
-        return a.first < b.first;
-      });
-    }
+    // ISA-dispatched stable LSD radix on the LN key (simd/sort.hpp):
+    // linear passes instead of O(n log n) compares, and — being stable —
+    // an identical permutation on every SIMD tier, which the
+    // scalar-vs-simd differential CI jobs rely on.
+    simd::sort_ln_pairs(keyed, significant_bits(lin.size() - 1));
     for (std::size_t i = 0; i < n; ++i) perm[i] = keyed[i].second;
   } else {
     std::iota(perm.begin(), perm.end(), std::size_t{0});

@@ -56,9 +56,24 @@ TEST(ParseThreshold, AcceptsPercentAndFraction) {
   EXPECT_DOUBLE_EQ(*parse_threshold("30%"), 0.30);
   EXPECT_DOUBLE_EQ(*parse_threshold("0.3"), 0.30);
   EXPECT_DOUBLE_EQ(*parse_threshold("5%"), 0.05);
+  // Negative thresholds demand a speedup (run ≤ (1+t)×base); -100% and
+  // beyond would demand a non-positive runtime.
+  EXPECT_DOUBLE_EQ(*parse_threshold("-17%"), -0.17);
+  EXPECT_DOUBLE_EQ(*parse_threshold("-0.5"), -0.50);
   EXPECT_FALSE(parse_threshold("").has_value());
   EXPECT_FALSE(parse_threshold("abc").has_value());
-  EXPECT_FALSE(parse_threshold("-1%").has_value());
+  EXPECT_FALSE(parse_threshold("-100%").has_value());
+  EXPECT_FALSE(parse_threshold("-1.5").has_value());
+}
+
+TEST(DiffReports, NegativeThresholdDemandsSpeedup) {
+  const JsonValue base = parse_or_die(make_report("b1", 2, {{"c", 0.10}}));
+  const JsonValue same = parse_or_die(make_report("b1", 2, {{"c", 0.10}}));
+  const JsonValue faster = parse_or_die(make_report("b1", 2, {{"c", 0.08}}));
+  Options opts;
+  opts.threshold = -0.17;  // run must be ≤ 0.83×base (≥ 1.2× speedup)
+  EXPECT_TRUE(diff_reports(base, same, opts).regressed());
+  EXPECT_FALSE(diff_reports(base, faster, opts).regressed());
 }
 
 TEST(DiffReports, IdenticalReportsPass) {

@@ -1,0 +1,135 @@
+// Unit tests for the ISA-dispatched LSD radix sort (simd/sort.hpp):
+// agreement with std::stable_sort (including stability on duplicate
+// keys), tier equivalence, and the tensor sort/coalesce paths built on
+// top of it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/sort.hpp"
+#include "tensor/generators.hpp"
+#include "tensor/sparse_tensor.hpp"
+
+namespace sparta {
+namespace {
+
+using Item = std::pair<std::uint64_t, std::uint32_t>;
+
+std::vector<Item> random_items(std::size_t n, int key_bits,
+                               std::uint64_t seed) {
+  const std::uint64_t mask = key_bits >= 64
+                                 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << key_bits) - 1;
+  std::vector<Item> items;
+  items.reserve(n);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Narrow key ranges guarantee duplicates, exercising stability.
+    items.emplace_back(rng() & mask, static_cast<std::uint32_t>(i));
+  }
+  return items;
+}
+
+TEST(SimdSort, MatchesStableSortAcrossSizesAndKeyWidths) {
+  for (const std::size_t n : {0ul, 1ul, 5ul, 31ul, 32ul, 1000ul, 50000ul}) {
+    for (const int key_bits : {8, 20, 64}) {
+      std::vector<Item> items = random_items(n, key_bits, 100 + n);
+      std::vector<Item> expected = items;
+      // The payload records input position, so stable-sorting by key
+      // alone fixes the full expected sequence.
+      std::stable_sort(
+          expected.begin(), expected.end(),
+          [](const Item& a, const Item& b) { return a.first < b.first; });
+      simd::sort_ln_pairs(items, key_bits);
+      EXPECT_EQ(items, expected) << "n=" << n << " key_bits=" << key_bits;
+    }
+  }
+}
+
+TEST(SimdSort, ScalarAndNativeTiersProduceIdenticalPermutations) {
+  for (const std::size_t n : {31ul, 1000ul, 20000ul}) {
+    std::vector<Item> scalar_items = random_items(n, 20, 7);
+    std::vector<Item> native_items = scalar_items;
+    {
+      simd::ScopedIsaOverride force(simd::SimdIsa::kScalar);
+      simd::sort_ln_pairs(scalar_items, 20);
+    }
+    {
+      simd::ScopedIsaOverride force(simd::detect_native_isa());
+      simd::sort_ln_pairs(native_items, 20);
+    }
+    EXPECT_EQ(scalar_items, native_items) << "n=" << n;
+  }
+}
+
+TEST(SimdSort, FullWidthKeysSortCorrectly) {
+  std::vector<Item> items;
+  Rng rng(9);
+  for (int i = 0; i < 4096; ++i) {
+    items.emplace_back(rng(), static_cast<std::uint32_t>(i));
+  }
+  std::vector<Item> expected = items;
+  std::stable_sort(
+      expected.begin(), expected.end(),
+      [](const Item& a, const Item& b) { return a.first < b.first; });
+  simd::sort_ln_pairs(items);  // default key_bits = 64
+  EXPECT_EQ(items, expected);
+}
+
+TEST(SimdSort, AlreadySortedInputIsStable) {
+  std::vector<Item> items;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    items.emplace_back(i / 10, i);  // sorted keys, duplicate runs
+  }
+  std::vector<Item> expected = items;
+  simd::sort_ln_pairs(items, 20);
+  EXPECT_EQ(items, expected);
+}
+
+// The production consumer: SparseTensor::sort() routes LN-linearizable
+// tensors through sort_ln_pairs.
+TEST(SimdSort, TensorSortProducesLexicographicOrder) {
+  GeneratorSpec spec;
+  spec.dims = {40, 30, 20};
+  spec.nnz = 5000;
+  spec.seed = 5;
+  SparseTensor t = generate_random(spec);
+  t.sort();
+  EXPECT_TRUE(t.is_sorted());
+}
+
+TEST(SimdSort, TensorSortIdenticalAcrossTiers) {
+  // Hand-built with duplicate coordinates so coalesce() has ties to
+  // merge (generate_random only emits distinct cells).
+  SparseTensor a({50, 50});
+  Rng rng(6);
+  for (int i = 0; i < 8000; ++i) {
+    const index_t c[2] = {static_cast<index_t>(rng() % 50),
+                          static_cast<index_t>(rng() % 50)};
+    a.append(c, rng.uniform_double(-1.0, 1.0));
+  }
+  SparseTensor b = a;
+  {
+    simd::ScopedIsaOverride force(simd::SimdIsa::kScalar);
+    a.coalesce();
+  }
+  {
+    simd::ScopedIsaOverride force(simd::detect_native_isa());
+    b.coalesce();
+  }
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (std::size_t n = 0; n < a.nnz(); ++n) {
+    for (int m = 0; m < a.order(); ++m) {
+      ASSERT_EQ(a.index(n, m), b.index(n, m)) << "nonzero " << n;
+    }
+    ASSERT_EQ(a.value(n), b.value(n)) << "nonzero " << n;  // bitwise
+  }
+}
+
+}  // namespace
+}  // namespace sparta

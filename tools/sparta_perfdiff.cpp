@@ -36,7 +36,8 @@ void usage() {
       "  <baseline>, <run>   two bench --json reports, or two\n"
       "                      directories paired by filename\n"
       "  --threshold T       gating slowdown, '30%%' or '0.3'\n"
-      "                      (default 10%%)\n"
+      "                      (default 10%%); negative demands a speedup:\n"
+      "                      '-17%%' fails unless run <= 0.83x baseline\n"
       "  --min-seconds S     baseline medians below S never gate\n"
       "                      (default 0.001)\n"
       "  --no-counters       skip the deterministic-counter comparison\n"
