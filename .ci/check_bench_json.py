@@ -47,7 +47,8 @@ def check_number(path, obj, key, minimum=0):
         fail(path, f"'{key}' = {v} < {minimum}")
 
 
-SERVE_BOOLS = ["ok", "cache_hit", "plan_cached", "degraded", "rejected"]
+SERVE_BOOLS = ["ok", "cache_hit", "plan_cached", "degraded", "rejected",
+               "cancelled", "deadline_exceeded"]
 
 SERVE_CACHE_COUNTERS = ["hits", "misses", "evictions", "uncacheable"]
 
@@ -88,6 +89,10 @@ def check_serve_report(path, doc):
                 fail(path, f"{where}: '{k}' missing or not a bool")
         check_number(path, r, "queue_seconds")
         check_number(path, r, "exec_seconds")
+        check_number(path, r, "cancel_seconds")
+        check_number(path, r, "retries")
+        if r["deadline_exceeded"] and not r["cancelled"]:
+            fail(path, f"{where}: deadline_exceeded without cancelled")
         if not r["ok"]:
             continue  # failed/rejected requests carry no result data
         check_number(path, r, "nnz_z")
@@ -106,15 +111,17 @@ def check_serve_report(path, doc):
     summary = doc.get("summary")
     if not isinstance(summary, dict):
         fail(path, "'summary' missing")
-    for k in ("total", "ok", "failed", "rejected", "degraded",
-              "cache_hits"):
+    for k in ("total", "ok", "failed", "rejected", "cancelled",
+              "deadline_exceeded", "degraded", "cache_hits"):
         check_number(path, summary, k)
     if summary["total"] != len(reqs):
         fail(path, f"summary.total = {summary['total']}, but "
                    f"{len(reqs)} requests reported")
     if summary["ok"] + summary["failed"] + summary["rejected"] \
-            != summary["total"]:
-        fail(path, "summary ok+failed+rejected != total")
+            + summary["cancelled"] != summary["total"]:
+        fail(path, "summary ok+failed+rejected+cancelled != total")
+    if summary["deadline_exceeded"] > summary["cancelled"]:
+        fail(path, "summary deadline_exceeded > cancelled")
     lat = summary.get("latency_seconds")
     if not isinstance(lat, dict):
         fail(path, "'summary.latency_seconds' missing")
@@ -214,6 +221,18 @@ def check_report(path):
         counters = c.get("counters")
         if not isinstance(counters, dict):
             fail(path, f"{where}: 'counters' missing")
+        if c["name"] == "cancel_latency":
+            # bench_serve's cancel case reports trip-to-return
+            # percentiles instead of contraction counters (the run is
+            # cancelled mid-flight, so nnz_z etc. do not exist).
+            for k in ("cancel_p50_seconds", "cancel_p99_seconds",
+                      "cancel_max_seconds"):
+                check_number(path, counters, k)
+            if not (counters["cancel_p50_seconds"]
+                    <= counters["cancel_p99_seconds"]
+                    <= counters["cancel_max_seconds"]):
+                fail(path, f"{where}: cancel percentiles not monotone")
+            continue
         for k in REQUIRED_COUNTERS:
             check_number(path, counters, k)
         if counters["hits"] > counters["searches"]:

@@ -1,7 +1,10 @@
 // Serving-layer benchmark: (1) plan-cache speedup on a repeated-Y
 // workload — the headline claim is a >= 2x median latency improvement
-// for cache hits over cold requests — and (2) request throughput as the
-// worker pool scales.
+// for cache hits over cold requests — (2) request throughput as the
+// worker pool scales, and (3) cancel-to-return latency: how long a
+// running contraction takes to unwind once its deadline trips. The
+// engine polls its CancelToken at chunk granularity, so the p99 must
+// stay bounded by roughly one chunk of work, far below a full request.
 //
 // The repeated-Y shape is the cache's target regime: a large Y (HtY
 // build dominates) contracted by a stream of small Xs, so a hit skips
@@ -63,6 +66,13 @@ void append_case(const std::string& name, std::vector<double> secs,
   c.stages_json = rep.stage_times.to_json();
   c.counters_json = rep.stats.to_json();
   sparta::bench::json_cases().push_back(std::move(c));
+}
+
+double percentile_sorted(const std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1));
+  return v[idx];
 }
 
 }  // namespace
@@ -157,6 +167,74 @@ int main(int argc, char** argv) {
                 secs > 0 ? total_requests / secs : 0.0);
     append_case("throughput_w" + std::to_string(workers),
                 {secs / total_requests}, last);
+  }
+
+  // --- Case 3: cancel-to-return latency -----------------------------
+  // Cold requests with a deadline set to trip mid-contraction; the
+  // report's cancel_seconds field is the trip → worker-return interval,
+  // i.e. how long the engine took to observe the token and unwind. The
+  // gate of interest is the p99: it must be bounded by one poll chunk.
+  {
+    ServeConfig cfg;
+    cfg.num_workers = 1;
+    ContractionService svc(cfg);
+    svc.load("X", x);
+    svc.load("Y", y);
+
+    // Calibrate one cold run to size the deadline mid-execution.
+    ServeReport probe = svc.contract_sync(sparta_request());
+    if (!probe.ok()) {
+      std::fprintf(stderr, "calibration request failed: %s\n",
+                   probe.error.c_str());
+      return 1;
+    }
+    const double deadline_ms = probe.exec_seconds * 1e3 * 0.4;
+
+    const int cancels = sparta::bench::smoke_mode() ? 4 : 32;
+    std::vector<double> cancel_secs;
+    ServeReport cancel_rep;
+    for (int i = 0; i < cancels; ++i) {
+      svc.load("Y", y);  // invalidate the plan: every run is cold
+      ServeRequest req = sparta_request();
+      req.deadline_ms = deadline_ms;
+      ServeReport rep = svc.contract_sync(req);
+      if (rep.cancelled && rep.cancel_seconds > 0.0) {
+        cancel_secs.push_back(rep.cancel_seconds);
+        cancel_rep = rep;
+      }
+    }
+    if (cancel_secs.empty()) {
+      // Tiny workloads can finish before the deadline fires; report
+      // nothing rather than a fabricated latency.
+      std::printf("cancel latency: no request tripped its %.3f ms "
+                  "deadline (workload too small)\n", deadline_ms);
+    } else {
+      std::sort(cancel_secs.begin(), cancel_secs.end());
+      const double p50 = percentile_sorted(cancel_secs, 0.5);
+      const double p99 = percentile_sorted(cancel_secs, 0.99);
+      std::printf(
+          "cancel latency: %zu/%d tripped, trip->return p50=%.3f ms "
+          "p99=%.3f ms (deadline %.3f ms)\n",
+          cancel_secs.size(), cancels, p50 * 1e3, p99 * 1e3,
+          deadline_ms);
+      if (!sparta::bench::json_path().empty()) {
+        sparta::bench::JsonCase c;
+        c.name = "cancel_latency";
+        c.repeats = static_cast<int>(cancel_secs.size());
+        c.min_seconds = cancel_secs.front();
+        c.median_seconds = p50;
+        c.stages_json = cancel_rep.stage_times.to_json();
+        sparta::obs::JsonWriter cw;
+        cw.begin_object();
+        cw.key("cancel_p50_seconds").value(p50);
+        cw.key("cancel_p99_seconds").value(p99);
+        cw.key("cancel_max_seconds").value(cancel_secs.back());
+        cw.key("deadline_ms").value(deadline_ms);
+        cw.end_object();
+        c.counters_json = cw.str();
+        sparta::bench::json_cases().push_back(std::move(c));
+      }
+    }
   }
   return 0;
 }

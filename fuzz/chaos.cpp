@@ -1,0 +1,279 @@
+#include "fuzz/chaos.hpp"
+
+#include <exception>
+#include <memory>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/rng.hpp"
+#include "contraction/contract.hpp"
+#include "contraction/reference.hpp"
+#include "contraction/resilient.hpp"
+#include "memsim/allocator.hpp"
+#include "serve/service.hpp"
+
+namespace sparta::fuzz {
+
+namespace {
+
+// Every cooperative cancel point the engine polls; arm_at_site targets
+// are drawn from here so chaos exercises each stage boundary.
+constexpr const char* kCancelSites[] = {
+    "contract.input",  "contract.search",   "contract.accumulate",
+    "contract.writeback", "contract.sort",  "contract.chunk",
+    "contract.gather", "plan.build",        "sort.partition",
+    "sort.radix_pass",
+};
+
+// Disarms every failpoint on scope exit, exception or not.
+struct DisarmGuard {
+  ~DisarmGuard() { failpoint::disarm_all(); }
+};
+
+// How one chaos round arms its CancelToken (recorded for findings).
+std::string arm_token(Rng& rng, CancelToken& token) {
+  switch (rng.uniform(4)) {
+    case 0:
+      token = CancelToken{};  // inert: pure fault/budget round
+      return "cancel=off";
+    case 1: {
+      token = CancelToken::make();
+      const std::uint64_t n = 1 + rng.uniform(200);
+      token.arm_after_checks(n);
+      return "cancel=check#" + std::to_string(n);
+    }
+    case 2: {
+      token = CancelToken::make();
+      constexpr std::size_t kNumSites =
+          sizeof(kCancelSites) / sizeof(const char*);
+      const char* site = kCancelSites[rng.uniform(kNumSites)];
+      token.arm_at_site(site);
+      return std::string("cancel=site:") + site;
+    }
+    default: {
+      const double secs = 1e-6 * static_cast<double>(1 + rng.uniform(1000));
+      token = CancelToken::with_deadline(secs);
+      return "cancel=deadline";
+    }
+  }
+}
+
+// Arms 0–2 random failpoints (mirrors run_fault_injection's draw, with
+// chaos's own stream so the two modes explore independently).
+std::string arm_failpoints(Rng& rng) {
+  if (rng.uniform(2) == 0) return "faults=off";
+  constexpr std::size_t kNumSites =
+      sizeof(failpoint::kContractSites) / sizeof(const char*);
+  std::string desc = "faults=";
+  const std::size_t n = 1 + rng.uniform(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const char* site = failpoint::kContractSites[rng.uniform(kNumSites)];
+    failpoint::Spec spec;
+    spec.action = static_cast<failpoint::Action>(rng.uniform(3));
+    spec.fire_on = 1 + rng.uniform(4);
+    spec.times = 1 + rng.uniform(2);
+    failpoint::arm(site, spec);
+    if (i != 0) desc += ";";
+    desc += site;
+  }
+  return desc;
+}
+
+void run_engine_round(const FuzzCase& c, const SparseTensor& ref,
+                      const ChaosOptions& opts, int round,
+                      DiffReport& rep) {
+  Rng rng(c.seed ^ (0xC4A05ULL * static_cast<std::uint64_t>(round + 1)));
+  const std::string tag = "chaos[" + std::to_string(round) + "]";
+  auto fail = [&](const std::string& what, const std::string& setup) {
+    rep.findings.push_back({tag, what + "; " + setup});
+  };
+
+  ContractOptions o;
+  o.num_threads = opts.num_threads;
+  AllocationRegistry reg;
+  o.registry = &reg;
+  std::string setup = arm_token(rng, o.cancel);
+  if (rng.uniform(2) == 1) {
+    o.budget.bytes = std::size_t{4096} << rng.uniform(11);
+    setup += " budget=" + std::to_string(o.budget.bytes);
+  }
+  const bool resilient = rng.uniform(2) == 1;
+  setup += resilient ? " path=resilient" : " path=contract";
+
+  {
+    DisarmGuard guard;
+    setup += " " + arm_failpoints(rng);
+    try {
+      if (resilient) {
+        // Legal: oracle-matching (possibly degraded) result, Cancelled,
+        // or Error. An escaped bad_alloc is a ladder bug.
+        const ResilientResult r =
+            contract_resilient(c.x, c.y, c.cx, c.cy, o);
+        ++rep.variants_run;
+        if (!SparseTensor::approx_equal(r.result.z, ref,
+                                        opts.tolerance)) {
+          fail("degraded result disagrees with the oracle", setup);
+        }
+      } else {
+        // Legal: oracle-matching result, Cancelled, Error, bad_alloc.
+        const ContractResult r = contract(c.x, c.y, c.cx, c.cy, o);
+        ++rep.variants_run;
+        if (!SparseTensor::approx_equal(r.z, ref, opts.tolerance)) {
+          fail("contract() survived chaos but disagrees with the oracle",
+               setup);
+        }
+      }
+    } catch (const Cancelled&) {
+      ++rep.variants_run;
+    } catch (const Error&) {
+      ++rep.variants_run;
+    } catch (const std::bad_alloc&) {
+      if (resilient) {
+        fail("std::bad_alloc escaped contract_resilient", setup);
+      } else {
+        ++rep.variants_run;
+      }
+    } catch (const std::exception& e) {
+      fail(std::string("unexpected exception escaped: ") + e.what(),
+           setup);
+    }
+  }
+
+  // The cancellation contract: however the run ended, every ScopedCharge
+  // must have been released (results went out of scope above).
+  const std::size_t live =
+      reg.live_bytes(Tier::kDram) + reg.live_bytes(Tier::kPmm);
+  if (live != 0) {
+    fail("budget not back to zero after run: " + std::to_string(live) +
+             " live bytes",
+         setup);
+  }
+}
+
+void run_service_round(const FuzzCase& c, const ChaosOptions& opts,
+                       DiffReport& rep) {
+  Rng rng(c.seed ^ 0x5E4CEULL);
+  const std::string tag = "chaos[service]";
+  auto fail = [&](const std::string& what) {
+    rep.findings.push_back({tag, what});
+  };
+
+  serve::ServeConfig cfg;
+  cfg.num_workers = 2;
+  cfg.threads_per_request = opts.num_threads > 0 ? opts.num_threads : 1;
+  cfg.queue_capacity = 4;
+  cfg.shed_on_overload = rng.uniform(2) == 1;
+  cfg.allow_degrade = rng.uniform(2) == 1;
+  if (rng.uniform(2) == 1) {
+    cfg.dram_budget_bytes = std::size_t{1} << (18 + rng.uniform(5));
+  }
+
+  {
+    serve::ContractionService svc(cfg);
+    try {
+      svc.load("X", c.x);
+      svc.load("Y", c.y);
+    } catch (const Error&) {
+      return;  // operands over the random budget: legal, nothing to do
+    }
+
+    struct Pending {
+      std::future<serve::ServeReport> future;
+      std::string stored;  ///< store_as name, empty otherwise
+    };
+    std::vector<Pending> pending;
+    const std::uint64_t n = 4 + rng.uniform(5);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      serve::ServeRequest req;
+      req.x = rng.uniform(8) == 0 ? "nope" : "X";
+      req.y = "Y";
+      req.cx = c.cx;
+      req.cy = c.cy;
+      if (rng.uniform(3) != 0) {
+        req.deadline_ms =
+            0.01 * static_cast<double>(1 + rng.uniform(100));
+      }
+      std::string stored;
+      if (rng.uniform(4) == 0) {
+        stored = "Z" + std::to_string(i);
+        req.store_as = stored;
+      }
+      pending.push_back({svc.submit(std::move(req)), std::move(stored)});
+    }
+
+    switch (rng.uniform(3)) {
+      case 0:
+        svc.shutdown_now();
+        break;
+      case 1:
+        svc.shutdown();
+        break;
+      default:
+        break;  // plain destruction drains gracefully
+    }
+
+    for (Pending& p : pending) {
+      const serve::ServeReport r = p.future.get();  // must resolve
+      if (r.cancelled && r.ok()) {
+        fail("report cancelled but ok (empty error)");
+      }
+      if (r.deadline_exceeded && !r.cancelled) {
+        fail("report deadline_exceeded without cancelled");
+      }
+      if (!p.stored.empty()) {
+        // A request that did not complete must never have registered a
+        // partial Z; one that did must have.
+        if (r.ok() != svc.tensors().contains(p.stored)) {
+          fail("store_as '" + p.stored + "' registration (" +
+               (svc.tensors().contains(p.stored) ? "present" : "absent") +
+               ") disagrees with report ok=" + (r.ok() ? "1" : "0"));
+        }
+      }
+    }
+    ++rep.variants_run;
+    pending.clear();  // release report-held Z references
+
+    svc.shutdown();  // idempotent; joins workers in the plain case
+    for (const std::string& name : svc.tensors().names()) {
+      svc.drop(name);
+    }
+    svc.clear_plan_cache();
+    const std::size_t live = svc.live_bytes();
+    if (live != 0) {
+      fail("service live_bytes=" + std::to_string(live) +
+           " after dropping tensors and plans");
+    }
+  }
+}
+
+}  // namespace
+
+DiffReport run_chaos(const FuzzCase& c, const ChaosOptions& opts) {
+  DiffReport rep;
+
+  // Oracle runs with nothing armed.
+  failpoint::disarm_all();
+  SparseTensor ref;
+  try {
+    ref = contract_reference(c.x, c.y, c.cx, c.cy);
+  } catch (const std::exception& e) {
+    rep.findings.push_back(
+        {"oracle", std::string("contract_reference threw: ") + e.what()});
+    return rep;
+  }
+
+  for (int round = 0; round < opts.rounds; ++round) {
+    run_engine_round(c, ref, opts, round, rep);
+  }
+  if (opts.service) {
+    run_service_round(c, opts, rep);
+  }
+  return rep;
+}
+
+}  // namespace sparta::fuzz

@@ -1,0 +1,44 @@
+// Chaos mode (`fuzz_sptc --chaos`): randomized cancellation layered on
+// the fault-injection machinery, asserting the robustness invariants the
+// cancellation subsystem promises.
+//
+// Each seed drives two scenarios, both pure functions of the seed:
+//
+//   * engine-level — contract() and contract_resilient() run with a
+//     randomly armed CancelToken (countdown, named site, or a tiny
+//     deadline), random failpoint schedules, and sometimes a tight
+//     memory budget. Legal outcomes: a result matching the brute-force
+//     oracle, Cancelled, sparta::Error, or (plain contract only)
+//     std::bad_alloc. After every run the request's AllocationRegistry
+//     must be back to zero live bytes — cancellation may abort work,
+//     never leak budget charges.
+//
+//   * service-level — a small ContractionService takes a burst of
+//     requests (tiny deadlines, store_as, an invalid operand name) and
+//     is then torn down via shutdown_now(), shutdown(), or plain
+//     destruction. Every future must resolve, a cancelled request must
+//     never have registered a partial Z, and after dropping tensors and
+//     clearing the plan cache live_bytes() must be zero.
+//
+// Memory-safety violations are the sanitizer's findings: CI runs this
+// mode under ASan (and the service scenario under TSan).
+#pragma once
+
+#include "fuzz/differential.hpp"
+#include "fuzz/fuzz_case.hpp"
+
+namespace sparta::fuzz {
+
+struct ChaosOptions {
+  double tolerance = 1e-9;
+  int num_threads = 0;   ///< 0 = ambient
+  int rounds = 3;        ///< engine-level chaos rounds per seed
+  bool service = true;   ///< also run the service-level scenario
+};
+
+/// Runs the chaos scenarios for `c`; invariant violations become
+/// findings (sanitizer reports abort the process instead).
+[[nodiscard]] DiffReport run_chaos(const FuzzCase& c,
+                                   const ChaosOptions& opts = {});
+
+}  // namespace sparta::fuzz

@@ -18,6 +18,7 @@
 #include <fstream>
 #include <string>
 
+#include "fuzz/chaos.hpp"
 #include "fuzz/differential.hpp"
 #include "fuzz/fuzz_case.hpp"
 #include "fuzz/minimize.hpp"
@@ -30,7 +31,7 @@ void usage(const char* argv0) {
       "usage: %s [--seeds N] [--start S] [--seed X] [--tolerance T]\n"
       "          [--threads T] [--max-nnz N] [--no-minimize] [--no-dense]\n"
       "          [--inject-alloc-failures] [--schedules K]\n"
-      "          [--isa-diff] [--repro-dir DIR]\n"
+      "          [--isa-diff] [--chaos] [--repro-dir DIR]\n"
       "          [--dump] [--quiet]\n"
       "  --seeds N      number of consecutive seeds to run (default 100)\n"
       "  --start S      first seed (default 0)\n"
@@ -50,6 +51,11 @@ void usage(const char* argv0) {
       "                 SPARTA_SIMD=scalar and the native tier across\n"
       "                 every (algorithm x table) cell, demanding\n"
       "                 bitwise-identical outputs\n"
+      "  --chaos        chaos mode: random cancel points (countdown,\n"
+      "                 site, deadline) layered on failpoints and budget\n"
+      "                 pressure through contract(), contract_resilient()\n"
+      "                 and the contraction service; asserts budget\n"
+      "                 returns to zero and registries stay consistent\n"
       "  --repro-dir DIR\n"
       "                 write a repro file (operand dump + findings)\n"
       "                 per failing seed into DIR (created if absent)\n"
@@ -72,6 +78,7 @@ struct Cli {
   bool inject_faults = false;
   int schedules = 4;
   bool isa_diff = false;
+  bool chaos = false;
   std::string repro_dir;
 };
 
@@ -115,6 +122,8 @@ int parse_cli(int argc, char** argv, Cli& cli) {
       cli.inject_faults = true;
     } else if (a == "--isa-diff") {
       cli.isa_diff = true;
+    } else if (a == "--chaos") {
+      cli.chaos = true;
     } else if (a == "--repro-dir") {
       const char* v = next();
       if (!v || *v == '\0') return 2;
@@ -158,10 +167,12 @@ int main(int argc, char** argv) {
       usage(argv[0]);
       return 2;
   }
-  if (cli.inject_faults && cli.isa_diff) {
+  if (static_cast<int>(cli.inject_faults) + static_cast<int>(cli.isa_diff) +
+          static_cast<int>(cli.chaos) >
+      1) {
     std::fprintf(stderr,
-                 "--inject-alloc-failures and --isa-diff are separate "
-                 "modes; pick one\n");
+                 "--inject-alloc-failures, --isa-diff and --chaos are "
+                 "separate modes; pick one\n");
     return 2;
   }
 
@@ -200,6 +211,11 @@ int main(int argc, char** argv) {
       rep = run_fault_injection(c, fo);
     } else if (cli.isa_diff) {
       rep = run_isa_differential(c);
+    } else if (cli.chaos) {
+      ChaosOptions co;
+      co.tolerance = cli.tolerance;
+      co.num_threads = cli.threads;
+      rep = run_chaos(c, co);
     } else {
       rep = run_differential(c, diff);
     }
@@ -211,11 +227,12 @@ int main(int argc, char** argv) {
     for (const Finding& f : rep.findings) {
       std::printf("  [%s] %s\n", f.variant.c_str(), f.what.c_str());
     }
-    std::printf("  replay: fuzz_sptc --seed %llu%s%s%s\n",
+    std::printf("  replay: fuzz_sptc --seed %llu%s%s%s%s\n",
                 static_cast<unsigned long long>(s),
                 cli.dense ? "" : " --no-dense",
                 cli.inject_faults ? " --inject-alloc-failures" : "",
-                cli.isa_diff ? " --isa-diff" : "");
+                cli.isa_diff ? " --isa-diff" : "",
+                cli.chaos ? " --chaos" : "");
 
     // Divergence repro artifact: everything needed to replay this seed
     // offline (CI uploads the directory on failure).
@@ -232,7 +249,8 @@ int main(int argc, char** argv) {
         }
         out << "replay: fuzz_sptc --seed " << s
             << (cli.inject_faults ? " --inject-alloc-failures" : "")
-            << (cli.isa_diff ? " --isa-diff" : "") << "\n\n"
+            << (cli.isa_diff ? " --isa-diff" : "")
+            << (cli.chaos ? " --chaos" : "") << "\n\n"
             << dump_case(c);
         std::printf("  repro written: %s\n", path.c_str());
       } else {
@@ -241,10 +259,11 @@ int main(int argc, char** argv) {
     }
 
     // Minimization flips differential-sweep findings only; a fault-mode
-    // schedule depends on the exact hit sequence, which shrinking the
-    // operands would change. ISA mode minimizes against its own
-    // predicate so the shrunken case still diverges across tiers.
-    if (cli.minimize && !cli.inject_faults) {
+    // or chaos schedule depends on the exact hit sequence, which
+    // shrinking the operands would change. ISA mode minimizes against
+    // its own predicate so the shrunken case still diverges across
+    // tiers.
+    if (cli.minimize && !cli.inject_faults && !cli.chaos) {
       MinimizeStats ms;
       const FuzzCase tiny = minimize(
           c, [&](const FuzzCase& cand) {

@@ -1,0 +1,201 @@
+// Cooperative cancellation and deadlines for long-running contractions.
+//
+// A CancelToken is a cheap, copyable handle on shared cancel state. The
+// engine polls it at chunk granularity (one X sub-tensor, one table-build
+// stride, one sort pass): check() throws Cancelled when the token was
+// tripped — explicitly via request_cancel(), or implicitly when the
+// token's deadline passed. The exception unwinds through the
+// ExceptionCollector pattern exactly like an injected fault, so every
+// ScopedCharge is released and the budget returns to zero.
+//
+// Cancelled deliberately does NOT derive from sparta::Error: the
+// degradation ladder (contract_resilient) treats Error as a recoverable
+// rung failure, while a cancellation must abort the whole ladder — time
+// exhaustion cannot be fixed by retrying on a lighter algorithm.
+//
+// A default-constructed token is inert: every query is one null-pointer
+// test, so unconditional checks in hot loops cost nothing when no caller
+// asked for cancellation.
+//
+// Test hooks (deterministic, mirroring the failpoint grammar):
+//   * arm_at_site("contract.search") — trip at the first check naming
+//     that site (the check sites reuse the failpoint site names);
+//   * arm_after_checks(n) — trip at the n-th check, wherever it lands.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace sparta {
+
+/// Thrown by CancelToken::check() when the token was tripped. A sibling
+/// of sparta::Error (both derive from std::runtime_error) so that
+/// `catch (const Error&)` recovery paths — the resilience ladder, the
+/// fault-injection oracle — never swallow a cancellation.
+class Cancelled : public std::runtime_error {
+ public:
+  explicit Cancelled(const std::string& what) : std::runtime_error(what) {}
+};
+
+class CancelToken {
+ public:
+  /// Inert token: never cancelled, checks are free.
+  CancelToken() = default;
+
+  /// Live token that can be tripped via request_cancel().
+  [[nodiscard]] static CancelToken make() {
+    CancelToken t;
+    t.s_ = std::make_shared<State>();
+    return t;
+  }
+
+  /// Live token that additionally trips itself once `seconds` of steady
+  /// time elapse (first check past the deadline observes it).
+  [[nodiscard]] static CancelToken with_deadline(double seconds) {
+    CancelToken t = make();
+    t.s_->deadline_ns =
+        now_ns() + static_cast<std::int64_t>(seconds * 1e9);
+    return t;
+  }
+
+  [[nodiscard]] bool valid() const { return s_ != nullptr; }
+
+  /// Trips the token. Idempotent; the first trip stamps the cancel time
+  /// used by seconds_since_cancel() (the cancel-latency measurement).
+  void request_cancel(const char* reason = "cancelled") const {
+    if (!s_) return;
+    trip(reason);
+  }
+
+  /// True once tripped. A deadline token trips itself here when the
+  /// deadline has passed, so polling cancelled() is the cooperative
+  /// deadline check.
+  [[nodiscard]] bool cancelled() const {
+    if (!s_) return false;
+    if (s_->cancelled.load(std::memory_order_relaxed)) return true;
+    if (s_->deadline_ns != 0 && now_ns() >= s_->deadline_ns) {
+      trip("deadline exceeded");
+      return true;
+    }
+    return false;
+  }
+
+  /// True when this token carries a deadline (whether or not tripped).
+  [[nodiscard]] bool has_deadline() const {
+    return s_ != nullptr && s_->deadline_ns != 0;
+  }
+
+  /// Why the token tripped ("deadline exceeded", a request_cancel
+  /// reason, ...); nullptr when not tripped.
+  [[nodiscard]] const char* reason() const {
+    if (!s_ || !s_->cancelled.load(std::memory_order_acquire)) {
+      return nullptr;
+    }
+    return s_->reason.load(std::memory_order_acquire);
+  }
+
+  /// True when the trip came from the token's own deadline (as opposed
+  /// to an explicit request_cancel).
+  [[nodiscard]] bool deadline_expired() const {
+    const char* r = reason();
+    return r != nullptr && std::strcmp(r, "deadline exceeded") == 0;
+  }
+
+  /// Seconds of steady time since the first trip; 0 when not cancelled.
+  [[nodiscard]] double seconds_since_cancel() const {
+    if (!s_ || !s_->cancelled.load(std::memory_order_relaxed)) return 0.0;
+    const std::int64_t at = s_->cancel_ns.load(std::memory_order_relaxed);
+    return at == 0
+               ? 0.0
+               : static_cast<double>(now_ns() - at) * 1e-9;
+  }
+
+  /// Trip at the first check() naming `site` (deterministic stage
+  /// targeting for tests and the chaos harness).
+  void arm_at_site(std::string site) const {
+    if (s_) s_->trip_site = std::move(site);
+  }
+
+  /// Trip at the n-th check() regardless of site (n >= 1).
+  void arm_after_checks(std::uint64_t n) const {
+    if (s_) s_->countdown.store(n, std::memory_order_relaxed);
+  }
+
+  /// Cooperative cancel point. Throws Cancelled once the token is
+  /// tripped (or trips it, when an armed site/countdown matches) and
+  /// emits a trace instant naming the site that observed it. Inert
+  /// tokens return immediately.
+  void check(const char* site = "") const {
+    if (!s_) return;
+    if (!cancelled() && !armed_hit(site)) return;
+    if (obs::trace_enabled()) {
+      obs::trace_instant(std::string("cancel@") + site);
+    }
+    SPARTA_COUNTER_ADD("cancel.observed", 1);
+    const char* why = s_->reason.load(std::memory_order_acquire);
+    throw Cancelled(std::string(why != nullptr ? why : "cancelled") +
+                    (*site != '\0' ? std::string(" at ") + site
+                                   : std::string()));
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    std::atomic<std::int64_t> cancel_ns{0};   // steady ns of first trip
+    std::atomic<std::uint64_t> countdown{0};  // 0 = unarmed
+    std::atomic<const char*> reason{nullptr}; // literal, set at trip
+    std::int64_t deadline_ns = 0;             // 0 = none; set pre-share
+    std::string trip_site;                    // set pre-share
+  };
+
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  // `reason` must be a string literal (stored as a raw pointer so the
+  // trip path stays lock-free).
+  void trip(const char* reason) const {
+    const char* expected = nullptr;
+    s_->reason.compare_exchange_strong(expected, reason,
+                                       std::memory_order_release);
+    bool was = s_->cancelled.exchange(true, std::memory_order_release);
+    if (!was) {
+      s_->cancel_ns.store(now_ns(), std::memory_order_relaxed);
+    }
+  }
+
+  // Deterministic test hooks: named-site and countdown arming.
+  [[nodiscard]] bool armed_hit(const char* site) const {
+    if (!s_->trip_site.empty() && s_->trip_site == site) {
+      trip("cancel injected");
+      return true;
+    }
+    std::uint64_t c = s_->countdown.load(std::memory_order_relaxed);
+    while (c > 0) {
+      if (s_->countdown.compare_exchange_weak(c, c - 1,
+                                              std::memory_order_relaxed)) {
+        if (c == 1) {
+          trip("cancel injected");
+          return true;
+        }
+        return false;
+      }
+    }
+    return false;
+  }
+
+  std::shared_ptr<State> s_;
+};
+
+}  // namespace sparta

@@ -18,6 +18,8 @@
 #include <omp.h>
 #endif
 
+#include "common/cancel.hpp"
+
 namespace sparta {
 
 /// Exception-safe OpenMP region wrapper. An exception escaping an
@@ -120,8 +122,11 @@ inline constexpr std::ptrdiff_t kParallelSortCutoff = 1 << 14;
 
 template <typename It, typename Cmp>
 void quicksort_task(It first, It last, const Cmp& cmp, int depth,
-                    ExceptionCollector& ec) {
+                    ExceptionCollector& ec, const CancelToken& cancel) {
   if (ec.failed()) return;
+  // One cancel poll per partition task — each task touches at most
+  // one kParallelSortCutoff-sized range before re-checking.
+  cancel.check("sort.partition");
   while (last - first > kParallelSortCutoff && depth > 0) {
     // Median-of-three pivot to dodge pathological splits on sorted input.
     It mid = first + (last - first) / 2;
@@ -139,10 +144,11 @@ void quicksort_task(It first, It last, const Cmp& cmp, int depth,
       continue;
     }
 #ifdef _OPENMP
-#pragma omp task firstprivate(first, split, depth) shared(cmp, ec)
-    ec.run([&] { quicksort_task(first, split, cmp, depth - 1, ec); });
+#pragma omp task firstprivate(first, split, depth) shared(cmp, ec, cancel)
+    ec.run(
+        [&] { quicksort_task(first, split, cmp, depth - 1, ec, cancel); });
 #else
-    quicksort_task(first, split, cmp, depth - 1, ec);
+    quicksort_task(first, split, cmp, depth - 1, ec, cancel);
 #endif
     first = split;
     --depth;
@@ -155,10 +161,14 @@ void quicksort_task(It first, It last, const Cmp& cmp, int depth,
 /// Parallel quicksort using OpenMP tasks (the paper's approach for the
 /// input-processing and output-sorting stages). A comparator (or pivot
 /// copy) that throws is rethrown on the calling thread, never across the
-/// task/region boundary.
+/// task/region boundary. `cancel` is polled once per partition task
+/// (Cancelled unwinds the same way); an inert token costs one pointer
+/// test per task.
 template <typename It, typename Cmp>
-void parallel_sort(It first, It last, Cmp cmp) {
+void parallel_sort(It first, It last, Cmp cmp,
+                   const CancelToken& cancel = {}) {
   if (last - first <= detail::kParallelSortCutoff) {
+    cancel.check("sort.partition");
     std::sort(first, last, cmp);
     return;
   }
@@ -166,9 +176,11 @@ void parallel_sort(It first, It last, Cmp cmp) {
 #ifdef _OPENMP
 #pragma omp parallel
 #pragma omp single nowait
-  ec.run([&] { detail::quicksort_task(first, last, cmp, /*depth=*/16, ec); });
+  ec.run([&] {
+    detail::quicksort_task(first, last, cmp, /*depth=*/16, ec, cancel);
+  });
 #else
-  ec.run([&] { detail::quicksort_task(first, last, cmp, 16, ec); });
+  ec.run([&] { detail::quicksort_task(first, last, cmp, 16, ec, cancel); });
 #endif
   ec.rethrow();
 }

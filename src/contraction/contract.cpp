@@ -83,14 +83,15 @@ struct PreparedX {
   std::size_t num_free = 0;
 };
 
-PreparedX prepare_x(const SparseTensor& x, const Modes& fx, const Modes& cx) {
+PreparedX prepare_x(const SparseTensor& x, const Modes& fx, const Modes& cx,
+                    const CancelToken& cancel) {
   PreparedX px;
   px.num_free = fx.size();
   Modes order = fx;
   order.insert(order.end(), cx.begin(), cx.end());
   px.t = x;  // operands are const; work on a copy
   px.t.permute_modes(order);
-  px.t.sort();
+  px.t.sort(cancel);
 
   // Boundaries of runs with equal free-mode prefix.
   px.ptrf.push_back(0);
@@ -110,12 +111,12 @@ PreparedX prepare_x(const SparseTensor& x, const Modes& fx, const Modes& cx) {
 
 // Y permuted to [contract..., free...] and sorted (COO variants only).
 SparseTensor prepare_y_coo(const SparseTensor& y, const Modes& cy,
-                           const Modes& fy) {
+                           const Modes& fy, const CancelToken& cancel) {
   Modes order = cy;
   order.insert(order.end(), fy.begin(), fy.end());
   SparseTensor t = y;
   t.permute_modes(order);
-  t.sort();
+  t.sort(cancel);
   return t;
 }
 
@@ -283,7 +284,8 @@ template <typename Body>
 void parallel_over_subtensors(const PreparedX& px, int nthreads, bool shared,
                               std::vector<ZLocal>& zlocals,
                               std::vector<ThreadTimes>& times,
-                              AllocationRegistry* reg, Body&& body) {
+                              AllocationRegistry* reg,
+                              const CancelToken& cancel, Body&& body) {
   const auto num_sub = static_cast<std::ptrdiff_t>(
       px.ptrf.empty() ? 0 : px.ptrf.size() - 1);
   // Shared-writeback ablation: one buffer, serialized by the caller's
@@ -310,6 +312,11 @@ void parallel_over_subtensors(const PreparedX& px, int nthreads, bool shared,
 #pragma omp for schedule(dynamic, 16)
     for (std::ptrdiff_t f = 0; f < num_sub; ++f) {
       ec.run([&] {
+        // Cooperative cancel point, once per X sub-tensor: Cancelled is
+        // captured by the collector like any worker fault, the remaining
+        // chunks drain as no-ops, and the spawning thread rethrows —
+        // bounding cancel-to-return latency by one chunk's work.
+        cancel.check("contract.chunk");
         ZLocal& zl = zlocals[shared ? 0 : tid];
         body(tid, px.ptrf[static_cast<std::size_t>(f)],
              px.ptrf[static_cast<std::size_t>(f) + 1], zl, times[tid]);
@@ -585,11 +592,12 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   obs::Span sp_input("input_processing");
   PerfScope pp_input(sp_input, res.stats.perf.at(Stage::kInputProcessing));
   SPARTA_FAILPOINT("contract.input");
+  opts.cancel.check("contract.input");
 
   PreparedX px;
   {
     obs::Span sp("permute_sort_x");
-    px = prepare_x(x, split.fx, cx);
+    px = prepare_x(x, split.fx, cx, opts.cancel);
   }
   res.stats.num_x_subtensors = px.ptrf.size() - 1;
   for (std::size_t f = 0; f + 1 < px.ptrf.size(); ++f) {
@@ -633,7 +641,8 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
                                         : res.stats.nnz_y))));
     if (!active_plan) {
       plan_local = std::make_unique<YPlan>(*y, cy, opts.hty_buckets,
-                                           nthreads, opts.use_swiss_tables);
+                                           nthreads, opts.use_swiss_tables,
+                                           opts.cancel);
       active_plan = plan_local.get();
     }
     fylin = &active_plan->fy_indexer();
@@ -646,7 +655,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
                    px.t.footprint_bytes() + y->footprint_bytes());
     {
       obs::Span sp("sort_y");
-      ycoo = prepare_y_coo(*y, cy, split.fy);
+      ycoo = prepare_y_coo(*y, cy, split.fy, opts.cancel);
     }
     fylin_coo = LinearIndexer(nfy > 0 ? gather_dims(*y, split.fy)
                                       : std::vector<index_t>{1});
@@ -713,6 +722,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
                                          const auto& hty_map) {
     parallel_over_subtensors(
         px, nthreads, opts.ablation_shared_writeback, zlocals, times, reg,
+        opts.cancel,
         [&](std::size_t tid, std::size_t b, std::size_t e, ZLocal& zl,
             ThreadTimes& tt) {
           AccT& acc = accs[tid];
@@ -726,6 +736,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
           std::uint64_t searches = 0;
           std::uint64_t hits = 0;
           SPARTA_FAILPOINT("contract.search");
+          opts.cancel.check("contract.search");
           for (std::size_t i = b; i < e; ++i) {
             for (std::size_t k = 0; k < m; ++k) {
               ctuple[k] = px.t.index(i, static_cast<int>(nfx + k));
@@ -747,6 +758,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
           PerfScope pp_acc(sp_acc, tt.accumulate_perf);
           std::uint64_t mults = 0;
           SPARTA_FAILPOINT("contract.accumulate");
+          opts.cancel.check("contract.accumulate");
           for (const HtMatch& mt : matches) {
             for (const FreeItem& it : mt.items) {
               acc.accumulate(it.free_key, mt.xval * it.val);
@@ -762,6 +774,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
           obs::Span sp_wb("writeback");
           PerfScope pp_wb(sp_wb, tt.writeback_perf);
           SPARTA_FAILPOINT("contract.writeback");
+          opts.cancel.check("contract.writeback");
           std::vector<index_t> fyc(std::max<std::size_t>(nfy, 1));
           std::unique_lock<std::mutex> wb_lock(writeback_mutex,
                                                 std::defer_lock);
@@ -823,6 +836,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
     auto run_coo = [&]<typename AccT>(std::vector<AccT>& accs) {
     parallel_over_subtensors(
         px, nthreads, opts.ablation_shared_writeback, zlocals, times, reg,
+        opts.cancel,
         [&](std::size_t tid, std::size_t b, std::size_t e, ZLocal& zl,
             ThreadTimes& tt) {
           AccT& acc = accs[tid];
@@ -837,6 +851,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
           std::uint64_t hits = 0;
           std::uint64_t scanned = 0;
           SPARTA_FAILPOINT("contract.search");
+          opts.cancel.check("contract.search");
           for (std::size_t i = b; i < e; ++i) {
             for (std::size_t k = 0; k < m; ++k) {
               ctuple[k] = px.t.index(i, static_cast<int>(nfx + k));
@@ -860,6 +875,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
           PerfScope pp_acc(sp_acc, tt.accumulate_perf);
           std::uint64_t mults = 0;
           SPARTA_FAILPOINT("contract.accumulate");
+          opts.cancel.check("contract.accumulate");
           std::vector<index_t> fyc(std::max<std::size_t>(nfy, 1));
           for (const CooMatch& mt : matches) {
             for (std::size_t j = mt.begin; j < mt.end; ++j) {
@@ -885,6 +901,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
           obs::Span sp_wb("writeback");
           PerfScope pp_wb(sp_wb, tt.writeback_perf);
           SPARTA_FAILPOINT("contract.writeback");
+          opts.cancel.check("contract.writeback");
           std::unique_lock<std::mutex> wb_lock(writeback_mutex,
                                                 std::defer_lock);
           if (opts.ablation_shared_writeback) wb_lock.lock();
@@ -923,6 +940,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   } else {  // Algorithm::kSpa
     parallel_over_subtensors(
         px, nthreads, opts.ablation_shared_writeback, zlocals, times, reg,
+        opts.cancel,
         [&](std::size_t tid, std::size_t b, std::size_t e, ZLocal& zl,
             ThreadTimes& tt) {
           SpaAccumulator spa(nfy);
@@ -936,6 +954,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
           std::uint64_t hits = 0;
           std::uint64_t scanned = 0;
           SPARTA_FAILPOINT("contract.search");
+          opts.cancel.check("contract.search");
           for (std::size_t i = b; i < e; ++i) {
             for (std::size_t k = 0; k < m; ++k) {
               ctuple[k] = px.t.index(i, static_cast<int>(nfx + k));
@@ -957,6 +976,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
           PerfScope pp_acc(sp_acc, tt.accumulate_perf);
           std::uint64_t mults = 0;
           SPARTA_FAILPOINT("contract.accumulate");
+          opts.cancel.check("contract.accumulate");
           std::vector<index_t> fyc(std::max<std::size_t>(nfy, 1));
           for (const CooMatch& mt : matches) {
             for (std::size_t j = mt.begin; j < mt.end; ++j) {
@@ -977,6 +997,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
           obs::Span sp_wb("writeback");
           PerfScope pp_wb(sp_wb, tt.writeback_perf);
           SPARTA_FAILPOINT("contract.writeback");
+          opts.cancel.check("contract.writeback");
           std::unique_lock<std::mutex> wb_lock(writeback_mutex,
                                                 std::defer_lock);
           if (opts.ablation_shared_writeback) wb_lock.lock();
@@ -1058,6 +1079,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
 #pragma omp parallel for schedule(static) num_threads(nthreads)
     for (std::ptrdiff_t t = 0; t < nt; ++t) {
       ec.run([&, t] {
+        opts.cancel.check("contract.gather");
         const ZLocal& zl = zlocals[static_cast<std::size_t>(t)];
         std::size_t dst = offsets[static_cast<std::size_t>(t)];
         for (std::size_t i = 0; i < zl.vals.size(); ++i, ++dst) {
@@ -1088,10 +1110,11 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   // ------------------------------------------------------------------
   if (opts.sort_output) {
     SPARTA_FAILPOINT("contract.sort");
+    opts.cancel.check("contract.sort");
     Timer t_sort;
     obs::Span sp_sort("output_sorting");
     PerfScope pp_sort(sp_sort, res.stats.perf.at(Stage::kOutputSorting));
-    res.z.sort();
+    res.z.sort(opts.cancel);
     pp_sort.finish();
     sp_sort.finish();
     res.stage_times[Stage::kOutputSorting] = t_sort.seconds();

@@ -7,6 +7,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "obs/json.hpp"
@@ -113,6 +114,14 @@ struct ContractOptions {
   /// would shrink the apparent remaining budget by every cached plan a
   /// request reuses. Ignored (and harmless) without a prebuilt plan.
   bool hty_charged_externally = false;
+
+  /// Cooperative cancellation/deadline token. The engine polls it at
+  /// every stage head, per X-sub-tensor chunk, per sort pass, and along
+  /// the HtY build; check() throws Cancelled, which unwinds through the
+  /// same ExceptionCollector path as injected faults (all ScopedCharge
+  /// budget released, no partial output escapes). Default-constructed =
+  /// inert: checks cost one pointer test.
+  CancelToken cancel;
 
   /// Memory ceiling; see MemoryBudget. Default: unlimited.
   MemoryBudget budget;

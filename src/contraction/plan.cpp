@@ -12,7 +12,7 @@
 namespace sparta {
 
 YPlan::YPlan(const SparseTensor& y, Modes cy, std::size_t hty_buckets,
-             int num_threads, bool use_swiss_tables) {
+             int num_threads, bool use_swiss_tables, CancelToken cancel) {
   // Validate cy against y.
   std::vector<bool> is_contract(static_cast<std::size_t>(y.order()), false);
   for (int m : cy) {
@@ -56,6 +56,7 @@ YPlan::YPlan(const SparseTensor& y, Modes cy, std::size_t hty_buckets,
   const std::span<const int> fy_span(fy_);
   const bool has_free = !fy_.empty();
   SPARTA_FAILPOINT("plan.build");
+  cancel.check("plan.build");
   // The two table kinds share insert_locked(key, FreeItem); the build
   // loop is generic over whichever this plan holds.
   auto build_into = [&](auto& table) {
@@ -67,6 +68,10 @@ YPlan::YPlan(const SparseTensor& y, Modes cy, std::size_t hty_buckets,
       for (std::ptrdiff_t i = 0; i < n; ++i) {
         ec.run([&] {
           const auto n_i = static_cast<std::size_t>(i);
+          // Strided poll: one deadline read per 256 inserts per thread
+          // keeps build cancellation latency bounded without putting an
+          // atomic load in every table insert.
+          if ((n_i & 255u) == 0) cancel.check("plan.build");
           y.coords(n_i, c);
           const lnkey_t ckey = clin.linearize_gather(c, cy_span);
           const lnkey_t fkey =

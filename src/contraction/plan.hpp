@@ -32,8 +32,12 @@ class YPlan {
   /// `use_swiss_tables` picks the SIMD-probed swiss HtY over the
   /// chained GroupedHashMap; the plan's table kind then governs HtY for
   /// every contraction using it, regardless of the caller's options.
+  /// `cancel` is polled along the parallel insert loop (every 256
+  /// inserts per thread); Cancelled unwinds before the plan object
+  /// exists, so no half-built HtY can escape.
   YPlan(const SparseTensor& y, Modes cy, std::size_t hty_buckets = 0,
-        int num_threads = 0, bool use_swiss_tables = false);
+        int num_threads = 0, bool use_swiss_tables = false,
+        CancelToken cancel = {});
 
   YPlan(const YPlan&) = delete;
   YPlan& operator=(const YPlan&) = delete;

@@ -107,6 +107,9 @@ ResilientResult contract_resilient(const SparseTensor& x,
   // Runs one configuration, recording the attempt. Returns true on
   // success; false on a recoverable failure (budget, allocation, or
   // sparta::Error raised mid-attempt, e.g. an injected fault).
+  // Cancelled is deliberately NOT caught: a deadline or cancel must
+  // abort the whole ladder — degrading to a lighter algorithm cannot
+  // recover exhausted time — so it unwinds through here untouched.
   auto attempt = [&](const ContractOptions& o, std::size_t chunks,
                      auto&& body) {
     RungAttempt rec;
@@ -163,6 +166,10 @@ ResilientResult contract_resilient(const SparseTensor& x,
       merged.stats.nnz_y = y.nnz();
       bool first = true;
       for (std::size_t c = 0; c < chunks; ++c) {
+        // Between chunks is the cheapest place to notice a cancel: the
+        // per-chunk contract() polls internally too, but this check
+        // skips even building the next chunk tensor.
+        opts.cancel.check("contract.chunk");
         const std::size_t begin = nnz * c / chunks;
         const std::size_t end = nnz * (c + 1) / chunks;
         ContractResult piece = contract(nnz_chunk(x, begin, end), y, cx,

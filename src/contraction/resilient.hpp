@@ -21,6 +21,12 @@
 // When every rung fails, a sparta::Error summarising all attempts is
 // thrown; std::bad_alloc never escapes contract_resilient().
 //
+// Cancellation (sparta::Cancelled, a sibling of Error — see
+// common/cancel.hpp) is NOT a rung failure: when opts.cancel trips,
+// the whole ladder aborts immediately. Retrying on a lighter algorithm
+// cannot recover a blown deadline, and a drained service must stop
+// spending threads on a request nobody is waiting for.
+//
 // See docs/ROBUSTNESS.md for the full contract.
 #pragma once
 

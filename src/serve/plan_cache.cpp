@@ -1,7 +1,9 @@
 #include "serve/plan_cache.hpp"
 
+#include <chrono>
 #include <utility>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "contraction/estimators.hpp"
 #include "obs/json.hpp"
@@ -22,7 +24,7 @@ std::size_t pow2_at_least(std::size_t n) {
 }  // namespace
 
 PlanLease PlanCache::acquire(std::uint64_t y_id, const SparseTensor& y,
-                             const Modes& cy) {
+                             const Modes& cy, const CancelToken& cancel) {
   const Key key{y_id, cy};
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
@@ -37,9 +39,29 @@ PlanLease PlanCache::acquire(std::uint64_t y_id, const SparseTensor& y,
               /*hit=*/true, /*cached=*/true};
     }
     // Another thread is building this plan (single-flight): wait for it
-    // rather than duplicating an O(nnz_Y) build, then re-check — the
-    // build may have failed or been invalidated.
-    build_done_.wait(lk);
+    // rather than duplicating an O(nnz_Y) build. Hold our own reference
+    // to the Build so its outcome outlives the map entry.
+    const std::shared_ptr<Build> build = it->second.build;
+    while (!build->done) {
+      if (cancel.valid()) {
+        // Bounded waits so our own deadline is noticed even if the
+        // builder wedges; check() throws Cancelled with the lock
+        // released by unwinding.
+        build_done_.wait_for(lk, std::chrono::milliseconds(5));
+        cancel.check("plan.wait");
+      } else {
+        build_done_.wait(lk);
+      }
+    }
+    if (build->error != nullptr && !build->cancelled) {
+      // A real build failure (Error, bad_alloc) would repeat for us:
+      // every waiter inherits it.
+      std::rethrow_exception(build->error);
+    }
+    // The builder was cancelled (its deadline is not ours — retry, and
+    // become the new builder), or it succeeded: re-check the map. A
+    // retained plan is now a hit; an uncacheable or invalidated one was
+    // erased and we build our own.
   }
   ++stats_.misses;
   SPARTA_COUNTER_ADD("serve.cache.miss", 1);
@@ -57,30 +79,33 @@ PlanLease PlanCache::acquire(std::uint64_t y_id, const SparseTensor& y,
     lk.unlock();
     auto plan = std::make_shared<YPlan>(y, cy, cfg_.hty_buckets,
                                         /*num_threads=*/0,
-                                        cfg_.use_swiss_tables);
+                                        cfg_.use_swiss_tables, cancel);
     return {std::move(plan), /*hit=*/false, /*cached=*/false};
   }
 
   // Claim the key (null `cached` marks a build in flight), then build
   // outside the lock — waiters block on build_done_, hits elsewhere in
   // the map proceed.
-  map_[key] = Entry{};
+  auto build = std::make_shared<Build>();
+  map_[key] = Entry{/*cached=*/nullptr, build, {}, 0};
   lk.unlock();
 
   std::shared_ptr<Cached> built;
   try {
     built = std::make_shared<Cached>(YPlan(y, cy, cfg_.hty_buckets,
                                            /*num_threads=*/0,
-                                           cfg_.use_swiss_tables));
+                                           cfg_.use_swiss_tables, cancel));
+  } catch (const Cancelled&) {
+    fail_build(build, key, /*cancelled=*/true);
+    throw;
   } catch (...) {
-    lk.lock();
-    map_.erase(key);
-    build_done_.notify_all();
+    fail_build(build, key, /*cancelled=*/false);
     throw;
   }
   const std::size_t actual = built->plan.hty_footprint_bytes();
 
   lk.lock();
+  build->done = true;
   bool retain = true;
   if (cfg_.budget_bytes != 0) {
     if (actual > cfg_.budget_bytes) {
@@ -110,6 +135,7 @@ PlanLease PlanCache::acquire(std::uint64_t y_id, const SparseTensor& y,
   if (cached) {
     lru_.push_front(key);
     it->second.cached = built;
+    it->second.build = nullptr;
     it->second.lru = lru_.begin();
     it->second.bytes = actual;
     bytes_ += actual;
@@ -124,6 +150,18 @@ PlanLease PlanCache::acquire(std::uint64_t y_id, const SparseTensor& y,
   lk.unlock();
   return {std::shared_ptr<const YPlan>(built, &built->plan),
           /*hit=*/false, cached};
+}
+
+void PlanCache::fail_build(const std::shared_ptr<Build>& build,
+                           const Key& key, bool cancelled) {
+  std::lock_guard<std::mutex> lk(mu_);
+  build->error = std::current_exception();
+  build->cancelled = cancelled;
+  build->done = true;
+  // Erase the in-flight entry so the key is immediately buildable again
+  // — a failed build must never leave a poisoned or wedged slot behind.
+  map_.erase(key);
+  build_done_.notify_all();
 }
 
 bool PlanCache::peek(std::uint64_t y_id, const Modes& cy) const {

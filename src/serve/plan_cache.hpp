@@ -70,8 +70,21 @@ class PlanCache {
   /// plan (single-flight: concurrent requests for the same key wait for
   /// one build) and retain it when it fits the budget. Throws
   /// sparta::Error when `cy` is invalid for `y`.
+  ///
+  /// `cancel` governs both the caller's wait and its own build:
+  ///  * a waiter whose token trips stops waiting and throws Cancelled —
+  ///    the shared build keeps running for the other waiters;
+  ///  * a builder whose token trips unwinds with Cancelled; waiters are
+  ///    woken and RETRY the build themselves (one becomes the new
+  ///    builder) rather than inheriting another request's deadline;
+  ///  * a builder that fails with a real error (Error, bad_alloc)
+  ///    wakes all waiters and rethrows that error to each of them —
+  ///    the same build would fail the same way for everyone.
+  /// Either way the failed entry is erased, never poisoned: the next
+  /// acquire() for the key starts a fresh build.
   [[nodiscard]] PlanLease acquire(std::uint64_t y_id, const SparseTensor& y,
-                                  const Modes& cy);
+                                  const Modes& cy,
+                                  const CancelToken& cancel = {});
 
   /// True when a plan for (y_id, cy) is retained right now. Does not
   /// touch the LRU.
@@ -120,11 +133,28 @@ class PlanCache {
     }
   };
 
+  // Outcome of one single-flight build, shared between the builder and
+  // its waiters. Waiters hold their own shared_ptr, so the outcome
+  // survives the map entry being erased (failure, invalidation, or an
+  // uncacheable success). All fields are guarded by mu_.
+  struct Build {
+    bool done = false;
+    bool cancelled = false;      // failure was the builder's own cancel
+    std::exception_ptr error;    // null on success
+  };
+
   struct Entry {
     std::shared_ptr<Cached> cached;  // null while a build is in flight
+    std::shared_ptr<Build> build;    // non-null while a build is in flight
     std::list<Key>::iterator lru;    // valid only when cached != null
     std::size_t bytes = 0;
   };
+
+  // Builder failure epilogue: publishes the outcome on `build`, erases
+  // the in-flight entry (never poisoning the key), and wakes waiters.
+  // Must be called from inside a catch block (std::current_exception).
+  void fail_build(const std::shared_ptr<Build>& build, const Key& key,
+                  bool cancelled);
 
   // Evicts LRU entries until `need` more bytes fit the budget; skips
   // nothing (building entries are not in lru_). Caller holds mu_.

@@ -35,8 +35,12 @@ std::string ServeReport::to_json() const {
   w.key("plan_cached").value(plan_cached);
   w.key("degraded").value(degraded);
   w.key("rejected").value(rejected);
+  w.key("cancelled").value(cancelled);
+  w.key("deadline_exceeded").value(deadline_exceeded);
   w.key("queue_seconds").value(queue_seconds);
   w.key("exec_seconds").value(exec_seconds);
+  w.key("cancel_seconds").value(cancel_seconds);
+  w.key("retries").value(retries);
   w.key("nnz_z").value(static_cast<std::uint64_t>(stats.nnz_z));
   if (!error.empty()) w.key("error").value(std::string_view(error));
   if (!resilience.empty()) {
@@ -85,9 +89,10 @@ ContractionService::ContractionService(ServeConfig cfg)
   pc.use_swiss_tables = selector_.swiss_tables_enabled();
   cache_ = std::make_unique<PlanCache>(pc);
 
+  active_.resize(static_cast<std::size_t>(num_workers_));
   workers_.reserve(static_cast<std::size_t>(num_workers_));
   for (int i = 0; i < num_workers_; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -113,12 +118,28 @@ bool ContractionService::drop(const std::string& name) {
 std::future<ServeReport> ContractionService::submit(ServeRequest req) {
   auto q = std::make_unique<Queued>();
   q->req = std::move(req);
+  // The deadline clock starts here: queue wait spends it exactly like
+  // execution time does.
+  q->cancel = q->req.deadline_ms > 0.0
+                  ? CancelToken::with_deadline(q->req.deadline_ms / 1e3)
+                  : CancelToken::make();
   std::future<ServeReport> fut = q->promise.get_future();
+  std::unique_ptr<Queued> shed;
   {
     std::unique_lock<std::mutex> lk(qmu_);
-    not_full_.wait(lk, [this] {
-      return stopping_ || queue_.size() < cfg_.queue_capacity;
-    });
+    if (cfg_.shed_on_overload) {
+      // Load shedding: make room by dropping the newest queued request
+      // — the one whose submitter has waited least and loses least by
+      // retrying — instead of blocking this submitter.
+      if (!stopping_ && queue_.size() >= cfg_.queue_capacity) {
+        shed = std::move(queue_.back());
+        queue_.pop_back();
+      }
+    } else {
+      not_full_.wait(lk, [this] {
+        return stopping_ || queue_.size() < cfg_.queue_capacity;
+      });
+    }
     if (stopping_) {
       throw Error("contraction service is shut down");
     }
@@ -127,6 +148,16 @@ std::future<ServeReport> ContractionService::submit(ServeRequest req) {
     SPARTA_GAUGE_MAX("serve.queue.depth", queue_.size());
   }
   not_empty_.notify_one();
+  if (shed != nullptr) {
+    SPARTA_COUNTER_ADD("serve.shed", 1);
+    ServeReport rep;
+    rep.x = shed->req.x;
+    rep.y = shed->req.y;
+    rep.rejected = true;
+    rep.error = "shed on overload: queue full";
+    rep.queue_seconds = shed->queued_at.seconds();
+    shed->promise.set_value(std::move(rep));
+  }
   return fut;
 }
 
@@ -147,6 +178,40 @@ void ContractionService::shutdown() {
   workers_.clear();
 }
 
+void ContractionService::shutdown_now() {
+  std::vector<std::unique_ptr<Queued>> dropped;
+  {
+    std::lock_guard<std::mutex> lk(qmu_);
+    stopping_ = true;
+    dropped.reserve(queue_.size());
+    while (!queue_.empty()) {
+      dropped.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    for (const CancelToken& t : active_) {
+      t.request_cancel("service shutdown");
+    }
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  // Resolve dropped promises in submission order — a deterministic
+  // rejection, not a broken future.
+  for (std::unique_ptr<Queued>& q : dropped) {
+    SPARTA_COUNTER_ADD("serve.cancelled", 1);
+    ServeReport rep;
+    rep.x = q->req.x;
+    rep.y = q->req.y;
+    rep.cancelled = true;
+    rep.error = "cancelled: service shutdown";
+    rep.queue_seconds = q->queued_at.seconds();
+    q->promise.set_value(std::move(rep));
+  }
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
 ContractionService::AdmissionStats ContractionService::admission_stats()
     const {
   return {accepted_.load(std::memory_order_relaxed),
@@ -161,6 +226,12 @@ std::size_t ContractionService::remaining_budget() const {
       alloc_.live_bytes(Tier::kDram) + alloc_.live_bytes(Tier::kPmm);
   return live >= cap ? 0 : cap - live;
 }
+
+std::size_t ContractionService::live_bytes() const {
+  return alloc_.live_bytes(Tier::kDram) + alloc_.live_bytes(Tier::kPmm);
+}
+
+void ContractionService::clear_plan_cache() { cache_->clear(); }
 
 std::string ContractionService::counters_json() const {
   const AdmissionStats a = admission_stats();
@@ -184,7 +255,8 @@ std::string ContractionService::counters_json() const {
   return w.str();
 }
 
-void ContractionService::worker_loop() {
+void ContractionService::worker_loop(int idx) {
+  const auto slot = static_cast<std::size_t>(idx);
   for (;;) {
     std::unique_ptr<Queued> q;
     {
@@ -194,29 +266,67 @@ void ContractionService::worker_loop() {
       if (queue_.empty()) return;  // stopping and fully drained
       q = std::move(queue_.front());
       queue_.pop_front();
+      // Publish the in-flight token while still holding qmu_, so
+      // shutdown_now() sees either the queued item or the active token
+      // — never neither.
+      active_[slot] = q->cancel;
     }
     not_full_.notify_one();
     const double waited = q->queued_at.seconds();
     SPARTA_HISTOGRAM_RECORD("serve.queue_wait_us", waited * 1e6);
 
     ServeReport rep;
-    try {
-      rep = execute(q->req);
-    } catch (const std::exception& e) {
-      // execute() converts expected failures into report fields; this
-      // is the backstop so a worker can never die with the promise
-      // unfulfilled.
+    if (q->cancel.cancelled()) {
+      // The deadline (or a shutdown cancel) expired while the request
+      // was queued: report it without occupying the worker.
       rep.x = q->req.x;
       rep.y = q->req.y;
-      rep.error = e.what();
+      rep.cancelled = true;
+      rep.deadline_exceeded = q->cancel.deadline_expired();
+      rep.error = rep.deadline_exceeded
+                      ? "deadline exceeded while queued"
+                      : std::string("cancelled: ") + q->cancel.reason();
+    } else {
+      try {
+        rep = execute(q->req, q->cancel);
+      } catch (const Cancelled& e) {
+        // Cancellation unwound the contraction (all charges released
+        // by RAII on the way out). Not a worker failure.
+        rep.x = q->req.x;
+        rep.y = q->req.y;
+        rep.cancelled = true;
+        rep.deadline_exceeded = q->cancel.deadline_expired();
+        rep.error = e.what();
+        rep.cancel_seconds = q->cancel.seconds_since_cancel();
+        SPARTA_HISTOGRAM_RECORD("serve.cancel_latency_us",
+                                rep.cancel_seconds * 1e6);
+      } catch (const std::exception& e) {
+        // execute() converts expected failures into report fields; this
+        // is the backstop so a worker can never die with the promise
+        // unfulfilled.
+        rep.x = q->req.x;
+        rep.y = q->req.y;
+        rep.error = e.what();
+      }
+    }
+    if (rep.cancelled) {
+      SPARTA_COUNTER_ADD("serve.cancelled", 1);
+      if (rep.deadline_exceeded) {
+        SPARTA_COUNTER_ADD("serve.deadline_exceeded", 1);
+      }
     }
     rep.queue_seconds = waited;
     SPARTA_HISTOGRAM_RECORD("serve.exec_us", rep.exec_seconds * 1e6);
+    {
+      std::lock_guard<std::mutex> lk(qmu_);
+      active_[slot] = CancelToken{};
+    }
     q->promise.set_value(std::move(rep));
   }
 }
 
-ServeReport ContractionService::execute(const ServeRequest& req) {
+ServeReport ContractionService::execute(const ServeRequest& req,
+                                        const CancelToken& cancel) {
   ServeReport rep;
   rep.x = req.x;
   rep.y = req.y;
@@ -243,6 +353,7 @@ ServeReport ContractionService::execute(const ServeRequest& req) {
   const auto run_degraded = [&](ServeReport& r) {
     ContractOptions o;
     o.num_threads = threads_per_request_;
+    o.cancel = cancel;  // every rung polls; Cancelled aborts the ladder
     // rung_options() strips the flag off the SPA rung.
     o.use_swiss_tables = selector_.swiss_tables_enabled();
     const std::size_t rem = remaining_budget();
@@ -327,6 +438,7 @@ ServeReport ContractionService::execute(const ServeRequest& req) {
   ContractOptions opts;
   opts.num_threads = threads_per_request_;
   opts.algorithm = variant;
+  opts.cancel = cancel;
   // Charges flow to the shared registry, whose capacity (the DRAM
   // budget) enforces the runtime gate across all concurrent requests.
   opts.registry = &alloc_;
@@ -339,7 +451,7 @@ ServeReport ContractionService::execute(const ServeRequest& req) {
     Timer t;
     ContractResult res;
     if (variant == Algorithm::kSparta) {
-      PlanLease lease = cache_->acquire(hy.id, y, req.cy);
+      PlanLease lease = cache_->acquire(hy.id, y, req.cy, cancel);
       rep.cache_hit = lease.hit;
       rep.plan_cached = lease.cached;
       opts.hty_charged_externally = lease.cached;

@@ -64,6 +64,14 @@ struct ServeConfig {
   /// of rejecting them.
   bool allow_degrade = true;
 
+  /// Overload policy when the queue is full: instead of blocking the
+  /// submitter (backpressure, the default), shed the NEWEST queued
+  /// request — its promise resolves immediately with rejected=true —
+  /// and enqueue the incoming one. Oldest work keeps its place, the
+  /// caller learns about overload deterministically, and submit()
+  /// never blocks.
+  bool shed_on_overload = false;
+
   SelectorConfig selector;
 
   /// Forwarded to the plan cache (0 = auto bucket count).
@@ -83,6 +91,13 @@ struct ServeRequest {
   /// a cacheable plan still goes through the cache.
   bool force_variant = false;
   Algorithm variant = Algorithm::kSparta;
+
+  /// End-to-end deadline in milliseconds, measured from submit(); 0 =
+  /// none. Queue wait counts: a request whose deadline passes while
+  /// queued is reported deadline-exceeded without ever occupying a
+  /// worker, and one that trips mid-contraction unwinds cooperatively
+  /// (see common/cancel.hpp) with its budget charges released.
+  double deadline_ms = 0.0;
 };
 
 /// Everything the service knows about one completed (or failed)
@@ -94,12 +109,20 @@ struct ServeReport {
   bool cache_hit = false;   ///< plan served from cache without a build
   bool plan_cached = false; ///< ran against a cache-retained plan
   bool degraded = false;    ///< served via the resilience ladder
-  bool rejected = false;    ///< admission refused the request
+  bool rejected = false;    ///< admission refused or shed the request
+  bool cancelled = false;   ///< unwound via CancelToken (any reason)
+  bool deadline_exceeded = false;  ///< the cancel was a deadline trip
   std::string error;        ///< empty on success
   std::string resilience;   ///< ladder summary when degraded
 
   double queue_seconds = 0.0;  ///< submit → worker pickup
   double exec_seconds = 0.0;   ///< contraction wall time
+  /// Cancel trip → worker return; 0 unless cancelled mid-execution.
+  /// Bounded by one chunk of work (the engine's poll granularity).
+  double cancel_seconds = 0.0;
+  /// Client-side resubmissions that preceded this report (filled by
+  /// the workload runner's retry loop, not the service).
+  int retries = 0;
 
   StageTimes stage_times;
   ContractStats stats;
@@ -141,9 +164,17 @@ class ContractionService {
   /// submit() + wait, for tests and simple callers.
   [[nodiscard]] ServeReport contract_sync(ServeRequest req);
 
-  /// Stops accepting new requests, drains the queue, joins workers.
-  /// Idempotent.
+  /// Graceful drain: stops accepting new requests, lets every queued
+  /// request run to completion, joins workers. Idempotent.
   void shutdown();
+
+  /// Immediate drain: stops accepting new requests, resolves every
+  /// still-queued promise with cancelled=true (deterministically, in
+  /// submission order), trips the CancelToken of every in-flight
+  /// contraction (each unwinds within one poll interval and reports
+  /// cancelled), then joins workers. Idempotent; safe after
+  /// shutdown().
+  void shutdown_now();
 
   [[nodiscard]] TensorRegistry& tensors() { return registry_; }
   [[nodiscard]] const ServeConfig& config() const { return cfg_; }
@@ -166,6 +197,14 @@ class ContractionService {
   /// when unlimited.
   [[nodiscard]] std::size_t remaining_budget() const;
 
+  /// Live tracked bytes across tiers — the chaos harness's "budget
+  /// returns to baseline" invariant probe.
+  [[nodiscard]] std::size_t live_bytes() const;
+
+  /// Drops every retained plan (in-flight leases stay valid). Lets
+  /// invariant checks separate cache-held charges from leaks.
+  void clear_plan_cache();
+
   /// {"cache":{...},"admission":{...},"selector":{...},
   ///  "budget":{"capacity":..,"live":..}}
   [[nodiscard]] std::string counters_json() const;
@@ -175,10 +214,11 @@ class ContractionService {
     ServeRequest req;
     std::promise<ServeReport> promise;
     Timer queued_at;
+    CancelToken cancel;  ///< live from submit(); deadline token if set
   };
 
-  void worker_loop();
-  ServeReport execute(const ServeRequest& req);
+  void worker_loop(int idx);
+  ServeReport execute(const ServeRequest& req, const CancelToken& cancel);
 
   ServeConfig cfg_;
   int num_workers_ = 1;
@@ -194,6 +234,10 @@ class ContractionService {
   std::condition_variable not_full_;
   std::deque<std::unique_ptr<Queued>> queue_;
   bool stopping_ = false;
+  /// Per-worker token of the request being executed (inert when idle);
+  /// guarded by qmu_. shutdown_now() trips these to cancel in-flight
+  /// work.
+  std::vector<CancelToken> active_;
 
   std::vector<std::thread> workers_;
 

@@ -1,6 +1,7 @@
 #include "serve/workload.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <istream>
@@ -9,7 +10,9 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/io.hpp"
 #include "tensor/io_binary.hpp"
 
@@ -169,6 +172,16 @@ std::vector<WorkloadOp> parse_workload(std::istream& in) {
         } else if (take_kv(tok[i], "variant", v)) {
           op.request.force_variant = true;
           op.request.variant = parse_variant(v, line);
+        } else if (take_kv(tok[i], "deadline_ms", v)) {
+          const double d = std::atof(v.c_str());
+          if (d <= 0.0) parse_fail(line, "bad deadline_ms '" + v + "'");
+          op.request.deadline_ms = d;
+        } else if (take_kv(tok[i], "retries", v)) {
+          const long r = std::strtol(v.c_str(), nullptr, 10);
+          if (r < 0 || v.empty()) {
+            parse_fail(line, "bad retries '" + v + "'");
+          }
+          op.retries = static_cast<int>(r);
         } else if (tok[i] == "store") {
           op.request.store_as = op.name;
         } else {
@@ -202,10 +215,42 @@ std::vector<WorkloadOp> parse_workload_file(const std::string& path) {
 
 namespace {
 
+// One expanded contract request plus its client-side retry allowance.
+struct BatchItem {
+  ServeRequest req;
+  int retries = 0;
+};
+
+// Submits `req`, resubmitting up to `retries` times when the report
+// says deadline-exceeded or shed/rejected — the two transient outcomes
+// a later attempt can genuinely improve (hard failures are final).
+// Backoff between attempts is exponential (1 ms doubling, 100 ms cap)
+// with deterministic jitter from `seed`, so concurrent clients desync
+// without making runs irreproducible.
+ServeReport submit_with_retry(ContractionService& svc,
+                              const ServeRequest& req, int retries,
+                              std::uint64_t seed) {
+  Rng rng(seed ^ 0x9E3779B97F4A7C15ULL);
+  ServeReport rep;
+  for (int attempt = 0;; ++attempt) {
+    rep = svc.submit(req).get();
+    rep.retries = attempt;
+    if (attempt >= retries) break;
+    if (!rep.deadline_exceeded && !rep.rejected) break;
+    SPARTA_COUNTER_ADD("serve.retries", 1);
+    const double base_ms = std::min(
+        100.0, static_cast<double>(1u << std::min(attempt, 7)));
+    const double jitter = 0.5 + rng.uniform_double();  // [0.5, 1.5)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(base_ms * jitter));
+  }
+  return rep;
+}
+
 // Drains `batch` through `clients` closed-loop submitter threads and
 // appends the reports to `out` in submission order.
 void run_batch(ContractionService& svc,
-               const std::vector<ServeRequest>& batch, int clients,
+               const std::vector<BatchItem>& batch, int clients,
                std::vector<ServeReport>& out) {
   if (batch.empty()) return;
   const std::size_t base = out.size();
@@ -218,7 +263,9 @@ void run_batch(ContractionService& svc,
     threads.emplace_back([&, c] {
       for (std::size_t i = static_cast<std::size_t>(c);
            i < batch.size(); i += static_cast<std::size_t>(n)) {
-        out[base + i] = svc.submit(batch[i]).get();
+        out[base + i] = submit_with_retry(svc, batch[i].req,
+                                          batch[i].retries,
+                                          /*seed=*/0x5EEDULL * (i + 1));
       }
     });
   }
@@ -238,7 +285,7 @@ WorkloadResult run_workload(ContractionService& svc,
                             const WorkloadOptions& opts) {
   SPARTA_CHECK(opts.clients > 0, "clients must be positive");
   WorkloadResult result;
-  std::vector<ServeRequest> batch;
+  std::vector<BatchItem> batch;
   Timer wall;
   for (const WorkloadOp& op : ops) {
     if (is_barrier(op) && !batch.empty()) {
@@ -258,11 +305,13 @@ WorkloadResult run_workload(ContractionService& svc,
       case WorkloadOp::Kind::kContract: {
         if (!op.request.store_as.empty()) {
           // Barrier op: runs alone so later lines see the stored Z.
-          result.reports.push_back(svc.contract_sync(op.request));
+          result.reports.push_back(submit_with_retry(
+              svc, op.request, op.retries,
+              /*seed=*/0x5EEDULL * (result.reports.size() + 1)));
           break;
         }
         for (int r = 0; r < op.repeat; ++r) {
-          batch.push_back(op.request);
+          batch.push_back(BatchItem{op.request, op.retries});
         }
         break;
       }

@@ -4,7 +4,8 @@
 //
 //   load <name> <path>                    # .tns (text) or .sptn (binary)
 //   gen <name> dims=AxBxC nnz=N [seed=S] [skew=F]
-//   contract <z> <x> <y> cx=0,1 cy=0,1 [repeat=N] [variant=V] [store]
+//   contract <z> <x> <y> cx=0,1 cy=0,1 [repeat=N] [variant=V]
+//            [deadline_ms=D] [retries=R] [store]
 //   drop <name>
 //
 // Execution model: consecutive `contract` lines form a batch that is
@@ -14,7 +15,11 @@
 // or a contract carrying `store` — is a barrier: the batch drains
 // first, so scripts read top-to-bottom deterministically regardless of
 // client count. `variant` pins the algorithm (spa | coohta | sparta);
-// without it the adaptive selector decides.
+// without it the adaptive selector decides. `deadline_ms` gives each
+// request an end-to-end deadline (queue wait included); `retries` lets
+// the client resubmit a deadline-exceeded or shed request up to R
+// times, with exponential backoff and deterministic jitter between
+// attempts.
 #pragma once
 
 #include <iosfwd>
@@ -34,6 +39,7 @@ struct WorkloadOp {
   GeneratorSpec gen; ///< gen only
   ServeRequest request;  ///< contract only (store_as = name iff store)
   int repeat = 1;        ///< contract only
+  int retries = 0;       ///< contract only: max client resubmissions
   int line = 0;          ///< 1-based script line, for diagnostics
 };
 

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/radix.hpp"
 #include "obs/metrics.hpp"
 #include "simd/dispatch.hpp"
@@ -50,7 +51,8 @@ void insertion_sort_pairs(
 /// radix_sort_pairs, so the two tiers are interchangeable.
 template <typename Payload>
 void radix_sort_pairs_fused(
-    std::vector<std::pair<std::uint64_t, Payload>>& items, int key_bits) {
+    std::vector<std::pair<std::uint64_t, Payload>>& items, int key_bits,
+    const CancelToken& cancel = {}) {
   using Item = std::pair<std::uint64_t, Payload>;
   const std::size_t n = items.size();
   const int passes = (key_bits + 7) / 8;
@@ -69,6 +71,8 @@ void radix_sort_pairs_fused(
   Item* src = items.data();
   Item* dst = scratch.data();
   for (int pass = 0; pass < passes; ++pass) {
+    // One linear scatter pass (≤ 8 of them) between cancel polls.
+    cancel.check("sort.radix_pass");
     auto& c = count[static_cast<std::size_t>(pass)];
     bool trivial = false;
     for (std::size_t v : c) {
@@ -103,20 +107,25 @@ void radix_sort_pairs_fused(
 inline constexpr std::size_t kRadixCutoff = 32;
 
 /// Sorts `items` by .first ascending, stable, dispatching on
-/// active_isa(). `key_bits` bounds the significant key width.
+/// active_isa(). `key_bits` bounds the significant key width. `cancel`
+/// is polled once per radix pass (the scalar tier sorts between two
+/// polls — its passes live in common/radix.hpp, which stays
+/// cancellation-free).
 template <typename Payload>
 void sort_ln_pairs(std::vector<std::pair<std::uint64_t, Payload>>& items,
-                   int key_bits = 64) {
+                   int key_bits = 64, const CancelToken& cancel = {}) {
   if (items.size() < 2) return;
   if (items.size() < kRadixCutoff) {
     detail::insertion_sort_pairs(items);
     return;
   }
   SPARTA_COUNTER_ADD("simd.radix_sorts", 1);
+  cancel.check("sort.radix_pass");
   if (active_isa() == SimdIsa::kScalar) {
     radix_sort_pairs(items, key_bits);
+    cancel.check("sort.radix_pass");
   } else {
-    detail::radix_sort_pairs_fused(items, key_bits);
+    detail::radix_sort_pairs_fused(items, key_bits, cancel);
   }
 }
 

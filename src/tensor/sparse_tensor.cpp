@@ -111,7 +111,9 @@ bool fits_ln(const std::vector<index_t>& dims) { return ln_space_fits(dims); }
 
 }  // namespace
 
-void SparseTensor::sort() {
+void SparseTensor::sort() { sort(CancelToken{}); }
+
+void SparseTensor::sort(const CancelToken& cancel) {
   const std::size_t n = nnz();
   if (n < 2) return;
 
@@ -128,7 +130,7 @@ void SparseTensor::sort() {
     // linear passes instead of O(n log n) compares, and — being stable —
     // an identical permutation on every SIMD tier, which the
     // scalar-vs-simd differential CI jobs rely on.
-    simd::sort_ln_pairs(keyed, significant_bits(lin.size() - 1));
+    simd::sort_ln_pairs(keyed, significant_bits(lin.size() - 1), cancel);
     for (std::size_t i = 0; i < n; ++i) perm[i] = keyed[i].second;
   } else {
     std::iota(perm.begin(), perm.end(), std::size_t{0});
@@ -138,7 +140,8 @@ void SparseTensor::sort() {
                       if (col[a] != col[b]) return col[a] < col[b];
                     }
                     return false;
-                  });
+                  },
+                  cancel);
   }
 
   // Apply the permutation column by column (gather).

@@ -15,6 +15,8 @@
 
 namespace sparta {
 
+class CancelToken;
+
 class SparseTensor {
  public:
   SparseTensor() = default;
@@ -88,6 +90,12 @@ class SparseTensor {
   /// Sorts non-zeros lexicographically by (mode 0, mode 1, ...).
   /// Parallel (OpenMP task quicksort) when large.
   void sort();
+
+  /// Cancellable sort: `cancel` is polled once per radix pass / partition
+  /// task and Cancelled unwinds with the tensor untouched (the
+  /// permutation is computed on side buffers and only applied at the
+  /// end).
+  void sort(const CancelToken& cancel);
 
   /// True when non-zeros are in lexicographic order.
   [[nodiscard]] bool is_sorted() const;

@@ -9,10 +9,14 @@
 
 #include <atomic>
 #include <future>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/cancel.hpp"
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/registry.hpp"
 #include "serve/service.hpp"
@@ -72,6 +76,167 @@ TEST(ServeStress, PlanCacheSingleFlightUnderContention) {
   EXPECT_EQ(s.hits, static_cast<std::uint64_t>(kThreads - 1));
   for (int t = 1; t < kThreads; ++t) {
     EXPECT_EQ(plans[static_cast<std::size_t>(t)].get(), plans[0].get());
+  }
+}
+
+// Single-flight failure path: when the shared build throws, every
+// concurrent waiter must wake (no thread left blocked), the entry must
+// be evictable, and the key must never be poisoned — a later acquire
+// builds fresh and succeeds. Runs under the tsan preset in CI.
+TEST(ServeStress, PlanCacheBuildFailureWakesAllWaiters) {
+  const SparseTensor y = make(42, 400);
+  PlanCache cache;
+  // First build attempt fails; any retry builds clean.
+  failpoint::arm("plan.build",
+                 {failpoint::Action::kError, /*fire_on=*/1, /*times=*/1});
+
+  constexpr int kThreads = 8;
+  std::atomic<int> errors{0};
+  std::atomic<int> plans{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      try {
+        const PlanLease lease = cache.acquire(7, y, {0, 1});
+        if (lease.plan != nullptr) ++plans;
+      } catch (const Error&) {
+        ++errors;  // builder (and its waiters) inherit the build error
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  failpoint::disarm_all();
+
+  // Everyone resolved one way or the other, the builder saw the error,
+  // and the key still works.
+  EXPECT_EQ(errors.load() + plans.load(), kThreads);
+  EXPECT_GE(errors.load(), 1);
+  const PlanLease lease = cache.acquire(7, y, {0, 1});
+  EXPECT_NE(lease.plan, nullptr);
+}
+
+// A builder cancelled mid-build must not fail innocent waiters: one of
+// them takes over and builds with its own (inert) token.
+TEST(ServeStress, PlanCacheBuilderCancelHandsOffToWaiters) {
+  const SparseTensor y = make(43, 400);
+  PlanCache cache;
+
+  constexpr int kThreads = 8;
+  std::atomic<int> cancelled{0};
+  std::atomic<int> plans{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      CancelToken token;
+      if (t == 0) {
+        // Thread 0 carries a poisoned token; if it wins the build race
+        // it cancels mid-build and a waiter must take over.
+        token = CancelToken::make();
+        token.arm_at_site("plan.build");
+      }
+      try {
+        const PlanLease lease = cache.acquire(8, y, {0, 1}, token);
+        if (lease.plan != nullptr) ++plans;
+      } catch (const Cancelled&) {
+        ++cancelled;  // only the poisoned thread may land here
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(cancelled.load() + plans.load(), kThreads);
+  EXPECT_LE(cancelled.load(), 1);
+  EXPECT_GE(plans.load(), kThreads - 1);
+  const PlanLease lease = cache.acquire(8, y, {0, 1});
+  EXPECT_NE(lease.plan, nullptr);
+}
+
+// shutdown_now under live load: clients submit (and race the shutdown's
+// Error), every obtained future resolves, nothing deadlocks, and the
+// teardown leaves zero tracked bytes.
+TEST(ServeStress, ShutdownNowUnderLoad) {
+  ServeConfig cfg;
+  cfg.num_workers = 2;
+  cfg.threads_per_request = 1;
+  cfg.queue_capacity = 8;
+  ContractionService svc(cfg);
+  svc.load("X", make(3));
+  // A heavier Y (same contracted dims) keeps workers busy so the
+  // shutdown lands while requests are genuinely in flight.
+  GeneratorSpec ys;
+  ys.dims = {10, 10, 60};
+  ys.nnz = 3000;
+  ys.seed = 4;
+  svc.load("Y", generate_random(ys));
+
+  std::mutex fmu;
+  std::vector<std::future<ServeReport>> futures;
+  constexpr int kClients = 3;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < 20; ++i) {
+        ServeRequest req;
+        req.x = "X";
+        req.y = "Y";
+        req.cx = {0, 1};
+        req.cy = {0, 1};
+        if (i % 2 == c % 2) req.deadline_ms = 0.05;
+        try {
+          std::future<ServeReport> f = svc.submit(std::move(req));
+          const std::lock_guard<std::mutex> lk(fmu);
+          futures.push_back(std::move(f));
+        } catch (const Error&) {
+          return;  // raced the shutdown: legal, stop submitting
+        }
+      }
+    });
+  }
+  svc.shutdown_now();
+  for (std::thread& th : clients) th.join();
+
+  for (auto& f : futures) {
+    const ServeReport rep = f.get();  // must resolve, whatever happened
+    if (!rep.ok()) {
+      EXPECT_TRUE(rep.cancelled || rep.rejected) << rep.error;
+    }
+  }
+  futures.clear();  // release report-held Z references
+
+  svc.drop("X");
+  svc.drop("Y");
+  svc.clear_plan_cache();
+  EXPECT_EQ(svc.live_bytes(), 0u);
+}
+
+// Graceful drain under the same load: every request submitted before
+// shutdown() completes normally (no cancellations from the drain).
+TEST(ServeStress, GracefulShutdownDrainsEverything) {
+  ServeConfig cfg;
+  cfg.num_workers = 2;
+  cfg.threads_per_request = 1;
+  cfg.queue_capacity = 8;
+  ContractionService svc(cfg);
+  svc.load("X", make(5));
+  svc.load("Y", make(6));
+
+  std::vector<std::future<ServeReport>> futures;
+  for (int i = 0; i < 12; ++i) {
+    ServeRequest req;
+    req.x = "X";
+    req.y = "Y";
+    req.cx = {0, 1};
+    req.cy = {0, 1};
+    futures.push_back(svc.submit(std::move(req)));
+  }
+  svc.shutdown();
+  for (auto& f : futures) {
+    const ServeReport rep = f.get();
+    EXPECT_TRUE(rep.ok()) << rep.error;
+    EXPECT_FALSE(rep.cancelled);
   }
 }
 

@@ -4,7 +4,13 @@
 //
 //   sparta_serve --workload scripts.workload [--clients N] [--workers N]
 //     [--threads-per-request N] [--budget-mb M] [--cache-fraction F]
-//     [--queue N] [--no-degrade] [--json PATH]
+//     [--queue N] [--no-degrade] [--shed] [--json PATH]
+//
+// Exit codes: 0 all requests ok; 1 hard failures (or bad I/O); 2 usage;
+// 3 deadline-exceeded requests but no hard failures; 4 rejected/shed
+// requests but no hard failures or deadline misses. 3 and 4 let CI
+// scripts distinguish "the service timed requests out as configured"
+// from "something actually broke".
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -26,7 +32,7 @@ void usage(const char* prog) {
       stderr,
       "usage: %s --workload FILE [--clients N] [--workers N]\n"
       "  [--threads-per-request N] [--budget-mb M] [--cache-fraction F]\n"
-      "  [--queue N] [--no-degrade] [--json PATH]\n",
+      "  [--queue N] [--no-degrade] [--shed] [--json PATH]\n",
       prog);
   std::exit(2);
 }
@@ -71,6 +77,8 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(next().c_str()));
     } else if (a == "--no-degrade") {
       cfg.allow_degrade = false;
+    } else if (a == "--shed") {
+      cfg.shed_on_overload = true;
     } else if (a == "--json") {
       json_path = next();
     } else {
@@ -95,6 +103,8 @@ int main(int argc, char** argv) {
     std::size_t ok = 0;
     std::size_t failed = 0;
     std::size_t rejected = 0;
+    std::size_t cancelled = 0;
+    std::size_t deadline = 0;
     std::size_t degraded = 0;
     std::size_t hits = 0;
     std::vector<double> latencies;
@@ -104,9 +114,12 @@ int main(int argc, char** argv) {
         ++ok;
       } else if (r.rejected) {
         ++rejected;
+      } else if (r.cancelled) {
+        ++cancelled;
       } else {
         ++failed;
       }
+      if (r.deadline_exceeded) ++deadline;
       if (r.degraded) ++degraded;
       if (r.cache_hit) ++hits;
       if (r.ok()) latencies.push_back(r.exec_seconds);
@@ -118,8 +131,10 @@ int main(int argc, char** argv) {
         svc.workers(), wopts.clients, svc.threads_per_request(),
         cfg.dram_budget_bytes >> 20);
     std::printf(
-        "  requests=%zu ok=%zu failed=%zu rejected=%zu degraded=%zu\n",
-        res.reports.size(), ok, failed, rejected, degraded);
+        "  requests=%zu ok=%zu failed=%zu rejected=%zu cancelled=%zu "
+        "(deadline=%zu) degraded=%zu\n",
+        res.reports.size(), ok, failed, rejected, cancelled, deadline,
+        degraded);
     const sparta::serve::PlanCache::Stats cs = svc.cache_stats();
     std::printf(
         "  cache: hits=%llu misses=%llu evictions=%llu "
@@ -159,6 +174,9 @@ int main(int argc, char** argv) {
       w.key("ok").value(static_cast<std::uint64_t>(ok));
       w.key("failed").value(static_cast<std::uint64_t>(failed));
       w.key("rejected").value(static_cast<std::uint64_t>(rejected));
+      w.key("cancelled").value(static_cast<std::uint64_t>(cancelled));
+      w.key("deadline_exceeded")
+          .value(static_cast<std::uint64_t>(deadline));
       w.key("degraded").value(static_cast<std::uint64_t>(degraded));
       w.key("cache_hits").value(static_cast<std::uint64_t>(hits));
       w.key("latency_seconds").begin_object();
@@ -181,7 +199,10 @@ int main(int argc, char** argv) {
       std::fwrite(doc.data(), 1, doc.size(), f);
       std::fclose(f);
     }
-    return failed == 0 ? 0 : 1;
+    if (failed != 0) return 1;
+    if (deadline != 0) return 3;
+    if (rejected != 0 || cancelled != 0) return 4;
+    return 0;
   } catch (const sparta::Error& e) {
     std::fprintf(stderr, "sparta_serve: %s\n", e.what());
     return 1;
