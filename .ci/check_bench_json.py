@@ -79,8 +79,15 @@ def check_serve_report(path, doc):
     reqs = doc.get("requests")
     if not isinstance(reqs, list) or not reqs:
         fail(path, "'requests' missing or empty")
+    seen_request_ids = set()
     for i, r in enumerate(reqs):
         where = f"requests[{i}]"
+        # Correlation id: every admitted-or-shed request gets a unique
+        # positive id, the join key into trace spans and the statlog.
+        check_number(path, r, "request_id", minimum=1)
+        if r["request_id"] in seen_request_ids:
+            fail(path, f"{where}: duplicate request_id {r['request_id']}")
+        seen_request_ids.add(r["request_id"])
         for k in ("x", "y", "variant"):
             if not isinstance(r.get(k), str) or not r[k]:
                 fail(path, f"{where}: '{k}' missing or empty")

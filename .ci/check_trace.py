@@ -39,6 +39,10 @@ def main():
         fail("'traceEvents' missing or not a list")
     if "droppedEvents" not in doc:
         fail("'droppedEvents' missing")
+    # snake_case alias written by both the trace recorder and the
+    # flight recorder; flight dumps additionally self-identify.
+    if "dropped_events" not in doc:
+        fail("'dropped_events' missing")
     for i, e in enumerate(events):
         for key in ("name", "ph", "ts", "pid", "tid"):
             if key not in e:

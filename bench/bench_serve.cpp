@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/flight_recorder.hpp"
 #include "serve/service.hpp"
 #include "tensor/generators.hpp"
 
@@ -235,6 +236,47 @@ int main(int argc, char** argv) {
         sparta::bench::json_cases().push_back(std::move(c));
       }
     }
+  }
+
+  // --- Case 4: flight-recorder overhead ------------------------------
+  // The flight ring claims "cheap enough to leave on in production":
+  // measure warm cache-hit latency with the ring off, then on. Every
+  // engine span feeds the ring when enabled, so this is the worst
+  // request-path case (many short spans per request).
+  {
+    ServeConfig cfg;
+    cfg.num_workers = 1;
+    ContractionService svc(cfg);
+    svc.load("X", x);
+    svc.load("Y", y);
+    (void)svc.contract_sync(sparta_request());  // warm the plan cache
+
+    const auto measure = [&](int n) {
+      std::vector<double> secs;
+      secs.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        const ServeReport rep = svc.contract_sync(sparta_request());
+        if (rep.ok()) secs.push_back(rep.exec_seconds);
+      }
+      std::sort(secs.begin(), secs.end());
+      return secs;
+    };
+    const int n = sparta::bench::smoke_mode() ? 8 : 32;
+    const std::vector<double> off = measure(n);
+    sparta::obs::FlightRecorder::global().enable();
+    const std::vector<double> on = measure(n);
+    sparta::obs::FlightRecorder::global().disable();
+    sparta::obs::FlightRecorder::global().clear();
+    const double off_med = percentile_sorted(off, 0.5);
+    const double on_med = percentile_sorted(on, 0.5);
+    std::printf(
+        "flight recorder: hit median off=%.3f ms on=%.3f ms "
+        "(overhead %+.1f%%)\n",
+        off_med * 1e3, on_med * 1e3,
+        off_med > 0 ? (on_med / off_med - 1.0) * 100.0 : 0.0);
+    ServeReport last = svc.contract_sync(sparta_request());
+    append_case("flight_recorder_off", off, last);
+    append_case("flight_recorder_on", on, last);
   }
   return 0;
 }

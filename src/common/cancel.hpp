@@ -137,7 +137,7 @@ class CancelToken {
   void check(const char* site = "") const {
     if (!s_) return;
     if (!cancelled() && !armed_hit(site)) return;
-    if (obs::trace_enabled()) {
+    if (obs::trace_enabled() || obs::flight_enabled()) {
       obs::trace_instant(std::string("cancel@") + site);
     }
     SPARTA_COUNTER_ADD("cancel.observed", 1);

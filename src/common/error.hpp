@@ -39,7 +39,7 @@ class BudgetExceeded : public Error {
     // observability hook here covers every site (pre-flight gates,
     // tracked charges, injected faults).
     SPARTA_COUNTER_ADD("error.budget_exceeded", 1);
-    if (obs::trace_enabled()) {
+    if (obs::trace_enabled() || obs::flight_enabled()) {
       obs::JsonWriter w;
       w.begin_object();
       w.key("requested_bytes")

@@ -107,7 +107,7 @@ inline void hit(const char* name) {
     site_name = it->first;
   }
   SPARTA_COUNTER_ADD("failpoint.fired", 1);
-  if (obs::trace_enabled()) {
+  if (obs::trace_enabled() || obs::flight_enabled()) {
     obs::trace_instant("failpoint:" + site_name);
   }
   switch (action) {

@@ -19,6 +19,7 @@
 #endif
 
 #include "common/cancel.hpp"
+#include "obs/trace.hpp"
 
 namespace sparta {
 
@@ -122,8 +123,13 @@ inline constexpr std::ptrdiff_t kParallelSortCutoff = 1 << 14;
 
 template <typename It, typename Cmp>
 void quicksort_task(It first, It last, const Cmp& cmp, int depth,
-                    ExceptionCollector& ec, const CancelToken& cancel) {
+                    ExceptionCollector& ec, const CancelToken& cancel,
+                    std::uint64_t rid = 0) {
   if (ec.failed()) return;
+  // Tasks run on arbitrary pooled threads: re-establish the submitting
+  // thread's request id so a cancel instant fired here is attributed to
+  // the right request, not whatever the thread ran last.
+  obs::RequestIdScope rid_scope(rid);
   // One cancel poll per partition task — each task touches at most
   // one kParallelSortCutoff-sized range before re-checking.
   cancel.check("sort.partition");
@@ -144,11 +150,13 @@ void quicksort_task(It first, It last, const Cmp& cmp, int depth,
       continue;
     }
 #ifdef _OPENMP
-#pragma omp task firstprivate(first, split, depth) shared(cmp, ec, cancel)
-    ec.run(
-        [&] { quicksort_task(first, split, cmp, depth - 1, ec, cancel); });
+#pragma omp task firstprivate(first, split, depth, rid) \
+    shared(cmp, ec, cancel)
+    ec.run([&] {
+      quicksort_task(first, split, cmp, depth - 1, ec, cancel, rid);
+    });
 #else
-    quicksort_task(first, split, cmp, depth - 1, ec, cancel);
+    quicksort_task(first, split, cmp, depth - 1, ec, cancel, rid);
 #endif
     first = split;
     --depth;
@@ -173,14 +181,17 @@ void parallel_sort(It first, It last, Cmp cmp,
     return;
   }
   ExceptionCollector ec;
+  const std::uint64_t rid = obs::current_request_id();
 #ifdef _OPENMP
 #pragma omp parallel
 #pragma omp single nowait
   ec.run([&] {
-    detail::quicksort_task(first, last, cmp, /*depth=*/16, ec, cancel);
+    detail::quicksort_task(first, last, cmp, /*depth=*/16, ec, cancel, rid);
   });
 #else
-  ec.run([&] { detail::quicksort_task(first, last, cmp, 16, ec, cancel); });
+  ec.run([&] {
+    detail::quicksort_task(first, last, cmp, 16, ec, cancel, rid);
+  });
 #endif
   ec.rethrow();
 }

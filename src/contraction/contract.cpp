@@ -306,8 +306,14 @@ void parallel_over_subtensors(const PreparedX& px, int nthreads, bool shared,
   // A worker that throws (budget overflow, bad_alloc, injected fault)
   // must not unwind across the omp boundary: capture, drain, rethrow.
   ExceptionCollector ec;
+  // OpenMP pool threads keep thread-locals across regions, so the
+  // spawning thread's request id must be re-established inside the
+  // region — otherwise a pooled worker would stamp this request's
+  // spans with whatever id its previous request left behind.
+  const std::uint64_t rid = obs::current_request_id();
 #pragma omp parallel num_threads(nthreads)
   {
+    obs::RequestIdScope rid_scope(rid);
     const auto tid = static_cast<std::size_t>(thread_id());
 #pragma omp for schedule(dynamic, 16)
     for (std::ptrdiff_t f = 0; f < num_sub; ++f) {
@@ -559,6 +565,14 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   ContractResult res;
   res.stats.nnz_x = x.nnz();
   res.stats.nnz_y = y ? y->nnz() : plan->nnz_y();
+
+  // Correlation scope for every span/instant this contraction emits.
+  // A request-scoped caller (the service) passes its id through
+  // opts.request_id; standalone callers keep whatever ambient id the
+  // thread already carries (usually 0 = untagged).
+  obs::RequestIdScope rid_scope(opts.request_id != 0
+                                    ? opts.request_id
+                                    : obs::current_request_id());
 
   // Whole-call span; the per-stage spans below nest under it.
   obs::Span sp_contract("contract");
@@ -1076,9 +1090,11 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   {
     const auto nt = static_cast<std::ptrdiff_t>(zlocals.size());
     ExceptionCollector ec;
+    const std::uint64_t rid = obs::current_request_id();
 #pragma omp parallel for schedule(static) num_threads(nthreads)
     for (std::ptrdiff_t t = 0; t < nt; ++t) {
       ec.run([&, t] {
+        obs::RequestIdScope rid_scope(rid);
         opts.cancel.check("contract.gather");
         const ZLocal& zl = zlocals[static_cast<std::size_t>(t)];
         std::size_t dst = offsets[static_cast<std::size_t>(t)];
@@ -1186,7 +1202,7 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
           .record(static_cast<std::uint64_t>(res.stage_times[st] * 1e6));
     }
   }
-  if (obs::trace_enabled()) {
+  if (obs::trace_enabled() || obs::flight_enabled()) {
     obs::JsonWriter w;
     w.begin_object();
     w.key("searches").value(static_cast<std::uint64_t>(res.stats.searches));

@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -114,6 +115,14 @@ struct ContractOptions {
   /// would shrink the apparent remaining budget by every cached plan a
   /// request reuses. Ignored (and harmless) without a prebuilt plan.
   bool hty_charged_externally = false;
+
+  /// Correlation id stamped into every trace span/instant the engine
+  /// emits for this contraction (args key "request_id") and into the
+  /// flight-recorder ring, so spans from concurrently served requests
+  /// are attributable. 0 = not request-scoped (standalone callers):
+  /// events are then emitted exactly as before correlation existed.
+  /// The serving layer assigns these monotonically per ServeRequest.
+  std::uint64_t request_id = 0;
 
   /// Cooperative cancellation/deadline token. The engine polls it at
   /// every stage head, per X-sub-tensor chunk, per sort pass, and along

@@ -117,10 +117,12 @@ ResilientResult contract_resilient(const SparseTensor& x,
     rec.chunks = chunks;
     // One span per ladder rung; the name carries the rung description
     // ("HtY+HtA", "COOY+SPA [4 chunks]", ...) so a trace shows the
-    // degradation path at a glance. Built only when tracing is on.
+    // degradation path at a glance. Built only when some recorder —
+    // full trace or flight ring — will keep it.
     obs::Span sp(obs::TraceRecorder::global(),
-                 obs::trace_enabled() ? "rung:" + rec.describe()
-                                      : std::string());
+                 obs::trace_enabled() || obs::flight_enabled()
+                     ? "rung:" + rec.describe()
+                     : std::string());
     SPARTA_COUNTER_ADD("resilient.attempts", 1);
     try {
       out.result = body();

@@ -1,0 +1,217 @@
+// Live metrics exposition: renders the MetricsRegistry as a
+// Prometheus-style text snapshot and serves it over a unix domain
+// socket while the process runs (sparta_serve --stats-socket).
+//
+// Wire protocol: connect, read until EOF. Every connection gets one
+// fresh snapshot; there is no request parsing, so `nc -U <path>` and
+// `curl --unix-socket` (with any path) both work.
+//
+// Rendering rules:
+//   * counters  → `# TYPE sparta_<name> counter` + value
+//   * gauges    → `# TYPE sparta_<name> gauge` + value
+//   * histograms→ `# TYPE sparta_<name> summary` with p50/p95/p99
+//     quantile samples plus _sum and _count (log2-bucket midpoint
+//     quantiles — factor-of-2 accuracy, same contract as the JSON
+//     export)
+// Metric names are sanitized to [a-zA-Z0-9_:] with '.' and any other
+// byte mapped to '_', and prefixed "sparta_" so the namespace is
+// unambiguous when scraped next to other exporters.
+#pragma once
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "obs/json_parse.hpp"
+#include "obs/metrics.hpp"
+
+namespace sparta::obs {
+
+namespace detail {
+
+inline std::string prometheus_name(std::string_view raw) {
+  std::string out = "sparta_";
+  for (const char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+inline void prometheus_number(std::string& out, double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v >= -9.0e15 && v <= 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out += buf;
+}
+
+}  // namespace detail
+
+/// Renders a MetricsRegistry::to_json() document as Prometheus text.
+/// Unparseable input yields an empty string (never throws) — the
+/// registry's own writer is the only expected producer.
+[[nodiscard]] inline std::string prometheus_text_from_json(
+    std::string_view metrics_json) {
+  const std::optional<JsonValue> doc = json_parse(metrics_json);
+  if (!doc || !doc->is_object()) return {};
+  std::string out;
+  const auto emit_scalar = [&out](const std::string& kind,
+                                  const std::string& name, double v) {
+    out += "# TYPE " + name + " " + kind + "\n" + name + " ";
+    detail::prometheus_number(out, v);
+    out += "\n";
+  };
+  if (const JsonValue* counters = doc->get("counters")) {
+    for (const auto& [name, v] : counters->obj) {
+      emit_scalar("counter", detail::prometheus_name(name),
+                  v.number_or(0.0));
+    }
+  }
+  if (const JsonValue* gauges = doc->get("gauges")) {
+    for (const auto& [name, v] : gauges->obj) {
+      emit_scalar("gauge", detail::prometheus_name(name), v.number_or(0.0));
+    }
+  }
+  if (const JsonValue* hists = doc->get("histograms")) {
+    for (const auto& [name, h] : hists->obj) {
+      if (!h.is_object()) continue;
+      const std::string pname = detail::prometheus_name(name);
+      out += "# TYPE " + pname + " summary\n";
+      for (const auto& [q, key] :
+           {std::pair<const char*, const char*>{"0.5", "p50"},
+            {"0.95", "p95"},
+            {"0.99", "p99"}}) {
+        if (const JsonValue* p = h.get(key)) {
+          out += pname + "{quantile=\"" + q + "\"} ";
+          detail::prometheus_number(out, p->number_or(0.0));
+          out += "\n";
+        }
+      }
+      if (const JsonValue* sum = h.get("sum")) {
+        out += pname + "_sum ";
+        detail::prometheus_number(out, sum->number_or(0.0));
+        out += "\n";
+      }
+      if (const JsonValue* count = h.get("count")) {
+        out += pname + "_count ";
+        detail::prometheus_number(out, count->number_or(0.0));
+        out += "\n";
+      }
+    }
+  }
+  return out;
+}
+
+/// Snapshot of `reg` as Prometheus text.
+[[nodiscard]] inline std::string prometheus_text(
+    const MetricsRegistry& reg) {
+  return prometheus_text_from_json(reg.to_json());
+}
+
+/// Unix-domain stream socket serving one Prometheus snapshot per
+/// connection. start() binds and spawns the accept loop; stop() (and
+/// the destructor) shuts the listener down and joins. Scrape failures
+/// never propagate: a dead client mid-write just closes that
+/// connection.
+class StatsSocketServer {
+ public:
+  explicit StatsSocketServer(MetricsRegistry& reg = MetricsRegistry::global())
+      : reg_(reg) {}
+  StatsSocketServer(const StatsSocketServer&) = delete;
+  StatsSocketServer& operator=(const StatsSocketServer&) = delete;
+  ~StatsSocketServer() { stop(); }
+
+  /// Binds `path` (unlinking any stale socket first) and starts
+  /// serving. Returns false with a stderr note on bind failure.
+  bool start(const std::string& path) {
+    stop();
+    if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      std::fprintf(stderr, "sparta: stats socket path too long: '%s'\n",
+                   path.c_str());
+      return false;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      std::perror("sparta: stats socket");
+      return false;
+    }
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 8) != 0) {
+      std::fprintf(stderr, "sparta: cannot serve stats on '%s'\n",
+                   path.c_str());
+      ::close(fd);
+      return false;
+    }
+    listen_fd_ = fd;
+    path_ = path;
+    stopping_.store(false, std::memory_order_relaxed);
+    thread_ = std::thread([this] { accept_loop(); });
+    return true;
+  }
+
+  [[nodiscard]] bool running() const { return listen_fd_ >= 0; }
+  [[nodiscard]] std::uint64_t scrapes() const {
+    return scrapes_.load(std::memory_order_relaxed);
+  }
+
+  void stop() {
+    if (listen_fd_ < 0) return;
+    stopping_.store(true, std::memory_order_relaxed);
+    // shutdown() wakes the blocked accept(); close() alone does not on
+    // every platform.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (thread_.joinable()) thread_.join();
+    listen_fd_ = -1;
+    ::unlink(path_.c_str());
+    path_.clear();
+  }
+
+ private:
+  void accept_loop() {
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      const int conn = ::accept(listen_fd_, nullptr, nullptr);
+      if (conn < 0) {
+        if (stopping_.load(std::memory_order_relaxed)) break;
+        continue;  // EINTR or a client that vanished
+      }
+      const std::string body = prometheus_text(reg_);
+      std::size_t off = 0;
+      while (off < body.size()) {
+        const ::ssize_t w = ::send(conn, body.data() + off,
+                                   body.size() - off, MSG_NOSIGNAL);
+        if (w <= 0) break;
+        off += static_cast<std::size_t>(w);
+      }
+      ::close(conn);
+      scrapes_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  MetricsRegistry& reg_;
+  int listen_fd_ = -1;
+  std::string path_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> scrapes_{0};
+  std::thread thread_;
+};
+
+}  // namespace sparta::obs

@@ -1,0 +1,441 @@
+// Always-on crash flight recorder: a lock-free, per-thread ring buffer
+// of the last N trace events, kept at bounded cost so it can stay
+// enabled in production while the full trace recorder is off.
+//
+// The ring holds fixed-size POD events (truncated name, phase,
+// timestamps, request id — no args, no allocation per record), so the
+// hot path is one relaxed load when disabled and, when enabled, a clock
+// read plus a store into a preallocated slot. Older events are silently
+// overwritten; the dump reports how many.
+//
+// Dump paths:
+//   * dump_file(path) / to_json()   — ordinary code (service error
+//     paths, tests); emits a valid Chrome trace_event document that
+//     .ci/check_trace.py accepts.
+//   * arm_crash_dump(path)          — opens the file eagerly and
+//     installs fatal-signal handlers (SIGSEGV/SIGBUS/SIGFPE/SIGILL/
+//     SIGABRT) that write the rings with nothing but write(2) on the
+//     pre-opened fd: no allocation, no locks, no stdio — async-signal
+//     safe. The handler re-raises with the default disposition so the
+//     process still dies with the original signal.
+//
+// Enabling, one of:
+//   * env:  SPARTA_FLIGHT=dump.json  (armed before main(): enables the
+//           ring and arms the crash handlers on that path)
+//   * code: FlightRecorder::global().enable();
+//   * CLI:  sparta_serve --flight-dump dump.json
+//
+// Timestamps use the caller's clock — the trace layer records with
+// TraceRecorder::global().now_us(), so flight dumps and full traces
+// share an epoch and can be compared side by side.
+#pragma once
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace sparta::obs {
+
+namespace detail {
+// Namespace-scope flag: the disabled fast path at every trace site is
+// one relaxed load, same contract as g_trace_enabled.
+inline std::atomic<bool> g_flight_enabled{false};
+// Fd pre-opened by arm_crash_dump(); -1 = crash dumping not armed.
+inline std::atomic<int> g_flight_crash_fd{-1};
+}  // namespace detail
+
+/// True when the global flight recorder is collecting events.
+[[nodiscard]] inline bool flight_enabled() {
+  return detail::g_flight_enabled.load(std::memory_order_relaxed);
+}
+
+/// One ring slot. Fixed-size POD: a signal handler can format it with
+/// no allocator and a concurrent writer can at worst tear it into
+/// garbage bytes, which the dumpers sanitize instead of trusting.
+struct FlightEvent {
+  char name[23] = {};  ///< truncated, NUL-padded
+  char phase = 'X';    ///< 'X' | 'i' | 'C' (trace_event phases)
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;
+  std::uint64_t request_id = 0;  ///< 0 = not request-scoped
+};
+
+class FlightRecorder {
+ public:
+  /// Hard cap on registered threads; later threads share the last ring
+  /// slot-0 never happens in practice (OpenMP pools are far smaller).
+  static constexpr std::size_t kMaxRings = 256;
+
+  static FlightRecorder& global() {
+    static FlightRecorder* r = new FlightRecorder();  // never destroyed:
+    return *r;  // signal handlers and exiting threads may still read it
+  }
+
+  void enable() {
+    enabled_.store(true, std::memory_order_relaxed);
+    if (this == &global()) {
+      detail::g_flight_enabled.store(true, std::memory_order_relaxed);
+    }
+  }
+  void disable() {
+    enabled_.store(false, std::memory_order_relaxed);
+    if (this == &global()) {
+      detail::g_flight_enabled.store(false, std::memory_order_relaxed);
+    }
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Ring size per thread, rounded up to a power of two. Applies to
+  /// rings registered after the call (set it before the workload).
+  void set_ring_capacity(std::size_t n) {
+    std::size_t cap = 64;
+    while (cap < n) cap <<= 1;
+    ring_capacity_.store(cap, std::memory_order_relaxed);
+  }
+
+  /// Appends one event to the calling thread's ring, overwriting the
+  /// oldest when full. Callers must check flight_enabled() first.
+  void record(const char* name, char phase, std::int64_t ts_us,
+              std::int64_t dur_us, std::uint64_t request_id) {
+    Ring& ring = ring_for_this_thread();
+    const std::uint64_t h = ring.head.load(std::memory_order_relaxed);
+    FlightEvent& slot = ring.slots[h & ring.mask];
+    std::size_t i = 0;
+    if (name != nullptr) {
+      for (; i + 1 < sizeof(slot.name) && name[i] != '\0'; ++i) {
+        slot.name[i] = name[i];
+      }
+    }
+    slot.name[i] = '\0';
+    slot.phase = phase;
+    slot.ts_us = ts_us;
+    slot.dur_us = dur_us;
+    slot.request_id = request_id;
+    // Publish after the slot is written so dumpers walking [.., head)
+    // never see a slot that was reserved but not yet filled.
+    ring.head.store(h + 1, std::memory_order_release);
+  }
+
+  /// Drops all recorded events (rings stay registered).
+  void clear() {
+    const std::size_t n = nrings_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      rings_[i]->head.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Events currently resident across all rings.
+  [[nodiscard]] std::size_t num_events() const {
+    const std::size_t n = nrings_.load(std::memory_order_acquire);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Ring& r = *rings_[i];
+      const std::uint64_t h = r.head.load(std::memory_order_acquire);
+      total += static_cast<std::size_t>(
+          h < r.mask + 1 ? h : r.mask + 1);
+    }
+    return total;
+  }
+
+  /// Events overwritten (lost to ring wrap) across all rings.
+  [[nodiscard]] std::uint64_t dropped_events() const {
+    const std::size_t n = nrings_.load(std::memory_order_acquire);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Ring& r = *rings_[i];
+      const std::uint64_t h = r.head.load(std::memory_order_acquire);
+      const std::uint64_t cap = r.mask + 1;
+      if (h > cap) total += h - cap;
+    }
+    return total;
+  }
+
+  /// The resident events as a Chrome trace_event document (non-signal
+  /// path: ordinary allocation, oldest-first per ring).
+  [[nodiscard]] std::string to_json() const {
+    JsonWriter w;
+    w.begin_object();
+    w.key("traceEvents").begin_array();
+    const std::size_t n = nrings_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Ring& r = *rings_[i];
+      const std::uint64_t h = r.head.load(std::memory_order_acquire);
+      const std::uint64_t cap = r.mask + 1;
+      for (std::uint64_t e = h > cap ? h - cap : 0; e < h; ++e) {
+        const FlightEvent ev = r.slots[e & r.mask];  // copy: may tear
+        const std::array<char, 24> nm = sanitized_name(ev);
+        w.begin_object();
+        w.key("name").value(std::string_view(nm.data()));
+        w.key("cat").value("sparta-flight");
+        const char ph = valid_phase(ev.phase);
+        w.key("ph").value(std::string_view(&ph, 1));
+        w.key("ts").value(static_cast<double>(ev.ts_us));
+        if (ph == 'X') w.key("dur").value(static_cast<double>(ev.dur_us));
+        if (ph == 'i') w.key("s").value("t");
+        w.key("pid").value(1);
+        w.key("tid").value(r.tid);
+        if (ev.request_id != 0) {
+          w.key("args").begin_object();
+          w.key("request_id").value(ev.request_id);
+          w.end_object();
+        }
+        w.end_object();
+      }
+    }
+    w.end_array();
+    w.key("droppedEvents").value(dropped_events());
+    w.key("dropped_events").value(dropped_events());
+    w.key("flight_recorder").value(true);
+    w.end_object();
+    return w.str();
+  }
+
+  /// Writes to_json() to `path`; never throws (stderr note on failure).
+  bool dump_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "sparta: cannot write flight dump to '%s'\n",
+                   path.c_str());
+      return false;
+    }
+    const std::string doc = to_json();
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    return ok;
+  }
+
+  /// Async-signal-safe dump of the rings to `fd` as the same Chrome
+  /// trace document: only write(2), stack buffers, manual integer
+  /// formatting. Public so tests can exercise the crash path without
+  /// actually crashing.
+  void write_crash_dump(int fd) const {
+    FdWriter w(fd);
+    w.puts("{\"traceEvents\":[");
+    bool first = true;
+    const std::size_t n = nrings_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Ring& r = *rings_[i];
+      const std::uint64_t h = r.head.load(std::memory_order_acquire);
+      const std::uint64_t cap = r.mask + 1;
+      for (std::uint64_t e = h > cap ? h - cap : 0; e < h; ++e) {
+        const FlightEvent& ev = r.slots[e & r.mask];
+        if (!first) w.put(',');
+        first = false;
+        const std::array<char, 24> nm = sanitized_name(ev);
+        w.puts("{\"name\":\"");
+        w.puts(nm.data());
+        w.puts("\",\"cat\":\"sparta-flight\",\"ph\":\"");
+        const char ph = valid_phase(ev.phase);
+        w.put(ph);
+        w.puts("\",\"ts\":");
+        w.put_i64(ev.ts_us);
+        if (ph == 'X') {
+          w.puts(",\"dur\":");
+          w.put_i64(ev.dur_us);
+        }
+        if (ph == 'i') w.puts(",\"s\":\"t\"");
+        w.puts(",\"pid\":1,\"tid\":");
+        w.put_i64(r.tid);
+        if (ev.request_id != 0) {
+          w.puts(",\"args\":{\"request_id\":");
+          w.put_u64(ev.request_id);
+          w.put('}');
+        }
+        w.put('}');
+      }
+    }
+    w.puts("],\"droppedEvents\":");
+    w.put_u64(dropped_events());
+    w.puts(",\"dropped_events\":");
+    w.put_u64(dropped_events());
+    w.puts(",\"flight_recorder\":true}");
+    w.flush();
+  }
+
+  /// Opens `path` now (so the crash handler never calls open) and
+  /// installs fatal-signal handlers that dump the rings to it before
+  /// re-raising. Also enables the recorder. Returns false when the
+  /// file cannot be opened (handlers are then not installed).
+  bool arm_crash_dump(const std::string& path) {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      std::fprintf(stderr, "sparta: cannot arm flight dump at '%s'\n",
+                   path.c_str());
+      return false;
+    }
+    const int prev =
+        detail::g_flight_crash_fd.exchange(fd, std::memory_order_relaxed);
+    if (prev >= 0) ::close(prev);
+    enable();
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = &FlightRecorder::crash_signal_handler;
+    sigemptyset(&sa.sa_mask);
+    // SA_RESETHAND: disposition reverts to default on entry, so the
+    // re-raise below terminates the process with the original signal.
+    sa.sa_flags = SA_RESETHAND;
+    for (const int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT}) {
+      ::sigaction(sig, &sa, nullptr);
+    }
+    return true;
+  }
+
+ private:
+  struct Ring {
+    int tid = 0;
+    std::uint64_t mask = 0;            ///< capacity - 1 (power of two)
+    std::atomic<std::uint64_t> head{0};  ///< next write index, unwrapped
+    std::unique_ptr<FlightEvent[]> slots;
+  };
+
+  // Registration takes the mutex once per (thread, recorder); the
+  // published ring table is a fixed array + release-stored count so the
+  // signal handler can walk it without any lock.
+  Ring& ring_for_this_thread() {
+    thread_local std::uint64_t cached_id = 0;
+    thread_local Ring* cached = nullptr;
+    if (cached_id != id_) {
+      std::lock_guard<std::mutex> lk(mu_);
+      std::size_t slot = nrings_.load(std::memory_order_relaxed);
+      if (slot >= kMaxRings) {
+        // Out of ring slots: overflow threads share the last ring.
+        // Events interleave but stay structurally valid.
+        cached = rings_[kMaxRings - 1].get();
+      } else {
+        const std::uint64_t cap =
+            ring_capacity_.load(std::memory_order_relaxed);
+        auto ring = std::make_unique<Ring>();
+        ring->tid = static_cast<int>(slot);
+        ring->mask = cap - 1;
+        ring->slots = std::make_unique<FlightEvent[]>(cap);
+        cached = ring.get();
+        rings_[slot] = std::move(ring);
+        nrings_.store(slot + 1, std::memory_order_release);
+      }
+      cached_id = id_;
+    }
+    return *cached;
+  }
+
+  // A torn or garbage name must not break the dump's JSON: keep
+  // printable ASCII minus '"' and '\\', map the rest to '_', and never
+  // emit an empty name.
+  [[nodiscard]] static std::array<char, 24> sanitized_name(
+      const FlightEvent& ev) {
+    std::array<char, 24> out{};
+    std::size_t n = 0;
+    for (; n < sizeof(ev.name) && ev.name[n] != '\0'; ++n) {
+      const char c = ev.name[n];
+      out[n] = (c >= 0x20 && c < 0x7F && c != '"' && c != '\\') ? c : '_';
+    }
+    if (n == 0) out[n++] = '_';
+    out[n] = '\0';
+    return out;
+  }
+
+  [[nodiscard]] static char valid_phase(char ph) {
+    return (ph == 'X' || ph == 'i' || ph == 'C') ? ph : 'i';
+  }
+
+  // Buffered write(2)-only writer for the signal path.
+  class FdWriter {
+   public:
+    explicit FdWriter(int fd) : fd_(fd) {}
+    ~FdWriter() { flush(); }
+    void put(char c) {
+      if (n_ == sizeof(buf_)) flush();
+      buf_[n_++] = c;
+    }
+    void puts(const char* s) {
+      while (*s != '\0') put(*s++);
+    }
+    void put_u64(std::uint64_t v) {
+      char tmp[20];
+      std::size_t n = 0;
+      do {
+        tmp[n++] = static_cast<char>('0' + v % 10);
+        v /= 10;
+      } while (v != 0);
+      while (n > 0) put(tmp[--n]);
+    }
+    void put_i64(std::int64_t v) {
+      if (v < 0) {
+        put('-');
+        put_u64(~static_cast<std::uint64_t>(v) + 1);
+      } else {
+        put_u64(static_cast<std::uint64_t>(v));
+      }
+    }
+    void flush() {
+      std::size_t off = 0;
+      while (off < n_) {
+        const ::ssize_t w = ::write(fd_, buf_ + off, n_ - off);
+        if (w <= 0) break;  // best effort: we are likely crashing
+        off += static_cast<std::size_t>(w);
+      }
+      n_ = 0;
+    }
+
+   private:
+    int fd_;
+    char buf_[1024];
+    std::size_t n_ = 0;
+  };
+
+  static void crash_signal_handler(int sig) {
+    const int fd = detail::g_flight_crash_fd.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+      // The fd may have been written by an earlier on-demand dump
+      // through a separate stream: rewind and truncate so this dump is
+      // the whole file. Both calls are async-signal-safe.
+      ::lseek(fd, 0, SEEK_SET);
+      ::ftruncate(fd, 0);
+      global().write_crash_dump(fd);
+    }
+    ::raise(sig);  // default disposition restored by SA_RESETHAND
+  }
+
+  static std::uint64_t next_id() {
+    static std::atomic<std::uint64_t> n{0};
+    return n.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  const std::uint64_t id_ = next_id();
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> ring_capacity_{4096};
+  std::mutex mu_;  // registration only
+  std::array<std::unique_ptr<Ring>, kMaxRings> rings_;
+  std::atomic<std::size_t> nrings_{0};
+};
+
+namespace detail {
+
+// Arms SPARTA_FLIGHT once per process, before main(): enables the ring
+// and installs the crash handlers dumping to the given path.
+inline const bool g_flight_env_armed = [] {
+  if (const char* path = std::getenv("SPARTA_FLIGHT")) {
+    if (*path != '\0') {
+      FlightRecorder::global().arm_crash_dump(path);
+    }
+  }
+  return true;
+}();
+
+}  // namespace detail
+
+}  // namespace sparta::obs

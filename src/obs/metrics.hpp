@@ -235,6 +235,24 @@ class MetricsRegistry {
   std::map<std::string, std::string> sections_;
 };
 
+/// Adds `n` to counter `name` where the name is built at runtime
+/// (labelled names like "serve.outcome.deadline"). Prefer the
+/// SPARTA_COUNTER_ADD macro for literal names — it caches the handle;
+/// this helper pays the map lookup on every enabled call.
+inline void counter_add(std::string_view name, std::uint64_t n = 1) {
+  if (metrics_enabled()) {
+    MetricsRegistry::global().counter(name).add_unchecked(n);
+  }
+}
+
+/// Sets gauge `name` (runtime-built name) to `v`; same cost contract as
+/// counter_add.
+inline void gauge_set(std::string_view name, std::uint64_t v) {
+  if (metrics_enabled()) {
+    MetricsRegistry::global().gauge(name).set_unchecked(v);
+  }
+}
+
 namespace detail {
 
 inline const bool g_metrics_env_armed = [] {
@@ -274,6 +292,19 @@ inline const bool g_metrics_env_armed = [] {
       sparta_obs_g.max_unchecked(                                         \
           static_cast<std::uint64_t>(n));                                 \
     }                                                                     \
+  } while (0)
+
+/// Sets gauge `name` to `n` (last-write-wins sample, e.g. a queue depth
+/// observed at submit/dequeue), gated the same way as
+/// SPARTA_COUNTER_ADD.
+#define SPARTA_GAUGE_SET(name, n)                                          \
+  do {                                                                     \
+    if (::sparta::obs::metrics_enabled()) {                                \
+      static ::sparta::obs::Gauge& sparta_obs_gs =                         \
+          ::sparta::obs::MetricsRegistry::global().gauge(name);            \
+      sparta_obs_gs.set_unchecked(                                         \
+          static_cast<std::uint64_t>(n));                                  \
+    }                                                                      \
   } while (0)
 
 /// Records `v` into histogram `name` (string literal), gated the same

@@ -1,0 +1,128 @@
+// Append-only, size-rotated JSONL stat store: one record per served
+// request, written by ContractionService::execute and aggregated by
+// tools/sparta_stats. This is the durable observed-cost substrate the
+// ROADMAP's learned-planning item builds on — every record carries the
+// request's features (nnz, density, mode sizes, contract-mode count),
+// the variant the selector chose, cache behaviour, per-stage wall and
+// hardware-counter cost, and the outcome.
+//
+// Rotation: when appending would push the live file past max_bytes,
+// the chain path.(k-1) ← ... ← path.1 ← path is shifted and a fresh
+// live file is started, so at most max_files × max_bytes of history is
+// kept. Records are written whole lines under a mutex — a reader never
+// sees a torn record, and rotation happens only at line boundaries.
+//
+// Schema (stable, append-only; validated by .ci/check_statlog.py):
+//   docs/OBSERVABILITY.md § "The stat store".
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sparta::obs {
+
+struct StatLogConfig {
+  std::string path;                        ///< empty = disabled
+  std::size_t max_bytes = 16u << 20;       ///< live-file rotation point
+  int max_files = 4;                       ///< live + max_files-1 rotated
+};
+
+class StatLog {
+ public:
+  StatLog() = default;
+  explicit StatLog(StatLogConfig cfg) { open(std::move(cfg)); }
+  StatLog(const StatLog&) = delete;
+  StatLog& operator=(const StatLog&) = delete;
+  ~StatLog() { close(); }
+
+  /// Opens (appending) the configured path; false + stderr note when
+  /// the file cannot be opened — stat logging must never take the
+  /// service down. An empty path deconfigures the log.
+  bool open(StatLogConfig cfg) {
+    std::lock_guard<std::mutex> lk(mu_);
+    close_locked();
+    cfg_ = std::move(cfg);
+    if (cfg_.path.empty()) return true;
+    if (cfg_.max_bytes == 0) cfg_.max_bytes = 1;
+    if (cfg_.max_files < 1) cfg_.max_files = 1;
+    return open_locked();
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lk(mu_);
+    close_locked();
+  }
+
+  [[nodiscard]] bool enabled() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return f_ != nullptr;
+  }
+
+  [[nodiscard]] std::uint64_t lines_written() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return lines_;
+  }
+
+  /// Appends one record (a complete JSON object, no trailing newline)
+  /// as a line, rotating first when the live file would overflow.
+  void append(std::string_view json_record) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (f_ == nullptr) return;
+    const std::size_t add = json_record.size() + 1;
+    if (bytes_ > 0 && bytes_ + add > cfg_.max_bytes) rotate_locked();
+    if (f_ == nullptr) return;  // rotation reopen failed
+    std::fwrite(json_record.data(), 1, json_record.size(), f_);
+    std::fputc('\n', f_);
+    std::fflush(f_);  // a crash must not lose completed records
+    bytes_ += add;
+    ++lines_;
+  }
+
+ private:
+  bool open_locked() {
+    f_ = std::fopen(cfg_.path.c_str(), "a");
+    if (f_ == nullptr) {
+      std::fprintf(stderr, "sparta: cannot open statlog '%s'\n",
+                   cfg_.path.c_str());
+      return false;
+    }
+    const long pos = std::ftell(f_);
+    bytes_ = pos > 0 ? static_cast<std::size_t>(pos) : 0;
+    return true;
+  }
+
+  void close_locked() {
+    if (f_ != nullptr) {
+      std::fclose(f_);
+      f_ = nullptr;
+    }
+    bytes_ = 0;
+  }
+
+  // path.(k-1) ← ... ← path.1 ← path, then reopen a fresh live file.
+  void rotate_locked() {
+    std::fclose(f_);
+    f_ = nullptr;
+    for (int k = cfg_.max_files - 1; k >= 1; --k) {
+      const std::string to = cfg_.path + "." + std::to_string(k);
+      const std::string from =
+          k == 1 ? cfg_.path : cfg_.path + "." + std::to_string(k - 1);
+      std::remove(to.c_str());
+      std::rename(from.c_str(), to.c_str());
+    }
+    if (cfg_.max_files == 1) std::remove(cfg_.path.c_str());
+    open_locked();
+  }
+
+  mutable std::mutex mu_;
+  StatLogConfig cfg_;
+  std::FILE* f_ = nullptr;
+  std::size_t bytes_ = 0;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace sparta::obs

@@ -30,7 +30,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace sparta::obs {
 
@@ -38,12 +40,57 @@ namespace detail {
 // Namespace-scope flag so the disabled fast path is one relaxed load,
 // with no function-local-static guard in front of it.
 inline std::atomic<bool> g_trace_enabled{false};
+
+// Ambient request id for the calling thread; 0 = not request-scoped.
+// Established by RequestIdScope (the service installs one per worker,
+// the engine re-installs it inside OpenMP regions) and stamped into
+// every span/instant/counter arg so concurrent traces stay attributable.
+inline thread_local std::uint64_t t_request_id = 0;
 }  // namespace detail
 
 /// True when the global recorder is collecting events.
 [[nodiscard]] inline bool trace_enabled() {
   return detail::g_trace_enabled.load(std::memory_order_relaxed);
 }
+
+/// The calling thread's ambient request id (0 = none).
+[[nodiscard]] inline std::uint64_t current_request_id() {
+  return detail::t_request_id;
+}
+
+/// RAII: sets the calling thread's request id for the scope's lifetime,
+/// restoring the previous value on exit. Always overwrites — OpenMP
+/// pool threads retain thread-locals across parallel regions, so a
+/// region must re-establish the id captured on the spawning thread even
+/// when that id is 0 (otherwise a stale id from an earlier request
+/// would leak into this one's events).
+class RequestIdScope {
+ public:
+  explicit RequestIdScope(std::uint64_t id) : prev_(detail::t_request_id) {
+    detail::t_request_id = id;
+  }
+  RequestIdScope(const RequestIdScope&) = delete;
+  RequestIdScope& operator=(const RequestIdScope&) = delete;
+  ~RequestIdScope() { detail::t_request_id = prev_; }
+
+ private:
+  std::uint64_t prev_;
+};
+
+namespace detail {
+// Splices "request_id":N into a preformed JSON object ("{...}" or
+// empty). No-op for rid 0 so non-request traces are byte-identical to
+// what they were before correlation existed.
+inline std::string with_request_id(std::string args, std::uint64_t rid) {
+  if (rid == 0) return args;
+  std::string tag = "\"request_id\":" + std::to_string(rid);
+  if (args.size() < 2 || args.front() != '{' || args.back() != '}') {
+    return "{" + tag + "}";
+  }
+  if (args.size() == 2) return "{" + tag + "}";
+  return "{" + tag + "," + args.substr(1);
+}
+}  // namespace detail
 
 /// One recorded event. `phase` follows the trace_event format: 'X' =
 /// complete (span with duration), 'i' = instant, 'C' = counter.
@@ -96,6 +143,7 @@ class TraceRecorder {
     ThreadBuffer& buf = buffer_for_this_thread();
     if (buf.events.size() >= max_events_per_thread_) {
       ++buf.dropped;
+      SPARTA_COUNTER_ADD("obs.trace.dropped", 1);
       return;
     }
     buf.events.push_back(std::move(e));
@@ -190,6 +238,7 @@ class TraceRecorder {
     std::uint64_t dropped = 0;
     for (const auto& b : buffers_) dropped += b->dropped;
     w.key("droppedEvents").value(dropped);
+    w.key("dropped_events").value(dropped);  // snake_case alias
     w.end_object();
     return w.str();
   }
@@ -250,20 +299,27 @@ class TraceRecorder {
 };
 
 /// RAII scoped span: records a complete ('X') event covering its
-/// lifetime. Inert (no clock read, no allocation) when the recorder is
-/// disabled at construction.
+/// lifetime. Inert (no clock read, no allocation) when both the
+/// recorder and the flight recorder are disabled at construction. When
+/// only the flight recorder is on, the span feeds its ring and nothing
+/// else — names are kept, args are not. Every recorded event carries
+/// the ambient request id (current_request_id()) in its args.
 class Span {
  public:
   explicit Span(const char* name) : Span(TraceRecorder::global(), name) {}
   Span(TraceRecorder& rec, const char* name) {
-    if (rec.enabled()) {
+    traced_ = rec.enabled();
+    flight_ = flight_enabled() && &rec == &TraceRecorder::global();
+    if (traced_ || flight_) {
       rec_ = &rec;
       name_ = name;
       start_us_ = rec.now_us();
     }
   }
   Span(TraceRecorder& rec, std::string name) {
-    if (rec.enabled()) {
+    traced_ = rec.enabled();
+    flight_ = flight_enabled() && &rec == &TraceRecorder::global();
+    if (traced_ || flight_) {
       rec_ = &rec;
       owned_name_ = std::move(name);
       start_us_ = rec.now_us();
@@ -274,8 +330,10 @@ class Span {
 
   ~Span() { finish(); }
 
-  /// True when this span will be recorded; guard arg construction on it.
-  [[nodiscard]] bool active() const { return rec_ != nullptr; }
+  /// True when this span will be recorded with args (full trace);
+  /// guard arg construction on it. Flight-only spans report false —
+  /// the ring keeps no args, so building them would be wasted work.
+  [[nodiscard]] bool active() const { return traced_; }
 
   /// Attaches a preformed JSON object ("{...}") as the span's args.
   void set_args(std::string args_json) { args_ = std::move(args_json); }
@@ -283,14 +341,25 @@ class Span {
   /// Ends the span early (idempotent; the destructor is then a no-op).
   void finish() {
     if (!rec_) return;
-    TraceEvent e;
-    e.name = name_ ? std::string(name_) : std::move(owned_name_);
-    e.phase = 'X';
-    e.ts_us = start_us_;
-    e.dur_us = rec_->now_us() - start_us_;
-    e.args = std::move(args_);
-    rec_->record(std::move(e));
+    const std::int64_t end_us = rec_->now_us();
+    const std::uint64_t rid = current_request_id();
+    if (flight_) {
+      FlightRecorder::global().record(
+          name_ != nullptr ? name_ : owned_name_.c_str(), 'X', start_us_,
+          end_us - start_us_, rid);
+    }
+    if (traced_) {
+      TraceEvent e;
+      e.name = name_ ? std::string(name_) : std::move(owned_name_);
+      e.phase = 'X';
+      e.ts_us = start_us_;
+      e.dur_us = end_us - start_us_;
+      e.args = detail::with_request_id(std::move(args_), rid);
+      rec_->record(std::move(e));
+    }
     rec_ = nullptr;
+    traced_ = false;
+    flight_ = false;
   }
 
  private:
@@ -299,29 +368,50 @@ class Span {
   std::string owned_name_;
   std::string args_;
   std::int64_t start_us_ = 0;
+  bool traced_ = false;
+  bool flight_ = false;
 };
 
-/// Instant event ('i') on the global recorder; no-op when disabled.
+/// Instant event ('i') on the global recorder (and the flight ring);
+/// no-op when both are disabled.
 inline void trace_instant(std::string name, std::string args_json = {}) {
-  if (!trace_enabled()) return;
+  const bool traced = trace_enabled();
+  const bool flight = flight_enabled();
+  if (!traced && !flight) return;
   TraceRecorder& rec = TraceRecorder::global();
+  const std::int64_t ts = rec.now_us();
+  const std::uint64_t rid = current_request_id();
+  if (flight) {
+    FlightRecorder::global().record(name.c_str(), 'i', ts, 0, rid);
+  }
+  if (!traced) return;
   TraceEvent e;
   e.name = std::move(name);
   e.phase = 'i';
-  e.ts_us = rec.now_us();
-  e.args = std::move(args_json);
+  e.ts_us = ts;
+  e.args = detail::with_request_id(std::move(args_json), rid);
   rec.record(std::move(e));
 }
 
 /// Counter track event ('C') on the global recorder. `args_json` maps
-/// series name to value, e.g. {"searches":12,"hits":9}.
+/// series name to value, e.g. {"searches":12,"hits":9}. Counter tracks
+/// are per-series plots, so the request id is NOT spliced into the args
+/// (it would become a bogus series); flight rings keep it out of band.
 inline void trace_counter(std::string name, std::string args_json) {
-  if (!trace_enabled()) return;
+  const bool traced = trace_enabled();
+  const bool flight = flight_enabled();
+  if (!traced && !flight) return;
   TraceRecorder& rec = TraceRecorder::global();
+  const std::int64_t ts = rec.now_us();
+  if (flight) {
+    FlightRecorder::global().record(name.c_str(), 'C', ts, 0,
+                                    current_request_id());
+  }
+  if (!traced) return;
   TraceEvent e;
   e.name = std::move(name);
   e.phase = 'C';
-  e.ts_us = rec.now_us();
+  e.ts_us = ts;
   e.args = std::move(args_json);
   rec.record(std::move(e));
 }

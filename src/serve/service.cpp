@@ -7,8 +7,10 @@
 #include "common/parallel.hpp"
 #include "contraction/estimators.hpp"
 #include "contraction/resilient.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sparta::serve {
 
@@ -22,11 +24,42 @@ std::size_t pow2_at_least(std::size_t n) {
 
 constexpr std::size_t kUnlimited = static_cast<std::size_t>(-1);
 
+// Statlog/metrics outcome label; the enum check_statlog.py validates.
+const char* outcome_of(const ServeReport& rep) {
+  if (rep.ok()) return rep.degraded ? "degraded" : "ok";
+  if (rep.rejected) return "rejected";
+  if (rep.deadline_exceeded) return "deadline";
+  if (rep.cancelled) return "cancelled";
+  if (rep.budget_exceeded) return "budget";
+  return "error";
+}
+
+// nnz / Π(dims) in double arithmetic: mode-size products overflow
+// uint64 routinely (that is why they exist), doubles do not care.
+double density_of(std::size_t nnz, const std::vector<index_t>& dims) {
+  double cells = 1.0;
+  for (const index_t d : dims) cells *= static_cast<double>(d);
+  return cells > 0.0 ? static_cast<double>(nnz) / cells : 0.0;
+}
+
+void write_dims(obs::JsonWriter& w, const std::vector<index_t>& dims) {
+  w.begin_array();
+  for (const index_t d : dims) w.value(static_cast<std::uint64_t>(d));
+  w.end_array();
+}
+
+void write_modes(obs::JsonWriter& w, const Modes& modes) {
+  w.begin_array();
+  for (const int m : modes) w.value(m);
+  w.end_array();
+}
+
 }  // namespace
 
 std::string ServeReport::to_json() const {
   obs::JsonWriter w;
   w.begin_object();
+  w.key("request_id").value(request_id);
   w.key("x").value(std::string_view(x));
   w.key("y").value(std::string_view(y));
   w.key("variant").value(algorithm_name(variant));
@@ -37,6 +70,7 @@ std::string ServeReport::to_json() const {
   w.key("rejected").value(rejected);
   w.key("cancelled").value(cancelled);
   w.key("deadline_exceeded").value(deadline_exceeded);
+  w.key("budget_exceeded").value(budget_exceeded);
   w.key("queue_seconds").value(queue_seconds);
   w.key("exec_seconds").value(exec_seconds);
   w.key("cancel_seconds").value(cancel_seconds);
@@ -89,6 +123,11 @@ ContractionService::ContractionService(ServeConfig cfg)
   pc.use_swiss_tables = selector_.swiss_tables_enabled();
   cache_ = std::make_unique<PlanCache>(pc);
 
+  if (!cfg_.statlog_path.empty()) {
+    statlog_.open({cfg_.statlog_path, cfg_.statlog_max_bytes,
+                   cfg_.statlog_max_files});
+  }
+
   active_.resize(static_cast<std::size_t>(num_workers_));
   workers_.reserve(static_cast<std::size_t>(num_workers_));
   for (int i = 0; i < num_workers_; ++i) {
@@ -118,6 +157,10 @@ bool ContractionService::drop(const std::string& name) {
 std::future<ServeReport> ContractionService::submit(ServeRequest req) {
   auto q = std::make_unique<Queued>();
   q->req = std::move(req);
+  // 1-based so a report (or span) with request_id 0 is unambiguously
+  // "never submitted".
+  q->request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   // The deadline clock starts here: queue wait spends it exactly like
   // execution time does.
   q->cancel = q->req.deadline_ms > 0.0
@@ -146,16 +189,21 @@ std::future<ServeReport> ContractionService::submit(ServeRequest req) {
     q->queued_at.reset();  // queue wait starts now, not at construction
     queue_.push_back(std::move(q));
     SPARTA_GAUGE_MAX("serve.queue.depth", queue_.size());
+    // Last-sampled depth (vs the high-water mark above) — the live
+    // exposition's instantaneous backlog signal.
+    SPARTA_GAUGE_SET("serve.queue_depth", queue_.size());
   }
   not_empty_.notify_one();
   if (shed != nullptr) {
     SPARTA_COUNTER_ADD("serve.shed", 1);
     ServeReport rep;
+    rep.request_id = shed->request_id;
     rep.x = shed->req.x;
     rep.y = shed->req.y;
     rep.rejected = true;
     rep.error = "shed on overload: queue full";
     rep.queue_seconds = shed->queued_at.seconds();
+    log_request(shed->req, rep);
     shed->promise.set_value(std::move(rep));
   }
   return fut;
@@ -199,11 +247,13 @@ void ContractionService::shutdown_now() {
   for (std::unique_ptr<Queued>& q : dropped) {
     SPARTA_COUNTER_ADD("serve.cancelled", 1);
     ServeReport rep;
+    rep.request_id = q->request_id;
     rep.x = q->req.x;
     rep.y = q->req.y;
     rep.cancelled = true;
     rep.error = "cancelled: service shutdown";
     rep.queue_seconds = q->queued_at.seconds();
+    log_request(q->req, rep);
     q->promise.set_value(std::move(rep));
   }
   for (std::thread& w : workers_) {
@@ -270,10 +320,25 @@ void ContractionService::worker_loop(int idx) {
       // shutdown_now() sees either the queued item or the active token
       // — never neither.
       active_[slot] = q->cancel;
+      SPARTA_GAUGE_SET("serve.queue_depth", queue_.size());
     }
     not_full_.notify_one();
     const double waited = q->queued_at.seconds();
     SPARTA_HISTOGRAM_RECORD("serve.queue_wait_us", waited * 1e6);
+
+    // Every span/instant from here to the promise resolution — the
+    // serve.request umbrella span and everything the engine emits —
+    // carries this request's correlation id.
+    obs::RequestIdScope rid_scope(q->request_id);
+    obs::Span request_span(obs::TraceRecorder::global(), "serve.request");
+    if (request_span.active()) {
+      obs::JsonWriter aw;
+      aw.begin_object();
+      aw.key("x").value(std::string_view(q->req.x));
+      aw.key("y").value(std::string_view(q->req.y));
+      aw.end_object();
+      request_span.set_args(aw.str());
+    }
 
     ServeReport rep;
     if (q->cancel.cancelled()) {
@@ -288,7 +353,7 @@ void ContractionService::worker_loop(int idx) {
                       : std::string("cancelled: ") + q->cancel.reason();
     } else {
       try {
-        rep = execute(q->req, q->cancel);
+        rep = execute(q->req, q->cancel, q->request_id);
       } catch (const Cancelled& e) {
         // Cancellation unwound the contraction (all charges released
         // by RAII on the way out). Not a worker failure.
@@ -315,8 +380,18 @@ void ContractionService::worker_loop(int idx) {
         SPARTA_COUNTER_ADD("serve.deadline_exceeded", 1);
       }
     }
+    rep.request_id = q->request_id;
     rep.queue_seconds = waited;
     SPARTA_HISTOGRAM_RECORD("serve.exec_us", rep.exec_seconds * 1e6);
+    request_span.finish();
+    // A hard failure (not an admission rejection, not a cancel) is the
+    // flight recorder's moment: dump the rings while the evidence —
+    // the last few thousand events across every thread — is fresh.
+    if (!rep.ok() && !rep.rejected && !rep.cancelled &&
+        !cfg_.flight_dump_path.empty() && obs::flight_enabled()) {
+      obs::FlightRecorder::global().dump_file(cfg_.flight_dump_path);
+    }
+    log_request(q->req, rep);
     {
       std::lock_guard<std::mutex> lk(qmu_);
       active_[slot] = CancelToken{};
@@ -326,8 +401,10 @@ void ContractionService::worker_loop(int idx) {
 }
 
 ServeReport ContractionService::execute(const ServeRequest& req,
-                                        const CancelToken& cancel) {
+                                        const CancelToken& cancel,
+                                        std::uint64_t request_id) {
   ServeReport rep;
+  rep.request_id = request_id;
   rep.x = req.x;
   rep.y = req.y;
 
@@ -352,6 +429,7 @@ ServeReport ContractionService::execute(const ServeRequest& req,
   // when an accepted request trips the runtime budget mid-flight.
   const auto run_degraded = [&](ServeReport& r) {
     ContractOptions o;
+    o.request_id = request_id;
     o.num_threads = threads_per_request_;
     o.cancel = cancel;  // every rung polls; Cancelled aborts the ladder
     // rung_options() strips the flag off the SPA rung.
@@ -436,6 +514,7 @@ ServeReport ContractionService::execute(const ServeRequest& req,
   }
 
   ContractOptions opts;
+  opts.request_id = request_id;
   opts.num_threads = threads_per_request_;
   opts.algorithm = variant;
   opts.cancel = cancel;
@@ -467,6 +546,7 @@ ServeReport ContractionService::execute(const ServeRequest& req,
     SPARTA_COUNTER_ADD("serve.admit.accept", 1);
     selector_.record(variant, rep.exec_seconds, x.nnz() + y.nnz());
   } catch (const BudgetExceeded& e) {
+    rep.budget_exceeded = true;
     if (!cfg_.allow_degrade) {
       rep.error = e.what();
       return rep;
@@ -488,10 +568,77 @@ ServeReport ContractionService::execute(const ServeRequest& req,
       // copy is the service's; the report keeps its own reference.
       load(req.store_as, SparseTensor(*rep.z));
     } catch (const BudgetExceeded& e) {
+      rep.budget_exceeded = true;
       rep.error = "store '" + req.store_as + "' failed: " + e.what();
     }
   }
   return rep;
+}
+
+void ContractionService::log_request(const ServeRequest& req,
+                                     const ServeReport& rep) {
+  const char* outcome = outcome_of(rep);
+  // Labelled counters: one series per outcome and per served variant,
+  // so the exposition endpoint shows the mix without parsing statlogs.
+  obs::counter_add(std::string("serve.outcome.") + outcome, 1);
+  if (!rep.rejected) {
+    obs::counter_add(std::string("serve.requests.variant.") +
+                         std::string(algorithm_name(rep.variant)),
+                     1);
+  }
+
+  if (!statlog_.enabled()) return;
+
+  // Operand features are resolved at log time: a shed or shutdown-
+  // dropped request never touched the registry, and the tensors may
+  // have been dropped since — both degrade to absent keys, never to a
+  // blocked logger.
+  const TensorRegistry::Handle hx = registry_.try_get(req.x);
+  const TensorRegistry::Handle hy = registry_.try_get(req.y);
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema_version").value(1);
+  w.key("request_id").value(rep.request_id);
+  w.key("x").value(std::string_view(req.x));
+  w.key("y").value(std::string_view(req.y));
+  w.key("cx");
+  write_modes(w, req.cx);
+  w.key("cy");
+  write_modes(w, req.cy);
+  w.key("num_contract_modes").value(
+      static_cast<std::uint64_t>(req.cx.size()));
+  w.key("variant").value(algorithm_name(rep.variant));
+  w.key("outcome").value(outcome);
+  w.key("cache_hit").value(rep.cache_hit);
+  w.key("plan_cached").value(rep.plan_cached);
+  w.key("degraded").value(rep.degraded);
+  w.key("budget_exceeded").value(rep.budget_exceeded);
+  if (hx.valid()) {
+    w.key("nnz_x").value(static_cast<std::uint64_t>(hx.tensor->nnz()));
+    w.key("density_x").value(density_of(hx.tensor->nnz(),
+                                        hx.tensor->dims()));
+    w.key("dims_x");
+    write_dims(w, hx.tensor->dims());
+  }
+  if (hy.valid()) {
+    w.key("nnz_y").value(static_cast<std::uint64_t>(hy.tensor->nnz()));
+    w.key("density_y").value(density_of(hy.tensor->nnz(),
+                                        hy.tensor->dims()));
+    w.key("dims_y");
+    write_dims(w, hy.tensor->dims());
+  }
+  w.key("nnz_z").value(static_cast<std::uint64_t>(rep.stats.nnz_z));
+  w.key("queue_seconds").value(rep.queue_seconds);
+  w.key("exec_seconds").value(rep.exec_seconds);
+  w.key("cancel_seconds").value(rep.cancel_seconds);
+  w.key("stages").raw(rep.stage_times.to_json());
+  w.key("perf").raw(rep.stats.perf.to_json());
+  if (!rep.error.empty()) {
+    w.key("error").value(std::string_view(rep.error));
+  }
+  w.end_object();
+  statlog_.append(w.str());
 }
 
 }  // namespace sparta::serve

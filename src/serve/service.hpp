@@ -33,6 +33,7 @@
 
 #include "common/timer.hpp"
 #include "contraction/contract.hpp"
+#include "obs/statlog.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/registry.hpp"
 #include "serve/selector.hpp"
@@ -76,6 +77,20 @@ struct ServeConfig {
 
   /// Forwarded to the plan cache (0 = auto bucket count).
   std::size_t hty_buckets = 0;
+
+  /// Stat store: when non-empty, every request appends one JSONL record
+  /// (features, variant, cost, outcome) to this path, size-rotated at
+  /// statlog_max_bytes across statlog_max_files files. Aggregate with
+  /// tools/sparta_stats. See obs/statlog.hpp.
+  std::string statlog_path;
+  std::size_t statlog_max_bytes = 16u << 20;
+  int statlog_max_files = 4;
+
+  /// When non-empty, a request that fails hard (error outcome — not
+  /// rejected, not cancelled) dumps the flight-recorder rings to this
+  /// path as a Chrome trace. The caller is responsible for enabling
+  /// the flight recorder (sparta_serve --flight-dump does both).
+  std::string flight_dump_path;
 };
 
 /// One contraction request against registered tensors.
@@ -103,6 +118,12 @@ struct ServeRequest {
 /// Everything the service knows about one completed (or failed)
 /// request.
 struct ServeReport {
+  /// Monotonic correlation id assigned at submit() (1-based; 0 only in
+  /// a default-constructed report). The same id is stamped into every
+  /// engine trace span/instant this request emitted (args key
+  /// "request_id") and into its statlog record, so a slow request in a
+  /// merged concurrent trace maps back to exactly this report.
+  std::uint64_t request_id = 0;
   std::string x;
   std::string y;
   Algorithm variant = Algorithm::kSparta;
@@ -112,6 +133,7 @@ struct ServeReport {
   bool rejected = false;    ///< admission refused or shed the request
   bool cancelled = false;   ///< unwound via CancelToken (any reason)
   bool deadline_exceeded = false;  ///< the cancel was a deadline trip
+  bool budget_exceeded = false;    ///< failure traces back to the budget
   std::string error;        ///< empty on success
   std::string resilience;   ///< ladder summary when degraded
 
@@ -209,16 +231,27 @@ class ContractionService {
   ///  "budget":{"capacity":..,"live":..}}
   [[nodiscard]] std::string counters_json() const;
 
+  /// Records appended to the stat store so far (0 when disabled).
+  [[nodiscard]] std::uint64_t statlog_lines() const {
+    return statlog_.lines_written();
+  }
+
  private:
   struct Queued {
     ServeRequest req;
     std::promise<ServeReport> promise;
     Timer queued_at;
     CancelToken cancel;  ///< live from submit(); deadline token if set
+    std::uint64_t request_id = 0;
   };
 
   void worker_loop(int idx);
-  ServeReport execute(const ServeRequest& req, const CancelToken& cancel);
+  ServeReport execute(const ServeRequest& req, const CancelToken& cancel,
+                      std::uint64_t request_id);
+  /// Appends the request's statlog record (when configured) and bumps
+  /// the labelled outcome counters; called exactly once per resolved
+  /// request, including shed and shutdown drops.
+  void log_request(const ServeRequest& req, const ServeReport& rep);
 
   ServeConfig cfg_;
   int num_workers_ = 1;
@@ -244,6 +277,9 @@ class ContractionService {
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> next_request_id_{0};
+
+  obs::StatLog statlog_;
 };
 
 }  // namespace sparta::serve

@@ -1,22 +1,32 @@
 // Tests for the observability layer (src/obs/): the streaming JSON
-// writer + validator, the lock-free trace recorder, the metrics
-// registry, and the zero-cost-when-disabled contract the engine's
-// instrumentation relies on.
+// writer + validator, the lock-free trace recorder, the flight
+// recorder, the metrics registry + exposition, the statlog store, and
+// the zero-cost-when-disabled contract the engine's instrumentation
+// relies on.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 #ifdef _OPENMP
 #include <omp.h>
 #endif
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
+#include "obs/json_parse.hpp"
 #include "obs/metrics.hpp"
+#include "obs/statlog.hpp"
 #include "obs/trace.hpp"
 
 namespace sparta::obs {
@@ -362,6 +372,394 @@ TEST(Overhead, DisabledSitesAreCheap) {
   // ~4M gated sites; even a debug build does this in well under a
   // second. 5s keeps sanitizer/valgrind runs green.
   EXPECT_LT(secs, 5.0);
+}
+
+// ---------------------------------------------------------- request id
+
+TEST(RequestId, WithRequestIdSplicesArgs) {
+  EXPECT_EQ(detail::with_request_id("", 0), "");
+  EXPECT_EQ(detail::with_request_id("{\"a\":1}", 0), "{\"a\":1}");
+  EXPECT_EQ(detail::with_request_id("", 7), "{\"request_id\":7}");
+  EXPECT_EQ(detail::with_request_id("{}", 7), "{\"request_id\":7}");
+  EXPECT_EQ(detail::with_request_id("{\"a\":1}", 7),
+            "{\"request_id\":7,\"a\":1}");
+  EXPECT_TRUE(json_valid(detail::with_request_id("{\"a\":1}", 7)));
+}
+
+TEST(RequestId, ScopeInstallsAndRestores) {
+  EXPECT_EQ(current_request_id(), 0u);
+  {
+    RequestIdScope outer(11);
+    EXPECT_EQ(current_request_id(), 11u);
+    {
+      RequestIdScope inner(22);
+      EXPECT_EQ(current_request_id(), 22u);
+      // Unconditional overwrite: re-installing 0 must work too (OpenMP
+      // pool threads re-establish the spawning thread's id, stale ids
+      // must not survive).
+      RequestIdScope zero(0);
+      EXPECT_EQ(current_request_id(), 0u);
+    }
+    EXPECT_EQ(current_request_id(), 11u);
+  }
+  EXPECT_EQ(current_request_id(), 0u);
+}
+
+TEST(RequestId, SpanAndInstantCarryAmbientId) {
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.clear();
+  rec.enable();
+  {
+    RequestIdScope scope(42);
+    Span s(rec, "tagged");
+    s.set_args("{\"k\":1}");
+    s.finish();
+    trace_instant("tagged-instant");
+  }
+  { Span s(rec, "untagged"); }
+  rec.disable();
+  int tagged = 0;
+  for (const TraceEvent& e : rec.snapshot()) {
+    if (e.name == "tagged") {
+      EXPECT_EQ(e.args, "{\"request_id\":42,\"k\":1}");
+      ++tagged;
+    } else if (e.name == "tagged-instant") {
+      EXPECT_EQ(e.args, "{\"request_id\":42}");
+      ++tagged;
+    } else if (e.name == "untagged") {
+      EXPECT_EQ(e.args, "");
+    }
+  }
+  EXPECT_EQ(tagged, 2);
+  EXPECT_TRUE(json_valid(rec.to_json()));
+  rec.clear();
+}
+
+TEST(TraceRecorder, SnakeCaseDroppedFooter) {
+  TraceRecorder rec;
+  rec.enable();
+  rec.set_max_events_per_thread(1);
+  { Span s(rec, "kept"); }
+  { Span s(rec, "dropped"); }
+  const std::string doc = rec.to_json();
+  EXPECT_NE(doc.find("\"droppedEvents\":1"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"dropped_events\":1"), std::string::npos) << doc;
+}
+
+TEST(Metrics, TraceDropCounterBumps) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.reset();
+  reg.enable();
+  TraceRecorder rec;
+  rec.enable();
+  rec.set_max_events_per_thread(2);
+  for (int i = 0; i < 5; ++i) Span s(rec, "spam");
+  reg.disable();
+  EXPECT_EQ(reg.counter_value("obs.trace.dropped"), 3u);
+  reg.reset();
+}
+
+// ----------------------------------------------------- flight recorder
+
+TEST(FlightRecorder, RecordsAndDumpsValidChromeTrace) {
+  FlightRecorder& fr = FlightRecorder::global();
+  fr.clear();
+  fr.enable();
+  fr.record("alpha", 'X', 100, 50, 7);
+  fr.record("beta", 'i', 160, 0, 0);
+  fr.record("gamma", 'C', 170, 0, 7);
+  fr.disable();
+  EXPECT_GE(fr.num_events(), 3u);
+  const std::string doc = fr.to_json();
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  EXPECT_NE(doc.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(doc.find("\"cat\":\"sparta-flight\""), std::string::npos);
+  EXPECT_NE(doc.find("\"request_id\":7"), std::string::npos);
+  EXPECT_NE(doc.find("\"dropped_events\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"flight_recorder\":true"), std::string::npos);
+  fr.clear();
+}
+
+TEST(FlightRecorder, SpanFeedsRingWhenTraceDisabled) {
+  FlightRecorder& fr = FlightRecorder::global();
+  TraceRecorder& rec = TraceRecorder::global();
+  ASSERT_FALSE(rec.enabled());
+  rec.clear();
+  fr.clear();
+  fr.enable();
+  {
+    RequestIdScope scope(9);
+    Span s("flight-only");  // global recorder, trace disabled
+    EXPECT_FALSE(s.active());  // no args will be kept — don't build them
+  }
+  trace_instant("flight-instant");
+  fr.disable();
+  EXPECT_EQ(rec.num_events(), 0u);
+  const std::string doc = fr.to_json();
+  EXPECT_NE(doc.find("\"flight-only\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"flight-instant\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"request_id\":9"), std::string::npos) << doc;
+  fr.clear();
+}
+
+TEST(FlightRecorder, RingWrapKeepsLastEventsAndCountsDropped) {
+  // A private recorder would be better, but rings are per (thread,
+  // instance) and global() is what production uses; clear() between
+  // tests keeps this hermetic enough.
+  FlightRecorder& fr = FlightRecorder::global();
+  fr.clear();
+  fr.enable();
+  // The default ring capacity is 4096; overfill it from this one thread.
+  constexpr int kEvents = 5000;
+  for (int i = 0; i < kEvents; ++i) {
+    fr.record(("e" + std::to_string(i)).c_str(), 'X', i, 1, 0);
+  }
+  fr.disable();
+  EXPECT_GE(fr.dropped_events(), kEvents - 4096);
+  const std::string doc = fr.to_json();
+  EXPECT_TRUE(json_valid(doc));
+  // The newest event survived; the oldest was overwritten.
+  EXPECT_NE(doc.find("\"e4999\""), std::string::npos);
+  EXPECT_EQ(doc.find("\"e0\","), std::string::npos);
+  fr.clear();
+}
+
+TEST(FlightRecorder, NameTruncationAndSanitization) {
+  FlightRecorder& fr = FlightRecorder::global();
+  fr.clear();
+  fr.enable();
+  fr.record("a-very-long-span-name-that-will-truncate", 'X', 0, 1, 0);
+  fr.record("quote\"and\\slash", 'i', 1, 0, 0);
+  fr.record("", '?', 2, 0, 0);  // empty name, bogus phase
+  fr.disable();
+  const std::string doc = fr.to_json();
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  // 22 chars of payload + NUL fit the 23-byte slot.
+  EXPECT_NE(doc.find("\"a-very-long-span-name-\""), std::string::npos);
+  EXPECT_NE(doc.find("\"quote_and_slash\""), std::string::npos);
+  // Bogus phase degraded to an instant, empty name to "_".
+  EXPECT_NE(doc.find("\"_\""), std::string::npos);
+  fr.clear();
+}
+
+TEST(FlightRecorder, CrashDumpPathMatchesToJson) {
+  FlightRecorder& fr = FlightRecorder::global();
+  fr.clear();
+  fr.enable();
+  fr.record("crash-evidence", 'X', 10, 5, 3);
+  fr.record("last-instant", 'i', 20, 0, 3);
+  fr.disable();
+  const std::string path = ::testing::TempDir() + "sparta_crash_dump.json";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  fr.write_crash_dump(fd);  // the signal handler's exact code path
+  ::close(fd);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string doc = ss.str();
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  EXPECT_NE(doc.find("\"crash-evidence\""), std::string::npos);
+  EXPECT_NE(doc.find("\"request_id\":3"), std::string::npos);
+  EXPECT_NE(doc.find("\"flight_recorder\":true"), std::string::npos);
+  // Byte-identical to the allocating dump: one formatter cannot rot
+  // while the other is exercised.
+  EXPECT_EQ(doc, fr.to_json());
+  std::remove(path.c_str());
+  fr.clear();
+}
+
+TEST(FlightRecorder, DumpFileRoundTrip) {
+  FlightRecorder& fr = FlightRecorder::global();
+  fr.clear();
+  fr.enable();
+  fr.record("dumped", 'X', 1, 1, 0);
+  fr.disable();
+  const std::string path = ::testing::TempDir() + "sparta_flight_test.json";
+  ASSERT_TRUE(fr.dump_file(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_TRUE(json_valid(ss.str()));
+  EXPECT_NE(ss.str().find("\"dumped\""), std::string::npos);
+  std::remove(path.c_str());
+  fr.clear();
+}
+
+// The disabled-overhead contract must hold with the flight recorder
+// compiled into every Span: still one relaxed load per site.
+TEST(Overhead, DisabledFlightSitesAreCheap) {
+  ASSERT_FALSE(trace_enabled());
+  ASSERT_FALSE(flight_enabled());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 2000000; ++i) {
+    Span s("flight-overhead-probe");
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(FlightRecorder::global().num_events(), 0u);
+  EXPECT_LT(secs, 5.0);
+}
+
+// ------------------------------------------------------------- statlog
+
+TEST(StatLog, AppendsJsonlAndCountsLines) {
+  const std::string path = ::testing::TempDir() + "sparta_statlog.jsonl";
+  std::remove(path.c_str());
+  {
+    StatLog log;
+    StatLogConfig cfg;
+    cfg.path = path;
+    ASSERT_TRUE(log.open(cfg));
+    EXPECT_TRUE(log.enabled());
+    log.append("{\"request_id\":1}");
+    log.append("{\"request_id\":2}");
+    EXPECT_EQ(log.lines_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(json_valid(line)) << line;
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(StatLog, ReopenAppends) {
+  const std::string path = ::testing::TempDir() + "sparta_statlog2.jsonl";
+  std::remove(path.c_str());
+  StatLogConfig cfg;
+  cfg.path = path;
+  {
+    StatLog log;
+    ASSERT_TRUE(log.open(cfg));
+    log.append("{\"a\":1}");
+  }
+  {
+    StatLog log;
+    ASSERT_TRUE(log.open(cfg));
+    log.append("{\"b\":2}");
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(in, line)) ++n;
+  EXPECT_EQ(n, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(StatLog, RotatesAtSizeBoundary) {
+  const std::string path = ::testing::TempDir() + "sparta_statlog3.jsonl";
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+  std::remove((path + ".2").c_str());
+  StatLog log;
+  StatLogConfig cfg;
+  cfg.path = path;
+  cfg.max_bytes = 64;  // tiny: a few records per segment
+  cfg.max_files = 3;
+  ASSERT_TRUE(log.open(cfg));
+  for (int i = 0; i < 20; ++i) {
+    log.append("{\"request_id\":" + std::to_string(i) + "}");
+  }
+  log.close();
+  // The live file plus at least one rotated segment exist; every line
+  // of every segment is intact JSON (rotation happens at line
+  // boundaries, never mid-record).
+  std::size_t total = 0;
+  bool saw_rotated = false;
+  for (const std::string p : {path, path + ".1", path + ".2"}) {
+    std::ifstream in(p);
+    if (!in.good()) continue;
+    if (p != path) saw_rotated = true;
+    std::string line;
+    while (std::getline(in, line)) {
+      EXPECT_TRUE(json_valid(line)) << p << ": " << line;
+      ++total;
+    }
+    std::remove(p.c_str());
+  }
+  EXPECT_TRUE(saw_rotated);
+  EXPECT_GT(total, 0u);
+  // Rotation may discard the oldest segment, never the newest records.
+  EXPECT_LE(total, 20u);
+}
+
+// ---------------------------------------------------------- exposition
+
+TEST(Exposition, PrometheusTextRendersAllKinds) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.reset();
+  reg.enable();
+  reg.counter("serve.outcome.ok").add_unchecked(5);
+  reg.gauge("serve.queue_depth").set_unchecked(3);
+  for (int i = 0; i < 100; ++i) {
+    reg.histogram("serve.exec_us").record(1u << (i % 10));
+  }
+  reg.disable();
+  const std::string text = prometheus_text(reg);
+  EXPECT_NE(text.find("# TYPE sparta_serve_outcome_ok counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sparta_serve_outcome_ok 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sparta_serve_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("sparta_serve_queue_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sparta_serve_exec_us summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("sparta_serve_exec_us{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("sparta_serve_exec_us_count 100"),
+            std::string::npos);
+  reg.reset();
+}
+
+TEST(Exposition, SocketServesOneSnapshotPerConnection) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.reset();
+  reg.enable();
+  reg.counter("test.obs.scraped").add_unchecked(13);
+  const std::string path = ::testing::TempDir() + "sparta_stats.sock";
+  StatsSocketServer server(reg);
+  ASSERT_TRUE(server.start(path));
+  const auto scrape = [&]() -> std::string {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    std::string body;
+    char buf[512];
+    ::ssize_t r;
+    while ((r = ::read(fd, buf, sizeof(buf))) > 0) {
+      body.append(buf, static_cast<std::size_t>(r));
+    }
+    ::close(fd);
+    return body;
+  };
+  const std::string first = scrape();
+  EXPECT_NE(first.find("sparta_test_obs_scraped 13"), std::string::npos)
+      << first;
+  reg.counter("test.obs.scraped").add_unchecked(1);
+  const std::string second = scrape();
+  EXPECT_NE(second.find("sparta_test_obs_scraped 14"), std::string::npos)
+      << second;
+  // The server bumps scrapes() after closing the connection, so the
+  // client can observe EOF first — poll briefly instead of racing.
+  for (int i = 0; i < 200 && server.scrapes() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.scrapes(), 2u);
+  server.stop();
+  reg.disable();
+  reg.reset();
 }
 
 }  // namespace

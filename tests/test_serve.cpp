@@ -1,9 +1,15 @@
 // Tests for the src/serve/ subsystem: tensor registry, plan cache,
-// variant selector, the contraction service, and workload scripts.
+// variant selector, the contraction service (including request
+// correlation, the statlog store, and flight dumps), and workload
+// scripts.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <future>
+#include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -12,6 +18,10 @@
 #include "contraction/contract.hpp"
 #include "contraction/estimators.hpp"
 #include "memsim/allocator.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
+#include "obs/json_parse.hpp"
+#include "obs/trace.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/registry.hpp"
 #include "serve/selector.hpp"
@@ -491,6 +501,170 @@ TEST_F(ServiceTest, ReportJsonCarriesTheContract) {
   EXPECT_NE(counters.find("\"cache\""), std::string::npos);
   EXPECT_NE(counters.find("\"admission\""), std::string::npos);
   EXPECT_NE(counters.find("\"selector\""), std::string::npos);
+}
+
+// --- Telemetry: correlation, statlog, flight dumps --------------------
+
+TEST_F(ServiceTest, RequestIdsAreMonotonicAndUnique) {
+  ContractionService svc;
+  svc.load("X", x_);
+  svc.load("Y", y_);
+  std::vector<std::future<ServeReport>> futs;
+  for (int i = 0; i < 8; ++i) {
+    futs.push_back(svc.submit(request(Algorithm::kSpa)));
+  }
+  std::set<std::uint64_t> ids;
+  for (auto& f : futs) {
+    const ServeReport rep = f.get();
+    ASSERT_TRUE(rep.ok()) << rep.error;
+    EXPECT_GE(rep.request_id, 1u);
+    ids.insert(rep.request_id);
+  }
+  EXPECT_EQ(ids.size(), 8u);  // all distinct
+  EXPECT_EQ(*ids.rbegin(), 8u);  // dense 1..8: assigned at submit()
+  // The JSON row carries the id for offline join with traces/statlogs.
+  ServeReport rep = svc.contract_sync(request(Algorithm::kSpa));
+  EXPECT_NE(rep.to_json().find("\"request_id\":9"), std::string::npos)
+      << rep.to_json();
+}
+
+// The tentpole invariant: in a merged trace of CONCURRENT requests,
+// every span/instant that carries a request_id arg maps to exactly one
+// ServeReport, and every report has at least one span. Without
+// correlation ids a concurrent trace is an unattributable soup; this
+// test is what "request-scoped" means.
+TEST_F(ServiceTest, ConcurrentTraceSpansMapToExactlyOneReport) {
+  obs::TraceRecorder& rec = obs::TraceRecorder::global();
+  rec.clear();
+  rec.enable();
+
+  ServeConfig cfg;
+  cfg.num_workers = 4;  // real concurrency: interleaved worker spans
+  ContractionService svc(cfg);
+  svc.load("X", x_);
+  svc.load("Y", y_);
+  std::vector<std::future<ServeReport>> futs;
+  constexpr int kRequests = 12;
+  for (int i = 0; i < kRequests; ++i) {
+    // Mix of variants so different engine paths emit under load.
+    futs.push_back(svc.submit(request(
+        i % 2 == 0 ? Algorithm::kSparta : Algorithm::kCooHta)));
+  }
+  std::set<std::uint64_t> report_ids;
+  for (auto& f : futs) {
+    const ServeReport rep = f.get();
+    ASSERT_TRUE(rep.ok()) << rep.error;
+    report_ids.insert(rep.request_id);
+  }
+  svc.shutdown();
+  rec.disable();
+  ASSERT_EQ(report_ids.size(), kRequests);
+
+  // Walk every recorded event; each request_id arg must be a known
+  // report id (no orphans, no stale thread-local leakage), and every
+  // report must have been traced.
+  std::map<std::uint64_t, std::size_t> spans_per_request;
+  for (const obs::TraceEvent& e : rec.snapshot()) {
+    if (e.args.empty() || e.phase == 'C') continue;
+    const std::optional<obs::JsonValue> args = obs::json_parse(e.args);
+    ASSERT_TRUE(args.has_value()) << e.args;
+    const obs::JsonValue* rid = args->get("request_id");
+    if (rid == nullptr) continue;  // not request-scoped (e.g. load())
+    const auto id = static_cast<std::uint64_t>(rid->number_or(0));
+    EXPECT_EQ(report_ids.count(id), 1u)
+        << "span '" << e.name << "' carries unknown request_id " << id;
+    ++spans_per_request[id];
+  }
+  EXPECT_EQ(spans_per_request.size(), report_ids.size());
+  for (const std::uint64_t id : report_ids) {
+    EXPECT_GE(spans_per_request[id], 1u) << "request " << id;
+  }
+  rec.clear();
+}
+
+TEST_F(ServiceTest, StatlogRecordsEveryResolvedRequest) {
+  const std::string path = ::testing::TempDir() + "serve_statlog.jsonl";
+  std::remove(path.c_str());
+  ServeConfig cfg;
+  cfg.statlog_path = path;
+  {
+    ContractionService svc(cfg);
+    svc.load("X", x_);
+    svc.load("Y", y_);
+    ASSERT_TRUE(svc.contract_sync(request(Algorithm::kSparta)).ok());
+    ASSERT_TRUE(svc.contract_sync(request(Algorithm::kSparta)).ok());
+    ServeRequest bad = request(Algorithm::kSpa);
+    bad.y = "missing";
+    EXPECT_FALSE(svc.contract_sync(bad).ok());
+    EXPECT_EQ(svc.statlog_lines(), 3u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::set<std::uint64_t> ids;
+  std::map<std::string, int> outcomes;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    const std::optional<obs::JsonValue> rec = obs::json_parse(line);
+    ASSERT_TRUE(rec.has_value()) << line;
+    EXPECT_EQ(rec->get("schema_version")->number_or(0), 1.0);
+    ids.insert(
+        static_cast<std::uint64_t>(rec->get("request_id")->number_or(0)));
+    ++outcomes[rec->get("outcome")->string_or("?")];
+    ASSERT_NE(rec->get("variant"), nullptr);
+    ASSERT_NE(rec->get("exec_seconds"), nullptr);
+    ASSERT_NE(rec->get("stages"), nullptr);
+    ASSERT_NE(rec->get("perf"), nullptr);
+    // Operand features resolved at log time for live tensors.
+    if (rec->get("outcome")->string_or("") == "ok") {
+      ASSERT_NE(rec->get("nnz_x"), nullptr) << line;
+      ASSERT_NE(rec->get("density_x"), nullptr) << line;
+      EXPECT_EQ(rec->get("nnz_x")->number_or(0),
+                static_cast<double>(x_.nnz()));
+      // Second request hit the plan cache.
+    }
+  }
+  EXPECT_EQ(lines, 3u);
+  EXPECT_EQ(ids.size(), 3u);  // one record per request, ids distinct
+  EXPECT_EQ(outcomes["ok"], 2);
+  EXPECT_EQ(outcomes["error"], 1);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServiceTest, HardFailureDumpsFlightRecorder) {
+  const std::string dump = ::testing::TempDir() + "serve_flight.json";
+  std::remove(dump.c_str());
+  obs::FlightRecorder& fr = obs::FlightRecorder::global();
+  fr.clear();
+  fr.enable();
+  ServeConfig cfg;
+  cfg.flight_dump_path = dump;
+  {
+    ContractionService svc(cfg);
+    svc.load("X", x_);
+    svc.load("Y", y_);
+    // A healthy request must NOT dump.
+    ASSERT_TRUE(svc.contract_sync(request(Algorithm::kSpa)).ok());
+    std::ifstream probe(dump);
+    EXPECT_FALSE(probe.good()) << "dump written for a healthy request";
+    // A hard failure (unknown operand -> error outcome) must dump.
+    ServeRequest bad = request(Algorithm::kSpa);
+    bad.y = "missing";
+    EXPECT_FALSE(svc.contract_sync(bad).ok());
+  }
+  fr.disable();
+  std::ifstream in(dump);
+  ASSERT_TRUE(in.good()) << "no flight dump at " << dump;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_TRUE(obs::json_valid(ss.str()));
+  EXPECT_NE(ss.str().find("\"flight_recorder\":true"), std::string::npos);
+  // The healthy request's engine spans are in the ring, so the dump
+  // carries its correlation id — post-mortem context, not just the
+  // failing request.
+  EXPECT_NE(ss.str().find("\"request_id\":"), std::string::npos);
+  std::remove(dump.c_str());
+  fr.clear();
 }
 
 // --- Workload scripts -------------------------------------------------

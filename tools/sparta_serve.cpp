@@ -5,6 +5,22 @@
 //   sparta_serve --workload scripts.workload [--clients N] [--workers N]
 //     [--threads-per-request N] [--budget-mb M] [--cache-fraction F]
 //     [--queue N] [--no-degrade] [--shed] [--json PATH]
+//     [--statlog PATH] [--stats-socket PATH] [--metrics-jsonl PATH]
+//     [--metrics-interval SEC] [--flight-dump PATH] [--linger-ms N]
+//
+// Telemetry flags:
+//   --statlog PATH        per-request JSONL stat store (obs/statlog.hpp);
+//                         aggregate with sparta_stats
+//   --stats-socket PATH   Prometheus text exposition over a unix socket;
+//                         one snapshot per connection (curl --unix-socket)
+//   --metrics-jsonl PATH  append a MetricsRegistry JSON snapshot every
+//                         --metrics-interval seconds (default 1.0)
+//   --flight-dump PATH    enable the flight recorder; dump the last-N
+//                         event rings to PATH on a hard request failure
+//                         or a fatal signal
+//   --linger-ms N         keep the service (and socket) alive N ms after
+//                         the workload drains, so an external scraper
+//                         has a deterministic window
 //
 // Exit codes: 0 all requests ok; 1 hard failures (or bad I/O); 2 usage;
 // 3 deadline-exceeded requests but no hard failures; 4 rejected/shed
@@ -12,16 +28,22 @@
 // scripts distinguish "the service timed requests out as configured"
 // from "something actually broke".
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/statlog.hpp"
 #include "serve/service.hpp"
 #include "serve/workload.hpp"
 
@@ -32,10 +54,58 @@ void usage(const char* prog) {
       stderr,
       "usage: %s --workload FILE [--clients N] [--workers N]\n"
       "  [--threads-per-request N] [--budget-mb M] [--cache-fraction F]\n"
-      "  [--queue N] [--no-degrade] [--shed] [--json PATH]\n",
+      "  [--queue N] [--no-degrade] [--shed] [--json PATH]\n"
+      "  [--statlog PATH] [--stats-socket PATH] [--metrics-jsonl PATH]\n"
+      "  [--metrics-interval SEC] [--flight-dump PATH] [--linger-ms N]\n",
       prog);
   std::exit(2);
 }
+
+// Periodic MetricsRegistry snapshots as JSONL — the pull-less
+// counterpart of the socket: point it at a file, get a time series.
+class MetricsSnapshotter {
+ public:
+  void start(const std::string& path, double interval_seconds) {
+    sparta::obs::StatLogConfig cfg;
+    cfg.path = path;
+    log_.open(cfg);
+    interval_ms_ = static_cast<int>(interval_seconds * 1e3);
+    if (interval_ms_ < 1) interval_ms_ = 1;
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  void stop() {
+    if (!thread_.joinable()) return;
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+    // One final snapshot so even a sub-interval run records its end
+    // state.
+    log_.append(sparta::obs::MetricsRegistry::global().to_json());
+    log_.close();
+  }
+
+  ~MetricsSnapshotter() { stop(); }
+
+ private:
+  void loop() {
+    using clock = std::chrono::steady_clock;
+    auto next = clock::now();
+    while (!stop_.load(std::memory_order_relaxed)) {
+      next += std::chrono::milliseconds(interval_ms_);
+      while (clock::now() < next &&
+             !stop_.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      if (stop_.load(std::memory_order_relaxed)) return;
+      log_.append(sparta::obs::MetricsRegistry::global().to_json());
+    }
+  }
+
+  sparta::obs::StatLog log_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  int interval_ms_ = 1000;
+};
 
 double percentile(std::vector<double> v, double p) {
   if (v.empty()) return 0.0;
@@ -50,6 +120,11 @@ double percentile(std::vector<double> v, double p) {
 int main(int argc, char** argv) {
   std::string workload_path;
   std::string json_path;
+  std::string socket_path;
+  std::string metrics_jsonl_path;
+  std::string flight_dump_path;
+  double metrics_interval = 1.0;
+  int linger_ms = 0;
   sparta::serve::ServeConfig cfg;
   sparta::serve::WorkloadOptions wopts;
 
@@ -81,6 +156,18 @@ int main(int argc, char** argv) {
       cfg.shed_on_overload = true;
     } else if (a == "--json") {
       json_path = next();
+    } else if (a == "--statlog") {
+      cfg.statlog_path = next();
+    } else if (a == "--stats-socket") {
+      socket_path = next();
+    } else if (a == "--metrics-jsonl") {
+      metrics_jsonl_path = next();
+    } else if (a == "--metrics-interval") {
+      metrics_interval = std::atof(next().c_str());
+    } else if (a == "--flight-dump") {
+      flight_dump_path = next();
+    } else if (a == "--linger-ms") {
+      linger_ms = std::atoi(next().c_str());
     } else {
       std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
                    a.c_str());
@@ -93,12 +180,39 @@ int main(int argc, char** argv) {
   // the queue/exec histograms land in the JSON report.
   sparta::obs::MetricsRegistry::global().enable();
 
+  // Flight recorder: always-on ring + crash dump. arm_crash_dump installs
+  // the fatal-signal handlers; the service dumps the same path on a hard
+  // request failure (cfg.flight_dump_path).
+  if (!flight_dump_path.empty()) {
+    cfg.flight_dump_path = flight_dump_path;
+    sparta::obs::FlightRecorder::global().arm_crash_dump(flight_dump_path +
+                                                         ".crash");
+  }
+
+  sparta::obs::StatsSocketServer stats_server;
+  if (!socket_path.empty() && !stats_server.start(socket_path)) {
+    std::fprintf(stderr, "sparta_serve: cannot bind stats socket '%s'\n",
+                 socket_path.c_str());
+    return 1;
+  }
+  MetricsSnapshotter snapshotter;
+  if (!metrics_jsonl_path.empty()) {
+    snapshotter.start(metrics_jsonl_path, metrics_interval);
+  }
+
   try {
     const std::vector<sparta::serve::WorkloadOp> ops =
         sparta::serve::parse_workload_file(workload_path);
     sparta::serve::ContractionService svc(cfg);
     const sparta::serve::WorkloadResult res =
         sparta::serve::run_workload(svc, ops, wopts);
+
+    // Deterministic scrape window: the workload is drained, every
+    // counter is final, and the socket stays answerable until the
+    // linger expires.
+    if (linger_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+    }
 
     std::size_t ok = 0;
     std::size_t failed = 0;
@@ -179,6 +293,7 @@ int main(int argc, char** argv) {
           .value(static_cast<std::uint64_t>(deadline));
       w.key("degraded").value(static_cast<std::uint64_t>(degraded));
       w.key("cache_hits").value(static_cast<std::uint64_t>(hits));
+      w.key("statlog_lines").value(svc.statlog_lines());
       w.key("latency_seconds").begin_object();
       w.key("p50").value(percentile(latencies, 0.5));
       w.key("p95").value(percentile(latencies, 0.95));
