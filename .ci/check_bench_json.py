@@ -151,6 +151,15 @@ def check_serve_report(path, doc):
         check_number(path, admission, k)
     if not isinstance(counters.get("selector"), dict):
         fail(path, "'counters.selector' missing")
+    selector = doc.get("selector")
+    if not isinstance(selector, dict):
+        fail(path, "'selector' missing")
+    check_number(path, selector, "decisions")
+    check_number(path, selector, "explored")
+    if not isinstance(selector.get("model_id"), str):
+        fail(path, "'selector.model_id' missing or not a string")
+    if not isinstance(selector.get("variants"), dict):
+        fail(path, "'selector.variants' missing")
     budget = counters.get("budget")
     if not isinstance(budget, dict):
         fail(path, "'counters.budget' missing")
@@ -239,6 +248,27 @@ def check_report(path):
                     <= counters["cancel_p99_seconds"]
                     <= counters["cancel_max_seconds"]):
                 fail(path, f"{where}: cancel percentiles not monotone")
+            continue
+        if c["name"] == "replay_regret":
+            # bench_serve's cold-start replay gate reports cumulative
+            # regret under each prior instead of contraction counters
+            # (the replay is decision-only: no tensors are contracted).
+            for k in ("analytic_regret_seconds", "learned_regret_seconds"):
+                check_number(path, counters, k)
+            check_number(path, counters, "keys", minimum=1)
+            check_number(path, counters, "decisions", minimum=1)
+            if not isinstance(counters.get("model_id"), str) \
+                    or not counters["model_id"]:
+                fail(path, f"{where}: 'counters.model_id' missing or "
+                           "empty")
+            # The gate itself: a learned prior must strictly reduce
+            # cold-start regret vs analytic explore-first.
+            if counters["learned_regret_seconds"] \
+                    >= counters["analytic_regret_seconds"]:
+                fail(path, f"{where}: learned regret "
+                           f"{counters['learned_regret_seconds']} >= "
+                           f"analytic "
+                           f"{counters['analytic_regret_seconds']}")
             continue
         for k in REQUIRED_COUNTERS:
             check_number(path, counters, k)

@@ -2,22 +2,30 @@
 """Validate a per-request JSONL stat store written by the contraction
 service (sparta_serve --statlog / ServeConfig::statlog_path).
 
-Checks, per line: parses as JSON, schema_version == 1, the required
-keys are present, the outcome is one of the known labels, and the
-timing fields are non-negative numbers. Across lines: request_ids are
-positive and unique. With --expect-count N the total record count must
-be exactly N (the acceptance gate: one record per resolved request).
+Checks, per line: parses as JSON, schema_version == 2, the required
+keys are present (including the schema-2 feature/estimator/model
+columns), the outcome is one of the known labels, the feature_version
+matches the fitter's basis, selector_prior is a known label (and a
+"learned" prior always names its model), and the timing fields are
+non-negative numbers. Across lines: request_ids are positive and
+unique. With --expect-count N the total record count must be exactly N
+(the acceptance gate: one record per resolved request). With
+--expect-model-id ID every record's model_id must be exactly ID (the
+closed-loop gate: the re-served workload ran under the fitted brain).
 
-Usage: check_statlog.py statlog.jsonl [more.jsonl ...] [--expect-count N]
+Usage: check_statlog.py statlog.jsonl [more.jsonl ...]
+           [--expect-count N] [--expect-model-id ID]
 """
 import json
 import sys
 
 REQUIRED_KEYS = [
     "schema_version",
+    "feature_version",
     "request_id",
     "x",
     "y",
+    "key",
     "cx",
     "cy",
     "num_contract_modes",
@@ -27,7 +35,16 @@ REQUIRED_KEYS = [
     "plan_cached",
     "degraded",
     "budget_exceeded",
+    "simd_isa",
+    "swiss_tables",
+    "model_id",
+    "selector_prior",
     "nnz_z",
+    "est_hty_bytes",
+    "est_hta_bytes",
+    "hty_bytes",
+    "hta_bytes",
+    "pred_seconds",
     "queue_seconds",
     "exec_seconds",
     "cancel_seconds",
@@ -43,7 +60,18 @@ OUTCOMES = {
     "budget",
     "error",
 }
+PRIORS = {"analytic", "learned"}
 TIMING_KEYS = ["queue_seconds", "exec_seconds", "cancel_seconds"]
+NONNEG_KEYS = [
+    "est_hty_bytes",
+    "est_hta_bytes",
+    "hty_bytes",
+    "hta_bytes",
+    "pred_seconds",
+]
+# The feature basis the offline fitter (tools/sparta_autotune) was
+# built against; keep in sync with serve::kCostFeatureVersion.
+FEATURE_VERSION = 1
 
 
 def fail(msg):
@@ -54,11 +82,15 @@ def fail(msg):
 def main():
     paths = []
     expect_count = None
+    expect_model_id = None
     args = sys.argv[1:]
     i = 0
     while i < len(args):
         if args[i] == "--expect-count":
             expect_count = int(args[i + 1])
+            i += 2
+        elif args[i] == "--expect-model-id":
+            expect_model_id = args[i + 1]
             i += 2
         else:
             paths.append(args[i])
@@ -83,11 +115,14 @@ def main():
                     fail(f"{where}: not valid JSON ({e})")
                 if not isinstance(rec, dict):
                     fail(f"{where}: record is not an object")
-                if rec.get("schema_version") != 1:
-                    fail(f"{where}: schema_version != 1")
+                if rec.get("schema_version") != 2:
+                    fail(f"{where}: schema_version != 2")
                 missing = [k for k in REQUIRED_KEYS if k not in rec]
                 if missing:
                     fail(f"{where}: missing keys {missing}")
+                if rec["feature_version"] != FEATURE_VERSION:
+                    fail(f"{where}: feature_version "
+                         f"{rec['feature_version']!r} != {FEATURE_VERSION}")
                 rid = rec["request_id"]
                 if not isinstance(rid, int) or rid < 1:
                     fail(f"{where}: request_id must be a positive int, "
@@ -99,7 +134,18 @@ def main():
                 if outcome not in OUTCOMES:
                     fail(f"{where}: unknown outcome '{outcome}' "
                          f"(expected one of {sorted(OUTCOMES)})")
-                for key in TIMING_KEYS:
+                prior = rec["selector_prior"]
+                if prior not in PRIORS:
+                    fail(f"{where}: unknown selector_prior '{prior}' "
+                         f"(expected one of {sorted(PRIORS)})")
+                if prior == "learned" and not rec["model_id"]:
+                    fail(f"{where}: selector_prior is 'learned' but "
+                         f"model_id is empty")
+                if expect_model_id is not None \
+                        and rec["model_id"] != expect_model_id:
+                    fail(f"{where}: model_id {rec['model_id']!r} != "
+                         f"expected {expect_model_id!r}")
+                for key in TIMING_KEYS + NONNEG_KEYS:
                     v = rec[key]
                     if not isinstance(v, (int, float)) or v < 0:
                         fail(f"{where}: {key} must be a non-negative "

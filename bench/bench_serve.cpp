@@ -278,5 +278,183 @@ int main(int argc, char** argv) {
     append_case("flight_recorder_off", off, last);
     append_case("flight_recorder_on", on, last);
   }
+
+  // --- Case 5: cold-start regret, analytic vs learned prior ----------
+  // The observability loop's acceptance gate. Record a training
+  // workload (every variant forced on every key), fit the cost model
+  // in-process, then replay the workload cold twice — once under the
+  // analytic explore-first selector, once under the model-seeded one —
+  // feeding both the *oracle medians* as feedback so the comparison is
+  // deterministic given the measured table. Regret is the summed gap
+  // between the chosen variant's median and the key's best median. The
+  // learned prior must strictly beat analytic cold start, or this
+  // process exits 1.
+  {
+    using sparta::serve::CostModel;
+    using sparta::serve::RequestFeatures;
+    using sparta::serve::SelectorConfig;
+    using sparta::serve::VariantSelector;
+
+    const auto gen = [](std::vector<sparta::index_t> dims,
+                        std::size_t nnz, std::uint64_t seed) {
+      sparta::GeneratorSpec spec;
+      spec.dims = std::move(dims);
+      spec.nnz = nnz;
+      spec.seed = seed;
+      return sparta::generate_random(spec);
+    };
+    const double s = sparta::bench::smoke_mode() ? 0.25 : 1.0;
+    // Four keys spanning ~20x in nnz_Y and ~8x in nnz_X, so the
+    // per-variant cost curves actually cross somewhere in the family.
+    struct KeyCase {
+      const char* xn;
+      const char* yn;
+      sparta::SparseTensor x;
+      sparta::SparseTensor y;
+    };
+    std::vector<KeyCase> family;
+    family.push_back({"Xs", "Ys", gen({256, 256, 16}, 512, 9),
+                      gen({256, 256, 64},
+                          static_cast<std::size_t>(6000 * s), 7)});
+    family.push_back({"Xs", "Yl", gen({256, 256, 16}, 512, 9),
+                      gen({256, 256, 64},
+                          static_cast<std::size_t>(120000 * s), 8)});
+    family.push_back({"Xl", "Ys",
+                      gen({256, 256, 16},
+                          static_cast<std::size_t>(4096 * s) + 64, 11),
+                      gen({256, 256, 64},
+                          static_cast<std::size_t>(6000 * s), 7)});
+    family.push_back({"Xl", "Yl",
+                      gen({256, 256, 16},
+                          static_cast<std::size_t>(4096 * s) + 64, 11),
+                      gen({256, 256, 64},
+                          static_cast<std::size_t>(120000 * s), 8)});
+
+    ServeConfig cfg;
+    cfg.num_workers = 1;
+    ContractionService svc(cfg);
+
+    const auto density = [](const sparta::SparseTensor& t) {
+      double cells = 1.0;
+      for (const sparta::index_t d : t.dims()) {
+        cells *= static_cast<double>(d);
+      }
+      return cells > 0.0 ? static_cast<double>(t.nnz()) / cells : 0.0;
+    };
+
+    constexpr std::array<sparta::Algorithm, 3> kVariants =
+        VariantSelector::kVariants;
+    const int reps = sparta::bench::smoke_mode() ? 2 : 3;
+    std::vector<RequestFeatures> feats(family.size());
+    std::vector<std::size_t> work(family.size());
+    // oracle[k][v] = median exec seconds of variant v on key k.
+    std::vector<std::array<double, 3>> oracle(family.size());
+    std::vector<CostModel::Sample> samples;
+    ServeReport last_rep;
+    for (std::size_t k = 0; k < family.size(); ++k) {
+      const KeyCase& kc = family[k];
+      svc.load(kc.xn, kc.x);
+      RequestFeatures& f = feats[k];
+      f.nnz_x = kc.x.nnz();
+      f.nnz_y = kc.y.nnz();
+      f.order_y = kc.y.order();
+      f.num_contract_modes = 2;
+      f.density_x = density(kc.x);
+      f.density_y = density(kc.y);
+      f.key = std::string(kc.xn) + "|" + kc.yn + "|0,1|0,1";
+      work[k] = kc.x.nnz() + kc.y.nnz();
+      for (std::size_t v = 0; v < kVariants.size(); ++v) {
+        std::vector<double> secs;
+        for (int r = 0; r < reps; ++r) {
+          // Reload Y each run: bumping its registration id drops any
+          // cached plan, so forced HtY+HtA runs stay cold like the
+          // COO variants.
+          svc.load(kc.yn, kc.y);
+          ServeRequest req;
+          req.x = kc.xn;
+          req.y = kc.yn;
+          req.cx = {0, 1};
+          req.cy = {0, 1};
+          req.force_variant = true;
+          req.variant = kVariants[v];
+          const ServeReport rep = svc.contract_sync(req);
+          if (!rep.ok()) {
+            std::fprintf(stderr, "replay training run failed: %s\n",
+                         rep.error.c_str());
+            return 1;
+          }
+          secs.push_back(rep.exec_seconds);
+          samples.push_back({kVariants[v], f.cost_features(),
+                             rep.exec_seconds});
+          last_rep = rep;
+        }
+        std::sort(secs.begin(), secs.end());
+        oracle[k][v] = secs[secs.size() / 2];
+      }
+    }
+
+    const CostModel model = CostModel::fit(samples);
+    if (model.empty()) {
+      std::fprintf(stderr, "replay gate: cost model fit failed\n");
+      return 1;
+    }
+
+    // Deterministic replay: the selector's decisions are scored (and
+    // fed back) against the oracle table, not re-measured wall time.
+    const int decisions_per_key = 8;
+    const auto replay = [&](VariantSelector& sel) {
+      double regret = 0.0;
+      for (int d = 0; d < decisions_per_key; ++d) {
+        for (std::size_t k = 0; k < family.size(); ++k) {
+          const sparta::Algorithm a = sel.choose(feats[k]);
+          const std::size_t v = static_cast<std::size_t>(a);
+          const double best =
+              std::min({oracle[k][0], oracle[k][1], oracle[k][2]});
+          regret += oracle[k][v] - best;
+          sel.record(feats[k].key, a, oracle[k][v], work[k]);
+        }
+      }
+      return regret;
+    };
+    SelectorConfig scfg;
+    scfg.explore_period = 0;  // isolate cold start: no periodic explore
+    VariantSelector analytic(scfg);
+    VariantSelector learned(scfg);
+    learned.set_model(model);
+    const double analytic_regret = replay(analytic);
+    const double learned_regret = replay(learned);
+
+    std::printf(
+        "replay regret (%zu keys x %d decisions): analytic=%.3f ms "
+        "learned=%.3f ms (model %s)\n",
+        family.size(), decisions_per_key, analytic_regret * 1e3,
+        learned_regret * 1e3, model.id().c_str());
+    if (!sparta::bench::json_path().empty()) {
+      sparta::bench::JsonCase c;
+      c.name = "replay_regret";
+      c.repeats = decisions_per_key;
+      c.min_seconds = std::min(analytic_regret, learned_regret);
+      c.median_seconds = std::max(analytic_regret, learned_regret);
+      c.stages_json = last_rep.stage_times.to_json();
+      sparta::obs::JsonWriter cw;
+      cw.begin_object();
+      cw.key("analytic_regret_seconds").value(analytic_regret);
+      cw.key("learned_regret_seconds").value(learned_regret);
+      cw.key("keys").value(static_cast<std::uint64_t>(family.size()));
+      cw.key("decisions").value(decisions_per_key *
+                                static_cast<int>(family.size()));
+      cw.key("model_id").value(std::string_view(model.id()));
+      cw.end_object();
+      c.counters_json = cw.str();
+      sparta::bench::json_cases().push_back(std::move(c));
+    }
+    if (learned_regret >= analytic_regret) {
+      std::fprintf(stderr,
+                   "replay gate FAILED: learned prior regret %.6f s is "
+                   "not below analytic %.6f s\n",
+                   learned_regret, analytic_regret);
+      return 1;
+    }
+  }
   return 0;
 }

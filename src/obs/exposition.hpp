@@ -25,6 +25,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <functional>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -167,6 +169,15 @@ class StatsSocketServer {
     return true;
   }
 
+  /// Registers a producer of extra exposition text appended to every
+  /// scrape after the registry snapshot (the serving layer uses this to
+  /// publish the VariantSelector state). The producer must return
+  /// well-formed Prometheus text; it is invoked on the accept thread.
+  void set_extra(std::function<std::string()> extra) {
+    std::lock_guard<std::mutex> lk(extra_mu_);
+    extra_ = std::move(extra);
+  }
+
   [[nodiscard]] bool running() const { return listen_fd_ >= 0; }
   [[nodiscard]] std::uint64_t scrapes() const {
     return scrapes_.load(std::memory_order_relaxed);
@@ -193,7 +204,11 @@ class StatsSocketServer {
         if (stopping_.load(std::memory_order_relaxed)) break;
         continue;  // EINTR or a client that vanished
       }
-      const std::string body = prometheus_text(reg_);
+      std::string body = prometheus_text(reg_);
+      {
+        std::lock_guard<std::mutex> lk(extra_mu_);
+        if (extra_) body += extra_();
+      }
       std::size_t off = 0;
       while (off < body.size()) {
         const ::ssize_t w = ::send(conn, body.data() + off,
@@ -207,6 +222,8 @@ class StatsSocketServer {
   }
 
   MetricsRegistry& reg_;
+  std::mutex extra_mu_;
+  std::function<std::string()> extra_;
   int listen_fd_ = -1;
   std::string path_;
   std::atomic<bool> stopping_{false};

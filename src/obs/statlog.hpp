@@ -18,10 +18,12 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 namespace sparta::obs {
 
@@ -124,5 +126,55 @@ class StatLog {
   std::size_t bytes_ = 0;
   std::uint64_t lines_ = 0;
 };
+
+/// One statlog file, read back for offline aggregation.
+struct StatLogFile {
+  std::vector<std::string> lines;  ///< complete, newline-terminated records
+  /// The file ended without a final newline: the writer crashed
+  /// mid-append and the partial record was discarded, not surfaced.
+  bool torn_tail = false;
+};
+
+/// Reads every *complete* line of one statlog file. The append path
+/// fflushes whole lines, so the only way a file ends without '\n' is a
+/// crash mid-write; that fragment is counted as torn_tail and dropped
+/// so readers never parse half a record.
+inline StatLogFile read_statlog_file(const std::string& path) {
+  StatLogFile out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return out;
+  std::string buf;
+  while (true) {
+    const int c = in.get();
+    if (c == std::char_traits<char>::eof()) {
+      out.torn_tail = !buf.empty();
+      return out;
+    }
+    if (c == '\n') {
+      out.lines.push_back(std::move(buf));
+      buf.clear();
+    } else {
+      buf.push_back(static_cast<char>(c));
+    }
+  }
+}
+
+/// Reads a whole rotated store oldest-first: path.(max_files-1), ...,
+/// path.1, then the live file. Missing chain members are skipped (a
+/// store that never rotated is just the live file).
+inline StatLogFile read_statlog_store(const std::string& path,
+                                      int max_files = 16) {
+  StatLogFile out;
+  for (int k = max_files - 1; k >= 0; --k) {
+    const std::string p =
+        k == 0 ? path : path + "." + std::to_string(k);
+    StatLogFile one = read_statlog_file(p);
+    for (std::string& line : one.lines) {
+      out.lines.push_back(std::move(line));
+    }
+    out.torn_tail = out.torn_tail || one.torn_tail;
+  }
+  return out;
+}
 
 }  // namespace sparta::obs

@@ -1,0 +1,279 @@
+#include "serve/costmodel.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/json_parse.hpp"
+
+namespace sparta::serve {
+
+namespace {
+
+// Floors keep the log features finite on empty/degenerate operands; a
+// zero-nnz tensor is a legal request the model must not NaN on.
+constexpr double kDensityFloor = 1e-12;
+constexpr double kSecondsFloor = 1e-9;
+
+// Solves (A + λI) x = b for the kNumCostFeatures-wide normal-equation
+// system via Gaussian elimination with partial pivoting. The ridge λ
+// keeps collinear bases (small stores routinely have correlated nnz
+// and density columns) solvable without changing well-conditioned fits
+// measurably.
+bool solve_normal(std::array<std::array<double, kNumCostFeatures>,
+                             kNumCostFeatures>& a,
+                  std::array<double, kNumCostFeatures>& b) {
+  constexpr double kRidge = 1e-8;
+  constexpr std::size_t n = kNumCostFeatures;
+  for (std::size_t i = 0; i < n; ++i) a[i][i] += kRidge;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-30) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double m = a[r][col] / a[col][col];
+      if (m == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= m * a[col][c];
+      b[r] -= m * b[col];
+    }
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a[i][c] * b[c];
+    b[i] = acc / a[i][i];
+  }
+  return true;
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::array<double, kNumCostFeatures> cost_basis(const CostFeatures& f) {
+  return {1.0,
+          std::log1p(static_cast<double>(f.nnz_x)),
+          std::log1p(static_cast<double>(f.nnz_y)),
+          static_cast<double>(f.num_contract_modes),
+          std::log(f.density_x + kDensityFloor),
+          std::log(f.density_y + kDensityFloor)};
+}
+
+std::size_t CostModel::slot(Algorithm a) {
+  for (std::size_t i = 0; i < kVariants.size(); ++i) {
+    if (kVariants[i] == a) return i;
+  }
+  throw Error("cost model does not cover algorithm " +
+              std::string(algorithm_name(a)));
+}
+
+CostModel CostModel::fit(const std::vector<Sample>& samples,
+                         std::size_t min_samples) {
+  CostModel m;
+  for (std::size_t v = 0; v < kVariants.size(); ++v) {
+    std::array<std::array<double, kNumCostFeatures>, kNumCostFeatures>
+        xtx{};
+    std::array<double, kNumCostFeatures> xty{};
+    std::vector<std::pair<std::array<double, kNumCostFeatures>, double>>
+        rows;
+    for (const Sample& s : samples) {
+      if (s.variant != kVariants[v]) continue;
+      const std::array<double, kNumCostFeatures> phi =
+          cost_basis(s.features);
+      const double y = std::log(s.seconds + kSecondsFloor);
+      for (std::size_t i = 0; i < kNumCostFeatures; ++i) {
+        for (std::size_t j = 0; j < kNumCostFeatures; ++j) {
+          xtx[i][j] += phi[i] * phi[j];
+        }
+        xty[i] += phi[i] * y;
+      }
+      rows.emplace_back(phi, y);
+    }
+    VariantFit& out = m.fits_[v];
+    out.samples = rows.size();
+    if (rows.size() < min_samples) continue;
+    std::array<double, kNumCostFeatures> theta = xty;
+    if (!solve_normal(xtx, theta)) continue;
+    out.coef = theta;
+    out.fitted = true;
+    // Diagnostics in log space: R² against the mean-only predictor and
+    // the RMS residual, so the model file itself says how much the
+    // learned fit beats "always predict the average".
+    double mean = 0.0;
+    for (const auto& [phi, y] : rows) mean += y;
+    mean /= static_cast<double>(rows.size());
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (const auto& [phi, y] : rows) {
+      double pred = 0.0;
+      for (std::size_t i = 0; i < kNumCostFeatures; ++i) {
+        pred += theta[i] * phi[i];
+      }
+      ss_res += (y - pred) * (y - pred);
+      ss_tot += (y - mean) * (y - mean);
+    }
+    out.rmse_log =
+        std::sqrt(ss_res / static_cast<double>(rows.size()));
+    out.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot
+                          : (ss_res == 0.0 ? 1.0 : 0.0);
+  }
+  m.refresh_id();
+  return m;
+}
+
+bool CostModel::empty() const {
+  for (const VariantFit& f : fits_) {
+    if (f.fitted) return false;
+  }
+  return true;
+}
+
+bool CostModel::has(Algorithm a) const { return fits_[slot(a)].fitted; }
+
+double CostModel::predict_seconds(Algorithm a,
+                                  const CostFeatures& f) const {
+  const VariantFit& fit = fits_[slot(a)];
+  SPARTA_CHECK(fit.fitted, "cost model has no fit for " +
+                               std::string(algorithm_name(a)));
+  const std::array<double, kNumCostFeatures> phi = cost_basis(f);
+  double log_pred = 0.0;
+  for (std::size_t i = 0; i < kNumCostFeatures; ++i) {
+    log_pred += fit.coef[i] * phi[i];
+  }
+  return std::exp(log_pred);
+}
+
+const VariantFit& CostModel::fit_for(Algorithm a) const {
+  return fits_[slot(a)];
+}
+
+void CostModel::refresh_id() {
+  if (empty()) {
+    id_.clear();
+    return;
+  }
+  // Hash the exact bytes the JSON serializer emits for the
+  // coefficients, so id and file content can never disagree.
+  obs::JsonWriter w;
+  w.begin_array();
+  for (const VariantFit& f : fits_) {
+    w.value(f.fitted);
+    for (const double c : f.coef) w.value(c);
+  }
+  w.end_array();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "lm1-%016llx",
+                static_cast<unsigned long long>(fnv1a(w.str())));
+  id_ = buf;
+}
+
+std::string CostModel::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema_version").value(1);
+  w.key("tool").value("sparta_autotune");
+  w.key("feature_version").value(kCostFeatureVersion);
+  w.key("num_features").value(
+      static_cast<std::uint64_t>(kNumCostFeatures));
+  w.key("model_id").value(std::string_view(id_));
+  w.key("variants").begin_object();
+  for (std::size_t v = 0; v < kVariants.size(); ++v) {
+    const VariantFit& f = fits_[v];
+    if (!f.fitted) continue;
+    w.key(algorithm_name(kVariants[v])).begin_object();
+    w.key("coef").begin_array();
+    for (const double c : f.coef) w.value(c);
+    w.end_array();
+    w.key("samples").value(f.samples);
+    w.key("r2").value(f.r2);
+    w.key("rmse_log").value(f.rmse_log);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+CostModel CostModel::from_json(const std::string& doc) {
+  const std::optional<obs::JsonValue> root = obs::json_parse(doc);
+  if (!root || !root->is_object()) {
+    throw Error("selector model: not a JSON object");
+  }
+  const obs::JsonValue* sv = root->get("schema_version");
+  if (sv == nullptr || sv->number_or(0) != 1) {
+    throw Error("selector model: missing or unsupported schema_version");
+  }
+  const obs::JsonValue* fv = root->get("feature_version");
+  if (fv == nullptr ||
+      fv->number_or(0) != static_cast<double>(kCostFeatureVersion)) {
+    throw Error(
+        "selector model: feature_version mismatch (model was fit on a "
+        "different feature basis; re-run sparta_autotune)");
+  }
+  const obs::JsonValue* variants = root->get("variants");
+  if (variants == nullptr || !variants->is_object()) {
+    throw Error("selector model: missing 'variants' object");
+  }
+  CostModel m;
+  for (std::size_t v = 0; v < kVariants.size(); ++v) {
+    const obs::JsonValue* entry =
+        variants->get(algorithm_name(kVariants[v]));
+    if (entry == nullptr) continue;
+    const obs::JsonValue* coef = entry->get("coef");
+    if (coef == nullptr || !coef->is_array() ||
+        coef->arr.size() != kNumCostFeatures) {
+      throw Error("selector model: variant '" +
+                  std::string(algorithm_name(kVariants[v])) +
+                  "' needs a coef array of " +
+                  std::to_string(kNumCostFeatures) + " numbers");
+    }
+    VariantFit& f = m.fits_[v];
+    for (std::size_t i = 0; i < kNumCostFeatures; ++i) {
+      f.coef[i] = coef->arr[i].number_or(0.0);
+    }
+    f.fitted = true;
+    if (const obs::JsonValue* s = entry->get("samples")) {
+      f.samples = static_cast<std::uint64_t>(s->number_or(0));
+    }
+    if (const obs::JsonValue* r = entry->get("r2")) {
+      f.r2 = r->number_or(0.0);
+    }
+    if (const obs::JsonValue* r = entry->get("rmse_log")) {
+      f.rmse_log = r->number_or(0.0);
+    }
+  }
+  if (m.empty()) {
+    throw Error("selector model: no fitted variants");
+  }
+  m.refresh_id();
+  return m;
+}
+
+CostModel CostModel::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw Error("selector model: cannot read '" + path + "'");
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  try {
+    return from_json(ss.str());
+  } catch (const Error& e) {
+    throw Error(std::string(e.what()) + " (file '" + path + "')");
+  }
+}
+
+}  // namespace sparta::serve

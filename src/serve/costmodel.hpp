@@ -1,0 +1,121 @@
+// Learned per-variant cost model: the offline half of the
+// observability-to-planning loop (ROADMAP "learned, feedback-driven
+// planning from the perf layer").
+//
+// Every served request logs a versioned feature vector to the statlog
+// (obs/statlog.hpp, schema 2); tools/sparta_autotune fits one
+// log-linear model per algorithm variant over those features and emits
+// a versioned JSON model file; the VariantSelector loads that file as
+// its cold-start prior, replacing the analytic explore-first seeding
+// with a learned prediction that the normal EWMA feedback then refines.
+//
+// The model is deliberately tiny and dependency-free: for each variant
+// v, log(seconds) ≈ θ_v · φ(features), with φ the kNumCostFeatures-wide
+// basis below and θ_v fit by ridge-regularized normal equations
+// (Gaussian elimination, no BLAS). Fitting is deterministic: the same
+// sample sequence produces a byte-identical model file, which is what
+// lets CI diff two sparta_autotune runs exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "contraction/options.hpp"
+
+namespace sparta::serve {
+
+/// Version of the feature basis below. Statlog records stamp it
+/// (`feature_version`) so a model is never applied to features it was
+/// not fit on; bump it whenever cost_basis() changes.
+inline constexpr int kCostFeatureVersion = 1;
+
+/// Width of the feature basis φ.
+inline constexpr std::size_t kNumCostFeatures = 6;
+
+/// The request features the model consumes. All of them are known
+/// before the contraction runs (that is the point: the selector needs
+/// the prediction cold), and all of them are persisted per request in
+/// the statlog so offline fitting sees exactly what online prediction
+/// will see.
+struct CostFeatures {
+  std::size_t nnz_x = 0;
+  std::size_t nnz_y = 0;
+  int order_y = 0;
+  int num_contract_modes = 0;
+  double density_x = 0.0;
+  double density_y = 0.0;
+};
+
+/// φ(features): [1, log1p(nnz_x), log1p(nnz_y), num_contract_modes,
+/// log(density_x + 1e-12), log(density_y + 1e-12)].
+[[nodiscard]] std::array<double, kNumCostFeatures> cost_basis(
+    const CostFeatures& f);
+
+/// One fitted per-variant component plus its fit diagnostics.
+struct VariantFit {
+  bool fitted = false;
+  std::array<double, kNumCostFeatures> coef{};
+  std::uint64_t samples = 0;
+  double r2 = 0.0;        ///< in log space, vs the mean-only model
+  double rmse_log = 0.0;  ///< RMS residual of log(seconds)
+};
+
+class CostModel {
+ public:
+  /// The variant set the model covers — same order as
+  /// VariantSelector::kVariants (selector.hpp).
+  static constexpr std::array<Algorithm, 3> kVariants = {
+      Algorithm::kSpa, Algorithm::kCooHta, Algorithm::kSparta};
+
+  struct Sample {
+    Algorithm variant = Algorithm::kSpa;
+    CostFeatures features;
+    double seconds = 0.0;
+  };
+
+  /// Fits one component per variant that has >= min_samples samples
+  /// (others stay unfitted and predict nothing). Deterministic for a
+  /// fixed sample sequence.
+  [[nodiscard]] static CostModel fit(const std::vector<Sample>& samples,
+                                     std::size_t min_samples = 3);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] bool has(Algorithm a) const;
+
+  /// exp(θ_a · φ(f)) — predicted wall seconds for variant `a` on a
+  /// request shaped like `f`. Requires has(a).
+  [[nodiscard]] double predict_seconds(Algorithm a,
+                                       const CostFeatures& f) const;
+
+  [[nodiscard]] const VariantFit& fit_for(Algorithm a) const;
+
+  /// Content-derived id ("lm1-<16 hex>"): the FNV-1a hash of the
+  /// serialized coefficients. Two fits agree on the id iff they agree
+  /// on the model, so the id stamped into statlog rows / trace spans /
+  /// the Prometheus exposition names the exact brain that decided.
+  /// Empty for an empty model.
+  [[nodiscard]] const std::string& id() const { return id_; }
+
+  /// Versioned model document: {"schema_version","tool",
+  /// "feature_version","model_id","variants":{name:{coef,samples,r2,
+  /// rmse_log}}}. Byte-deterministic.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Parses a to_json() document; throws sparta::Error naming the
+  /// defect on schema/version mismatch.
+  [[nodiscard]] static CostModel from_json(const std::string& doc);
+
+  /// from_json over a file; the error message names the path.
+  [[nodiscard]] static CostModel load_file(const std::string& path);
+
+ private:
+  static std::size_t slot(Algorithm a);
+  void refresh_id();
+
+  std::array<VariantFit, 3> fits_{};
+  std::string id_;
+};
+
+}  // namespace sparta::serve

@@ -11,6 +11,8 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/costmodel.hpp"
+#include "simd/dispatch.hpp"
 
 namespace sparta::serve {
 
@@ -54,6 +56,23 @@ void write_modes(obs::JsonWriter& w, const Modes& modes) {
   w.end_array();
 }
 
+std::string modes_str(const Modes& modes) {
+  std::string out;
+  for (const int m : modes) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(m);
+  }
+  return out;
+}
+
+// The selector's EWMA scope: one entry per (operands, contract modes)
+// tuple, matching the statlog's `key` column and the regret replay's
+// oracle table.
+std::string contraction_key(const ServeRequest& req) {
+  return req.x + "|" + req.y + "|" + modes_str(req.cx) + "|" +
+         modes_str(req.cy);
+}
+
 }  // namespace
 
 std::string ServeReport::to_json() const {
@@ -75,6 +94,8 @@ std::string ServeReport::to_json() const {
   w.key("exec_seconds").value(exec_seconds);
   w.key("cancel_seconds").value(cancel_seconds);
   w.key("retries").value(retries);
+  w.key("swiss_tables").value(swiss_tables);
+  w.key("pred_seconds").value(pred_seconds);
   w.key("nnz_z").value(static_cast<std::uint64_t>(stats.nnz_z));
   if (!error.empty()) w.key("error").value(std::string_view(error));
   if (!resilience.empty()) {
@@ -224,6 +245,9 @@ void ContractionService::shutdown() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+  // Learned state outlives the process: the next service constructed
+  // with the same state_path resumes with these EWMAs instead of cold.
+  selector_.save_state();
 }
 
 void ContractionService::shutdown_now() {
@@ -260,6 +284,7 @@ void ContractionService::shutdown_now() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+  selector_.save_state();
 }
 
 ContractionService::AdmissionStats ContractionService::admission_stats()
@@ -336,6 +361,9 @@ void ContractionService::worker_loop(int idx) {
       aw.begin_object();
       aw.key("x").value(std::string_view(q->req.x));
       aw.key("y").value(std::string_view(q->req.y));
+      // Which brain decided: empty = analytic prior, else the loaded
+      // cost model's content id.
+      aw.key("model_id").value(std::string_view(selector_.model_id()));
       aw.end_object();
       request_span.set_args(aw.str());
     }
@@ -480,11 +508,16 @@ ServeReport ContractionService::execute(const ServeRequest& req,
   feats.nnz_x = x.nnz();
   feats.nnz_y = y.nnz();
   feats.order_y = y.order();
+  feats.num_contract_modes = static_cast<int>(req.cx.size());
+  feats.density_x = density_of(x.nnz(), x.dims());
+  feats.density_y = density_of(y.nnz(), y.dims());
+  feats.key = contraction_key(req);
   feats.plan_cached = cached_plan;
   feats.budget_remaining = remaining == kUnlimited ? 0 : remaining;
   const Algorithm variant =
       req.force_variant ? req.variant : selector_.choose(feats);
   rep.variant = variant;
+  rep.pred_seconds = selector_.predicted_seconds(feats, variant);
 
   // Eq. 5 admission for the HtY path: the selector already avoids
   // kSparta when the table cannot fit, so this bites only on forced
@@ -525,6 +558,7 @@ ServeReport ContractionService::execute(const ServeRequest& req,
   // active; the cached plan's own table kind governs HtY either way.
   opts.use_swiss_tables =
       selector_.swiss_tables_enabled() && variant != Algorithm::kSpa;
+  rep.swiss_tables = opts.use_swiss_tables;
 
   try {
     Timer t;
@@ -544,7 +578,8 @@ ServeReport ContractionService::execute(const ServeRequest& req,
     rep.z = std::make_shared<SparseTensor>(std::move(res.z));
     accepted_.fetch_add(1, std::memory_order_relaxed);
     SPARTA_COUNTER_ADD("serve.admit.accept", 1);
-    selector_.record(variant, rep.exec_seconds, x.nnz() + y.nnz());
+    selector_.record(feats.key, variant, rep.exec_seconds,
+                     x.nnz() + y.nnz());
   } catch (const BudgetExceeded& e) {
     rep.budget_exceeded = true;
     if (!cfg_.allow_degrade) {
@@ -598,10 +633,16 @@ void ContractionService::log_request(const ServeRequest& req,
 
   obs::JsonWriter w;
   w.begin_object();
-  w.key("schema_version").value(1);
+  // Schema 2 = schema 1 plus the feature vector the cost model trains
+  // on (feature_version stamps its basis), the environment (SIMD tier,
+  // swiss tables), the deciding model, and the Eq. 5/6 predictions next
+  // to their measured counterparts.
+  w.key("schema_version").value(2);
+  w.key("feature_version").value(kCostFeatureVersion);
   w.key("request_id").value(rep.request_id);
   w.key("x").value(std::string_view(req.x));
   w.key("y").value(std::string_view(req.y));
+  w.key("key").value(std::string_view(contraction_key(req)));
   w.key("cx");
   write_modes(w, req.cx);
   w.key("cy");
@@ -614,6 +655,12 @@ void ContractionService::log_request(const ServeRequest& req,
   w.key("plan_cached").value(rep.plan_cached);
   w.key("degraded").value(rep.degraded);
   w.key("budget_exceeded").value(rep.budget_exceeded);
+  w.key("simd_isa").value(simd::isa_name(simd::active_isa()));
+  w.key("swiss_tables").value(rep.swiss_tables);
+  const std::string model_id = selector_.model_id();
+  w.key("model_id").value(std::string_view(model_id));
+  w.key("selector_prior")
+      .value(model_id.empty() ? "analytic" : "learned");
   if (hx.valid()) {
     w.key("nnz_x").value(static_cast<std::uint64_t>(hx.tensor->nnz()));
     w.key("density_x").value(density_of(hx.tensor->nnz(),
@@ -629,6 +676,29 @@ void ContractionService::log_request(const ServeRequest& req,
     write_dims(w, hy.tensor->dims());
   }
   w.key("nnz_z").value(static_cast<std::uint64_t>(rep.stats.nnz_z));
+  // Predicted (Eq. 5/6, same inputs the budget gates use) next to
+  // measured, so estimator error is a logged quantity, not a rerun.
+  const std::size_t est_hty =
+      hy.valid() ? estimate_hty_bytes(
+                       hy.tensor->nnz(), hy.tensor->order(),
+                       pow2_at_least(
+                           std::max<std::size_t>(hy.tensor->nnz(), 1)))
+                 : 0;
+  const std::size_t est_hta =
+      hy.valid() && rep.stats.max_y_group > 0
+          ? estimate_hta_bytes(
+                rep.stats.max_x_subtensor, rep.stats.max_y_group,
+                hy.tensor->order() - static_cast<int>(req.cy.size()),
+                pow2_at_least(
+                    std::max<std::size_t>(rep.stats.max_y_group, 64)))
+          : 0;
+  w.key("est_hty_bytes").value(static_cast<std::uint64_t>(est_hty));
+  w.key("est_hta_bytes").value(static_cast<std::uint64_t>(est_hta));
+  w.key("hty_bytes")
+      .value(static_cast<std::uint64_t>(rep.stats.hty_bytes));
+  w.key("hta_bytes")
+      .value(static_cast<std::uint64_t>(rep.stats.hta_bytes));
+  w.key("pred_seconds").value(rep.pred_seconds);
   w.key("queue_seconds").value(rep.queue_seconds);
   w.key("exec_seconds").value(rep.exec_seconds);
   w.key("cancel_seconds").value(rep.cancel_seconds);

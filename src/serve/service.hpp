@@ -134,6 +134,11 @@ struct ServeReport {
   bool cancelled = false;   ///< unwound via CancelToken (any reason)
   bool deadline_exceeded = false;  ///< the cancel was a deadline trip
   bool budget_exceeded = false;    ///< failure traces back to the budget
+  bool swiss_tables = false;  ///< ran on the SIMD-probed swiss tables
+  /// The loaded cost model's predicted wall seconds for the chosen
+  /// variant (0 when serving on the analytic prior) — logged next to
+  /// exec_seconds so prediction error is a first-class quantity.
+  double pred_seconds = 0.0;
   std::string error;        ///< empty on success
   std::string resilience;   ///< ladder summary when degraded
 
@@ -206,6 +211,13 @@ class ContractionService {
   }
   [[nodiscard]] PlanCache::Stats cache_stats() const {
     return cache_->stats();
+  }
+
+  /// The variant selector, exposed for state snapshots, the Prometheus
+  /// extra section, and model installation in tests/benchmarks.
+  [[nodiscard]] VariantSelector& selector() { return selector_; }
+  [[nodiscard]] const VariantSelector& selector() const {
+    return selector_;
   }
 
   struct AdmissionStats {

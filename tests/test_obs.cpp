@@ -671,7 +671,7 @@ TEST(StatLog, RotatesAtSizeBoundary) {
   // boundaries, never mid-record).
   std::size_t total = 0;
   bool saw_rotated = false;
-  for (const std::string p : {path, path + ".1", path + ".2"}) {
+  for (const std::string& p : {path, path + ".1", path + ".2"}) {
     std::ifstream in(p);
     if (!in.good()) continue;
     if (p != path) saw_rotated = true;

@@ -1,0 +1,426 @@
+// The learned half of the telemetry loop: cost-model fitting
+// (recovery, determinism, round-trip, rejection diagnostics), the
+// model-seeded selector (immediate exploitation, EWMA blending,
+// durable state, stale-seed reset), and a miniature cold-start regret
+// replay pinning that the learned prior beats analytic explore-first.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/costmodel.hpp"
+#include "serve/selector.hpp"
+
+namespace sparta::serve {
+namespace {
+
+CostFeatures features_for(std::size_t nnz_x, std::size_t nnz_y) {
+  CostFeatures f;
+  f.nnz_x = nnz_x;
+  f.nnz_y = nnz_y;
+  f.order_y = 3;
+  f.num_contract_modes = 2;
+  f.density_x = 1e-3;
+  f.density_y = 1e-4;
+  return f;
+}
+
+// Synthetic workload whose true cost IS log-linear in the basis: the
+// fit must recover it to high precision and report a near-perfect R².
+std::vector<CostModel::Sample> synthetic_samples(Algorithm a,
+                                                 double scale) {
+  std::vector<CostModel::Sample> out;
+  for (std::size_t nx : {100u, 400u, 1600u, 6400u, 25600u}) {
+    for (std::size_t ny : {200u, 2000u, 20000u}) {
+      CostModel::Sample s;
+      s.variant = a;
+      s.features = features_for(nx, ny);
+      // seconds = scale * nnz_x^0.5 * nnz_y^0.8 (log-linear in the
+      // log1p terms up to the +1, which is negligible at these sizes).
+      s.seconds = scale * std::pow(static_cast<double>(nx), 0.5) *
+                  std::pow(static_cast<double>(ny), 0.8) * 1e-9;
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+TEST(CostModel, FitRecoversLogLinearCosts) {
+  const auto samples = synthetic_samples(Algorithm::kSparta, 3.0);
+  const CostModel m = CostModel::fit(samples);
+  ASSERT_TRUE(m.has(Algorithm::kSparta));
+  EXPECT_FALSE(m.has(Algorithm::kSpa));
+  const VariantFit& fit = m.fit_for(Algorithm::kSparta);
+  EXPECT_EQ(fit.samples, samples.size());
+  EXPECT_GT(fit.r2, 0.999);
+  EXPECT_LT(fit.rmse_log, 0.05);
+  for (const auto& s : samples) {
+    const double pred = m.predict_seconds(s.variant, s.features);
+    EXPECT_NEAR(pred / s.seconds, 1.0, 0.05)
+        << "nnz_x=" << s.features.nnz_x << " nnz_y=" << s.features.nnz_y;
+  }
+}
+
+TEST(CostModel, UnderMinSamplesStaysUnfitted) {
+  std::vector<CostModel::Sample> samples;
+  CostModel::Sample s;
+  s.variant = Algorithm::kSpa;
+  s.features = features_for(100, 200);
+  s.seconds = 1e-4;
+  samples.push_back(s);
+  samples.push_back(s);
+  const CostModel m = CostModel::fit(samples, /*min_samples=*/3);
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(m.id().empty());
+}
+
+TEST(CostModel, JsonRoundTripPreservesModelAndId) {
+  std::vector<CostModel::Sample> samples =
+      synthetic_samples(Algorithm::kSpa, 1.0);
+  const auto more = synthetic_samples(Algorithm::kCooHta, 2.0);
+  samples.insert(samples.end(), more.begin(), more.end());
+  const CostModel m = CostModel::fit(samples);
+  ASSERT_FALSE(m.id().empty());
+  const std::string doc = m.to_json();
+  const CostModel back = CostModel::from_json(doc);
+  EXPECT_EQ(back.id(), m.id());
+  EXPECT_EQ(back.to_json(), doc);
+  const CostFeatures f = features_for(1234, 5678);
+  for (Algorithm a : {Algorithm::kSpa, Algorithm::kCooHta}) {
+    ASSERT_TRUE(back.has(a));
+    EXPECT_DOUBLE_EQ(back.predict_seconds(a, f), m.predict_seconds(a, f));
+  }
+}
+
+// CI diffs two sparta_autotune runs byte-for-byte: the same sample
+// sequence must serialize to the identical document.
+TEST(CostModel, FitIsByteDeterministic) {
+  const auto samples = synthetic_samples(Algorithm::kCooHta, 5.0);
+  const CostModel a = CostModel::fit(samples);
+  const CostModel b = CostModel::fit(samples);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.id(), b.id());
+}
+
+TEST(CostModel, FromJsonRejectsMalformedDocuments) {
+  const CostModel m =
+      CostModel::fit(synthetic_samples(Algorithm::kSpa, 1.0));
+  const std::string good = m.to_json();
+
+  EXPECT_THROW((void)CostModel::from_json("not json"), Error);
+  EXPECT_THROW((void)CostModel::from_json("{}"), Error);
+
+  std::string bad_schema = good;
+  bad_schema.replace(bad_schema.find("\"schema_version\":1"),
+                     std::string("\"schema_version\":1").size(),
+                     "\"schema_version\":9");
+  EXPECT_THROW((void)CostModel::from_json(bad_schema), Error);
+
+  std::string bad_features = good;
+  bad_features.replace(bad_features.find("\"feature_version\":1"),
+                       std::string("\"feature_version\":1").size(),
+                       "\"feature_version\":9");
+  EXPECT_THROW((void)CostModel::from_json(bad_features), Error);
+
+  // A coefficient row of the wrong width cannot be applied to the
+  // current basis and must be rejected, not truncated.
+  const std::size_t coef = good.find("\"coef\":[");
+  ASSERT_NE(coef, std::string::npos);
+  const std::size_t first_comma = good.find(',', coef);
+  std::string bad_width = good.substr(0, coef + 8) +
+                          good.substr(first_comma + 1);
+  EXPECT_THROW((void)CostModel::from_json(bad_width), Error);
+}
+
+TEST(CostModel, LoadFileNamesPathOnError) {
+  try {
+    (void)CostModel::load_file("/nonexistent/sparta-model.json");
+    FAIL() << "expected sparta::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/sparta-model.json"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------- selector
+
+TEST(SelectorConfig, ValidateNamesTheOffendingFlag) {
+  SelectorConfig cfg;
+  cfg.explore_period = -1;
+  try {
+    cfg.validate();
+    FAIL() << "expected sparta::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--explore-period"),
+              std::string::npos)
+        << e.what();
+  }
+  cfg = {};
+  cfg.ewma_alpha = 0.0;
+  try {
+    cfg.validate();
+    FAIL() << "expected sparta::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--ewma-alpha"),
+              std::string::npos)
+        << e.what();
+  }
+  cfg = {};
+  cfg.ewma_alpha = 1.5;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = {};
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Selector, MissingModelFileThrowsAtConstruction) {
+  SelectorConfig cfg;
+  cfg.model = "/nonexistent/sparta-model.json";
+  EXPECT_THROW(VariantSelector s(cfg), Error);
+}
+
+RequestFeatures request_for(const std::string& key, std::size_t nnz_x,
+                            std::size_t nnz_y) {
+  RequestFeatures f;
+  f.nnz_x = nnz_x;
+  f.nnz_y = nnz_y;
+  f.order_y = 3;
+  f.num_contract_modes = 2;
+  f.density_x = 1e-3;
+  f.density_y = 1e-4;
+  f.key = key;
+  return f;
+}
+
+CostModel model_preferring(Algorithm cheap) {
+  // All three variants fitted on the same shapes, with `cheap` an order
+  // of magnitude faster than the others.
+  std::vector<CostModel::Sample> samples;
+  for (Algorithm a : CostModel::kVariants) {
+    const double scale = a == cheap ? 0.5 : 5.0;
+    const auto one = synthetic_samples(a, scale);
+    samples.insert(samples.end(), one.begin(), one.end());
+  }
+  return CostModel::fit(samples);
+}
+
+// With a model installed, the very first decision on a fresh key must
+// exploit the prediction — no explore-first round.
+TEST(Selector, ModelSeedsSkipColdStartExploration) {
+  SelectorConfig cfg;
+  cfg.explore_period = 0;  // isolate cold start: no periodic explore
+  VariantSelector sel(cfg);
+  sel.set_model(model_preferring(Algorithm::kCooHta));
+  EXPECT_TRUE(sel.has_model());
+  EXPECT_FALSE(sel.model_id().empty());
+  const RequestFeatures f = request_for("X|Y|0,1|0,1", 1000, 10000);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sel.choose(f), Algorithm::kCooHta) << "decision " << i;
+  }
+  // Every feasible variant was seeded, none observed yet.
+  for (Algorithm a : VariantSelector::kVariants) {
+    const auto ks = sel.key_stats(f.key, a);
+    EXPECT_TRUE(ks.seeded);
+    EXPECT_EQ(ks.runs, 0u);
+    EXPECT_GT(ks.ewma_seconds_per_work, 0.0);
+  }
+  EXPECT_GT(sel.predicted_seconds(f, Algorithm::kCooHta), 0.0);
+}
+
+// Without a model the same fresh key explores every variant first.
+TEST(Selector, AnalyticPriorExploresEveryVariantFirst) {
+  SelectorConfig cfg;
+  cfg.explore_period = 0;
+  VariantSelector sel(cfg);
+  EXPECT_FALSE(sel.has_model());
+  EXPECT_EQ(sel.predicted_seconds(request_for("k", 10, 10),
+                                  Algorithm::kSparta),
+            0.0);
+  const RequestFeatures f = request_for("X|Y|0,1|0,1", 1000, 10000);
+  std::vector<Algorithm> first3;
+  for (int i = 0; i < 3; ++i) {
+    const Algorithm a = sel.choose(f);
+    first3.push_back(a);
+    sel.record(f.key, a, 0.001, f.nnz_x + f.nnz_y);
+  }
+  for (Algorithm a : VariantSelector::kVariants) {
+    EXPECT_EQ(std::count(first3.begin(), first3.end(), a), 1)
+        << "variant not explored exactly once on a fresh key";
+  }
+}
+
+// Observed feedback must blend into (not replace, not be ignored by)
+// a model-seeded EWMA, so a wrong prior is corrected over time.
+TEST(Selector, FeedbackBlendsIntoSeededEwma) {
+  SelectorConfig cfg;
+  cfg.explore_period = 0;
+  cfg.ewma_alpha = 0.5;
+  VariantSelector sel(cfg);
+  sel.set_model(model_preferring(Algorithm::kSpa));
+  const RequestFeatures f = request_for("X|Y|0,1|0,1", 1000, 10000);
+  ASSERT_EQ(sel.choose(f), Algorithm::kSpa);
+  const double seed =
+      sel.key_stats(f.key, Algorithm::kSpa).ewma_seconds_per_work;
+  ASSERT_GT(seed, 0.0);
+  // Observe kSpa as catastrophically slow; the blended EWMA must move
+  // toward the observation rather than snap to it or stay at the seed.
+  const std::size_t work = f.nnz_x + f.nnz_y;
+  const double slow_spw = seed * 100.0;
+  sel.record(f.key, Algorithm::kSpa, slow_spw * work, work);
+  const double blended =
+      sel.key_stats(f.key, Algorithm::kSpa).ewma_seconds_per_work;
+  EXPECT_NEAR(blended, 0.5 * seed + 0.5 * slow_spw, 1e-9 * slow_spw);
+  EXPECT_EQ(sel.key_stats(f.key, Algorithm::kSpa).runs, 1u);
+  // Enough bad observations and the selector abandons the prior.
+  for (int i = 0; i < 8; ++i) {
+    sel.record(f.key, Algorithm::kSpa, slow_spw * work, work);
+  }
+  EXPECT_NE(sel.choose(f), Algorithm::kSpa);
+}
+
+TEST(Selector, StateRoundTripsThroughJson) {
+  SelectorConfig cfg;
+  VariantSelector sel(cfg);
+  sel.set_model(model_preferring(Algorithm::kSparta));
+  const RequestFeatures f1 = request_for("A|B|0,1|0,1", 500, 5000);
+  const RequestFeatures f2 = request_for("C|D|0|0", 50, 50);
+  for (int i = 0; i < 5; ++i) {
+    const Algorithm a = sel.choose(f1);
+    sel.record(f1.key, a, 0.002, f1.nnz_x + f1.nnz_y);
+    const Algorithm b = sel.choose(f2);
+    sel.record(f2.key, b, 0.0005, f2.nnz_x + f2.nnz_y);
+  }
+  const std::string snap = sel.state_json();
+
+  VariantSelector restored(cfg);
+  restored.set_model(model_preferring(Algorithm::kSparta));
+  restored.load_state_json(snap);
+  for (const RequestFeatures* f : {&f1, &f2}) {
+    for (Algorithm a : VariantSelector::kVariants) {
+      const auto want = sel.key_stats(f->key, a);
+      const auto got = restored.key_stats(f->key, a);
+      EXPECT_EQ(got.runs, want.runs);
+      EXPECT_EQ(got.seeded, want.seeded);
+      EXPECT_DOUBLE_EQ(got.ewma_seconds_per_work,
+                       want.ewma_seconds_per_work);
+    }
+  }
+  EXPECT_EQ(restored.state_json(), snap);
+}
+
+TEST(Selector, LoadStateRejectsMalformedSnapshots) {
+  VariantSelector sel;
+  EXPECT_THROW(sel.load_state_json("not json"), Error);
+  EXPECT_THROW(sel.load_state_json("{\"version\":99}"), Error);
+}
+
+// save_state + construction with state_path = a restart that remembers.
+TEST(Selector, StateSurvivesRestartViaStatePath) {
+  const std::string path =
+      ::testing::TempDir() + "sparta_selector_state.json";
+  std::remove(path.c_str());
+  SelectorConfig cfg;
+  cfg.state_path = path;
+  const RequestFeatures f = request_for("A|B|0,1|0,1", 500, 5000);
+  {
+    VariantSelector sel(cfg);
+    for (int i = 0; i < 4; ++i) {
+      const Algorithm a = sel.choose(f);
+      sel.record(f.key, a, 0.003, f.nnz_x + f.nnz_y);
+    }
+    ASSERT_TRUE(sel.save_state());
+  }
+  VariantSelector restarted(cfg);
+  bool any_runs = false;
+  for (Algorithm a : VariantSelector::kVariants) {
+    if (restarted.key_stats(f.key, a).runs > 0) any_runs = true;
+  }
+  EXPECT_TRUE(any_runs) << "restart forgot the learned EWMAs";
+  std::remove(path.c_str());
+}
+
+// Seeds learned under a different model id are stale priors: on load
+// they reset (runs==0 entries), while observed rows are kept.
+TEST(Selector, StaleModelSeedsResetOnLoad) {
+  VariantSelector old_sel;
+  old_sel.set_model(model_preferring(Algorithm::kSpa));
+  const RequestFeatures f = request_for("A|B|0,1|0,1", 500, 5000);
+  ASSERT_EQ(old_sel.choose(f), Algorithm::kSpa);  // seeds all variants
+  // One variant also has a real observation — that one must survive.
+  old_sel.record(f.key, Algorithm::kSpa, 0.002, f.nnz_x + f.nnz_y);
+  const std::string snap = old_sel.state_json();
+
+  VariantSelector new_sel;
+  new_sel.set_model(model_preferring(Algorithm::kSparta));
+  ASSERT_NE(new_sel.model_id(), old_sel.model_id());
+  new_sel.load_state_json(snap);
+  EXPECT_EQ(new_sel.key_stats(f.key, Algorithm::kSpa).runs, 1u);
+  for (Algorithm a : {Algorithm::kCooHta, Algorithm::kSparta}) {
+    const auto ks = new_sel.key_stats(f.key, a);
+    EXPECT_EQ(ks.runs, 0u);
+    EXPECT_FALSE(ks.seeded) << "stale seed kept across model change";
+  }
+}
+
+TEST(Selector, ExpositionNamesTheActiveBrain) {
+  VariantSelector sel;
+  EXPECT_NE(sel.prometheus_text().find("prior=\"analytic\""),
+            std::string::npos);
+  sel.set_model(model_preferring(Algorithm::kSpa));
+  const std::string text = sel.prometheus_text();
+  EXPECT_NE(text.find("prior=\"learned\""), std::string::npos);
+  EXPECT_NE(text.find(sel.model_id()), std::string::npos);
+  const std::string stats = sel.stats_json();
+  EXPECT_NE(stats.find("\"model_id\""), std::string::npos);
+  EXPECT_NE(stats.find(sel.model_id()), std::string::npos);
+}
+
+// Miniature cold-start regret replay — the bench_serve gate in unit
+// form. Ground truth: per-variant cost differs 10x per key; analytic
+// explore-first must pay for trying the slow variants, the learned
+// prior must not.
+TEST(Selector, LearnedPriorBeatsAnalyticColdStartRegret) {
+  const CostModel model = model_preferring(Algorithm::kCooHta);
+  const auto oracle_seconds = [&model](const RequestFeatures& f,
+                                       Algorithm a) {
+    return model.predict_seconds(a, f.cost_features());
+  };
+  const std::vector<RequestFeatures> keys = {
+      request_for("A|B|0,1|0,1", 400, 2000),
+      request_for("C|D|0,1|0,1", 1600, 20000),
+      request_for("E|F|0,1|0,1", 6400, 200000),
+  };
+  const auto replay = [&](bool learned) {
+    SelectorConfig cfg;
+    cfg.explore_period = 0;
+    VariantSelector sel(cfg);
+    if (learned) sel.set_model(model);
+    double regret = 0.0;
+    for (const RequestFeatures& f : keys) {
+      double best = oracle_seconds(f, VariantSelector::kVariants[0]);
+      for (Algorithm a : VariantSelector::kVariants) {
+        best = std::min(best, oracle_seconds(f, a));
+      }
+      for (int i = 0; i < 6; ++i) {
+        const Algorithm a = sel.choose(f);
+        const double secs = oracle_seconds(f, a);
+        regret += secs - best;
+        sel.record(f.key, a, secs, f.nnz_x + f.nnz_y);
+      }
+    }
+    return regret;
+  };
+  const double analytic = replay(false);
+  const double learned = replay(true);
+  EXPECT_GT(analytic, 0.0) << "analytic exploration should pay regret";
+  EXPECT_LT(learned, analytic);
+}
+
+}  // namespace
+}  // namespace sparta::serve

@@ -607,7 +607,7 @@ TEST_F(ServiceTest, StatlogRecordsEveryResolvedRequest) {
     ++lines;
     const std::optional<obs::JsonValue> rec = obs::json_parse(line);
     ASSERT_TRUE(rec.has_value()) << line;
-    EXPECT_EQ(rec->get("schema_version")->number_or(0), 1.0);
+    EXPECT_EQ(rec->get("schema_version")->number_or(0), 2.0);
     ids.insert(
         static_cast<std::uint64_t>(rec->get("request_id")->number_or(0)));
     ++outcomes[rec->get("outcome")->string_or("?")];
@@ -615,6 +615,17 @@ TEST_F(ServiceTest, StatlogRecordsEveryResolvedRequest) {
     ASSERT_NE(rec->get("exec_seconds"), nullptr);
     ASSERT_NE(rec->get("stages"), nullptr);
     ASSERT_NE(rec->get("perf"), nullptr);
+    // Schema-2 additions: feature-vector version, environment, and the
+    // deciding model — always present, even on failed requests.
+    EXPECT_EQ(rec->get("feature_version")->number_or(0), 1.0);
+    ASSERT_NE(rec->get("key"), nullptr);
+    ASSERT_NE(rec->get("simd_isa"), nullptr);
+    ASSERT_NE(rec->get("swiss_tables"), nullptr);
+    ASSERT_NE(rec->get("model_id"), nullptr);
+    EXPECT_EQ(rec->get("selector_prior")->string_or("?"), "analytic");
+    ASSERT_NE(rec->get("est_hty_bytes"), nullptr);
+    ASSERT_NE(rec->get("hty_bytes"), nullptr);
+    ASSERT_NE(rec->get("pred_seconds"), nullptr);
     // Operand features resolved at log time for live tensors.
     if (rec->get("outcome")->string_or("") == "ok") {
       ASSERT_NE(rec->get("nnz_x"), nullptr) << line;

@@ -1,0 +1,226 @@
+// Statlog rotation edge cases and the read-back helpers that
+// tools/sparta_autotune and tools/sparta_stats depend on: records
+// landing exactly on the size boundary, many threads appending through
+// a rotation, a crash-torn final line, and oldest-first store reads.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/statlog.hpp"
+
+namespace sparta::obs {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+void remove_chain(const std::string& path, int max_files = 8) {
+  std::remove(path.c_str());
+  for (int k = 1; k < max_files; ++k) {
+    std::remove((path + "." + std::to_string(k)).c_str());
+  }
+}
+
+// A record whose size+newline lands the live file exactly at max_bytes
+// must NOT rotate (the contract is "would push PAST max_bytes"); the
+// next append then rotates first.
+TEST(StatLogRotation, ExactBoundaryDoesNotRotateEarly) {
+  const std::string path = tmp_path("statlog_boundary.jsonl");
+  remove_chain(path);
+  const std::string rec = "{\"request_id\":1}";  // 16 bytes + '\n' = 17
+  StatLog log;
+  StatLogConfig cfg;
+  cfg.path = path;
+  cfg.max_bytes = 2 * (rec.size() + 1);  // exactly two records
+  cfg.max_files = 3;
+  ASSERT_TRUE(log.open(cfg));
+  log.append(rec);
+  log.append(rec);  // fills the live file to exactly max_bytes
+  {
+    StatLogFile live = read_statlog_file(path);
+    EXPECT_EQ(live.lines.size(), 2u);
+    EXPECT_FALSE(
+        std::ifstream(path + ".1").good());  // no rotation happened yet
+  }
+  log.append(rec);  // overflows: rotate, then write into a fresh live
+  log.close();
+  StatLogFile live = read_statlog_file(path);
+  StatLogFile rotated = read_statlog_file(path + ".1");
+  EXPECT_EQ(live.lines.size(), 1u);
+  EXPECT_EQ(rotated.lines.size(), 2u);
+  remove_chain(path);
+}
+
+// One oversized record (bigger than max_bytes on its own) still gets
+// written whole — rotation caps segment size only between records.
+TEST(StatLogRotation, OversizedRecordWrittenWhole) {
+  const std::string path = tmp_path("statlog_oversized.jsonl");
+  remove_chain(path);
+  StatLog log;
+  StatLogConfig cfg;
+  cfg.path = path;
+  cfg.max_bytes = 8;
+  cfg.max_files = 2;
+  ASSERT_TRUE(log.open(cfg));
+  const std::string big =
+      "{\"payload\":\"" + std::string(64, 'x') + "\"}";
+  log.append(big);
+  log.append(big);  // forces a rotation between the two
+  log.close();
+  StatLogFile live = read_statlog_file(path);
+  ASSERT_EQ(live.lines.size(), 1u);
+  EXPECT_EQ(live.lines[0], big);
+  StatLogFile rotated = read_statlog_file(path + ".1");
+  ASSERT_EQ(rotated.lines.size(), 1u);
+  EXPECT_EQ(rotated.lines[0], big);
+  remove_chain(path);
+}
+
+// Many threads appending through rotations: every surviving line must
+// be one intact record (never interleaved or torn), and the newest
+// records must survive — rotation may only drop the oldest segment.
+TEST(StatLogRotation, ConcurrentAppendersNeverTearRecords) {
+  const std::string path = tmp_path("statlog_concurrent.jsonl");
+  remove_chain(path);
+  StatLog log;
+  StatLogConfig cfg;
+  cfg.path = path;
+  cfg.max_bytes = 512;  // rotate often under the concurrent load
+  cfg.max_files = 4;
+  ASSERT_TRUE(log.open(cfg));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.append("{\"thread\":" + std::to_string(t) +
+                   ",\"seq\":" + std::to_string(i) + "}");
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(log.lines_written(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  log.close();
+  StatLogFile store = read_statlog_store(path, cfg.max_files);
+  EXPECT_FALSE(store.torn_tail);
+  EXPECT_GT(store.lines.size(), 0u);
+  EXPECT_LE(store.lines.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  std::set<std::string> seen;
+  for (const std::string& line : store.lines) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"thread\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"seq\":"), std::string::npos) << line;
+    EXPECT_TRUE(seen.insert(line).second) << "duplicate: " << line;
+  }
+  remove_chain(path);
+}
+
+// A crash mid-append leaves a final line without '\n'; the reader must
+// drop the fragment, keep every complete record, and flag the tear.
+TEST(StatLogReadback, TornTailDroppedAndFlagged) {
+  const std::string path = tmp_path("statlog_torn.jsonl");
+  remove_chain(path);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"request_id\":1}\n";
+    out << "{\"request_id\":2}\n";
+    out << "{\"request_id\":3,\"exec_";  // torn: no closing brace/newline
+  }
+  StatLogFile f = read_statlog_file(path);
+  EXPECT_TRUE(f.torn_tail);
+  ASSERT_EQ(f.lines.size(), 2u);
+  EXPECT_EQ(f.lines[0], "{\"request_id\":1}");
+  EXPECT_EQ(f.lines[1], "{\"request_id\":2}");
+  remove_chain(path);
+}
+
+TEST(StatLogReadback, CleanFileHasNoTornTail) {
+  const std::string path = tmp_path("statlog_clean.jsonl");
+  remove_chain(path);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"request_id\":1}\n";
+  }
+  StatLogFile f = read_statlog_file(path);
+  EXPECT_FALSE(f.torn_tail);
+  EXPECT_EQ(f.lines.size(), 1u);
+  remove_chain(path);
+}
+
+TEST(StatLogReadback, MissingFileReadsEmpty) {
+  StatLogFile f = read_statlog_file(tmp_path("statlog_nonexistent.jsonl"));
+  EXPECT_FALSE(f.torn_tail);
+  EXPECT_TRUE(f.lines.empty());
+}
+
+// read_statlog_store returns oldest-first: path.(k-1) down to path.1,
+// then the live file — the order offline fitting replays history in.
+TEST(StatLogReadback, StoreReadsOldestFirstAndSkipsGaps) {
+  const std::string path = tmp_path("statlog_store.jsonl");
+  remove_chain(path);
+  {
+    std::ofstream live(path, std::ios::binary);
+    live << "{\"seq\":5}\n{\"seq\":6}\n";
+    std::ofstream r1(path + ".1", std::ios::binary);
+    r1 << "{\"seq\":3}\n{\"seq\":4}\n";
+    // No path.2 — a gap in the chain must be skipped, not fatal.
+    std::ofstream r3(path + ".3", std::ios::binary);
+    r3 << "{\"seq\":1}\n{\"seq\":2}\n";
+  }
+  StatLogFile store = read_statlog_store(path, 8);
+  ASSERT_EQ(store.lines.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(store.lines[static_cast<std::size_t>(i)],
+              "{\"seq\":" + std::to_string(i + 1) + "}");
+  }
+  EXPECT_FALSE(store.torn_tail);
+  std::remove((path + ".3").c_str());
+  remove_chain(path);
+}
+
+// A rotated store produced by the writer itself reads back newest-last.
+TEST(StatLogReadback, WriterProducedStoreReadsInAppendOrder) {
+  const std::string path = tmp_path("statlog_ordered.jsonl");
+  remove_chain(path);
+  StatLog log;
+  StatLogConfig cfg;
+  cfg.path = path;
+  cfg.max_bytes = 48;
+  cfg.max_files = 4;
+  ASSERT_TRUE(log.open(cfg));
+  constexpr int kN = 12;
+  for (int i = 0; i < kN; ++i) {
+    log.append("{\"seq\":" + std::to_string(i) + "}");
+  }
+  log.close();
+  StatLogFile store = read_statlog_store(path, cfg.max_files);
+  ASSERT_GT(store.lines.size(), 0u);
+  // Sequence numbers must be strictly increasing across the whole
+  // store, and the final record must be the newest append.
+  int prev = -1;
+  for (const std::string& line : store.lines) {
+    const std::size_t colon = line.find(':');
+    ASSERT_NE(colon, std::string::npos);
+    const int seq = std::stoi(line.substr(colon + 1));
+    EXPECT_GT(seq, prev) << "out of order: " << line;
+    prev = seq;
+  }
+  EXPECT_EQ(prev, kN - 1);
+  remove_chain(path);
+}
+
+}  // namespace
+}  // namespace sparta::obs

@@ -1,0 +1,351 @@
+// sparta_autotune — fit the learned per-variant cost model from the
+// serving layer's JSONL stat store (the offline half of the
+// observability-to-planning loop; see docs/OBSERVABILITY.md § "Closing
+// the loop").
+//
+//   sparta_autotune FILE... [-o MODEL.json] [--json] [--min-samples N]
+//
+// Reads every statlog FILE in order (pass rotated segments oldest-first
+// for a chronological merge), keeps successful schema-2 requests that
+// carry the feature vector, and fits one log-linear cost model per
+// algorithm variant (serve/costmodel.hpp — ridge normal equations, no
+// external deps). The fit is deterministic: the same store produces a
+// byte-identical report and model file, which CI diffs across two runs.
+//
+// Output is a markdown report (or --json) with per-variant fit
+// diagnostics — sample count, R² / RMSE in log space, in-sample
+// predicted-vs-measured seconds ratios — and the analytic Eq. 5/6
+// predicted-vs-measured byte ratios over the same records, so the
+// learned model is always read next to the estimator it replaces.
+// -o writes the versioned model file sparta_serve --selector-model
+// loads.
+//
+// Exit codes: 0 ok; 1 malformed record, bad I/O, or nothing fittable;
+// 2 usage.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/json_parse.hpp"
+#include "obs/statlog.hpp"
+#include "serve/costmodel.hpp"
+
+namespace {
+
+using sparta::Algorithm;
+using sparta::obs::JsonValue;
+using sparta::serve::CostFeatures;
+using sparta::serve::CostModel;
+using sparta::serve::VariantFit;
+
+struct ParsedRecord {
+  CostModel::Sample sample;
+  double est_hty_ratio = 0.0;  ///< est/measured HtY bytes; 0 = n/a
+  double est_hta_ratio = 0.0;  ///< est/measured HtA bytes; 0 = n/a
+};
+
+void usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s FILE... [-o MODEL.json] [--json] [--min-samples N]\n",
+      prog);
+  std::exit(2);
+}
+
+std::optional<Algorithm> variant_of(const std::string& name) {
+  for (const Algorithm a : CostModel::kVariants) {
+    if (name == sparta::algorithm_name(a)) return a;
+  }
+  return std::nullopt;
+}
+
+// One statlog line -> training sample. Only successful, feature-
+// complete schema-2 records train the model; anything else is skipped
+// (skips are reported, not errors — a store may mix schema versions
+// across a deployment boundary).
+bool parse_record(const std::string& line, ParsedRecord& out) {
+  const std::optional<JsonValue> doc = sparta::obs::json_parse(line);
+  if (!doc || !doc->is_object()) return false;
+  const JsonValue* sv = doc->get("schema_version");
+  if (sv == nullptr || sv->number_or(0) < 2) return false;
+  const JsonValue* fv = doc->get("feature_version");
+  if (fv == nullptr ||
+      fv->number_or(0) !=
+          static_cast<double>(sparta::serve::kCostFeatureVersion)) {
+    return false;
+  }
+  const JsonValue* outcome = doc->get("outcome");
+  if (outcome == nullptr || outcome->string_or("") != "ok") return false;
+  const JsonValue* variant = doc->get("variant");
+  if (variant == nullptr || !variant->is_string()) return false;
+  const std::optional<Algorithm> a = variant_of(variant->str_v);
+  if (!a) return false;
+
+  const JsonValue* nnz_x = doc->get("nnz_x");
+  const JsonValue* nnz_y = doc->get("nnz_y");
+  const JsonValue* exec = doc->get("exec_seconds");
+  if (nnz_x == nullptr || nnz_y == nullptr || exec == nullptr ||
+      exec->number_or(0.0) <= 0.0) {
+    return false;
+  }
+  CostFeatures f;
+  f.nnz_x = static_cast<std::size_t>(nnz_x->number_or(0));
+  f.nnz_y = static_cast<std::size_t>(nnz_y->number_or(0));
+  const JsonValue* dims_y = doc->get("dims_y");
+  f.order_y = dims_y != nullptr && dims_y->is_array()
+                  ? static_cast<int>(dims_y->arr.size())
+                  : 0;
+  f.num_contract_modes = static_cast<int>(
+      doc->get("num_contract_modes")
+          ? doc->get("num_contract_modes")->number_or(0)
+          : 0);
+  f.density_x =
+      doc->get("density_x") ? doc->get("density_x")->number_or(0.0) : 0.0;
+  f.density_y =
+      doc->get("density_y") ? doc->get("density_y")->number_or(0.0) : 0.0;
+  out.sample = {*a, f, exec->number_or(0.0)};
+
+  const auto ratio = [&doc](const char* est_key, const char* meas_key) {
+    const JsonValue* est = doc->get(est_key);
+    const JsonValue* meas = doc->get(meas_key);
+    if (est == nullptr || meas == nullptr) return 0.0;
+    const double e = est->number_or(0.0);
+    const double m = meas->number_or(0.0);
+    return e > 0.0 && m > 0.0 ? e / m : 0.0;
+  };
+  out.est_hty_ratio = ratio("est_hty_bytes", "hty_bytes");
+  out.est_hta_ratio = ratio("est_hta_bytes", "hta_bytes");
+  return true;
+}
+
+double percentile_sorted(const std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  const auto idx =
+      static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+struct RatioSummary {
+  std::uint64_t n = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+RatioSummary summarize(std::vector<double> ratios) {
+  RatioSummary s;
+  ratios.erase(std::remove(ratios.begin(), ratios.end(), 0.0),
+               ratios.end());
+  if (ratios.empty()) return s;
+  std::sort(ratios.begin(), ratios.end());
+  s.n = ratios.size();
+  s.p50 = percentile_sorted(ratios, 0.5);
+  s.p95 = percentile_sorted(ratios, 0.95);
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string model_out;
+  bool as_json = false;
+  std::size_t min_samples = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      as_json = true;
+    } else if (a == "-o" || a == "--output") {
+      if (++i >= argc) usage(argv[0]);
+      model_out = argv[i];
+    } else if (a == "--min-samples") {
+      if (++i >= argc) usage(argv[0]);
+      min_samples = static_cast<std::size_t>(std::atoll(argv[i]));
+      if (min_samples == 0) usage(argv[0]);
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], a.c_str());
+      usage(argv[0]);
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.empty()) usage(argv[0]);
+
+  std::vector<ParsedRecord> records;
+  std::uint64_t lines_total = 0;
+  std::uint64_t skipped = 0;
+  for (const std::string& path : paths) {
+    const sparta::obs::StatLogFile file =
+        sparta::obs::read_statlog_file(path);
+    if (file.lines.empty() && !file.torn_tail) {
+      std::FILE* probe = std::fopen(path.c_str(), "r");
+      if (probe == nullptr) {
+        std::fprintf(stderr, "sparta_autotune: cannot read '%s'\n",
+                     path.c_str());
+        return 1;
+      }
+      std::fclose(probe);
+    }
+    if (file.torn_tail) {
+      std::fprintf(stderr,
+                   "sparta_autotune: %s: ignoring torn trailing line\n",
+                   path.c_str());
+    }
+    for (const std::string& line : file.lines) {
+      ++lines_total;
+      ParsedRecord r;
+      if (parse_record(line, r)) {
+        records.push_back(std::move(r));
+      } else {
+        ++skipped;
+      }
+    }
+  }
+  if (records.empty()) {
+    std::fprintf(stderr,
+                 "sparta_autotune: no trainable records in %llu lines "
+                 "(need schema 2, outcome ok, feature_version %d)\n",
+                 static_cast<unsigned long long>(lines_total),
+                 sparta::serve::kCostFeatureVersion);
+    return 1;
+  }
+
+  std::vector<CostModel::Sample> samples;
+  samples.reserve(records.size());
+  for (const ParsedRecord& r : records) samples.push_back(r.sample);
+  const CostModel model = CostModel::fit(samples, min_samples);
+  if (model.empty()) {
+    std::fprintf(stderr,
+                 "sparta_autotune: no variant reached %zu samples "
+                 "(%zu trainable records)\n",
+                 min_samples, samples.size());
+    return 1;
+  }
+
+  if (!model_out.empty()) {
+    std::FILE* f = std::fopen(model_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "sparta_autotune: cannot write '%s'\n",
+                   model_out.c_str());
+      return 1;
+    }
+    const std::string doc = model.to_json();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+
+  // Per-variant diagnostics: the learned model's in-sample
+  // predicted/measured seconds ratios next to the analytic Eq. 5/6
+  // predicted/measured byte ratios over the same records.
+  struct Diag {
+    RatioSummary learned;
+    RatioSummary eq5;
+    RatioSummary eq6;
+    const VariantFit* fit = nullptr;
+  };
+  std::map<std::string, Diag> diags;
+  for (const Algorithm a : CostModel::kVariants) {
+    const std::string name{sparta::algorithm_name(a)};
+    Diag d;
+    d.fit = &model.fit_for(a);
+    std::vector<double> learned;
+    std::vector<double> eq5;
+    std::vector<double> eq6;
+    for (const ParsedRecord& r : records) {
+      if (r.sample.variant != a) continue;
+      if (model.has(a) && r.sample.seconds > 0.0) {
+        learned.push_back(
+            model.predict_seconds(a, r.sample.features) /
+            r.sample.seconds);
+      }
+      eq5.push_back(r.est_hty_ratio);
+      eq6.push_back(r.est_hta_ratio);
+    }
+    d.learned = summarize(std::move(learned));
+    d.eq5 = summarize(std::move(eq5));
+    d.eq6 = summarize(std::move(eq6));
+    diags.emplace(name, d);
+  }
+
+  if (as_json) {
+    sparta::obs::JsonWriter w;
+    w.begin_object();
+    w.key("schema_version").value(1);
+    w.key("tool").value("sparta_autotune");
+    w.key("lines").value(lines_total);
+    w.key("trainable").value(static_cast<std::uint64_t>(records.size()));
+    w.key("skipped").value(skipped);
+    w.key("model_id").value(std::string_view(model.id()));
+    w.key("model").raw(model.to_json());
+    const auto write_ratio = [&w](const char* key,
+                                  const RatioSummary& s) {
+      w.key(key).begin_object();
+      w.key("samples").value(s.n);
+      w.key("p50").value(s.p50);
+      w.key("p95").value(s.p95);
+      w.end_object();
+    };
+    w.key("variants").begin_object();
+    for (const auto& [name, d] : diags) {
+      w.key(name).begin_object();
+      w.key("fitted").value(d.fit->fitted);
+      w.key("samples").value(d.fit->samples);
+      w.key("r2").value(d.fit->r2);
+      w.key("rmse_log").value(d.fit->rmse_log);
+      write_ratio("learned_pred_over_measured", d.learned);
+      write_ratio("eq5_pred_over_measured", d.eq5);
+      write_ratio("eq6_pred_over_measured", d.eq6);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+
+  std::printf("# sparta_autotune\n\n");
+  std::printf("lines read: %llu (trainable %zu, skipped %llu)\n",
+              static_cast<unsigned long long>(lines_total),
+              records.size(),
+              static_cast<unsigned long long>(skipped));
+  std::printf("model id: %s\n", model.id().c_str());
+  if (!model_out.empty()) {
+    std::printf("model written: %s\n", model_out.c_str());
+  }
+  std::printf(
+      "\n## Fits (log-space)\n\n"
+      "| variant | samples | fitted | R2 | rmse(log s) |\n"
+      "|---|---|---|---|---|\n");
+  for (const auto& [name, d] : diags) {
+    std::printf("| %s | %llu | %s | %.4f | %.4f |\n", name.c_str(),
+                static_cast<unsigned long long>(d.fit->samples),
+                d.fit->fitted ? "yes" : "no", d.fit->r2,
+                d.fit->rmse_log);
+  }
+  std::printf(
+      "\n## Predicted / measured\n\n"
+      "Learned model predicts seconds; Eq. 5/6 predict bytes. Each cell"
+      " is the p50 (p95) of predicted over measured, 1.0 = perfect.\n\n"
+      "| variant | learned s | Eq. 5 HtY bytes | Eq. 6 HtA bytes |\n"
+      "|---|---|---|---|\n");
+  const auto cell = [](const RatioSummary& s) {
+    char buf[64];
+    if (s.n == 0) {
+      std::snprintf(buf, sizeof(buf), "n/a");
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.3f (%.3f)", s.p50, s.p95);
+    }
+    return std::string(buf);
+  };
+  for (const auto& [name, d] : diags) {
+    std::printf("| %s | %s | %s | %s |\n", name.c_str(),
+                cell(d.learned).c_str(), cell(d.eq5).c_str(),
+                cell(d.eq6).c_str());
+  }
+  return 0;
+}

@@ -7,6 +7,18 @@
 //     [--queue N] [--no-degrade] [--shed] [--json PATH]
 //     [--statlog PATH] [--stats-socket PATH] [--metrics-jsonl PATH]
 //     [--metrics-interval SEC] [--flight-dump PATH] [--linger-ms N]
+//     [--selector-model PATH] [--selector-state PATH]
+//     [--ewma-alpha F] [--explore-period N]
+//
+// Selector flags (docs/SERVING.md § "The learned selector prior"):
+//   --selector-model PATH  load a sparta_autotune model as the cold-
+//                          start prior (selector seeds from predictions
+//                          instead of exploring)
+//   --selector-state PATH  load the selector state snapshot from PATH
+//                          when it exists, write it back on shutdown —
+//                          per-key EWMAs survive restarts
+//   --ewma-alpha F         weight of the newest observation, (0, 1]
+//   --explore-period N     explore every Nth decision; 0 disables
 //
 // Telemetry flags:
 //   --statlog PATH        per-request JSONL stat store (obs/statlog.hpp);
@@ -44,6 +56,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/statlog.hpp"
+#include "serve/costmodel.hpp"
 #include "serve/service.hpp"
 #include "serve/workload.hpp"
 
@@ -56,7 +69,9 @@ void usage(const char* prog) {
       "  [--threads-per-request N] [--budget-mb M] [--cache-fraction F]\n"
       "  [--queue N] [--no-degrade] [--shed] [--json PATH]\n"
       "  [--statlog PATH] [--stats-socket PATH] [--metrics-jsonl PATH]\n"
-      "  [--metrics-interval SEC] [--flight-dump PATH] [--linger-ms N]\n",
+      "  [--metrics-interval SEC] [--flight-dump PATH] [--linger-ms N]\n"
+      "  [--selector-model PATH] [--selector-state PATH]\n"
+      "  [--ewma-alpha F] [--explore-period N]\n",
       prog);
   std::exit(2);
 }
@@ -168,6 +183,14 @@ int main(int argc, char** argv) {
       flight_dump_path = next();
     } else if (a == "--linger-ms") {
       linger_ms = std::atoi(next().c_str());
+    } else if (a == "--selector-model") {
+      cfg.selector.model = next();
+    } else if (a == "--selector-state") {
+      cfg.selector.state_path = next();
+    } else if (a == "--ewma-alpha") {
+      cfg.selector.ewma_alpha = std::atof(next().c_str());
+    } else if (a == "--explore-period") {
+      cfg.selector.explore_period = std::atoi(next().c_str());
     } else {
       std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
                    a.c_str());
@@ -175,6 +198,20 @@ int main(int argc, char** argv) {
     }
   }
   if (workload_path.empty() || wopts.clients <= 0) usage(argv[0]);
+
+  // Fail bad knob values at the flag boundary with the flag name in the
+  // diagnostic, not later from inside the service constructor. The
+  // model file gets the same treatment: an unreadable brain is a
+  // configuration error (exit 2), not a mid-run hard failure.
+  try {
+    cfg.selector.validate();
+    if (!cfg.selector.model.empty()) {
+      (void)sparta::serve::CostModel::load_file(cfg.selector.model);
+    }
+  } catch (const sparta::Error& e) {
+    std::fprintf(stderr, "sparta_serve: %s\n", e.what());
+    return 2;
+  }
 
   // Metrics on for the whole run so the cache/admission counters and
   // the queue/exec histograms land in the JSON report.
@@ -204,6 +241,12 @@ int main(int argc, char** argv) {
     const std::vector<sparta::serve::WorkloadOp> ops =
         sparta::serve::parse_workload_file(workload_path);
     sparta::serve::ContractionService svc(cfg);
+    // Selector state (decision counters, per-key EWMAs, active model
+    // id) rides along on every scrape, after the registry snapshot.
+    if (stats_server.running()) {
+      stats_server.set_extra(
+          [&svc] { return svc.selector().prometheus_text(); });
+    }
     const sparta::serve::WorkloadResult res =
         sparta::serve::run_workload(svc, ops, wopts);
 
@@ -213,6 +256,9 @@ int main(int argc, char** argv) {
     if (linger_ms > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
     }
+    // Scrape window over: detach the selector hook before the service
+    // it points into is destroyed at the end of this scope.
+    stats_server.set_extra({});
 
     std::size_t ok = 0;
     std::size_t failed = 0;
@@ -264,6 +310,10 @@ int main(int argc, char** argv) {
         percentile(latencies, 0.5) * 1e3,
         percentile(latencies, 0.95) * 1e3,
         percentile(latencies, 1.0) * 1e3, res.wall_seconds);
+    const std::string model_id = svc.selector().model_id();
+    std::printf("  selector: prior=%s model_id=%s\n",
+                model_id.empty() ? "analytic" : "learned",
+                model_id.empty() ? "-" : model_id.c_str());
 
     if (!json_path.empty()) {
       sparta::obs::JsonWriter w;
@@ -300,6 +350,7 @@ int main(int argc, char** argv) {
       w.key("max").value(percentile(latencies, 1.0));
       w.end_object();
       w.end_object();
+      w.key("selector").raw(svc.selector().stats_json());
       w.key("counters").raw(svc.counters_json());
       w.key("histograms")
           .raw(sparta::obs::MetricsRegistry::global()

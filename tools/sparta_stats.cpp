@@ -3,11 +3,17 @@
 // --statlog) into per-variant latency percentiles, cache hit rates,
 // outcome counts, and per-key regret against the best observed variant.
 //
-//   sparta_stats FILE... [--json]
+//   sparta_stats FILE... [--json] [--estimator-error]
 //
 // Reads every FILE in order (pass rotated segments oldest-first for a
 // chronological merge; aggregation is order-insensitive anyway). Output
 // is deterministic: variants, outcomes, and keys are emitted sorted.
+//
+// --estimator-error adds a per-variant section with percentiles of the
+// predicted-over-measured cost ratios schema-2 records carry: Eq. 5
+// (HtY bytes), Eq. 6 (HtA bytes), and the learned model's seconds
+// prediction when one was serving — model drift is visible without
+// running the autotuner.
 //
 // Regret: requests are grouped by contraction key (x|y|cx|cy); within a
 // group each variant's median exec time is computed, and a variant's
@@ -38,6 +44,11 @@ struct Record {
   bool cache_hit = false;
   double exec_seconds = 0.0;
   double queue_seconds = 0.0;
+  // Predicted-over-measured ratios (0 = not available on this record):
+  // Eq. 5 HtY bytes, Eq. 6 HtA bytes, learned-model seconds.
+  double eq5_ratio = 0.0;
+  double eq6_ratio = 0.0;
+  double pred_ratio = 0.0;
 };
 
 struct VariantAgg {
@@ -46,10 +57,14 @@ struct VariantAgg {
   std::uint64_t hits = 0;
   double regret_sum = 0.0;
   std::uint64_t regret_keys = 0;
+  std::vector<double> eq5;
+  std::vector<double> eq6;
+  std::vector<double> pred;
 };
 
 void usage(const char* prog) {
-  std::fprintf(stderr, "usage: %s FILE... [--json]\n", prog);
+  std::fprintf(stderr, "usage: %s FILE... [--json] [--estimator-error]\n",
+               prog);
   std::exit(2);
 }
 
@@ -74,7 +89,7 @@ std::string modes_string(const JsonValue* modes) {
 }
 
 // One statlog line -> Record; false (with a stderr note) on anything
-// that is not a well-formed schema-1 record. Strictness is the point:
+// that is not a well-formed schema-1/2 record. Strictness is the point:
 // CI runs this on fresh logs, and a malformed line means the writer —
 // not the operator — broke.
 bool parse_record(const std::string& line, std::size_t lineno,
@@ -86,7 +101,8 @@ bool parse_record(const std::string& line, std::size_t lineno,
   };
   if (!doc || !doc->is_object()) return fail("not a JSON object");
   const JsonValue* sv = doc->get("schema_version");
-  if (sv == nullptr || sv->number_or(0) != 1) {
+  const double schema = sv == nullptr ? 0 : sv->number_or(0);
+  if (schema != 1 && schema != 2) {
     return fail("missing or unsupported schema_version");
   }
   const JsonValue* rid = doc->get("request_id");
@@ -119,7 +135,43 @@ bool parse_record(const std::string& line, std::size_t lineno,
   if (exec == nullptr || queue == nullptr) return fail("missing timings");
   out.exec_seconds = exec->number_or(0.0);
   out.queue_seconds = queue->number_or(0.0);
+  const auto ratio = [&doc](const char* est_key, const char* meas_key) {
+    const JsonValue* est = doc->get(est_key);
+    const JsonValue* meas = doc->get(meas_key);
+    if (est == nullptr || meas == nullptr) return 0.0;
+    const double e = est->number_or(0.0);
+    const double m = meas->number_or(0.0);
+    return e > 0.0 && m > 0.0 ? e / m : 0.0;
+  };
+  out.eq5_ratio = ratio("est_hty_bytes", "hty_bytes");
+  out.eq6_ratio = ratio("est_hta_bytes", "hta_bytes");
+  out.pred_ratio = ratio("pred_seconds", "exec_seconds");
   return true;
+}
+
+// Ratio vector -> deterministic percentile row; zeros (ratio not
+// available on that record) are dropped first.
+struct RatioRow {
+  std::uint64_t n = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+RatioRow ratio_row(std::vector<double> v) {
+  RatioRow row;
+  v.erase(std::remove(v.begin(), v.end(), 0.0), v.end());
+  if (v.empty()) return row;
+  std::sort(v.begin(), v.end());
+  row.n = v.size();
+  const auto at = [&v](double p) {
+    return v[static_cast<std::size_t>(p *
+                                      static_cast<double>(v.size() - 1))];
+  };
+  row.p50 = at(0.5);
+  row.p95 = at(0.95);
+  row.max = v.back();
+  return row;
 }
 
 }  // namespace
@@ -127,10 +179,13 @@ bool parse_record(const std::string& line, std::size_t lineno,
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
   bool as_json = false;
+  bool estimator_error = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--json") {
       as_json = true;
+    } else if (a == "--estimator-error") {
+      estimator_error = true;
     } else if (!a.empty() && a[0] == '-') {
       std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], a.c_str());
       usage(argv[0]);
@@ -192,6 +247,9 @@ int main(int argc, char** argv) {
     VariantAgg& agg = variants[r.variant];
     ++agg.count;
     agg.exec.push_back(r.exec_seconds);
+    agg.eq5.push_back(r.eq5_ratio);
+    agg.eq6.push_back(r.eq6_ratio);
+    agg.pred.push_back(r.pred_ratio);
     ++cache_lookups;
     if (r.cache_hit) {
       ++agg.hits;
@@ -246,6 +304,21 @@ int main(int argc, char** argv) {
                      ? 0.0
                      : agg.regret_sum /
                            static_cast<double>(agg.regret_keys));
+      if (estimator_error) {
+        const auto write_row = [&w](const char* key, RatioRow row) {
+          w.key(key).begin_object();
+          w.key("samples").value(row.n);
+          w.key("p50").value(row.p50);
+          w.key("p95").value(row.p95);
+          w.key("max").value(row.max);
+          w.end_object();
+        };
+        w.key("estimator_error").begin_object();
+        write_row("eq5_pred_over_measured", ratio_row(agg.eq5));
+        write_row("eq6_pred_over_measured", ratio_row(agg.eq6));
+        write_row("model_pred_over_measured", ratio_row(agg.pred));
+        w.end_object();
+      }
       w.end_object();
     }
     w.end_object();
@@ -284,6 +357,28 @@ int main(int argc, char** argv) {
                               : agg.regret_sum /
                                     static_cast<double>(agg.regret_keys)) *
             1e3);
+  }
+  if (estimator_error) {
+    std::printf(
+        "\n## Estimator error (predicted / measured, 1.0 = perfect)\n\n"
+        "| variant | source | samples | p50 | p95 | max |\n"
+        "|---|---|---|---|---|---|\n");
+    for (auto& [name, agg] : variants) {
+      const auto print_row = [&name](const char* src, RatioRow row) {
+        if (row.n == 0) {
+          std::printf("| %s | %s | 0 | n/a | n/a | n/a |\n",
+                      name.c_str(), src);
+          return;
+        }
+        std::printf("| %s | %s | %llu | %.3f | %.3f | %.3f |\n",
+                    name.c_str(), src,
+                    static_cast<unsigned long long>(row.n), row.p50,
+                    row.p95, row.max);
+      };
+      print_row("Eq.5 HtY bytes", ratio_row(agg.eq5));
+      print_row("Eq.6 HtA bytes", ratio_row(agg.eq6));
+      print_row("model seconds", ratio_row(agg.pred));
+    }
   }
   return 0;
 }
