@@ -270,6 +270,42 @@ def check_report(path):
                            f"analytic "
                            f"{counters['analytic_regret_seconds']}")
             continue
+        if c["name"] == "order_search":
+            # bench_plan's order-search gate: the DP-planned order must
+            # strictly beat the worst enumerated order on both time and
+            # peak intermediate bytes, and beat naive left-to-right.
+            for k in ("orders_enumerated", "planned_seconds",
+                      "left_seconds", "worst_seconds",
+                      "planned_peak_bytes", "worst_peak_bytes"):
+                check_number(path, counters, k)
+            check_number(path, counters, "orders_enumerated", minimum=2)
+            if counters["planned_seconds"] >= counters["worst_seconds"]:
+                fail(path, f"{where}: planned order "
+                           f"{counters['planned_seconds']}s not faster "
+                           f"than worst {counters['worst_seconds']}s")
+            if counters["planned_peak_bytes"] \
+                    >= counters["worst_peak_bytes"]:
+                fail(path, f"{where}: planned peak "
+                           f"{counters['planned_peak_bytes']} B not "
+                           f"below worst "
+                           f"{counters['worst_peak_bytes']} B")
+            if counters["planned_seconds"] >= counters["left_seconds"]:
+                fail(path, f"{where}: planned order not faster than "
+                           "left-to-right")
+            continue
+        if c["name"] == "plan_cache":
+            # bench_plan's repeat-network gate: run 2+ must hit the
+            # NetworkPlanCache (a deterministic flag, not a timing).
+            for k in ("cold_seconds", "hit_seconds", "speedup",
+                      "hty_plan_hits"):
+                check_number(path, counters, k)
+            if counters.get("plan_cache_hit") is not True:
+                fail(path, f"{where}: repeated network request missed "
+                           "the plan cache")
+            if counters["hty_plan_hits"] < 1:
+                fail(path, f"{where}: no per-step HtY plan hits on the "
+                           "repeated network")
+            continue
         for k in REQUIRED_COUNTERS:
             check_number(path, counters, k)
         if counters["hits"] > counters["searches"]:

@@ -5,7 +5,13 @@ must carry the trace_event essentials, and — when --expect-contract is
 given — the five pipeline-stage spans, at least one sub-phase span, and
 at least one counter ('C') track must be present.
 
-Usage: check_trace.py trace.json [--expect-contract]
+Events may carry correlation args (request_id, and for plan-executor
+steps plan_id/step_index); when present they must be well-typed and
+plan_id must come with step_index. --expect-plan additionally requires
+the plan.start/plan.done instants and at least one span stamped with a
+plan_id (the trace came from a `network` execution).
+
+Usage: check_trace.py trace.json [--expect-contract] [--expect-plan]
 """
 import json
 import sys
@@ -28,6 +34,7 @@ def fail(msg):
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     expect_contract = "--expect-contract" in sys.argv
+    expect_plan = "--expect-plan" in sys.argv
     if len(args) != 1:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
@@ -43,12 +50,31 @@ def main():
     # flight recorder; flight dumps additionally self-identify.
     if "dropped_events" not in doc:
         fail("'dropped_events' missing")
+    plan_stamped_spans = 0
     for i, e in enumerate(events):
         for key in ("name", "ph", "ts", "pid", "tid"):
             if key not in e:
                 fail(f"traceEvents[{i}] missing '{key}'")
         if e["ph"] == "X" and "dur" not in e:
             fail(f"traceEvents[{i}]: complete event without 'dur'")
+        ev_args = e.get("args", {})
+        if not isinstance(ev_args, dict):
+            fail(f"traceEvents[{i}]: 'args' is not an object")
+        for key in ("request_id", "plan_id"):
+            if key in ev_args and (not isinstance(ev_args[key], int)
+                                   or ev_args[key] < 1):
+                fail(f"traceEvents[{i}]: '{key}' = {ev_args[key]!r}, "
+                     "expected positive integer")
+        if "plan_id" in ev_args and e["ph"] == "X":
+            # The pair travels together on spans: a plan-stamped span
+            # always says which step of the plan it belongs to.
+            # (plan.start/plan.done instants are plan-level and carry
+            # no step.)
+            si = ev_args.get("step_index")
+            if not isinstance(si, int) or si < 0:
+                fail(f"traceEvents[{i}]: plan_id without a valid "
+                     f"step_index (got {si!r})")
+            plan_stamped_spans += 1
 
     names_by_phase = {}
     for e in events:
@@ -64,6 +90,15 @@ def main():
                  f"(have: {sorted(spans)})")
         if not names_by_phase.get("C"):
             fail("no counter ('C') track in trace")
+
+    if expect_plan:
+        instants = names_by_phase.get("i", set())
+        for name in ("plan.start", "plan.done"):
+            if name not in instants:
+                fail(f"missing instant '{name}' "
+                     f"(have: {sorted(instants)})")
+        if plan_stamped_spans == 0:
+            fail("no span carries plan_id/step_index args")
 
     counters = sorted(names_by_phase.get("C", set()))
     print(f"{path}: OK ({len(events)} events, "

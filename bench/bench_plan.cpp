@@ -1,0 +1,299 @@
+// Plan-compiler benchmark: does the DP order search actually pay?
+//
+// Case 1 (order_search): a 4-operand chain whose left-to-right
+// evaluation is catastrophically worse than the right-deep order the DP
+// finds — A and B are dense-ish 256x256 operands, C funnels into a
+// 4-wide tail, so contracting from the right keeps every intermediate
+// tiny while left-to-right materializes an A*B blow-up first. The gate:
+// the planned order must run strictly faster AND with a strictly lower
+// measured peak intermediate footprint than the worst enumerated order,
+// and faster than naive left-to-right.
+//
+// Case 2 (plan_cache): the same network submitted twice. Run 2 must hit
+// the NetworkPlanCache (deterministic flag, not timing), and — because
+// the executor keeps Y-side operands persistent — the per-step HtY
+// PlanCache must score hits too.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "plan/executor.hpp"
+#include "plan/ir.hpp"
+#include "plan/planner.hpp"
+#include "serve/service.hpp"
+#include "tensor/generators.hpp"
+
+namespace {
+
+using sparta::plan::BoundInput;
+using sparta::plan::ContractionNetwork;
+using sparta::plan::ExecOptions;
+using sparta::plan::NetworkPlan;
+using sparta::plan::PlanExecution;
+using sparta::plan::PlanExecutor;
+
+constexpr const char* kExpr =
+    "Z[i,m] = A[i,j] * B[j,k] * C[k,l] * D[l,m]";
+
+struct Operand {
+  const char* name;
+  sparta::index_t rows;
+  sparta::index_t cols;
+  std::size_t nnz;
+  std::uint64_t seed;
+};
+
+// The funnel: A*B first creates a wide 256x256 intermediate; the DP
+// instead folds D and C into 4-wide tails.
+constexpr Operand kOperands[] = {
+    {"A", 256, 256, 20000, 101},
+    {"B", 256, 256, 20000, 102},
+    {"C", 256, 256, 2000, 103},
+    {"D", 256, 4, 512, 104},
+};
+
+void load_operands(sparta::serve::ContractionService& svc, double scale) {
+  for (const Operand& op : kOperands) {
+    sparta::GeneratorSpec spec;
+    spec.dims = {op.rows, op.cols};
+    spec.nnz = std::max<std::size_t>(
+        64, static_cast<std::size_t>(
+                static_cast<double>(op.nnz) * scale));
+    spec.nnz = std::min(
+        spec.nnz, static_cast<std::size_t>(op.rows) * op.cols);
+    spec.seed = op.seed;
+    svc.load(op.name, sparta::generate_random(spec));
+  }
+}
+
+std::vector<BoundInput> bind(sparta::serve::ContractionService& svc,
+                             const ContractionNetwork& net) {
+  std::vector<BoundInput> out;
+  for (const auto& t : net.inputs) {
+    const auto h = svc.tensors().get(t.name);
+    BoundInput b;
+    b.name = t.name;
+    b.dims = h.tensor->dims();
+    b.nnz = h.tensor->nnz();
+    b.registry_id = h.id;
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+/// Median execution seconds over `repeats` runs of a fixed plan, plus
+/// the (deterministic) measured peak from the last run.
+struct Measured {
+  double median_seconds = 0.0;
+  std::size_t peak_bytes = 0;
+  PlanExecution last;
+};
+
+Measured measure_plan(PlanExecutor& exec, const ContractionNetwork& net,
+                      std::shared_ptr<const NetworkPlan> plan,
+                      int repeats) {
+  Measured m;
+  std::vector<double> secs;
+  for (int r = 0; r < repeats; ++r) {
+    PlanExecution ex = exec.run_plan(net, plan);
+    if (!ex.ok()) {
+      std::fprintf(stderr, "plan execution failed: %s\n",
+                   ex.error.c_str());
+      std::exit(1);
+    }
+    secs.push_back(ex.exec_seconds);
+    m.peak_bytes = ex.peak_temp_bytes;
+    m.last = std::move(ex);
+  }
+  std::sort(secs.begin(), secs.end());
+  m.median_seconds = secs[secs.size() / 2];
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sparta::bench::parse_cli(argc, argv);
+  sparta::bench::print_header(
+      "plan compiler: order search + plan cache",
+      "DP-planned order beats worst and left-to-right on the funnel "
+      "chain");
+
+  const double scale = sparta::bench::scale_from_env();
+  const int repeats =
+      std::max(3, sparta::bench::repeats_from_env());
+  bool failed = false;
+
+  const ContractionNetwork net = sparta::plan::parse_network(kExpr);
+
+  // --- Case 1: order search vs enumerated baselines -----------------
+  {
+    sparta::serve::ServeConfig cfg;
+    cfg.num_workers = 1;
+    sparta::serve::ContractionService svc(cfg);
+    load_operands(svc, scale);
+    const std::vector<BoundInput> inputs = bind(svc, net);
+
+    const auto planned = std::make_shared<NetworkPlan>(
+        sparta::plan::plan_network(net, inputs));
+    std::vector<NetworkPlan> all =
+        sparta::plan::enumerate_plans(net, inputs);
+    // Worst by the planner's own estimate — the order the search is
+    // claiming to save us from.
+    const auto worst_it = std::max_element(
+        all.begin(), all.end(),
+        [](const NetworkPlan& a, const NetworkPlan& b) {
+          return a.est_total_seconds < b.est_total_seconds;
+        });
+    const auto worst =
+        std::make_shared<NetworkPlan>(std::move(*worst_it));
+    std::vector<std::size_t> ltr(net.inputs.size());
+    std::iota(ltr.begin(), ltr.end(), 0);
+    const auto left = std::make_shared<NetworkPlan>(
+        sparta::plan::plan_fixed_order(net, inputs, ltr));
+
+    PlanExecutor exec(svc);
+    const Measured m_planned = measure_plan(exec, net, planned, repeats);
+    const Measured m_left = measure_plan(exec, net, left, repeats);
+    const Measured m_worst = measure_plan(exec, net, worst, repeats);
+
+    std::printf(
+        "order search: %zu orders enumerated; planned %.3f ms "
+        "(peak %zu B), left-to-right %.3f ms (peak %zu B), worst "
+        "%.3f ms (peak %zu B)\n",
+        all.size(), m_planned.median_seconds * 1e3,
+        m_planned.peak_bytes, m_left.median_seconds * 1e3,
+        m_left.peak_bytes, m_worst.median_seconds * 1e3,
+        m_worst.peak_bytes);
+
+    if (m_planned.median_seconds >= m_worst.median_seconds ||
+        m_planned.peak_bytes >= m_worst.peak_bytes) {
+      std::fprintf(stderr,
+                   "GATE FAILED: planned order does not strictly beat "
+                   "the worst order on both time and peak bytes\n");
+      failed = true;
+    }
+    if (m_planned.median_seconds >= m_left.median_seconds) {
+      std::fprintf(stderr,
+                   "GATE FAILED: planned order is not faster than "
+                   "left-to-right\n");
+      failed = true;
+    }
+
+    if (!sparta::bench::json_path().empty()) {
+      sparta::bench::JsonCase c;
+      c.name = "order_search";
+      c.repeats = repeats;
+      c.min_seconds = m_planned.median_seconds;
+      c.median_seconds = m_planned.median_seconds;
+      c.stages_json =
+          m_planned.last.steps.back().stage_times.to_json();
+      sparta::obs::JsonWriter w;
+      w.begin_object();
+      w.key("orders_enumerated")
+          .value(static_cast<std::uint64_t>(all.size()));
+      w.key("planned_seconds").value(m_planned.median_seconds);
+      w.key("left_seconds").value(m_left.median_seconds);
+      w.key("worst_seconds").value(m_worst.median_seconds);
+      w.key("planned_peak_bytes")
+          .value(static_cast<std::uint64_t>(m_planned.peak_bytes));
+      w.key("worst_peak_bytes")
+          .value(static_cast<std::uint64_t>(m_worst.peak_bytes));
+      w.key("est_planned_seconds").value(planned->est_total_seconds);
+      w.key("est_worst_seconds").value(worst->est_total_seconds);
+      w.end_object();
+      c.counters_json = w.str();
+      sparta::bench::json_cases().push_back(std::move(c));
+    }
+  }
+
+  // --- Case 2: network plan cache cold vs hit -----------------------
+  {
+    sparta::serve::ServeConfig cfg;
+    cfg.num_workers = 1;
+    sparta::serve::ContractionService svc(cfg);
+    load_operands(svc, scale);
+
+    PlanExecutor exec(svc);
+    ExecOptions opts;
+    opts.force_variant = true;
+    opts.variant = sparta::Algorithm::kSparta;
+
+    const PlanExecution cold = exec.run(net, opts);
+    if (!cold.ok()) {
+      std::fprintf(stderr, "cold network failed: %s\n",
+                   cold.error.c_str());
+      return 1;
+    }
+    std::vector<double> hit_secs;
+    PlanExecution hit;
+    for (int r = 0; r < repeats; ++r) {
+      hit = exec.run(net, opts);
+      if (!hit.ok()) {
+        std::fprintf(stderr, "hit network failed: %s\n",
+                     hit.error.c_str());
+        return 1;
+      }
+      hit_secs.push_back(hit.plan_seconds + hit.exec_seconds);
+    }
+    std::sort(hit_secs.begin(), hit_secs.end());
+    const double hit_med = hit_secs[hit_secs.size() / 2];
+    const double cold_total = cold.plan_seconds + cold.exec_seconds;
+
+    // Per-step HtY plan reuse: persistent inputs on the Y side mean the
+    // engine's PlanCache serves later runs.
+    std::size_t plan_hits = 0;
+    for (const auto& rep : hit.steps) {
+      plan_hits += rep.cache_hit ? 1 : 0;
+    }
+
+    std::printf(
+        "plan cache: cold %.3f ms, hit median %.3f ms (speedup "
+        "%.2fx), network cache hit=%d, per-step HtY hits=%zu/%zu\n",
+        cold_total * 1e3, hit_med * 1e3,
+        hit_med > 0 ? cold_total / hit_med : 0.0,
+        hit.plan_cache_hit ? 1 : 0, plan_hits, hit.steps.size());
+
+    if (!hit.plan_cache_hit) {
+      std::fprintf(stderr,
+                   "GATE FAILED: repeated network request missed the "
+                   "plan cache\n");
+      failed = true;
+    }
+    if (plan_hits == 0) {
+      std::fprintf(stderr,
+                   "GATE FAILED: no step hit the per-operand HtY "
+                   "PlanCache on the repeated network\n");
+      failed = true;
+    }
+
+    if (!sparta::bench::json_path().empty()) {
+      sparta::bench::JsonCase c;
+      c.name = "plan_cache";
+      c.repeats = repeats;
+      c.min_seconds = hit_secs.front();
+      c.median_seconds = hit_med;
+      c.stages_json = hit.steps.back().stage_times.to_json();
+      sparta::obs::JsonWriter w;
+      w.begin_object();
+      w.key("cold_seconds").value(cold_total);
+      w.key("hit_seconds").value(hit_med);
+      w.key("speedup").value(hit_med > 0 ? cold_total / hit_med : 0.0);
+      w.key("plan_cache_hit").value(hit.plan_cache_hit);
+      w.key("hty_plan_hits")
+          .value(static_cast<std::uint64_t>(plan_hits));
+      w.end_object();
+      c.counters_json = w.str();
+      sparta::bench::json_cases().push_back(std::move(c));
+    }
+  }
+
+  // The JSON report is written by parse_cli's atexit handler; a failed
+  // gate still produces the report for post-mortem diffing.
+  if (failed) return 1;
+  return 0;
+}

@@ -22,6 +22,7 @@
 #include "fuzz/differential.hpp"
 #include "fuzz/fuzz_case.hpp"
 #include "fuzz/minimize.hpp"
+#include "fuzz/network.hpp"
 
 namespace {
 
@@ -31,7 +32,7 @@ void usage(const char* argv0) {
       "usage: %s [--seeds N] [--start S] [--seed X] [--tolerance T]\n"
       "          [--threads T] [--max-nnz N] [--no-minimize] [--no-dense]\n"
       "          [--inject-alloc-failures] [--schedules K]\n"
-      "          [--isa-diff] [--chaos] [--repro-dir DIR]\n"
+      "          [--isa-diff] [--chaos] [--network] [--repro-dir DIR]\n"
       "          [--dump] [--quiet]\n"
       "  --seeds N      number of consecutive seeds to run (default 100)\n"
       "  --start S      first seed (default 0)\n"
@@ -56,6 +57,10 @@ void usage(const char* argv0) {
       "                 pressure through contract(), contract_resilient()\n"
       "                 and the contraction service; asserts budget\n"
       "                 returns to zero and registries stay consistent\n"
+      "  --network      plan-compiler mode: random small tensor networks\n"
+      "                 with exact-integer values; every legal\n"
+      "                 contraction order (and the planner's searched\n"
+      "                 one) must produce bitwise identical results\n"
       "  --repro-dir DIR\n"
       "                 write a repro file (operand dump + findings)\n"
       "                 per failing seed into DIR (created if absent)\n"
@@ -79,6 +84,7 @@ struct Cli {
   int schedules = 4;
   bool isa_diff = false;
   bool chaos = false;
+  bool network = false;
   std::string repro_dir;
 };
 
@@ -124,6 +130,8 @@ int parse_cli(int argc, char** argv, Cli& cli) {
       cli.isa_diff = true;
     } else if (a == "--chaos") {
       cli.chaos = true;
+    } else if (a == "--network") {
+      cli.network = true;
     } else if (a == "--repro-dir") {
       const char* v = next();
       if (!v || *v == '\0') return 2;
@@ -168,12 +176,91 @@ int main(int argc, char** argv) {
       return 2;
   }
   if (static_cast<int>(cli.inject_faults) + static_cast<int>(cli.isa_diff) +
-          static_cast<int>(cli.chaos) >
+          static_cast<int>(cli.chaos) + static_cast<int>(cli.network) >
       1) {
     std::fprintf(stderr,
-                 "--inject-alloc-failures, --isa-diff and --chaos are "
-                 "separate modes; pick one\n");
+                 "--inject-alloc-failures, --isa-diff, --chaos and "
+                 "--network are separate modes; pick one\n");
     return 2;
+  }
+
+  if (cli.network) {
+    // The plan-compiler differential has its own case type (a whole
+    // network, not an (x, y) pair), so it runs as a separate loop.
+    std::uint64_t failed = 0;
+    std::uint64_t orders_run = 0;
+    for (std::uint64_t s = cli.start; s < cli.start + cli.seeds; ++s) {
+      NetworkCase c;
+      try {
+        c = draw_network_case(s);
+      } catch (const std::exception& e) {
+        ++failed;
+        std::printf("FAIL seed=%llu: network generation threw: %s\n",
+                    static_cast<unsigned long long>(s), e.what());
+        continue;
+      }
+      if (!cli.quiet && (cli.single || cli.seeds <= 20)) {
+        std::printf("[%llu] %s\n", static_cast<unsigned long long>(s),
+                    c.label().c_str());
+      }
+      if (cli.dump) std::fputs(dump_network_case(c).c_str(), stdout);
+      const DiffReport rep = run_network_differential(c);
+      orders_run += static_cast<std::uint64_t>(rep.variants_run);
+      if (rep.ok()) continue;
+
+      ++failed;
+      std::printf("FAIL %s\n", c.label().c_str());
+      for (const Finding& f : rep.findings) {
+        std::printf("  [%s] %s\n", f.variant.c_str(), f.what.c_str());
+      }
+      std::printf("  replay: fuzz_sptc --seed %llu --network\n",
+                  static_cast<unsigned long long>(s));
+      if (!cli.repro_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cli.repro_dir, ec);
+        const std::string path =
+            cli.repro_dir + "/network-seed-" + std::to_string(s) + ".txt";
+        std::ofstream out(path);
+        if (out) {
+          out << "seed: " << s << "\n" << c.label() << "\n";
+          for (const Finding& f : rep.findings) {
+            out << "[" << f.variant << "] " << f.what << "\n";
+          }
+          out << "replay: fuzz_sptc --seed " << s << " --network\n\n"
+              << dump_network_case(c);
+          std::printf("  repro written: %s\n", path.c_str());
+        }
+      }
+      if (cli.minimize) {
+        int calls = 0;
+        const NetworkCase tiny = minimize_network(
+            c,
+            [](const NetworkCase& cand) {
+              return !run_network_differential(cand).ok();
+            },
+            &calls);
+        std::size_t before = 0;
+        std::size_t after = 0;
+        for (const auto& t : c.tensors) before += t.nnz();
+        for (const auto& t : tiny.tensors) after += t.nnz();
+        std::printf("  minimized (%d predicate calls): total nnz "
+                    "%zu -> %zu\n",
+                    calls, before, after);
+        std::fputs(dump_network_case(tiny).c_str(), stdout);
+        const DiffReport tiny_rep = run_network_differential(tiny);
+        for (const Finding& f : tiny_rep.findings) {
+          std::printf("  [%s] %s\n", f.variant.c_str(), f.what.c_str());
+        }
+      }
+    }
+    std::printf(
+        "fuzz_sptc --network: %llu seed(s) starting at %llu, %llu order "
+        "executions, %llu failing case(s)\n",
+        static_cast<unsigned long long>(cli.seeds),
+        static_cast<unsigned long long>(cli.start),
+        static_cast<unsigned long long>(orders_run),
+        static_cast<unsigned long long>(failed));
+    return failed == 0 ? 0 : 1;
   }
 
   CaseLimits limits;

@@ -124,12 +124,13 @@ inline constexpr std::ptrdiff_t kParallelSortCutoff = 1 << 14;
 template <typename It, typename Cmp>
 void quicksort_task(It first, It last, const Cmp& cmp, int depth,
                     ExceptionCollector& ec, const CancelToken& cancel,
-                    std::uint64_t rid = 0) {
+                    obs::Correlation corr = {}) {
   if (ec.failed()) return;
   // Tasks run on arbitrary pooled threads: re-establish the submitting
-  // thread's request id so a cancel instant fired here is attributed to
-  // the right request, not whatever the thread ran last.
-  obs::RequestIdScope rid_scope(rid);
+  // thread's correlation so a cancel instant fired here is attributed
+  // to the right request (and plan step), not whatever the thread ran
+  // last.
+  obs::RequestIdScope rid_scope(corr);
   // One cancel poll per partition task — each task touches at most
   // one kParallelSortCutoff-sized range before re-checking.
   cancel.check("sort.partition");
@@ -150,13 +151,13 @@ void quicksort_task(It first, It last, const Cmp& cmp, int depth,
       continue;
     }
 #ifdef _OPENMP
-#pragma omp task firstprivate(first, split, depth, rid) \
+#pragma omp task firstprivate(first, split, depth, corr) \
     shared(cmp, ec, cancel)
     ec.run([&] {
-      quicksort_task(first, split, cmp, depth - 1, ec, cancel, rid);
+      quicksort_task(first, split, cmp, depth - 1, ec, cancel, corr);
     });
 #else
-    quicksort_task(first, split, cmp, depth - 1, ec, cancel, rid);
+    quicksort_task(first, split, cmp, depth - 1, ec, cancel, corr);
 #endif
     first = split;
     --depth;
@@ -181,16 +182,16 @@ void parallel_sort(It first, It last, Cmp cmp,
     return;
   }
   ExceptionCollector ec;
-  const std::uint64_t rid = obs::current_request_id();
+  const obs::Correlation corr = obs::current_correlation();
 #ifdef _OPENMP
 #pragma omp parallel
 #pragma omp single nowait
   ec.run([&] {
-    detail::quicksort_task(first, last, cmp, /*depth=*/16, ec, cancel, rid);
+    detail::quicksort_task(first, last, cmp, /*depth=*/16, ec, cancel, corr);
   });
 #else
   ec.run([&] {
-    detail::quicksort_task(first, last, cmp, 16, ec, cancel, rid);
+    detail::quicksort_task(first, last, cmp, 16, ec, cancel, corr);
   });
 #endif
   ec.rethrow();

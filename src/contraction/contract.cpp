@@ -310,10 +310,10 @@ void parallel_over_subtensors(const PreparedX& px, int nthreads, bool shared,
   // spawning thread's request id must be re-established inside the
   // region — otherwise a pooled worker would stamp this request's
   // spans with whatever id its previous request left behind.
-  const std::uint64_t rid = obs::current_request_id();
+  const obs::Correlation corr = obs::current_correlation();
 #pragma omp parallel num_threads(nthreads)
   {
-    obs::RequestIdScope rid_scope(rid);
+    obs::RequestIdScope rid_scope(corr);
     const auto tid = static_cast<std::size_t>(thread_id());
 #pragma omp for schedule(dynamic, 16)
     for (std::ptrdiff_t f = 0; f < num_sub; ++f) {
@@ -570,9 +570,9 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   // A request-scoped caller (the service) passes its id through
   // opts.request_id; standalone callers keep whatever ambient id the
   // thread already carries (usually 0 = untagged).
-  obs::RequestIdScope rid_scope(opts.request_id != 0
-                                    ? opts.request_id
-                                    : obs::current_request_id());
+  obs::Correlation corr = obs::current_correlation();
+  if (opts.request_id != 0) corr.request_id = opts.request_id;
+  obs::RequestIdScope rid_scope(corr);
 
   // Whole-call span; the per-stage spans below nest under it.
   obs::Span sp_contract("contract");
@@ -1090,11 +1090,11 @@ ContractResult contract_impl(const SparseTensor& x, const SparseTensor* y,
   {
     const auto nt = static_cast<std::ptrdiff_t>(zlocals.size());
     ExceptionCollector ec;
-    const std::uint64_t rid = obs::current_request_id();
+    const obs::Correlation corr = obs::current_correlation();
 #pragma omp parallel for schedule(static) num_threads(nthreads)
     for (std::ptrdiff_t t = 0; t < nt; ++t) {
       ec.run([&, t] {
-        obs::RequestIdScope rid_scope(rid);
+        obs::RequestIdScope rid_scope(corr);
         opts.cancel.check("contract.gather");
         const ZLocal& zl = zlocals[static_cast<std::size_t>(t)];
         std::size_t dst = offsets[static_cast<std::size_t>(t)];

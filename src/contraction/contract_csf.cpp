@@ -176,10 +176,10 @@ ContractResult contract_csf(const SparseTensor& x, const YPlan& plan,
   ExceptionCollector compute_ec;
   // Pooled team threads must carry the spawning thread's request id
   // (stale thread-locals would mis-attribute cancel/fault instants).
-  const std::uint64_t ambient_rid = obs::current_request_id();
+  const obs::Correlation ambient = obs::current_correlation();
 #pragma omp parallel num_threads(nthreads)
   {
-    obs::RequestIdScope rid_scope(ambient_rid);
+    obs::RequestIdScope rid_scope(ambient);
     const auto tid = static_cast<std::size_t>(thread_id());
     // Built under the guard: every thread must still reach the `omp for`
     // below even if an accumulator constructor throws.

@@ -63,10 +63,10 @@ YPlan::YPlan(const SparseTensor& y, Modes cy, std::size_t hty_buckets,
     ExceptionCollector ec;
     // Re-establish the spawning thread's request id on the pooled team
     // threads so cancel instants inside the build stay attributable.
-    const std::uint64_t rid = obs::current_request_id();
+    const obs::Correlation corr = obs::current_correlation();
 #pragma omp parallel num_threads(nthreads)
     {
-      obs::RequestIdScope rid_scope(rid);
+      obs::RequestIdScope rid_scope(corr);
       std::vector<index_t> c(static_cast<std::size_t>(y.order()));
 #pragma omp for schedule(static)
       for (std::ptrdiff_t i = 0; i < n; ++i) {

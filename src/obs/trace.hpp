@@ -36,16 +36,28 @@
 
 namespace sparta::obs {
 
+/// Ambient correlation for the calling thread: the request id plus,
+/// for multi-step plan execution (src/plan/), the plan id and the
+/// request's step index within the plan. request_id 0 = not
+/// request-scoped; plan_id 0 = not part of a plan.
+struct Correlation {
+  std::uint64_t request_id = 0;
+  std::uint64_t plan_id = 0;
+  int step_index = -1;
+};
+
 namespace detail {
 // Namespace-scope flag so the disabled fast path is one relaxed load,
 // with no function-local-static guard in front of it.
 inline std::atomic<bool> g_trace_enabled{false};
 
-// Ambient request id for the calling thread; 0 = not request-scoped.
-// Established by RequestIdScope (the service installs one per worker,
-// the engine re-installs it inside OpenMP regions) and stamped into
-// every span/instant/counter arg so concurrent traces stay attributable.
+// Ambient correlation for the calling thread. Established by
+// RequestIdScope / PlanStepScope (the service installs them per worker,
+// the engine re-installs them inside OpenMP regions) and stamped into
+// every span/instant arg so concurrent traces stay attributable.
 inline thread_local std::uint64_t t_request_id = 0;
+inline thread_local std::uint64_t t_plan_id = 0;
+inline thread_local int t_step_index = -1;
 }  // namespace detail
 
 /// True when the global recorder is collecting events.
@@ -58,32 +70,82 @@ inline thread_local std::uint64_t t_request_id = 0;
   return detail::t_request_id;
 }
 
-/// RAII: sets the calling thread's request id for the scope's lifetime,
-/// restoring the previous value on exit. Always overwrites — OpenMP
-/// pool threads retain thread-locals across parallel regions, so a
-/// region must re-establish the id captured on the spawning thread even
-/// when that id is 0 (otherwise a stale id from an earlier request
-/// would leak into this one's events).
+/// The calling thread's ambient plan id (0 = not inside a plan step).
+[[nodiscard]] inline std::uint64_t current_plan_id() {
+  return detail::t_plan_id;
+}
+
+/// The full ambient triple, for capture before an OpenMP region (pool
+/// threads must re-install it; see RequestIdScope).
+[[nodiscard]] inline Correlation current_correlation() {
+  return {detail::t_request_id, detail::t_plan_id, detail::t_step_index};
+}
+
+/// RAII: sets the calling thread's correlation for the scope's
+/// lifetime, restoring the previous values on exit. Always overwrites —
+/// OpenMP pool threads retain thread-locals across parallel regions, so
+/// a region must re-establish the ids captured on the spawning thread
+/// even when they are 0 (otherwise a stale id from an earlier request
+/// would leak into this one's events). The request-id constructor
+/// clears the plan pair for the same reason: a bare request is not part
+/// of whatever plan last ran on this thread.
 class RequestIdScope {
  public:
-  explicit RequestIdScope(std::uint64_t id) : prev_(detail::t_request_id) {
-    detail::t_request_id = id;
+  explicit RequestIdScope(std::uint64_t id)
+      : RequestIdScope(Correlation{id, 0, -1}) {}
+  explicit RequestIdScope(const Correlation& c)
+      : prev_(current_correlation()) {
+    detail::t_request_id = c.request_id;
+    detail::t_plan_id = c.plan_id;
+    detail::t_step_index = c.step_index;
   }
   RequestIdScope(const RequestIdScope&) = delete;
   RequestIdScope& operator=(const RequestIdScope&) = delete;
-  ~RequestIdScope() { detail::t_request_id = prev_; }
+  ~RequestIdScope() {
+    detail::t_request_id = prev_.request_id;
+    detail::t_plan_id = prev_.plan_id;
+    detail::t_step_index = prev_.step_index;
+  }
 
  private:
-  std::uint64_t prev_;
+  Correlation prev_;
+};
+
+/// RAII: overlays the plan half of the ambient correlation (the request
+/// id is left alone — the service installs that separately per worker).
+/// plan_id 0 clears the pair, mirroring RequestIdScope's
+/// always-overwrite contract.
+class PlanStepScope {
+ public:
+  PlanStepScope(std::uint64_t plan_id, int step_index)
+      : prev_plan_(detail::t_plan_id), prev_step_(detail::t_step_index) {
+    detail::t_plan_id = plan_id;
+    detail::t_step_index = plan_id == 0 ? -1 : step_index;
+  }
+  PlanStepScope(const PlanStepScope&) = delete;
+  PlanStepScope& operator=(const PlanStepScope&) = delete;
+  ~PlanStepScope() {
+    detail::t_plan_id = prev_plan_;
+    detail::t_step_index = prev_step_;
+  }
+
+ private:
+  std::uint64_t prev_plan_;
+  int prev_step_;
 };
 
 namespace detail {
-// Splices "request_id":N into a preformed JSON object ("{...}" or
-// empty). No-op for rid 0 so non-request traces are byte-identical to
+// Splices "request_id":N (and, inside a plan step, "plan_id":P,
+// "step_index":S) into a preformed JSON object ("{...}" or empty).
+// No-op for request_id 0 so non-request traces are byte-identical to
 // what they were before correlation existed.
-inline std::string with_request_id(std::string args, std::uint64_t rid) {
-  if (rid == 0) return args;
-  std::string tag = "\"request_id\":" + std::to_string(rid);
+inline std::string with_request_id(std::string args, const Correlation& c) {
+  if (c.request_id == 0) return args;
+  std::string tag = "\"request_id\":" + std::to_string(c.request_id);
+  if (c.plan_id != 0) {
+    tag += ",\"plan_id\":" + std::to_string(c.plan_id);
+    tag += ",\"step_index\":" + std::to_string(c.step_index);
+  }
   if (args.size() < 2 || args.front() != '{' || args.back() != '}') {
     return "{" + tag + "}";
   }
@@ -342,11 +404,11 @@ class Span {
   void finish() {
     if (!rec_) return;
     const std::int64_t end_us = rec_->now_us();
-    const std::uint64_t rid = current_request_id();
+    const Correlation corr = current_correlation();
     if (flight_) {
       FlightRecorder::global().record(
           name_ != nullptr ? name_ : owned_name_.c_str(), 'X', start_us_,
-          end_us - start_us_, rid);
+          end_us - start_us_, corr.request_id);
     }
     if (traced_) {
       TraceEvent e;
@@ -354,7 +416,7 @@ class Span {
       e.phase = 'X';
       e.ts_us = start_us_;
       e.dur_us = end_us - start_us_;
-      e.args = detail::with_request_id(std::move(args_), rid);
+      e.args = detail::with_request_id(std::move(args_), corr);
       rec_->record(std::move(e));
     }
     rec_ = nullptr;
@@ -380,16 +442,17 @@ inline void trace_instant(std::string name, std::string args_json = {}) {
   if (!traced && !flight) return;
   TraceRecorder& rec = TraceRecorder::global();
   const std::int64_t ts = rec.now_us();
-  const std::uint64_t rid = current_request_id();
+  const Correlation corr = current_correlation();
   if (flight) {
-    FlightRecorder::global().record(name.c_str(), 'i', ts, 0, rid);
+    FlightRecorder::global().record(name.c_str(), 'i', ts, 0,
+                                    corr.request_id);
   }
   if (!traced) return;
   TraceEvent e;
   e.name = std::move(name);
   e.phase = 'i';
   e.ts_us = ts;
-  e.args = detail::with_request_id(std::move(args_json), rid);
+  e.args = detail::with_request_id(std::move(args_json), corr);
   rec.record(std::move(e));
 }
 

@@ -1,0 +1,68 @@
+// LRU cache of searched NetworkPlans.
+//
+// Searching a 4-operand network is microseconds, but production chain
+// traffic repeats the same network shape against the same registered
+// inputs thousands of times — caching the searched plan removes the DP
+// from the hot path entirely and, more importantly, keeps the executor
+// deterministic across repeats (same plan object, same step order, so
+// the service's HtY PlanCache sees identical per-step keys every time).
+//
+// Keys capture everything the search depends on: the canonical network
+// text, each input's registry id (a reload invalidates naturally, same
+// trick TensorRegistry plays), the budget, and the cost-model id.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "plan/planner.hpp"
+
+namespace sparta::plan {
+
+class NetworkPlanCache {
+ public:
+  explicit NetworkPlanCache(std::size_t capacity = 128)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// The composite cache key for one (network, inputs, options) tuple.
+  [[nodiscard]] static std::string key(
+      const ContractionNetwork& net, const std::vector<BoundInput>& inputs,
+      const PlanOptions& opts);
+
+  /// The cached plan, or null. A hit refreshes LRU order.
+  [[nodiscard]] std::shared_ptr<const NetworkPlan> get(
+      const std::string& key);
+
+  /// Inserts (or refreshes) `key`; evicts the least recently used
+  /// entry beyond capacity.
+  void put(const std::string& key, std::shared_ptr<const NetworkPlan> plan);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  void clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const NetworkPlan> plan;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace sparta::plan

@@ -1,0 +1,263 @@
+#include "plan/ir.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <numeric>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/registry.hpp"
+
+namespace sparta::plan {
+
+namespace {
+
+// Single-pass cursor over the statement text. Columns are 1-based so
+// diagnostics point where an editor would.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& text) : text_(text) {}
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw Error("network spec, col " + std::to_string(pos_ + 1) + ": " + msg);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  /// Consumes `c` or fails naming what was expected.
+  void expect(char c, const char* what) {
+    if (peek() != c) {
+      fail(std::string("expected ") + what + " ('" + c + "'), found " +
+           describe(peek()));
+    }
+    ++pos_;
+  }
+
+  /// [A-Za-z_][A-Za-z0-9_/]* — '/' admitted so rejected reserved names
+  /// ("__tmp/3") produce the prefix diagnostic, not a parse error.
+  std::string identifier(const char* what) {
+    skip_ws();
+    const std::size_t start = pos_;
+    auto head = [](char c) {
+      return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || c == '_';
+    };
+    auto tail = [&](char c) {
+      return head(c) || (c >= '0' && c <= '9') || c == '/';
+    };
+    if (!head(peek())) {
+      fail(std::string("expected ") + what + ", found " + describe(peek()));
+    }
+    while (pos_ < text_.size() && tail(text_[pos_])) ++pos_;
+    return text_.substr(start, pos_ - start);
+  }
+
+ private:
+  static std::string describe(char c) {
+    if (c == '\0') return "end of input";
+    return std::string("'") + c + "'";
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// NAME '[' label (',' label)* ']'
+NetworkTensor parse_tensor(Cursor& cur, const char* what) {
+  NetworkTensor t;
+  t.name = cur.identifier(what);
+  cur.skip_ws();
+  cur.expect('[', "mode-label list opener");
+  for (;;) {
+    t.labels.push_back(cur.identifier("mode label"));
+    cur.skip_ws();
+    if (cur.peek() == ',') {
+      cur.expect(',', "','");
+      continue;
+    }
+    break;
+  }
+  cur.expect(']', "mode-label list closer");
+  return t;
+}
+
+void check_unique_labels(const NetworkTensor& t) {
+  for (std::size_t i = 0; i < t.labels.size(); ++i) {
+    for (std::size_t j = i + 1; j < t.labels.size(); ++j) {
+      if (t.labels[i] == t.labels[j]) {
+        throw Error("network spec: tensor '" + t.name +
+                    "' repeats mode label '" + t.labels[i] +
+                    "' (diagonal extraction is not supported)");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string ContractionNetwork::canonical() const {
+  auto spell = [](const std::string& name,
+                  const std::vector<std::string>& labels) {
+    std::string out = name + "[";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i != 0) out += ",";
+      out += labels[i];
+    }
+    return out + "]";
+  };
+  std::string out = spell(output_name, output_labels) + " =";
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    out += i == 0 ? " " : " * ";
+    out += spell(inputs[i].name, inputs[i].labels);
+  }
+  return out;
+}
+
+ContractionNetwork parse_network(const std::string& text) {
+  Cursor cur(text);
+  ContractionNetwork net;
+
+  const NetworkTensor out = parse_tensor(cur, "output tensor name");
+  net.output_name = out.name;
+  net.output_labels = out.labels;
+  cur.skip_ws();
+  cur.expect('=', "'='");
+
+  for (;;) {
+    cur.skip_ws();
+    net.inputs.push_back(parse_tensor(cur, "input tensor name"));
+    cur.skip_ws();
+    if (cur.peek() == '*') {
+      cur.expect('*', "'*'");
+      continue;
+    }
+    break;
+  }
+  cur.skip_ws();
+  if (!cur.at_end()) {
+    cur.fail("expected '*' or end of statement");
+  }
+
+  if (net.inputs.size() < 2) {
+    throw Error(
+        "network spec: need at least two input tensors (a single-operand "
+        "statement is not a contraction; use a plain request)");
+  }
+
+  const std::string_view tmp = serve::TensorRegistry::kTempPrefix;
+  auto check_name = [&](const std::string& name) {
+    if (name.compare(0, tmp.size(), tmp) == 0) {
+      throw Error("network spec: tensor name '" + name +
+                  "' uses the reserved prefix '" + std::string(tmp) +
+                  "' (anonymous plan intermediates)");
+    }
+  };
+  check_name(net.output_name);
+  check_unique_labels(out);
+  for (std::size_t i = 0; i < net.inputs.size(); ++i) {
+    check_name(net.inputs[i].name);
+    check_unique_labels(net.inputs[i]);
+    for (std::size_t j = i + 1; j < net.inputs.size(); ++j) {
+      if (net.inputs[i].name == net.inputs[j].name) {
+        throw Error("network spec: input tensor '" + net.inputs[i].name +
+                    "' appears twice (each operand needs a distinct name)");
+      }
+    }
+    if (net.inputs[i].name == net.output_name) {
+      throw Error("network spec: output '" + net.output_name +
+                  "' also appears as an input (in-place contraction is "
+                  "not supported)");
+    }
+  }
+
+  // Label census: how many inputs use each label (order-preserving map
+  // not needed — diagnostics name the label, and validation below is
+  // per label).
+  std::map<std::string, int> uses;
+  for (const NetworkTensor& t : net.inputs) {
+    for (const std::string& l : t.labels) ++uses[l];
+  }
+  for (const auto& [label, n] : uses) {
+    if (n > 2) {
+      throw Error("network spec: mode label '" + label + "' appears in " +
+                  std::to_string(n) +
+                  " inputs; a label may join at most two tensors "
+                  "(pairwise contractions only)");
+    }
+  }
+
+  // Output labels: unique, and exactly the once-used (free) labels.
+  for (std::size_t i = 0; i < net.output_labels.size(); ++i) {
+    const std::string& l = net.output_labels[i];
+    for (std::size_t j = i + 1; j < net.output_labels.size(); ++j) {
+      if (l == net.output_labels[j]) {
+        throw Error("network spec: output repeats mode label '" + l + "'");
+      }
+    }
+    const auto it = uses.find(l);
+    if (it == uses.end()) {
+      throw Error("network spec: output mode label '" + l +
+                  "' does not appear in any input");
+    }
+    if (it->second == 2) {
+      throw Error("network spec: mode label '" + l +
+                  "' is contracted (shared by two inputs) and cannot "
+                  "appear in the output");
+    }
+  }
+  for (const auto& [label, n] : uses) {
+    if (n == 1 && std::find(net.output_labels.begin(),
+                            net.output_labels.end(),
+                            label) == net.output_labels.end()) {
+      throw Error("network spec: free mode label '" + label +
+                  "' is missing from the output (summing out a free "
+                  "mode is not supported)");
+    }
+  }
+
+  // Connectivity: union-find over inputs joined by shared labels. A
+  // disconnected operand would force an outer-product step, which the
+  // pairwise service API does not serve.
+  std::vector<std::size_t> parent(net.inputs.size());
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  auto find = [&](std::size_t a) {
+    while (parent[a] != a) a = parent[a] = parent[parent[a]];
+    return a;
+  };
+  for (const auto& [label, n] : uses) {
+    if (n != 2) continue;
+    std::size_t first = net.inputs.size();
+    for (std::size_t i = 0; i < net.inputs.size(); ++i) {
+      const auto& ls = net.inputs[i].labels;
+      if (std::find(ls.begin(), ls.end(), label) == ls.end()) continue;
+      if (first == net.inputs.size()) {
+        first = i;
+      } else {
+        parent[find(i)] = find(first);
+      }
+    }
+  }
+  const std::size_t root = find(0);
+  for (std::size_t i = 1; i < net.inputs.size(); ++i) {
+    if (find(i) != root) {
+      throw Error("network spec: tensor '" + net.inputs[i].name +
+                  "' shares no mode label with the rest of the network "
+                  "(disconnected networks would need an outer product)");
+    }
+  }
+  return net;
+}
+
+}  // namespace sparta::plan

@@ -1,0 +1,59 @@
+// Tensor-network IR for the contraction-plan compiler (src/plan/).
+//
+// The textual form is an einsum-style network statement:
+//
+//   Z[i,l] = A[i,j] * B[j,k] * C[k,l]
+//
+// Named input tensors carry mode *labels*; a label shared by two inputs
+// is contracted at the pairwise step that merges them, a label that
+// appears in exactly one input is free and must appear in the output
+// spec. Parsing produces a validated ContractionNetwork whose invariants
+// make every planner step a plain pairwise contraction the existing
+// engine already executes:
+//
+//   * exactly one '=', at least two operands on the right;
+//   * labels are unique within one tensor (no diagonals);
+//   * each label appears in at most two inputs (pairwise contractions
+//     only — hyperedges would need multi-way steps);
+//   * a twice-used label is contracted and must NOT be in the output;
+//   * a once-used label is free and MUST be in the output (no sum-out);
+//   * the output labels are exactly the free labels, each once;
+//   * the network is connected (a disconnected operand would force an
+//     outer product, which the service's pairwise API does not serve);
+//   * tensor names must not use TensorRegistry's reserved "__tmp/"
+//     prefix.
+//
+// Diagnostics follow the tensor-file parser style: every error names
+// the offending column ("network spec, col N: ...") and what was
+// expected.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sparta::plan {
+
+/// One named operand with its mode labels, e.g. A[i,j].
+struct NetworkTensor {
+  std::string name;
+  std::vector<std::string> labels;
+};
+
+/// A validated contraction network.
+struct ContractionNetwork {
+  std::string output_name;
+  std::vector<std::string> output_labels;
+  std::vector<NetworkTensor> inputs;
+
+  /// Canonical textual form (single spaces, no extras): parsing the
+  /// result reproduces the same network. Used as the PlanCache key
+  /// component so differently-spaced spellings of one network share a
+  /// cache entry.
+  [[nodiscard]] std::string canonical() const;
+};
+
+/// Parses and validates a network statement; throws sparta::Error with
+/// a column-anchored diagnostic on malformed or invalid input.
+[[nodiscard]] ContractionNetwork parse_network(const std::string& text);
+
+}  // namespace sparta::plan

@@ -1,6 +1,7 @@
 #include "serve/registry.hpp"
 
 #include <algorithm>
+#include <string_view>
 #include <utility>
 
 #include "common/error.hpp"
@@ -8,9 +9,23 @@
 
 namespace sparta::serve {
 
+namespace {
+
+bool has_temp_prefix(const std::string& name) {
+  const std::string_view prefix = TensorRegistry::kTempPrefix;
+  return name.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
 std::uint64_t TensorRegistry::put(const std::string& name,
                                   SparseTensor tensor) {
   SPARTA_CHECK(!name.empty(), "tensor name must not be empty");
+  if (has_temp_prefix(name)) {
+    throw Error("tensor name '" + name + "' uses the reserved prefix '" +
+                kTempPrefix +
+                "' (anonymous plan intermediates); pick another name");
+  }
   auto stored = std::make_shared<Stored>(std::move(tensor));
   if (alloc_ != nullptr) {
     // Charge before publishing: a BudgetExceeded here leaves the
@@ -25,6 +40,23 @@ std::uint64_t TensorRegistry::put(const std::string& name,
   slot.id = next_id_++;
   SPARTA_COUNTER_ADD("serve.registry.puts", 1);
   return slot.id;
+}
+
+std::string TensorRegistry::register_temp(SparseTensor tensor) {
+  auto stored = std::make_shared<Stored>(std::move(tensor));
+  if (alloc_ != nullptr) {
+    // Same charge-before-publish contract as put(): BudgetExceeded
+    // leaves the registry untouched.
+    stored->charge = ScopedCharge(alloc_, Tier::kDram, DataObject::kY);
+    stored->charge.update(stored->tensor.footprint_bytes());
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::string name = kTempPrefix + std::to_string(next_temp_++);
+  Slot& slot = map_[name];
+  slot.stored = std::move(stored);
+  slot.id = next_id_++;
+  SPARTA_COUNTER_ADD("serve.registry.temp_puts", 1);
+  return name;
 }
 
 TensorRegistry::Handle TensorRegistry::get(const std::string& name) const {

@@ -39,10 +39,24 @@ class TensorRegistry {
     [[nodiscard]] bool valid() const { return tensor != nullptr; }
   };
 
+  /// Names starting with this prefix are reserved for register_temp();
+  /// put() rejects them so a user tensor can never collide with (or
+  /// shadow) a plan intermediate.
+  static constexpr const char* kTempPrefix = "__tmp/";
+
   /// Registers (or replaces) `name`. Returns the new id. Throws
   /// BudgetExceeded when the footprint does not fit the allocation
   /// registry's capacity; the registry is left unchanged in that case.
+  /// Throws sparta::Error for names under kTempPrefix — those are
+  /// reserved for anonymous intermediates (register_temp()).
   std::uint64_t put(const std::string& name, SparseTensor tensor);
+
+  /// Registers an anonymous tensor under a unique reserved-prefix name
+  /// ("__tmp/<n>") and returns that name. Semantics match put()
+  /// (budget-charged, drop() releases the name, in-flight handles keep
+  /// the tensor — and its charge — alive until the last one is
+  /// released). Temp names are never reused within a registry.
+  std::string register_temp(SparseTensor tensor);
 
   /// Handle for `name`; throws sparta::Error when absent.
   [[nodiscard]] Handle get(const std::string& name) const;
@@ -84,6 +98,7 @@ class TensorRegistry {
   mutable std::mutex mu_;
   std::unordered_map<std::string, Slot> map_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t next_temp_ = 1;
   AllocationRegistry* alloc_ = nullptr;
 };
 

@@ -355,6 +355,9 @@ void ContractionService::worker_loop(int idx) {
     // serve.request umbrella span and everything the engine emits —
     // carries this request's correlation id.
     obs::RequestIdScope rid_scope(q->request_id);
+    // Plan-step requests additionally carry their plan's correlation
+    // pair so multi-step traces nest under one plan id.
+    obs::PlanStepScope plan_scope(q->req.plan_id, q->req.step_index);
     obs::Span request_span(obs::TraceRecorder::global(), "serve.request");
     if (request_span.active()) {
       obs::JsonWriter aw;
@@ -640,6 +643,12 @@ void ContractionService::log_request(const ServeRequest& req,
   w.key("schema_version").value(2);
   w.key("feature_version").value(kCostFeatureVersion);
   w.key("request_id").value(rep.request_id);
+  if (req.plan_id != 0) {
+    // Optional keys (schema 2 tolerates extras): present only for
+    // plan-step requests so single-request logs stay byte-identical.
+    w.key("plan_id").value(req.plan_id);
+    w.key("step_index").value(req.step_index);
+  }
   w.key("x").value(std::string_view(req.x));
   w.key("y").value(std::string_view(req.y));
   w.key("key").value(std::string_view(contraction_key(req)));

@@ -113,6 +113,15 @@ struct ServeRequest {
   /// worker, and one that trips mid-contraction unwinds cooperatively
   /// (see common/cancel.hpp) with its budget charges released.
   double deadline_ms = 0.0;
+
+  /// Set by the plan executor (src/plan/) when this request is one
+  /// step of a multi-step network plan: the plan's correlation id and
+  /// this request's step index within it. 0 = not part of a plan. The
+  /// pair rides the ambient correlation into every engine trace span
+  /// and is appended to the request's statlog record, so autotune
+  /// learns from chain traffic too.
+  std::uint64_t plan_id = 0;
+  int step_index = -1;
 };
 
 /// Everything the service knows about one completed (or failed)

@@ -195,6 +195,37 @@ std::vector<WorkloadOp> parse_workload(std::istream& in) {
       if (!op.request.store_as.empty() && op.repeat != 1) {
         parse_fail(line, "store and repeat cannot be combined");
       }
+    } else if (tok[0] == "network") {
+      if (tok.size() < 4) {
+        parse_fail(line,
+                   "usage: network Z[i,l] = A[i,j] * B[j,l] "
+                   "[repeat=N] [deadline_ms=D] [store]");
+      }
+      op.kind = WorkloadOp::Kind::kNetwork;
+      // Options may trail the expression; everything else is the
+      // expression itself, re-joined with single spaces. Validation
+      // happens in the runner (the serving layer does not link the
+      // plan compiler).
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        std::string v;
+        if (take_kv(tok[i], "repeat", v)) {
+          op.repeat =
+              static_cast<int>(parse_positive(v, "repeat", line));
+        } else if (take_kv(tok[i], "deadline_ms", v)) {
+          const double d = std::atof(v.c_str());
+          if (d <= 0.0) parse_fail(line, "bad deadline_ms '" + v + "'");
+          op.network_deadline_ms = d;
+        } else if (tok[i] == "store") {
+          op.network_store = true;
+        } else {
+          if (!op.network.empty()) op.network += " ";
+          op.network += tok[i];
+        }
+      }
+      if (op.network.empty()) parse_fail(line, "empty network expression");
+      if (op.network_store && op.repeat != 1) {
+        parse_fail(line, "store and repeat cannot be combined");
+      }
     } else if (tok[0] == "drop") {
       if (tok.size() != 2) parse_fail(line, "usage: drop <name>");
       op.kind = WorkloadOp::Kind::kDrop;
@@ -302,6 +333,26 @@ WorkloadResult run_workload(ContractionService& svc,
       case WorkloadOp::Kind::kDrop:
         svc.drop(op.name);
         break;
+      case WorkloadOp::Kind::kNetwork: {
+        if (!opts.network_runner) {
+          throw Error("workload line " + std::to_string(op.line) +
+                      ": 'network' statements need a network runner "
+                      "(tools/sparta_serve installs one; library "
+                      "embedders wire plan::PlanExecutor themselves)");
+        }
+        NetworkRequest nreq;
+        nreq.expr = op.network;
+        nreq.store = op.network_store;
+        nreq.deadline_ms = op.network_deadline_ms;
+        for (int r = 0; r < op.repeat; ++r) {
+          std::vector<ServeReport> reps =
+              opts.network_runner(svc, nreq);
+          for (ServeReport& rep : reps) {
+            result.reports.push_back(std::move(rep));
+          }
+        }
+        break;
+      }
       case WorkloadOp::Kind::kContract: {
         if (!op.request.store_as.empty()) {
           // Barrier op: runs alone so later lines see the stored Z.

@@ -6,6 +6,8 @@
 //   gen <name> dims=AxBxC nnz=N [seed=S] [skew=F]
 //   contract <z> <x> <y> cx=0,1 cy=0,1 [repeat=N] [variant=V]
 //            [deadline_ms=D] [retries=R] [store]
+//   network <Z>[i,l] = <A>[i,j] * <B>[j,k] [repeat=N] [deadline_ms=D]
+//           [store]
 //   drop <name>
 //
 // Execution model: consecutive `contract` lines form a batch that is
@@ -14,7 +16,12 @@
 // each before issuing the next). Any structural op — load, gen, drop,
 // or a contract carrying `store` — is a barrier: the batch drains
 // first, so scripts read top-to-bottom deterministically regardless of
-// client count. `variant` pins the algorithm (spa | coohta | sparta);
+// client count. A `network` line is a multi-step contraction over the
+// expression IR (src/plan/ir.hpp): the serving layer only tokenizes it
+// here — parsing, order search and execution happen in the network
+// runner the embedding tool injects (WorkloadOptions::network_runner),
+// keeping the serve -> plan layering acyclic. Network lines are
+// barriers. `variant` pins the algorithm (spa | coohta | sparta);
 // without it the adaptive selector decides. `deadline_ms` gives each
 // request an end-to-end deadline (queue wait included); `retries` lets
 // the client resubmit a deadline-exceeded or shed request up to R
@@ -22,6 +29,7 @@
 // attempts.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -32,15 +40,20 @@
 namespace sparta::serve {
 
 struct WorkloadOp {
-  enum class Kind { kLoad, kGen, kContract, kDrop };
+  enum class Kind { kLoad, kGen, kContract, kNetwork, kDrop };
   Kind kind = Kind::kContract;
   std::string name;  ///< target tensor (load/gen/drop) or Z (contract)
   std::string path;  ///< load only
   GeneratorSpec gen; ///< gen only
   ServeRequest request;  ///< contract only (store_as = name iff store)
-  int repeat = 1;        ///< contract only
+  int repeat = 1;        ///< contract/network only
   int retries = 0;       ///< contract only: max client resubmissions
   int line = 0;          ///< 1-based script line, for diagnostics
+  /// network only: the expression text ("Z[i,l] = A[i,j] * B[j,l]"),
+  /// whitespace-normalized but NOT validated here (the runner parses).
+  std::string network;
+  bool network_store = false;  ///< register the result under its name
+  double network_deadline_ms = 0.0;
 };
 
 /// Parses a script; throws sparta::Error naming the offending line.
@@ -48,8 +61,24 @@ struct WorkloadOp {
 [[nodiscard]] std::vector<WorkloadOp> parse_workload_file(
     const std::string& path);
 
+/// One `network` statement handed to the injected runner.
+struct NetworkRequest {
+  std::string expr;
+  bool store = false;
+  double deadline_ms = 0.0;
+};
+
+/// Executes one network statement, returning the per-step reports in
+/// step order (a failed run returns what completed plus an error-bearing
+/// report). Injected by the embedding tool (tools/sparta_serve wires
+/// plan::PlanExecutor); run_workload throws when a script contains
+/// `network` lines but no runner is installed.
+using NetworkRunner = std::function<std::vector<ServeReport>(
+    ContractionService&, const NetworkRequest&)>;
+
 struct WorkloadOptions {
   int clients = 1;  ///< concurrent closed-loop submitters
+  NetworkRunner network_runner;
 };
 
 struct WorkloadResult {

@@ -10,6 +10,9 @@
 #include "contraction/contract.hpp"
 #include "contraction/estimators.hpp"
 #include "memsim/allocator.hpp"
+#include "plan/executor.hpp"
+#include "plan/ir.hpp"
+#include "serve/service.hpp"
 #include "tensor/generators.hpp"
 
 namespace sparta {
@@ -136,6 +139,55 @@ TEST(EstimatorAccuracy, TrackedPeaksAreConsistentWithBudgetAdmission) {
                                     Modes{0, 1}, o);
   EXPECT_GT(r.stats.nnz_z, 0u);
   EXPECT_LE(reg.peak_bytes(Tier::kDram), o.budget.bytes);
+}
+
+// The planner's density-propagation nnz model feeds every order-search
+// decision; on a multi-step chain each step's DP-predicted intermediate
+// nnz must track what the engine actually produced, to the same factor
+// the byte estimators are held to. Uniform operands, so the uniform
+// density assumption is the right regime (skew is Eq. 6's department).
+TEST(EstimatorAccuracy, ChainStepNnzPredictionsWithinFactor) {
+  serve::ServeConfig cfg;
+  cfg.num_workers = 1;
+  serve::ContractionService svc(cfg);
+  auto load = [&](const char* name, std::vector<index_t> dims,
+                  std::size_t nnz, std::uint64_t seed) {
+    GeneratorSpec spec;
+    spec.dims = std::move(dims);
+    spec.nnz = nnz;
+    spec.seed = seed;
+    svc.load(name, generate_random(spec));
+  };
+  load("A", {96, 96}, 3000, 141);
+  load("B", {96, 96}, 3000, 142);
+  load("C", {96, 96}, 3000, 143);
+  load("D", {96, 8}, 400, 144);
+
+  const plan::ContractionNetwork net = plan::parse_network(
+      "Z[i,m] = A[i,j] * B[j,k] * C[k,l] * D[l,m]");
+  plan::PlanExecutor exec(svc);
+  const plan::PlanExecution ex = exec.run(net);
+  ASSERT_TRUE(ex.ok()) << ex.error;
+  ASSERT_NE(ex.plan, nullptr);
+  ASSERT_EQ(ex.plan->steps.size(), 3u);
+  ASSERT_EQ(ex.steps.size(), 3u);
+
+  for (std::size_t k = 0; k < ex.steps.size(); ++k) {
+    const std::size_t predicted = ex.plan->steps[k].est_nnz;
+    const std::size_t actual = ex.steps[k].stats.nnz_z;
+    ASSERT_GT(actual, 0u) << "step " << k;
+    ASSERT_GT(predicted, 0u) << "step " << k;
+    EXPECT_LT(actual, static_cast<std::size_t>(
+                          static_cast<double>(predicted) *
+                          kEstimatorAccuracyFactor))
+        << "step " << k << ": actual " << actual << " vs predicted "
+        << predicted;
+    EXPECT_LT(predicted, static_cast<std::size_t>(
+                             static_cast<double>(actual) *
+                             kEstimatorAccuracyFactor))
+        << "step " << k << ": predicted " << predicted << " vs actual "
+        << actual;
+  }
 }
 
 }  // namespace

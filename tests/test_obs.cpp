@@ -377,13 +377,49 @@ TEST(Overhead, DisabledSitesAreCheap) {
 // ---------------------------------------------------------- request id
 
 TEST(RequestId, WithRequestIdSplicesArgs) {
-  EXPECT_EQ(detail::with_request_id("", 0), "");
-  EXPECT_EQ(detail::with_request_id("{\"a\":1}", 0), "{\"a\":1}");
-  EXPECT_EQ(detail::with_request_id("", 7), "{\"request_id\":7}");
-  EXPECT_EQ(detail::with_request_id("{}", 7), "{\"request_id\":7}");
-  EXPECT_EQ(detail::with_request_id("{\"a\":1}", 7),
+  const Correlation none{};
+  const Correlation rid{7, 0, -1};
+  EXPECT_EQ(detail::with_request_id("", none), "");
+  EXPECT_EQ(detail::with_request_id("{\"a\":1}", none), "{\"a\":1}");
+  EXPECT_EQ(detail::with_request_id("", rid), "{\"request_id\":7}");
+  EXPECT_EQ(detail::with_request_id("{}", rid), "{\"request_id\":7}");
+  EXPECT_EQ(detail::with_request_id("{\"a\":1}", rid),
             "{\"request_id\":7,\"a\":1}");
-  EXPECT_TRUE(json_valid(detail::with_request_id("{\"a\":1}", 7)));
+  EXPECT_TRUE(json_valid(detail::with_request_id("{\"a\":1}", rid)));
+  // Inside a plan step the plan pair rides along with the request id.
+  const Correlation step{7, 3, 1};
+  EXPECT_EQ(detail::with_request_id("", step),
+            "{\"request_id\":7,\"plan_id\":3,\"step_index\":1}");
+  EXPECT_EQ(detail::with_request_id("{\"a\":1}", step),
+            "{\"request_id\":7,\"plan_id\":3,\"step_index\":1,"
+            "\"a\":1}");
+  EXPECT_TRUE(json_valid(detail::with_request_id("{\"a\":1}", step)));
+  // A plan pair without a request id is not attributable: no splice.
+  EXPECT_EQ(detail::with_request_id("{}", Correlation{0, 3, 1}), "{}");
+}
+
+TEST(RequestId, PlanStepScopeOverlaysPlanPair) {
+  EXPECT_EQ(current_plan_id(), 0u);
+  RequestIdScope rid(41);
+  {
+    PlanStepScope step(9, 2);
+    EXPECT_EQ(current_request_id(), 41u);
+    EXPECT_EQ(current_plan_id(), 9u);
+    EXPECT_EQ(current_correlation().step_index, 2);
+    {
+      // The uint64 RequestIdScope ctor clears the plan pair: a bare
+      // request re-installed on a pool thread is not part of whatever
+      // plan last ran there.
+      RequestIdScope bare(55);
+      EXPECT_EQ(current_request_id(), 55u);
+      EXPECT_EQ(current_plan_id(), 0u);
+      EXPECT_EQ(current_correlation().step_index, -1);
+    }
+    EXPECT_EQ(current_plan_id(), 9u);
+    EXPECT_EQ(current_correlation().step_index, 2);
+  }
+  EXPECT_EQ(current_plan_id(), 0u);
+  EXPECT_EQ(current_correlation().step_index, -1);
 }
 
 TEST(RequestId, ScopeInstallsAndRestores) {

@@ -1,0 +1,336 @@
+// Tests for the contraction-plan compiler's back half: anonymous
+// "__tmp/" registry intermediates, the PlanExecutor's multi-step
+// execution through the ContractionService (results, cleanup, store,
+// deadlines), the NetworkPlanCache, plan-stamped statlog rows, and the
+// workload grammar's `network` statement.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/json_parse.hpp"
+#include "plan/executor.hpp"
+#include "plan/ir.hpp"
+#include "plan/planner.hpp"
+#include "serve/service.hpp"
+#include "serve/workload.hpp"
+#include "tensor/generators.hpp"
+
+namespace sparta::plan {
+namespace {
+
+using serve::ContractionService;
+using serve::ServeConfig;
+using serve::TensorRegistry;
+
+SparseTensor make_tensor(std::vector<index_t> dims, std::size_t nnz,
+                         std::uint64_t seed) {
+  GeneratorSpec spec;
+  spec.dims = std::move(dims);
+  spec.nnz = nnz;
+  spec.seed = seed;
+  // Exact small integers: chained contractions stay exact in doubles,
+  // so executor results can be compared to references with ==.
+  spec.value_lo = 1.0;
+  spec.value_hi = 4.0;
+  SparseTensor t = generate_random(spec);
+  for (std::size_t n = 0; n < t.nnz(); ++n) {
+    t.value(n) = static_cast<value_t>(
+        static_cast<int>(t.value(n)));
+  }
+  return t;
+}
+
+// -------------------------------------------------------- temp names
+
+TEST(TensorRegistryTemps, RegisterTempNamesAreReservedAndDroppable) {
+  TensorRegistry reg;
+  const std::string a = reg.register_temp(make_tensor({8, 8}, 10, 1));
+  const std::string b = reg.register_temp(make_tensor({8, 8}, 10, 2));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.compare(0, 6, TensorRegistry::kTempPrefix), 0) << a;
+  EXPECT_TRUE(reg.try_get(a).valid());
+  reg.drop(a);
+  EXPECT_FALSE(reg.try_get(a).valid());
+  EXPECT_TRUE(reg.try_get(b).valid());
+}
+
+TEST(TensorRegistryTemps, UserPutUnderReservedPrefixIsRejected) {
+  TensorRegistry reg;
+  try {
+    reg.put("__tmp/7", make_tensor({4, 4}, 4, 3));
+    FAIL() << "reserved-prefix put accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("reserved prefix"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------- executor
+
+const char* kChain = "Z[i,l] = A[i,j] * B[j,k] * C[k,l]";
+
+void load_chain(ContractionService& svc) {
+  svc.load("A", make_tensor({24, 24}, 160, 11));
+  svc.load("B", make_tensor({24, 24}, 160, 12));
+  svc.load("C", make_tensor({24, 6}, 40, 13));
+}
+
+// Brute-force reference: dense accumulation of the full 3-operand
+// chain, exact in doubles because all values are small integers.
+std::map<std::pair<index_t, index_t>, value_t> dense_chain_reference(
+    const SparseTensor& a, const SparseTensor& b,
+    const SparseTensor& c) {
+  std::map<std::pair<index_t, index_t>, value_t> ab;  // (i,k) -> sum
+  for (std::size_t n = 0; n < a.nnz(); ++n) {
+    for (std::size_t m = 0; m < b.nnz(); ++m) {
+      if (a.index(n, 1) != b.index(m, 0)) continue;
+      ab[{a.index(n, 0), b.index(m, 1)}] += a.value(n) * b.value(m);
+    }
+  }
+  std::map<std::pair<index_t, index_t>, value_t> z;  // (i,l) -> sum
+  for (const auto& [ik, v] : ab) {
+    for (std::size_t m = 0; m < c.nnz(); ++m) {
+      if (ik.second != c.index(m, 0)) continue;
+      z[{ik.first, c.index(m, 1)}] += v * c.value(m);
+    }
+  }
+  // Explicit zeros can arise from cancellation; the engine drops
+  // nothing (integer values are positive), but keep the filter honest.
+  for (auto it = z.begin(); it != z.end();) {
+    it = it->second == 0.0 ? z.erase(it) : std::next(it);
+  }
+  return z;
+}
+
+TEST(PlanExecutor, ChainResultMatchesBruteForceReference) {
+  ServeConfig cfg;
+  cfg.num_workers = 1;
+  ContractionService svc(cfg);
+  load_chain(svc);
+  const ContractionNetwork net = parse_network(kChain);
+  PlanExecutor exec(svc);
+  const PlanExecution ex = exec.run(net);
+  ASSERT_TRUE(ex.ok()) << ex.error;
+  ASSERT_NE(ex.z, nullptr);
+  ASSERT_EQ(ex.steps.size(), 2u);
+
+  const auto ref = dense_chain_reference(*svc.tensors().get("A").tensor,
+                                         *svc.tensors().get("B").tensor,
+                                         *svc.tensors().get("C").tensor);
+  ASSERT_EQ(ex.z->nnz(), ref.size());
+  ASSERT_EQ(ex.z->order(), 2);
+  for (std::size_t n = 0; n < ex.z->nnz(); ++n) {
+    const auto it =
+        ref.find({ex.z->index(n, 0), ex.z->index(n, 1)});
+    ASSERT_NE(it, ref.end()) << "unexpected coordinate at nz " << n;
+    EXPECT_EQ(ex.z->value(n), it->second) << "at nz " << n;
+  }
+}
+
+TEST(PlanExecutor, IntermediatesAreDroppedAfterExecution) {
+  ServeConfig cfg;
+  cfg.num_workers = 1;
+  ContractionService svc(cfg);
+  load_chain(svc);
+  const ContractionNetwork net = parse_network(kChain);
+  PlanExecutor exec(svc);
+  const PlanExecution ex = exec.run(net);
+  ASSERT_TRUE(ex.ok()) << ex.error;
+  EXPECT_GT(ex.peak_temp_bytes, 0u);
+  // No anonymous entry outlives the run.
+  for (const std::string& name : svc.tensors().names()) {
+    EXPECT_NE(name.compare(0, 6, TensorRegistry::kTempPrefix), 0)
+        << "leaked intermediate: " << name;
+  }
+}
+
+TEST(PlanExecutor, StoreAsRegistersTheResult) {
+  ServeConfig cfg;
+  cfg.num_workers = 1;
+  ContractionService svc(cfg);
+  load_chain(svc);
+  const ContractionNetwork net = parse_network(kChain);
+  PlanExecutor exec(svc);
+  ExecOptions opts;
+  opts.store_as = "Zkeep";
+  const PlanExecution ex = exec.run(net, opts);
+  ASSERT_TRUE(ex.ok()) << ex.error;
+  const TensorRegistry::Handle h = svc.tensors().try_get("Zkeep");
+  ASSERT_TRUE(h.valid());
+  EXPECT_EQ(h.tensor->nnz(), ex.z->nnz());
+}
+
+TEST(PlanExecutor, RepeatedNetworkHitsThePlanCache) {
+  ServeConfig cfg;
+  cfg.num_workers = 1;
+  ContractionService svc(cfg);
+  load_chain(svc);
+  const ContractionNetwork net = parse_network(kChain);
+  PlanExecutor exec(svc);
+  const PlanExecution cold = exec.run(net);
+  ASSERT_TRUE(cold.ok()) << cold.error;
+  EXPECT_FALSE(cold.plan_cache_hit);
+  const PlanExecution hot = exec.run(net);
+  ASSERT_TRUE(hot.ok()) << hot.error;
+  EXPECT_TRUE(hot.plan_cache_hit);
+  EXPECT_EQ(exec.cache().stats().hits, 1u);
+  EXPECT_EQ(exec.cache().stats().misses, 1u);
+  // Same plan object, same step estimates — and distinct plan ids.
+  EXPECT_NE(cold.plan_id, hot.plan_id);
+
+  // Reloading an input bumps its registry id: the cache key changes
+  // and the next run re-plans.
+  svc.load("C", make_tensor({24, 6}, 40, 99));
+  const PlanExecution after = exec.run(net);
+  ASSERT_TRUE(after.ok()) << after.error;
+  EXPECT_FALSE(after.plan_cache_hit);
+}
+
+TEST(PlanExecutor, UnknownInputFailsGracefully) {
+  ServeConfig cfg;
+  cfg.num_workers = 1;
+  ContractionService svc(cfg);
+  svc.load("A", make_tensor({8, 8}, 20, 21));
+  // B missing entirely.
+  const ContractionNetwork net =
+      parse_network("Z[i,k] = A[i,j] * B[j,k]");
+  PlanExecutor exec(svc);
+  const PlanExecution ex = exec.run(net);
+  EXPECT_FALSE(ex.ok());
+  EXPECT_NE(ex.error.find("B"), std::string::npos) << ex.error;
+}
+
+TEST(PlanExecutor, ExpiredDeadlineUnwindsWithoutLeakingTemps) {
+  ServeConfig cfg;
+  cfg.num_workers = 1;
+  ContractionService svc(cfg);
+  load_chain(svc);
+  const ContractionNetwork net = parse_network(kChain);
+  PlanExecutor exec(svc);
+  ExecOptions opts;
+  opts.deadline_ms = 1e-6;  // expires before any step can run
+  const PlanExecution ex = exec.run(net, opts);
+  EXPECT_FALSE(ex.ok());
+  EXPECT_NE(ex.error.find("deadline"), std::string::npos) << ex.error;
+  for (const std::string& name : svc.tensors().names()) {
+    EXPECT_NE(name.compare(0, 6, TensorRegistry::kTempPrefix), 0)
+        << "leaked intermediate: " << name;
+  }
+}
+
+TEST(PlanExecutor, ExecutionJsonIsValid) {
+  ServeConfig cfg;
+  cfg.num_workers = 1;
+  ContractionService svc(cfg);
+  load_chain(svc);
+  const ContractionNetwork net = parse_network(kChain);
+  PlanExecutor exec(svc);
+  const PlanExecution ex = exec.run(net);
+  ASSERT_TRUE(ex.ok()) << ex.error;
+  const std::string doc = ex.to_json();
+  EXPECT_TRUE(obs::json_parse(doc).has_value()) << doc;
+  EXPECT_NE(doc.find("\"plan_id\""), std::string::npos);
+  EXPECT_NE(doc.find("\"steps\""), std::string::npos);
+}
+
+// ----------------------------------------------------- statlog stamps
+
+TEST(PlanExecutor, StatlogRowsCarryPlanIdAndStepIndex) {
+  const std::string path =
+      ::testing::TempDir() + "plan_statlog.jsonl";
+  std::remove(path.c_str());
+  {
+    ServeConfig cfg;
+    cfg.num_workers = 1;
+    cfg.statlog_path = path;
+    ContractionService svc(cfg);
+    load_chain(svc);
+    const ContractionNetwork net = parse_network(kChain);
+    PlanExecutor exec(svc);
+    const PlanExecution ex = exec.run(net);
+    ASSERT_TRUE(ex.ok()) << ex.error;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t stamped = 0;
+  std::vector<std::int64_t> step_indices;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto doc = obs::json_parse(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    const obs::JsonValue* plan_id = doc->get("plan_id");
+    if (plan_id == nullptr) continue;
+    ++stamped;
+    EXPECT_GT(plan_id->number_or(0.0), 0.0);
+    const obs::JsonValue* step = doc->get("step_index");
+    ASSERT_NE(step, nullptr) << "plan_id without step_index: " << line;
+    step_indices.push_back(
+        static_cast<std::int64_t>(step->number_or(-1.0)));
+  }
+  ASSERT_EQ(stamped, 2u);  // two steps in the 3-operand chain
+  EXPECT_EQ(step_indices, (std::vector<std::int64_t>{0, 1}));
+}
+
+// ---------------------------------------------------- workload plumbing
+
+TEST(WorkloadNetwork, StatementsParseAndRouteThroughTheRunner) {
+  std::istringstream script(
+      "gen A dims=24x24 nnz=160 seed=11\n"
+      "gen B dims=24x24 nnz=160 seed=12\n"
+      "gen C dims=24x6 nnz=40 seed=13\n"
+      "network Z[i,l] = A[i,j] * B[j,k] * C[k,l] repeat=2\n");
+  const std::vector<serve::WorkloadOp> ops =
+      serve::parse_workload(script);
+
+  ServeConfig cfg;
+  cfg.num_workers = 1;
+  ContractionService svc(cfg);
+  PlanExecutor exec(svc);
+  int runner_calls = 0;
+  serve::WorkloadOptions wopts;
+  wopts.network_runner = [&](ContractionService&,
+                             const serve::NetworkRequest& nreq) {
+    ++runner_calls;
+    const ContractionNetwork net = parse_network(nreq.expr);
+    ExecOptions eopts;
+    if (nreq.store) eopts.store_as = net.output_name;
+    const PlanExecution ex = exec.run(net, eopts);
+    EXPECT_TRUE(ex.ok()) << ex.error;
+    return ex.steps;
+  };
+  const serve::WorkloadResult res = run_workload(svc, ops, wopts);
+  EXPECT_EQ(runner_calls, 2);
+  EXPECT_EQ(res.reports.size(), 4u);  // 2 runs x 2 steps
+  for (const auto& r : res.reports) EXPECT_TRUE(r.ok()) << r.error;
+}
+
+TEST(WorkloadNetwork, MissingRunnerIsAStructuredError) {
+  std::istringstream script(
+      "gen A dims=8x8 nnz=20 seed=1\n"
+      "gen B dims=8x8 nnz=20 seed=2\n"
+      "network Z[i,k] = A[i,j] * B[j,k]\n");
+  const std::vector<serve::WorkloadOp> ops =
+      serve::parse_workload(script);
+  ServeConfig cfg;
+  cfg.num_workers = 1;
+  ContractionService svc(cfg);
+  try {
+    (void)run_workload(svc, ops);
+    FAIL() << "network statement ran without a runner";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("network runner"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace sparta::plan

@@ -1,0 +1,326 @@
+// sparta_plan — parse a contraction-network expression, search the
+// contraction order, and either explain the plan (--dry-run) or execute
+// it through an in-process ContractionService.
+//
+//   sparta_plan --expr "Z[i,l] = A[i,j] * B[j,k] * C[k,l]"
+//     (--gen NAME=AxBxC:nnz[:seed] | --load NAME=path)...
+//     [--dry-run] [--json PATH] [--budget-mb M]
+//     [--selector-model PATH] [--deadline-ms D] [--store]
+//     [--workers N]
+//
+// Input binding: every tensor named in the expression needs exactly one
+// --gen or --load. --gen synthesizes a uniform random tensor
+// (tensor/generators.hpp) with the given dims string, nnz and optional
+// seed (default 42); --load reads a .tns / .sptn file.
+//
+// --dry-run prints the searched plan as a byte-deterministic JSON
+// document (CI diffs two runs) without constructing a service. Without
+// it the plan executes end-to-end: per-step variant via the service's
+// selector, intermediates as budget-charged "__tmp/" registry entries,
+// per-step statlog/trace rows stamped with plan_id/step_index.
+//
+// Exit codes: 0 ok; 1 execution failure; 2 usage / bad flags;
+// 3 network parse or planning error (bad expression, unknown tensor,
+// budget admits no order).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "plan/executor.hpp"
+#include "plan/ir.hpp"
+#include "plan/planner.hpp"
+#include "serve/costmodel.hpp"
+#include "serve/service.hpp"
+#include "tensor/generators.hpp"
+#include "tensor/io.hpp"
+#include "tensor/io_binary.hpp"
+
+namespace {
+
+void usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s --expr \"Z[i,l] = A[i,j] * B[j,l]\"\n"
+      "  (--gen NAME=AxB:nnz[:seed] | --load NAME=path)...\n"
+      "  [--dry-run] [--json PATH] [--budget-mb M]\n"
+      "  [--selector-model PATH] [--deadline-ms D] [--store]\n"
+      "  [--workers N]\n",
+      prog);
+  std::exit(2);
+}
+
+struct Binding {
+  std::string name;
+  bool generated = false;
+  sparta::GeneratorSpec gen;
+  std::string path;
+};
+
+// NAME=AxBxC:nnz[:seed]
+Binding parse_gen(const std::string& spec) {
+  Binding b;
+  b.generated = true;
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw sparta::Error("--gen needs NAME=AxB:nnz[:seed], got '" + spec +
+                        "'");
+  }
+  b.name = spec.substr(0, eq);
+  const std::string rest = spec.substr(eq + 1);
+  const std::size_t c1 = rest.find(':');
+  if (c1 == std::string::npos) {
+    throw sparta::Error("--gen '" + spec + "' is missing ':nnz'");
+  }
+  const std::string dims = rest.substr(0, c1);
+  std::size_t pos = 0;
+  while (pos < dims.size()) {
+    std::size_t next = dims.find('x', pos);
+    if (next == std::string::npos) next = dims.size();
+    const long v = std::atol(dims.substr(pos, next - pos).c_str());
+    if (v <= 0) {
+      throw sparta::Error("--gen '" + spec + "': bad mode size in '" +
+                          dims + "'");
+    }
+    b.gen.dims.push_back(static_cast<sparta::index_t>(v));
+    pos = next + 1;
+  }
+  if (b.gen.dims.empty()) {
+    throw sparta::Error("--gen '" + spec + "': empty dims");
+  }
+  std::string tail = rest.substr(c1 + 1);
+  const std::size_t c2 = tail.find(':');
+  if (c2 != std::string::npos) {
+    b.gen.seed = static_cast<std::uint64_t>(
+        std::strtoull(tail.substr(c2 + 1).c_str(), nullptr, 10));
+    tail.resize(c2);
+  }
+  const long long nnz = std::atoll(tail.c_str());
+  if (nnz <= 0) {
+    throw sparta::Error("--gen '" + spec + "': bad nnz '" + tail + "'");
+  }
+  b.gen.nnz = static_cast<std::size_t>(nnz);
+  return b;
+}
+
+sparta::SparseTensor materialize(const Binding& b) {
+  if (b.generated) return sparta::generate_random(b.gen);
+  const bool binary =
+      b.path.size() >= 5 &&
+      b.path.compare(b.path.size() - 5, 5, ".sptn") == 0;
+  return binary ? sparta::read_sptn_file(b.path)
+                : sparta::read_tns_file(b.path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string expr;
+  std::string json_path;
+  std::string model_path;
+  std::vector<Binding> bindings;
+  bool dry_run = false;
+  bool store = false;
+  double deadline_ms = 0.0;
+  std::size_t budget_bytes = 0;
+  int workers = 1;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (a == "--expr") {
+        expr = next();
+      } else if (a == "--gen") {
+        bindings.push_back(parse_gen(next()));
+      } else if (a == "--load") {
+        const std::string spec = next();
+        const std::size_t eq = spec.find('=');
+        if (eq == std::string::npos || eq == 0) {
+          throw sparta::Error("--load needs NAME=path, got '" + spec +
+                              "'");
+        }
+        Binding b;
+        b.name = spec.substr(0, eq);
+        b.path = spec.substr(eq + 1);
+        bindings.push_back(std::move(b));
+      } else if (a == "--dry-run") {
+        dry_run = true;
+      } else if (a == "--json") {
+        json_path = next();
+      } else if (a == "--budget-mb") {
+        budget_bytes =
+            static_cast<std::size_t>(std::atoll(next().c_str())) << 20;
+      } else if (a == "--selector-model") {
+        model_path = next();
+      } else if (a == "--deadline-ms") {
+        deadline_ms = std::atof(next().c_str());
+      } else if (a == "--store") {
+        store = true;
+      } else if (a == "--workers") {
+        workers = std::atoi(next().c_str());
+      } else {
+        std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
+                     a.c_str());
+        usage(argv[0]);
+      }
+    }
+    if (expr.empty() || bindings.empty()) usage(argv[0]);
+  } catch (const sparta::Error& e) {
+    std::fprintf(stderr, "sparta_plan: %s\n", e.what());
+    return 2;
+  }
+
+  sparta::serve::CostModel model;
+  if (!model_path.empty()) {
+    try {
+      model = sparta::serve::CostModel::load_file(model_path);
+    } catch (const sparta::Error& e) {
+      std::fprintf(stderr, "sparta_plan: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  auto write_doc = [&](const std::string& doc) -> int {
+    if (json_path.empty()) {
+      std::printf("%s\n", doc.c_str());
+      return 0;
+    }
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "sparta_plan: cannot write '%s'\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    return 0;
+  };
+
+  try {
+    const sparta::plan::ContractionNetwork net =
+        sparta::plan::parse_network(expr);
+
+    // Bindings must cover the expression exactly (unused bindings are a
+    // flag typo the user wants to hear about).
+    for (const Binding& b : bindings) {
+      bool used = false;
+      for (const auto& t : net.inputs) used = used || t.name == b.name;
+      if (!used) {
+        throw sparta::Error("binding '" + b.name +
+                            "' does not appear in the expression");
+      }
+    }
+
+    if (dry_run) {
+      // Plan without a service: bind metadata only, search, explain.
+      std::vector<sparta::plan::BoundInput> inputs;
+      for (const auto& t : net.inputs) {
+        const Binding* bound = nullptr;
+        for (const Binding& b : bindings) {
+          if (b.name == t.name) bound = &b;
+        }
+        if (bound == nullptr) {
+          throw sparta::Error("tensor '" + t.name +
+                              "' has no --gen/--load binding");
+        }
+        const sparta::SparseTensor tensor = materialize(*bound);
+        sparta::plan::BoundInput bi;
+        bi.name = t.name;
+        bi.dims = tensor.dims();
+        bi.nnz = tensor.nnz();
+        inputs.push_back(std::move(bi));
+      }
+      sparta::plan::PlanOptions popts;
+      popts.budget_bytes = budget_bytes;
+      if (!model.empty()) popts.model = &model;
+      const sparta::plan::NetworkPlan plan =
+          sparta::plan::plan_network(net, inputs, popts);
+
+      sparta::obs::JsonWriter w;
+      w.begin_object();
+      w.key("schema_version").value(1);
+      w.key("tool").value("sparta_plan");
+      w.key("expr").value(std::string_view(net.canonical()));
+      w.key("dry_run").value(true);
+      w.key("model_id").value(std::string_view(model.id()));
+      w.key("budget_bytes")
+          .value(static_cast<std::uint64_t>(budget_bytes));
+      w.key("inputs").begin_array();
+      for (const sparta::plan::BoundInput& bi : inputs) {
+        w.begin_object();
+        w.key("name").value(std::string_view(bi.name));
+        w.key("dims").begin_array();
+        for (const sparta::index_t d : bi.dims) {
+          w.value(static_cast<std::uint64_t>(d));
+        }
+        w.end_array();
+        w.key("nnz").value(static_cast<std::uint64_t>(bi.nnz));
+        w.end_object();
+      }
+      w.end_array();
+      w.key("plan").raw(plan.to_json());
+      w.end_object();
+      return write_doc(w.str());
+    }
+
+    // Execute: a private in-process service with the requested budget.
+    sparta::serve::ServeConfig cfg;
+    cfg.dram_budget_bytes = budget_bytes;
+    cfg.num_workers = workers;
+    sparta::serve::ContractionService svc(cfg);
+    for (const Binding& b : bindings) {
+      svc.load(b.name, materialize(b));
+    }
+    sparta::plan::PlanExecutor exec(svc);
+    sparta::plan::ExecOptions eopts;
+    eopts.deadline_ms = deadline_ms;
+    if (store) eopts.store_as = net.output_name;
+    if (!model.empty()) eopts.plan.model = &model;
+    const sparta::plan::PlanExecution ex = exec.run(net, eopts);
+
+    std::fprintf(stderr, "sparta_plan: %s\n", net.canonical().c_str());
+    if (ex.plan != nullptr) {
+      std::fprintf(stderr,
+                   "  search=%s steps=%zu est_total=%.3g s "
+                   "est_peak=%zu B (%llu alternatives rejected, "
+                   "%llu by budget)\n",
+                   ex.plan->search.c_str(), ex.plan->steps.size(),
+                   ex.plan->est_total_seconds, ex.plan->est_peak_bytes,
+                   static_cast<unsigned long long>(
+                       ex.plan->rejected_alternatives),
+                   static_cast<unsigned long long>(
+                       ex.plan->budget_pruned));
+    }
+    if (ex.ok()) {
+      std::fprintf(stderr,
+                   "  ok: nnz_z=%zu exec=%.3f ms plan=%.3f ms "
+                   "peak_temp=%zu B\n",
+                   ex.z->nnz(), ex.exec_seconds * 1e3,
+                   ex.plan_seconds * 1e3, ex.peak_temp_bytes);
+    } else {
+      std::fprintf(stderr, "  FAILED: %s\n", ex.error.c_str());
+    }
+    sparta::obs::JsonWriter w;
+    w.begin_object();
+    w.key("schema_version").value(1);
+    w.key("tool").value("sparta_plan");
+    w.key("expr").value(std::string_view(net.canonical()));
+    w.key("dry_run").value(false);
+    w.key("execution").raw(ex.to_json());
+    w.end_object();
+    const int write_rc = write_doc(w.str());
+    if (write_rc != 0) return write_rc;
+    return ex.ok() ? 0 : 1;
+  } catch (const sparta::Error& e) {
+    std::fprintf(stderr, "sparta_plan: %s\n", e.what());
+    return 3;
+  }
+}

@@ -56,6 +56,8 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/statlog.hpp"
+#include "plan/executor.hpp"
+#include "plan/ir.hpp"
 #include "serve/costmodel.hpp"
 #include "serve/service.hpp"
 #include "serve/workload.hpp"
@@ -203,10 +205,13 @@ int main(int argc, char** argv) {
   // diagnostic, not later from inside the service constructor. The
   // model file gets the same treatment: an unreadable brain is a
   // configuration error (exit 2), not a mid-run hard failure.
+  sparta::serve::CostModel plan_model;  // empty = analytic plan costs
   try {
     cfg.selector.validate();
     if (!cfg.selector.model.empty()) {
-      (void)sparta::serve::CostModel::load_file(cfg.selector.model);
+      // Loaded twice on purpose: the selector keeps its own copy; this
+      // one prices candidate orders in the plan compiler.
+      plan_model = sparta::serve::CostModel::load_file(cfg.selector.model);
     }
   } catch (const sparta::Error& e) {
     std::fprintf(stderr, "sparta_serve: %s\n", e.what());
@@ -241,6 +246,43 @@ int main(int argc, char** argv) {
     const std::vector<sparta::serve::WorkloadOp> ops =
         sparta::serve::parse_workload_file(workload_path);
     sparta::serve::ContractionService svc(cfg);
+    // The plan compiler rides on top of the service: `network` workload
+    // statements parse + order-search + execute through it, each step a
+    // normal ServeRequest stamped with the plan correlation pair.
+    sparta::plan::PlanExecutor plan_exec(svc);
+    wopts.network_runner =
+        [&plan_exec, &plan_model](
+            sparta::serve::ContractionService&,
+            const sparta::serve::NetworkRequest& nreq) {
+          std::vector<sparta::serve::ServeReport> out;
+          try {
+            const sparta::plan::ContractionNetwork net =
+                sparta::plan::parse_network(nreq.expr);
+            sparta::plan::ExecOptions eopts;
+            eopts.deadline_ms = nreq.deadline_ms;
+            if (nreq.store) eopts.store_as = net.output_name;
+            if (!plan_model.empty()) eopts.plan.model = &plan_model;
+            sparta::plan::PlanExecution ex = plan_exec.run(net, eopts);
+            out = std::move(ex.steps);
+            if (!ex.ok() && (out.empty() || out.back().ok())) {
+              // Plan-level failure with no failing step report (parse,
+              // search, pre-submit deadline): synthesize one so the
+              // summary and exit code see it.
+              sparta::serve::ServeReport r;
+              r.error = ex.error;
+              if (ex.error.find("deadline") != std::string::npos) {
+                r.cancelled = true;
+                r.deadline_exceeded = true;
+              }
+              out.push_back(std::move(r));
+            }
+          } catch (const std::exception& e) {
+            sparta::serve::ServeReport r;
+            r.error = e.what();
+            out.push_back(std::move(r));
+          }
+          return out;
+        };
     // Selector state (decision counters, per-key EWMAs, active model
     // id) rides along on every scrape, after the registry snapshot.
     if (stats_server.running()) {
@@ -310,6 +352,13 @@ int main(int argc, char** argv) {
         percentile(latencies, 0.5) * 1e3,
         percentile(latencies, 0.95) * 1e3,
         percentile(latencies, 1.0) * 1e3, res.wall_seconds);
+    const sparta::plan::NetworkPlanCache::Stats ps =
+        plan_exec.cache().stats();
+    if (ps.hits + ps.misses > 0) {
+      std::printf("  plan cache: hits=%llu misses=%llu entries=%zu\n",
+                  static_cast<unsigned long long>(ps.hits),
+                  static_cast<unsigned long long>(ps.misses), ps.entries);
+    }
     const std::string model_id = svc.selector().model_id();
     std::printf("  selector: prior=%s model_id=%s\n",
                 model_id.empty() ? "analytic" : "learned",
@@ -343,6 +392,8 @@ int main(int argc, char** argv) {
           .value(static_cast<std::uint64_t>(deadline));
       w.key("degraded").value(static_cast<std::uint64_t>(degraded));
       w.key("cache_hits").value(static_cast<std::uint64_t>(hits));
+      w.key("plan_cache_hits").value(ps.hits);
+      w.key("plan_cache_misses").value(ps.misses);
       w.key("statlog_lines").value(svc.statlog_lines());
       w.key("latency_seconds").begin_object();
       w.key("p50").value(percentile(latencies, 0.5));
